@@ -1,0 +1,183 @@
+// Experiment E6 — the Appendix B allocator-bottleneck claim.
+//
+// The paper conjectures that its high-core-count collapse comes from the
+// (shared) Java allocator. This ablation swaps the allocator policy under
+// an otherwise identical UC treap write-only workload:
+//
+//   malloc        — process-global operator new (the Java-allocator analogue)
+//   global-pool   — one mutex-protected free-list pool (worst case)
+//   thread-cache  — per-thread magazines over the shared pool (the fix)
+//   arena+leaky   — per-thread bump arenas, no reclamation (GC-free upper
+//                   bound on allocation speed)
+//
+// Run twice: with real threads on this host, and in the simulator where
+// the allocator term can be dialed to show the collapse at paper scale.
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "alloc/arena_alloc.hpp"
+#include "alloc/malloc_alloc.hpp"
+#include "alloc/pool_alloc.hpp"
+#include "alloc/thread_cache_alloc.hpp"
+#include "bench_util/runner.hpp"
+#include "core/atom.hpp"
+#include "model/sim.hpp"
+#include "persist/treap.hpp"
+#include "reclaim/epoch.hpp"
+#include "reclaim/leaky.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace pathcopy;
+using T = persist::Treap<std::int64_t, std::int64_t>;
+
+constexpr std::int64_t kKeyRange = 1 << 17;
+
+// One write-only trial: each worker does insert/erase of random keys.
+// make_alloc() returns anything dereferenceable to the per-thread
+// allocator view (raw pointer for shared views, unique_ptr for owned).
+template <class AtomT, class Smr, class MakeAlloc>
+double run_trial(Smr& smr, AtomT& atom, MakeAlloc make_alloc,
+                 std::size_t procs, int duration_ms) {
+  const auto run = bench::run_timed(
+      procs, std::chrono::milliseconds(duration_ms),
+      [&](std::size_t tid, const std::atomic<bool>& stop) -> std::uint64_t {
+        auto alloc = make_alloc();
+        typename AtomT::Ctx ctx(smr, *alloc);
+        util::Xoshiro256 rng(tid * 7919 + 13);
+        std::uint64_t ops = 0;
+        while (!stop.load(std::memory_order_relaxed)) {
+          const std::int64_t k = rng.range(0, kKeyRange);
+          if (rng.chance(1, 2)) {
+            atom.update(ctx, [k](T t, auto& b) { return t.insert(b, k, k); });
+          } else {
+            atom.update(ctx, [k](T t, auto& b) { return t.erase(b, k); });
+          }
+          ++ops;
+        }
+        return ops;
+      });
+  return run.ops_per_sec();
+}
+
+void real_threads(int duration_ms, const std::vector<std::size_t>& procs) {
+  std::printf("== E6 real threads: allocator policy vs throughput (ops/s) ==\n");
+  std::printf("%-14s", "allocator");
+  for (const auto p : procs) std::printf("  %8zup", p);
+  std::printf("\n");
+
+  // malloc
+  {
+    std::printf("%-14s", "malloc");
+    for (const auto p : procs) {
+      alloc::MallocAlloc shared;
+      reclaim::EpochReclaimer smr;
+      core::Atom<T, reclaim::EpochReclaimer, alloc::MallocAlloc> atom(
+          smr, *shared.retire_backend());
+      const double ops =
+          run_trial(smr, atom, [&] { return &shared; }, p, duration_ms);
+      std::printf("  %9.0f", ops);
+    }
+    std::printf("\n");
+  }
+  // global pool (one lock per alloc/free)
+  {
+    std::printf("%-14s", "global-pool");
+    for (const auto p : procs) {
+      alloc::PoolBackend pool;
+      reclaim::EpochReclaimer smr;
+      core::Atom<T, reclaim::EpochReclaimer, alloc::PoolView> atom(smr, pool);
+      const double ops = run_trial(
+          smr, atom,
+          [&] {
+            return std::make_unique<alloc::PoolView>(pool);
+          },
+          p, duration_ms);
+      std::printf("  %9.0f", ops);
+    }
+    std::printf("\n");
+  }
+  // thread-cached pool
+  {
+    std::printf("%-14s", "thread-cache");
+    for (const auto p : procs) {
+      alloc::PoolBackend pool;
+      reclaim::EpochReclaimer smr;
+      core::Atom<T, reclaim::EpochReclaimer, alloc::ThreadCache> atom(smr, pool);
+      const double ops = run_trial(
+          smr, atom, [&] { return std::make_unique<alloc::ThreadCache>(pool); },
+          p, duration_ms);
+      std::printf("  %9.0f", ops);
+    }
+    std::printf("\n");
+  }
+  // arena + leaky (no reclamation at all)
+  {
+    std::printf("%-14s", "arena+leaky");
+    for (const auto p : procs) {
+      static alloc::ArenaRetire noop_backend;
+      reclaim::LeakyReclaimer smr;
+      // Arenas must outlive the Atom: its final version lives in them.
+      std::vector<std::unique_ptr<alloc::Arena>> arenas;
+      for (std::size_t i = 0; i < p; ++i) {
+        arenas.push_back(std::make_unique<alloc::Arena>());
+      }
+      std::atomic<std::size_t> next{0};
+      core::Atom<T, reclaim::LeakyReclaimer, alloc::Arena> atom(smr, noop_backend);
+      const double ops = run_trial(
+          smr, atom, [&] { return arenas[next.fetch_add(1)].get(); }, p,
+          duration_ms);
+      std::printf("  %9.0f", ops);
+    }
+    std::printf("\n");
+  }
+  std::printf("\n");
+}
+
+void simulated(const std::vector<std::size_t>& procs) {
+  std::printf("== E6 simulated: shared-allocator contention vs speedup ==\n");
+  std::printf("(N=2^20, M=2^14, R=100; TLAB refills of 32 nodes cost "
+              "10 + c*P ticks through one serialized allocator)\n");
+  std::printf("%-12s", "contention c");
+  for (const auto p : procs) std::printf("  %7zup", p);
+  std::printf("\n");
+  for (const std::uint64_t c : {0, 2, 4, 8, 16}) {
+    std::printf("%-12llu", static_cast<unsigned long long>(c));
+    for (const auto p : procs) {
+      model::SimConfig cfg;
+      cfg.num_leaves = 1 << 20;
+      cfg.cache_lines = 1 << 14;
+      cfg.miss_cost = 100;
+      cfg.processes = p;
+      cfg.ops = 8000;
+      cfg.alloc_ticks_per_node = 10;
+      cfg.alloc_refill_batch = 32;
+      cfg.alloc_contention_ticks = c;
+      std::printf("  %7.2fx", model::simulated_speedup(cfg));
+    }
+    std::printf("\n");
+  }
+  std::printf("shape: with c=0 speedup saturates; growing contention turns "
+              "saturation into the high-P collapse (Appendix B).\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int duration_ms = 250;
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+  if (quick) duration_ms = 100;
+  const std::vector<std::size_t> procs = quick
+                                             ? std::vector<std::size_t>{1, 4}
+                                             : std::vector<std::size_t>{1, 2, 4, 8};
+  real_threads(duration_ms, procs);
+  simulated({1, 8, 16, 32, 63});
+  return 0;
+}

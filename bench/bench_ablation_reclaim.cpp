@@ -1,0 +1,156 @@
+// Experiment E7 — reclamation-scheme ablation.
+//
+// The paper's Java artifact gets memory reclamation for free from the GC;
+// the C++ port must pick an SMR scheme, and this bench quantifies what
+// each costs under the write-only UC treap workload:
+//
+//   leaky+arena  — no reclamation (the GC-free upper bound)
+//   epoch        — default: thread-local retire buckets, amortized scans
+//   watermark    — MVCC-style version pins; global bundle list (supports
+//                  long-lived snapshots, pays a lock per retire)
+//   hazard-root  — single hazard per reader; per-retire map upkeep
+//
+// Also reports reclamation health: nodes retired vs freed (pending backlog
+// must stay bounded).
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "alloc/arena_alloc.hpp"
+#include "alloc/pool_alloc.hpp"
+#include "alloc/thread_cache_alloc.hpp"
+#include "bench_util/runner.hpp"
+#include "core/atom.hpp"
+#include "persist/treap.hpp"
+#include "reclaim/epoch.hpp"
+#include "reclaim/hazard_roots.hpp"
+#include "reclaim/leaky.hpp"
+#include "reclaim/watermark.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace pathcopy;
+using T = persist::Treap<std::int64_t, std::int64_t>;
+
+constexpr std::int64_t kKeyRange = 1 << 16;
+
+template <class Smr>
+struct Measurement {
+  double ops_per_sec = 0.0;
+  std::uint64_t pending = 0;
+};
+
+template <class Smr>
+Measurement<Smr> run_with_reclaimer(std::size_t procs, int duration_ms) {
+  alloc::PoolBackend pool;
+  Smr smr;
+  core::Atom<T, Smr, alloc::ThreadCache> atom(smr, pool);
+  const auto run = bench::run_timed(
+      procs, std::chrono::milliseconds(duration_ms),
+      [&](std::size_t tid, const std::atomic<bool>& stop) -> std::uint64_t {
+        alloc::ThreadCache cache(pool);
+        typename core::Atom<T, Smr, alloc::ThreadCache>::Ctx ctx(smr, cache);
+        util::Xoshiro256 rng(tid * 31337 + 7);
+        std::uint64_t ops = 0;
+        while (!stop.load(std::memory_order_relaxed)) {
+          const std::int64_t k = rng.range(0, kKeyRange);
+          if (rng.chance(1, 2)) {
+            atom.update(ctx, [k](T t, auto& b) { return t.insert(b, k, k); });
+          } else {
+            atom.update(ctx, [k](T t, auto& b) { return t.erase(b, k); });
+          }
+          ++ops;
+        }
+        return ops;
+      });
+  Measurement<Smr> m;
+  m.ops_per_sec = run.ops_per_sec();
+  m.pending = smr.pending_nodes();
+  return m;
+}
+
+double run_leaky_arena(std::size_t procs, int duration_ms) {
+  static alloc::ArenaRetire noop_backend;
+  reclaim::LeakyReclaimer smr;
+  // Arenas must outlive the Atom: the final version's nodes live in them
+  // and the Atom destructor walks that tree.
+  std::vector<std::unique_ptr<alloc::Arena>> arenas;
+  for (std::size_t i = 0; i < procs; ++i) {
+    arenas.push_back(std::make_unique<alloc::Arena>());
+  }
+  core::Atom<T, reclaim::LeakyReclaimer, alloc::Arena> atom(smr, noop_backend);
+  const auto run = bench::run_timed(
+      procs, std::chrono::milliseconds(duration_ms),
+      [&](std::size_t tid, const std::atomic<bool>& stop) -> std::uint64_t {
+        alloc::Arena& arena = *arenas[tid];
+        core::Atom<T, reclaim::LeakyReclaimer, alloc::Arena>::Ctx ctx(smr, arena);
+        util::Xoshiro256 rng(tid * 31337 + 7);
+        std::uint64_t ops = 0;
+        while (!stop.load(std::memory_order_relaxed)) {
+          const std::int64_t k = rng.range(0, kKeyRange);
+          if (rng.chance(1, 2)) {
+            atom.update(ctx, [k](T t, auto& b) { return t.insert(b, k, k); });
+          } else {
+            atom.update(ctx, [k](T t, auto& b) { return t.erase(b, k); });
+          }
+          ++ops;
+        }
+        return ops;
+      });
+  return run.ops_per_sec();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int duration_ms = 250;
+  std::vector<std::size_t> procs{1, 2, 4, 8};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      duration_ms = 100;
+      procs = {1, 4};
+    }
+  }
+
+  std::printf("== E7: reclamation scheme vs throughput (ops/s) ==\n");
+  std::printf("%-14s", "scheme");
+  for (const auto p : procs) std::printf("  %9zup", p);
+  std::printf("   pending@end\n");
+
+  std::printf("%-14s", "leaky+arena");
+  for (const auto p : procs) std::printf("  %10.0f", run_leaky_arena(p, duration_ms));
+  std::printf("   n/a (arena-bulk)\n");
+
+  std::printf("%-14s", "epoch");
+  std::uint64_t pending = 0;
+  for (const auto p : procs) {
+    const auto m = run_with_reclaimer<reclaim::EpochReclaimer>(p, duration_ms);
+    std::printf("  %10.0f", m.ops_per_sec);
+    pending = m.pending;
+  }
+  std::printf("   %llu\n", static_cast<unsigned long long>(pending));
+
+  std::printf("%-14s", "watermark");
+  for (const auto p : procs) {
+    const auto m = run_with_reclaimer<reclaim::WatermarkReclaimer>(p, duration_ms);
+    std::printf("  %10.0f", m.ops_per_sec);
+    pending = m.pending;
+  }
+  std::printf("   %llu\n", static_cast<unsigned long long>(pending));
+
+  std::printf("%-14s", "hazard-root");
+  for (const auto p : procs) {
+    const auto m = run_with_reclaimer<reclaim::HazardRootReclaimer>(p, duration_ms);
+    std::printf("  %10.0f", m.ops_per_sec);
+    pending = m.pending;
+  }
+  std::printf("   %llu\n", static_cast<unsigned long long>(pending));
+
+  std::printf("\nexpected shape: leaky is the ceiling; epoch tracks it "
+              "closely (thread-local retires); watermark and hazard-root pay "
+              "a shared lock per retire. Pending backlog stays bounded "
+              "(thousands, not millions) for all schemes.\n");
+  return 0;
+}

@@ -1,0 +1,170 @@
+// Experiment E8 — structure generality ablation.
+//
+// The UC is agnostic to the underlying path-copying structure. This bench
+// runs the Random workload over the persistent treap (the paper's choice),
+// the external BST (the analysis model's choice) and the AVL tree, plus
+// the coarse-locked mutable treap as the blocking baseline. It reports
+// throughput and the per-update copy cost (nodes created per installed
+// update) for each — the treap's split/merge copies roughly twice the
+// plain search path, AVL adds rotation copies, and the external BST copies
+// exactly the internal path.
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "alloc/pool_alloc.hpp"
+#include "alloc/thread_cache_alloc.hpp"
+#include "bench_util/runner.hpp"
+#include "core/atom.hpp"
+#include "core/builder.hpp"
+#include "persist/avl.hpp"
+#include "persist/btree.hpp"
+#include "persist/external_bst.hpp"
+#include "persist/rbt.hpp"
+#include "persist/treap.hpp"
+#include "persist/wbt.hpp"
+#include "reclaim/epoch.hpp"
+#include "seq/locked.hpp"
+#include "seq/seq_treap.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace pathcopy;
+
+constexpr std::int64_t kKeyRange = 1 << 16;
+
+template <class DS>
+double run_structure(std::size_t procs, int duration_ms) {
+  alloc::PoolBackend pool;
+  reclaim::EpochReclaimer smr;
+  core::Atom<DS, reclaim::EpochReclaimer, alloc::ThreadCache> atom(smr, pool);
+  const auto run = bench::run_timed(
+      procs, std::chrono::milliseconds(duration_ms),
+      [&](std::size_t tid, const std::atomic<bool>& stop) -> std::uint64_t {
+        alloc::ThreadCache cache(pool);
+        typename core::Atom<DS, reclaim::EpochReclaimer,
+                            alloc::ThreadCache>::Ctx ctx(smr, cache);
+        util::Xoshiro256 rng(tid * 104729 + 3);
+        std::uint64_t ops = 0;
+        while (!stop.load(std::memory_order_relaxed)) {
+          const std::int64_t k = rng.range(0, kKeyRange);
+          if (rng.chance(1, 2)) {
+            atom.update(ctx, [k](DS t, auto& b) { return t.insert(b, k, k); });
+          } else {
+            atom.update(ctx, [k](DS t, auto& b) { return t.erase(b, k); });
+          }
+          ++ops;
+        }
+        return ops;
+      });
+  return run.ops_per_sec();
+}
+
+double run_locked_treap(std::size_t procs, int duration_ms) {
+  seq::Locked<seq::SeqTreap<std::int64_t, std::int64_t>> locked;
+  const auto run = bench::run_timed(
+      procs, std::chrono::milliseconds(duration_ms),
+      [&](std::size_t tid, const std::atomic<bool>& stop) -> std::uint64_t {
+        util::Xoshiro256 rng(tid * 104729 + 3);
+        std::uint64_t ops = 0;
+        while (!stop.load(std::memory_order_relaxed)) {
+          const std::int64_t k = rng.range(0, kKeyRange);
+          if (rng.chance(1, 2)) {
+            locked.with([k](auto& t) { t.insert(k, k); });
+          } else {
+            locked.with([k](auto& t) { t.erase(k); });
+          }
+          ++ops;
+        }
+        return ops;
+      });
+  return run.ops_per_sec();
+}
+
+// Copy cost: nodes created per successful update, measured standalone.
+template <class DS>
+double copy_cost(std::size_t n) {
+  alloc::PoolBackend pool;
+  alloc::ThreadCache cache(pool);
+  util::Xoshiro256 rng(5);
+  DS t;
+  std::uint64_t created = 0, installs = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    core::Builder<alloc::ThreadCache> b(cache);
+    const std::int64_t k = rng.range(0, kKeyRange);
+    DS next = rng.chance(1, 2) ? t.insert(b, k, k) : t.erase(b, k);
+    if (next.root_ptr() != t.root_ptr()) {
+      created += b.stats().created;
+      ++installs;
+      b.seal();
+      auto retired = b.commit();
+      reclaim::run_all(retired);
+      t = next;
+    } else {
+      b.rollback();
+    }
+  }
+  return installs == 0 ? 0.0
+                       : static_cast<double>(created) /
+                             static_cast<double>(installs);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int duration_ms = 250;
+  std::vector<std::size_t> procs{1, 2, 4, 8};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      duration_ms = 100;
+      procs = {1, 4};
+    }
+  }
+  using Treap = persist::Treap<std::int64_t, std::int64_t>;
+  using Avl = persist::AvlTree<std::int64_t, std::int64_t>;
+  using Ebst = persist::ExternalBst<std::int64_t, std::int64_t>;
+  using Wbt = persist::WbTree<std::int64_t, std::int64_t>;
+  using Rbt = persist::RbTree<std::int64_t, std::int64_t>;
+  using B8 = persist::BTree<std::int64_t, std::int64_t, 8>;
+
+  std::printf("== E8: structure ablation, Random workload (ops/s) ==\n");
+  std::printf("%-14s", "structure");
+  for (const auto p : procs) std::printf("  %9zup", p);
+  std::printf("\n");
+
+  std::printf("%-14s", "uc-treap");
+  for (const auto p : procs) std::printf("  %10.0f", run_structure<Treap>(p, duration_ms));
+  std::printf("\n");
+  std::printf("%-14s", "uc-extbst");
+  for (const auto p : procs) std::printf("  %10.0f", run_structure<Ebst>(p, duration_ms));
+  std::printf("\n");
+  std::printf("%-14s", "uc-avl");
+  for (const auto p : procs) std::printf("  %10.0f", run_structure<Avl>(p, duration_ms));
+  std::printf("\n");
+  std::printf("%-14s", "uc-wbt");
+  for (const auto p : procs) std::printf("  %10.0f", run_structure<Wbt>(p, duration_ms));
+  std::printf("\n");
+  std::printf("%-14s", "uc-rbt");
+  for (const auto p : procs) std::printf("  %10.0f", run_structure<Rbt>(p, duration_ms));
+  std::printf("\n");
+  std::printf("%-14s", "uc-btree8");
+  for (const auto p : procs) std::printf("  %10.0f", run_structure<B8>(p, duration_ms));
+  std::printf("\n");
+  std::printf("%-14s", "locked-treap");
+  for (const auto p : procs) std::printf("  %10.0f", run_locked_treap(p, duration_ms));
+  std::printf("\n");
+
+  std::printf("\n== E8: path-copy cost (nodes created per installed update, "
+              "steady state at ~%d keys) ==\n", 1 << 15);
+  std::printf("treap (split/merge): %6.1f\n", copy_cost<Treap>(60000));
+  std::printf("external bst:        %6.1f\n", copy_cost<Ebst>(60000));
+  std::printf("avl (rotations):     %6.1f\n", copy_cost<Avl>(60000));
+  std::printf("weight-balanced:     %6.1f\n", copy_cost<Wbt>(60000));
+  std::printf("red-black:           %6.1f\n", copy_cost<Rbt>(60000));
+  std::printf("b+tree fanout 8:     %6.1f\n", copy_cost<B8>(60000));
+  std::printf("\nexpected: extbst ~= path length; treap ~= 2x path (split + "
+              "merge); avl ~= path + rotation copies; rbt ~= path + recolor "
+              "cascade; b+tree ~= its short log_F path (but fat nodes).\n");
+  return 0;
+}

@@ -1,0 +1,192 @@
+// Experiment E9 — microbenchmarks (google-benchmark).
+//
+// Isolates the primitive costs the paper's model parameterizes: tree
+// traversal (the "load" stream), path copying (node creation), allocator
+// round trips, the CAS retry step, and the LRU cache model itself.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+
+#include "alloc/arena_alloc.hpp"
+#include "alloc/malloc_alloc.hpp"
+#include "alloc/pool_alloc.hpp"
+#include "alloc/thread_cache_alloc.hpp"
+#include "core/atom.hpp"
+#include "model/lru_cache.hpp"
+#include "persist/treap.hpp"
+#include "reclaim/epoch.hpp"
+#include "seq/seq_treap.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace pathcopy;
+using T = persist::Treap<std::int64_t, std::int64_t>;
+
+void BM_SeqTreapFind(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  seq::SeqTreap<std::int64_t, std::int64_t> t;
+  for (std::int64_t i = 0; i < n; ++i) t.insert(i * 2, i);
+  util::Xoshiro256 rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t.find(rng.below(2 * n)));
+  }
+}
+BENCHMARK(BM_SeqTreapFind)->Arg(1 << 10)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_PersistentTreapFind(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  alloc::MallocAlloc a;
+  std::vector<std::pair<std::int64_t, std::int64_t>> items;
+  for (std::int64_t i = 0; i < n; ++i) items.emplace_back(i * 2, i);
+  core::Builder<alloc::MallocAlloc> b(a);
+  T t = T::from_sorted(b, items.begin(), items.end());
+  b.seal();
+  (void)b.commit();
+  util::Xoshiro256 rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t.find(rng.below(2 * n)));
+  }
+  T::destroy(t.root_node(), a);
+}
+BENCHMARK(BM_PersistentTreapFind)->Arg(1 << 10)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_PathCopyInsertErase(benchmark::State& state) {
+  // One full path-copied insert+erase round trip, including retiring the
+  // superseded path (immediate free: single-threaded).
+  const std::int64_t n = state.range(0);
+  alloc::PoolBackend pool;
+  alloc::ThreadCache cache(pool);
+  std::vector<std::pair<std::int64_t, std::int64_t>> items;
+  for (std::int64_t i = 0; i < n; ++i) items.emplace_back(i * 2, i);
+  core::Builder<alloc::ThreadCache> b0(cache);
+  T t = T::from_sorted(b0, items.begin(), items.end());
+  b0.seal();
+  (void)b0.commit();
+  util::Xoshiro256 rng(1);
+  for (auto _ : state) {
+    const std::int64_t k = rng.below(2 * n) | 1;  // odd: always absent
+    core::Builder<alloc::ThreadCache> b(cache);
+    T t2 = t.insert(b, k, k);
+    b.seal();
+    auto retired1 = b.commit();
+    reclaim::run_all(retired1);
+    core::Builder<alloc::ThreadCache> b2(cache);
+    T t3 = t2.erase(b2, k);
+    b2.seal();
+    auto retired2 = b2.commit();
+    reclaim::run_all(retired2);
+    t = t3;
+  }
+}
+BENCHMARK(BM_PathCopyInsertErase)->Arg(1 << 10)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_SeqTreapInsertErase(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  seq::SeqTreap<std::int64_t, std::int64_t> t;
+  for (std::int64_t i = 0; i < n; ++i) t.insert(i * 2, i);
+  util::Xoshiro256 rng(1);
+  for (auto _ : state) {
+    const std::int64_t k = rng.below(2 * n) | 1;
+    t.insert(k, k);
+    t.erase(k);
+  }
+}
+BENCHMARK(BM_SeqTreapInsertErase)->Arg(1 << 10)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_UcUncontendedUpdate(benchmark::State& state) {
+  alloc::PoolBackend pool;
+  reclaim::EpochReclaimer smr;
+  core::Atom<T, reclaim::EpochReclaimer, alloc::ThreadCache> atom(smr, pool);
+  alloc::ThreadCache cache(pool);
+  core::Atom<T, reclaim::EpochReclaimer, alloc::ThreadCache>::Ctx ctx(smr, cache);
+  {
+    std::vector<std::pair<std::int64_t, std::int64_t>> items;
+    for (std::int64_t i = 0; i < (1 << 16); ++i) items.emplace_back(i * 2, i);
+    atom.update(ctx, [&](T, auto& b) {
+      return T::from_sorted(b, items.begin(), items.end());
+    });
+  }
+  util::Xoshiro256 rng(1);
+  for (auto _ : state) {
+    const std::int64_t k = rng.below(1 << 17) | 1;
+    atom.update(ctx, [k](T t, auto& b) { return t.insert(b, k, k); });
+    atom.update(ctx, [k](T t, auto& b) { return t.erase(b, k); });
+  }
+}
+BENCHMARK(BM_UcUncontendedUpdate);
+
+void BM_AllocatorRoundTrip_Malloc(benchmark::State& state) {
+  alloc::MallocAlloc a;
+  for (auto _ : state) {
+    void* p = a.allocate(48, 8);
+    benchmark::DoNotOptimize(p);
+    a.deallocate(p, 48, 8);
+  }
+}
+BENCHMARK(BM_AllocatorRoundTrip_Malloc);
+
+void BM_AllocatorRoundTrip_GlobalPool(benchmark::State& state) {
+  static alloc::PoolBackend pool;
+  alloc::PoolView view(pool);
+  for (auto _ : state) {
+    void* p = view.allocate(48, 8);
+    benchmark::DoNotOptimize(p);
+    view.deallocate(p, 48, 8);
+  }
+}
+BENCHMARK(BM_AllocatorRoundTrip_GlobalPool)->Threads(1)->Threads(4);
+
+void BM_AllocatorRoundTrip_ThreadCache(benchmark::State& state) {
+  static alloc::PoolBackend pool;
+  alloc::ThreadCache cache(pool);
+  for (auto _ : state) {
+    void* p = cache.allocate(48, 8);
+    benchmark::DoNotOptimize(p);
+    cache.deallocate(p, 48, 8);
+  }
+}
+BENCHMARK(BM_AllocatorRoundTrip_ThreadCache)->Threads(1)->Threads(4);
+
+void BM_AllocatorRoundTrip_Arena(benchmark::State& state) {
+  alloc::Arena arena;
+  for (auto _ : state) {
+    void* p = arena.allocate(48, 8);
+    benchmark::DoNotOptimize(p);
+    arena.deallocate(p, 48, 8);
+  }
+}
+BENCHMARK(BM_AllocatorRoundTrip_Arena);
+
+void BM_EpochPinUnpin(benchmark::State& state) {
+  static reclaim::EpochReclaimer smr;
+  auto h = smr.register_thread();
+  static std::atomic<const void*> root{nullptr};
+  static std::atomic<std::uint64_t> ver{1};
+  for (auto _ : state) {
+    auto g = smr.pin(h, root, ver);
+    benchmark::DoNotOptimize(g.root());
+  }
+}
+BENCHMARK(BM_EpochPinUnpin)->Threads(1)->Threads(4);
+
+void BM_LruCacheAccess(benchmark::State& state) {
+  model::LruCache cache(1 << 14);
+  util::Xoshiro256 rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.access(rng.below(1 << 16)));
+  }
+}
+BENCHMARK(BM_LruCacheAccess);
+
+void BM_TreapPriorityHash(benchmark::State& state) {
+  std::int64_t k = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(T::priority_of(++k));
+  }
+}
+BENCHMARK(BM_TreapPriorityHash);
+
+}  // namespace
+
+BENCHMARK_MAIN();

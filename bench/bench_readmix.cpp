@@ -1,0 +1,143 @@
+// Experiment E11 — read-fraction sweep (§2's "read-only operations scale
+// extremely well").
+//
+// The paper's §2 predicts perfect read-side scaling (readers share an
+// immutable version, no coordination) and the surprising part is that
+// even the 0%-read column scales. This bench sweeps the read fraction
+// from pure-write to pure-read:
+//   * real threads: UC treap, mixed contains/insert/erase at each ratio
+//     (time-shared on this host — recorded as-is);
+//   * simulator: reads complete without a CAS, which is exactly the
+//     model's noop path, so the noop_fraction knob doubles as the read
+//     ratio with per-process private caches.
+// Expected shape: speedup grows monotonically with the read fraction, and
+// the pure-read column scales ~linearly in P while pure-write saturates
+// near the paper's Ω(log N) bound.
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "alloc/pool_alloc.hpp"
+#include "alloc/thread_cache_alloc.hpp"
+#include "bench_util/runner.hpp"
+#include "core/atom.hpp"
+#include "model/sim.hpp"
+#include "persist/treap.hpp"
+#include "reclaim/epoch.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace pathcopy;
+using Treap = persist::Treap<std::int64_t, std::int64_t>;
+
+constexpr std::int64_t kKeyRange = 1 << 16;
+
+double run_real(std::size_t procs, unsigned read_pct, int duration_ms) {
+  alloc::PoolBackend pool;
+  reclaim::EpochReclaimer smr;
+  core::Atom<Treap, reclaim::EpochReclaimer, alloc::ThreadCache> atom(smr,
+                                                                      pool);
+  {
+    // Pre-fill to half the key range so reads hit roughly half the time.
+    alloc::ThreadCache cache(pool);
+    core::Atom<Treap, reclaim::EpochReclaimer, alloc::ThreadCache>::Ctx ctx(
+        smr, cache);
+    util::Xoshiro256 rng(99);
+    for (std::int64_t i = 0; i < kKeyRange / 2; ++i) {
+      const std::int64_t k = rng.range(0, kKeyRange);
+      atom.update(ctx, [k](Treap t, auto& b) { return t.insert(b, k, k); });
+    }
+  }
+  const auto run = bench::run_timed(
+      procs, std::chrono::milliseconds(duration_ms),
+      [&](std::size_t tid, const std::atomic<bool>& stop) -> std::uint64_t {
+        alloc::ThreadCache cache(pool);
+        core::Atom<Treap, reclaim::EpochReclaimer, alloc::ThreadCache>::Ctx
+            ctx(smr, cache);
+        util::Xoshiro256 rng(tid * 7919 + 13);
+        std::uint64_t ops = 0;
+        while (!stop.load(std::memory_order_relaxed)) {
+          const std::int64_t k = rng.range(0, kKeyRange);
+          if (rng.below(100) < read_pct) {
+            atom.read(ctx, [k](Treap t) { return t.contains(k); });
+          } else if (rng.chance(1, 2)) {
+            atom.update(ctx,
+                        [k](Treap t, auto& b) { return t.insert(b, k, k); });
+          } else {
+            atom.update(ctx, [k](Treap t, auto& b) { return t.erase(b, k); });
+          }
+          ++ops;
+        }
+        return ops;
+      });
+  return run.ops_per_sec();
+}
+
+double run_sim(std::size_t procs, unsigned read_pct) {
+  model::SimConfig cfg;
+  cfg.num_leaves = 1 << 18;
+  cfg.cache_lines = 1 << 13;
+  cfg.miss_cost = 100;
+  cfg.processes = procs;
+  cfg.ops = 12000;
+  cfg.noop_fraction = read_pct / 100.0;
+  cfg.seed = 42;
+  return model::run_protocol_sim(cfg).throughput() * 1e6;  // ops/Mtick
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int duration_ms = 200;
+  std::vector<std::size_t> procs{1, 2, 4, 8, 16};
+  bool sim_only = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      duration_ms = 80;
+      procs = {1, 4};
+    }
+    if (std::strcmp(argv[i], "--sim-only") == 0) sim_only = true;
+  }
+  const std::vector<unsigned> mixes{0, 50, 90, 100};
+
+  std::printf("### E11: read-fraction sweep (S2 read-scaling claim)\n\n");
+
+  std::printf("== simulated (ops/Mtick; private-cache model, reads = no-CAS "
+              "traversals) ==\n");
+  std::printf("%-10s", "read%");
+  for (const auto p : procs) std::printf("  %8zup", p);
+  std::printf("   scaling 1p->%zup\n", procs.back());
+  for (const unsigned mix : mixes) {
+    std::printf("%-10u", mix);
+    double first = 0, last = 0;
+    for (const auto p : procs) {
+      const double t = run_sim(p, mix);
+      if (p == procs.front()) first = t;
+      last = t;
+      std::printf("  %9.0f", t);
+    }
+    std::printf("   %5.2fx\n", first == 0 ? 0.0 : last / first);
+  }
+
+  if (!sim_only) {
+    std::printf("\n== measured (real threads, ops/s; %zu hw thread(s) — "
+                "oversubscribed columns time-share) ==\n",
+                bench::hardware_threads());
+    std::printf("%-10s", "read%");
+    for (const auto p : procs) std::printf("  %8zup", p);
+    std::printf("\n");
+    for (const unsigned mix : mixes) {
+      std::printf("%-10u", mix);
+      for (const auto p : procs) {
+        std::printf("  %9.0f", run_real(p, mix, duration_ms));
+      }
+      std::printf("\n");
+    }
+  }
+
+  std::printf("\nexpected shape: throughput rises with read%% at every P; "
+              "pure reads scale near-linearly in P (no serialization), "
+              "pure writes saturate at the paper's bound.\n");
+  return 0;
+}

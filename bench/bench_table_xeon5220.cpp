@@ -1,0 +1,26 @@
+// Experiment E1 — the paper's §4 headline table (Intel Xeon 5220, 18 cores).
+//
+//   Workload  Seq Treap  UC 1p   UC 4p   UC 10p  UC 17p
+//   Batch     451 940    0.89x   1.23x   1.47x   1.47x
+//   Random    419 736    1.48x   2.38x   3.07x   3.19x
+//
+// Shape to reproduce: UC 1p below 1x on Batch (path-copy overhead), rising
+// speedup that saturates near the highest process count, Random scaling
+// roughly twice as well as Batch (half its operations are no-op reads).
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  pathcopy::bench::TableBenchConfig cfg;
+  cfg.title = "E1: Section 4 table — Intel Xeon 5220 (18 cores)";
+  cfg.procs = {1, 4, 10, 17};
+  cfg.paper_batch_seq = 451940;
+  cfg.paper_random_seq = 419736;
+  cfg.paper_batch = {0.89, 1.23, 1.47, 1.47};
+  cfg.paper_random = {1.48, 2.38, 3.07, 3.19};
+  // Mild allocator contention: saturates within 17 processes, no decline
+  // (this machine's table shows flattening, not collapse).
+  cfg.sim_alloc_ticks = 10;
+  cfg.sim_alloc_batch = 32;
+  cfg.sim_alloc_contention = 4;
+  return pathcopy::bench::run_table_bench(cfg, argc, argv);
+}

@@ -1,0 +1,300 @@
+#include "common.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <iostream>
+
+#include "alloc/pool_alloc.hpp"
+#include "alloc/thread_cache_alloc.hpp"
+#include "bench_util/runner.hpp"
+#include "bench_util/table.hpp"
+#include "bench_util/workloads.hpp"
+#include "core/atom.hpp"
+#include "model/sim.hpp"
+#include "persist/treap.hpp"
+#include "reclaim/epoch.hpp"
+#include "seq/seq_treap.hpp"
+#include "util/rng.hpp"
+
+namespace pathcopy::bench {
+namespace {
+
+using T = persist::Treap<std::int64_t, std::int64_t>;
+using Smr = reclaim::EpochReclaimer;
+using Alloc = alloc::ThreadCache;
+using Uc = core::Atom<T, Smr, Alloc>;
+
+constexpr std::uint64_t kSeed = 0xbe9cULL;
+
+// ---------- real-thread measurement ----------
+
+// Sequential baselines: one thread, mutable treap, plain new/delete (the
+// closest C++ analogue of the paper's Java "Seq Treap").
+
+double seq_batch_ops_per_sec(const BatchKeys& keys, int duration_ms) {
+  seq::SeqTreap<std::int64_t, std::int64_t> treap;
+  for (const auto k : keys.initial) treap.insert(k, k);
+  const auto& mine = keys.per_thread.front();
+  std::uint64_t ops = 0;
+  const auto start = std::chrono::steady_clock::now();
+  const auto deadline = start + std::chrono::milliseconds(duration_ms);
+  for (;;) {
+    for (const auto k : mine) {
+      treap.insert(k, k);
+      ++ops;
+    }
+    for (const auto k : mine) {
+      treap.erase(k);
+      ++ops;
+    }
+    if (std::chrono::steady_clock::now() >= deadline) break;
+  }
+  const double secs = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+  return static_cast<double>(ops) / secs;
+}
+
+double seq_random_ops_per_sec(const std::vector<std::int64_t>& initial,
+                              std::int64_t lo, std::int64_t hi,
+                              int duration_ms) {
+  seq::SeqTreap<std::int64_t, std::int64_t> treap;
+  for (const auto k : initial) treap.insert(k, k);
+  util::Xoshiro256 rng(kSeed);
+  std::uint64_t ops = 0;
+  const auto start = std::chrono::steady_clock::now();
+  const auto deadline = start + std::chrono::milliseconds(duration_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    for (int i = 0; i < 512; ++i) {  // check the clock in chunks
+      const std::int64_t k = rng.range(lo, hi);
+      if (rng.chance(1, 2)) {
+        treap.insert(k, k);
+      } else {
+        treap.erase(k);
+      }
+      ++ops;
+    }
+  }
+  const double secs = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+  return static_cast<double>(ops) / secs;
+}
+
+// UC harness: pre-fills once, then runs each trial with P workers.
+
+struct UcFixture {
+  explicit UcFixture(const std::vector<std::int64_t>& initial)
+      : atom(smr, pool) {
+    alloc::ThreadCache cache(pool);
+    Uc::Ctx ctx(smr, cache);
+    auto sorted = initial;
+    std::sort(sorted.begin(), sorted.end());
+    sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+    std::vector<std::pair<std::int64_t, std::int64_t>> items;
+    items.reserve(sorted.size());
+    for (const auto k : sorted) items.emplace_back(k, k);
+    atom.update(ctx, [&](T, auto& b) {
+      return T::from_sorted(b, items.begin(), items.end());
+    });
+  }
+
+  alloc::PoolBackend pool;
+  Smr smr;
+  Uc atom;
+};
+
+double uc_batch_ops_per_sec(UcFixture& fx, const BatchKeys& keys,
+                            std::size_t procs, int duration_ms) {
+  const auto run = run_timed(
+      procs, std::chrono::milliseconds(duration_ms),
+      [&](std::size_t tid, const std::atomic<bool>& stop) -> std::uint64_t {
+        alloc::ThreadCache cache(fx.pool);
+        Uc::Ctx ctx(fx.smr, cache);
+        const auto& mine = keys.per_thread[tid];
+        std::uint64_t ops = 0;
+        while (!stop.load(std::memory_order_relaxed)) {
+          for (const auto k : mine) {
+            fx.atom.update(ctx, [k](T t, auto& b) { return t.insert(b, k, k); });
+            ++ops;
+          }
+          for (const auto k : mine) {
+            fx.atom.update(ctx, [k](T t, auto& b) { return t.erase(b, k); });
+            ++ops;
+          }
+        }
+        return ops;
+      });
+  return run.ops_per_sec();
+}
+
+double uc_random_ops_per_sec(UcFixture& fx, std::int64_t lo, std::int64_t hi,
+                             std::size_t procs, int duration_ms) {
+  const auto run = run_timed(
+      procs, std::chrono::milliseconds(duration_ms),
+      [&](std::size_t tid, const std::atomic<bool>& stop) -> std::uint64_t {
+        alloc::ThreadCache cache(fx.pool);
+        Uc::Ctx ctx(fx.smr, cache);
+        util::Xoshiro256 rng(kSeed ^ (tid * 0x9e3779b97f4a7c15ULL));
+        std::uint64_t ops = 0;
+        while (!stop.load(std::memory_order_relaxed)) {
+          const std::int64_t k = rng.range(lo, hi);
+          if (rng.chance(1, 2)) {
+            fx.atom.update(ctx, [k](T t, auto& b) { return t.insert(b, k, k); });
+          } else {
+            fx.atom.update(ctx, [k](T t, auto& b) { return t.erase(b, k); });
+          }
+          ++ops;
+        }
+        return ops;
+      });
+  return run.ops_per_sec();
+}
+
+// ---------- simulated measurement ----------
+
+model::SimConfig sim_config(const TableBenchConfig& cfg, std::size_t procs,
+                            double noop_fraction) {
+  model::SimConfig sim;
+  sim.num_leaves = cfg.sim_leaves;
+  sim.cache_lines = cfg.sim_cache_lines;
+  sim.miss_cost = cfg.sim_miss_cost;
+  sim.processes = procs;
+  sim.ops = cfg.sim_ops;
+  sim.noop_fraction = noop_fraction;
+  sim.alloc_ticks_per_node = cfg.sim_alloc_ticks;
+  sim.alloc_refill_batch = cfg.sim_alloc_batch;
+  sim.alloc_contention_ticks = cfg.sim_alloc_contention;
+  sim.seed = kSeed;
+  return sim;
+}
+
+}  // namespace
+
+int run_table_bench(TableBenchConfig cfg, int argc, char** argv) {
+  bool run_real = true;
+  bool run_sim = true;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      cfg.initial_keys = 100000;
+      cfg.batch_keys_per_thread = 4096;
+      cfg.trials = 1;
+      cfg.duration_ms = 120;
+      cfg.sim_ops = 4000;
+      cfg.sim_leaves = 1 << 17;
+      cfg.sim_cache_lines = 1 << 12;
+    } else if (std::strcmp(argv[i], "--sim-only") == 0) {
+      run_real = false;
+    } else if (std::strcmp(argv[i], "--real-only") == 0) {
+      run_sim = false;
+    } else if (std::strcmp(argv[i], "--trials") == 0 && i + 1 < argc) {
+      cfg.trials = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--duration-ms") == 0 && i + 1 < argc) {
+      cfg.duration_ms = std::atoi(argv[++i]);
+    } else {
+      std::cerr << "usage: " << argv[0]
+                << " [--quick] [--sim-only] [--real-only] [--trials N]"
+                   " [--duration-ms N]\n";
+      return 2;
+    }
+  }
+
+  std::cout << "### " << cfg.title << "\n\n";
+
+  // ---- paper reference ----
+  {
+    SpeedupTable t;
+    t.title = "paper (published)";
+    t.process_counts = cfg.procs;
+    t.rows.push_back({"Batch", cfg.paper_batch_seq, cfg.paper_batch});
+    t.rows.push_back({"Random", cfg.paper_random_seq, cfg.paper_random});
+    print_table(std::cout, t);
+    std::cout << "\n";
+  }
+
+  // ---- real threads on this host ----
+  if (run_real) {
+    const std::size_t max_procs =
+        *std::max_element(cfg.procs.begin(), cfg.procs.end());
+    const auto batch_keys = make_batch_keys(cfg.initial_keys, max_procs,
+                                            cfg.batch_keys_per_thread, kSeed);
+    RandomWorkloadConfig rnd;
+    rnd.initial_inserts = cfg.initial_keys;
+    rnd.lo = -static_cast<std::int64_t>(cfg.initial_keys);
+    rnd.hi = static_cast<std::int64_t>(cfg.initial_keys);
+    const auto random_initial = make_random_initial(rnd, kSeed);
+
+    const auto seq_batch = run_trials(cfg.trials, [&] {
+                             return seq_batch_ops_per_sec(batch_keys, cfg.duration_ms);
+                           }).mean;
+    const auto seq_random =
+        run_trials(cfg.trials, [&] {
+          return seq_random_ops_per_sec(random_initial, rnd.lo, rnd.hi,
+                                        cfg.duration_ms);
+        }).mean;
+
+    SpeedupRow batch_row{"Batch", seq_batch, {}};
+    SpeedupRow random_row{"Random", seq_random, {}};
+    {
+      UcFixture fx(batch_keys.initial);
+      for (const auto p : cfg.procs) {
+        const auto ops = run_trials(cfg.trials, [&] {
+                           return uc_batch_ops_per_sec(fx, batch_keys, p,
+                                                       cfg.duration_ms);
+                         }).mean;
+        batch_row.speedups.push_back(ops / seq_batch);
+      }
+    }
+    {
+      UcFixture fx(random_initial);
+      for (const auto p : cfg.procs) {
+        const auto ops = run_trials(cfg.trials, [&] {
+                           return uc_random_ops_per_sec(fx, rnd.lo, rnd.hi, p,
+                                                        cfg.duration_ms);
+                         }).mean;
+        random_row.speedups.push_back(ops / seq_random);
+      }
+    }
+    SpeedupTable t;
+    t.title = "measured (real threads, " +
+              std::to_string(hardware_threads()) + " hw thread(s) on this host)";
+    t.process_counts = cfg.procs;
+    t.rows.push_back(batch_row);
+    t.rows.push_back(random_row);
+    print_table(std::cout, t);
+    std::cout << "\n";
+  }
+
+  // ---- simulated paper machine ----
+  if (run_sim) {
+    const auto seq_batch = model::run_seq_sim(sim_config(cfg, 1, 0.0));
+    const auto seq_random = model::run_seq_sim(sim_config(cfg, 1, 0.5));
+    SpeedupRow batch_row{"Batch", seq_batch.throughput() * 1e6, {}};
+    SpeedupRow random_row{"Random", seq_random.throughput() * 1e6, {}};
+    for (const auto p : cfg.procs) {
+      const auto conc = model::run_protocol_sim(sim_config(cfg, p, 0.0));
+      batch_row.speedups.push_back(conc.throughput() / seq_batch.throughput());
+    }
+    for (const auto p : cfg.procs) {
+      const auto conc = model::run_protocol_sim(sim_config(cfg, p, 0.5));
+      random_row.speedups.push_back(conc.throughput() / seq_random.throughput());
+    }
+    SpeedupTable t;
+    t.title = "simulated (private-cache model: R=" +
+              std::to_string(cfg.sim_miss_cost) +
+              ", M=" + std::to_string(cfg.sim_cache_lines) + ", alloc " +
+              std::to_string(cfg.sim_alloc_ticks) + "+" +
+              std::to_string(cfg.sim_alloc_contention) +
+              "P ticks per " + std::to_string(cfg.sim_alloc_batch) +
+              "-node refill; Seq column is ops/Mtick)";
+    t.process_counts = cfg.procs;
+    t.rows.push_back(batch_row);
+    t.rows.push_back(random_row);
+    print_table(std::cout, t);
+    std::cout << "\n";
+  }
+  return 0;
+}
+
+}  // namespace pathcopy::bench

@@ -1,0 +1,163 @@
+// Limit order book: order-statistic queries over concurrent snapshots.
+//
+// Each side of the book is a persistent treap keyed by price tick with
+// the resting quantity as the value. Makers add and cancel liquidity,
+// takers lift the best level — all lock-free through the universal
+// construction — while an analytics reader computes best-bid/ask, spread
+// and cumulative depth from immutable snapshots, using the trees' size
+// augmentation (rank / kth / count_range) instead of scans.
+//
+// The point this example makes: a snapshot is one pointer, so "walk the
+// top 5 levels while the book churns" needs no locks, no retry loop, and
+// sees a book state that actually existed.
+#include <atomic>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "alloc/pool_alloc.hpp"
+#include "alloc/thread_cache_alloc.hpp"
+#include "core/atom.hpp"
+#include "persist/treap.hpp"
+#include "reclaim/epoch.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace pathcopy;
+using Book = persist::Treap<std::int64_t, std::int64_t>;  // price -> qty
+using Smr = reclaim::EpochReclaimer;
+using Alloc = alloc::ThreadCache;
+using BookAtom = core::Atom<Book, Smr, Alloc>;
+
+constexpr std::int64_t kMid = 10'000;   // ticks
+constexpr std::int64_t kBand = 200;     // maker placement band around mid
+
+/// Adds quantity at a price level (creating the level if absent).
+void add_liquidity(BookAtom& side, BookAtom::Ctx& ctx, std::int64_t px,
+                   std::int64_t qty) {
+  side.update(ctx, [&](Book book, auto& b) {
+    const std::int64_t* cur = book.find(px);
+    return book.insert_or_assign(b, px, (cur != nullptr ? *cur : 0) + qty);
+  });
+}
+
+/// Removes a whole price level (a cancel, or a fill that sweeps it).
+bool remove_level(BookAtom& side, BookAtom::Ctx& ctx, std::int64_t px) {
+  return side.update(ctx, [&](Book book, auto& b) {
+           return book.erase(b, px);
+         }) == core::UpdateResult::kInstalled;
+}
+
+struct DepthReport {
+  std::int64_t best = 0;
+  std::size_t levels = 0;
+  std::int64_t qty_top5 = 0;
+  std::size_t levels_within_band = 0;
+};
+
+/// One consistent snapshot, several order-statistic queries — no locks.
+DepthReport scan_side(BookAtom& side, BookAtom::Ctx& ctx, bool is_bid) {
+  return side.read(ctx, [&](Book book) {
+    DepthReport r;
+    r.levels = book.size();
+    if (book.empty()) return r;
+    r.best = is_bid ? book.max_node()->key : book.min_node()->key;
+    for (std::size_t i = 0; i < 5 && i < book.size(); ++i) {
+      const auto* lvl =
+          is_bid ? book.kth(book.size() - 1 - i) : book.kth(i);
+      r.qty_top5 += lvl->value;
+    }
+    r.levels_within_band =
+        is_bid ? book.count_range(r.best - kBand, r.best + 1)
+               : book.count_range(r.best, r.best + kBand + 1);
+    return r;
+  });
+}
+
+}  // namespace
+
+int main() {
+  alloc::PoolBackend pool;
+  Smr smr;
+  BookAtom bids(smr, pool);
+  BookAtom asks(smr, pool);
+
+  // Seed both sides with resting liquidity around the mid.
+  {
+    Alloc cache(pool);
+    BookAtom::Ctx ctx(smr, cache);
+    util::Xoshiro256 rng(1);
+    for (int i = 0; i < 400; ++i) {
+      add_liquidity(bids, ctx, kMid - 1 - rng.below(kBand), 10 + rng.below(90));
+      add_liquidity(asks, ctx, kMid + 1 + rng.below(kBand), 10 + rng.below(90));
+    }
+  }
+
+  std::atomic<std::uint64_t> fills{0}, cancels{0}, quotes{0};
+
+  // Two makers, one taker, all lock-free against the same books.
+  std::vector<std::thread> traders;
+  for (int m = 0; m < 2; ++m) {
+    traders.emplace_back([&, m] {
+      Alloc cache(pool);
+      BookAtom::Ctx ctx(smr, cache);
+      util::Xoshiro256 rng(100 + m);
+      for (int i = 0; i < 4000; ++i) {
+        BookAtom& side = rng.chance(1, 2) ? bids : asks;
+        const bool bid_side = &side == &bids;
+        const std::int64_t px = bid_side ? kMid - 1 - rng.below(kBand)
+                                         : kMid + 1 + rng.below(kBand);
+        if (rng.chance(3, 4)) {
+          add_liquidity(side, ctx, px, 10 + rng.below(90));
+          ++quotes;
+        } else if (remove_level(side, ctx, px)) {
+          ++cancels;
+        }
+      }
+    });
+  }
+  traders.emplace_back([&] {
+    Alloc cache(pool);
+    BookAtom::Ctx ctx(smr, cache);
+    util::Xoshiro256 rng(7);
+    for (int i = 0; i < 2000; ++i) {
+      BookAtom& side = rng.chance(1, 2) ? bids : asks;
+      const bool bid_side = &side == &bids;
+      // Lift the current best level: read a snapshot, then erase that
+      // level (the erase is a no-op if someone else swept it first —
+      // exactly the race a matching engine must tolerate).
+      const std::int64_t best = side.read(ctx, [&](Book book) {
+        if (book.empty()) return std::int64_t{0};
+        return bid_side ? book.max_node()->key : book.min_node()->key;
+      });
+      if (best != 0 && remove_level(side, ctx, best)) ++fills;
+    }
+  });
+  for (auto& t : traders) t.join();
+
+  Alloc cache(pool);
+  BookAtom::Ctx ctx(smr, cache);
+  const DepthReport bid = scan_side(bids, ctx, true);
+  const DepthReport ask = scan_side(asks, ctx, false);
+
+  std::printf("order book after %llu quotes, %llu cancels, %llu fills\n",
+              static_cast<unsigned long long>(quotes.load()),
+              static_cast<unsigned long long>(cancels.load()),
+              static_cast<unsigned long long>(fills.load()));
+  std::printf("  bid: best %lld, %zu levels (%zu within band), top-5 qty %lld\n",
+              static_cast<long long>(bid.best), bid.levels,
+              bid.levels_within_band, static_cast<long long>(bid.qty_top5));
+  std::printf("  ask: best %lld, %zu levels (%zu within band), top-5 qty %lld\n",
+              static_cast<long long>(ask.best), ask.levels,
+              ask.levels_within_band, static_cast<long long>(ask.qty_top5));
+  if (bid.best != 0 && ask.best != 0) {
+    std::printf("  spread: %lld ticks, mid %lld\n",
+                static_cast<long long>(ask.best - bid.best),
+                static_cast<long long>((ask.best + bid.best) / 2));
+  }
+  std::printf("  book versions installed: bids v%llu, asks v%llu\n",
+              static_cast<unsigned long long>(bids.version()),
+              static_cast<unsigned long long>(asks.version()));
+  return 0;
+}

@@ -1,0 +1,122 @@
+// Bump-pointer arena with a small recycle list.
+//
+// One Arena per thread. Allocation is a pointer bump; deallocation pushes
+// the block onto a per-size-class free list so that the nodes built by a
+// *failed* CAS attempt (which were never published) are reused by the very
+// next attempt — the cheapest possible failure path. Memory is returned to
+// the OS only when the arena is destroyed or reset, which models the
+// paper's GC'd setting where node death costs the mutator nothing.
+//
+// Retired (published-then-superseded) nodes route to ArenaRetire, whose
+// free is a no-op: versions stay valid until the arena dies, so this policy
+// pairs naturally with reclaim::Leaky or with bounded runs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "alloc/stats.hpp"
+#include "util/align.hpp"
+#include "util/assert.hpp"
+
+namespace pathcopy::alloc {
+
+/// Stable no-op free target for arena-backed nodes. Destructors still run;
+/// the bytes live until the owning arena is reset.
+class ArenaRetire {
+ public:
+  void free_bytes(void*, std::size_t bytes, std::size_t) noexcept {
+    stats_.on_free(bytes);
+  }
+  const AllocStats& stats() const noexcept { return stats_; }
+
+ private:
+  AllocStats stats_;
+};
+
+class Arena {
+ public:
+  using RetireBackend = ArenaRetire;
+
+  static constexpr std::size_t kBlockBytes = 1 << 20;  // 1 MiB slabs
+  static constexpr std::size_t kGranule = 16;
+  static constexpr std::size_t kMaxRecycled = 1024;  // bytes; larger blocks are not recycled
+  static constexpr std::size_t kClasses = kMaxRecycled / kGranule;
+
+  Arena() = default;
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  void* allocate(std::size_t bytes, [[maybe_unused]] std::size_t align) {
+    PC_DASSERT(align <= alignof(std::max_align_t), "arena supports natural alignment only");
+    const std::size_t sz = util::round_up(bytes < kGranule ? kGranule : bytes, kGranule);
+    stats_.on_alloc(sz);
+    if (sz <= kMaxRecycled) {
+      auto& head = recycle_[class_of(sz)];
+      if (head != nullptr) {
+        FreeNode* n = head;
+        head = n->next;
+        return n;
+      }
+    }
+    if (static_cast<std::size_t>(end_ - bump_) < sz) {
+      grow(sz);
+    }
+    char* p = bump_;
+    bump_ += sz;
+    return p;
+  }
+
+  void deallocate(void* p, std::size_t bytes, std::size_t) noexcept {
+    const std::size_t sz = util::round_up(bytes < kGranule ? kGranule : bytes, kGranule);
+    stats_.on_free(sz);
+    if (sz <= kMaxRecycled) {
+      auto* n = static_cast<FreeNode*>(p);
+      auto& head = recycle_[class_of(sz)];
+      n->next = head;
+      head = n;
+    }
+    // Larger blocks are simply abandoned until reset(); they are rare
+    // (no node type in this library exceeds kMaxRecycled).
+  }
+
+  RetireBackend* retire_backend() noexcept { return &retire_; }
+
+  /// Drops every block. The caller must guarantee no node allocated from
+  /// this arena is still reachable.
+  void reset() noexcept {
+    blocks_.clear();
+    bump_ = end_ = nullptr;
+    for (auto& head : recycle_) head = nullptr;
+  }
+
+  std::size_t block_count() const noexcept { return blocks_.size(); }
+  const AllocStats& stats() const noexcept { return stats_; }
+
+ private:
+  struct FreeNode {
+    FreeNode* next;
+  };
+
+  static std::size_t class_of(std::size_t rounded) noexcept {
+    return rounded / kGranule - 1;
+  }
+
+  void grow(std::size_t need) {
+    const std::size_t size = need > kBlockBytes ? need : kBlockBytes;
+    blocks_.push_back(std::make_unique<char[]>(size));
+    bump_ = blocks_.back().get();
+    end_ = bump_ + size;
+  }
+
+  std::vector<std::unique_ptr<char[]>> blocks_;
+  char* bump_ = nullptr;
+  char* end_ = nullptr;
+  FreeNode* recycle_[kClasses]{};
+  ArenaRetire retire_;
+  AllocStats stats_;
+};
+
+}  // namespace pathcopy::alloc

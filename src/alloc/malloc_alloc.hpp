@@ -1,0 +1,53 @@
+// Default allocator policy: forwards to the global operator new/delete.
+//
+// This plays the role of the JVM allocator in the paper's setting: a single
+// process-wide allocator whose internal synchronization is opaque to us.
+// Appendix B of the paper blames the (Java) allocator for throughput
+// collapse at high process counts; bench_ablation_alloc compares this
+// policy against the pooled policies in this directory.
+#pragma once
+
+#include <cstddef>
+#include <new>
+
+#include "alloc/stats.hpp"
+
+namespace pathcopy::alloc {
+
+class MallocAlloc {
+ public:
+  /// Retired nodes are freed through a stable, thread-safe backend object.
+  /// For malloc the view *is* the backend (operator delete is thread-safe).
+  using RetireBackend = MallocAlloc;
+
+  void* allocate(std::size_t bytes, std::size_t align) {
+    stats_.on_alloc(bytes);
+    if (align > __STDCPP_DEFAULT_NEW_ALIGNMENT__) {
+      return ::operator new(bytes, std::align_val_t{align});
+    }
+    return ::operator new(bytes);
+  }
+
+  void deallocate(void* p, std::size_t bytes, std::size_t align) noexcept {
+    stats_.on_free(bytes);
+    if (align > __STDCPP_DEFAULT_NEW_ALIGNMENT__) {
+      ::operator delete(p, bytes, std::align_val_t{align});
+    } else {
+      ::operator delete(p, bytes);
+    }
+  }
+
+  /// Thread-safe free path used by reclaimers draining retired nodes.
+  void free_bytes(void* p, std::size_t bytes, std::size_t align) noexcept {
+    deallocate(p, bytes, align);
+  }
+
+  RetireBackend* retire_backend() noexcept { return this; }
+
+  const AllocStats& stats() const noexcept { return stats_; }
+
+ private:
+  AllocStats stats_;
+};
+
+}  // namespace pathcopy::alloc

@@ -1,0 +1,83 @@
+#include "alloc/pool_alloc.hpp"
+
+#include <new>
+
+#include "util/assert.hpp"
+
+namespace pathcopy::alloc {
+
+PoolBackend::~PoolBackend() = default;
+
+void* PoolBackend::allocate(std::size_t bytes, std::size_t align) {
+  if (bytes > kMaxPooled || align > alignof(std::max_align_t)) {
+    stats_.on_alloc(bytes);
+    return ::operator new(bytes, std::align_val_t{align});
+  }
+  const std::size_t cls = class_of(bytes);
+  stats_.on_alloc(class_bytes(cls));
+  std::lock_guard lock(mu_);
+  lock_acquisitions_.fetch_add(1, std::memory_order_relaxed);
+  if (free_[cls] != nullptr) {
+    FreeNode* n = free_[cls];
+    free_[cls] = n->next;
+    return n;
+  }
+  return carve_locked(cls);
+}
+
+void PoolBackend::deallocate(void* p, std::size_t bytes, std::size_t align) noexcept {
+  if (bytes > kMaxPooled || align > alignof(std::max_align_t)) {
+    stats_.on_free(bytes);
+    ::operator delete(p, std::align_val_t{align});
+    return;
+  }
+  const std::size_t cls = class_of(bytes);
+  stats_.on_free(class_bytes(cls));
+  std::lock_guard lock(mu_);
+  lock_acquisitions_.fetch_add(1, std::memory_order_relaxed);
+  auto* n = static_cast<FreeNode*>(p);
+  n->next = free_[cls];
+  free_[cls] = n;
+}
+
+std::size_t PoolBackend::pop_batch(std::size_t size_class, void** out, std::size_t n) {
+  PC_DASSERT(size_class < kClasses, "size class out of range");
+  std::lock_guard lock(mu_);
+  lock_acquisitions_.fetch_add(1, std::memory_order_relaxed);
+  std::size_t got = 0;
+  while (got < n && free_[size_class] != nullptr) {
+    FreeNode* node = free_[size_class];
+    free_[size_class] = node->next;
+    out[got++] = node;
+  }
+  while (got < n) {
+    out[got++] = carve_locked(size_class);
+  }
+  return got;
+}
+
+void PoolBackend::push_batch(std::size_t size_class, void* const* items,
+                             std::size_t n) noexcept {
+  PC_DASSERT(size_class < kClasses, "size class out of range");
+  std::lock_guard lock(mu_);
+  lock_acquisitions_.fetch_add(1, std::memory_order_relaxed);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto* node = static_cast<FreeNode*>(items[i]);
+    node->next = free_[size_class];
+    free_[size_class] = node;
+  }
+}
+
+void* PoolBackend::carve_locked(std::size_t size_class) {
+  const std::size_t sz = class_bytes(size_class);
+  if (static_cast<std::size_t>(end_ - bump_) < sz) {
+    slabs_.push_back(std::make_unique<char[]>(kSlabBytes));
+    bump_ = slabs_.back().get();
+    end_ = bump_ + kSlabBytes;
+  }
+  char* p = bump_;
+  bump_ += sz;
+  return p;
+}
+
+}  // namespace pathcopy::alloc

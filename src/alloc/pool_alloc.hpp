@@ -1,0 +1,99 @@
+// Globally shared, mutex-protected size-class pool.
+//
+// This is the *intentionally contended* allocator: every allocate and free
+// takes one process-wide lock. It exists as the lower bound in the
+// allocator ablation (experiment E6) — the paper conjectures that a shared
+// allocator is what caps scaling at high process counts (Appendix B), and
+// this policy lets us reproduce that collapse on demand. ThreadCache
+// (thread_cache_alloc.hpp) layers per-thread magazines on top of the same
+// backend to remove the contention.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "alloc/stats.hpp"
+#include "util/align.hpp"
+
+namespace pathcopy::alloc {
+
+class PoolBackend {
+ public:
+  static constexpr std::size_t kGranule = 16;
+  static constexpr std::size_t kMaxPooled = 512;  // larger blocks go to operator new
+  static constexpr std::size_t kClasses = kMaxPooled / kGranule;
+  static constexpr std::size_t kSlabBytes = 1 << 18;  // 256 KiB
+
+  PoolBackend() = default;
+  PoolBackend(const PoolBackend&) = delete;
+  PoolBackend& operator=(const PoolBackend&) = delete;
+  ~PoolBackend();
+
+  void* allocate(std::size_t bytes, std::size_t align);
+  void deallocate(void* p, std::size_t bytes, std::size_t align) noexcept;
+
+  /// Thread-safe free path for reclaimers.
+  void free_bytes(void* p, std::size_t bytes, std::size_t align) noexcept {
+    deallocate(p, bytes, align);
+  }
+
+  /// Pops up to n blocks of the given size class into out; carves fresh
+  /// slab space if the free list runs dry. Returns the number provided.
+  std::size_t pop_batch(std::size_t size_class, void** out, std::size_t n);
+
+  /// Returns n blocks of the given size class to the shared free list.
+  void push_batch(std::size_t size_class, void* const* items, std::size_t n) noexcept;
+
+  static std::size_t class_of(std::size_t bytes) noexcept {
+    const std::size_t sz = util::round_up(bytes < kGranule ? kGranule : bytes, kGranule);
+    return sz / kGranule - 1;
+  }
+  static std::size_t class_bytes(std::size_t size_class) noexcept {
+    return (size_class + 1) * kGranule;
+  }
+
+  const AllocStats& stats() const noexcept { return stats_; }
+  std::uint64_t lock_acquisitions() const noexcept {
+    return lock_acquisitions_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct FreeNode {
+    FreeNode* next;
+  };
+
+  // Pre: mu_ held.
+  void* carve_locked(std::size_t size_class);
+
+  std::mutex mu_;
+  FreeNode* free_[kClasses]{};
+  std::vector<std::unique_ptr<char[]>> slabs_;
+  char* bump_ = nullptr;
+  char* end_ = nullptr;
+  AllocStats stats_;
+  std::atomic<std::uint64_t> lock_acquisitions_{0};
+};
+
+/// Allocator view over the shared pool: every call locks the backend.
+class PoolView {
+ public:
+  using RetireBackend = PoolBackend;
+
+  explicit PoolView(PoolBackend& backend) noexcept : backend_(&backend) {}
+
+  void* allocate(std::size_t bytes, std::size_t align) {
+    return backend_->allocate(bytes, align);
+  }
+  void deallocate(void* p, std::size_t bytes, std::size_t align) noexcept {
+    backend_->deallocate(p, bytes, align);
+  }
+  RetireBackend* retire_backend() noexcept { return backend_; }
+
+ private:
+  PoolBackend* backend_;
+};
+
+}  // namespace pathcopy::alloc

@@ -1,0 +1,40 @@
+// Allocation counters shared by all allocator policies.
+//
+// Counters are relaxed atomics: they are diagnostics (leak checks in tests,
+// throughput attribution in benches), never synchronization.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace pathcopy::alloc {
+
+struct AllocStats {
+  std::atomic<std::uint64_t> allocs{0};
+  std::atomic<std::uint64_t> frees{0};
+  std::atomic<std::uint64_t> bytes_allocated{0};
+  std::atomic<std::uint64_t> bytes_freed{0};
+
+  void on_alloc(std::size_t n) noexcept {
+    allocs.fetch_add(1, std::memory_order_relaxed);
+    bytes_allocated.fetch_add(n, std::memory_order_relaxed);
+  }
+  void on_free(std::size_t n) noexcept {
+    frees.fetch_add(1, std::memory_order_relaxed);
+    bytes_freed.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  /// Blocks currently outstanding. Only meaningful once all threads have
+  /// quiesced (relaxed counters give no cross-thread snapshot guarantee).
+  std::uint64_t live_blocks() const noexcept {
+    return allocs.load(std::memory_order_relaxed) -
+           frees.load(std::memory_order_relaxed);
+  }
+  std::uint64_t live_bytes() const noexcept {
+    return bytes_allocated.load(std::memory_order_relaxed) -
+           bytes_freed.load(std::memory_order_relaxed);
+  }
+};
+
+}  // namespace pathcopy::alloc

@@ -1,0 +1,90 @@
+// Per-thread magazine cache over the shared PoolBackend.
+//
+// Each worker thread owns one ThreadCache. Allocations pop from a local
+// free list; the shared pool is touched only to refill or flush a whole
+// magazine (kBatch blocks per lock acquisition), so steady-state allocation
+// is lock-free and cache-local. This is the "fixed allocator" arm of
+// experiment E6: the paper attributes its high-core-count collapse to the
+// Java allocator, and this policy demonstrates that a thread-cached
+// allocator removes that ceiling.
+#pragma once
+
+#include <cstddef>
+
+#include "alloc/pool_alloc.hpp"
+#include "alloc/stats.hpp"
+#include "util/assert.hpp"
+
+namespace pathcopy::alloc {
+
+class ThreadCache {
+ public:
+  using RetireBackend = PoolBackend;
+
+  static constexpr std::size_t kBatch = 64;   // blocks moved per backend trip
+  static constexpr std::size_t kHighWater = 2 * kBatch;
+
+  explicit ThreadCache(PoolBackend& backend) noexcept : backend_(&backend) {}
+  ThreadCache(const ThreadCache&) = delete;
+  ThreadCache& operator=(const ThreadCache&) = delete;
+  ~ThreadCache() { flush(); }
+
+  void* allocate(std::size_t bytes, std::size_t align) {
+    if (bytes > PoolBackend::kMaxPooled || align > alignof(std::max_align_t)) {
+      return backend_->allocate(bytes, align);
+    }
+    const std::size_t cls = PoolBackend::class_of(bytes);
+    stats_.on_alloc(PoolBackend::class_bytes(cls));
+    auto& mag = mags_[cls];
+    if (mag.count == 0) {
+      mag.count = backend_->pop_batch(cls, mag.items, kBatch);
+      PC_DASSERT(mag.count > 0, "backend refill returned nothing");
+    }
+    return mag.items[--mag.count];
+  }
+
+  void deallocate(void* p, std::size_t bytes, std::size_t align) noexcept {
+    if (bytes > PoolBackend::kMaxPooled || align > alignof(std::max_align_t)) {
+      backend_->deallocate(p, bytes, align);
+      return;
+    }
+    const std::size_t cls = PoolBackend::class_of(bytes);
+    stats_.on_free(PoolBackend::class_bytes(cls));
+    auto& mag = mags_[cls];
+    if (mag.count == kHighWater) {
+      // Return the older half so the hottest blocks stay local.
+      backend_->push_batch(cls, mag.items, kBatch);
+      mag.count -= kBatch;
+      for (std::size_t i = 0; i < mag.count; ++i) {
+        mag.items[i] = mag.items[i + kBatch];
+      }
+    }
+    mag.items[mag.count++] = p;
+  }
+
+  /// Returns every cached block to the backend (run at thread exit).
+  void flush() noexcept {
+    for (std::size_t cls = 0; cls < PoolBackend::kClasses; ++cls) {
+      auto& mag = mags_[cls];
+      if (mag.count > 0) {
+        backend_->push_batch(cls, mag.items, mag.count);
+        mag.count = 0;
+      }
+    }
+  }
+
+  RetireBackend* retire_backend() noexcept { return backend_; }
+  const AllocStats& stats() const noexcept { return stats_; }
+
+ private:
+  struct Magazine {
+    void* items[kHighWater];
+    std::size_t count = 0;
+  };
+
+  PoolBackend* backend_;
+  Magazine mags_[PoolBackend::kClasses]{};
+  AllocStats stats_;
+};
+
+}  // namespace pathcopy::alloc

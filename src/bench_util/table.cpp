@@ -1,0 +1,52 @@
+#include "bench_util/table.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace pathcopy::bench {
+
+std::string format_speedup(double ratio) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2fx", ratio);
+  return buf;
+}
+
+std::string format_throughput(double ops_per_sec) {
+  // Thousands separated by spaces, paper style ("451 940").
+  auto v = static_cast<long long>(std::llround(ops_per_sec));
+  std::string digits = std::to_string(v < 0 ? -v : v);
+  std::string out;
+  const std::size_t n = digits.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i > 0 && (n - i) % 3 == 0) out.push_back(' ');
+    out.push_back(digits[i]);
+  }
+  if (v < 0) out.insert(out.begin(), '-');
+  return out;
+}
+
+void print_table(std::ostream& os, const SpeedupTable& table) {
+  os << "== " << table.title << " ==\n";
+  os << std::left << std::setw(12) << "Workload" << std::right << std::setw(14)
+     << "Seq Treap";
+  for (const std::size_t p : table.process_counts) {
+    std::ostringstream head;
+    head << "UC " << p << "p";
+    os << std::setw(10) << head.str();
+  }
+  os << "\n";
+  for (const auto& row : table.rows) {
+    os << std::left << std::setw(12) << row.workload << std::right
+       << std::setw(14) << format_throughput(row.seq_ops_per_sec);
+    for (const double s : row.speedups) {
+      os << std::setw(10) << format_speedup(s);
+    }
+    os << "\n";
+  }
+  os.flush();
+}
+
+}  // namespace pathcopy::bench

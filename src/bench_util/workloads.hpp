@@ -1,0 +1,81 @@
+// Workload generators for the paper's two §4 experiments.
+//
+// Batch (§4.1): a set pre-filled with `initial` random keys; each process
+// owns a disjoint key set and loops "insert all of mine, then remove all
+// of mine" — every operation is a successful modification.
+//
+// Random (§4.2): pre-fill by inserting `initial` draws from [lo, hi]
+// (duplicates collapse, as in the paper); each process then repeatedly
+// draws a key from the range and inserts or removes it with probability
+// 1/2 — about half the operations are semantic no-ops.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace pathcopy::bench {
+
+struct BatchKeys {
+  std::vector<std::int64_t> initial;                    // unique
+  std::vector<std::vector<std::int64_t>> per_thread;    // mutually disjoint,
+                                                        // disjoint from initial
+};
+
+/// Generates the Batch workload's key material. Keys are unique across
+/// the initial set and all per-thread sets.
+inline BatchKeys make_batch_keys(std::size_t initial_count, std::size_t threads,
+                                 std::size_t keys_per_thread,
+                                 std::uint64_t seed) {
+  BatchKeys out;
+  util::Xoshiro256 rng(seed);
+  std::unordered_set<std::int64_t> used;
+  used.reserve(initial_count + threads * keys_per_thread);
+
+  auto fresh_key = [&]() {
+    for (;;) {
+      const auto k = static_cast<std::int64_t>(rng());
+      if (used.insert(k).second) return k;
+    }
+  };
+
+  out.initial.reserve(initial_count);
+  for (std::size_t i = 0; i < initial_count; ++i) out.initial.push_back(fresh_key());
+  out.per_thread.resize(threads);
+  for (auto& keys : out.per_thread) {
+    keys.reserve(keys_per_thread);
+    for (std::size_t i = 0; i < keys_per_thread; ++i) keys.push_back(fresh_key());
+  }
+  return out;
+}
+
+struct RandomWorkloadConfig {
+  std::size_t initial_inserts = 1000000;
+  std::int64_t lo = -1000000;
+  std::int64_t hi = 1000000;
+};
+
+/// The paper's Random pre-fill: `initial_inserts` draws, duplicates and
+/// all (the resulting set is smaller than the draw count).
+inline std::vector<std::int64_t> make_random_initial(const RandomWorkloadConfig& cfg,
+                                                     std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<std::int64_t> draws;
+  draws.reserve(cfg.initial_inserts);
+  for (std::size_t i = 0; i < cfg.initial_inserts; ++i) {
+    draws.push_back(rng.range(cfg.lo, cfg.hi));
+  }
+  return draws;
+}
+
+/// Deduplicated, sorted version of the random pre-fill (for bulk loads).
+inline std::vector<std::int64_t> dedup_sorted(std::vector<std::int64_t> v) {
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+  return v;
+}
+
+}  // namespace pathcopy::bench

@@ -1,0 +1,138 @@
+// Atom: the paper's universal construction.
+//
+// One Read/CAS register (Root_Ptr) holds the root of the current version
+// of a persistent structure. Queries load the root under a reclaimer
+// guard and run sequential code on the immutable snapshot. Updates
+// path-copy a candidate version and try to swing the root with a single
+// CAS, retrying from the new current version on failure (§2 of the
+// paper). The construction is lock-free: a CAS failure implies some other
+// update succeeded.
+//
+// The retry loop is exactly the code path whose cache behaviour the paper
+// analyzes: a failed attempt leaves the search path resident in the
+// retrying thread's cache, and because path copying shares everything off
+// the copied path, the retry misses only on the ~2 nodes the winning
+// update replaced (§3).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <utility>
+
+#include "core/builder.hpp"
+#include "core/thread_context.hpp"
+#include "util/align.hpp"
+#include "util/assert.hpp"
+
+namespace pathcopy::core {
+
+/// Outcome of Atom::update.
+enum class UpdateResult : std::uint8_t {
+  kInstalled,  // a new version was published
+  kNoChange,   // the operation was a semantic no-op on the current version
+};
+
+template <class DS, class Smr, class Alloc>
+class Atom {
+ public:
+  using Node = typename DS::Node;
+  using Ctx = ThreadContext<Smr, Alloc>;
+  using RetireBackend = typename Alloc::RetireBackend;
+
+  /// The retire backend is kept for teardown: the destructor frees the
+  /// final version through it. It must outlive the Atom.
+  Atom(Smr& smr, RetireBackend& backend) : smr_(&smr), backend_(&backend) {
+    if constexpr (requires(Smr s) { s.note_root(nullptr, std::uint64_t{0}); }) {
+      smr_->note_root(root_.load(std::memory_order_relaxed), 1);
+    }
+  }
+
+  Atom(const Atom&) = delete;
+  Atom& operator=(const Atom&) = delete;
+
+  ~Atom() {
+    const auto* root = static_cast<const Node*>(root_.load(std::memory_order_acquire));
+    DS::destroy(root, *backend_);
+  }
+
+  /// Runs f on an immutable snapshot of the current version. f must not
+  /// retain references past its return (the guard ends with the call);
+  /// use snapshot-capable reclaimers for long-lived views.
+  template <class F>
+  decltype(auto) read(Ctx& ctx, F&& f) const {
+    ++ctx.stats.reads;
+    auto guard = smr_->pin(ctx.smr_handle, root_, version_);
+    return std::forward<F>(f)(DS::from_root(guard.root()));
+  }
+
+  /// Applies f : (DS current, Builder&) -> DS candidate, retrying until a
+  /// CAS installs the candidate. Returning a handle with the same root as
+  /// the input signals a semantic no-op (e.g. inserting a present key) and
+  /// skips the CAS entirely — the paper's "unsuccessful modification".
+  template <class F>
+  UpdateResult update(Ctx& ctx, F&& f) {
+    Builder<Alloc> builder(*ctx.alloc);
+    for (;;) {
+      builder.reset();
+      ++ctx.stats.attempts;
+      auto guard = smr_->pin(ctx.smr_handle, root_, version_);
+      const void* cur = guard.root();
+      DS next = f(DS::from_root(cur), builder);
+      const void* next_root = next.root_ptr();
+      if (next_root == cur) {
+        builder.rollback();
+        ++ctx.stats.noop_updates;
+        return UpdateResult::kNoChange;
+      }
+      builder.seal();
+      const void* expected = cur;
+      if (root_.compare_exchange_strong(expected, next_root,
+                                        std::memory_order_seq_cst,
+                                        std::memory_order_relaxed)) {
+        // Version is bumped after the root swings, so the counter always
+        // trails the root — the invariant the watermark reclaimer's
+        // pin-then-load protocol relies on.
+        const std::uint64_t death =
+            version_.fetch_add(1, std::memory_order_seq_cst) + 1;
+        smr_->retire_bundle(ctx.smr_handle, death, cur, next_root,
+                            builder.commit());
+        ++ctx.stats.updates;
+        return UpdateResult::kInstalled;
+      }
+      builder.rollback();
+      ++ctx.stats.cas_failures;
+      // Loop: reread the (new) current version and rebuild. The nodes we
+      // just recycled and the path we just walked are hot in cache.
+    }
+  }
+
+  /// Current version counter (1 on construction, +1 per installed update).
+  std::uint64_t version() const noexcept {
+    return version_.load(std::memory_order_acquire);
+  }
+
+  /// Unguarded size probe — safe because size is read from the root node
+  /// itself, which a concurrent reclaimer cannot free while it is current;
+  /// callers needing linearizable reads should use read().
+  std::size_t size(Ctx& ctx) const {
+    return read(ctx, [](DS snapshot) { return snapshot.size(); });
+  }
+
+  /// For reclaimers supporting long-lived snapshots (WatermarkReclaimer).
+  template <class S = Smr>
+  auto snapshot() const -> decltype(std::declval<S&>().pin_snapshot(
+      std::declval<const std::atomic<const void*>&>(),
+      std::declval<const std::atomic<std::uint64_t>&>())) {
+    return smr_->pin_snapshot(root_, version_);
+  }
+
+  Smr& reclaimer() noexcept { return *smr_; }
+
+ private:
+  alignas(util::kCacheLine) std::atomic<const void*> root_{nullptr};
+  alignas(util::kCacheLine) std::atomic<std::uint64_t> version_{1};
+  Smr* smr_;
+  RetireBackend* backend_;
+};
+
+}  // namespace pathcopy::core

@@ -1,0 +1,160 @@
+// Builder: the per-attempt recorder that makes path copying reclaimable.
+//
+// A modifying operation runs against an immutable version and produces a
+// candidate new version. While doing so it:
+//
+//   * allocates every new node through builder.create<N>(...), which tags
+//     the node kFresh and remembers how to destroy it, and
+//   * declares every node it copies *out of the current version* via
+//     builder.supersede(n).
+//
+// The universal construction then resolves the attempt:
+//
+//   * CAS won  — commit(): superseded published nodes become a retire
+//     bundle for the reclaimer (they are still visible to readers of older
+//     versions); fresh-dead nodes are recycled to the allocator instantly
+//     (they were never published, no grace period applies).
+//   * CAS lost — rollback(): every fresh node is recycled instantly, and
+//     the superseded list is discarded. This immediate-reuse property is
+//     what makes a failed attempt cheap: the retry allocates the same
+//     still-cache-hot blocks again.
+//
+// seal() must be called after the candidate is final and before the CAS:
+// it downgrades surviving fresh nodes to kPublished while they are still
+// thread-private, so no post-publication write to shared memory occurs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "core/node_base.hpp"
+#include "reclaim/retired.hpp"
+#include "util/assert.hpp"
+
+namespace pathcopy::core {
+
+struct BuilderStats {
+  std::uint64_t created = 0;
+  std::uint64_t superseded_published = 0;
+  std::uint64_t superseded_fresh = 0;
+  std::uint64_t recycled = 0;
+};
+
+template <class Alloc>
+class Builder {
+ public:
+  using RetireBackend = typename Alloc::RetireBackend;
+
+  explicit Builder(Alloc& alloc) noexcept : alloc_(&alloc) {}
+  Builder(const Builder&) = delete;
+  Builder& operator=(const Builder&) = delete;
+
+  /// Anything not committed is treated as a failed attempt.
+  ~Builder() {
+    if (!resolved_) rollback();
+  }
+
+  /// Allocates and constructs a node for the candidate version.
+  template <class N, class... Args>
+  const N* create(Args&&... args) {
+    static_assert(std::is_base_of_v<PNode, N>, "nodes must derive from core::PNode");
+    void* raw = alloc_->allocate(sizeof(N), alignof(N));
+    N* node = ::new (raw) N(std::forward<Args>(args)...);
+    node->pc_state_ = NodeState::kFresh;
+    fresh_.push_back(FreshRec{node, &kill_thunk<N>});
+    ++stats_.created;
+    return node;
+  }
+
+  /// Declares that the candidate version no longer references n (the
+  /// caller copied or dropped it). Published nodes join the retire set;
+  /// fresh nodes are flagged dead and recycled when the attempt resolves.
+  template <class N>
+  void supersede(const N* n) noexcept {
+    static_assert(std::is_base_of_v<PNode, N>, "nodes must derive from core::PNode");
+    if (n->pc_state_ == NodeState::kPublished) {
+      superseded_.push_back(reclaim::make_retired(n, alloc_->retire_backend()));
+      ++stats_.superseded_published;
+    } else {
+      n->pc_state_ = NodeState::kFreshDead;
+      ++stats_.superseded_fresh;
+    }
+  }
+
+  /// Finalizes surviving fresh nodes to kPublished. Call exactly once,
+  /// after the candidate is complete and before attempting the CAS.
+  void seal() noexcept {
+    PC_DASSERT(!sealed_, "seal called twice");
+    for (const FreshRec& rec : fresh_) {
+      PNode* node = static_cast<PNode*>(rec.p);
+      if (node->pc_state_ == NodeState::kFresh) {
+        node->pc_state_ = NodeState::kPublished;
+      }
+    }
+    sealed_ = true;
+  }
+
+  /// CAS won: recycle fresh-dead nodes, hand back the retire set.
+  std::vector<reclaim::Retired> commit() noexcept {
+    PC_DASSERT(sealed_, "commit without seal");
+    for (const FreshRec& rec : fresh_) {
+      PNode* node = static_cast<PNode*>(rec.p);
+      if (node->pc_state_ == NodeState::kFreshDead) {
+        rec.kill(rec.p, *alloc_);
+        ++stats_.recycled;
+      }
+    }
+    fresh_.clear();
+    resolved_ = true;
+    return std::move(superseded_);
+  }
+
+  /// CAS lost (or the operation was abandoned): recycle everything this
+  /// attempt allocated; forget the superseded set.
+  void rollback() noexcept {
+    for (const FreshRec& rec : fresh_) {
+      rec.kill(rec.p, *alloc_);
+      ++stats_.recycled;
+    }
+    fresh_.clear();
+    superseded_.clear();
+    resolved_ = true;
+  }
+
+  /// Re-arms the builder for the next attempt of a retry loop.
+  void reset() noexcept {
+    if (!resolved_) rollback();
+    resolved_ = false;
+    sealed_ = false;
+  }
+
+  const BuilderStats& stats() const noexcept { return stats_; }
+  std::size_t fresh_count() const noexcept { return fresh_.size(); }
+  std::size_t superseded_count() const noexcept { return superseded_.size(); }
+
+ private:
+  struct FreshRec {
+    void* p;
+    void (*kill)(void*, Alloc&) noexcept;
+  };
+
+  template <class N>
+  static void kill_thunk(void* p, Alloc& a) noexcept {
+    auto* node = static_cast<N*>(p);
+    node->~N();
+    a.deallocate(p, sizeof(N), alignof(N));
+  }
+
+  Alloc* alloc_;
+  std::vector<FreshRec> fresh_;
+  std::vector<reclaim::Retired> superseded_;
+  BuilderStats stats_;
+  bool sealed_ = false;
+  bool resolved_ = false;
+};
+
+}  // namespace pathcopy::core

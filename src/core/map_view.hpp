@@ -1,0 +1,129 @@
+// MapView: ergonomic facade over Atom for ordered-map structures.
+//
+// Atom's lambda API is maximally general (arbitrary multi-key atomic
+// transformations), but most call sites want a concurrent std::map-like
+// interface. MapView binds an Atom to one thread's context and exposes
+// the common operations directly. One MapView per thread; construction is
+// cheap (two pointers).
+//
+//   pathcopy::core::MapView view(atom, ctx);
+//   view.insert(42, 7);          // lock-free
+//   view.contains(42);           // wait-free
+//   view.get_or(42, -1);
+//   view.update_value(42, [](int64_t v) { return v + 1; });  // atomic RMW
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <utility>
+
+#include "core/atom.hpp"
+
+namespace pathcopy::core {
+
+template <class DS, class Smr, class Alloc>
+class MapView {
+ public:
+  using AtomT = Atom<DS, Smr, Alloc>;
+  using Ctx = typename AtomT::Ctx;
+  using Key = decltype(std::declval<const DS&>().min_node()->key);
+  using Value = decltype(std::declval<const DS&>().min_node()->value);
+
+  MapView(AtomT& atom, Ctx& ctx) noexcept : atom_(&atom), ctx_(&ctx) {}
+
+  /// Returns true iff the key was newly inserted.
+  bool insert(const Key& key, const Value& value) {
+    return atom_->update(*ctx_, [&](DS m, auto& b) {
+             return m.insert(b, key, value);
+           }) == UpdateResult::kInstalled;
+  }
+
+  /// Inserts or overwrites; always installs a new version.
+  void insert_or_assign(const Key& key, const Value& value) {
+    atom_->update(*ctx_, [&](DS m, auto& b) {
+      return m.insert_or_assign(b, key, value);
+    });
+  }
+
+  /// Returns true iff the key was present and removed.
+  bool erase(const Key& key) {
+    return atom_->update(*ctx_, [&](DS m, auto& b) {
+             return m.erase(b, key);
+           }) == UpdateResult::kInstalled;
+  }
+
+  bool contains(const Key& key) const {
+    return atom_->read(*ctx_, [&](DS m) { return m.contains(key); });
+  }
+
+  /// Copies the value out (the node cannot be referenced past the guard).
+  std::optional<Value> get(const Key& key) const {
+    return atom_->read(*ctx_, [&](DS m) -> std::optional<Value> {
+      const Value* v = m.find(key);
+      if (v == nullptr) return std::nullopt;
+      return *v;
+    });
+  }
+
+  Value get_or(const Key& key, Value fallback) const {
+    auto v = get(key);
+    return v.has_value() ? *std::move(v) : std::move(fallback);
+  }
+
+  /// Atomic read-modify-write of one key's value; no-op when absent.
+  /// Returns true iff a new version was installed.
+  template <class F>
+  bool update_value(const Key& key, F&& f) {
+    return atom_->update(*ctx_, [&](DS m, auto& b) {
+             const Value* v = m.find(key);
+             if (v == nullptr) return m;  // absent: same version
+             return m.insert_or_assign(b, key, f(*v));
+           }) == UpdateResult::kInstalled;
+  }
+
+  /// Inserts if absent, otherwise transforms the existing value. Always
+  /// installs (upsert semantics).
+  template <class F>
+  void upsert(const Key& key, const Value& if_absent, F&& merge) {
+    atom_->update(*ctx_, [&](DS m, auto& b) {
+      const Value* v = m.find(key);
+      if (v == nullptr) return m.insert(b, key, if_absent);
+      return m.insert_or_assign(b, key, merge(*v));
+    });
+  }
+
+  std::size_t size() const {
+    return atom_->read(*ctx_, [](DS m) { return m.size(); });
+  }
+  bool empty() const { return size() == 0; }
+
+  /// Smallest key >= key (by copy), if any.
+  std::optional<Key> ceiling(const Key& key) const {
+    return atom_->read(*ctx_, [&](DS m) -> std::optional<Key> {
+      const auto* n = m.ceiling_node(key);
+      if (n == nullptr) return std::nullopt;
+      return n->key;
+    });
+  }
+
+  /// Number of keys in [lo, hi).
+  std::size_t count_range(const Key& lo, const Key& hi) const {
+    return atom_->read(*ctx_, [&](DS m) { return m.count_range(lo, hi); });
+  }
+
+  /// Runs f(key, value) over a consistent snapshot of the whole map.
+  /// Holds the read guard for the duration — keep f cheap, or use a
+  /// snapshot-capable reclaimer for long scans.
+  template <class F>
+  void for_each(F&& f) const {
+    atom_->read(*ctx_, [&](DS m) { m.for_each(f); });
+  }
+
+  AtomT& atom() noexcept { return *atom_; }
+
+ private:
+  AtomT* atom_;
+  Ctx* ctx_;
+};
+
+}  // namespace pathcopy::core

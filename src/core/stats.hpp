@@ -1,0 +1,41 @@
+// Per-thread operation statistics for the universal construction.
+//
+// Plain (non-atomic) counters owned by one thread's context; aggregate
+// after joining workers. attempts - successes - noops = CAS failures, the
+// quantity the paper's analysis is built on.
+#pragma once
+
+#include <cstdint>
+
+namespace pathcopy::core {
+
+struct OpStats {
+  std::uint64_t reads = 0;
+  std::uint64_t updates = 0;        // update() calls that installed a version
+  std::uint64_t noop_updates = 0;   // update() calls that changed nothing
+  std::uint64_t attempts = 0;       // every pass through the retry loop
+  std::uint64_t cas_failures = 0;
+  // Combining-UC extras (zero for the plain Atom):
+  std::uint64_t combined_ops = 0;        // announced ops absorbed by my installs
+  std::uint64_t helped_completions = 0;  // my ops completed by someone else
+
+  OpStats& operator+=(const OpStats& o) noexcept {
+    reads += o.reads;
+    updates += o.updates;
+    noop_updates += o.noop_updates;
+    attempts += o.attempts;
+    cas_failures += o.cas_failures;
+    combined_ops += o.combined_ops;
+    helped_completions += o.helped_completions;
+    return *this;
+  }
+
+  /// Mean retries per successful update; 0 when uncontended.
+  double failure_ratio() const noexcept {
+    return updates == 0 ? 0.0
+                        : static_cast<double>(cas_failures) /
+                              static_cast<double>(updates);
+  }
+};
+
+}  // namespace pathcopy::core

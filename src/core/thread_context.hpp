@@ -1,0 +1,30 @@
+// Per-thread execution context for operating on an Atom.
+//
+// Bundles the three things a worker thread needs: its reclaimer
+// registration, its allocator view (shared or thread-local depending on
+// the policy), and its operation counters. Contexts are created on the
+// owning thread and must not be shared.
+#pragma once
+
+#include "core/stats.hpp"
+
+namespace pathcopy::core {
+
+template <class Smr, class Alloc>
+struct ThreadContext {
+  using SmrHandle = typename Smr::ThreadHandle;
+
+  ThreadContext(Smr& smr, Alloc& alloc)
+      : smr_handle(smr.register_thread()), alloc(&alloc) {}
+
+  ThreadContext(ThreadContext&&) noexcept = default;
+  ThreadContext& operator=(ThreadContext&&) noexcept = default;
+  ThreadContext(const ThreadContext&) = delete;
+  ThreadContext& operator=(const ThreadContext&) = delete;
+
+  SmrHandle smr_handle;
+  Alloc* alloc;
+  OpStats stats;
+};
+
+}  // namespace pathcopy::core

@@ -1,0 +1,211 @@
+// Alternative eviction policies for the private-cache model.
+//
+// The paper's Appendix A assumes LRU ("the process should cache the first
+// log M levels"). The claim that failed CAS attempts act as prefetchers
+// only needs a weaker property — recently touched lines survive until the
+// retry — so the eviction ablation re-runs the protocol simulator under
+// FIFO, CLOCK (second chance) and uniform-random replacement to show the
+// scaling effect is not an LRU artifact. All caches share LruCache's
+// interface: access() counts a hit or a filling miss; fill() models
+// write-allocate of a freshly created node.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace pathcopy::model {
+
+enum class EvictionPolicy : std::uint8_t { kLru, kFifo, kClock, kRandom };
+
+inline const char* policy_name(EvictionPolicy p) {
+  switch (p) {
+    case EvictionPolicy::kLru: return "LRU";
+    case EvictionPolicy::kFifo: return "FIFO";
+    case EvictionPolicy::kClock: return "CLOCK";
+    case EvictionPolicy::kRandom: return "RANDOM";
+  }
+  return "?";
+}
+
+/// First-in-first-out: eviction order is fill order; touching a resident
+/// line does not refresh it.
+class FifoCache {
+ public:
+  explicit FifoCache(std::size_t capacity) : capacity_(capacity) {
+    PC_ASSERT(capacity_ > 0, "cache capacity must be positive");
+    map_.reserve(capacity_);
+  }
+
+  bool access(std::uint64_t key) {
+    if (map_.contains(key)) {
+      ++hits_;
+      return true;
+    }
+    insert_cold(key);
+    ++misses_;
+    return false;
+  }
+
+  void fill(std::uint64_t key) {
+    if (map_.contains(key)) return;
+    insert_cold(key);
+  }
+
+  bool contains(std::uint64_t key) const { return map_.contains(key); }
+  std::size_t size() const noexcept { return map_.size(); }
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::uint64_t hits() const noexcept { return hits_; }
+  std::uint64_t misses() const noexcept { return misses_; }
+  void reset_counters() noexcept { hits_ = misses_ = 0; }
+
+ private:
+  void insert_cold(std::uint64_t key) {
+    if (map_.size() == capacity_) {
+      map_.erase(fifo_.front());
+      fifo_.pop_front();
+    }
+    fifo_.push_back(key);
+    map_.emplace(key, true);
+  }
+
+  std::size_t capacity_;
+  std::deque<std::uint64_t> fifo_;
+  std::unordered_map<std::uint64_t, bool> map_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+/// CLOCK / second chance: a circular sweep skips (and clears) referenced
+/// lines, evicting the first unreferenced one — the standard hardware-ish
+/// LRU approximation.
+class ClockCache {
+ public:
+  explicit ClockCache(std::size_t capacity) : capacity_(capacity) {
+    PC_ASSERT(capacity_ > 0, "cache capacity must be positive");
+    slots_.reserve(capacity_);
+    map_.reserve(capacity_);
+  }
+
+  bool access(std::uint64_t key) {
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      slots_[it->second].referenced = true;
+      ++hits_;
+      return true;
+    }
+    insert_cold(key);
+    ++misses_;
+    return false;
+  }
+
+  void fill(std::uint64_t key) {
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      slots_[it->second].referenced = true;
+      return;
+    }
+    insert_cold(key);
+  }
+
+  bool contains(std::uint64_t key) const { return map_.contains(key); }
+  std::size_t size() const noexcept { return map_.size(); }
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::uint64_t hits() const noexcept { return hits_; }
+  std::uint64_t misses() const noexcept { return misses_; }
+  void reset_counters() noexcept { hits_ = misses_ = 0; }
+
+ private:
+  struct Slot {
+    std::uint64_t key;
+    bool referenced;
+  };
+
+  void insert_cold(std::uint64_t key) {
+    if (slots_.size() < capacity_) {
+      map_[key] = slots_.size();
+      slots_.push_back(Slot{key, true});
+      return;
+    }
+    for (;;) {
+      Slot& s = slots_[hand_];
+      if (s.referenced) {
+        s.referenced = false;
+        hand_ = (hand_ + 1) % capacity_;
+        continue;
+      }
+      map_.erase(s.key);
+      map_[key] = hand_;
+      s = Slot{key, true};
+      hand_ = (hand_ + 1) % capacity_;
+      return;
+    }
+  }
+
+  std::size_t capacity_;
+  std::size_t hand_ = 0;
+  std::vector<Slot> slots_;
+  std::unordered_map<std::uint64_t, std::size_t> map_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+/// Uniform-random replacement (seeded, deterministic per process).
+class RandomCache {
+ public:
+  explicit RandomCache(std::size_t capacity, std::uint64_t seed = 1)
+      : capacity_(capacity), rng_(seed) {
+    PC_ASSERT(capacity_ > 0, "cache capacity must be positive");
+    slots_.reserve(capacity_);
+    map_.reserve(capacity_);
+  }
+
+  bool access(std::uint64_t key) {
+    if (map_.contains(key)) {
+      ++hits_;
+      return true;
+    }
+    insert_cold(key);
+    ++misses_;
+    return false;
+  }
+
+  void fill(std::uint64_t key) {
+    if (map_.contains(key)) return;
+    insert_cold(key);
+  }
+
+  bool contains(std::uint64_t key) const { return map_.contains(key); }
+  std::size_t size() const noexcept { return map_.size(); }
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::uint64_t hits() const noexcept { return hits_; }
+  std::uint64_t misses() const noexcept { return misses_; }
+  void reset_counters() noexcept { hits_ = misses_ = 0; }
+
+ private:
+  void insert_cold(std::uint64_t key) {
+    if (slots_.size() < capacity_) {
+      map_[key] = slots_.size();
+      slots_.push_back(key);
+      return;
+    }
+    const std::size_t victim = rng_.below(capacity_);
+    map_.erase(slots_[victim]);
+    slots_[victim] = key;
+    map_[key] = victim;
+  }
+
+  std::size_t capacity_;
+  util::Xoshiro256 rng_;
+  std::vector<std::uint64_t> slots_;
+  std::unordered_map<std::uint64_t, std::size_t> map_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace pathcopy::model

@@ -1,0 +1,116 @@
+// Closed-form cost model from the paper's Appendix A.
+//
+// Sequential:   per-op cost = log M + R (log N − log M)
+//   (top log M levels of the tree stay cached under LRU + uniform keys;
+//    the remaining levels miss).
+// Concurrent:   first attempt costs R log N (cold); each subsequent retry
+//   costs 2R + log N − 2 because in expectation only Σ k/2^k <= 2 nodes on
+//   the new path were replaced by the winning update; with P processes in
+//   the round-robin success pattern an operation is one cold attempt plus
+//   P−1 warm retries.
+// Speedup:      P · (log M + R(log N − log M))
+//               ────────────────────────────────
+//               R log N + (P−1)(2R + log N − 2)
+// which is Ω(log N) for P = Ω(min(R, log N)) and R = Ω(log N).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+namespace pathcopy::model {
+
+inline double log2d(double x) { return std::log2(x); }
+
+/// Expected number of path nodes replaced by one uniformly random update
+/// that a retry must re-load: sum_{k=1..H} k/2^k (bounded above by 2).
+inline double expected_modified_on_path(double height) {
+  double sum = 0;
+  for (double k = 1; k <= height; ++k) sum += k / std::pow(2.0, k);
+  return sum;
+}
+
+/// Appendix A.1: per-operation cost of the sequential (mutating) baseline.
+inline double seq_op_cost(double n, double m, double r) {
+  const double cached_levels = std::min(log2d(m), log2d(n));
+  return cached_levels + r * std::max(0.0, log2d(n) - cached_levels);
+}
+
+/// Appendix A.2: per-operation cost of the concurrent UC under the
+/// round-robin model (one cold attempt + (P-1) warm retries).
+inline double conc_op_cost(double n, double r, double p) {
+  const double warm_retry = 2.0 * r + log2d(n) - 2.0;
+  return r * log2d(n) + (p - 1.0) * warm_retry;
+}
+
+/// The paper's speedup expression (§3.1 / Appendix A.2).
+inline double predicted_speedup(double n, double m, double r, double p) {
+  return p * seq_op_cost(n, m, r) / conc_op_cost(n, r, p);
+}
+
+/// Limit of predicted_speedup as P -> infinity: the serialized portion of
+/// each successful operation is one warm retry, so throughput approaches
+/// one op per (2R + log N - 2) ticks.
+inline double speedup_limit(double n, double m, double r) {
+  return seq_op_cost(n, m, r) / (2.0 * r + log2d(n) - 2.0);
+}
+
+/// Smallest P for which the predicted speedup reaches a fraction (e.g.
+/// 0.9) of its limit — where the curve flattens.
+inline double saturation_processes(double n, double m, double r, double frac) {
+  const double target = frac * speedup_limit(n, m, r);
+  double p = 1;
+  while (p < 1 << 20 && predicted_speedup(n, m, r, p) < target) p *= 1.25;
+  return p;
+}
+
+// ----- arity-generalized forms (branching ablation) -----
+//
+// For a balanced external B-ary tree the path is log_B N + 1 nodes, and
+// the common prefix between two uniformly random root-to-leaf paths has
+// expected length Σ_{k≥0} B^-k = B/(B−1) (both include the root; each
+// further level matches with probability 1/B). The winner replaces
+// exactly its own path, so a retry reloads B/(B−1) nodes in expectation —
+// the binary case's "≤ 2 modified nodes" is the B=2 instance.
+
+inline double logb(double x, double b) { return std::log2(x) / std::log2(b); }
+
+/// Expected modified (uncached) path nodes per warm retry, arity B,
+/// truncated at path height h.
+inline double expected_modified_bary(double b, double h) {
+  double sum = 0;
+  double term = 1;
+  for (double k = 0; k < h; ++k) {
+    sum += term;
+    term /= b;
+  }
+  return sum;
+}
+
+/// Sequential per-op cost: `lines` cache lines per node, path log_B N + 1
+/// nodes, the top log_B M levels resident.
+inline double seq_op_cost_bary(double n, double m, double r, double b,
+                               double lines = 1) {
+  const double path = logb(n, b) + 1;
+  const double cached = std::min(logb(m / lines, b) + 1, path);
+  return lines * (cached + r * (path - cached));
+}
+
+/// Concurrent per-op cost under the round-robin model, arity B.
+inline double conc_op_cost_bary(double n, double r, double p, double b,
+                                double lines = 1) {
+  const double path = logb(n, b) + 1;
+  const double modified = expected_modified_bary(b, path);
+  const double warm_retry = lines * (modified * r + (path - modified));
+  return lines * r * path + (p - 1.0) * warm_retry;
+}
+
+/// Arity-generalized speedup; b = 2, lines = 1 recovers the paper's
+/// expression up to the ±1 path-length convention.
+inline double predicted_speedup_bary(double n, double m, double r, double p,
+                                     double b, double lines = 1) {
+  return p * seq_op_cost_bary(n, m, r, b, lines) /
+         conc_op_cost_bary(n, r, p, b, lines);
+}
+
+}  // namespace pathcopy::model

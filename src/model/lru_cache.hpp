@@ -1,0 +1,75 @@
+// Private per-process LRU cache for the synchronous machine model.
+//
+// The paper's model (Appendix A) gives each process its own cache of M
+// node-sized lines: a cached load costs 1 tick, an uncached load costs R
+// ticks and fills the line, evicting the least recently used. Keys are
+// abstract node identities (never reused), so stale-address aliasing
+// cannot manufacture false hits.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "util/assert.hpp"
+
+namespace pathcopy::model {
+
+class LruCache {
+ public:
+  explicit LruCache(std::size_t capacity) : capacity_(capacity) {
+    PC_ASSERT(capacity_ > 0, "cache capacity must be positive");
+    map_.reserve(capacity_);
+  }
+
+  /// Touches key; returns true on hit. Misses insert the key (fill).
+  bool access(std::uint64_t key) {
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      ++hits_;
+      return true;
+    }
+    insert_cold(key);
+    ++misses_;
+    return false;
+  }
+
+  /// Inserts without counting a hit/miss — models the process writing a
+  /// node it just created (write-allocate into its own cache).
+  void fill(std::uint64_t key) {
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      return;
+    }
+    insert_cold(key);
+  }
+
+  bool contains(std::uint64_t key) const { return map_.contains(key); }
+  std::size_t size() const noexcept { return map_.size(); }
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::uint64_t hits() const noexcept { return hits_; }
+  std::uint64_t misses() const noexcept { return misses_; }
+
+  void reset_counters() noexcept { hits_ = misses_ = 0; }
+
+ private:
+  void insert_cold(std::uint64_t key) {
+    if (map_.size() == capacity_) {
+      map_.erase(lru_.back());
+      lru_.pop_back();
+    }
+    lru_.push_front(key);
+    map_[key] = lru_.begin();
+  }
+
+  std::size_t capacity_;
+  std::list<std::uint64_t> lru_;
+  std::unordered_map<std::uint64_t, std::list<std::uint64_t>::iterator> map_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace pathcopy::model

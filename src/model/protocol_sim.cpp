@@ -1,0 +1,264 @@
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+#include "model/eviction.hpp"
+#include "model/lru_cache.hpp"
+#include "model/sim.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace pathcopy::model {
+namespace {
+
+std::size_t round_up_pow(std::size_t n, std::size_t base) {
+  std::size_t p = 1;
+  while (p < n) p *= base;
+  return p;
+}
+
+/// Balanced external B-ary tree over num_leaves (a power of `branching`)
+/// in level order: level l starts at (B^l - 1)/(B - 1). Only node
+/// identities are stored; the shape never changes (the model workload is
+/// "replace a uniformly random leaf", which keeps N constant — exactly
+/// the Appendix A setting, generalized to arity B).
+class ModelTree {
+ public:
+  ModelTree(std::size_t num_leaves, std::size_t branching)
+      : leaves_(num_leaves), branching_(branching) {
+    PC_ASSERT(branching_ >= 2, "tree arity must be at least 2");
+    depth_ = 0;
+    std::size_t total = 1;  // nodes in a complete tree of current depth
+    std::size_t width = 1;
+    while (width < leaves_) {
+      width *= branching_;
+      total += width;
+      ++depth_;
+    }
+    PC_ASSERT(width == leaves_, "num_leaves must be a power of branching");
+    level_start_.resize(depth_ + 1);
+    std::size_t start = 0;
+    std::size_t w = 1;
+    for (std::size_t l = 0; l <= depth_; ++l) {
+      level_start_[l] = start;
+      start += w;
+      w *= branching_;
+    }
+    ids_.resize(total);
+    for (auto& id : ids_) id = ++next_id_;
+  }
+
+  std::size_t leaves() const noexcept { return leaves_; }
+  std::size_t path_len() const noexcept { return depth_ + 1; }
+
+  /// Level-order indices on the path root -> leaf.
+  void path_indices(std::size_t leaf, std::vector<std::size_t>& out) const {
+    out.clear();
+    out.reserve(depth_ + 1);
+    // Position of the path node within level l is leaf / B^(depth-l).
+    std::size_t div = 1;
+    for (std::size_t l = 0; l < depth_; ++l) div *= branching_;
+    for (std::size_t l = 0; l <= depth_; ++l) {
+      out.push_back(level_start_[l] + leaf / div);
+      div /= branching_;
+      if (div == 0) div = 1;  // last iteration guard
+    }
+  }
+
+  std::uint64_t id_at(std::size_t index) const { return ids_[index]; }
+
+  /// Path copy: gives every node on the path a fresh identity.
+  void replace_path(const std::vector<std::size_t>& path) {
+    for (const std::size_t idx : path) ids_[idx] = ++next_id_;
+  }
+
+ private:
+  std::size_t leaves_;
+  std::size_t branching_;
+  std::size_t depth_ = 0;
+  std::vector<std::size_t> level_start_;
+  std::vector<std::uint64_t> ids_;
+  std::uint64_t next_id_ = 0;
+};
+
+template <class Cache>
+struct Process {
+  Process(std::size_t cache_lines, std::uint64_t seed)
+      : cache(cache_lines), rng(seed) {}
+
+  Cache cache;
+  util::Xoshiro256 rng;
+  std::vector<std::size_t> path;
+  bool is_noop = false;
+  bool warm = false;          // this attempt is a retry of the same op
+  std::uint64_t read_version = 0;
+  std::uint64_t last_success = 0;
+  std::uint64_t tlab_remaining = 0;  // locally buffered allocations
+};
+
+struct Event {
+  std::uint64_t time;
+  std::uint64_t last_success;  // round-robin fairness on ties
+  std::size_t pid;
+
+  bool operator>(const Event& o) const {
+    if (time != o.time) return time > o.time;
+    if (last_success != o.last_success) return last_success > o.last_success;
+    return pid > o.pid;
+  }
+};
+
+/// Nodes wider than a cache line occupy lines_per_node lines with derived
+/// identities; a traversal touches every line of every path node.
+constexpr std::uint64_t kLineStride = 64;
+
+template <class Cache>
+SimResult run_protocol_sim_impl(const SimConfig& cfg) {
+  PC_ASSERT(cfg.processes > 0, "need at least one process");
+  PC_ASSERT(cfg.ops > 0, "need at least one operation");
+  PC_ASSERT(cfg.lines_per_node >= 1 && cfg.lines_per_node <= kLineStride,
+            "lines_per_node out of range");
+  const std::size_t n = round_up_pow(cfg.num_leaves, cfg.branching);
+  ModelTree tree(n, cfg.branching);
+  SimResult res;
+
+  std::vector<Process<Cache>> procs;
+  procs.reserve(cfg.processes);
+  for (std::size_t p = 0; p < cfg.processes; ++p) {
+    procs.emplace_back(cfg.cache_lines, cfg.seed * 0x9e3779b9ULL + p);
+  }
+
+  std::uint64_t version = 1;
+  std::uint64_t alloc_free = 0;  // serialized allocator availability
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue;
+
+  // Picks the next operation for process p and schedules the finish time
+  // of its (first) attempt starting at now.
+  auto begin_op = [&](std::size_t pid, std::uint64_t now, bool warm_retry) {
+    Process<Cache>& pr = procs[pid];
+    if (!warm_retry) {
+      pr.is_noop = pr.rng.chance(
+          static_cast<std::uint64_t>(cfg.noop_fraction * 1e6), 1000000);
+      const std::size_t leaf = pr.rng.below(tree.leaves());
+      tree.path_indices(leaf, pr.path);
+    }
+    pr.warm = warm_retry;
+    pr.read_version = version;
+    ++res.attempts;
+
+    std::uint64_t cost = 0;
+    std::uint64_t misses = 0;
+    for (const std::size_t idx : pr.path) {
+      const std::uint64_t base = tree.id_at(idx) * kLineStride;
+      for (std::size_t line = 0; line < cfg.lines_per_node; ++line) {
+        if (pr.cache.access(base + line)) {
+          cost += 1;
+          ++res.traversal_hits;
+        } else {
+          cost += cfg.miss_cost;
+          ++res.traversal_misses;
+          ++misses;
+        }
+      }
+    }
+    if (warm_retry) {
+      ++res.retry_count;
+      res.retry_misses += misses;
+    }
+    if (!pr.is_noop && cfg.alloc_ticks_per_node > 0) {
+      // Every modifying attempt builds a copied path. Allocation is
+      // TLAB-style: nodes come from a process-local buffer, and only a
+      // buffer refill takes a trip through the shared FCFS allocator
+      // (alloc_ticks_per_node per trip of alloc_refill_batch nodes).
+      const std::uint64_t batch =
+          std::max<std::uint64_t>(1, cfg.alloc_refill_batch);
+      const std::uint64_t needed = tree.path_len();
+      if (pr.tlab_remaining < needed) {
+        const std::uint64_t deficit = needed - pr.tlab_remaining;
+        const std::uint64_t trips = (deficit + batch - 1) / batch;
+        pr.tlab_remaining += trips * batch;
+        const std::uint64_t per_trip =
+            cfg.alloc_ticks_per_node +
+            cfg.alloc_contention_ticks * cfg.processes;
+        const std::uint64_t service = per_trip * trips;
+        const std::uint64_t start = std::max(alloc_free, now + cost);
+        res.alloc_wait_ticks += start - (now + cost);
+        alloc_free = start + service;
+        cost = (start + service) - now;
+      }
+      pr.tlab_remaining -= needed;
+    }
+    queue.push(Event{now + cost, pr.last_success, pid});
+  };
+
+  for (std::size_t p = 0; p < cfg.processes; ++p) begin_op(p, 0, false);
+
+  std::uint64_t finished = 0;
+  std::uint64_t now = 0;
+  while (finished < cfg.ops && !queue.empty()) {
+    const Event ev = queue.top();
+    queue.pop();
+    now = ev.time;
+    Process<Cache>& pr = procs[ev.pid];
+
+    if (pr.is_noop) {
+      ++finished;
+      ++res.noop_ops;
+      ++res.ops_completed;
+      if (finished >= cfg.ops) break;
+      begin_op(ev.pid, now, false);
+      continue;
+    }
+    if (pr.read_version == version) {
+      // CAS success: publish the copied path; the new nodes were written
+      // by this process, so they enter its cache (write-allocate).
+      tree.replace_path(pr.path);
+      for (const std::size_t idx : pr.path) {
+        const std::uint64_t base = tree.id_at(idx) * kLineStride;
+        for (std::size_t line = 0; line < cfg.lines_per_node; ++line) {
+          pr.cache.fill(base + line);
+        }
+      }
+      ++version;
+      pr.last_success = now;
+      ++finished;
+      ++res.modifying_ops;
+      ++res.ops_completed;
+      if (finished >= cfg.ops) break;
+      begin_op(ev.pid, now, false);
+    } else {
+      // CAS failure: immediately retry the same key against the new
+      // current version. The path is re-resolved against the updated
+      // identities; everything the winner did not touch is still cached.
+      ++res.cas_failures;
+      begin_op(ev.pid, now, true);
+    }
+  }
+  res.total_ticks = now;
+  return res;
+}
+
+}  // namespace
+
+SimResult run_protocol_sim(const SimConfig& cfg) {
+  switch (cfg.eviction) {
+    case EvictionPolicy::kLru:
+      return run_protocol_sim_impl<LruCache>(cfg);
+    case EvictionPolicy::kFifo:
+      return run_protocol_sim_impl<FifoCache>(cfg);
+    case EvictionPolicy::kClock:
+      return run_protocol_sim_impl<ClockCache>(cfg);
+    case EvictionPolicy::kRandom:
+      return run_protocol_sim_impl<RandomCache>(cfg);
+  }
+  return run_protocol_sim_impl<LruCache>(cfg);
+}
+
+double simulated_speedup(const SimConfig& cfg) {
+  const SimResult conc = run_protocol_sim(cfg);
+  const SimResult seq = run_seq_sim(cfg);
+  return seq.throughput() == 0.0 ? 0.0 : conc.throughput() / seq.throughput();
+}
+
+}  // namespace pathcopy::model

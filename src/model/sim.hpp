@@ -1,0 +1,93 @@
+// Synchronous private-cache machine simulator (the paper's model, runnable).
+//
+// Processes execute the universal construction's retry protocol over a
+// balanced external tree of N leaves. Node identities are abstract 64-bit
+// IDs; a successful update replaces the IDs along the root-to-leaf path
+// (path copying), and every process owns a private LRU cache of M lines
+// with hit cost 1 and miss cost R. CAS winners on simultaneous attempts
+// are resolved round-robin (the paper's Fig. 4 pattern): the tie goes to
+// the process whose last success is oldest.
+//
+// Two extensions beyond the bare Appendix A model, both off by default:
+//   * noop_fraction q — operations that modify nothing (failed set
+//     inserts/removes of the Random workload) complete without a CAS;
+//   * alloc_ticks_per_node a — a serialized global allocator charging a
+//     ticks per node created by *every* attempt, modeling the Java
+//     allocator bottleneck the paper blames for the high-P collapse
+//     (Appendix B).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "model/eviction.hpp"
+
+namespace pathcopy::model {
+
+struct SimConfig {
+  std::size_t num_leaves = 1 << 20;   // N (rounded up to a power of `branching`)
+  std::size_t cache_lines = 1 << 14;  // M, per process
+  std::uint64_t miss_cost = 64;       // R
+  std::size_t processes = 1;          // P
+  std::size_t ops = 20000;            // operations to complete (all kinds)
+  double noop_fraction = 0.0;         // q
+  /// Tree arity (2 = the paper's binary model). Wider trees have shorter
+  /// paths but coarser sharing — the branching ablation's subject.
+  std::size_t branching = 2;
+  /// Cache lines one node occupies (wide nodes of high-arity trees span
+  /// several). Every line of a node costs one cache access.
+  std::size_t lines_per_node = 1;
+  /// Replacement policy of the private caches (Appendix A assumes LRU).
+  EvictionPolicy eviction = EvictionPolicy::kLru;
+  std::uint64_t alloc_ticks_per_node = 0;
+  /// Nodes obtained from the serialized allocator per trip (TLAB-style
+  /// batching): a modifying attempt makes ceil(path_len / batch) trips of
+  /// alloc_ticks_per_node each. 1 = every node is a global trip.
+  std::uint64_t alloc_refill_batch = 1;
+  /// Coherence-contention term: each allocator trip additionally costs
+  /// alloc_contention_ticks * P (a contended lock/CAS freelist head costs
+  /// Θ(P) cache-line transfers per acquisition). This is what turns the
+  /// high-P saturation into the decline of the paper's Tables 1-2.
+  std::uint64_t alloc_contention_ticks = 0;
+  std::uint64_t seed = 1;
+};
+
+struct SimResult {
+  std::uint64_t total_ticks = 0;
+  std::uint64_t ops_completed = 0;
+  std::uint64_t modifying_ops = 0;
+  std::uint64_t noop_ops = 0;
+  std::uint64_t attempts = 0;
+  std::uint64_t cas_failures = 0;
+  std::uint64_t traversal_hits = 0;
+  std::uint64_t traversal_misses = 0;
+  // Statistics over warm retries only (attempt #2+ of an operation):
+  std::uint64_t retry_count = 0;
+  std::uint64_t retry_misses = 0;
+  std::uint64_t alloc_wait_ticks = 0;
+
+  double throughput() const {
+    return total_ticks == 0
+               ? 0.0
+               : static_cast<double>(ops_completed) /
+                     static_cast<double>(total_ticks);
+  }
+  /// Mean uncached loads per warm retry — the paper's "<= 2" claim.
+  double misses_per_retry() const {
+    return retry_count == 0 ? 0.0
+                            : static_cast<double>(retry_misses) /
+                                  static_cast<double>(retry_count);
+  }
+};
+
+/// Concurrent UC execution with P processes (path copying on success).
+SimResult run_protocol_sim(const SimConfig& cfg);
+
+/// Single-process mutating baseline (node identities are stable), the
+/// model analogue of SeqTreap. `processes` is ignored.
+SimResult run_seq_sim(const SimConfig& cfg);
+
+/// Convenience: throughput(P processes, UC) / throughput(sequential).
+double simulated_speedup(const SimConfig& cfg);
+
+}  // namespace pathcopy::model

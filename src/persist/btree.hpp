@@ -1,0 +1,683 @@
+// Persistent B+tree.
+//
+// The structure behind the multi-version indexes the paper cites as prior
+// art (Sun et al., VLDB'19): all entries live in leaves, internal nodes
+// route with separator keys, and path copying copies exactly one node per
+// level. With fanout F the path is log_F(N) nodes — much shorter than a
+// binary tree's log_2(N) — but each copied node carries F keys/pointers,
+// so an update writes more bytes per level. The branching ablation bench
+// sweeps F to show how the paper's cache effect responds: fewer, fatter
+// uncached loads per retry versus the treap's many thin ones.
+//
+// Implementation notes:
+//   * Nodes embed fixed std::array payloads sized by the fanout, so K and
+//     V must be default-constructible and copyable (trailing slots hold
+//     value-initialized elements). This keeps every node a single
+//     Builder-allocatable object.
+//   * Insert splits bottom-up (returning an optional split to the
+//     parent); erase rebalances bottom-up (returning an underflow flag
+//     that the parent repairs by borrowing from or merging with a
+//     sibling). Borrow and merge copy the touched sibling — persistence
+//     means siblings are never mutated in place.
+//   * Size-augmented for O(log N) rank/kth/count_range, like every other
+//     structure in src/persist/.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "core/node_base.hpp"
+#include "util/assert.hpp"
+
+namespace pathcopy::persist {
+
+template <class K, class V, unsigned Fanout = 8, class Cmp = std::less<K>>
+class BTree {
+  static_assert(Fanout >= 3, "B+tree needs at least 3-way branching");
+
+ public:
+  using KeyType = K;
+  using ValueType = V;
+  static constexpr unsigned kMaxChildren = Fanout;
+  static constexpr unsigned kMaxKeys = Fanout - 1;       // internal nodes
+  static constexpr unsigned kMinChildren = (Fanout + 1) / 2;
+  static constexpr unsigned kMinKeys = kMinChildren - 1;
+  static constexpr unsigned kLeafCap = Fanout;           // entries per leaf
+  static constexpr unsigned kLeafMin = (Fanout + 1) / 2;
+
+  struct Node : core::PNode {
+    bool is_leaf;
+    std::uint16_t count;   // keys in this node
+    std::uint64_t size;    // entries in this subtree
+    Node(bool leaf, std::uint16_t c, std::uint64_t s)
+        : is_leaf(leaf), count(c), size(s) {}
+  };
+
+  struct LeafNode : Node {
+    std::array<K, kLeafCap> keys;
+    std::array<V, kLeafCap> values;
+    LeafNode(const K* ks, const V* vs, unsigned n)
+        : Node(true, static_cast<std::uint16_t>(n), n) {
+      for (unsigned i = 0; i < n; ++i) {
+        keys[i] = ks[i];
+        values[i] = vs[i];
+      }
+    }
+  };
+
+  struct InternalNode : Node {
+    std::array<K, kMaxKeys> keys;                 // separators
+    std::array<const Node*, kMaxChildren> child;  // count+1 children
+    InternalNode(const K* ks, const Node* const* ch, unsigned nkeys)
+        : Node(false, static_cast<std::uint16_t>(nkeys), 0) {
+      child.fill(nullptr);
+      for (unsigned i = 0; i < nkeys; ++i) keys[i] = ks[i];
+      for (unsigned i = 0; i <= nkeys; ++i) {
+        child[i] = ch[i];
+        this->size += ch[i]->size;
+      }
+    }
+  };
+
+  BTree() noexcept = default;
+
+  static BTree from_root(const void* root) noexcept {
+    return BTree{static_cast<const Node*>(root)};
+  }
+  const void* root_ptr() const noexcept { return root_; }
+  const Node* root_node() const noexcept { return root_; }
+
+  std::size_t size() const noexcept { return root_ == nullptr ? 0 : root_->size; }
+  bool empty() const noexcept { return root_ == nullptr; }
+
+  // ----- queries -----
+
+  const V* find(const K& key) const {
+    const Node* n = root_;
+    if (n == nullptr) return nullptr;
+    Cmp cmp;
+    while (!n->is_leaf) {
+      const auto* in = static_cast<const InternalNode*>(n);
+      n = in->child[child_index(in, key)];
+    }
+    const auto* leaf = static_cast<const LeafNode*>(n);
+    for (unsigned i = 0; i < leaf->count; ++i) {
+      if (!cmp(leaf->keys[i], key) && !cmp(key, leaf->keys[i])) {
+        return &leaf->values[i];
+      }
+    }
+    return nullptr;
+  }
+
+  bool contains(const K& key) const { return find(key) != nullptr; }
+
+  /// Smallest key, or nullptr when empty.
+  const K* min_key() const {
+    const Node* n = root_;
+    if (n == nullptr) return nullptr;
+    while (!n->is_leaf) n = static_cast<const InternalNode*>(n)->child[0];
+    return &static_cast<const LeafNode*>(n)->keys[0];
+  }
+
+  /// Largest key, or nullptr when empty.
+  const K* max_key() const {
+    const Node* n = root_;
+    if (n == nullptr) return nullptr;
+    while (!n->is_leaf) {
+      const auto* in = static_cast<const InternalNode*>(n);
+      n = in->child[in->count];
+    }
+    const auto* leaf = static_cast<const LeafNode*>(n);
+    return &leaf->keys[leaf->count - 1];
+  }
+
+  /// Number of keys strictly less than key.
+  std::size_t rank(const K& key) const {
+    std::size_t r = 0;
+    const Node* n = root_;
+    if (n == nullptr) return 0;
+    Cmp cmp;
+    while (!n->is_leaf) {
+      const auto* in = static_cast<const InternalNode*>(n);
+      const unsigned idx = child_index(in, key);
+      for (unsigned i = 0; i < idx; ++i) r += in->child[i]->size;
+      n = in->child[idx];
+    }
+    const auto* leaf = static_cast<const LeafNode*>(n);
+    for (unsigned i = 0; i < leaf->count && cmp(leaf->keys[i], key); ++i) ++r;
+    return r;
+  }
+
+  /// The i-th smallest key (0-based), or nullptr when i >= size().
+  const K* kth_key(std::size_t i) const {
+    const Node* n = root_;
+    if (n == nullptr || i >= n->size) return nullptr;
+    while (!n->is_leaf) {
+      const auto* in = static_cast<const InternalNode*>(n);
+      unsigned c = 0;
+      while (i >= in->child[c]->size) {
+        i -= in->child[c]->size;
+        ++c;
+      }
+      n = in->child[c];
+    }
+    return &static_cast<const LeafNode*>(n)->keys[i];
+  }
+
+  /// Largest key <= key, or nullptr.
+  const K* floor_key(const K& key) const {
+    const std::size_t r = rank(key);  // keys strictly below `key`
+    if (contains(key)) return kth_key(r);
+    return r == 0 ? nullptr : kth_key(r - 1);
+  }
+
+  /// Smallest key >= key, or nullptr.
+  const K* ceiling_key(const K& key) const { return kth_key(rank(key)); }
+
+  /// Keys in the half-open interval [lo, hi).
+  std::size_t count_range(const K& lo, const K& hi) const {
+    const std::size_t a = rank(lo);
+    const std::size_t b = rank(hi);
+    return b > a ? b - a : 0;
+  }
+
+  /// In-order visit of (key, value).
+  template <class F>
+  void for_each(F&& f) const {
+    for_each_rec(root_, f);
+  }
+
+  std::vector<std::pair<K, V>> items() const {
+    std::vector<std::pair<K, V>> out;
+    out.reserve(size());
+    for_each([&](const K& k, const V& v) { out.emplace_back(k, v); });
+    return out;
+  }
+
+  // ----- updates -----
+
+  template <class B>
+  BTree insert(B& b, const K& key, const V& value) const {
+    if (contains(key)) return *this;
+    return BTree{insert_root(b, key, value)};
+  }
+
+  template <class B>
+  BTree insert_or_assign(B& b, const K& key, const V& value) const {
+    return BTree{insert_root(b, key, value)};
+  }
+
+  template <class B>
+  BTree erase(B& b, const K& key) const {
+    if (!contains(key)) return *this;
+    bool underflow = false;
+    const Node* n = erase_rec(b, root_, key, &underflow);
+    if (n != nullptr && !n->is_leaf && n->count == 0) {
+      // Height shrinks: an internal root with a single child hands the
+      // root role to that child (already a committed-version node or a
+      // fresh one — either way it is the new root).
+      const auto* in = static_cast<const InternalNode*>(n);
+      const Node* only = in->child[0];
+      b.supersede(in);
+      return BTree{only};
+    }
+    if (n != nullptr && n->is_leaf && n->count == 0) {
+      b.supersede(n);
+      return BTree{nullptr};
+    }
+    return BTree{n};
+  }
+
+  // ----- structural utilities -----
+
+  bool check_invariants() const {
+    if (root_ == nullptr) return true;
+    const CheckResult r = check_rec(root_, nullptr, nullptr, /*is_root=*/true);
+    return r.ok;
+  }
+
+  std::size_t height() const {
+    std::size_t h = 0;
+    for (const Node* n = root_; n != nullptr;
+         n = n->is_leaf ? nullptr
+                        : static_cast<const InternalNode*>(n)->child[0]) {
+      ++h;
+    }
+    return h;
+  }
+
+  static std::size_t shared_nodes(const BTree& a, const BTree& b) {
+    std::unordered_set<const Node*> seen;
+    collect(a.root_, seen);
+    std::size_t shared = 0;
+    count_shared(b.root_, seen, shared);
+    return shared;
+  }
+
+  template <class Backend>
+  static void destroy(const Node* n, Backend& backend) {
+    if (n == nullptr) return;
+    if (n->is_leaf) {
+      const auto* leaf = static_cast<const LeafNode*>(n);
+      leaf->~LeafNode();
+      backend.free_bytes(const_cast<LeafNode*>(leaf), sizeof(LeafNode),
+                         alignof(LeafNode));
+      return;
+    }
+    const auto* in = static_cast<const InternalNode*>(n);
+    for (unsigned i = 0; i <= in->count; ++i) destroy(in->child[i], backend);
+    in->~InternalNode();
+    backend.free_bytes(const_cast<InternalNode*>(in), sizeof(InternalNode),
+                       alignof(InternalNode));
+  }
+
+ private:
+  explicit BTree(const Node* root) noexcept : root_(root) {}
+
+  /// Index of the child subtree that may contain `key`: the number of
+  /// separators <= key (separator keys[i] is the minimum of child[i+1]).
+  static unsigned child_index(const InternalNode* n, const K& key) {
+    Cmp cmp;
+    unsigned i = 0;
+    while (i < n->count && !cmp(key, n->keys[i])) ++i;
+    return i;
+  }
+
+  struct Split {
+    const Node* left;
+    const Node* right;  // nullptr when no split happened
+    K sep;              // min key of right
+  };
+
+  template <class B>
+  const Node* insert_root(B& b, const K& key, const V& value) const {
+    if (root_ == nullptr) {
+      return b.template create<LeafNode>(&key, &value, 1u);
+    }
+    const Split s = insert_rec(b, root_, key, value);
+    if (s.right == nullptr) return s.left;
+    const K sep = s.sep;
+    const Node* ch[2] = {s.left, s.right};
+    return b.template create<InternalNode>(&sep, ch, 1u);
+  }
+
+  template <class B>
+  static Split insert_rec(B& b, const Node* n, const K& key, const V& value) {
+    Cmp cmp;
+    if (n->is_leaf) {
+      const auto* leaf = static_cast<const LeafNode*>(n);
+      b.supersede(leaf);
+      K ks[kLeafCap + 1];
+      V vs[kLeafCap + 1];
+      unsigned m = 0;
+      bool placed = false;
+      for (unsigned i = 0; i < leaf->count; ++i) {
+        const bool eq =
+            !cmp(leaf->keys[i], key) && !cmp(key, leaf->keys[i]);
+        if (eq) {
+          // insert_or_assign on a present key: overwrite in place.
+          ks[m] = key;
+          vs[m] = value;
+          ++m;
+          placed = true;
+          continue;
+        }
+        if (!placed && cmp(key, leaf->keys[i])) {
+          ks[m] = key;
+          vs[m] = value;
+          ++m;
+          placed = true;
+        }
+        ks[m] = leaf->keys[i];
+        vs[m] = leaf->values[i];
+        ++m;
+      }
+      if (!placed) {
+        ks[m] = key;
+        vs[m] = value;
+        ++m;
+      }
+      if (m <= kLeafCap) {
+        return {b.template create<LeafNode>(ks, vs, m), nullptr, K{}};
+      }
+      const unsigned lh = (m + 1) / 2;
+      const Node* left = b.template create<LeafNode>(ks, vs, lh);
+      const Node* right =
+          b.template create<LeafNode>(ks + lh, vs + lh, m - lh);
+      return {left, right, ks[lh]};
+    }
+    const auto* in = static_cast<const InternalNode*>(n);
+    const unsigned idx = child_index(in, key);
+    const Split cs = insert_rec(b, in->child[idx], key, value);
+    b.supersede(in);
+    K ks[kMaxKeys + 1];
+    const Node* ch[kMaxKeys + 2];
+    unsigned nk = 0;
+    for (unsigned i = 0; i < in->count; ++i) ks[nk++] = in->keys[i];
+    for (unsigned i = 0; i <= in->count; ++i) ch[i] = in->child[i];
+    ch[idx] = cs.left;
+    if (cs.right != nullptr) {
+      // Shift to make room for the new separator and right sibling.
+      for (unsigned i = nk; i > idx; --i) ks[i] = ks[i - 1];
+      for (unsigned i = nk + 1; i > idx + 1; --i) ch[i] = ch[i - 1];
+      ks[idx] = cs.sep;
+      ch[idx + 1] = cs.right;
+      ++nk;
+    }
+    if (nk <= kMaxKeys) {
+      return {b.template create<InternalNode>(ks, ch, nk), nullptr, K{}};
+    }
+    // Overflow: promote the middle separator.
+    const unsigned mid = nk / 2;
+    const Node* left = b.template create<InternalNode>(ks, ch, mid);
+    const Node* right = b.template create<InternalNode>(
+        ks + mid + 1, ch + mid + 1, nk - mid - 1);
+    return {left, right, ks[mid]};
+  }
+
+  /// Erases `key` (known present) from subtree n. Sets *underflow when
+  /// the returned node is below its minimum fill and needs a parent fix.
+  template <class B>
+  static const Node* erase_rec(B& b, const Node* n, const K& key,
+                               bool* underflow) {
+    Cmp cmp;
+    if (n->is_leaf) {
+      const auto* leaf = static_cast<const LeafNode*>(n);
+      b.supersede(leaf);
+      K ks[kLeafCap];
+      V vs[kLeafCap];
+      unsigned m = 0;
+      for (unsigned i = 0; i < leaf->count; ++i) {
+        const bool eq =
+            !cmp(leaf->keys[i], key) && !cmp(key, leaf->keys[i]);
+        if (eq) continue;
+        ks[m] = leaf->keys[i];
+        vs[m] = leaf->values[i];
+        ++m;
+      }
+      *underflow = m < kLeafMin;
+      return b.template create<LeafNode>(ks, vs, m);
+    }
+    const auto* in = static_cast<const InternalNode*>(n);
+    const unsigned idx = child_index(in, key);
+    bool child_uf = false;
+    const Node* nc = erase_rec(b, in->child[idx], key, &child_uf);
+    b.supersede(in);
+    K ks[kMaxKeys + 1];
+    const Node* ch[kMaxKeys + 2];
+    unsigned nk = in->count;
+    for (unsigned i = 0; i < nk; ++i) ks[i] = in->keys[i];
+    for (unsigned i = 0; i <= nk; ++i) ch[i] = in->child[i];
+    ch[idx] = nc;
+    if (child_uf) {
+      fix_underflow(b, ks, ch, nk, idx);
+    }
+    *underflow = nk < kMinKeys;
+    return b.template create<InternalNode>(ks, ch, nk);
+  }
+
+  /// Repairs ch[idx] (below minimum fill) by borrowing from a sibling or
+  /// merging with one. Mutates the scratch arrays; may decrement nk.
+  template <class B>
+  static void fix_underflow(B& b, K* ks, const Node** ch, unsigned& nk,
+                            unsigned idx) {
+    // Try borrowing from the left sibling.
+    if (idx > 0 && can_lend(ch[idx - 1])) {
+      borrow_from_left(b, ks, ch, idx);
+      return;
+    }
+    // Then from the right sibling.
+    if (idx < nk && can_lend(ch[idx + 1])) {
+      borrow_from_right(b, ks, ch, idx);
+      return;
+    }
+    // Merge with a sibling (prefer left).
+    if (idx > 0) {
+      merge_children(b, ks, ch, nk, idx - 1);
+    } else {
+      merge_children(b, ks, ch, nk, idx);
+    }
+  }
+
+  static bool can_lend(const Node* sib) {
+    return sib->is_leaf ? sib->count > kLeafMin : sib->count > kMinKeys;
+  }
+
+  /// Moves the left sibling's last entry/child into the front of ch[idx].
+  template <class B>
+  static void borrow_from_left(B& b, K* ks, const Node** ch, unsigned idx) {
+    const Node* sib = ch[idx - 1];
+    const Node* cur = ch[idx];
+    b.supersede(sib);
+    b.supersede(cur);
+    if (cur->is_leaf) {
+      const auto* sl = static_cast<const LeafNode*>(sib);
+      const auto* cl = static_cast<const LeafNode*>(cur);
+      ch[idx - 1] = b.template create<LeafNode>(sl->keys.data(),
+                                                sl->values.data(),
+                                                sl->count - 1u);
+      K cks[kLeafCap];
+      V cvs[kLeafCap];
+      cks[0] = sl->keys[sl->count - 1];
+      cvs[0] = sl->values[sl->count - 1];
+      for (unsigned i = 0; i < cl->count; ++i) {
+        cks[i + 1] = cl->keys[i];
+        cvs[i + 1] = cl->values[i];
+      }
+      ch[idx] = b.template create<LeafNode>(cks, cvs, cl->count + 1u);
+      ks[idx - 1] = cks[0];  // separator = new min of ch[idx]
+      return;
+    }
+    const auto* si = static_cast<const InternalNode*>(sib);
+    const auto* ci = static_cast<const InternalNode*>(cur);
+    // Rotate through the separator: sib's last child moves over, the old
+    // separator drops into the front of cur, sib's last key replaces it.
+    {
+      const Node* sch[kMaxChildren];
+      for (unsigned i = 0; i < si->count; ++i) sch[i] = si->child[i];
+      ch[idx - 1] = b.template create<InternalNode>(si->keys.data(), sch,
+                                                    si->count - 1u);
+    }
+    {
+      K cks[kMaxKeys + 1];
+      const Node* cch[kMaxChildren + 1];
+      cks[0] = ks[idx - 1];
+      cch[0] = si->child[si->count];
+      for (unsigned i = 0; i < ci->count; ++i) cks[i + 1] = ci->keys[i];
+      for (unsigned i = 0; i <= ci->count; ++i) cch[i + 1] = ci->child[i];
+      ch[idx] = b.template create<InternalNode>(cks, cch, ci->count + 1u);
+    }
+    ks[idx - 1] = si->keys[si->count - 1];
+  }
+
+  /// Moves the right sibling's first entry/child onto the back of ch[idx].
+  template <class B>
+  static void borrow_from_right(B& b, K* ks, const Node** ch, unsigned idx) {
+    const Node* sib = ch[idx + 1];
+    const Node* cur = ch[idx];
+    b.supersede(sib);
+    b.supersede(cur);
+    if (cur->is_leaf) {
+      const auto* sl = static_cast<const LeafNode*>(sib);
+      const auto* cl = static_cast<const LeafNode*>(cur);
+      K cks[kLeafCap];
+      V cvs[kLeafCap];
+      for (unsigned i = 0; i < cl->count; ++i) {
+        cks[i] = cl->keys[i];
+        cvs[i] = cl->values[i];
+      }
+      cks[cl->count] = sl->keys[0];
+      cvs[cl->count] = sl->values[0];
+      ch[idx] = b.template create<LeafNode>(cks, cvs, cl->count + 1u);
+      ch[idx + 1] = b.template create<LeafNode>(sl->keys.data() + 1,
+                                                sl->values.data() + 1,
+                                                sl->count - 1u);
+      ks[idx] = sl->keys[1];  // new min of the (shrunk) right sibling
+      return;
+    }
+    const auto* si = static_cast<const InternalNode*>(sib);
+    const auto* ci = static_cast<const InternalNode*>(cur);
+    {
+      K cks[kMaxKeys + 1];
+      const Node* cch[kMaxChildren + 1];
+      for (unsigned i = 0; i < ci->count; ++i) cks[i] = ci->keys[i];
+      for (unsigned i = 0; i <= ci->count; ++i) cch[i] = ci->child[i];
+      cks[ci->count] = ks[idx];
+      cch[ci->count + 1] = si->child[0];
+      ch[idx] = b.template create<InternalNode>(cks, cch, ci->count + 1u);
+    }
+    {
+      const Node* sch[kMaxChildren];
+      for (unsigned i = 1; i <= si->count; ++i) sch[i - 1] = si->child[i];
+      ch[idx + 1] = b.template create<InternalNode>(si->keys.data() + 1, sch,
+                                                    si->count - 1u);
+    }
+    ks[idx] = si->keys[0];
+  }
+
+  /// Merges ch[at] and ch[at+1] (with the separator between them, for
+  /// internal children) into one node; closes the gap in ks/ch.
+  template <class B>
+  static void merge_children(B& b, K* ks, const Node** ch, unsigned& nk,
+                             unsigned at) {
+    const Node* l = ch[at];
+    const Node* r = ch[at + 1];
+    b.supersede(l);
+    b.supersede(r);
+    if (l->is_leaf) {
+      const auto* ll = static_cast<const LeafNode*>(l);
+      const auto* rl = static_cast<const LeafNode*>(r);
+      K mks[kLeafCap];
+      V mvs[kLeafCap];
+      unsigned m = 0;
+      for (unsigned i = 0; i < ll->count; ++i) {
+        mks[m] = ll->keys[i];
+        mvs[m] = ll->values[i];
+        ++m;
+      }
+      for (unsigned i = 0; i < rl->count; ++i) {
+        mks[m] = rl->keys[i];
+        mvs[m] = rl->values[i];
+        ++m;
+      }
+      ch[at] = b.template create<LeafNode>(mks, mvs, m);
+    } else {
+      const auto* li = static_cast<const InternalNode*>(l);
+      const auto* ri = static_cast<const InternalNode*>(r);
+      K mks[kMaxKeys + 1];
+      const Node* mch[kMaxChildren + 1];
+      unsigned m = 0;
+      for (unsigned i = 0; i < li->count; ++i) mks[m++] = li->keys[i];
+      mks[m++] = ks[at];  // separator drops down between the halves
+      for (unsigned i = 0; i < ri->count; ++i) mks[m++] = ri->keys[i];
+      for (unsigned i = 0; i <= li->count; ++i) mch[i] = li->child[i];
+      for (unsigned i = 0; i <= ri->count; ++i) {
+        mch[li->count + 1 + i] = ri->child[i];
+      }
+      ch[at] = b.template create<InternalNode>(mks, mch, m);
+    }
+    // Close the gap: separator ks[at] and slot ch[at+1] disappear.
+    for (unsigned i = at; i + 1 < nk; ++i) ks[i] = ks[i + 1];
+    for (unsigned i = at + 1; i + 1 <= nk; ++i) ch[i] = ch[i + 1];
+    --nk;
+  }
+
+  template <class F>
+  static void for_each_rec(const Node* n, F& f) {
+    if (n == nullptr) return;
+    if (n->is_leaf) {
+      const auto* leaf = static_cast<const LeafNode*>(n);
+      for (unsigned i = 0; i < leaf->count; ++i) {
+        f(leaf->keys[i], leaf->values[i]);
+      }
+      return;
+    }
+    const auto* in = static_cast<const InternalNode*>(n);
+    for (unsigned i = 0; i <= in->count; ++i) for_each_rec(in->child[i], f);
+  }
+
+  struct CheckResult {
+    bool ok;
+    std::uint64_t size;
+    std::size_t depth;  // uniform leaf depth
+  };
+
+  static CheckResult check_rec(const Node* n, const K* lo, const K* hi,
+                               bool is_root) {
+    Cmp cmp;
+    if (n->pc_state_ != core::NodeState::kPublished) return {false, 0, 0};
+    if (n->is_leaf) {
+      const auto* leaf = static_cast<const LeafNode*>(n);
+      if (!is_root && leaf->count < kLeafMin) return {false, 0, 0};
+      if (leaf->count > kLeafCap || (is_root && leaf->count == 0)) {
+        return {false, 0, 0};
+      }
+      for (unsigned i = 0; i < leaf->count; ++i) {
+        if (i > 0 && !cmp(leaf->keys[i - 1], leaf->keys[i])) {
+          return {false, 0, 0};
+        }
+        if (lo != nullptr && cmp(leaf->keys[i], *lo)) return {false, 0, 0};
+        if (hi != nullptr && !cmp(leaf->keys[i], *hi)) return {false, 0, 0};
+      }
+      if (leaf->size != leaf->count) return {false, 0, 0};
+      return {true, leaf->size, 1};
+    }
+    const auto* in = static_cast<const InternalNode*>(n);
+    if (!is_root && in->count < kMinKeys) return {false, 0, 0};
+    if (is_root && in->count == 0) return {false, 0, 0};
+    if (in->count > kMaxKeys) return {false, 0, 0};
+    std::uint64_t total = 0;
+    std::size_t depth = 0;
+    for (unsigned i = 0; i <= in->count; ++i) {
+      if (i > 0 && i < in->count && !cmp(in->keys[i - 1], in->keys[i])) {
+        return {false, 0, 0};
+      }
+      const K* clo = i == 0 ? lo : &in->keys[i - 1];
+      const K* chi = i == in->count ? hi : &in->keys[i];
+      const CheckResult r = check_rec(in->child[i], clo, chi, false);
+      if (!r.ok) return {false, 0, 0};
+      if (i == 0) {
+        depth = r.depth;
+      } else if (r.depth != depth) {
+        return {false, 0, 0};
+      }
+      total += r.size;
+    }
+    if (total != in->size) return {false, 0, 0};
+    return {true, total, depth + 1};
+  }
+
+  static void collect(const Node* n, std::unordered_set<const Node*>& out) {
+    if (n == nullptr) return;
+    out.insert(n);
+    if (!n->is_leaf) {
+      const auto* in = static_cast<const InternalNode*>(n);
+      for (unsigned i = 0; i <= in->count; ++i) collect(in->child[i], out);
+    }
+  }
+
+  static void count_shared(const Node* n,
+                           const std::unordered_set<const Node*>& in_set,
+                           std::size_t& shared) {
+    if (n == nullptr) return;
+    if (in_set.contains(n)) {
+      shared += n->size;
+      return;
+    }
+    if (!n->is_leaf) {
+      const auto* in = static_cast<const InternalNode*>(n);
+      for (unsigned i = 0; i <= in->count; ++i) {
+        count_shared(in->child[i], in_set, shared);
+      }
+    }
+  }
+
+  const Node* root_ = nullptr;
+};
+
+}  // namespace pathcopy::persist

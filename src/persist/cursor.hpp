@@ -1,0 +1,296 @@
+// Cursor: ordered iteration over an immutable snapshot.
+//
+// A snapshot of a path-copied tree is a plain pointer, so a cursor is a
+// root-to-current stack of node pointers — no locks, no version checks,
+// no invalidation: the nodes it references can never change. next()/
+// prev() are amortized O(1); seek() repositions in O(log N) using the
+// search structure rather than restarting a scan.
+//
+// Cursor works over any binary-node structure in src/persist/ (treap,
+// AVL, weight-balanced, red-black — anything whose Node has key/value/
+// left/right); LeafCursor covers the B+tree (leaf-and-index stack), and
+// make_cursor/scan_range pick the right one by structure shape. The HAMT
+// is unordered — use its for_each.
+//
+// Lifetime: the snapshot's nodes must stay alive while the cursor is
+// used. Inside Atom::read that is the guard's job; for longer-lived
+// cursors take a WatermarkReclaimer snapshot or use an arena.
+//
+//   atom.read(ctx, [&](Map m) {
+//     persist::Cursor<Map> c(m);
+//     for (c.seek(lo); c.valid() && c.key() < hi; c.next()) consume(c);
+//   });
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace pathcopy::persist {
+
+template <class DS>
+class Cursor {
+ public:
+  using Node = typename DS::Node;
+  using Key = typename DS::KeyType;
+  using Value = typename DS::ValueType;
+
+  /// Starts invalid (call seek_first / seek / seek_last to position).
+  explicit Cursor(const DS& snapshot) : root_(snapshot.root_node()) {
+    path_.reserve(48);
+  }
+
+  bool valid() const noexcept { return !path_.empty(); }
+
+  const Key& key() const {
+    PC_DASSERT(valid(), "key() on an invalid cursor");
+    return path_.back()->key;
+  }
+  const Value& value() const {
+    PC_DASSERT(valid(), "value() on an invalid cursor");
+    return path_.back()->value;
+  }
+
+  /// Smallest key in the snapshot; invalid if empty.
+  void seek_first() {
+    path_.clear();
+    for (const Node* n = root_; n != nullptr; n = n->left) path_.push_back(n);
+  }
+
+  /// Largest key in the snapshot; invalid if empty.
+  void seek_last() {
+    path_.clear();
+    for (const Node* n = root_; n != nullptr; n = n->right) {
+      path_.push_back(n);
+    }
+  }
+
+  /// First key >= k (lower bound); invalid when every key < k.
+  template <class Cmp = std::less<Key>>
+  void seek(const Key& k, Cmp cmp = Cmp{}) {
+    path_.clear();
+    std::size_t best_depth = 0;  // path length at the best (>= k) node
+    for (const Node* n = root_; n != nullptr;) {
+      path_.push_back(n);
+      if (cmp(n->key, k)) {
+        n = n->right;
+      } else {
+        best_depth = path_.size();
+        n = n->left;
+      }
+    }
+    path_.resize(best_depth);  // unwind below the last >= k node
+  }
+
+  /// In-order successor; invalidates past the last key.
+  void next() {
+    PC_DASSERT(valid(), "next() on an invalid cursor");
+    const Node* cur = path_.back();
+    if (cur->right != nullptr) {
+      for (const Node* n = cur->right; n != nullptr; n = n->left) {
+        path_.push_back(n);
+      }
+      return;
+    }
+    // Climb until arriving from a left child.
+    path_.pop_back();
+    while (!path_.empty() && path_.back()->right == cur) {
+      cur = path_.back();
+      path_.pop_back();
+    }
+  }
+
+  /// In-order predecessor; invalidates before the first key.
+  void prev() {
+    PC_DASSERT(valid(), "prev() on an invalid cursor");
+    const Node* cur = path_.back();
+    if (cur->left != nullptr) {
+      for (const Node* n = cur->left; n != nullptr; n = n->right) {
+        path_.push_back(n);
+      }
+      return;
+    }
+    path_.pop_back();
+    while (!path_.empty() && path_.back()->left == cur) {
+      cur = path_.back();
+      path_.pop_back();
+    }
+  }
+
+ private:
+  const Node* root_;
+  std::vector<const Node*> path_;
+};
+
+/// Cursor over a B+tree snapshot: a root-to-leaf stack of (node, child
+/// index) plus the position inside the current leaf. Same surface as
+/// Cursor; next()/prev() step through leaves, seek() is lower-bound.
+template <class BT>
+class LeafCursor {
+ public:
+  using Node = typename BT::Node;
+  using Leaf = typename BT::LeafNode;
+  using Internal = typename BT::InternalNode;
+  using Key = typename BT::KeyType;
+  using Value = typename BT::ValueType;
+
+  explicit LeafCursor(const BT& snapshot) : root_(snapshot.root_node()) {}
+
+  bool valid() const noexcept { return leaf_ != nullptr; }
+
+  const Key& key() const {
+    PC_DASSERT(valid(), "key() on an invalid cursor");
+    return leaf_->keys[pos_];
+  }
+  const Value& value() const {
+    PC_DASSERT(valid(), "value() on an invalid cursor");
+    return leaf_->values[pos_];
+  }
+
+  void seek_first() {
+    descend_edge(/*rightmost=*/false);
+    pos_ = 0;
+  }
+
+  void seek_last() {
+    descend_edge(/*rightmost=*/true);
+    if (leaf_ != nullptr) pos_ = leaf_->count - 1u;
+  }
+
+  /// First key >= k; invalid when every key < k.
+  template <class Cmp = std::less<Key>>
+  void seek(const Key& k, Cmp cmp = Cmp{}) {
+    path_.clear();
+    leaf_ = nullptr;
+    const Node* n = root_;
+    if (n == nullptr) return;
+    while (!n->is_leaf) {
+      const auto* in = static_cast<const Internal*>(n);
+      unsigned i = 0;
+      while (i < in->count && !cmp(k, in->keys[i])) ++i;
+      path_.push_back({in, i});
+      n = in->child[i];
+    }
+    const auto* leaf = static_cast<const Leaf*>(n);
+    unsigned i = 0;
+    while (i < leaf->count && cmp(leaf->keys[i], k)) ++i;
+    if (i < leaf->count) {
+      leaf_ = leaf;
+      pos_ = i;
+      return;
+    }
+    // Everything in this leaf is < k: the answer is the next leaf's first
+    // key (separators guarantee it is >= k).
+    leaf_ = leaf;
+    pos_ = leaf->count - 1u;
+    next();
+  }
+
+  void next() {
+    PC_DASSERT(valid(), "next() on an invalid cursor");
+    if (pos_ + 1u < leaf_->count) {
+      ++pos_;
+      return;
+    }
+    // Climb to the first ancestor with a right sibling, descend its
+    // leftmost edge.
+    while (!path_.empty() && path_.back().idx == path_.back().node->count) {
+      path_.pop_back();
+    }
+    if (path_.empty()) {
+      leaf_ = nullptr;
+      return;
+    }
+    ++path_.back().idx;
+    const Node* n = path_.back().node->child[path_.back().idx];
+    while (!n->is_leaf) {
+      const auto* in = static_cast<const Internal*>(n);
+      path_.push_back({in, 0});
+      n = in->child[0];
+    }
+    leaf_ = static_cast<const Leaf*>(n);
+    pos_ = 0;
+  }
+
+  void prev() {
+    PC_DASSERT(valid(), "prev() on an invalid cursor");
+    if (pos_ > 0) {
+      --pos_;
+      return;
+    }
+    while (!path_.empty() && path_.back().idx == 0) path_.pop_back();
+    if (path_.empty()) {
+      leaf_ = nullptr;
+      return;
+    }
+    --path_.back().idx;
+    const Node* n = path_.back().node->child[path_.back().idx];
+    while (!n->is_leaf) {
+      const auto* in = static_cast<const Internal*>(n);
+      path_.push_back({in, in->count});
+      n = in->child[in->count];
+    }
+    leaf_ = static_cast<const Leaf*>(n);
+    pos_ = leaf_->count - 1u;
+  }
+
+ private:
+  struct Frame {
+    const Internal* node;
+    unsigned idx;  // child index taken from this node
+  };
+
+  void descend_edge(bool rightmost) {
+    path_.clear();
+    leaf_ = nullptr;
+    const Node* n = root_;
+    if (n == nullptr) return;
+    while (!n->is_leaf) {
+      const auto* in = static_cast<const Internal*>(n);
+      const unsigned i = rightmost ? in->count : 0u;
+      path_.push_back({in, i});
+      n = in->child[i];
+    }
+    leaf_ = static_cast<const Leaf*>(n);
+    pos_ = 0;
+  }
+
+  const Node* root_;
+  std::vector<Frame> path_;
+  const Leaf* leaf_ = nullptr;
+  unsigned pos_ = 0;
+};
+
+namespace detail {
+
+template <class DS>
+concept HasLeafNodes = requires { typename DS::LeafNode; };
+
+}  // namespace detail
+
+/// Structure-appropriate cursor type: LeafCursor for the B+tree, the
+/// binary-node Cursor otherwise.
+template <class DS>
+auto make_cursor(const DS& snapshot) {
+  if constexpr (detail::HasLeafNodes<DS>) {
+    return LeafCursor<DS>(snapshot);
+  } else {
+    return Cursor<DS>(snapshot);
+  }
+}
+
+/// Visits (key, value) for every key in [lo, hi), in order. O(log N +
+/// matches) — positions with one seek, stops at the boundary. Works for
+/// every ordered structure via make_cursor.
+template <class DS, class F, class Cmp = std::less<typename DS::KeyType>>
+void scan_range(const DS& snapshot, const typename DS::KeyType& lo,
+                const typename DS::KeyType& hi, F&& f, Cmp cmp = Cmp{}) {
+  auto c = make_cursor(snapshot);
+  for (c.seek(lo, cmp); c.valid() && cmp(c.key(), hi); c.next()) {
+    f(c.key(), c.value());
+  }
+}
+
+}  // namespace pathcopy::persist

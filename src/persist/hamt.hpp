@@ -1,0 +1,462 @@
+// Persistent hash array-mapped trie (HAMT).
+//
+// The unordered counterpart to the search trees: keys are placed by their
+// 64-bit hash, consumed `Bits` bits per level, so the trie is at most
+// ceil(64/Bits) levels deep regardless of size. Path copying still
+// applies — an update copies the O(log_W N) branches from the root to the
+// touched slot (W = 2^Bits) — which makes the HAMT the natural probe for
+// how the paper's cache effect depends on *branching factor*: wider nodes
+// mean shorter paths (fewer serialized uncached loads for the winner) but
+// a larger copied footprint per level (more bytes written per attempt,
+// and a retry's "modified nodes" are wider too). The branching ablation
+// bench sweeps Bits to map this trade-off in the model.
+//
+// Design notes:
+//   * Branch nodes hold a direct child[W] array plus a presence bitmap.
+//     Production HAMTs compress the array to popcount(bitmap) entries;
+//     we keep it direct so a branch copy is one memcpy-able object with a
+//     type the Builder can allocate (the ablation cares about node bytes,
+//     which we report, not about matching any particular implementation's
+//     memory layout).
+//   * Canonical form: a branch never holds exactly one leaf/collision
+//     child (it would have been collapsed into the parent), so structural
+//     equality of versions implies set equality, and erase undoes what
+//     insert built. check_invariants() enforces this.
+//   * Full 64-bit hash collisions land in a Collision node holding the
+//     colliding (key, value) pairs, placed at the depth where the clash
+//     was discovered (Clojure-style); a later key with a different hash
+//     that reaches the bucket splits around it. Tests exercise both with
+//     a deliberately degenerate hash.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "core/node_base.hpp"
+#include "util/assert.hpp"
+
+namespace pathcopy::persist {
+
+template <class K, class V, unsigned Bits = 6, class Hash = std::hash<K>>
+class Hamt {
+  static_assert(Bits >= 1 && Bits <= 6,
+                "width is bounded by the 64-bit presence bitmap");
+
+ public:
+  using KeyType = K;
+  using ValueType = V;
+  static constexpr unsigned kBits = Bits;
+  static constexpr unsigned kWidth = 1u << Bits;
+  /// Levels before the 64-bit hash is exhausted.
+  static constexpr unsigned kMaxDepth = (64 + Bits - 1) / Bits;
+
+  enum class Kind : std::uint8_t { kLeaf, kBranch, kCollision };
+
+  struct Node : core::PNode {
+    Kind kind;
+    std::uint64_t size;
+    Node(Kind k, std::uint64_t s) : kind(k), size(s) {}
+  };
+
+  struct Leaf : Node {
+    std::uint64_t hash;
+    K key;
+    V value;
+    Leaf(std::uint64_t h, const K& k, const V& v)
+        : Node(Kind::kLeaf, 1), hash(h), key(k), value(v) {}
+  };
+
+  struct Branch : Node {
+    std::uint64_t bitmap;
+    std::array<const Node*, kWidth> child;
+    Branch(std::uint64_t bm, const std::array<const Node*, kWidth>& ch)
+        : Node(Kind::kBranch, 0), bitmap(bm), child(ch) {
+      for (const Node* c : child) {
+        if (c != nullptr) this->size += c->size;
+      }
+    }
+  };
+
+  struct Collision : Node {
+    std::uint64_t hash;
+    std::vector<std::pair<K, V>> entries;
+    Collision(std::uint64_t h, std::vector<std::pair<K, V>> e)
+        : Node(Kind::kCollision, e.size()), hash(h), entries(std::move(e)) {}
+  };
+
+  Hamt() noexcept = default;
+
+  static Hamt from_root(const void* root) noexcept {
+    return Hamt{static_cast<const Node*>(root)};
+  }
+  const void* root_ptr() const noexcept { return root_; }
+  const Node* root_node() const noexcept { return root_; }
+
+  std::size_t size() const noexcept { return root_ == nullptr ? 0 : root_->size; }
+  bool empty() const noexcept { return root_ == nullptr; }
+
+  // ----- queries -----
+
+  const V* find(const K& key) const {
+    const std::uint64_t h = Hash{}(key);
+    const Node* n = root_;
+    unsigned depth = 0;
+    while (n != nullptr) {
+      switch (n->kind) {
+        case Kind::kLeaf: {
+          const auto* leaf = static_cast<const Leaf*>(n);
+          return (leaf->hash == h && leaf->key == key) ? &leaf->value
+                                                       : nullptr;
+        }
+        case Kind::kCollision: {
+          const auto* coll = static_cast<const Collision*>(n);
+          if (coll->hash != h) return nullptr;
+          for (const auto& [k, v] : coll->entries) {
+            if (k == key) return &v;
+          }
+          return nullptr;
+        }
+        case Kind::kBranch: {
+          const auto* br = static_cast<const Branch*>(n);
+          n = br->child[symbol(h, depth)];
+          ++depth;
+          break;
+        }
+      }
+    }
+    return nullptr;
+  }
+
+  bool contains(const K& key) const { return find(key) != nullptr; }
+
+  /// Visits (key, value) in unspecified (hash) order.
+  template <class F>
+  void for_each(F&& f) const {
+    for_each_rec(root_, f);
+  }
+
+  std::vector<std::pair<K, V>> items() const {
+    std::vector<std::pair<K, V>> out;
+    out.reserve(size());
+    for_each([&](const K& k, const V& v) { out.emplace_back(k, v); });
+    return out;
+  }
+
+  // ----- updates -----
+
+  template <class B>
+  Hamt insert(B& b, const K& key, const V& value) const {
+    if (contains(key)) return *this;
+    return Hamt{insert_rec(b, root_, 0, Hash{}(key), key, value)};
+  }
+
+  template <class B>
+  Hamt insert_or_assign(B& b, const K& key, const V& value) const {
+    return Hamt{insert_rec(b, root_, 0, Hash{}(key), key, value)};
+  }
+
+  template <class B>
+  Hamt erase(B& b, const K& key) const {
+    if (!contains(key)) return *this;
+    return Hamt{erase_rec(b, root_, 0, Hash{}(key), key)};
+  }
+
+  // ----- structural utilities -----
+
+  bool check_invariants() const {
+    if (root_ == nullptr) return true;
+    return check_rec(root_, 0, 0);
+  }
+
+  /// Deepest node level (1 for a lone leaf; 0 for empty).
+  std::size_t height() const { return height_rec(root_); }
+
+  static std::size_t shared_nodes(const Hamt& a, const Hamt& b) {
+    std::unordered_set<const Node*> seen;
+    collect(a.root_, seen);
+    std::size_t shared = 0;
+    count_shared(b.root_, seen, shared);
+    return shared;
+  }
+
+  template <class Backend>
+  static void destroy(const Node* n, Backend& backend) {
+    if (n == nullptr) return;
+    switch (n->kind) {
+      case Kind::kLeaf: {
+        const auto* leaf = static_cast<const Leaf*>(n);
+        leaf->~Leaf();
+        backend.free_bytes(const_cast<Leaf*>(leaf), sizeof(Leaf),
+                           alignof(Leaf));
+        return;
+      }
+      case Kind::kCollision: {
+        const auto* coll = static_cast<const Collision*>(n);
+        coll->~Collision();
+        backend.free_bytes(const_cast<Collision*>(coll), sizeof(Collision),
+                           alignof(Collision));
+        return;
+      }
+      case Kind::kBranch: {
+        const auto* br = static_cast<const Branch*>(n);
+        for (const Node* c : br->child) destroy(c, backend);
+        br->~Branch();
+        backend.free_bytes(const_cast<Branch*>(br), sizeof(Branch),
+                           alignof(Branch));
+        return;
+      }
+    }
+  }
+
+ private:
+  explicit Hamt(const Node* root) noexcept : root_(root) {}
+
+  static unsigned symbol(std::uint64_t hash, unsigned depth) noexcept {
+    return static_cast<unsigned>((hash >> (depth * Bits)) & (kWidth - 1));
+  }
+
+  template <class B>
+  static const Leaf* mk_leaf(B& b, std::uint64_t h, const K& k, const V& v) {
+    return b.template create<Leaf>(h, k, v);
+  }
+
+  /// Builds the minimal branch chain distinguishing two subtrees whose
+  /// hashes first diverge at or below `depth`. Both arguments are adopted
+  /// (shared), not copied.
+  template <class B>
+  static const Node* join(B& b, unsigned depth, std::uint64_t ha,
+                          const Node* a, std::uint64_t hb, const Node* n) {
+    PC_DASSERT(depth < kMaxDepth, "join past hash exhaustion");
+    const unsigned sa = symbol(ha, depth);
+    const unsigned sb = symbol(hb, depth);
+    std::array<const Node*, kWidth> ch{};
+    if (sa == sb) {
+      const Node* sub = join(b, depth + 1, ha, a, hb, n);
+      ch[sa] = sub;
+      return b.template create<Branch>(std::uint64_t{1} << sa, ch);
+    }
+    ch[sa] = a;
+    ch[sb] = n;
+    return b.template create<Branch>((std::uint64_t{1} << sa) |
+                                         (std::uint64_t{1} << sb),
+                                     ch);
+  }
+
+  template <class B>
+  static const Node* insert_rec(B& b, const Node* n, unsigned depth,
+                                std::uint64_t h, const K& key, const V& value) {
+    if (n == nullptr) return mk_leaf(b, h, key, value);
+    switch (n->kind) {
+      case Kind::kLeaf: {
+        const auto* leaf = static_cast<const Leaf*>(n);
+        if (leaf->hash == h && leaf->key == key) {
+          b.supersede(leaf);
+          return mk_leaf(b, h, key, value);
+        }
+        if (leaf->hash == h) {
+          // Full 64-bit collision: both pairs move into a collision node.
+          b.supersede(leaf);
+          std::vector<std::pair<K, V>> entries;
+          entries.emplace_back(leaf->key, leaf->value);
+          entries.emplace_back(key, value);
+          return b.template create<Collision>(h, std::move(entries));
+        }
+        // Hashes diverge somewhere at or below this depth: the old leaf is
+        // shared into the new branch chain, not copied.
+        return join(b, depth, leaf->hash, leaf, h,
+                    mk_leaf(b, h, key, value));
+      }
+      case Kind::kCollision: {
+        const auto* coll = static_cast<const Collision*>(n);
+        if (coll->hash != h) {
+          // A foreign hash reached a (shallow) collision bucket: split,
+          // sharing the whole bucket into the new branch chain.
+          return join(b, depth, coll->hash, coll, h,
+                      mk_leaf(b, h, key, value));
+        }
+        b.supersede(coll);
+        std::vector<std::pair<K, V>> entries = coll->entries;
+        bool replaced = false;
+        for (auto& [k, v] : entries) {
+          if (k == key) {
+            v = value;
+            replaced = true;
+            break;
+          }
+        }
+        if (!replaced) entries.emplace_back(key, value);
+        return b.template create<Collision>(h, std::move(entries));
+      }
+      case Kind::kBranch: {
+        const auto* br = static_cast<const Branch*>(n);
+        const unsigned sym = symbol(h, depth);
+        b.supersede(br);
+        std::array<const Node*, kWidth> ch = br->child;
+        ch[sym] = insert_rec(b, ch[sym], depth + 1, h, key, value);
+        return b.template create<Branch>(br->bitmap |
+                                             (std::uint64_t{1} << sym),
+                                         ch);
+      }
+    }
+    return nullptr;  // unreachable
+  }
+
+  template <class B>
+  static const Node* erase_rec(B& b, const Node* n, unsigned depth,
+                               std::uint64_t h, const K& key) {
+    PC_DASSERT(n != nullptr, "erase_rec past a leaf");
+    switch (n->kind) {
+      case Kind::kLeaf: {
+        const auto* leaf = static_cast<const Leaf*>(n);
+        PC_DASSERT(leaf->key == key, "erase_rec reached the wrong leaf");
+        b.supersede(leaf);
+        return nullptr;
+      }
+      case Kind::kCollision: {
+        const auto* coll = static_cast<const Collision*>(n);
+        b.supersede(coll);
+        std::vector<std::pair<K, V>> entries;
+        entries.reserve(coll->entries.size() - 1);
+        for (const auto& e : coll->entries) {
+          if (!(e.first == key)) entries.push_back(e);
+        }
+        if (entries.size() == 1) {
+          return mk_leaf(b, h, entries[0].first, entries[0].second);
+        }
+        return b.template create<Collision>(h, std::move(entries));
+      }
+      case Kind::kBranch: {
+        const auto* br = static_cast<const Branch*>(n);
+        const unsigned sym = symbol(h, depth);
+        b.supersede(br);
+        std::array<const Node*, kWidth> ch = br->child;
+        ch[sym] = erase_rec(b, ch[sym], depth + 1, h, key);
+        std::uint64_t bm = br->bitmap;
+        if (ch[sym] == nullptr) bm &= ~(std::uint64_t{1} << sym);
+        const int n_children = std::popcount(bm);
+        if (n_children == 0) return nullptr;
+        if (n_children == 1) {
+          const Node* only = ch[static_cast<unsigned>(std::countr_zero(bm))];
+          // Collapse a lone leaf/collision into the parent (canonical
+          // form); a lone branch child must stay, its depth matters.
+          if (only->kind != Kind::kBranch) return only;
+        }
+        return b.template create<Branch>(bm, ch);
+      }
+    }
+    return nullptr;  // unreachable
+  }
+
+  template <class F>
+  static void for_each_rec(const Node* n, F& f) {
+    if (n == nullptr) return;
+    switch (n->kind) {
+      case Kind::kLeaf: {
+        const auto* leaf = static_cast<const Leaf*>(n);
+        f(leaf->key, leaf->value);
+        return;
+      }
+      case Kind::kCollision: {
+        const auto* coll = static_cast<const Collision*>(n);
+        for (const auto& [k, v] : coll->entries) f(k, v);
+        return;
+      }
+      case Kind::kBranch: {
+        const auto* br = static_cast<const Branch*>(n);
+        for (const Node* c : br->child) for_each_rec(c, f);
+        return;
+      }
+    }
+  }
+
+  static std::size_t height_rec(const Node* n) {
+    if (n == nullptr) return 0;
+    if (n->kind != Kind::kBranch) return 1;
+    const auto* br = static_cast<const Branch*>(n);
+    std::size_t best = 0;
+    for (const Node* c : br->child) {
+      best = std::max(best, height_rec(c));
+    }
+    return 1 + best;
+  }
+
+  /// prefix = the path's symbols packed little-endian, valid below `depth`.
+  static bool check_rec(const Node* n, unsigned depth, std::uint64_t prefix) {
+    if (n->pc_state_ != core::NodeState::kPublished) return false;
+    const std::uint64_t prefix_mask =
+        depth * Bits >= 64 ? ~std::uint64_t{0}
+                           : ((std::uint64_t{1} << (depth * Bits)) - 1);
+    switch (n->kind) {
+      case Kind::kLeaf: {
+        const auto* leaf = static_cast<const Leaf*>(n);
+        if (Hash{}(leaf->key) != leaf->hash) return false;
+        if ((leaf->hash & prefix_mask) != prefix) return false;
+        return leaf->size == 1;
+      }
+      case Kind::kCollision: {
+        const auto* coll = static_cast<const Collision*>(n);
+        if (coll->entries.size() < 2) return false;
+        if (coll->size != coll->entries.size()) return false;
+        for (const auto& [k, v] : coll->entries) {
+          if (Hash{}(k) != coll->hash) return false;
+        }
+        return (coll->hash & prefix_mask) == prefix;
+      }
+      case Kind::kBranch: {
+        const auto* br = static_cast<const Branch*>(n);
+        if (br->bitmap == 0) return false;
+        const int n_children = std::popcount(br->bitmap);
+        std::uint64_t total = 0;
+        for (unsigned s = 0; s < kWidth; ++s) {
+          const bool bit = (br->bitmap >> s) & 1;
+          if (bit != (br->child[s] != nullptr)) return false;
+          if (!bit) continue;
+          const Node* c = br->child[s];
+          if (n_children == 1 && c->kind != Kind::kBranch) {
+            return false;  // should have been collapsed (canonical form)
+          }
+          if (!check_rec(c, depth + 1,
+                         prefix | (std::uint64_t{s} << (depth * Bits)))) {
+            return false;
+          }
+          total += c->size;
+        }
+        return total == br->size;
+      }
+    }
+    return false;
+  }
+
+  static void collect(const Node* n, std::unordered_set<const Node*>& out) {
+    if (n == nullptr) return;
+    out.insert(n);
+    if (n->kind == Kind::kBranch) {
+      const auto* br = static_cast<const Branch*>(n);
+      for (const Node* c : br->child) collect(c, out);
+    }
+  }
+
+  static void count_shared(const Node* n,
+                           const std::unordered_set<const Node*>& in,
+                           std::size_t& shared) {
+    if (n == nullptr) return;
+    if (in.contains(n)) {
+      shared += n->size;
+      return;
+    }
+    if (n->kind == Kind::kBranch) {
+      const auto* br = static_cast<const Branch*>(n);
+      for (const Node* c : br->child) count_shared(c, in, shared);
+    }
+  }
+
+  const Node* root_ = nullptr;
+};
+
+}  // namespace pathcopy::persist

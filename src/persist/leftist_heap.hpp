@@ -1,0 +1,196 @@
+// Persistent leftist min-heap (Okasaki-style purely functional heap).
+//
+// A non-search-tree instance for the universal construction: meld-based
+// priority queue whose push/pop path-copy only the right spine, which is
+// O(log N) by the leftist rank invariant (rank(left) >= rank(right) at
+// every node, where rank is the length of the rightmost path to null).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "core/node_base.hpp"
+#include "util/assert.hpp"
+
+namespace pathcopy::persist {
+
+template <class T, class Cmp = std::less<T>>
+class LeftistHeap {
+ public:
+  struct Node : core::PNode {
+    T value;
+    std::uint32_t rank;  // null path length
+    std::uint64_t size;
+    const Node* left;
+    const Node* right;
+
+    Node(const T& v, const Node* l, const Node* r)
+        : value(v),
+          rank(1 + rank_of(r)),
+          size(1 + size_of(l) + size_of(r)),
+          left(l), right(r) {}
+  };
+
+  LeftistHeap() noexcept = default;
+
+  static LeftistHeap from_root(const void* root) noexcept {
+    return LeftistHeap{static_cast<const Node*>(root)};
+  }
+  const void* root_ptr() const noexcept { return root_; }
+  const Node* root_node() const noexcept { return root_; }
+
+  std::size_t size() const noexcept { return size_of(root_); }
+  bool empty() const noexcept { return root_ == nullptr; }
+
+  /// Minimum element; undefined on the empty heap.
+  const T& top() const {
+    PC_ASSERT(root_ != nullptr, "top() on empty heap");
+    return root_->value;
+  }
+
+  template <class B>
+  LeftistHeap push(B& b, const T& value) const {
+    const Node* single = b.template create<Node>(value, nullptr, nullptr);
+    return LeftistHeap{meld_rec(b, root_, single)};
+  }
+
+  /// Removes the minimum; no-op on the empty heap.
+  template <class B>
+  LeftistHeap pop(B& b) const {
+    if (root_ == nullptr) return *this;
+    b.supersede(root_);
+    return LeftistHeap{meld_rec(b, root_->left, root_->right)};
+  }
+
+  template <class B>
+  static LeftistHeap meld(B& b, const LeftistHeap& x, const LeftistHeap& y) {
+    return LeftistHeap{meld_rec(b, x.root_, y.root_)};
+  }
+
+  /// Pre-order visit (heap order within paths, not globally sorted).
+  template <class F>
+  void for_each(F&& f) const {
+    for_each_rec(root_, f);
+  }
+
+  /// Drains a copy of the heap in sorted order (O(n log n); test helper).
+  template <class B>
+  std::vector<T> drain_sorted(B& b) const {
+    std::vector<T> out;
+    out.reserve(size());
+    LeftistHeap h = *this;
+    while (!h.empty()) {
+      out.push_back(h.top());
+      h = h.pop(b);
+    }
+    return out;
+  }
+
+  bool check_invariants() const { return check_rec(root_).ok; }
+
+  static std::size_t shared_nodes(const LeftistHeap& a, const LeftistHeap& b) {
+    std::unordered_set<const Node*> seen;
+    collect(a.root_, seen);
+    std::size_t shared = 0;
+    count_shared(b.root_, seen, shared);
+    return shared;
+  }
+
+  template <class Backend>
+  static void destroy(const Node* n, Backend& backend) {
+    if (n == nullptr) return;
+    destroy(n->left, backend);
+    destroy(n->right, backend);
+    n->~Node();
+    backend.free_bytes(const_cast<Node*>(n), sizeof(Node), alignof(Node));
+  }
+
+ private:
+  explicit LeftistHeap(const Node* root) noexcept : root_(root) {}
+
+  static std::uint32_t rank_of(const Node* n) noexcept {
+    return n == nullptr ? 0 : n->rank;
+  }
+  static std::uint64_t size_of(const Node* n) noexcept {
+    return n == nullptr ? 0 : n->size;
+  }
+
+  template <class B>
+  static const Node* meld_rec(B& b, const Node* x, const Node* y) {
+    if (x == nullptr) return y;
+    if (y == nullptr) return x;
+    Cmp cmp;
+    if (cmp(y->value, x->value)) {
+      const Node* t = x;
+      x = y;
+      y = t;
+    }
+    // x holds the smaller value: it is copied with y melded into its right
+    // spine; the left subtree stays shared.
+    const Node* merged = meld_rec(b, x->right, y);
+    b.supersede(x);
+    // Leftist invariant: higher-rank child goes left.
+    if (rank_of(x->left) >= rank_of(merged)) {
+      return b.template create<Node>(x->value, x->left, merged);
+    }
+    return b.template create<Node>(x->value, merged, x->left);
+  }
+
+  template <class F>
+  static void for_each_rec(const Node* n, F& f) {
+    if (n == nullptr) return;
+    f(n->value);
+    for_each_rec(n->left, f);
+    for_each_rec(n->right, f);
+  }
+
+  struct CheckResult {
+    bool ok;
+    std::uint32_t rank;
+    std::uint64_t size;
+  };
+
+  static CheckResult check_rec(const Node* n) {
+    if (n == nullptr) return {true, 0, 0};
+    Cmp cmp;
+    if (n->pc_state_ != core::NodeState::kPublished) return {false, 0, 0};
+    // Heap order.
+    if (n->left != nullptr && cmp(n->left->value, n->value)) return {false, 0, 0};
+    if (n->right != nullptr && cmp(n->right->value, n->value)) return {false, 0, 0};
+    const CheckResult l = check_rec(n->left);
+    if (!l.ok) return {false, 0, 0};
+    const CheckResult r = check_rec(n->right);
+    if (!r.ok) return {false, 0, 0};
+    // Leftist rank invariant.
+    if (l.rank < r.rank) return {false, 0, 0};
+    const std::uint32_t rk = 1 + r.rank;
+    const std::uint64_t sz = 1 + l.size + r.size;
+    return {rk == n->rank && sz == n->size, rk, sz};
+  }
+
+  static void collect(const Node* n, std::unordered_set<const Node*>& out) {
+    if (n == nullptr) return;
+    out.insert(n);
+    collect(n->left, out);
+    collect(n->right, out);
+  }
+
+  static void count_shared(const Node* n,
+                           const std::unordered_set<const Node*>& in,
+                           std::size_t& shared) {
+    if (n == nullptr) return;
+    if (in.contains(n)) {
+      shared += n->size;
+      return;
+    }
+    count_shared(n->left, in, shared);
+    count_shared(n->right, in, shared);
+  }
+
+  const Node* root_ = nullptr;
+};
+
+}  // namespace pathcopy::persist

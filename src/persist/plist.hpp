@@ -1,0 +1,177 @@
+// Persistent singly linked list (cons list).
+//
+// The degenerate case for path copying: prefix operations are O(1), but a
+// write at index i copies i nodes, and the "path" to any element is the
+// whole prefix. It exists (a) to show the universal construction handles
+// non-tree structures and (b) as the anti-pattern in the cache analysis —
+// with a linear structure the failed-attempt prefetch effect covers the
+// entire prefix, yet successful updates still serialize over O(i) copies.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "core/node_base.hpp"
+#include "util/assert.hpp"
+
+namespace pathcopy::persist {
+
+template <class T>
+class PList {
+ public:
+  struct Node : core::PNode {
+    T value;
+    std::uint64_t size;  // length of the list from this node
+    const Node* next;
+
+    Node(const T& v, const Node* nxt) : value(v), size(1 + size_of(nxt)), next(nxt) {}
+  };
+
+  PList() noexcept = default;
+
+  static PList from_root(const void* root) noexcept {
+    return PList{static_cast<const Node*>(root)};
+  }
+  const void* root_ptr() const noexcept { return head_; }
+  const Node* head_node() const noexcept { return head_; }
+
+  std::size_t size() const noexcept { return size_of(head_); }
+  bool empty() const noexcept { return head_ == nullptr; }
+
+  const T& front() const {
+    PC_ASSERT(head_ != nullptr, "front() on empty list");
+    return head_->value;
+  }
+
+  const T& at(std::size_t i) const {
+    const Node* n = head_;
+    while (i > 0) {
+      PC_ASSERT(n != nullptr, "at() out of range");
+      n = n->next;
+      --i;
+    }
+    PC_ASSERT(n != nullptr, "at() out of range");
+    return n->value;
+  }
+
+  template <class B>
+  PList push_front(B& b, const T& value) const {
+    return PList{b.template create<Node>(value, head_)};
+  }
+
+  template <class B>
+  PList pop_front(B& b) const {
+    if (head_ == nullptr) return *this;
+    b.supersede(head_);
+    return PList{head_->next};
+  }
+
+  /// Replaces element i, copying the prefix [0, i].
+  template <class B>
+  PList set(B& b, std::size_t i, const T& value) const {
+    PC_ASSERT(i < size(), "set() out of range");
+    return PList{set_rec(b, head_, i, value)};
+  }
+
+  /// Inserts before index i (i == size() appends), copying the prefix.
+  template <class B>
+  PList insert_at(B& b, std::size_t i, const T& value) const {
+    PC_ASSERT(i <= size(), "insert_at() out of range");
+    return PList{insert_rec(b, head_, i, value)};
+  }
+
+  /// Removes element i, copying the prefix [0, i).
+  template <class B>
+  PList erase_at(B& b, std::size_t i) const {
+    PC_ASSERT(i < size(), "erase_at() out of range");
+    return PList{erase_rec(b, head_, i)};
+  }
+
+  /// Concatenation: copies *this entirely, shares other.
+  template <class B>
+  static PList concat(B& b, const PList& lhs, const PList& rhs) {
+    return PList{concat_rec(b, lhs.head_, rhs.head_)};
+  }
+
+  template <class F>
+  void for_each(F&& f) const {
+    for (const Node* n = head_; n != nullptr; n = n->next) f(n->value);
+  }
+
+  std::vector<T> items() const {
+    std::vector<T> out;
+    out.reserve(size());
+    for_each([&](const T& v) { out.push_back(v); });
+    return out;
+  }
+
+  bool check_invariants() const {
+    std::uint64_t expect = size_of(head_);
+    for (const Node* n = head_; n != nullptr; n = n->next) {
+      if (n->pc_state_ != core::NodeState::kPublished) return false;
+      if (n->size != expect) return false;
+      --expect;
+    }
+    return expect == 0;
+  }
+
+  static std::size_t shared_nodes(const PList& a, const PList& b) {
+    std::unordered_set<const Node*> seen;
+    for (const Node* n = a.head_; n != nullptr; n = n->next) seen.insert(n);
+    for (const Node* n = b.head_; n != nullptr; n = n->next) {
+      if (seen.contains(n)) return n->size;  // suffixes are shared wholesale
+    }
+    return 0;
+  }
+
+  template <class Backend>
+  static void destroy(const Node* n, Backend& backend) {
+    while (n != nullptr) {
+      const Node* next = n->next;
+      n->~Node();
+      backend.free_bytes(const_cast<Node*>(n), sizeof(Node), alignof(Node));
+      n = next;
+    }
+  }
+
+ private:
+  explicit PList(const Node* head) noexcept : head_(head) {}
+
+  static std::uint64_t size_of(const Node* n) noexcept {
+    return n == nullptr ? 0 : n->size;
+  }
+
+  template <class B>
+  static const Node* set_rec(B& b, const Node* n, std::size_t i, const T& value) {
+    b.supersede(n);
+    if (i == 0) return b.template create<Node>(value, n->next);
+    return b.template create<Node>(n->value, set_rec(b, n->next, i - 1, value));
+  }
+
+  template <class B>
+  static const Node* insert_rec(B& b, const Node* n, std::size_t i,
+                                const T& value) {
+    if (i == 0) return b.template create<Node>(value, n);
+    b.supersede(n);
+    return b.template create<Node>(n->value, insert_rec(b, n->next, i - 1, value));
+  }
+
+  template <class B>
+  static const Node* erase_rec(B& b, const Node* n, std::size_t i) {
+    b.supersede(n);
+    if (i == 0) return n->next;
+    return b.template create<Node>(n->value, erase_rec(b, n->next, i - 1));
+  }
+
+  template <class B>
+  static const Node* concat_rec(B& b, const Node* n, const Node* tail) {
+    if (n == nullptr) return tail;
+    return b.template create<Node>(n->value, concat_rec(b, n->next, tail));
+  }
+
+  const Node* head_ = nullptr;
+};
+
+}  // namespace pathcopy::persist

@@ -1,0 +1,579 @@
+// Persistent red-black tree.
+//
+// Third balanced-tree instance for the universal construction (alongside
+// AVL and the weight-balanced tree). Insertion is Okasaki's rotation-free
+// rebalancing; deletion follows the Coq MSetRBT formulation (Appel /
+// Filliâtre / Letouzey): `append` fuses the two subtrees of the deleted
+// node, and the `lbalS`/`rbalS` smart constructors repair a subtree whose
+// black height dropped by one. That algorithm is machine-checked in Coq,
+// which makes it a trustworthy donor for a from-scratch transcription —
+// the test suite re-verifies the red/black invariants after every
+// mutation anyway.
+//
+// Compared to the treap, a red-black update copies a slightly longer
+// prefix of the path (recoloring cascades), but guarantees height
+// <= 2·log2(N+1) deterministically. The structure ablation (E8) measures
+// the resulting copy-cost difference.
+//
+// Size-augmented like every structure here: rank/kth/count_range are
+// O(log N), and a handle is a single root pointer.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "core/node_base.hpp"
+#include "util/assert.hpp"
+
+namespace pathcopy::persist {
+
+template <class K, class V, class Cmp = std::less<K>>
+class RbTree {
+ public:
+  using KeyType = K;
+  using ValueType = V;
+  enum class Color : std::uint8_t { kRed = 0, kBlack = 1 };
+
+  struct Node : core::PNode {
+    K key;
+    V value;
+    Color color;
+    std::uint64_t size;
+    const Node* left;
+    const Node* right;
+
+    Node(Color c, const Node* l, const K& k, const V& v, const Node* r)
+        : key(k), value(v), color(c),
+          size(1 + size_of(l) + size_of(r)),
+          left(l), right(r) {}
+  };
+
+  RbTree() noexcept = default;
+
+  static RbTree from_root(const void* root) noexcept {
+    return RbTree{static_cast<const Node*>(root)};
+  }
+  const void* root_ptr() const noexcept { return root_; }
+  const Node* root_node() const noexcept { return root_; }
+
+  std::size_t size() const noexcept { return size_of(root_); }
+  bool empty() const noexcept { return root_ == nullptr; }
+
+  // ----- queries -----
+
+  const V* find(const K& key) const {
+    const Node* n = root_;
+    Cmp cmp;
+    while (n != nullptr) {
+      if (cmp(key, n->key)) {
+        n = n->left;
+      } else if (cmp(n->key, key)) {
+        n = n->right;
+      } else {
+        return &n->value;
+      }
+    }
+    return nullptr;
+  }
+
+  bool contains(const K& key) const { return find(key) != nullptr; }
+
+  const Node* min_node() const {
+    const Node* n = root_;
+    while (n != nullptr && n->left != nullptr) n = n->left;
+    return n;
+  }
+
+  const Node* max_node() const {
+    const Node* n = root_;
+    while (n != nullptr && n->right != nullptr) n = n->right;
+    return n;
+  }
+
+  /// Largest key <= key, or nullptr.
+  const Node* floor_node(const K& key) const {
+    const Node* n = root_;
+    const Node* best = nullptr;
+    Cmp cmp;
+    while (n != nullptr) {
+      if (cmp(key, n->key)) {
+        n = n->left;
+      } else {
+        best = n;
+        n = n->right;
+      }
+    }
+    return best;
+  }
+
+  /// Smallest key >= key, or nullptr.
+  const Node* ceiling_node(const K& key) const {
+    const Node* n = root_;
+    const Node* best = nullptr;
+    Cmp cmp;
+    while (n != nullptr) {
+      if (cmp(n->key, key)) {
+        n = n->right;
+      } else {
+        best = n;
+        n = n->left;
+      }
+    }
+    return best;
+  }
+
+  /// Number of keys strictly less than key.
+  std::size_t rank(const K& key) const {
+    std::size_t r = 0;
+    const Node* n = root_;
+    Cmp cmp;
+    while (n != nullptr) {
+      if (cmp(n->key, key)) {
+        r += 1 + size_of(n->left);
+        n = n->right;
+      } else {
+        n = n->left;
+      }
+    }
+    return r;
+  }
+
+  /// The i-th smallest key (0-based); nullptr when i >= size().
+  const Node* kth(std::size_t i) const {
+    const Node* n = root_;
+    while (n != nullptr) {
+      const std::size_t ls = size_of(n->left);
+      if (i < ls) {
+        n = n->left;
+      } else if (i == ls) {
+        return n;
+      } else {
+        i -= ls + 1;
+        n = n->right;
+      }
+    }
+    return nullptr;
+  }
+
+  /// Keys in the half-open interval [lo, hi).
+  std::size_t count_range(const K& lo, const K& hi) const {
+    const std::size_t a = rank(lo);
+    const std::size_t b = rank(hi);
+    return b > a ? b - a : 0;
+  }
+
+  template <class F>
+  void for_each(F&& f) const {
+    for_each_rec(root_, f);
+  }
+
+  std::vector<std::pair<K, V>> items() const {
+    std::vector<std::pair<K, V>> out;
+    out.reserve(size());
+    for_each([&](const K& k, const V& v) { out.emplace_back(k, v); });
+    return out;
+  }
+
+  // ----- updates -----
+
+  template <class B>
+  RbTree insert(B& b, const K& key, const V& value) const {
+    if (contains(key)) return *this;
+    return RbTree{make_black(b, ins(b, root_, key, value))};
+  }
+
+  template <class B>
+  RbTree insert_or_assign(B& b, const K& key, const V& value) const {
+    return RbTree{make_black(b, ins(b, root_, key, value))};
+  }
+
+  template <class B>
+  RbTree erase(B& b, const K& key) const {
+    if (!contains(key)) return *this;
+    return RbTree{make_black(b, del(b, root_, key))};
+  }
+
+  // ----- structural utilities -----
+
+  /// Verifies the full red-black contract: BST order, black root, no
+  /// red-red edge, uniform black height, correct size augmentation, and
+  /// published builder state on every node.
+  bool check_invariants() const {
+    if (is_red(root_)) return false;
+    return check_rec(root_, nullptr, nullptr).ok;
+  }
+
+  std::size_t height() const { return height_rec(root_); }
+
+  /// Black nodes on any root-to-leaf path (0 for the empty tree).
+  std::size_t black_height() const {
+    std::size_t h = 0;
+    for (const Node* n = root_; n != nullptr; n = n->left) {
+      if (n->color == Color::kBlack) ++h;
+    }
+    return h;
+  }
+
+  static std::size_t shared_nodes(const RbTree& a, const RbTree& b) {
+    std::unordered_set<const Node*> seen;
+    collect(a.root_, seen);
+    std::size_t shared = 0;
+    count_shared(b.root_, seen, shared);
+    return shared;
+  }
+
+  template <class Backend>
+  static void destroy(const Node* n, Backend& backend) {
+    if (n == nullptr) return;
+    destroy(n->left, backend);
+    destroy(n->right, backend);
+    n->~Node();
+    backend.free_bytes(const_cast<Node*>(n), sizeof(Node), alignof(Node));
+  }
+
+ private:
+  explicit RbTree(const Node* root) noexcept : root_(root) {}
+
+  static constexpr Color kRed = Color::kRed;
+  static constexpr Color kBlack = Color::kBlack;
+
+  static std::uint64_t size_of(const Node* n) noexcept {
+    return n == nullptr ? 0 : n->size;
+  }
+  static bool is_red(const Node* n) noexcept {
+    return n != nullptr && n->color == kRed;
+  }
+  static bool is_black_node(const Node* n) noexcept {
+    return n != nullptr && n->color == kBlack;
+  }
+
+  template <class B>
+  static const Node* mk(B& b, Color c, const Node* l, const K& k, const V& v,
+                        const Node* r) {
+    return b.template create<Node>(c, l, k, v, r);
+  }
+
+  /// Returns a black-rooted equivalent of n (possibly n itself).
+  template <class B>
+  static const Node* make_black(B& b, const Node* n) {
+    if (n == nullptr || n->color == kBlack) return n;
+    b.supersede(n);
+    return mk(b, kBlack, n->left, n->key, n->value, n->right);
+  }
+
+  /// Returns a red-rooted copy of n. Only called on non-null black nodes
+  /// whose subtrees tolerate the recolor (lbalS/rbalS interior cases).
+  template <class B>
+  static const Node* make_red(B& b, const Node* n) {
+    PC_DASSERT(n != nullptr, "make_red on empty tree");
+    b.supersede(n);
+    return mk(b, kRed, n->left, n->key, n->value, n->right);
+  }
+
+  // ----- insertion (Okasaki) -----
+
+  /// Okasaki's balance for a black node whose *left* subtree may carry a
+  /// red-red violation introduced by insertion.
+  template <class B>
+  static const Node* lbal(B& b, const Node* l, const K& k, const V& v,
+                          const Node* r) {
+    if (is_red(l)) {
+      if (is_red(l->left)) {
+        const Node* ll = l->left;
+        b.supersede(l);
+        b.supersede(ll);
+        return mk(b, kRed,
+                  mk(b, kBlack, ll->left, ll->key, ll->value, ll->right),
+                  l->key, l->value, mk(b, kBlack, l->right, k, v, r));
+      }
+      if (is_red(l->right)) {
+        const Node* lr = l->right;
+        b.supersede(l);
+        b.supersede(lr);
+        return mk(b, kRed, mk(b, kBlack, l->left, l->key, l->value, lr->left),
+                  lr->key, lr->value, mk(b, kBlack, lr->right, k, v, r));
+      }
+    }
+    return mk(b, kBlack, l, k, v, r);
+  }
+
+  /// Mirror image of lbal for a violation in the right subtree.
+  template <class B>
+  static const Node* rbal(B& b, const Node* l, const K& k, const V& v,
+                          const Node* r) {
+    if (is_red(r)) {
+      if (is_red(r->left)) {
+        const Node* rl = r->left;
+        b.supersede(r);
+        b.supersede(rl);
+        return mk(b, kRed, mk(b, kBlack, l, k, v, rl->left), rl->key,
+                  rl->value,
+                  mk(b, kBlack, rl->right, r->key, r->value, r->right));
+      }
+      if (is_red(r->right)) {
+        const Node* rr = r->right;
+        b.supersede(r);
+        b.supersede(rr);
+        return mk(b, kRed, mk(b, kBlack, l, k, v, r->left), r->key, r->value,
+                  mk(b, kBlack, rr->left, rr->key, rr->value, rr->right));
+      }
+    }
+    return mk(b, kBlack, l, k, v, r);
+  }
+
+  /// Insert-or-assign on the subtree rooted at n. May return a red-rooted
+  /// tree with one red-red violation at the root; make_black repairs it.
+  template <class B>
+  static const Node* ins(B& b, const Node* n, const K& k, const V& v) {
+    if (n == nullptr) return mk(b, kRed, nullptr, k, v, nullptr);
+    Cmp cmp;
+    b.supersede(n);
+    if (cmp(k, n->key)) {
+      if (n->color == kRed) {
+        return mk(b, kRed, ins(b, n->left, k, v), n->key, n->value, n->right);
+      }
+      return lbal(b, ins(b, n->left, k, v), n->key, n->value, n->right);
+    }
+    if (cmp(n->key, k)) {
+      if (n->color == kRed) {
+        return mk(b, kRed, n->left, n->key, n->value, ins(b, n->right, k, v));
+      }
+      return rbal(b, n->left, n->key, n->value, ins(b, n->right, k, v));
+    }
+    return mk(b, n->color, n->left, k, v, n->right);
+  }
+
+  // ----- deletion (MSetRBT) -----
+
+  /// lbal with the match arms flipped (the deletion rebalancers need the
+  /// left-right case to win when both violations are present).
+  template <class B>
+  static const Node* lbal_prime(B& b, const Node* l, const K& k, const V& v,
+                                const Node* r) {
+    if (is_red(l)) {
+      if (is_red(l->right)) {
+        const Node* lr = l->right;
+        b.supersede(l);
+        b.supersede(lr);
+        return mk(b, kRed, mk(b, kBlack, l->left, l->key, l->value, lr->left),
+                  lr->key, lr->value, mk(b, kBlack, lr->right, k, v, r));
+      }
+      if (is_red(l->left)) {
+        const Node* ll = l->left;
+        b.supersede(l);
+        b.supersede(ll);
+        return mk(b, kRed,
+                  mk(b, kBlack, ll->left, ll->key, ll->value, ll->right),
+                  l->key, l->value, mk(b, kBlack, l->right, k, v, r));
+      }
+    }
+    return mk(b, kBlack, l, k, v, r);
+  }
+
+  /// rbal preferring the right-right case.
+  template <class B>
+  static const Node* rbal_prime(B& b, const Node* l, const K& k, const V& v,
+                                const Node* r) {
+    if (is_red(r)) {
+      if (is_red(r->right)) {
+        const Node* rr = r->right;
+        b.supersede(r);
+        b.supersede(rr);
+        return mk(b, kRed, mk(b, kBlack, l, k, v, r->left), r->key, r->value,
+                  mk(b, kBlack, rr->left, rr->key, rr->value, rr->right));
+      }
+      if (is_red(r->left)) {
+        const Node* rl = r->left;
+        b.supersede(r);
+        b.supersede(rl);
+        return mk(b, kRed, mk(b, kBlack, l, k, v, rl->left), rl->key,
+                  rl->value,
+                  mk(b, kBlack, rl->right, r->key, r->value, r->right));
+      }
+    }
+    return mk(b, kBlack, l, k, v, r);
+  }
+
+  /// Rebuilds (l, k, v, r) where subtree l's black height is one less than
+  /// r's (a deletion on the left shrank it). Restores equal black heights,
+  /// possibly returning a red root for the caller to absorb.
+  template <class B>
+  static const Node* lbalS(B& b, const Node* l, const K& k, const V& v,
+                           const Node* r) {
+    if (is_red(l)) {
+      b.supersede(l);
+      return mk(b, kRed, mk(b, kBlack, l->left, l->key, l->value, l->right),
+                k, v, r);
+    }
+    PC_DASSERT(r != nullptr, "lbalS: right sibling cannot be empty");
+    if (r->color == kBlack) {
+      b.supersede(r);
+      return rbal_prime(b, l, k, v,
+                        mk(b, kRed, r->left, r->key, r->value, r->right));
+    }
+    // r red: its left child is black and non-null.
+    const Node* rl = r->left;
+    PC_DASSERT(is_black_node(rl), "lbalS: red sibling must have black child");
+    b.supersede(r);
+    b.supersede(rl);
+    return mk(b, kRed, mk(b, kBlack, l, k, v, rl->left), rl->key, rl->value,
+              rbal_prime(b, rl->right, r->key, r->value,
+                         make_red(b, r->right)));
+  }
+
+  /// Mirror image: subtree r lost one black level.
+  template <class B>
+  static const Node* rbalS(B& b, const Node* l, const K& k, const V& v,
+                           const Node* r) {
+    if (is_red(r)) {
+      b.supersede(r);
+      return mk(b, kRed, l, k, v,
+                mk(b, kBlack, r->left, r->key, r->value, r->right));
+    }
+    PC_DASSERT(l != nullptr, "rbalS: left sibling cannot be empty");
+    if (l->color == kBlack) {
+      b.supersede(l);
+      return lbal_prime(b, mk(b, kRed, l->left, l->key, l->value, l->right),
+                        k, v, r);
+    }
+    const Node* lr = l->right;
+    PC_DASSERT(is_black_node(lr), "rbalS: red sibling must have black child");
+    b.supersede(l);
+    b.supersede(lr);
+    return mk(b, kRed,
+              lbal_prime(b, make_red(b, l->left), l->key, l->value, lr->left),
+              lr->key, lr->value, mk(b, kBlack, lr->right, k, v, r));
+  }
+
+  /// Fuses subtrees l and r (all keys of l < all keys of r) that have
+  /// equal black height — the two children of a deleted node.
+  template <class B>
+  static const Node* append(B& b, const Node* l, const Node* r) {
+    if (l == nullptr) return r;
+    if (r == nullptr) return l;
+    if (l->color == kRed && r->color == kRed) {
+      b.supersede(l);
+      b.supersede(r);
+      const Node* m = append(b, l->right, r->left);
+      if (is_red(m)) {
+        b.supersede(m);
+        return mk(b, kRed, mk(b, kRed, l->left, l->key, l->value, m->left),
+                  m->key, m->value,
+                  mk(b, kRed, m->right, r->key, r->value, r->right));
+      }
+      return mk(b, kRed, l->left, l->key, l->value,
+                mk(b, kRed, m, r->key, r->value, r->right));
+    }
+    if (l->color == kBlack && r->color == kBlack) {
+      b.supersede(l);
+      b.supersede(r);
+      const Node* m = append(b, l->right, r->left);
+      if (is_red(m)) {
+        b.supersede(m);
+        return mk(b, kRed, mk(b, kBlack, l->left, l->key, l->value, m->left),
+                  m->key, m->value,
+                  mk(b, kBlack, m->right, r->key, r->value, r->right));
+      }
+      return lbalS(b, l->left, l->key, l->value,
+                   mk(b, kBlack, m, r->key, r->value, r->right));
+    }
+    if (r->color == kRed) {  // l black
+      b.supersede(r);
+      return mk(b, kRed, append(b, l, r->left), r->key, r->value, r->right);
+    }
+    // l red, r black.
+    b.supersede(l);
+    return mk(b, kRed, l->left, l->key, l->value, append(b, l->right, r));
+  }
+
+  /// Deletes key k (known present) from subtree n. The result's black
+  /// height is one less than n's iff n is black; make_black at the root
+  /// re-anchors the contract.
+  template <class B>
+  static const Node* del(B& b, const Node* n, const K& k) {
+    PC_DASSERT(n != nullptr, "del past a leaf");
+    Cmp cmp;
+    b.supersede(n);
+    if (cmp(k, n->key)) {
+      if (is_black_node(n->left)) {
+        return lbalS(b, del(b, n->left, k), n->key, n->value, n->right);
+      }
+      return mk(b, kRed, del(b, n->left, k), n->key, n->value, n->right);
+    }
+    if (cmp(n->key, k)) {
+      if (is_black_node(n->right)) {
+        return rbalS(b, n->left, n->key, n->value, del(b, n->right, k));
+      }
+      return mk(b, kRed, n->left, n->key, n->value, del(b, n->right, k));
+    }
+    return append(b, n->left, n->right);
+  }
+
+  // ----- verification and traversal -----
+
+  template <class F>
+  static void for_each_rec(const Node* n, F& f) {
+    if (n == nullptr) return;
+    for_each_rec(n->left, f);
+    f(n->key, n->value);
+    for_each_rec(n->right, f);
+  }
+
+  static std::size_t height_rec(const Node* n) {
+    if (n == nullptr) return 0;
+    return 1 + std::max(height_rec(n->left), height_rec(n->right));
+  }
+
+  struct CheckResult {
+    bool ok;
+    std::uint64_t size;
+    std::size_t black_height;
+  };
+
+  static CheckResult check_rec(const Node* n, const K* lo, const K* hi) {
+    if (n == nullptr) return {true, 0, 0};
+    Cmp cmp;
+    if (lo != nullptr && !cmp(*lo, n->key)) return {false, 0, 0};
+    if (hi != nullptr && !cmp(n->key, *hi)) return {false, 0, 0};
+    if (n->pc_state_ != core::NodeState::kPublished) return {false, 0, 0};
+    if (n->color == kRed && (is_red(n->left) || is_red(n->right))) {
+      return {false, 0, 0};
+    }
+    const CheckResult l = check_rec(n->left, lo, &n->key);
+    if (!l.ok) return {false, 0, 0};
+    const CheckResult r = check_rec(n->right, &n->key, hi);
+    if (!r.ok) return {false, 0, 0};
+    if (l.black_height != r.black_height) return {false, 0, 0};
+    const std::uint64_t sz = 1 + l.size + r.size;
+    const std::size_t bh =
+        l.black_height + (n->color == kBlack ? 1 : 0);
+    return {sz == n->size, sz, bh};
+  }
+
+  static void collect(const Node* n, std::unordered_set<const Node*>& out) {
+    if (n == nullptr) return;
+    out.insert(n);
+    collect(n->left, out);
+    collect(n->right, out);
+  }
+
+  static void count_shared(const Node* n,
+                           const std::unordered_set<const Node*>& in,
+                           std::size_t& shared) {
+    if (n == nullptr) return;
+    if (in.contains(n)) {
+      shared += n->size;
+      return;
+    }
+    count_shared(n->left, in, shared);
+    count_shared(n->right, in, shared);
+  }
+
+  const Node* root_ = nullptr;
+};
+
+}  // namespace pathcopy::persist

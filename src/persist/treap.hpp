@@ -1,0 +1,630 @@
+// Persistent treap (Seidel & Aragon randomized search tree).
+//
+// The structure the paper evaluates. A treap is a binary search tree on
+// keys that is simultaneously a max-heap on per-key priorities; with
+// random priorities its height is O(log N) w.h.p. Priorities here are a
+// splitmix64 hash of the key, which makes the tree shape a pure function
+// of the key *set* — independent of operation order. That canonical-form
+// property is exploited heavily by the tests (two histories with the same
+// final set must produce structurally identical trees).
+//
+// All nodes are immutable. A Treap value is a root pointer; updates take a
+// core::Builder, path-copy via split/merge, and return the handle of the
+// new version, leaving *this valid and unchanged. Nodes are
+// size-augmented, giving O(log N) rank/select and O(1) size().
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <tuple>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "core/node_base.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace pathcopy::persist {
+
+template <class K, class V, class Cmp = std::less<K>>
+class Treap {
+ public:
+  using KeyType = K;
+  using ValueType = V;
+  struct Node : core::PNode {
+    K key;
+    V value;
+    std::uint64_t prio;
+    std::uint64_t size;  // nodes in this subtree, including this one
+    const Node* left;
+    const Node* right;
+
+    Node(const K& k, const V& v, std::uint64_t p, const Node* l, const Node* r)
+        : key(k), value(v), prio(p),
+          size(1 + size_of(l) + size_of(r)), left(l), right(r) {}
+  };
+
+  Treap() noexcept = default;
+
+  /// Rebinds a handle to a root loaded from an Atom (type-erased there).
+  static Treap from_root(const void* root) noexcept {
+    return Treap{static_cast<const Node*>(root)};
+  }
+  const void* root_ptr() const noexcept { return root_; }
+  const Node* root_node() const noexcept { return root_; }
+
+  std::size_t size() const noexcept { return size_of(root_); }
+  bool empty() const noexcept { return root_ == nullptr; }
+
+  /// Deterministic priority: the tree shape depends only on the key set.
+  static std::uint64_t priority_of(const K& key) {
+    return util::mix64(static_cast<std::uint64_t>(std::hash<K>{}(key)));
+  }
+
+  // ----- queries (no builder, run on the immutable version) -----
+
+  const V* find(const K& key) const {
+    const Node* n = root_;
+    Cmp cmp;
+    while (n != nullptr) {
+      if (cmp(key, n->key)) {
+        n = n->left;
+      } else if (cmp(n->key, key)) {
+        n = n->right;
+      } else {
+        return &n->value;
+      }
+    }
+    return nullptr;
+  }
+
+  bool contains(const K& key) const { return find(key) != nullptr; }
+
+  const Node* min_node() const {
+    const Node* n = root_;
+    while (n != nullptr && n->left != nullptr) n = n->left;
+    return n;
+  }
+
+  const Node* max_node() const {
+    const Node* n = root_;
+    while (n != nullptr && n->right != nullptr) n = n->right;
+    return n;
+  }
+
+  /// Largest key <= key, or nullptr.
+  const Node* floor_node(const K& key) const {
+    const Node* n = root_;
+    const Node* best = nullptr;
+    Cmp cmp;
+    while (n != nullptr) {
+      if (cmp(key, n->key)) {
+        n = n->left;
+      } else {
+        best = n;  // n->key <= key
+        n = n->right;
+      }
+    }
+    return best;
+  }
+
+  /// Smallest key >= key, or nullptr.
+  const Node* ceiling_node(const K& key) const {
+    const Node* n = root_;
+    const Node* best = nullptr;
+    Cmp cmp;
+    while (n != nullptr) {
+      if (cmp(n->key, key)) {
+        n = n->right;
+      } else {
+        best = n;  // n->key >= key
+        n = n->left;
+      }
+    }
+    return best;
+  }
+
+  /// Number of keys strictly less than key.
+  std::size_t rank(const K& key) const {
+    std::size_t r = 0;
+    const Node* n = root_;
+    Cmp cmp;
+    while (n != nullptr) {
+      if (cmp(n->key, key)) {
+        r += 1 + size_of(n->left);
+        n = n->right;
+      } else {
+        n = n->left;
+      }
+    }
+    return r;
+  }
+
+  /// The i-th smallest key (0-based); nullptr when i >= size().
+  const Node* kth(std::size_t i) const {
+    const Node* n = root_;
+    while (n != nullptr) {
+      const std::size_t ls = size_of(n->left);
+      if (i < ls) {
+        n = n->left;
+      } else if (i == ls) {
+        return n;
+      } else {
+        i -= ls + 1;
+        n = n->right;
+      }
+    }
+    return nullptr;
+  }
+
+  /// Keys in the half-open interval [lo, hi).
+  std::size_t count_range(const K& lo, const K& hi) const {
+    const std::size_t a = rank(lo);
+    const std::size_t b = rank(hi);
+    return b > a ? b - a : 0;
+  }
+
+  /// In-order visit of (key, value).
+  template <class F>
+  void for_each(F&& f) const {
+    for_each_rec(root_, f);
+  }
+
+  /// In-order visit restricted to [lo, hi).
+  template <class F>
+  void for_each_range(const K& lo, const K& hi, F&& f) const {
+    for_each_range_rec(root_, lo, hi, f);
+  }
+
+  std::vector<std::pair<K, V>> items() const {
+    std::vector<std::pair<K, V>> out;
+    out.reserve(size());
+    for_each([&](const K& k, const V& v) { out.emplace_back(k, v); });
+    return out;
+  }
+
+  // ----- updates (path copying; *this is unchanged) -----
+
+  /// Set-style insert: if the key is present the same version is returned
+  /// (root pointer unchanged — the UC will skip its CAS).
+  template <class B>
+  Treap insert(B& b, const K& key, const V& value) const {
+    if (contains(key)) return *this;
+    auto [lo, hi] = split_lt(b, root_, key);
+    const Node* leaf = b.template create<Node>(key, value, priority_of(key),
+                                               nullptr, nullptr);
+    return Treap{merge_nodes(b, merge_nodes(b, lo, leaf), hi)};
+  }
+
+  /// Map-style insert: overwrites the value when the key is present
+  /// (always produces a new version in that case).
+  template <class B>
+  Treap insert_or_assign(B& b, const K& key, const V& value) const {
+    if (contains(key)) return Treap{assign_rec(b, root_, key, value)};
+    return insert(b, key, value);
+  }
+
+  /// Removes the key; same-version no-op when absent.
+  template <class B>
+  Treap erase(B& b, const K& key) const {
+    if (!contains(key)) return *this;
+    auto [lo, rest] = split_lt(b, root_, key);   // lo: < key, rest: >= key
+    auto [eq, hi] = split_le(b, rest, key);      // eq: == key, hi: > key
+    PC_DASSERT(eq != nullptr && size_of(eq) == 1, "erase lost its key");
+    b.supersede(eq);
+    return Treap{merge_nodes(b, lo, hi)};
+  }
+
+  /// Removes the smallest key; no-op on the empty treap.
+  template <class B>
+  Treap erase_min(B& b) const {
+    if (root_ == nullptr) return *this;
+    return Treap{erase_min_rec(b, root_)};
+  }
+
+  /// Splits into ({keys < key}, {keys >= key}).
+  template <class B>
+  static std::pair<Treap, Treap> split(B& b, const Treap& t, const K& key) {
+    auto [lo, hi] = split_lt(b, t.root_, key);
+    return {Treap{lo}, Treap{hi}};
+  }
+
+  /// Joins two treaps; every key of lo must precede every key of hi.
+  template <class B>
+  static Treap merge(B& b, const Treap& lo, const Treap& hi) {
+    PC_DASSERT(lo.empty() || hi.empty() ||
+                   Cmp{}(lo.max_node()->key, hi.min_node()->key),
+               "merge requires disjoint ordered key ranges");
+    return Treap{merge_nodes(b, lo.root_, hi.root_)};
+  }
+
+  /// O(n) bulk construction from strictly increasing (key, value) pairs.
+  /// Produces the same canonical shape as repeated insertion.
+  template <class B, class It>
+  static Treap from_sorted(B& b, It first, It last) {
+    std::vector<std::pair<K, V>> items(first, last);
+    const std::size_t n = items.size();
+    if (n == 0) return Treap{};
+    for (std::size_t i = 1; i < n; ++i) {
+      PC_ASSERT(Cmp{}(items[i - 1].first, items[i].first),
+                "from_sorted requires strictly increasing keys");
+    }
+    // Cartesian-tree construction over the rightmost spine, on index
+    // scaffolding first (nodes are immutable, so links are resolved
+    // bottom-up in a second pass).
+    constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+    std::vector<std::uint64_t> prio(n);
+    std::vector<std::size_t> left(n, kNone), right(n, kNone);
+    for (std::size_t i = 0; i < n; ++i) prio[i] = priority_of(items[i].first);
+    std::vector<std::size_t> spine;
+    for (std::size_t i = 0; i < n; ++i) {
+      std::size_t last_popped = kNone;
+      while (!spine.empty() && prio[spine.back()] < prio[i]) {
+        last_popped = spine.back();
+        spine.pop_back();
+      }
+      left[i] = last_popped;
+      if (!spine.empty()) right[spine.back()] = i;
+      spine.push_back(i);
+    }
+    const std::size_t root_idx = spine.front();
+    return Treap{build_rec(b, items, prio, left, right, root_idx)};
+  }
+
+  /// Removes every key in [lo, hi). All removed nodes are superseded
+  /// (published ones are retired on commit), so this is UC-safe. O(k +
+  /// log n) for k removed keys.
+  template <class B>
+  Treap erase_range(B& b, const K& lo, const K& hi) const {
+    Cmp cmp;
+    if (root_ == nullptr || !cmp(lo, hi)) return *this;
+    if (count_range(lo, hi) == 0) return *this;  // same-version no-op
+    auto [below, rest] = split_lt(b, root_, lo);
+    auto [mid, above] = split_lt(b, rest, hi);
+    supersede_subtree(b, mid);
+    return Treap{merge_nodes(b, below, above)};
+  }
+
+  // ----- bulk set algebra (join-based, O(m log(n/m)) whp) -----
+  //
+  // These are *pure* persistent operations: both inputs remain valid
+  // versions and share structure with the result; nothing is marked
+  // superseded. Inside a UC update that replaces one of the inputs, the
+  // replaced version's dropped nodes are therefore NOT retired — pair
+  // bulk algebra with the arena/leaky configuration, or treat the extra
+  // garbage as acceptable for rare bulk transitions (documented trade-off;
+  // precise retirement would require diffing the node sets).
+
+  /// Keys of x plus keys of y; on duplicates the value from x wins.
+  template <class B>
+  static Treap set_union(B& b, const Treap& x, const Treap& y) {
+    return Treap{union_rec(b, x.root_, /*a_is_x=*/true, y.root_,
+                           /*c_is_x=*/false)};
+  }
+
+  /// Keys present in both x and y, with x's values.
+  template <class B>
+  static Treap set_intersect(B& b, const Treap& x, const Treap& y) {
+    return Treap{intersect_rec(b, x.root_, y.root_)};
+  }
+
+  /// Keys of x that are absent from y.
+  template <class B>
+  static Treap set_difference(B& b, const Treap& x, const Treap& y) {
+    return Treap{difference_rec(b, x.root_, y.root_)};
+  }
+
+  // ----- structural utilities -----
+
+  /// Full invariant check: BST order, heap priorities, size augmentation,
+  /// and published state on every node. O(n).
+  bool check_invariants() const {
+    return check_rec(root_, nullptr, nullptr).ok;
+  }
+
+  std::size_t height() const { return height_rec(root_); }
+
+  /// Number of nodes reachable from both versions — quantifies the
+  /// structural sharing that drives the paper's cache argument (Fig. 1).
+  static std::size_t shared_nodes(const Treap& a, const Treap& b) {
+    std::unordered_set<const Node*> seen;
+    collect(a.root_, seen);
+    std::size_t shared = 0;
+    count_shared(b.root_, seen, shared);
+    return shared;
+  }
+
+  /// Collects the addresses of nodes on the search path to key (used by
+  /// the cache-model instrumentation and sharing experiments).
+  std::vector<const Node*> path_to(const K& key) const {
+    std::vector<const Node*> path;
+    const Node* n = root_;
+    Cmp cmp;
+    while (n != nullptr) {
+      path.push_back(n);
+      if (cmp(key, n->key)) {
+        n = n->left;
+      } else if (cmp(n->key, key)) {
+        n = n->right;
+      } else {
+        break;
+      }
+    }
+    return path;
+  }
+
+  /// Teardown-only: frees every node of this version through the
+  /// allocator backend. Caller guarantees exclusive ownership (i.e. all
+  /// other versions have already been reclaimed).
+  template <class Backend>
+  static void destroy(const Node* n, Backend& backend) {
+    if (n == nullptr) return;
+    destroy(n->left, backend);
+    destroy(n->right, backend);
+    n->~Node();
+    backend.free_bytes(const_cast<Node*>(n), sizeof(Node), alignof(Node));
+  }
+
+ private:
+  explicit Treap(const Node* root) noexcept : root_(root) {}
+
+  static std::uint64_t size_of(const Node* n) noexcept {
+    return n == nullptr ? 0 : n->size;
+  }
+
+  // Splits into ({< key}, {>= key}), path-copying the search path. With
+  // Supersede = false the copies are "pure": the input stays a live
+  // version and nothing is queued for retirement (bulk set operations).
+  template <bool Supersede = true, class B>
+  static std::pair<const Node*, const Node*> split_lt(B& b, const Node* n,
+                                                      const K& key) {
+    if (n == nullptr) return {nullptr, nullptr};
+    Cmp cmp;
+    if (cmp(n->key, key)) {
+      auto [mid_lo, hi] = split_lt<Supersede>(b, n->right, key);
+      if constexpr (Supersede) b.supersede(n);
+      const Node* copy =
+          b.template create<Node>(n->key, n->value, n->prio, n->left, mid_lo);
+      return {copy, hi};
+    }
+    auto [lo, mid_hi] = split_lt<Supersede>(b, n->left, key);
+    if constexpr (Supersede) b.supersede(n);
+    const Node* copy =
+        b.template create<Node>(n->key, n->value, n->prio, mid_hi, n->right);
+    return {lo, copy};
+  }
+
+  // Splits into ({<= key}, {> key}).
+  template <bool Supersede = true, class B>
+  static std::pair<const Node*, const Node*> split_le(B& b, const Node* n,
+                                                      const K& key) {
+    if (n == nullptr) return {nullptr, nullptr};
+    Cmp cmp;
+    if (!cmp(key, n->key)) {  // n->key <= key
+      auto [mid_lo, hi] = split_le<Supersede>(b, n->right, key);
+      if constexpr (Supersede) b.supersede(n);
+      const Node* copy =
+          b.template create<Node>(n->key, n->value, n->prio, n->left, mid_lo);
+      return {copy, hi};
+    }
+    auto [lo, mid_hi] = split_le<Supersede>(b, n->left, key);
+    if constexpr (Supersede) b.supersede(n);
+    const Node* copy =
+        b.template create<Node>(n->key, n->value, n->prio, mid_hi, n->right);
+    return {lo, copy};
+  }
+
+  template <bool Supersede = true, class B>
+  static const Node* merge_nodes(B& b, const Node* lo, const Node* hi) {
+    if (lo == nullptr) return hi;
+    if (hi == nullptr) return lo;
+    if (lo->prio >= hi->prio) {
+      const Node* new_right = merge_nodes<Supersede>(b, lo->right, hi);
+      if constexpr (Supersede) b.supersede(lo);
+      return b.template create<Node>(lo->key, lo->value, lo->prio, lo->left,
+                                     new_right);
+    }
+    const Node* new_left = merge_nodes<Supersede>(b, lo, hi->left);
+    if constexpr (Supersede) b.supersede(hi);
+    return b.template create<Node>(hi->key, hi->value, hi->prio, new_left,
+                                   hi->right);
+  }
+
+  template <class B>
+  static const Node* assign_rec(B& b, const Node* n, const K& key,
+                                const V& value) {
+    PC_DASSERT(n != nullptr, "assign_rec past a leaf");
+    Cmp cmp;
+    b.supersede(n);
+    if (cmp(key, n->key)) {
+      return b.template create<Node>(n->key, n->value, n->prio,
+                                     assign_rec(b, n->left, key, value),
+                                     n->right);
+    }
+    if (cmp(n->key, key)) {
+      return b.template create<Node>(n->key, n->value, n->prio, n->left,
+                                     assign_rec(b, n->right, key, value));
+    }
+    return b.template create<Node>(n->key, value, n->prio, n->left, n->right);
+  }
+
+  /// Declares every node of the subtree superseded: fresh spine copies are
+  /// recycled, published nodes are retired on commit. Used by range erase,
+  /// where an entire subtree leaves the version at once.
+  template <class B>
+  static void supersede_subtree(B& b, const Node* n) {
+    if (n == nullptr) return;
+    supersede_subtree(b, n->left);
+    supersede_subtree(b, n->right);
+    b.supersede(n);
+  }
+
+  // --- pure bulk-algebra recursions (no supersede; see public docs) ---
+
+  // Splits pure; if an == key node exists, it is dropped from the split
+  // (recycled — split copies are always fresh) and returned so the caller
+  // can still read its value before the attempt resolves.
+  template <class B>
+  static std::tuple<const Node*, const Node*, const Node*> split3_pure(
+      B& b, const Node* n, const K& key) {
+    auto [lo, rest] = split_lt<false>(b, n, key);
+    auto [eq, hi] = split_le<false>(b, rest, key);
+    if (eq != nullptr) {
+      PC_DASSERT(eq->size == 1, "duplicate keys in one treap");
+      b.supersede(eq);  // fresh copy: recycled at resolve, not retired
+    }
+    return {lo, eq, hi};
+  }
+
+  // a/c are subtrees of the two inputs; a_is_x / c_is_x track which
+  // original operand each descends from, so that "x's value wins on
+  // duplicate keys" holds regardless of which side supplies the root.
+  template <class B>
+  static const Node* union_rec(B& b, const Node* a, bool a_is_x,
+                               const Node* c, bool c_is_x) {
+    if (a == nullptr) return c;
+    if (c == nullptr) return a;
+    if (a->prio < c->prio) {
+      const Node* tn = a;
+      a = c;
+      c = tn;
+      const bool tb = a_is_x;
+      a_is_x = c_is_x;
+      c_is_x = tb;
+    }
+    auto [cl, eq, cr] = split3_pure(b, c, a->key);
+    // Duplicate key: the surviving value comes from the x side.
+    const V& value = (eq != nullptr && c_is_x) ? eq->value : a->value;
+    return b.template create<Node>(a->key, value, a->prio,
+                                   union_rec(b, a->left, a_is_x, cl, c_is_x),
+                                   union_rec(b, a->right, a_is_x, cr, c_is_x));
+  }
+
+  template <class B>
+  static const Node* intersect_rec(B& b, const Node* x, const Node* y) {
+    if (x == nullptr || y == nullptr) return nullptr;
+    auto [yl, eq, yr] = split3_pure(b, y, x->key);
+    const Node* l = intersect_rec(b, x->left, yl);
+    const Node* r = intersect_rec(b, x->right, yr);
+    if (eq != nullptr) {
+      return b.template create<Node>(x->key, x->value, x->prio, l, r);
+    }
+    return merge_nodes<false>(b, l, r);
+  }
+
+  template <class B>
+  static const Node* difference_rec(B& b, const Node* x, const Node* y) {
+    if (x == nullptr) return nullptr;
+    if (y == nullptr) return x;
+    auto [yl, eq, yr] = split3_pure(b, y, x->key);
+    const Node* l = difference_rec(b, x->left, yl);
+    const Node* r = difference_rec(b, x->right, yr);
+    if (eq == nullptr) {
+      return b.template create<Node>(x->key, x->value, x->prio, l, r);
+    }
+    return merge_nodes<false>(b, l, r);
+  }
+
+  template <class B>
+  static const Node* erase_min_rec(B& b, const Node* n) {
+    b.supersede(n);
+    if (n->left == nullptr) return n->right;
+    return b.template create<Node>(n->key, n->value, n->prio,
+                                   erase_min_rec(b, n->left), n->right);
+  }
+
+  template <class B>
+  static const Node* build_rec(B& b, const std::vector<std::pair<K, V>>& items,
+                               const std::vector<std::uint64_t>& prio,
+                               const std::vector<std::size_t>& left,
+                               const std::vector<std::size_t>& right,
+                               std::size_t i) {
+    constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+    const Node* l =
+        left[i] == kNone ? nullptr : build_rec(b, items, prio, left, right, left[i]);
+    const Node* r = right[i] == kNone
+                        ? nullptr
+                        : build_rec(b, items, prio, left, right, right[i]);
+    return b.template create<Node>(items[i].first, items[i].second, prio[i], l, r);
+  }
+
+  template <class F>
+  static void for_each_rec(const Node* n, F& f) {
+    if (n == nullptr) return;
+    for_each_rec(n->left, f);
+    f(n->key, n->value);
+    for_each_rec(n->right, f);
+  }
+
+  template <class F>
+  static void for_each_range_rec(const Node* n, const K& lo, const K& hi, F& f) {
+    if (n == nullptr) return;
+    Cmp cmp;
+    if (cmp(n->key, lo)) {  // entire left subtree < lo as well
+      for_each_range_rec(n->right, lo, hi, f);
+      return;
+    }
+    if (!cmp(n->key, hi)) {  // n->key >= hi
+      for_each_range_rec(n->left, lo, hi, f);
+      return;
+    }
+    for_each_range_rec(n->left, lo, hi, f);
+    f(n->key, n->value);
+    for_each_range_rec(n->right, lo, hi, f);
+  }
+
+  struct CheckResult {
+    bool ok;
+    std::uint64_t size;
+  };
+
+  static CheckResult check_rec(const Node* n, const K* lo, const K* hi) {
+    if (n == nullptr) return {true, 0};
+    Cmp cmp;
+    if (lo != nullptr && !cmp(*lo, n->key)) return {false, 0};
+    if (hi != nullptr && !cmp(n->key, *hi)) return {false, 0};
+    if (n->pc_state_ != core::NodeState::kPublished) return {false, 0};
+    if (n->left != nullptr && n->left->prio > n->prio) return {false, 0};
+    if (n->right != nullptr && n->right->prio > n->prio) return {false, 0};
+    const CheckResult l = check_rec(n->left, lo, &n->key);
+    if (!l.ok) return {false, 0};
+    const CheckResult r = check_rec(n->right, &n->key, hi);
+    if (!r.ok) return {false, 0};
+    const std::uint64_t sz = 1 + l.size + r.size;
+    return {sz == n->size, sz};
+  }
+
+  static std::size_t height_rec(const Node* n) {
+    if (n == nullptr) return 0;
+    const std::size_t l = height_rec(n->left);
+    const std::size_t r = height_rec(n->right);
+    return 1 + (l > r ? l : r);
+  }
+
+  static void collect(const Node* n, std::unordered_set<const Node*>& out) {
+    if (n == nullptr) return;
+    out.insert(n);
+    collect(n->left, out);
+    collect(n->right, out);
+  }
+
+  static void count_shared(const Node* n, const std::unordered_set<const Node*>& in,
+                           std::size_t& shared) {
+    if (n == nullptr) return;
+    if (in.contains(n)) {
+      // Everything below a shared node is shared as well (nodes are
+      // immutable, so a shared parent implies shared children).
+      shared += n->size;
+      return;
+    }
+    count_shared(n->left, in, shared);
+    count_shared(n->right, in, shared);
+  }
+
+  const Node* root_ = nullptr;
+};
+
+}  // namespace pathcopy::persist

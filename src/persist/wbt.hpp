@@ -1,0 +1,352 @@
+// Persistent weight-balanced tree (BB[alpha] / bounded-balance tree).
+//
+// The balancing scheme behind the classic functional-language ordered
+// maps (Adams' trees, Haskell's Data.Map): each node keeps its subtree
+// weight w = size + 1, and the invariant w(sibling) <= Delta * w(other)
+// is restored by single/double rotations chosen by the Gamma criterion.
+// Parameters <Delta=3, Gamma=2> are the integer pair proven correct by
+// Hirai & Yamamoto (JFP 2011).
+//
+// Compared to the AVL tree this needs no height field (the size field
+// that the rank/select API wants anyway doubles as the balance metric),
+// and rotations are rarer for insert-heavy workloads — another data point
+// for the structure ablation. Same path-copying discipline as every
+// structure here: updates take a core::Builder and return a new handle.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <tuple>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "core/node_base.hpp"
+#include "util/assert.hpp"
+
+namespace pathcopy::persist {
+
+template <class K, class V, class Cmp = std::less<K>>
+class WbTree {
+ public:
+  using KeyType = K;
+  using ValueType = V;
+  static constexpr std::uint64_t kDelta = 3;  // sibling weight ratio bound
+  static constexpr std::uint64_t kGamma = 2;  // single-vs-double rotation
+
+  struct Node : core::PNode {
+    K key;
+    V value;
+    std::uint64_t size;
+    const Node* left;
+    const Node* right;
+
+    Node(const K& k, const V& v, const Node* l, const Node* r)
+        : key(k), value(v), size(1 + size_of(l) + size_of(r)), left(l), right(r) {}
+  };
+
+  WbTree() noexcept = default;
+
+  static WbTree from_root(const void* root) noexcept {
+    return WbTree{static_cast<const Node*>(root)};
+  }
+  const void* root_ptr() const noexcept { return root_; }
+  const Node* root_node() const noexcept { return root_; }
+
+  std::size_t size() const noexcept { return size_of(root_); }
+  bool empty() const noexcept { return root_ == nullptr; }
+
+  // ----- queries -----
+
+  const V* find(const K& key) const {
+    const Node* n = root_;
+    Cmp cmp;
+    while (n != nullptr) {
+      if (cmp(key, n->key)) {
+        n = n->left;
+      } else if (cmp(n->key, key)) {
+        n = n->right;
+      } else {
+        return &n->value;
+      }
+    }
+    return nullptr;
+  }
+
+  bool contains(const K& key) const { return find(key) != nullptr; }
+
+  const Node* min_node() const {
+    const Node* n = root_;
+    while (n != nullptr && n->left != nullptr) n = n->left;
+    return n;
+  }
+
+  const Node* max_node() const {
+    const Node* n = root_;
+    while (n != nullptr && n->right != nullptr) n = n->right;
+    return n;
+  }
+
+  std::size_t rank(const K& key) const {
+    std::size_t r = 0;
+    const Node* n = root_;
+    Cmp cmp;
+    while (n != nullptr) {
+      if (cmp(n->key, key)) {
+        r += 1 + size_of(n->left);
+        n = n->right;
+      } else {
+        n = n->left;
+      }
+    }
+    return r;
+  }
+
+  const Node* kth(std::size_t i) const {
+    const Node* n = root_;
+    while (n != nullptr) {
+      const std::size_t ls = size_of(n->left);
+      if (i < ls) {
+        n = n->left;
+      } else if (i == ls) {
+        return n;
+      } else {
+        i -= ls + 1;
+        n = n->right;
+      }
+    }
+    return nullptr;
+  }
+
+  std::size_t count_range(const K& lo, const K& hi) const {
+    const std::size_t a = rank(lo);
+    const std::size_t b = rank(hi);
+    return b > a ? b - a : 0;
+  }
+
+  template <class F>
+  void for_each(F&& f) const {
+    for_each_rec(root_, f);
+  }
+
+  std::vector<std::pair<K, V>> items() const {
+    std::vector<std::pair<K, V>> out;
+    out.reserve(size());
+    for_each([&](const K& k, const V& v) { out.emplace_back(k, v); });
+    return out;
+  }
+
+  // ----- updates -----
+
+  template <class B>
+  WbTree insert(B& b, const K& key, const V& value) const {
+    if (contains(key)) return *this;
+    return WbTree{insert_rec(b, root_, key, value)};
+  }
+
+  template <class B>
+  WbTree insert_or_assign(B& b, const K& key, const V& value) const {
+    if (contains(key)) return WbTree{assign_rec(b, root_, key, value)};
+    return WbTree{insert_rec(b, root_, key, value)};
+  }
+
+  template <class B>
+  WbTree erase(B& b, const K& key) const {
+    if (!contains(key)) return *this;
+    return WbTree{erase_rec(b, root_, key)};
+  }
+
+  // ----- structural utilities -----
+
+  bool check_invariants() const { return check_rec(root_, nullptr, nullptr).ok; }
+
+  std::size_t height() const { return height_rec(root_); }
+
+  static std::size_t shared_nodes(const WbTree& a, const WbTree& b) {
+    std::unordered_set<const Node*> seen;
+    collect(a.root_, seen);
+    std::size_t shared = 0;
+    count_shared(b.root_, seen, shared);
+    return shared;
+  }
+
+  template <class Backend>
+  static void destroy(const Node* n, Backend& backend) {
+    if (n == nullptr) return;
+    destroy(n->left, backend);
+    destroy(n->right, backend);
+    n->~Node();
+    backend.free_bytes(const_cast<Node*>(n), sizeof(Node), alignof(Node));
+  }
+
+ private:
+  explicit WbTree(const Node* root) noexcept : root_(root) {}
+
+  static std::uint64_t size_of(const Node* n) noexcept {
+    return n == nullptr ? 0 : n->size;
+  }
+  // Weight: size + 1, so empty subtrees participate in the ratio test.
+  static std::uint64_t weight(const Node* n) noexcept { return size_of(n) + 1; }
+
+  template <class B>
+  static const Node* mk(B& b, const K& k, const V& v, const Node* l,
+                        const Node* r) {
+    return b.template create<Node>(k, v, l, r);
+  }
+
+  /// Rebuilds node (k, v, l, r), restoring the weight invariant. l and r
+  /// are valid WB trees whose weights differ from balanced by at most one
+  /// inserted/removed element (the standard local-repair precondition).
+  template <class B>
+  static const Node* balance(B& b, const K& k, const V& v, const Node* l,
+                             const Node* r) {
+    const std::uint64_t wl = weight(l);
+    const std::uint64_t wr = weight(r);
+    if (wl + wr <= 2) return mk(b, k, v, l, r);  // at most one child, tiny
+    if (wl > kDelta * wr) {
+      // Left-heavy. Single right rotation unless the inner grandchild is
+      // too heavy (Gamma criterion), then double.
+      if (weight(l->right) < kGamma * weight(l->left)) {
+        b.supersede(l);
+        return mk(b, l->key, l->value, l->left, mk(b, k, v, l->right, r));
+      }
+      const Node* lr = l->right;
+      b.supersede(l);
+      b.supersede(lr);
+      return mk(b, lr->key, lr->value,
+                mk(b, l->key, l->value, l->left, lr->left),
+                mk(b, k, v, lr->right, r));
+    }
+    if (wr > kDelta * wl) {
+      if (weight(r->left) < kGamma * weight(r->right)) {
+        b.supersede(r);
+        return mk(b, r->key, r->value, mk(b, k, v, l, r->left), r->right);
+      }
+      const Node* rl = r->left;
+      b.supersede(r);
+      b.supersede(rl);
+      return mk(b, rl->key, rl->value, mk(b, k, v, l, rl->left),
+                mk(b, r->key, r->value, rl->right, r->right));
+    }
+    return mk(b, k, v, l, r);
+  }
+
+  template <class B>
+  static const Node* insert_rec(B& b, const Node* n, const K& key,
+                                const V& value) {
+    if (n == nullptr) return mk(b, key, value, nullptr, nullptr);
+    Cmp cmp;
+    b.supersede(n);
+    if (cmp(key, n->key)) {
+      return balance(b, n->key, n->value, insert_rec(b, n->left, key, value),
+                     n->right);
+    }
+    PC_DASSERT(cmp(n->key, key), "insert_rec on a present key");
+    return balance(b, n->key, n->value, n->left,
+                   insert_rec(b, n->right, key, value));
+  }
+
+  template <class B>
+  static const Node* assign_rec(B& b, const Node* n, const K& key,
+                                const V& value) {
+    PC_DASSERT(n != nullptr, "assign_rec past a leaf");
+    Cmp cmp;
+    b.supersede(n);
+    if (cmp(key, n->key)) {
+      return mk(b, n->key, n->value, assign_rec(b, n->left, key, value),
+                n->right);
+    }
+    if (cmp(n->key, key)) {
+      return mk(b, n->key, n->value, n->left,
+                assign_rec(b, n->right, key, value));
+    }
+    return mk(b, n->key, value, n->left, n->right);
+  }
+
+  template <class B>
+  static const Node* erase_rec(B& b, const Node* n, const K& key) {
+    PC_DASSERT(n != nullptr, "erase_rec past a leaf");
+    Cmp cmp;
+    b.supersede(n);
+    if (cmp(key, n->key)) {
+      return balance(b, n->key, n->value, erase_rec(b, n->left, key), n->right);
+    }
+    if (cmp(n->key, key)) {
+      return balance(b, n->key, n->value, n->left, erase_rec(b, n->right, key));
+    }
+    if (n->left == nullptr) return n->right;
+    if (n->right == nullptr) return n->left;
+    auto [min_key, min_value, nr] = pop_min(b, n->right);
+    return balance(b, min_key, min_value, n->left, nr);
+  }
+
+  template <class B>
+  static std::tuple<K, V, const Node*> pop_min(B& b, const Node* n) {
+    b.supersede(n);
+    if (n->left == nullptr) return {n->key, n->value, n->right};
+    auto [k, v, nl] = pop_min(b, n->left);
+    return {k, v, balance(b, n->key, n->value, nl, n->right)};
+  }
+
+  template <class F>
+  static void for_each_rec(const Node* n, F& f) {
+    if (n == nullptr) return;
+    for_each_rec(n->left, f);
+    f(n->key, n->value);
+    for_each_rec(n->right, f);
+  }
+
+  struct CheckResult {
+    bool ok;
+    std::uint64_t size;
+  };
+
+  static CheckResult check_rec(const Node* n, const K* lo, const K* hi) {
+    if (n == nullptr) return {true, 0};
+    Cmp cmp;
+    if (lo != nullptr && !cmp(*lo, n->key)) return {false, 0};
+    if (hi != nullptr && !cmp(n->key, *hi)) return {false, 0};
+    if (n->pc_state_ != core::NodeState::kPublished) return {false, 0};
+    const CheckResult l = check_rec(n->left, lo, &n->key);
+    if (!l.ok) return {false, 0};
+    const CheckResult r = check_rec(n->right, &n->key, hi);
+    if (!r.ok) return {false, 0};
+    const std::uint64_t wl = l.size + 1;
+    const std::uint64_t wr = r.size + 1;
+    // Tiny subtrees are exempt, as in the balance() fast path.
+    if (wl + wr > 2 && (wl > kDelta * wr || wr > kDelta * wl)) return {false, 0};
+    const std::uint64_t sz = 1 + l.size + r.size;
+    return {sz == n->size, sz};
+  }
+
+  static std::size_t height_rec(const Node* n) {
+    if (n == nullptr) return 0;
+    const std::size_t l = height_rec(n->left);
+    const std::size_t r = height_rec(n->right);
+    return 1 + (l > r ? l : r);
+  }
+
+  static void collect(const Node* n, std::unordered_set<const Node*>& out) {
+    if (n == nullptr) return;
+    out.insert(n);
+    collect(n->left, out);
+    collect(n->right, out);
+  }
+
+  static void count_shared(const Node* n,
+                           const std::unordered_set<const Node*>& in,
+                           std::size_t& shared) {
+    if (n == nullptr) return;
+    if (in.contains(n)) {
+      shared += n->size;
+      return;
+    }
+    count_shared(n->left, in, shared);
+    count_shared(n->right, in, shared);
+  }
+
+  const Node* root_ = nullptr;
+};
+
+}  // namespace pathcopy::persist

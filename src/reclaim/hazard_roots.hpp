@@ -1,0 +1,132 @@
+// Hazard-pointer reclamation specialized for path-copied versions.
+//
+// Interior nodes of a persistent tree are immutable, so a reader only
+// ever needs to protect one pointer: the version root it loaded. This
+// collapses the general hazard-pointer scheme to a single hazard slot per
+// thread plus the classic load/announce/validate loop on Root_Ptr.
+//
+// A protected root r pins every node of r's version — including nodes
+// that later transitions superseded. The reclaimer therefore maps each
+// live root to its version number and frees a bundle with death version d
+// only when every protected root's version is >= d. Roots leave the map
+// when the bundle retiring them is freed.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "reclaim/retired.hpp"
+#include "util/align.hpp"
+
+namespace pathcopy::reclaim {
+
+class HazardRootReclaimer {
+ public:
+  static constexpr std::uint64_t kScanInterval = 64;
+
+  HazardRootReclaimer() = default;
+  HazardRootReclaimer(const HazardRootReclaimer&) = delete;
+  HazardRootReclaimer& operator=(const HazardRootReclaimer&) = delete;
+  ~HazardRootReclaimer();
+
+  struct Slot {
+    std::atomic<const void*> hazard{nullptr};
+    std::atomic<bool> in_use{false};
+  };
+
+  class ThreadHandle {
+   public:
+    ThreadHandle() noexcept = default;
+    ThreadHandle(ThreadHandle&& o) noexcept
+        : slot_(o.slot_), since_scan_(o.since_scan_) {
+      o.slot_ = nullptr;
+    }
+    ThreadHandle& operator=(ThreadHandle&& o) noexcept {
+      if (this != &o) {
+        release();
+        slot_ = o.slot_;
+        since_scan_ = o.since_scan_;
+        o.slot_ = nullptr;
+      }
+      return *this;
+    }
+    ThreadHandle(const ThreadHandle&) = delete;
+    ThreadHandle& operator=(const ThreadHandle&) = delete;
+    ~ThreadHandle() { release(); }
+
+   private:
+    friend class HazardRootReclaimer;
+    explicit ThreadHandle(Slot* s) noexcept : slot_(s) {}
+    void release() noexcept {
+      if (slot_ != nullptr) {
+        slot_->hazard.store(nullptr, std::memory_order_release);
+        slot_->in_use.store(false, std::memory_order_release);
+        slot_ = nullptr;
+      }
+    }
+    Slot* slot_ = nullptr;
+    std::uint64_t since_scan_ = 0;
+  };
+
+  class Guard {
+   public:
+    Guard(Guard&& o) noexcept : slot_(o.slot_), root_(o.root_) { o.slot_ = nullptr; }
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+    Guard& operator=(Guard&&) = delete;
+    ~Guard() {
+      if (slot_ != nullptr) slot_->hazard.store(nullptr, std::memory_order_release);
+    }
+    const void* root() const noexcept { return root_; }
+
+   private:
+    friend class HazardRootReclaimer;
+    Guard(Slot* slot, const void* root) noexcept : slot_(slot), root_(root) {}
+    Slot* slot_;
+    const void* root_;
+  };
+
+  ThreadHandle register_thread();
+
+  /// Standard hazard protocol: announce the loaded root, re-validate, loop.
+  Guard pin(ThreadHandle& h, const std::atomic<const void*>& root,
+            const std::atomic<std::uint64_t>& version);
+
+  void retire_bundle(ThreadHandle& h, std::uint64_t death_version,
+                     const void* old_root, const void* new_root,
+                     std::vector<Retired>&& nodes);
+
+  /// Registers the version of the initial root (called once by the UC at
+  /// construction so the map covers version 1).
+  void note_root(const void* root, std::uint64_t version);
+
+  void drain_all();
+
+  std::uint64_t freed_nodes() const noexcept {
+    return freed_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t pending_nodes() const noexcept {
+    return retired_.load(std::memory_order_relaxed) -
+           freed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void collect();
+  std::uint64_t min_protected_version_locked();
+
+  std::mutex registry_mu_;
+  std::vector<std::unique_ptr<util::Padded<Slot>>> slots_;
+
+  std::mutex mu_;  // guards bundles_ and root_version_
+  std::vector<Bundle> bundles_;
+  std::unordered_map<const void*, std::uint64_t> root_version_;
+
+  std::atomic<std::uint64_t> freed_{0};
+  std::atomic<std::uint64_t> retired_{0};
+};
+
+}  // namespace pathcopy::reclaim

@@ -1,0 +1,53 @@
+// Retired-node records shared by all reclamation schemes.
+//
+// A path-copying writer that wins its CAS hands the reclaimer the set of
+// nodes its new version superseded (the copied path plus any removed
+// node). Each record carries a type-erased destroy function so reclaimers
+// never need to know node types, and a context pointer (the allocator's
+// stable retire backend) so the bytes return to the allocator that made
+// them, possibly on a different thread much later.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace pathcopy::reclaim {
+
+struct Retired {
+  void* p = nullptr;
+  void (*fn)(void*, void*) noexcept = nullptr;
+  void* ctx = nullptr;
+
+  void run() const noexcept { fn(p, ctx); }
+};
+
+/// Destroy-and-free thunk instantiated per (node type, retire backend).
+template <class Node, class Backend>
+void retired_free_thunk(void* p, void* ctx) noexcept {
+  auto* node = static_cast<Node*>(p);
+  node->~Node();
+  static_cast<Backend*>(ctx)->free_bytes(p, sizeof(Node), alignof(Node));
+}
+
+template <class Node, class Backend>
+Retired make_retired(const Node* node, Backend* backend) noexcept {
+  return Retired{const_cast<Node*>(static_cast<const Node*>(node)),
+                 &retired_free_thunk<Node, Backend>, backend};
+}
+
+/// One successful version transition's garbage: nodes that belonged to
+/// versions < death_version and are unreachable from death_version on.
+struct Bundle {
+  std::uint64_t death_version = 0;
+  const void* old_root = nullptr;  // root of version death_version - 1
+  std::vector<Retired> nodes;
+};
+
+inline void run_all(std::vector<Retired>& v) noexcept {
+  for (const Retired& r : v) r.run();
+  v.clear();
+}
+
+}  // namespace pathcopy::reclaim

@@ -1,0 +1,152 @@
+// Flat combining (Hendler, Incze, Shavit, Tzafrir, SPAA'10) over a
+// mutable sequential structure — the blocking cousin of the lock-free
+// CombiningAtom, and the strongest lock-based baseline for the ablation.
+//
+// Every thread publishes its operation in a per-thread record, then tries
+// to take the combiner lock. The winner walks the publication list and
+// executes all pending operations against the sequential structure in one
+// lock tenure; losers spin on their own record until a combiner delivers
+// their result. Compared to the coarse mutex, each lock handoff completes
+// up to P operations and the structure stays hot in the combiner's cache.
+//
+// Unlike the original (which ages out idle records from a dynamic list),
+// registration here is static — one cache-line-aligned slot per thread,
+// matching the fixed worker pools the benches use. The combiner scans all
+// registered slots; an idle slot costs one cache-line read per tenure.
+//
+// Blocking: a stalled combiner blocks everyone — that is the progress
+// price the lock-free construction avoids, and the reason this is a
+// baseline rather than the headline.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+#include "util/align.hpp"
+#include "util/assert.hpp"
+
+namespace pathcopy::seq {
+
+/// DS: a mutable sequential map with bool insert(k,v) / bool erase(k) /
+/// bool contains(k) — e.g. seq::SeqTreap.
+template <class DS, unsigned MaxThreads = 32>
+class FlatCombining {
+ public:
+  using Key = typename DS::KeyType;
+  using Value = typename DS::ValueType;
+
+  FlatCombining() = default;
+  FlatCombining(const FlatCombining&) = delete;
+  FlatCombining& operator=(const FlatCombining&) = delete;
+
+  /// Claims a publication slot for the calling thread (never recycled).
+  unsigned register_slot() {
+    const unsigned s = next_slot_.fetch_add(1, std::memory_order_relaxed);
+    PC_ASSERT(s < MaxThreads, "FlatCombining slot capacity exhausted");
+    return s;
+  }
+
+  /// Returns true iff the key was newly inserted.
+  bool insert(unsigned slot, const Key& key, const Value& value) {
+    return run_op(slot, Op::kInsert, key, value);
+  }
+
+  /// Returns true iff the key was present and removed.
+  bool erase(unsigned slot, const Key& key) {
+    return run_op(slot, Op::kErase, key, Value{});
+  }
+
+  /// Queries go through the same publication protocol: combining gives
+  /// them a consistent view without a reader lock.
+  bool contains(unsigned slot, const Key& key) {
+    return run_op(slot, Op::kContains, key, Value{});
+  }
+
+  std::size_t size(unsigned slot) {
+    run_op(slot, Op::kSize, Key{}, Value{});
+    return slots_[slot].size_out;
+  }
+
+  /// Number of lock tenures that executed at least one operation.
+  std::uint64_t combiner_tenures() const noexcept {
+    return tenures_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  enum class Op : std::uint8_t { kNone, kInsert, kErase, kContains, kSize };
+
+  struct alignas(util::kCacheLine) Slot {
+    std::atomic<Op> pending{Op::kNone};
+    Key key{};
+    Value value{};
+    bool result = false;
+    std::size_t size_out = 0;
+  };
+
+  bool run_op(unsigned slot, Op op, const Key& key, const Value& value) {
+    Slot& mine = slots_[slot];
+    mine.key = key;
+    mine.value = value;
+    mine.pending.store(op, std::memory_order_release);
+    for (;;) {
+      if (mine.pending.load(std::memory_order_acquire) == Op::kNone) {
+        // A combiner executed this operation and published the result
+        // before clearing pending (release), so the plain read is safe.
+        return mine.result;
+      }
+      if (!lock_.exchange(true, std::memory_order_acquire)) {
+        combine();
+        lock_.store(false, std::memory_order_release);
+        PC_DASSERT(mine.pending.load(std::memory_order_relaxed) == Op::kNone,
+                   "combiner must have served its own slot");
+        return mine.result;
+      }
+      // Spin while someone else combines; yield so the combiner gets CPU
+      // time even when workers outnumber cores.
+      while (lock_.load(std::memory_order_relaxed) &&
+             mine.pending.load(std::memory_order_acquire) != Op::kNone) {
+        std::this_thread::yield();
+      }
+    }
+  }
+
+  void combine() {
+    bool any = false;
+    const unsigned live = next_slot_.load(std::memory_order_acquire);
+    for (unsigned i = 0; i < live && i < MaxThreads; ++i) {
+      Slot& s = slots_[i];
+      const Op op = s.pending.load(std::memory_order_acquire);
+      if (op == Op::kNone) continue;
+      switch (op) {
+        case Op::kInsert:
+          s.result = ds_.insert(s.key, s.value);
+          break;
+        case Op::kErase:
+          s.result = ds_.erase(s.key);
+          break;
+        case Op::kContains:
+          s.result = ds_.contains(s.key);
+          break;
+        case Op::kSize:
+          s.size_out = ds_.size();
+          s.result = true;
+          break;
+        case Op::kNone:
+          break;
+      }
+      any = true;
+      s.pending.store(Op::kNone, std::memory_order_release);
+    }
+    if (any) tenures_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  alignas(util::kCacheLine) std::atomic<bool> lock_{false};
+  alignas(util::kCacheLine) std::atomic<unsigned> next_slot_{0};
+  alignas(util::kCacheLine) std::atomic<std::uint64_t> tenures_{0};
+  std::array<Slot, MaxThreads> slots_{};
+  DS ds_;
+};
+
+}  // namespace pathcopy::seq

@@ -1,0 +1,39 @@
+// Coarse-grained locking universal construction — the blocking baseline.
+//
+// The "simplest approach" the paper's introduction mentions: one mutex
+// protecting one mutable sequential structure. Linearizable and trivially
+// correct, but blocking, with zero read-side parallelism. Benches include
+// it as a second reference point next to the single-threaded SeqTreap.
+#pragma once
+
+#include <mutex>
+#include <utility>
+
+namespace pathcopy::seq {
+
+template <class DS>
+class Locked {
+ public:
+  Locked() = default;
+  explicit Locked(DS initial) : ds_(std::move(initial)) {}
+
+  /// Runs f(DS&) under the lock; f's return value is passed through.
+  template <class F>
+  decltype(auto) with(F&& f) {
+    std::lock_guard lock(mu_);
+    return std::forward<F>(f)(ds_);
+  }
+
+  /// Read-only access, also serialized (that is the point of this baseline).
+  template <class F>
+  decltype(auto) with_read(F&& f) const {
+    std::lock_guard lock(mu_);
+    return std::forward<F>(f)(ds_);
+  }
+
+ private:
+  mutable std::mutex mu_;
+  DS ds_;
+};
+
+}  // namespace pathcopy::seq

@@ -1,0 +1,227 @@
+// Mutable sequential treap — the paper's baseline ("Seq Treap").
+//
+// Algorithmically identical to persist::Treap (same split/merge, same
+// deterministic hashed priorities, same canonical shape for a given key
+// set) but destructive: no node is ever copied, so its per-operation work
+// is the persistent version's minus path copying and allocation churn.
+// Speedup numbers in every table are measured against this type running
+// single-threaded, exactly as in the paper.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace pathcopy::seq {
+
+template <class K, class V, class Cmp = std::less<K>>
+class SeqTreap {
+ public:
+  using KeyType = K;
+  using ValueType = V;
+  struct Node {
+    K key;
+    V value;
+    std::uint64_t prio;
+    std::uint64_t size;
+    Node* left;
+    Node* right;
+  };
+
+  SeqTreap() noexcept = default;
+  SeqTreap(const SeqTreap&) = delete;
+  SeqTreap& operator=(const SeqTreap&) = delete;
+  SeqTreap(SeqTreap&& o) noexcept : root_(o.root_) { o.root_ = nullptr; }
+  SeqTreap& operator=(SeqTreap&& o) noexcept {
+    if (this != &o) {
+      clear();
+      root_ = o.root_;
+      o.root_ = nullptr;
+    }
+    return *this;
+  }
+  ~SeqTreap() { clear(); }
+
+  static std::uint64_t priority_of(const K& key) {
+    return util::mix64(static_cast<std::uint64_t>(std::hash<K>{}(key)));
+  }
+
+  std::size_t size() const noexcept { return size_of(root_); }
+  bool empty() const noexcept { return root_ == nullptr; }
+
+  const V* find(const K& key) const {
+    const Node* n = root_;
+    Cmp cmp;
+    while (n != nullptr) {
+      if (cmp(key, n->key)) {
+        n = n->left;
+      } else if (cmp(n->key, key)) {
+        n = n->right;
+      } else {
+        return &n->value;
+      }
+    }
+    return nullptr;
+  }
+
+  bool contains(const K& key) const { return find(key) != nullptr; }
+
+  /// Returns true iff the key was inserted (false: already present).
+  bool insert(const K& key, const V& value) {
+    if (contains(key)) return false;
+    auto [lo, hi] = split_lt(root_, key);
+    Node* leaf = new Node{key, value, priority_of(key), 1, nullptr, nullptr};
+    root_ = merge_nodes(merge_nodes(lo, leaf), hi);
+    return true;
+  }
+
+  /// Returns true iff the key was removed (false: absent).
+  bool erase(const K& key) {
+    if (!contains(key)) return false;
+    auto [lo, rest] = split_lt(root_, key);
+    auto [eq, hi] = split_le(rest, key);
+    PC_DASSERT(eq != nullptr && eq->size == 1, "erase lost its key");
+    delete eq;
+    root_ = merge_nodes(lo, hi);
+    return true;
+  }
+
+  std::size_t rank(const K& key) const {
+    std::size_t r = 0;
+    const Node* n = root_;
+    Cmp cmp;
+    while (n != nullptr) {
+      if (cmp(n->key, key)) {
+        r += 1 + size_of(n->left);
+        n = n->right;
+      } else {
+        n = n->left;
+      }
+    }
+    return r;
+  }
+
+  template <class F>
+  void for_each(F&& f) const {
+    for_each_rec(root_, f);
+  }
+
+  std::vector<std::pair<K, V>> items() const {
+    std::vector<std::pair<K, V>> out;
+    out.reserve(size());
+    for_each([&](const K& k, const V& v) { out.emplace_back(k, v); });
+    return out;
+  }
+
+  bool check_invariants() const { return check_rec(root_, nullptr, nullptr).ok; }
+
+  std::size_t height() const { return height_rec(root_); }
+
+  void clear() noexcept {
+    destroy_rec(root_);
+    root_ = nullptr;
+  }
+
+ private:
+  static std::uint64_t size_of(const Node* n) noexcept {
+    return n == nullptr ? 0 : n->size;
+  }
+
+  static void pull(Node* n) noexcept {
+    n->size = 1 + size_of(n->left) + size_of(n->right);
+  }
+
+  static std::pair<Node*, Node*> split_lt(Node* n, const K& key) {
+    if (n == nullptr) return {nullptr, nullptr};
+    Cmp cmp;
+    if (cmp(n->key, key)) {
+      auto [mid, hi] = split_lt(n->right, key);
+      n->right = mid;
+      pull(n);
+      return {n, hi};
+    }
+    auto [lo, mid] = split_lt(n->left, key);
+    n->left = mid;
+    pull(n);
+    return {lo, n};
+  }
+
+  static std::pair<Node*, Node*> split_le(Node* n, const K& key) {
+    if (n == nullptr) return {nullptr, nullptr};
+    Cmp cmp;
+    if (!cmp(key, n->key)) {
+      auto [mid, hi] = split_le(n->right, key);
+      n->right = mid;
+      pull(n);
+      return {n, hi};
+    }
+    auto [lo, mid] = split_le(n->left, key);
+    n->left = mid;
+    pull(n);
+    return {lo, n};
+  }
+
+  static Node* merge_nodes(Node* lo, Node* hi) {
+    if (lo == nullptr) return hi;
+    if (hi == nullptr) return lo;
+    if (lo->prio >= hi->prio) {
+      lo->right = merge_nodes(lo->right, hi);
+      pull(lo);
+      return lo;
+    }
+    hi->left = merge_nodes(lo, hi->left);
+    pull(hi);
+    return hi;
+  }
+
+  template <class F>
+  static void for_each_rec(const Node* n, F& f) {
+    if (n == nullptr) return;
+    for_each_rec(n->left, f);
+    f(n->key, n->value);
+    for_each_rec(n->right, f);
+  }
+
+  struct CheckResult {
+    bool ok;
+    std::uint64_t size;
+  };
+
+  static CheckResult check_rec(const Node* n, const K* lo, const K* hi) {
+    if (n == nullptr) return {true, 0};
+    Cmp cmp;
+    if (lo != nullptr && !cmp(*lo, n->key)) return {false, 0};
+    if (hi != nullptr && !cmp(n->key, *hi)) return {false, 0};
+    if (n->left != nullptr && n->left->prio > n->prio) return {false, 0};
+    if (n->right != nullptr && n->right->prio > n->prio) return {false, 0};
+    const CheckResult l = check_rec(n->left, lo, &n->key);
+    if (!l.ok) return {false, 0};
+    const CheckResult r = check_rec(n->right, &n->key, hi);
+    if (!r.ok) return {false, 0};
+    const std::uint64_t sz = 1 + l.size + r.size;
+    return {sz == n->size, sz};
+  }
+
+  static std::size_t height_rec(const Node* n) {
+    if (n == nullptr) return 0;
+    const std::size_t l = height_rec(n->left);
+    const std::size_t r = height_rec(n->right);
+    return 1 + (l > r ? l : r);
+  }
+
+  static void destroy_rec(Node* n) noexcept {
+    if (n == nullptr) return;
+    destroy_rec(n->left);
+    destroy_rec(n->right);
+    delete n;
+  }
+
+  Node* root_ = nullptr;
+};
+
+}  // namespace pathcopy::seq

@@ -1,0 +1,31 @@
+// Cache-line geometry helpers for contended shared state.
+#pragma once
+
+#include <cstddef>
+#include <new>
+
+namespace pathcopy::util {
+
+// Fixed rather than std::hardware_destructive_interference_size: the
+// value participates in struct layout, so it must not drift across
+// compiler versions or -mtune settings.
+inline constexpr std::size_t kCacheLine = 64;
+
+/// Wraps T on its own cache line so arrays of per-thread slots do not
+/// false-share. The slot is padded up to a multiple of the line size.
+template <class T>
+struct alignas(kCacheLine) Padded {
+  T value{};
+
+  T* operator->() noexcept { return &value; }
+  const T* operator->() const noexcept { return &value; }
+  T& operator*() noexcept { return value; }
+  const T& operator*() const noexcept { return value; }
+};
+
+/// Rounds n up to the next multiple of `to` (a power of two).
+constexpr std::size_t round_up(std::size_t n, std::size_t to) noexcept {
+  return (n + to - 1) & ~(to - 1);
+}
+
+}  // namespace pathcopy::util

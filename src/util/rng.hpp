@@ -1,0 +1,85 @@
+// Deterministic pseudo-random number utilities.
+//
+// Everything in the repository that needs randomness (treap priorities,
+// workload key streams, simulator tie-breaking) goes through these
+// generators so that runs are reproducible given a seed.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace pathcopy::util {
+
+/// SplitMix64 step: the standard 64-bit finalizer-based generator.
+/// Used both as a stream generator and as a mixing function for hashing.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Stateless mix of a single 64-bit value (e.g. hashing a key to a treap
+/// priority). Distinct from std::hash, which may be identity for integers.
+constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  std::uint64_t s = x;
+  return splitmix64(s);
+}
+
+/// xoshiro256** by Blackman & Vigna: fast, high-quality, 256-bit state.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr Xoshiro256(std::uint64_t seed = 0x8badf00ddeadbeefULL) noexcept {
+    // Seed the full state via splitmix64, as recommended by the authors.
+    std::uint64_t sm = seed;
+    for (auto& w : s_) w = splitmix64(sm);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  constexpr result_type operator()() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform value in [0, bound). Uses Lemire's multiply-shift reduction;
+  /// bias is negligible for bound << 2^64 (all uses here).
+  constexpr std::uint64_t below(std::uint64_t bound) noexcept {
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wpedantic"
+    using u128 = unsigned __int128;
+#pragma GCC diagnostic pop
+    return static_cast<std::uint64_t>((static_cast<u128>(operator()()) * bound) >> 64);
+  }
+
+  /// Uniform signed value in [lo, hi] inclusive.
+  constexpr std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept {
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(below(span));
+  }
+
+  /// True with probability num/den.
+  constexpr bool chance(std::uint64_t num, std::uint64_t den) noexcept {
+    return below(den) < num;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4]{};
+};
+
+}  // namespace pathcopy::util

@@ -1,0 +1,105 @@
+// Concurrent-history recording for linearizability checking.
+//
+// Worker threads log (invoke, respond) event pairs for every set
+// operation they perform against the implementation under test. Stamps
+// come from one global atomic counter, so stamp order is a total order
+// consistent with real time: if operation A responded before operation B
+// was invoked, A's response stamp is smaller than B's invoke stamp, and
+// the checker must order A before B.
+//
+// Recording is wait-free and contention-light: each thread appends to its
+// own pre-registered log (two fetch_adds per operation for the stamps are
+// the only shared writes). harvest() merges the logs after workers join.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "util/align.hpp"
+#include "util/assert.hpp"
+
+namespace pathcopy::verify {
+
+enum class OpType : std::uint8_t { kInsert, kErase, kContains };
+
+inline const char* op_name(OpType op) {
+  switch (op) {
+    case OpType::kInsert: return "insert";
+    case OpType::kErase: return "erase";
+    case OpType::kContains: return "contains";
+  }
+  return "?";
+}
+
+struct Event {
+  std::uint64_t invoke_ts = 0;
+  std::uint64_t response_ts = 0;
+  std::uint32_t thread = 0;
+  OpType op = OpType::kContains;
+  std::int64_t key = 0;
+  bool result = false;
+};
+
+class HistoryRecorder {
+ public:
+  explicit HistoryRecorder(unsigned threads) : logs_(threads) {}
+
+  /// Marks the start of an operation; returns the index of the pending
+  /// event in the calling thread's log. Only thread `tid` may use it.
+  std::size_t invoke(unsigned tid, OpType op, std::int64_t key) {
+    PC_DASSERT(tid < logs_.size(), "unregistered recorder thread");
+    Event e;
+    e.invoke_ts = clock_.fetch_add(1, std::memory_order_relaxed);
+    e.thread = tid;
+    e.op = op;
+    e.key = key;
+    logs_[tid].events.push_back(e);
+    return logs_[tid].events.size() - 1;
+  }
+
+  /// Completes the pending event created by invoke().
+  void respond(unsigned tid, std::size_t token, bool result) {
+    Event& e = logs_[tid].events[token];
+    e.result = result;
+    e.response_ts = clock_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Records an operation by running it: stamps around fn().
+  template <class Fn>
+  bool run(unsigned tid, OpType op, std::int64_t key, Fn&& fn) {
+    const std::size_t tok = invoke(tid, op, key);
+    const bool r = fn();
+    respond(tid, tok, r);
+    return r;
+  }
+
+  /// Merges all thread logs. Call after every worker has joined; events
+  /// with response_ts == 0 (never responded) are dropped, matching the
+  /// usual complete-history restriction.
+  std::vector<Event> harvest() const {
+    std::vector<Event> all;
+    for (const auto& log : logs_) {
+      for (const Event& e : log.events) {
+        if (e.response_ts != 0) all.push_back(e);
+      }
+    }
+    return all;
+  }
+
+  std::size_t total_events() const {
+    std::size_t n = 0;
+    for (const auto& log : logs_) n += log.events.size();
+    return n;
+  }
+
+ private:
+  struct alignas(util::kCacheLine) ThreadLog {
+    std::vector<Event> events;
+  };
+
+  std::atomic<std::uint64_t> clock_{1};  // 0 is the "no response" sentinel
+  std::vector<ThreadLog> logs_;
+};
+
+}  // namespace pathcopy::verify

@@ -1,0 +1,121 @@
+#include "verify/linearizability.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <unordered_set>
+
+#include "util/assert.hpp"
+
+namespace pathcopy::verify {
+namespace {
+
+/// Sequential set spec on one key. Returns whether (op, result) is legal
+/// from `present`, and updates `present` to the post state.
+bool spec_step(OpType op, bool result, bool& present) {
+  switch (op) {
+    case OpType::kInsert:
+      if (result == present) return false;  // true iff was absent
+      present = true;
+      return true;
+    case OpType::kErase:
+      if (result != present) return false;  // true iff was present
+      present = false;
+      return true;
+    case OpType::kContains:
+      return result == present;
+  }
+  return false;
+}
+
+/// Presence after applying exactly the ops in `mask` (order independent:
+/// valid sequences interleave successful inserts and erases strictly).
+/// Debug-only cross-check of the memoization soundness argument below.
+[[maybe_unused]] bool presence_after(const std::vector<Event>& ev,
+                                     std::uint64_t mask, bool initial) {
+  int net = initial ? 1 : 0;
+  for (std::size_t i = 0; i < ev.size(); ++i) {
+    if (!(mask >> i & 1)) continue;
+    if (ev[i].op == OpType::kInsert && ev[i].result) ++net;
+    if (ev[i].op == OpType::kErase && ev[i].result) --net;
+  }
+  return net == 1;
+}
+
+bool dfs(const std::vector<Event>& ev, std::uint64_t mask, bool present,
+         bool initial, std::unordered_set<std::uint64_t>& dead) {
+  PC_DASSERT(present == presence_after(ev, mask, initial),
+             "presence must be a function of the linearized subset");
+  const std::uint64_t full = ev.size() == 64
+                                 ? ~std::uint64_t{0}
+                                 : (std::uint64_t{1} << ev.size()) - 1;
+  if (mask == full) return true;
+  if (dead.contains(mask)) return false;
+  // An operation may linearize next only if nothing unlinearized finished
+  // before it started.
+  std::uint64_t min_resp = ~std::uint64_t{0};
+  for (std::size_t i = 0; i < ev.size(); ++i) {
+    if (!(mask >> i & 1)) min_resp = std::min(min_resp, ev[i].response_ts);
+  }
+  for (std::size_t i = 0; i < ev.size(); ++i) {
+    if (mask >> i & 1) continue;
+    if (ev[i].invoke_ts > min_resp) continue;  // someone must go first
+    bool next = present;
+    if (!spec_step(ev[i].op, ev[i].result, next)) continue;
+    if (dfs(ev, mask | (std::uint64_t{1} << i), next, initial, dead)) {
+      return true;
+    }
+  }
+  dead.insert(mask);
+  return false;
+}
+
+}  // namespace
+
+bool check_single_key_history(std::vector<Event> events,
+                              bool initially_present) {
+  PC_ASSERT(events.size() <= kMaxEventsPerKey,
+            "single-key history exceeds the checker's subset bitmask");
+  std::sort(events.begin(), events.end(),
+            [](const Event& a, const Event& b) {
+              return a.invoke_ts < b.invoke_ts;
+            });
+  std::unordered_set<std::uint64_t> dead;
+  return dfs(events, 0, initially_present, initially_present, dead);
+}
+
+Verdict check_set_linearizability(const std::vector<Event>& history) {
+  std::map<std::int64_t, std::vector<Event>> by_key;
+  for (const Event& e : history) by_key[e.key].push_back(e);
+  for (auto& [key, events] : by_key) {
+    if (events.size() > kMaxEventsPerKey) {
+      Verdict v;
+      v.ok = false;
+      v.bad_key = key;
+      v.reason = "projection too large for the checker (" +
+                 std::to_string(events.size()) + " events, cap " +
+                 std::to_string(kMaxEventsPerKey) + ")";
+      return v;
+    }
+    if (!check_single_key_history(events)) {
+      Verdict v;
+      v.ok = false;
+      v.bad_key = key;
+      v.reason = "no legal linearization of " +
+                 std::to_string(events.size()) + " events on key " +
+                 std::to_string(key);
+      return v;
+    }
+  }
+  return Verdict{};
+}
+
+}  // namespace pathcopy::verify
+
+// A note on the memo soundness: dfs() memoizes failed subsets by mask
+// alone. That is sound because (a) the spec state reached by any valid
+// ordering of a fixed subset is unique (presence is the signed count of
+// successful inserts/erases — presence_after asserts this in debug
+// builds), and (b) the set of operations allowed to linearize next
+// depends only on which operations remain, not on the order already
+// chosen. Hence "mask leads nowhere" is a property of the mask.

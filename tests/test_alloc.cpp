@@ -1,0 +1,257 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "alloc/arena_alloc.hpp"
+#include "alloc/malloc_alloc.hpp"
+#include "alloc/pool_alloc.hpp"
+#include "alloc/thread_cache_alloc.hpp"
+
+namespace pathcopy {
+namespace {
+
+TEST(MallocAlloc, RoundTripAndCounters) {
+  alloc::MallocAlloc a;
+  void* p = a.allocate(64, 8);
+  ASSERT_NE(p, nullptr);
+  std::memset(p, 0xab, 64);
+  EXPECT_EQ(a.stats().allocs.load(), 1u);
+  EXPECT_EQ(a.stats().live_blocks(), 1u);
+  a.deallocate(p, 64, 8);
+  EXPECT_EQ(a.stats().live_blocks(), 0u);
+  EXPECT_EQ(a.stats().bytes_allocated.load(), 64u);
+  EXPECT_EQ(a.stats().bytes_freed.load(), 64u);
+}
+
+TEST(MallocAlloc, RetireBackendIsSelf) {
+  alloc::MallocAlloc a;
+  EXPECT_EQ(a.retire_backend(), &a);
+}
+
+TEST(MallocAlloc, FreeBytesMatchesDeallocate) {
+  alloc::MallocAlloc a;
+  void* p = a.allocate(32, 8);
+  a.free_bytes(p, 32, 8);
+  EXPECT_EQ(a.stats().live_blocks(), 0u);
+}
+
+TEST(MallocAlloc, OverAlignedAllocation) {
+  alloc::MallocAlloc a;
+  void* p = a.allocate(128, 64);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % 64, 0u);
+  a.deallocate(p, 128, 64);
+}
+
+TEST(Arena, BumpAllocationsAreDistinct) {
+  alloc::Arena arena;
+  std::unordered_set<void*> seen;
+  for (int i = 0; i < 1000; ++i) {
+    void* p = arena.allocate(48, 8);
+    EXPECT_TRUE(seen.insert(p).second);
+  }
+}
+
+TEST(Arena, RecycleReusesBlock) {
+  alloc::Arena arena;
+  void* p = arena.allocate(48, 8);
+  arena.deallocate(p, 48, 8);
+  void* q = arena.allocate(48, 8);
+  EXPECT_EQ(p, q);  // same size class comes back from the recycle list
+}
+
+TEST(Arena, DifferentSizeClassesDoNotMix) {
+  alloc::Arena arena;
+  void* p = arena.allocate(16, 8);
+  arena.deallocate(p, 16, 8);
+  void* q = arena.allocate(480, 8);
+  EXPECT_NE(p, q);
+}
+
+TEST(Arena, GrowsBeyondOneBlock) {
+  alloc::Arena arena;
+  // Each allocation is 1 KiB; 2048 of them exceed one 1 MiB slab.
+  for (int i = 0; i < 2048; ++i) {
+    ASSERT_NE(arena.allocate(1024, 8), nullptr);
+  }
+  EXPECT_GE(arena.block_count(), 2u);
+}
+
+TEST(Arena, HugeAllocationGetsOwnBlock) {
+  alloc::Arena arena;
+  void* p = arena.allocate(4 << 20, 8);
+  ASSERT_NE(p, nullptr);
+  std::memset(p, 1, 4 << 20);
+}
+
+TEST(Arena, ResetDropsBlocks) {
+  alloc::Arena arena;
+  arena.allocate(1024, 8);
+  EXPECT_GE(arena.block_count(), 1u);
+  arena.reset();
+  EXPECT_EQ(arena.block_count(), 0u);
+  // Usable again after reset.
+  EXPECT_NE(arena.allocate(64, 8), nullptr);
+}
+
+TEST(Arena, RetireBackendFreeIsNoOpButCounts) {
+  alloc::Arena arena;
+  void* p = arena.allocate(64, 8);
+  arena.retire_backend()->free_bytes(p, 64, 8);
+  EXPECT_EQ(arena.retire_backend()->stats().frees.load(), 1u);
+  // Memory still readable: arena memory lives until reset.
+  std::memset(p, 0x5a, 64);
+}
+
+TEST(Pool, ClassOfRoundsUp) {
+  EXPECT_EQ(alloc::PoolBackend::class_of(1), 0u);
+  EXPECT_EQ(alloc::PoolBackend::class_of(16), 0u);
+  EXPECT_EQ(alloc::PoolBackend::class_of(17), 1u);
+  EXPECT_EQ(alloc::PoolBackend::class_of(512), 31u);
+  EXPECT_EQ(alloc::PoolBackend::class_bytes(0), 16u);
+  EXPECT_EQ(alloc::PoolBackend::class_bytes(31), 512u);
+}
+
+TEST(Pool, AllocateFreeReuses) {
+  alloc::PoolBackend pool;
+  alloc::PoolView view(pool);
+  void* p = view.allocate(48, 8);
+  view.deallocate(p, 48, 8);
+  void* q = view.allocate(48, 8);
+  EXPECT_EQ(p, q);
+}
+
+TEST(Pool, OversizeFallsBackToNew) {
+  alloc::PoolBackend pool;
+  alloc::PoolView view(pool);
+  void* p = view.allocate(4096, 8);
+  ASSERT_NE(p, nullptr);
+  std::memset(p, 0, 4096);
+  view.deallocate(p, 4096, 8);
+}
+
+TEST(Pool, PopBatchCarvesWhenEmpty) {
+  alloc::PoolBackend pool;
+  void* items[32];
+  const std::size_t got = pool.pop_batch(2, items, 32);
+  EXPECT_EQ(got, 32u);
+  std::unordered_set<void*> seen(items, items + 32);
+  EXPECT_EQ(seen.size(), 32u);
+  pool.push_batch(2, items, 32);
+  // Popping again returns the pushed blocks.
+  void* again[32];
+  EXPECT_EQ(pool.pop_batch(2, again, 32), 32u);
+}
+
+TEST(Pool, LockCounterAdvances) {
+  alloc::PoolBackend pool;
+  alloc::PoolView view(pool);
+  const auto before = pool.lock_acquisitions();
+  void* p = view.allocate(32, 8);
+  view.deallocate(p, 32, 8);
+  EXPECT_GE(pool.lock_acquisitions(), before + 2);
+}
+
+TEST(Pool, ConcurrentHammering) {
+  alloc::PoolBackend pool;
+  constexpr int kThreads = 4;
+  constexpr int kIters = 5000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&pool] {
+      alloc::PoolView view(pool);
+      std::vector<void*> held;
+      held.reserve(64);
+      for (int i = 0; i < kIters; ++i) {
+        held.push_back(view.allocate(48, 8));
+        if (held.size() == 64) {
+          for (void* p : held) view.deallocate(p, 48, 8);
+          held.clear();
+        }
+      }
+      for (void* p : held) view.deallocate(p, 48, 8);
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(pool.stats().live_blocks(), 0u);
+}
+
+TEST(ThreadCache, AllocWithinMagazineAvoidsBackendLocks) {
+  alloc::PoolBackend pool;
+  alloc::ThreadCache cache(pool);
+  void* p = cache.allocate(48, 8);  // first allocation pulls one batch
+  const auto locks_after_refill = pool.lock_acquisitions();
+  cache.deallocate(p, 48, 8);
+  for (int i = 0; i < 32; ++i) {
+    void* q = cache.allocate(48, 8);
+    cache.deallocate(q, 48, 8);
+  }
+  EXPECT_EQ(pool.lock_acquisitions(), locks_after_refill);
+}
+
+TEST(ThreadCache, HighWaterFlushesHalf) {
+  alloc::PoolBackend pool;
+  alloc::ThreadCache cache(pool);
+  std::vector<void*> blocks;
+  // kHighWater+1 frees trigger exactly one push_batch.
+  for (std::size_t i = 0; i <= alloc::ThreadCache::kHighWater; ++i) {
+    blocks.push_back(cache.allocate(48, 8));
+  }
+  for (void* p : blocks) cache.deallocate(p, 48, 8);
+  // Everything is accounted for between cache and backend.
+  cache.flush();
+  EXPECT_EQ(cache.stats().live_blocks(), 0u);
+}
+
+TEST(ThreadCache, OversizeBypassesMagazines) {
+  alloc::PoolBackend pool;
+  alloc::ThreadCache cache(pool);
+  void* p = cache.allocate(2048, 8);
+  ASSERT_NE(p, nullptr);
+  cache.deallocate(p, 2048, 8);
+}
+
+TEST(ThreadCache, TwoCachesShareBackend) {
+  alloc::PoolBackend pool;
+  void* p = nullptr;
+  {
+    alloc::ThreadCache c1(pool);
+    p = c1.allocate(48, 8);
+    c1.deallocate(p, 48, 8);
+  }  // c1 flush returns the block to the pool
+  alloc::ThreadCache c2(pool);
+  // c2 can obtain blocks previously cached by c1 (through the backend).
+  std::unordered_set<void*> seen;
+  bool found = false;
+  for (int i = 0; i < 200 && !found; ++i) {
+    found = (c2.allocate(48, 8) == p);
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ThreadCache, ConcurrentCaches) {
+  alloc::PoolBackend pool;
+  constexpr int kThreads = 4;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&pool] {
+      alloc::ThreadCache cache(pool);
+      std::vector<void*> held;
+      for (int i = 0; i < 20000; ++i) {
+        held.push_back(cache.allocate(64, 8));
+        if (held.size() == 100) {
+          for (void* p : held) cache.deallocate(p, 64, 8);
+          held.clear();
+        }
+      }
+      for (void* p : held) cache.deallocate(p, 64, 8);
+    });
+  }
+  for (auto& w : workers) w.join();
+}
+
+}  // namespace
+}  // namespace pathcopy

@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "alloc/arena_alloc.hpp"
+#include "alloc/malloc_alloc.hpp"
+#include "core/atom.hpp"
+#include "persist/treap.hpp"
+#include "reclaim/epoch.hpp"
+#include "reclaim/hazard_roots.hpp"
+#include "reclaim/leaky.hpp"
+#include "reclaim/watermark.hpp"
+
+namespace pathcopy {
+namespace {
+
+using T = persist::Treap<std::int64_t, std::int64_t>;
+
+// The Atom API is identical across reclaimers; run the semantic tests
+// against every freeing policy.
+template <class Smr>
+class AtomTyped : public ::testing::Test {};
+
+using FreeingReclaimers =
+    ::testing::Types<reclaim::EpochReclaimer, reclaim::WatermarkReclaimer,
+                     reclaim::HazardRootReclaimer>;
+TYPED_TEST_SUITE(AtomTyped, FreeingReclaimers);
+
+TYPED_TEST(AtomTyped, InsertFindErase) {
+  alloc::MallocAlloc a;
+  {
+    TypeParam smr;
+    core::Atom<T, TypeParam, alloc::MallocAlloc> atom(smr, *a.retire_backend());
+    typename core::Atom<T, TypeParam, alloc::MallocAlloc>::Ctx ctx(smr, a);
+
+    EXPECT_EQ(atom.update(ctx, [](T t, auto& b) { return t.insert(b, 1, 10); }),
+              core::UpdateResult::kInstalled);
+    EXPECT_EQ(atom.update(ctx, [](T t, auto& b) { return t.insert(b, 2, 20); }),
+              core::UpdateResult::kInstalled);
+
+    const auto v = atom.read(ctx, [](T t) {
+      return t.contains(1) && t.contains(2) && t.size() == 2;
+    });
+    EXPECT_TRUE(v);
+
+    EXPECT_EQ(atom.update(ctx, [](T t, auto& b) { return t.erase(b, 1); }),
+              core::UpdateResult::kInstalled);
+    EXPECT_EQ(atom.read(ctx, [](T t) { return t.size(); }), 1u);
+  }
+  EXPECT_EQ(a.stats().live_blocks(), 0u);  // teardown frees everything
+}
+
+TYPED_TEST(AtomTyped, NoChangeSkipsCas) {
+  alloc::MallocAlloc a;
+  {
+    TypeParam smr;
+    core::Atom<T, TypeParam, alloc::MallocAlloc> atom(smr, *a.retire_backend());
+    typename core::Atom<T, TypeParam, alloc::MallocAlloc>::Ctx ctx(smr, a);
+
+    atom.update(ctx, [](T t, auto& b) { return t.insert(b, 5, 50); });
+    const auto v1 = atom.version();
+    EXPECT_EQ(atom.update(ctx, [](T t, auto& b) { return t.insert(b, 5, 99); }),
+              core::UpdateResult::kNoChange);
+    EXPECT_EQ(atom.update(ctx, [](T t, auto& b) { return t.erase(b, 7); }),
+              core::UpdateResult::kNoChange);
+    EXPECT_EQ(atom.version(), v1);  // no version consumed by no-ops
+    EXPECT_EQ(ctx.stats.noop_updates, 2u);
+    EXPECT_EQ(atom.read(ctx, [](T t) { return *t.find(5); }), 50);
+  }
+  EXPECT_EQ(a.stats().live_blocks(), 0u);
+}
+
+TYPED_TEST(AtomTyped, VersionAdvancesPerInstall) {
+  alloc::MallocAlloc a;
+  {
+    TypeParam smr;
+    core::Atom<T, TypeParam, alloc::MallocAlloc> atom(smr, *a.retire_backend());
+    typename core::Atom<T, TypeParam, alloc::MallocAlloc>::Ctx ctx(smr, a);
+    EXPECT_EQ(atom.version(), 1u);
+    for (std::int64_t i = 0; i < 10; ++i) {
+      atom.update(ctx, [i](T t, auto& b) { return t.insert(b, i, i); });
+    }
+    EXPECT_EQ(atom.version(), 11u);
+    EXPECT_EQ(ctx.stats.updates, 10u);
+    EXPECT_EQ(ctx.stats.attempts, 10u);  // uncontended: one attempt each
+    EXPECT_EQ(ctx.stats.cas_failures, 0u);
+  }
+  EXPECT_EQ(a.stats().live_blocks(), 0u);
+}
+
+TYPED_TEST(AtomTyped, SteadyStateMemoryIsBounded) {
+  // Insert/erase churn with periodic reclamation must not accumulate
+  // superseded nodes without bound.
+  alloc::MallocAlloc a;
+  {
+    TypeParam smr;
+    core::Atom<T, TypeParam, alloc::MallocAlloc> atom(smr, *a.retire_backend());
+    typename core::Atom<T, TypeParam, alloc::MallocAlloc>::Ctx ctx(smr, a);
+    for (std::int64_t i = 0; i < 2000; ++i) {
+      atom.update(ctx, [i](T t, auto& b) { return t.insert(b, i % 64, i); });
+      atom.update(ctx, [i](T t, auto& b) { return t.erase(b, i % 64); });
+    }
+    smr.drain_all();
+    // Tree is empty; at most transiently-pending garbage was drained.
+    EXPECT_EQ(atom.read(ctx, [](T t) { return t.size(); }), 0u);
+    EXPECT_EQ(a.stats().live_blocks(), 0u);
+  }
+}
+
+TYPED_TEST(AtomTyped, BulkLoadInOneUpdate) {
+  alloc::MallocAlloc a;
+  {
+    TypeParam smr;
+    core::Atom<T, TypeParam, alloc::MallocAlloc> atom(smr, *a.retire_backend());
+    typename core::Atom<T, TypeParam, alloc::MallocAlloc>::Ctx ctx(smr, a);
+    std::vector<std::pair<std::int64_t, std::int64_t>> items;
+    for (std::int64_t i = 0; i < 1000; ++i) items.emplace_back(i, i);
+    atom.update(ctx, [&](T, auto& b) {
+      return T::from_sorted(b, items.begin(), items.end());
+    });
+    EXPECT_EQ(atom.read(ctx, [](T t) { return t.size(); }), 1000u);
+    EXPECT_TRUE(atom.read(ctx, [](T t) { return t.check_invariants(); }));
+  }
+  EXPECT_EQ(a.stats().live_blocks(), 0u);
+}
+
+TEST(AtomLeaky, WorksWithArena) {
+  alloc::Arena arena;
+  reclaim::LeakyReclaimer smr;
+  {
+    core::Atom<T, reclaim::LeakyReclaimer, alloc::Arena> atom(
+        smr, *arena.retire_backend());
+    core::Atom<T, reclaim::LeakyReclaimer, alloc::Arena>::Ctx ctx(smr, arena);
+    for (std::int64_t i = 0; i < 500; ++i) {
+      atom.update(ctx, [i](T t, auto& b) { return t.insert(b, i, i); });
+    }
+    EXPECT_EQ(atom.read(ctx, [](T t) { return t.size(); }), 500u);
+    EXPECT_GT(smr.leaked_nodes(), 0u);  // superseded path nodes leak by design
+  }
+  arena.reset();  // wholesale reclamation
+}
+
+TEST(AtomWatermark, SnapshotReadsOldVersionWhileWritersAdvance) {
+  alloc::MallocAlloc a;
+  {
+    reclaim::WatermarkReclaimer smr;
+    core::Atom<T, reclaim::WatermarkReclaimer, alloc::MallocAlloc> atom(
+        smr, *a.retire_backend());
+    core::Atom<T, reclaim::WatermarkReclaimer, alloc::MallocAlloc>::Ctx ctx(smr, a);
+
+    for (std::int64_t i = 0; i < 100; ++i) {
+      atom.update(ctx, [i](T t, auto& b) { return t.insert(b, i, i); });
+    }
+    auto snap = atom.snapshot();
+    const T frozen = T::from_root(snap.root());
+    EXPECT_EQ(frozen.size(), 100u);
+
+    // Writers keep going; the snapshot must stay intact and readable.
+    for (std::int64_t i = 100; i < 300; ++i) {
+      atom.update(ctx, [i](T t, auto& b) { return t.insert(b, i, i); });
+      atom.update(ctx, [i](T t, auto& b) { return t.erase(b, i - 100); });
+    }
+    smr.drain_all();
+    EXPECT_EQ(frozen.size(), 100u);
+    EXPECT_TRUE(frozen.check_invariants());
+    for (std::int64_t i = 0; i < 100; ++i) EXPECT_TRUE(frozen.contains(i));
+    EXPECT_GT(smr.pending_nodes(), 0u);  // snapshot blocked some reclamation
+
+    snap.release();
+    smr.drain_all();
+  }
+  EXPECT_EQ(a.stats().live_blocks(), 0u);
+}
+
+TEST(AtomStats, FailureRatioComputation) {
+  core::OpStats s;
+  s.updates = 10;
+  s.cas_failures = 5;
+  EXPECT_DOUBLE_EQ(s.failure_ratio(), 0.5);
+  core::OpStats zero;
+  EXPECT_DOUBLE_EQ(zero.failure_ratio(), 0.0);
+  core::OpStats sum;
+  sum += s;
+  sum += s;
+  EXPECT_EQ(sum.updates, 20u);
+  EXPECT_EQ(sum.cas_failures, 10u);
+}
+
+}  // namespace
+}  // namespace pathcopy

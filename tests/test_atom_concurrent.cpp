@@ -1,0 +1,240 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "alloc/malloc_alloc.hpp"
+#include "alloc/pool_alloc.hpp"
+#include "alloc/thread_cache_alloc.hpp"
+#include "core/atom.hpp"
+#include "persist/external_bst.hpp"
+#include "persist/treap.hpp"
+#include "reclaim/epoch.hpp"
+#include "reclaim/hazard_roots.hpp"
+#include "reclaim/watermark.hpp"
+#include "util/rng.hpp"
+
+namespace pathcopy {
+namespace {
+
+using T = persist::Treap<std::int64_t, std::int64_t>;
+using E = persist::ExternalBst<std::int64_t, std::int64_t>;
+
+template <class Smr>
+class AtomConcurrent : public ::testing::Test {};
+
+using Reclaimers =
+    ::testing::Types<reclaim::EpochReclaimer, reclaim::WatermarkReclaimer,
+                     reclaim::HazardRootReclaimer>;
+TYPED_TEST_SUITE(AtomConcurrent, Reclaimers);
+
+TYPED_TEST(AtomConcurrent, DisjointInsertsAllLand) {
+  alloc::MallocAlloc a;
+  constexpr int kThreads = 4;
+  constexpr std::int64_t kPerThread = 1500;
+  {
+    TypeParam smr;
+    core::Atom<T, TypeParam, alloc::MallocAlloc> atom(smr, *a.retire_backend());
+    std::vector<std::thread> workers;
+    std::atomic<std::uint64_t> total_updates{0};
+    for (int w = 0; w < kThreads; ++w) {
+      workers.emplace_back([&, w] {
+        typename core::Atom<T, TypeParam, alloc::MallocAlloc>::Ctx ctx(smr, a);
+        for (std::int64_t i = 0; i < kPerThread; ++i) {
+          const std::int64_t key = w * kPerThread + i;
+          const auto r = atom.update(
+              ctx, [key](T t, auto& b) { return t.insert(b, key, key); });
+          ASSERT_EQ(r, core::UpdateResult::kInstalled);
+        }
+        total_updates.fetch_add(ctx.stats.updates);
+      });
+    }
+    for (auto& w : workers) w.join();
+    EXPECT_EQ(total_updates.load(), kThreads * kPerThread);
+
+    typename core::Atom<T, TypeParam, alloc::MallocAlloc>::Ctx ctx(smr, a);
+    EXPECT_EQ(atom.read(ctx, [](T t) { return t.size(); }),
+              static_cast<std::size_t>(kThreads * kPerThread));
+    EXPECT_TRUE(atom.read(ctx, [](T t) { return t.check_invariants(); }));
+    EXPECT_EQ(atom.version(), 1u + kThreads * kPerThread);
+  }
+  EXPECT_EQ(a.stats().live_blocks(), 0u);
+}
+
+TYPED_TEST(AtomConcurrent, AtomicReadModifyWriteIsLinearizable) {
+  // kThreads * kIncrements atomic increments of one key's value. Any lost
+  // update (a non-atomic read-modify-write) makes the final count smaller.
+  alloc::MallocAlloc a;
+  constexpr int kThreads = 4;
+  constexpr std::int64_t kIncrements = 2500;
+  {
+    TypeParam smr;
+    core::Atom<T, TypeParam, alloc::MallocAlloc> atom(smr, *a.retire_backend());
+    {
+      typename core::Atom<T, TypeParam, alloc::MallocAlloc>::Ctx ctx(smr, a);
+      atom.update(ctx, [](T t, auto& b) { return t.insert(b, 0, 0); });
+    }
+    std::vector<std::thread> workers;
+    for (int w = 0; w < kThreads; ++w) {
+      workers.emplace_back([&] {
+        typename core::Atom<T, TypeParam, alloc::MallocAlloc>::Ctx ctx(smr, a);
+        for (std::int64_t i = 0; i < kIncrements; ++i) {
+          atom.update(ctx, [](T t, auto& b) {
+            const std::int64_t cur = *t.find(0);
+            return t.insert_or_assign(b, 0, cur + 1);
+          });
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+    typename core::Atom<T, TypeParam, alloc::MallocAlloc>::Ctx ctx(smr, a);
+    EXPECT_EQ(atom.read(ctx, [](T t) { return *t.find(0); }),
+              kThreads * kIncrements);
+  }
+  EXPECT_EQ(a.stats().live_blocks(), 0u);
+}
+
+TYPED_TEST(AtomConcurrent, ReadersSeeConsistentSnapshotsDuringChurn) {
+  alloc::MallocAlloc a;
+  {
+    TypeParam smr;
+    core::Atom<T, TypeParam, alloc::MallocAlloc> atom(smr, *a.retire_backend());
+    // Invariant maintained by writers: the set always contains exactly one
+    // contiguous run [lo, lo+64) — size stays 64 and min+63 == max.
+    {
+      typename core::Atom<T, TypeParam, alloc::MallocAlloc>::Ctx ctx(smr, a);
+      atom.update(ctx, [](T t, auto& b) {
+        for (std::int64_t i = 0; i < 64; ++i) t = t.insert(b, i, i);
+        return t;
+      });
+    }
+    std::atomic<bool> stop{false};
+    std::thread writer([&] {
+      typename core::Atom<T, TypeParam, alloc::MallocAlloc>::Ctx ctx(smr, a);
+      for (std::int64_t lo = 0; lo < 3000; ++lo) {
+        // One atomic update shifts the window: removes lo, adds lo+64.
+        atom.update(ctx, [lo](T t, auto& b) {
+          return t.erase(b, lo).insert(b, lo + 64, lo + 64);
+        });
+      }
+      stop.store(true);
+    });
+    std::vector<std::thread> readers;
+    for (int r = 0; r < 3; ++r) {
+      readers.emplace_back([&] {
+        typename core::Atom<T, TypeParam, alloc::MallocAlloc>::Ctx ctx(smr, a);
+        while (!stop.load()) {
+          atom.read(ctx, [](T t) {
+            ASSERT_EQ(t.size(), 64u);
+            const auto* mn = t.min_node();
+            const auto* mx = t.max_node();
+            ASSERT_NE(mn, nullptr);
+            ASSERT_EQ(mx->key - mn->key, 63);  // contiguous window, atomic shift
+          });
+        }
+      });
+    }
+    writer.join();
+    for (auto& r : readers) r.join();
+  }
+  EXPECT_EQ(a.stats().live_blocks(), 0u);
+}
+
+TYPED_TEST(AtomConcurrent, MixedChurnKeepsInvariants) {
+  alloc::MallocAlloc a;
+  constexpr int kThreads = 4;
+  {
+    TypeParam smr;
+    core::Atom<E, TypeParam, alloc::MallocAlloc> atom(smr, *a.retire_backend());
+    std::vector<std::thread> workers;
+    for (int w = 0; w < kThreads; ++w) {
+      workers.emplace_back([&, w] {
+        typename core::Atom<E, TypeParam, alloc::MallocAlloc>::Ctx ctx(smr, a);
+        util::Xoshiro256 rng(w + 1);
+        for (int i = 0; i < 2000; ++i) {
+          const std::int64_t k = rng.range(0, 199);
+          if (rng.chance(1, 2)) {
+            atom.update(ctx, [k](E t, auto& b) { return t.insert(b, k, k); });
+          } else {
+            atom.update(ctx, [k](E t, auto& b) { return t.erase(b, k); });
+          }
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+    typename core::Atom<E, TypeParam, alloc::MallocAlloc>::Ctx ctx(smr, a);
+    EXPECT_TRUE(atom.read(ctx, [](E t) { return t.check_invariants(); }));
+    EXPECT_LE(atom.read(ctx, [](E t) { return t.size(); }), 200u);
+  }
+  EXPECT_EQ(a.stats().live_blocks(), 0u);
+}
+
+TEST(AtomConcurrentAlloc, ThreadCachedPoolUnderContention) {
+  alloc::PoolBackend pool;
+  constexpr int kThreads = 4;
+  constexpr std::int64_t kPerThread = 1500;
+  {
+    reclaim::EpochReclaimer smr;
+    core::Atom<T, reclaim::EpochReclaimer, alloc::ThreadCache> atom(smr, pool);
+    std::vector<std::thread> workers;
+    for (int w = 0; w < kThreads; ++w) {
+      workers.emplace_back([&, w] {
+        alloc::ThreadCache cache(pool);  // per-thread magazine view
+        core::Atom<T, reclaim::EpochReclaimer, alloc::ThreadCache>::Ctx ctx(
+            smr, cache);
+        for (std::int64_t i = 0; i < kPerThread; ++i) {
+          const std::int64_t key = w * kPerThread + i;
+          atom.update(ctx, [key](T t, auto& b) { return t.insert(b, key, key); });
+        }
+        // No drain here: retired nodes free through the (stable) pool
+        // backend, never through this soon-to-die thread cache.
+      });
+    }
+    for (auto& w : workers) w.join();
+    alloc::ThreadCache cache(pool);
+    core::Atom<T, reclaim::EpochReclaimer, alloc::ThreadCache>::Ctx ctx(smr, cache);
+    EXPECT_EQ(atom.read(ctx, [](T t) { return t.size(); }),
+              static_cast<std::size_t>(kThreads * kPerThread));
+    EXPECT_TRUE(atom.read(ctx, [](T t) { return t.check_invariants(); }));
+  }
+}
+
+TEST(AtomConcurrentStats, ContentionIsObservable) {
+  // Not asserting a minimum (scheduling dependent), just that the counter
+  // wiring adds up: attempts == updates + noops + cas_failures.
+  alloc::MallocAlloc a;
+  {
+    reclaim::EpochReclaimer smr;
+    core::Atom<T, reclaim::EpochReclaimer, alloc::MallocAlloc> atom(
+        smr, *a.retire_backend());
+    std::vector<std::thread> workers;
+    std::atomic<std::uint64_t> attempts{0}, updates{0}, noops{0}, failures{0};
+    for (int w = 0; w < 4; ++w) {
+      workers.emplace_back([&, w] {
+        core::Atom<T, reclaim::EpochReclaimer, alloc::MallocAlloc>::Ctx ctx(smr, a);
+        util::Xoshiro256 rng(w + 100);
+        for (int i = 0; i < 3000; ++i) {
+          const std::int64_t k = rng.range(0, 63);
+          if (rng.chance(1, 2)) {
+            atom.update(ctx, [k](T t, auto& b) { return t.insert(b, k, k); });
+          } else {
+            atom.update(ctx, [k](T t, auto& b) { return t.erase(b, k); });
+          }
+        }
+        attempts += ctx.stats.attempts;
+        updates += ctx.stats.updates;
+        noops += ctx.stats.noop_updates;
+        failures += ctx.stats.cas_failures;
+      });
+    }
+    for (auto& w : workers) w.join();
+    EXPECT_EQ(attempts.load(), updates.load() + noops.load() + failures.load());
+    EXPECT_EQ(updates.load() + noops.load(), 4u * 3000u);
+  }
+  EXPECT_EQ(a.stats().live_blocks(), 0u);
+}
+
+}  // namespace
+}  // namespace pathcopy

@@ -1,0 +1,214 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "alloc/arena_alloc.hpp"
+#include "alloc/malloc_alloc.hpp"
+#include "persist/avl.hpp"
+#include "test_support.hpp"
+#include "util/rng.hpp"
+
+namespace pathcopy {
+namespace {
+
+using A = persist::AvlTree<std::int64_t, std::int64_t>;
+
+template <class Alloc>
+A insert_all(Alloc& al, A t, const std::vector<std::int64_t>& keys) {
+  for (const auto k : keys) {
+    t = test::apply(al, [&](auto& b) { return t.insert(b, k, k * 10); });
+  }
+  return t;
+}
+
+TEST(Avl, EmptyBasics) {
+  A t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.height(), 0u);
+  EXPECT_TRUE(t.check_invariants());
+}
+
+TEST(Avl, AscendingInsertStaysBalanced) {
+  alloc::Arena a;
+  std::vector<std::int64_t> keys;
+  for (std::int64_t i = 0; i < 1024; ++i) keys.push_back(i);
+  A t = insert_all(a, A{}, keys);
+  EXPECT_EQ(t.size(), 1024u);
+  EXPECT_TRUE(t.check_invariants());
+  // AVL height bound: <= 1.44 log2(n+2) ≈ 14.5 for n=1024.
+  EXPECT_LE(t.height(), 15u);
+}
+
+TEST(Avl, DescendingInsertStaysBalanced) {
+  alloc::Arena a;
+  std::vector<std::int64_t> keys;
+  for (std::int64_t i = 1024; i > 0; --i) keys.push_back(i);
+  A t = insert_all(a, A{}, keys);
+  EXPECT_TRUE(t.check_invariants());
+  EXPECT_LE(t.height(), 15u);
+}
+
+TEST(Avl, ZigZagInsertTriggersDoubleRotations) {
+  alloc::Arena a;
+  // 2, 1, 3 ... patterns that force LR and RL rotations.
+  A t = insert_all(a, A{}, {10, 4, 15, 2, 6, 12, 20, 5});
+  EXPECT_TRUE(t.check_invariants());
+  t = insert_all(a, t, {7});  // LR case under 6
+  EXPECT_TRUE(t.check_invariants());
+  EXPECT_EQ(t.size(), 9u);
+}
+
+TEST(Avl, DuplicateInsertReturnsSameRoot) {
+  alloc::Arena a;
+  A t = insert_all(a, A{}, {1, 2, 3});
+  core::Builder<alloc::Arena> b(a);
+  EXPECT_EQ(t.insert(b, 2, 0).root_ptr(), t.root_ptr());
+  EXPECT_EQ(b.fresh_count(), 0u);
+  b.rollback();
+}
+
+TEST(Avl, EraseAbsentReturnsSameRoot) {
+  alloc::Arena a;
+  A t = insert_all(a, A{}, {1, 2, 3});
+  core::Builder<alloc::Arena> b(a);
+  EXPECT_EQ(t.erase(b, 9).root_ptr(), t.root_ptr());
+  b.rollback();
+}
+
+TEST(Avl, EraseLeafInternalAndRoot) {
+  alloc::Arena a;
+  A t = insert_all(a, A{}, {8, 4, 12, 2, 6, 10, 14, 1, 3});
+  // Leaf erase.
+  t = test::apply(a, [&](auto& b) { return t.erase(b, 3); });
+  EXPECT_FALSE(t.contains(3));
+  EXPECT_TRUE(t.check_invariants());
+  // One-child node erase.
+  t = test::apply(a, [&](auto& b) { return t.erase(b, 2); });
+  EXPECT_FALSE(t.contains(2));
+  EXPECT_TRUE(t.check_invariants());
+  // Two-children erase (pulls successor).
+  t = test::apply(a, [&](auto& b) { return t.erase(b, 4); });
+  EXPECT_FALSE(t.contains(4));
+  EXPECT_TRUE(t.check_invariants());
+  // Root erase.
+  t = test::apply(a, [&](auto& b) { return t.erase(b, 8); });
+  EXPECT_FALSE(t.contains(8));
+  EXPECT_TRUE(t.check_invariants());
+  EXPECT_EQ(t.size(), 5u);
+}
+
+TEST(Avl, EraseEverything) {
+  alloc::Arena a;
+  std::vector<std::int64_t> keys;
+  for (std::int64_t i = 0; i < 256; ++i) keys.push_back(i);
+  A t = insert_all(a, A{}, keys);
+  util::Xoshiro256 rng(5);
+  std::vector<std::int64_t> order = keys;
+  for (std::size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[rng.below(i)]);
+  }
+  for (const auto k : order) {
+    t = test::apply(a, [&](auto& b) { return t.erase(b, k); });
+    ASSERT_TRUE(t.check_invariants());
+  }
+  EXPECT_TRUE(t.empty());
+}
+
+TEST(Avl, RankAndKth) {
+  alloc::Arena a;
+  std::vector<std::int64_t> keys;
+  for (std::int64_t i = 0; i < 100; ++i) keys.push_back(i * 5);
+  A t = insert_all(a, A{}, keys);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    ASSERT_NE(t.kth(i), nullptr);
+    EXPECT_EQ(t.kth(i)->key, keys[i]);
+    EXPECT_EQ(t.rank(keys[i]), i);
+  }
+}
+
+TEST(Avl, MinMaxItems) {
+  alloc::Arena a;
+  A t = insert_all(a, A{}, {5, 1, 9, 3});
+  EXPECT_EQ(t.min_node()->key, 1);
+  EXPECT_EQ(t.max_node()->key, 9);
+  const auto items = t.items();
+  EXPECT_TRUE(std::is_sorted(items.begin(), items.end()));
+}
+
+TEST(Avl, PersistenceOldVersionUnchanged) {
+  alloc::Arena a;
+  A v1 = insert_all(a, A{}, {1, 2, 3, 4, 5, 6, 7});
+  core::Builder<alloc::Arena> b(a);
+  A v2 = v1.erase(b, 4);
+  b.seal();
+  (void)b.commit();
+  EXPECT_TRUE(v1.contains(4));
+  EXPECT_FALSE(v2.contains(4));
+  EXPECT_TRUE(v1.check_invariants());
+  EXPECT_TRUE(v2.check_invariants());
+}
+
+TEST(Avl, SharingAfterInsert) {
+  alloc::Arena a;
+  std::vector<std::int64_t> keys;
+  for (std::int64_t i = 0; i < 2048; ++i) keys.push_back(i);
+  A v1 = insert_all(a, A{}, keys);
+  core::Builder<alloc::Arena> b(a);
+  A v2 = v1.insert(b, 99999, 0);
+  b.seal();
+  (void)b.commit();
+  const std::size_t shared = A::shared_nodes(v1, v2);
+  EXPECT_GE(shared, v1.size() - 30);  // path + rotations only
+}
+
+TEST(Avl, InsertOrAssign) {
+  alloc::Arena a;
+  A t = insert_all(a, A{}, {1, 2, 3});
+  A t2 = test::apply(a, [&](auto& b) { return t.insert_or_assign(b, 2, 42); });
+  EXPECT_EQ(*t2.find(2), 42);
+  EXPECT_EQ(*t.find(2), 20);
+  EXPECT_TRUE(t2.check_invariants());
+}
+
+TEST(Avl, RandomOpsAgainstOracle) {
+  alloc::Arena a;
+  A t;
+  std::map<std::int64_t, std::int64_t> oracle;
+  util::Xoshiro256 rng(23);
+  for (int i = 0; i < 4000; ++i) {
+    const std::int64_t k = rng.range(-60, 60);
+    if (rng.chance(3, 5)) {
+      t = test::apply(a, [&](auto& b) { return t.insert(b, k, k); });
+      oracle.emplace(k, k);
+    } else {
+      t = test::apply(a, [&](auto& b) { return t.erase(b, k); });
+      oracle.erase(k);
+    }
+    ASSERT_EQ(t.size(), oracle.size());
+    if (i % 250 == 0) ASSERT_TRUE(t.check_invariants());
+  }
+  EXPECT_TRUE(t.check_invariants());
+  const auto items = t.items();
+  std::size_t i = 0;
+  for (const auto& [k, v] : oracle) {
+    ASSERT_EQ(items[i].first, k);
+    ++i;
+  }
+}
+
+TEST(Avl, DestroyFreesEverything) {
+  alloc::MallocAlloc a;
+  A t;
+  for (std::int64_t k = 0; k < 150; ++k) {
+    t = test::apply(a, [&](auto& b) { return t.insert(b, k, k); });
+  }
+  EXPECT_EQ(a.stats().live_blocks(), 150u);
+  A::destroy(t.root_node(), a);
+  EXPECT_EQ(a.stats().live_blocks(), 0u);
+}
+
+}  // namespace
+}  // namespace pathcopy

@@ -1,0 +1,284 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "alloc/arena_alloc.hpp"
+#include "alloc/malloc_alloc.hpp"
+#include "persist/btree.hpp"
+#include "test_support.hpp"
+#include "util/rng.hpp"
+
+namespace pathcopy {
+namespace {
+
+using T = persist::BTree<std::int64_t, std::int64_t, 8>;
+
+template <class Tree, class Alloc>
+Tree insert_all(Alloc& al, Tree t, const std::vector<std::int64_t>& keys) {
+  for (const auto k : keys) {
+    t = test::apply(al, [&](auto& b) { return t.insert(b, k, k * 10); });
+  }
+  return t;
+}
+
+std::vector<std::int64_t> iota_keys(std::int64_t n) {
+  std::vector<std::int64_t> keys;
+  keys.reserve(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) keys.push_back(i);
+  return keys;
+}
+
+TEST(Btree, EmptyBasics) {
+  T t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.height(), 0u);
+  EXPECT_TRUE(t.check_invariants());
+  EXPECT_EQ(t.find(1), nullptr);
+  EXPECT_EQ(t.min_key(), nullptr);
+  EXPECT_EQ(t.max_key(), nullptr);
+  EXPECT_EQ(t.kth_key(0), nullptr);
+}
+
+TEST(Btree, SingleLeafLifecycle) {
+  alloc::Arena a;
+  T t = insert_all(a, T{}, {5, 3, 9});
+  EXPECT_EQ(t.height(), 1u);  // still one leaf at fanout 8
+  EXPECT_EQ(t.size(), 3u);
+  EXPECT_TRUE(t.check_invariants());
+  EXPECT_EQ(*t.find(3), 30);
+  EXPECT_EQ(*t.min_key(), 3);
+  EXPECT_EQ(*t.max_key(), 9);
+}
+
+TEST(Btree, LeafSplitCreatesRoot) {
+  alloc::Arena a;
+  T t = insert_all(a, T{}, iota_keys(9));  // capacity 8 → split
+  EXPECT_EQ(t.height(), 2u);
+  EXPECT_TRUE(t.check_invariants());
+  for (std::int64_t k = 0; k < 9; ++k) ASSERT_TRUE(t.contains(k));
+}
+
+TEST(Btree, AscendingInsertKeepsInvariants) {
+  alloc::Arena a;
+  T t = insert_all(a, T{}, iota_keys(2048));
+  EXPECT_EQ(t.size(), 2048u);
+  EXPECT_TRUE(t.check_invariants());
+  // Fanout-8 height bound: log_4(2048) ≈ 5.5 plus root slack.
+  EXPECT_LE(t.height(), 7u);
+}
+
+TEST(Btree, DescendingInsertKeepsInvariants) {
+  alloc::Arena a;
+  std::vector<std::int64_t> keys;
+  for (std::int64_t i = 2048; i > 0; --i) keys.push_back(i);
+  T t = insert_all(a, T{}, keys);
+  EXPECT_TRUE(t.check_invariants());
+  EXPECT_EQ(t.size(), 2048u);
+}
+
+TEST(Btree, DuplicateInsertReturnsSameRoot) {
+  alloc::Arena a;
+  T t = insert_all(a, T{}, {1, 2, 3});
+  core::Builder<alloc::Arena> b(a);
+  EXPECT_EQ(t.insert(b, 2, 0).root_ptr(), t.root_ptr());
+  EXPECT_EQ(b.fresh_count(), 0u);
+  b.rollback();
+}
+
+TEST(Btree, EraseAbsentReturnsSameRoot) {
+  alloc::Arena a;
+  T t = insert_all(a, T{}, {1, 2, 3});
+  core::Builder<alloc::Arena> b(a);
+  EXPECT_EQ(t.erase(b, 9).root_ptr(), t.root_ptr());
+  b.rollback();
+}
+
+TEST(Btree, InsertOrAssign) {
+  alloc::Arena a;
+  T t = insert_all(a, T{}, iota_keys(100));
+  T t2 = test::apply(a, [&](auto& b) { return t.insert_or_assign(b, 50, -1); });
+  EXPECT_EQ(*t2.find(50), -1);
+  EXPECT_EQ(*t.find(50), 500);
+  EXPECT_EQ(t2.size(), 100u);
+  EXPECT_TRUE(t2.check_invariants());
+}
+
+TEST(Btree, EraseTriggersBorrowAndMerge) {
+  alloc::Arena a;
+  // Build enough structure for internal rebalancing, then erase a block
+  // of adjacent keys — adjacency maximizes borrow/merge traffic.
+  T t = insert_all(a, T{}, iota_keys(512));
+  for (std::int64_t k = 100; k < 400; ++k) {
+    t = test::apply(a, [&](auto& b) { return t.erase(b, k); });
+    ASSERT_TRUE(t.check_invariants()) << "after erasing " << k;
+  }
+  EXPECT_EQ(t.size(), 212u);
+  for (std::int64_t k = 0; k < 100; ++k) ASSERT_TRUE(t.contains(k));
+  for (std::int64_t k = 100; k < 400; ++k) ASSERT_FALSE(t.contains(k));
+  for (std::int64_t k = 400; k < 512; ++k) ASSERT_TRUE(t.contains(k));
+}
+
+TEST(Btree, EraseEverythingShrinksHeightToZero) {
+  alloc::Arena a;
+  const auto keys = iota_keys(512);
+  T t = insert_all(a, T{}, keys);
+  util::Xoshiro256 rng(5);
+  std::vector<std::int64_t> order = keys;
+  for (std::size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[rng.below(i)]);
+  }
+  std::size_t last_height = t.height();
+  for (const auto k : order) {
+    t = test::apply(a, [&](auto& b) { return t.erase(b, k); });
+    ASSERT_TRUE(t.check_invariants()) << "after erasing " << k;
+    ASSERT_LE(t.height(), last_height);
+    last_height = t.height();
+  }
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.height(), 0u);
+}
+
+TEST(Btree, RankAndKth) {
+  alloc::Arena a;
+  std::vector<std::int64_t> keys;
+  for (std::int64_t i = 0; i < 300; ++i) keys.push_back(i * 3);
+  T t = insert_all(a, T{}, keys);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    ASSERT_NE(t.kth_key(i), nullptr);
+    EXPECT_EQ(*t.kth_key(i), keys[i]);
+    EXPECT_EQ(t.rank(keys[i]), i);
+    EXPECT_EQ(t.rank(keys[i] + 1), i + 1);  // between stored keys
+  }
+  EXPECT_EQ(t.kth_key(keys.size()), nullptr);
+}
+
+TEST(Btree, FloorCeilingCountRange) {
+  alloc::Arena a;
+  T t = insert_all(a, T{}, {10, 20, 30, 40});
+  EXPECT_EQ(*t.floor_key(25), 20);
+  EXPECT_EQ(*t.floor_key(20), 20);
+  EXPECT_EQ(t.floor_key(5), nullptr);
+  EXPECT_EQ(*t.ceiling_key(25), 30);
+  EXPECT_EQ(*t.ceiling_key(30), 30);
+  EXPECT_EQ(t.ceiling_key(45), nullptr);
+  EXPECT_EQ(t.count_range(10, 40), 3u);
+  EXPECT_EQ(t.count_range(11, 41), 3u);
+  EXPECT_EQ(t.count_range(40, 10), 0u);
+}
+
+TEST(Btree, ItemsAreSorted) {
+  alloc::Arena a;
+  util::Xoshiro256 rng(3);
+  T t;
+  for (int i = 0; i < 500; ++i) {
+    t = test::apply(
+        a, [&](auto& b) { return t.insert(b, rng.range(-1000, 1000), 0); });
+  }
+  const auto items = t.items();
+  EXPECT_TRUE(std::is_sorted(items.begin(), items.end()));
+  EXPECT_EQ(items.size(), t.size());
+}
+
+TEST(Btree, PersistenceOldVersionUnchanged) {
+  alloc::Arena a;
+  T v1 = insert_all(a, T{}, iota_keys(200));
+  core::Builder<alloc::Arena> b(a);
+  T v2 = v1.erase(b, 100);
+  b.seal();
+  (void)b.commit();
+  EXPECT_TRUE(v1.contains(100));
+  EXPECT_FALSE(v2.contains(100));
+  EXPECT_TRUE(v1.check_invariants());
+  EXPECT_TRUE(v2.check_invariants());
+  EXPECT_EQ(v1.size(), 200u);
+  EXPECT_EQ(v2.size(), 199u);
+}
+
+TEST(Btree, SharingAfterInsertIsPathOnly) {
+  alloc::Arena a;
+  T v1 = insert_all(a, T{}, iota_keys(4096));
+  core::Builder<alloc::Arena> b(a);
+  T v2 = v1.insert(b, 999999, 0);
+  b.seal();
+  (void)b.commit();
+  const std::size_t shared = T::shared_nodes(v1, v2);
+  // Only the copied path's entries (≤ height · fanout) can be unshared.
+  EXPECT_GE(shared, v1.size() - 64);
+}
+
+TEST(Btree, RandomOpsAgainstOracle) {
+  alloc::Arena a;
+  T t;
+  std::map<std::int64_t, std::int64_t> oracle;
+  util::Xoshiro256 rng(23);
+  for (int i = 0; i < 6000; ++i) {
+    const std::int64_t k = rng.range(-150, 150);
+    if (rng.chance(3, 5)) {
+      t = test::apply(a, [&](auto& b) { return t.insert(b, k, k); });
+      oracle.emplace(k, k);
+    } else {
+      t = test::apply(a, [&](auto& b) { return t.erase(b, k); });
+      oracle.erase(k);
+    }
+    ASSERT_EQ(t.size(), oracle.size());
+    if (i % 250 == 0) { ASSERT_TRUE(t.check_invariants()); }
+  }
+  EXPECT_TRUE(t.check_invariants());
+  const auto items = t.items();
+  std::size_t i = 0;
+  for (const auto& [k, v] : oracle) {
+    ASSERT_EQ(items[i].first, k);
+    ++i;
+  }
+}
+
+TEST(Btree, DestroyFreesEverything) {
+  alloc::MallocAlloc a;
+  T t;
+  for (std::int64_t k = 0; k < 300; ++k) {
+    t = test::apply(a, [&](auto& b) { return t.insert(b, k, k); });
+  }
+  EXPECT_GT(a.stats().live_blocks(), 0u);
+  T::destroy(t.root_node(), a);
+  EXPECT_EQ(a.stats().live_blocks(), 0u);
+}
+
+// Same battery at other fanouts — template sweep, including the minimum
+// legal fanout 3 (every split/merge boundary case fires constantly).
+template <unsigned F>
+void run_fanout_battery() {
+  using TF = persist::BTree<std::int64_t, std::int64_t, F>;
+  alloc::Arena a;
+  TF t;
+  std::map<std::int64_t, std::int64_t> oracle;
+  util::Xoshiro256 rng(41 + F);
+  for (int i = 0; i < 3000; ++i) {
+    const std::int64_t k = rng.range(-120, 120);
+    if (rng.chance(3, 5)) {
+      t = test::apply(a, [&](auto& b) { return t.insert(b, k, k * 2); });
+      oracle.emplace(k, k * 2);
+    } else {
+      t = test::apply(a, [&](auto& b) { return t.erase(b, k); });
+      oracle.erase(k);
+    }
+    ASSERT_EQ(t.size(), oracle.size());
+    if (i % 200 == 0) { ASSERT_TRUE(t.check_invariants()); }
+  }
+  ASSERT_TRUE(t.check_invariants());
+  for (const auto& [k, v] : oracle) {
+    ASSERT_NE(t.find(k), nullptr);
+    ASSERT_EQ(*t.find(k), v);
+  }
+}
+
+TEST(BtreeFanouts, F3) { run_fanout_battery<3>(); }
+TEST(BtreeFanouts, F4) { run_fanout_battery<4>(); }
+TEST(BtreeFanouts, F16) { run_fanout_battery<16>(); }
+TEST(BtreeFanouts, F64) { run_fanout_battery<64>(); }
+
+}  // namespace
+}  // namespace pathcopy

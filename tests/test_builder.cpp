@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include "alloc/arena_alloc.hpp"
+#include "alloc/malloc_alloc.hpp"
+#include "core/builder.hpp"
+#include "core/node_base.hpp"
+#include "reclaim/retired.hpp"
+
+namespace pathcopy {
+namespace {
+
+struct TestNode : core::PNode {
+  explicit TestNode(int v) : value(v) {}
+  int value;
+};
+
+TEST(Builder, CreateMarksFresh) {
+  alloc::MallocAlloc a;
+  core::Builder<alloc::MallocAlloc> b(a);
+  const TestNode* n = b.create<TestNode>(42);
+  EXPECT_EQ(n->value, 42);
+  EXPECT_EQ(n->pc_state_, core::NodeState::kFresh);
+  EXPECT_EQ(b.fresh_count(), 1u);
+}
+
+TEST(Builder, SealPublishesSurvivors) {
+  alloc::MallocAlloc a;
+  core::Builder<alloc::MallocAlloc> b(a);
+  const TestNode* n = b.create<TestNode>(1);
+  b.seal();
+  EXPECT_EQ(n->pc_state_, core::NodeState::kPublished);
+  auto retired = b.commit();
+  EXPECT_TRUE(retired.empty());
+  // The node survives commit; free it manually.
+  n->~TestNode();
+  a.deallocate(const_cast<TestNode*>(n), sizeof(TestNode), alignof(TestNode));
+  EXPECT_EQ(a.stats().live_blocks(), 0u);
+}
+
+TEST(Builder, SupersedeFreshMarksDeadAndCommitRecycles) {
+  alloc::MallocAlloc a;
+  core::Builder<alloc::MallocAlloc> b(a);
+  const TestNode* n = b.create<TestNode>(1);
+  b.supersede(n);
+  EXPECT_EQ(n->pc_state_, core::NodeState::kFreshDead);
+  b.seal();
+  auto retired = b.commit();
+  EXPECT_TRUE(retired.empty());          // fresh-dead nodes are not retired
+  EXPECT_EQ(a.stats().live_blocks(), 0u);  // they are recycled immediately
+  EXPECT_EQ(b.stats().recycled, 1u);
+}
+
+TEST(Builder, SupersedePublishedGoesToRetireSet) {
+  alloc::MallocAlloc a;
+  const TestNode* old = nullptr;
+  {
+    core::Builder<alloc::MallocAlloc> b(a);
+    old = b.create<TestNode>(7);
+    b.seal();
+    auto r = b.commit();
+    ASSERT_TRUE(r.empty());
+  }
+  core::Builder<alloc::MallocAlloc> b2(a);
+  b2.supersede(old);
+  b2.seal();
+  auto retired = b2.commit();
+  ASSERT_EQ(retired.size(), 1u);
+  EXPECT_EQ(retired[0].p, const_cast<TestNode*>(old));
+  reclaim::run_all(retired);  // destroys and frees through the backend
+  EXPECT_EQ(a.stats().live_blocks(), 0u);
+}
+
+TEST(Builder, RollbackRecyclesEverything) {
+  alloc::MallocAlloc a;
+  core::Builder<alloc::MallocAlloc> b(a);
+  b.create<TestNode>(1);
+  b.create<TestNode>(2);
+  const TestNode* dead = b.create<TestNode>(3);
+  b.supersede(dead);
+  b.rollback();
+  EXPECT_EQ(a.stats().live_blocks(), 0u);
+  EXPECT_EQ(b.stats().recycled, 3u);
+}
+
+TEST(Builder, DestructorRollsBackUnresolvedAttempt) {
+  alloc::MallocAlloc a;
+  {
+    core::Builder<alloc::MallocAlloc> b(a);
+    b.create<TestNode>(1);
+    b.create<TestNode>(2);
+  }
+  EXPECT_EQ(a.stats().live_blocks(), 0u);
+}
+
+TEST(Builder, ResetReArmsForRetry) {
+  alloc::MallocAlloc a;
+  core::Builder<alloc::MallocAlloc> b(a);
+  b.create<TestNode>(1);
+  b.rollback();  // failed attempt
+  b.reset();
+  const TestNode* n = b.create<TestNode>(2);
+  b.seal();
+  auto retired = b.commit();
+  EXPECT_TRUE(retired.empty());
+  n->~TestNode();
+  a.deallocate(const_cast<TestNode*>(n), sizeof(TestNode), alignof(TestNode));
+  EXPECT_EQ(a.stats().live_blocks(), 0u);
+}
+
+TEST(Builder, ResetRollsBackImplicitly) {
+  alloc::MallocAlloc a;
+  core::Builder<alloc::MallocAlloc> b(a);
+  b.create<TestNode>(1);
+  b.reset();  // unresolved attempt gets rolled back by reset
+  EXPECT_EQ(a.stats().live_blocks(), 0u);
+  EXPECT_EQ(b.fresh_count(), 0u);
+}
+
+TEST(Builder, StatsTrackEachCategory) {
+  alloc::MallocAlloc a;
+  const TestNode* published = nullptr;
+  {
+    core::Builder<alloc::MallocAlloc> b(a);
+    published = b.create<TestNode>(0);
+    b.seal();
+    (void)b.commit();
+  }
+  core::Builder<alloc::MallocAlloc> b(a);
+  b.create<TestNode>(1);
+  const TestNode* dead = b.create<TestNode>(2);
+  b.supersede(dead);
+  b.supersede(published);
+  EXPECT_EQ(b.stats().created, 2u);
+  EXPECT_EQ(b.stats().superseded_fresh, 1u);
+  EXPECT_EQ(b.stats().superseded_published, 1u);
+  b.seal();
+  auto retired = b.commit();
+  EXPECT_EQ(retired.size(), 1u);
+  reclaim::run_all(retired);
+  // One live node remains (value 1); clean it up.
+  EXPECT_EQ(a.stats().live_blocks(), 1u);
+}
+
+TEST(Builder, WorksWithArena) {
+  alloc::Arena arena;
+  core::Builder<alloc::Arena> b(arena);
+  const TestNode* n = b.create<TestNode>(5);
+  b.supersede(n);
+  b.rollback();
+  // Rollback recycled into the arena's free list: next create reuses it.
+  core::Builder<alloc::Arena> b2(arena);
+  const TestNode* m = b2.create<TestNode>(6);
+  EXPECT_EQ(static_cast<const void*>(m), static_cast<const void*>(n));
+  b2.rollback();
+}
+
+TEST(Builder, CommitWithoutCreations) {
+  alloc::MallocAlloc a;
+  core::Builder<alloc::MallocAlloc> b(a);
+  b.seal();
+  auto retired = b.commit();
+  EXPECT_TRUE(retired.empty());
+}
+
+}  // namespace
+}  // namespace pathcopy

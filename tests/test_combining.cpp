@@ -1,0 +1,257 @@
+// CombiningAtom (lock-free, PSim-style) and FlatCombining (lock-based)
+// semantics and accounting, single-threaded and under real contention.
+//
+// The strongest check here is exactly-once application: every announced
+// operation must be absorbed by exactly one installed version, so the sum
+// of combined_ops across threads equals the total operation count, and
+// per-key "net effect" counters must reconcile with the final contents.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "alloc/malloc_alloc.hpp"
+#include "core/combining.hpp"
+#include "persist/treap.hpp"
+#include "reclaim/epoch.hpp"
+#include "reclaim/hazard_roots.hpp"
+#include "reclaim/watermark.hpp"
+#include "seq/flat_combining.hpp"
+#include "seq/seq_treap.hpp"
+#include "util/rng.hpp"
+
+namespace pathcopy {
+namespace {
+
+using T = persist::Treap<std::int64_t, std::int64_t>;
+using FC = seq::FlatCombining<seq::SeqTreap<std::int64_t, std::int64_t>>;
+
+template <class Smr>
+class CombiningTyped : public ::testing::Test {};
+
+using Reclaimers =
+    ::testing::Types<reclaim::EpochReclaimer, reclaim::WatermarkReclaimer,
+                     reclaim::HazardRootReclaimer>;
+TYPED_TEST_SUITE(CombiningTyped, Reclaimers);
+
+TYPED_TEST(CombiningTyped, SingleThreadSemantics) {
+  alloc::MallocAlloc a;
+  {
+    TypeParam smr;
+    core::CombiningAtom<T, TypeParam, alloc::MallocAlloc> atom(smr, a);
+    typename core::CombiningAtom<T, TypeParam, alloc::MallocAlloc>::Ctx ctx(
+        smr, a);
+    const unsigned slot = atom.register_slot();
+
+    EXPECT_TRUE(atom.insert(ctx, slot, 1, 10));
+    EXPECT_TRUE(atom.insert(ctx, slot, 2, 20));
+    EXPECT_FALSE(atom.insert(ctx, slot, 1, 99));  // duplicate
+    EXPECT_TRUE(atom.read(ctx, [](T t) {
+      return t.contains(1) && t.contains(2) && *t.find(1) == 10;
+    }));
+    EXPECT_TRUE(atom.erase(ctx, slot, 1));
+    EXPECT_FALSE(atom.erase(ctx, slot, 1));  // already gone
+    EXPECT_FALSE(atom.erase(ctx, slot, 7));  // never present
+    EXPECT_EQ(atom.size(ctx), 1u);
+  }
+  EXPECT_EQ(a.stats().live_blocks(), 0u);
+}
+
+TYPED_TEST(CombiningTyped, VersionAdvancesPerInstall) {
+  alloc::MallocAlloc a;
+  {
+    TypeParam smr;
+    core::CombiningAtom<T, TypeParam, alloc::MallocAlloc> atom(smr, a);
+    typename core::CombiningAtom<T, TypeParam, alloc::MallocAlloc>::Ctx ctx(
+        smr, a);
+    const unsigned slot = atom.register_slot();
+    EXPECT_EQ(atom.version(), 1u);
+    atom.insert(ctx, slot, 1, 1);
+    EXPECT_EQ(atom.version(), 2u);
+    // Unlike the plain Atom, a semantic no-op still installs a version —
+    // the response must be published through the VersionRec.
+    atom.insert(ctx, slot, 1, 1);
+    EXPECT_EQ(atom.version(), 3u);
+  }
+  EXPECT_EQ(a.stats().live_blocks(), 0u);
+}
+
+TYPED_TEST(CombiningTyped, ResultsMatchOracle) {
+  alloc::MallocAlloc a;
+  {
+    TypeParam smr;
+    core::CombiningAtom<T, TypeParam, alloc::MallocAlloc> atom(smr, a);
+    typename core::CombiningAtom<T, TypeParam, alloc::MallocAlloc>::Ctx ctx(
+        smr, a);
+    const unsigned slot = atom.register_slot();
+    std::set<std::int64_t> oracle;
+    util::Xoshiro256 rng(7);
+    for (int i = 0; i < 2000; ++i) {
+      const std::int64_t k = rng.range(-40, 40);
+      if (rng.chance(1, 2)) {
+        ASSERT_EQ(atom.insert(ctx, slot, k, k), oracle.insert(k).second);
+      } else {
+        ASSERT_EQ(atom.erase(ctx, slot, k), oracle.erase(k) > 0);
+      }
+    }
+    ASSERT_EQ(atom.size(ctx), oracle.size());
+  }
+  EXPECT_EQ(a.stats().live_blocks(), 0u);
+}
+
+TYPED_TEST(CombiningTyped, DisjointInsertsAllLandExactlyOnce) {
+  alloc::MallocAlloc a;
+  constexpr int kThreads = 4;
+  constexpr std::int64_t kPerThread = 1200;
+  {
+    TypeParam smr;
+    core::CombiningAtom<T, TypeParam, alloc::MallocAlloc> atom(smr, a);
+    std::vector<std::thread> workers;
+    std::atomic<std::uint64_t> combined{0}, own_installs{0}, helped{0};
+    for (int w = 0; w < kThreads; ++w) {
+      workers.emplace_back([&, w] {
+        typename core::CombiningAtom<T, TypeParam, alloc::MallocAlloc>::Ctx
+            ctx(smr, a);
+        const unsigned slot = atom.register_slot();
+        for (std::int64_t i = 0; i < kPerThread; ++i) {
+          const std::int64_t key = w * kPerThread + i;
+          ASSERT_TRUE(atom.insert(ctx, slot, key, key));
+        }
+        // Every op completes exactly one way.
+        ASSERT_EQ(ctx.stats.updates + ctx.stats.helped_completions,
+                  static_cast<std::uint64_t>(kPerThread));
+        combined += ctx.stats.combined_ops;
+        own_installs += ctx.stats.updates;
+        helped += ctx.stats.helped_completions;
+      });
+    }
+    for (auto& w : workers) w.join();
+    // Exactly-once application: the batches of all installed versions
+    // partition the full operation set.
+    EXPECT_EQ(combined.load(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+    EXPECT_EQ(own_installs.load() + helped.load(),
+              static_cast<std::uint64_t>(kThreads) * kPerThread);
+
+    typename core::CombiningAtom<T, TypeParam, alloc::MallocAlloc>::Ctx ctx(
+        smr, a);
+    EXPECT_EQ(atom.size(ctx), static_cast<std::size_t>(kThreads * kPerThread));
+    EXPECT_TRUE(atom.read(ctx, [](T t) { return t.check_invariants(); }));
+  }
+  EXPECT_EQ(a.stats().live_blocks(), 0u);
+}
+
+TYPED_TEST(CombiningTyped, ContendedNetEffectReconciles) {
+  alloc::MallocAlloc a;
+  constexpr int kThreads = 4;
+  constexpr int kKeys = 32;
+  {
+    TypeParam smr;
+    core::CombiningAtom<T, TypeParam, alloc::MallocAlloc> atom(smr, a);
+    std::array<std::atomic<std::int64_t>, kKeys> net{};
+    std::vector<std::thread> workers;
+    for (int w = 0; w < kThreads; ++w) {
+      workers.emplace_back([&, w] {
+        typename core::CombiningAtom<T, TypeParam, alloc::MallocAlloc>::Ctx
+            ctx(smr, a);
+        const unsigned slot = atom.register_slot();
+        util::Xoshiro256 rng(w + 11);
+        for (int i = 0; i < 2500; ++i) {
+          const std::int64_t k = rng.range(0, kKeys - 1);
+          if (rng.chance(1, 2)) {
+            if (atom.insert(ctx, slot, k, k)) net[k].fetch_add(1);
+          } else {
+            if (atom.erase(ctx, slot, k)) net[k].fetch_sub(1);
+          }
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+    typename core::CombiningAtom<T, TypeParam, alloc::MallocAlloc>::Ctx ctx(
+        smr, a);
+    for (int k = 0; k < kKeys; ++k) {
+      const std::int64_t n = net[k].load();
+      ASSERT_TRUE(n == 0 || n == 1) << "key " << k << " net " << n;
+      const bool present =
+          atom.read(ctx, [k](T t) { return t.contains(k); });
+      ASSERT_EQ(present, n == 1) << "key " << k;
+    }
+    EXPECT_TRUE(atom.read(ctx, [](T t) { return t.check_invariants(); }));
+  }
+  EXPECT_EQ(a.stats().live_blocks(), 0u);
+}
+
+TEST(FlatCombining, SingleThreadSemantics) {
+  FC fc;
+  const unsigned slot = fc.register_slot();
+  EXPECT_TRUE(fc.insert(slot, 1, 10));
+  EXPECT_TRUE(fc.insert(slot, 2, 20));
+  EXPECT_FALSE(fc.insert(slot, 1, 99));
+  EXPECT_TRUE(fc.contains(slot, 1));
+  EXPECT_FALSE(fc.contains(slot, 9));
+  EXPECT_TRUE(fc.erase(slot, 1));
+  EXPECT_FALSE(fc.erase(slot, 1));
+  EXPECT_EQ(fc.size(slot), 1u);
+}
+
+TEST(FlatCombining, DisjointInsertsAllLand) {
+  FC fc;
+  constexpr int kThreads = 4;
+  constexpr std::int64_t kPerThread = 2000;
+  std::vector<std::thread> workers;
+  for (int w = 0; w < kThreads; ++w) {
+    workers.emplace_back([&, w] {
+      const unsigned slot = fc.register_slot();
+      for (std::int64_t i = 0; i < kPerThread; ++i) {
+        const std::int64_t key = w * kPerThread + i;
+        ASSERT_TRUE(fc.insert(slot, key, key));
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  // Tenures can't exceed operations so far (every counted tenure served
+  // at least one op); snapshot before the query phase below adds more.
+  const std::uint64_t write_tenures = fc.combiner_tenures();
+  EXPECT_GT(write_tenures, 0u);
+  EXPECT_LE(write_tenures, static_cast<std::uint64_t>(kThreads) * kPerThread);
+
+  const unsigned slot = fc.register_slot();
+  EXPECT_EQ(fc.size(slot), static_cast<std::size_t>(kThreads * kPerThread));
+  for (std::int64_t k = 0; k < kThreads * kPerThread; k += 97) {
+    EXPECT_TRUE(fc.contains(slot, k));
+  }
+}
+
+TEST(FlatCombining, ContendedNetEffectReconciles) {
+  FC fc;
+  constexpr int kThreads = 4;
+  constexpr int kKeys = 32;
+  std::array<std::atomic<std::int64_t>, kKeys> net{};
+  std::vector<std::thread> workers;
+  for (int w = 0; w < kThreads; ++w) {
+    workers.emplace_back([&, w] {
+      const unsigned slot = fc.register_slot();
+      util::Xoshiro256 rng(w + 31);
+      for (int i = 0; i < 4000; ++i) {
+        const std::int64_t k = rng.range(0, kKeys - 1);
+        if (rng.chance(1, 2)) {
+          if (fc.insert(slot, k, k)) net[k].fetch_add(1);
+        } else {
+          if (fc.erase(slot, k)) net[k].fetch_sub(1);
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  const unsigned slot = fc.register_slot();
+  for (int k = 0; k < kKeys; ++k) {
+    const std::int64_t n = net[k].load();
+    ASSERT_TRUE(n == 0 || n == 1) << "key " << k << " net " << n;
+    ASSERT_EQ(fc.contains(slot, k), n == 1) << "key " << k;
+  }
+}
+
+}  // namespace
+}  // namespace pathcopy

@@ -1,0 +1,322 @@
+// Snapshot cursors: ordered traversal, lower-bound seeks, bidirectional
+// stepping, and stability over superseded versions — typed across every
+// binary-node structure.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "alloc/arena_alloc.hpp"
+#include "persist/avl.hpp"
+#include "persist/btree.hpp"
+#include "persist/cursor.hpp"
+#include "persist/rbt.hpp"
+#include "persist/treap.hpp"
+#include "persist/wbt.hpp"
+#include "test_support.hpp"
+#include "util/rng.hpp"
+
+namespace pathcopy {
+namespace {
+
+template <class DS>
+class CursorTyped : public ::testing::Test {};
+
+using BinaryStructures =
+    ::testing::Types<persist::Treap<std::int64_t, std::int64_t>,
+                     persist::AvlTree<std::int64_t, std::int64_t>,
+                     persist::WbTree<std::int64_t, std::int64_t>,
+                     persist::RbTree<std::int64_t, std::int64_t>>;
+TYPED_TEST_SUITE(CursorTyped, BinaryStructures);
+
+template <class DS, class Alloc>
+DS insert_all(Alloc& al, DS t, const std::vector<std::int64_t>& keys) {
+  for (const auto k : keys) {
+    t = test::apply(al, [&](auto& b) { return t.insert(b, k, k * 2); });
+  }
+  return t;
+}
+
+TYPED_TEST(CursorTyped, EmptySnapshotIsAlwaysInvalid) {
+  TypeParam t;
+  persist::Cursor<TypeParam> c(t);
+  EXPECT_FALSE(c.valid());
+  c.seek_first();
+  EXPECT_FALSE(c.valid());
+  c.seek_last();
+  EXPECT_FALSE(c.valid());
+  c.seek(0);
+  EXPECT_FALSE(c.valid());
+}
+
+TYPED_TEST(CursorTyped, ForwardScanMatchesItems) {
+  alloc::Arena a;
+  util::Xoshiro256 rng(5);
+  std::vector<std::int64_t> keys;
+  for (int i = 0; i < 500; ++i) keys.push_back(rng.range(-1000, 1000));
+  TypeParam t = insert_all(a, TypeParam{}, keys);
+  const auto items = t.items();
+  persist::Cursor<TypeParam> c(t);
+  std::size_t i = 0;
+  for (c.seek_first(); c.valid(); c.next(), ++i) {
+    ASSERT_LT(i, items.size());
+    ASSERT_EQ(c.key(), items[i].first);
+    ASSERT_EQ(c.value(), items[i].second);
+  }
+  EXPECT_EQ(i, items.size());
+}
+
+TYPED_TEST(CursorTyped, BackwardScanIsReverseOrder) {
+  alloc::Arena a;
+  TypeParam t = insert_all(a, TypeParam{}, {5, 1, 9, 3, 7, 2, 8});
+  const auto items = t.items();
+  persist::Cursor<TypeParam> c(t);
+  std::size_t i = items.size();
+  for (c.seek_last(); c.valid(); c.prev()) {
+    ASSERT_GT(i, 0u);
+    --i;
+    ASSERT_EQ(c.key(), items[i].first);
+  }
+  EXPECT_EQ(i, 0u);
+}
+
+TYPED_TEST(CursorTyped, SeekIsLowerBound) {
+  alloc::Arena a;
+  TypeParam t = insert_all(a, TypeParam{}, {10, 20, 30, 40});
+  persist::Cursor<TypeParam> c(t);
+  c.seek(5);
+  ASSERT_TRUE(c.valid());
+  EXPECT_EQ(c.key(), 10);
+  c.seek(20);
+  ASSERT_TRUE(c.valid());
+  EXPECT_EQ(c.key(), 20);
+  c.seek(21);
+  ASSERT_TRUE(c.valid());
+  EXPECT_EQ(c.key(), 30);
+  c.seek(40);
+  ASSERT_TRUE(c.valid());
+  EXPECT_EQ(c.key(), 40);
+  c.seek(41);
+  EXPECT_FALSE(c.valid());
+}
+
+TYPED_TEST(CursorTyped, SeekThenStepBothWays) {
+  alloc::Arena a;
+  std::vector<std::int64_t> keys;
+  for (std::int64_t i = 0; i < 100; ++i) keys.push_back(i * 10);
+  TypeParam t = insert_all(a, TypeParam{}, keys);
+  persist::Cursor<TypeParam> c(t);
+  c.seek(505);  // between 500 and 510
+  ASSERT_TRUE(c.valid());
+  EXPECT_EQ(c.key(), 510);
+  c.prev();
+  ASSERT_TRUE(c.valid());
+  EXPECT_EQ(c.key(), 500);
+  c.next();
+  ASSERT_TRUE(c.valid());
+  EXPECT_EQ(c.key(), 510);
+  // Walk off the front.
+  c.seek_first();
+  c.prev();
+  EXPECT_FALSE(c.valid());
+  // Walk off the back.
+  c.seek_last();
+  c.next();
+  EXPECT_FALSE(c.valid());
+}
+
+TYPED_TEST(CursorTyped, FuzzWalkMatchesMapIterator) {
+  alloc::Arena a;
+  util::Xoshiro256 rng(23);
+  std::map<std::int64_t, std::int64_t> oracle;
+  TypeParam t;
+  for (int i = 0; i < 400; ++i) {
+    const std::int64_t k = rng.range(-500, 500);
+    t = test::apply(a, [&](auto& b) { return t.insert(b, k, k * 2); });
+    oracle.emplace(k, k * 2);
+  }
+  persist::Cursor<TypeParam> c(t);
+  auto it = oracle.begin();
+  c.seek_first();
+  for (int step = 0; step < 3000; ++step) {
+    ASSERT_EQ(c.valid(), it != oracle.end());
+    if (c.valid()) {
+      ASSERT_EQ(c.key(), it->first);
+      ASSERT_EQ(c.value(), it->second);
+    }
+    const auto choice = rng.below(3);
+    if (choice == 0 && it != oracle.end()) {
+      c.next();
+      ++it;
+    } else if (choice == 1 && it != oracle.begin() &&
+               (it == oracle.end() || c.valid())) {
+      // prev() from an invalid (past-end) cursor is not defined; emulate
+      // the oracle's --end() with seek_last instead.
+      if (it == oracle.end()) {
+        c.seek_last();
+      } else {
+        c.prev();
+      }
+      --it;
+    } else {
+      const std::int64_t q = rng.range(-520, 520);
+      c.seek(q);
+      it = oracle.lower_bound(q);
+    }
+  }
+}
+
+TYPED_TEST(CursorTyped, ScanRangeMatchesOracle) {
+  alloc::Arena a;
+  util::Xoshiro256 rng(31);
+  std::map<std::int64_t, std::int64_t> oracle;
+  TypeParam t;
+  for (int i = 0; i < 300; ++i) {
+    const std::int64_t k = rng.range(-300, 300);
+    t = test::apply(a, [&](auto& b) { return t.insert(b, k, -k); });
+    oracle.emplace(k, -k);
+  }
+  for (int probe = 0; probe < 40; ++probe) {
+    std::int64_t lo = rng.range(-320, 320);
+    std::int64_t hi = rng.range(-320, 320);
+    if (lo > hi) std::swap(lo, hi);
+    std::vector<std::pair<std::int64_t, std::int64_t>> got;
+    persist::scan_range(t, lo, hi, [&](const std::int64_t& k,
+                                       const std::int64_t& v) {
+      got.emplace_back(k, v);
+    });
+    std::vector<std::pair<std::int64_t, std::int64_t>> expect(
+        oracle.lower_bound(lo), oracle.lower_bound(hi));
+    ASSERT_EQ(got, expect) << "[" << lo << ", " << hi << ")";
+  }
+}
+
+TYPED_TEST(CursorTyped, CursorOverOldVersionSurvivesChurn) {
+  alloc::Arena a;
+  TypeParam old_version = insert_all(a, TypeParam{}, {1, 2, 3, 4, 5});
+  persist::Cursor<TypeParam> c(old_version);
+  c.seek_first();
+  // Churn the structure: new versions share and supersede nodes, but the
+  // arena keeps everything alive, so the old snapshot must scan intact.
+  TypeParam head = old_version;
+  for (std::int64_t k = 6; k < 200; ++k) {
+    head = test::apply(a, [&](auto& b) { return head.insert(b, k, k); });
+  }
+  for (std::int64_t k = 1; k <= 5; ++k) {
+    head = test::apply(a, [&](auto& b) { return head.erase(b, k); });
+  }
+  std::vector<std::int64_t> seen;
+  for (; c.valid(); c.next()) seen.push_back(c.key());
+  EXPECT_EQ(seen, (std::vector<std::int64_t>{1, 2, 3, 4, 5}));
+}
+
+// ----- the same battery against the B+tree's LeafCursor -----
+
+template <unsigned F>
+void run_btree_cursor_battery() {
+  using BT = persist::BTree<std::int64_t, std::int64_t, F>;
+  alloc::Arena a;
+  util::Xoshiro256 rng(41 + F);
+  std::map<std::int64_t, std::int64_t> oracle;
+  BT t;
+  for (int i = 0; i < 600; ++i) {
+    const std::int64_t k = rng.range(-700, 700);
+    t = test::apply(a, [&](auto& b) { return t.insert(b, k, k * 3); });
+    oracle.emplace(k, k * 3);
+  }
+  // Full forward scan.
+  {
+    persist::LeafCursor<BT> c(t);
+    auto it = oracle.begin();
+    for (c.seek_first(); c.valid(); c.next(), ++it) {
+      ASSERT_NE(it, oracle.end());
+      ASSERT_EQ(c.key(), it->first);
+      ASSERT_EQ(c.value(), it->second);
+    }
+    ASSERT_EQ(it, oracle.end());
+  }
+  // Full backward scan.
+  {
+    persist::LeafCursor<BT> c(t);
+    auto it = oracle.rbegin();
+    for (c.seek_last(); c.valid(); c.prev(), ++it) {
+      ASSERT_NE(it, oracle.rend());
+      ASSERT_EQ(c.key(), it->first);
+    }
+    ASSERT_EQ(it, oracle.rend());
+  }
+  // Lower-bound seeks and mixed stepping.
+  {
+    persist::LeafCursor<BT> c(t);
+    for (int probe = 0; probe < 200; ++probe) {
+      const std::int64_t q = rng.range(-720, 720);
+      c.seek(q);
+      const auto it = oracle.lower_bound(q);
+      ASSERT_EQ(c.valid(), it != oracle.end()) << "seek " << q;
+      if (c.valid()) {
+        ASSERT_EQ(c.key(), it->first);
+        // One step each way where defined.
+        auto fwd = std::next(it);
+        c.next();
+        ASSERT_EQ(c.valid(), fwd != oracle.end());
+        if (c.valid()) { ASSERT_EQ(c.key(), fwd->first); }
+        if (c.valid()) c.prev();  // back to it
+        if (it != oracle.begin() && c.valid()) {
+          c.prev();
+          ASSERT_EQ(c.key(), std::prev(it)->first);
+        }
+      }
+    }
+  }
+  // scan_range picks the LeafCursor via make_cursor.
+  for (int probe = 0; probe < 30; ++probe) {
+    std::int64_t lo = rng.range(-720, 720);
+    std::int64_t hi = rng.range(-720, 720);
+    if (lo > hi) std::swap(lo, hi);
+    std::vector<std::pair<std::int64_t, std::int64_t>> got;
+    persist::scan_range(
+        t, lo, hi,
+        [&](const std::int64_t& k, const std::int64_t& v) {
+          got.emplace_back(k, v);
+        });
+    std::vector<std::pair<std::int64_t, std::int64_t>> expect(
+        oracle.lower_bound(lo), oracle.lower_bound(hi));
+    ASSERT_EQ(got, expect) << "[" << lo << ", " << hi << ")";
+  }
+}
+
+TEST(BtreeCursor, Fanout3) { run_btree_cursor_battery<3>(); }
+TEST(BtreeCursor, Fanout8) { run_btree_cursor_battery<8>(); }
+TEST(BtreeCursor, Fanout64) { run_btree_cursor_battery<64>(); }
+
+TEST(BtreeCursor, EmptyAndSingle) {
+  using BT = persist::BTree<std::int64_t, std::int64_t, 8>;
+  BT empty;
+  persist::LeafCursor<BT> c(empty);
+  c.seek_first();
+  EXPECT_FALSE(c.valid());
+  c.seek_last();
+  EXPECT_FALSE(c.valid());
+  c.seek(5);
+  EXPECT_FALSE(c.valid());
+
+  alloc::Arena a;
+  BT one = test::apply(a, [&](auto& b) { return BT{}.insert(b, 9, 90); });
+  persist::LeafCursor<BT> c1(one);
+  c1.seek_first();
+  ASSERT_TRUE(c1.valid());
+  EXPECT_EQ(c1.key(), 9);
+  c1.next();
+  EXPECT_FALSE(c1.valid());
+  c1.seek(9);
+  ASSERT_TRUE(c1.valid());
+  c1.prev();
+  EXPECT_FALSE(c1.valid());
+  c1.seek(10);
+  EXPECT_FALSE(c1.valid());
+}
+
+}  // namespace
+}  // namespace pathcopy

@@ -1,0 +1,174 @@
+// Replacement-policy caches: per-policy behavioral contracts, shared
+// interface properties, and the policies' characteristic differences on
+// canonical access patterns.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "model/eviction.hpp"
+#include "model/lru_cache.hpp"
+#include "util/rng.hpp"
+
+namespace pathcopy {
+namespace {
+
+using model::ClockCache;
+using model::FifoCache;
+using model::LruCache;
+using model::RandomCache;
+
+// Interface-level properties every policy must satisfy.
+template <class Cache>
+void run_common_contract(Cache& c, std::size_t capacity) {
+  // Size never exceeds capacity.
+  for (std::uint64_t k = 0; k < 3 * capacity; ++k) {
+    c.access(k);
+    ASSERT_LE(c.size(), capacity);
+  }
+  // A just-filled key is resident.
+  c.fill(999'999);
+  EXPECT_TRUE(c.contains(999'999));
+  // Re-access of a resident key is a hit and does not grow the cache.
+  const auto hits_before = c.hits();
+  const auto size_before = c.size();
+  EXPECT_TRUE(c.access(999'999));
+  EXPECT_EQ(c.hits(), hits_before + 1);
+  EXPECT_EQ(c.size(), size_before);
+  // Counters reset.
+  c.reset_counters();
+  EXPECT_EQ(c.hits(), 0u);
+  EXPECT_EQ(c.misses(), 0u);
+}
+
+TEST(Eviction, CommonContractLru) {
+  LruCache c(64);
+  run_common_contract(c, 64);
+}
+TEST(Eviction, CommonContractFifo) {
+  FifoCache c(64);
+  run_common_contract(c, 64);
+}
+TEST(Eviction, CommonContractClock) {
+  ClockCache c(64);
+  run_common_contract(c, 64);
+}
+TEST(Eviction, CommonContractRandom) {
+  RandomCache c(64, 7);
+  run_common_contract(c, 64);
+}
+
+TEST(Eviction, FifoIgnoresRecency) {
+  FifoCache c(2);
+  c.access(1);
+  c.access(2);
+  c.access(1);      // hit, but does NOT refresh FIFO position
+  c.access(3);      // evicts 1 (oldest fill), not 2
+  EXPECT_FALSE(c.contains(1));
+  EXPECT_TRUE(c.contains(2));
+  EXPECT_TRUE(c.contains(3));
+}
+
+TEST(Eviction, LruRespectsRecency) {
+  LruCache c(2);
+  c.access(1);
+  c.access(2);
+  c.access(1);      // refreshes 1
+  c.access(3);      // evicts 2
+  EXPECT_TRUE(c.contains(1));
+  EXPECT_FALSE(c.contains(2));
+  EXPECT_TRUE(c.contains(3));
+}
+
+TEST(Eviction, ClockGivesSecondChance) {
+  ClockCache c(3);
+  c.access(1);
+  c.access(2);
+  c.access(3);
+  c.access(1);  // sets 1's reference bit (all bits currently set)
+  // Insert 4: the sweep clears 1..3's bits, wraps, and evicts slot 0 (1)?
+  // No — first pass clears all referenced bits, second pass evicts the
+  // first now-unreferenced slot, which is 1's. But 1 was *referenced*, so
+  // it survives only relative to equally-referenced peers. The contract
+  // worth pinning: after the insert, exactly one of {1,2,3} is gone and 4
+  // is resident.
+  c.access(4);
+  EXPECT_TRUE(c.contains(4));
+  const int survivors =
+      int(c.contains(1)) + int(c.contains(2)) + int(c.contains(3));
+  EXPECT_EQ(survivors, 2);
+  // And the second-chance property proper: a freshly referenced line
+  // survives a sweep in which some other line is unreferenced.
+  ClockCache d(2);
+  d.access(10);
+  d.access(20);
+  // Sweep once so both lose their initial reference bits.
+  d.access(30);  // evicts one of them, say X; now {30, Y} with Y cleared
+  d.access(30);  // re-reference 30
+  d.access(40);  // must evict Y, never the referenced 30
+  EXPECT_TRUE(d.contains(30));
+  EXPECT_TRUE(d.contains(40));
+}
+
+TEST(Eviction, RandomIsDeterministicPerSeed) {
+  RandomCache a(8, 42);
+  RandomCache b(8, 42);
+  util::Xoshiro256 rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t k = rng.below(64);
+    ASSERT_EQ(a.access(k), b.access(k));
+  }
+  EXPECT_EQ(a.hits(), b.hits());
+}
+
+TEST(Eviction, LoopOneOverCapacityThrashesLruNotRandom) {
+  // The canonical adversarial pattern: cyclic sweep over capacity+1 keys.
+  // LRU evicts exactly the next key needed — zero hits in steady state.
+  // Random replacement keeps most of the working set — many hits.
+  constexpr std::size_t kCap = 64;
+  LruCache lru(kCap);
+  RandomCache rnd(kCap, 9);
+  for (int round = 0; round < 200; ++round) {
+    for (std::uint64_t k = 0; k <= kCap; ++k) {
+      lru.access(k);
+      rnd.access(k);
+    }
+  }
+  EXPECT_EQ(lru.hits(), 0u);
+  EXPECT_GT(rnd.hits(), 1000u);
+}
+
+TEST(Eviction, HotSetStaysResidentUnderAllPolicies) {
+  // The property the paper's effect actually needs: a small, repeatedly
+  // touched working set (the retry's path) survives interleaved cold
+  // traffic under every reasonable policy.
+  constexpr std::size_t kCap = 256;
+  constexpr std::uint64_t kHot = 16;
+  LruCache lru(kCap);
+  FifoCache fifo(kCap);
+  ClockCache clock(kCap);
+  RandomCache rnd(kCap, 5);
+  util::Xoshiro256 rng(11);
+  auto run = [&](auto& cache) {
+    cache.reset_counters();
+    std::uint64_t hot_hits = 0, hot_touches = 0;
+    for (int i = 0; i < 20000; ++i) {
+      // 4 hot touches : 1 cold touch — cold keys never repeat.
+      for (std::uint64_t h = 0; h < 4; ++h) {
+        ++hot_touches;
+        hot_hits += cache.access(rng.below(kHot)) ? 1 : 0;
+      }
+      cache.access(1'000'000 + static_cast<std::uint64_t>(i));
+    }
+    return static_cast<double>(hot_hits) / static_cast<double>(hot_touches);
+  };
+  EXPECT_GT(run(lru), 0.95);
+  EXPECT_GT(run(clock), 0.95);
+  EXPECT_GT(run(rnd), 0.90);
+  // FIFO is the weakest (recency-blind) but the hot set still mostly
+  // survives at this cap/working-set ratio.
+  EXPECT_GT(run(fifo), 0.75);
+}
+
+}  // namespace
+}  // namespace pathcopy

@@ -1,0 +1,261 @@
+// Failure injection: allocation failure at every possible point inside an
+// update attempt.
+//
+// Path copying makes updates naturally transactional — nothing the
+// attempt allocated is visible until the root CAS — so an allocation
+// failure mid-copy must (a) propagate as bad_alloc, (b) leak nothing once
+// the Builder unwinds, and (c) leave the current version untouched and
+// fully valid. The FailingAlloc wrapper throws on the Nth allocation;
+// tests sweep N across the entire range an operation can allocate, so
+// every create<> call site in every structure gets to fail at least once.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <new>
+#include <vector>
+
+#include "alloc/malloc_alloc.hpp"
+#include "core/atom.hpp"
+#include "core/builder.hpp"
+#include "persist/btree.hpp"
+#include "persist/hamt.hpp"
+#include "persist/rbt.hpp"
+#include "persist/treap.hpp"
+#include "reclaim/epoch.hpp"
+#include "test_support.hpp"
+#include "util/rng.hpp"
+
+namespace pathcopy {
+namespace {
+
+/// Forwards to MallocAlloc but throws std::bad_alloc on allocation number
+/// `fail_at` (1-based). Deallocation always succeeds, so unwinding paths
+/// can release what was built before the failure.
+class FailingAlloc {
+ public:
+  using RetireBackend = alloc::MallocAlloc::RetireBackend;
+
+  explicit FailingAlloc(alloc::MallocAlloc& base) : base_(&base) {}
+
+  void arm(std::uint64_t fail_at) {
+    count_ = 0;
+    fail_at_ = fail_at;
+  }
+  void disarm() { fail_at_ = 0; }
+  std::uint64_t allocations() const { return count_; }
+
+  void* allocate(std::size_t bytes, std::size_t align) {
+    if (fail_at_ != 0 && ++count_ >= fail_at_) {
+      throw std::bad_alloc();
+    }
+    return base_->allocate(bytes, align);
+  }
+
+  void deallocate(void* p, std::size_t bytes, std::size_t align) noexcept {
+    base_->deallocate(p, bytes, align);
+  }
+
+  RetireBackend* retire_backend() noexcept { return base_->retire_backend(); }
+
+ private:
+  alloc::MallocAlloc* base_;
+  std::uint64_t count_ = 0;
+  std::uint64_t fail_at_ = 0;  // 0 = never fail
+};
+
+/// Builds a structure of `n` keys with no failures armed, then returns it.
+template <class DS>
+DS build(FailingAlloc& a, std::int64_t n, std::uint64_t seed) {
+  DS t;
+  util::Xoshiro256 rng(seed);
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::int64_t k = rng.range(-4 * n, 4 * n);
+    t = test::apply(a, [&](auto& b) { return t.insert(b, k, k); });
+  }
+  return t;
+}
+
+/// The core property: for every failure point, the op throws, nothing
+/// leaks, and the pre-state is untouched. Returns how many allocations a
+/// full successful op makes (to size the sweep).
+template <class DS, class Op>
+void sweep_failure_points(const char* what, Op&& op) {
+  alloc::MallocAlloc base;
+  {
+    FailingAlloc alloc(base);
+    DS t = build<DS>(alloc, 300, 17);
+    const std::size_t size_before = t.size();
+    const auto live_before = base.stats().live_blocks();
+    const void* root_before = t.root_ptr();
+
+    // Measure the op's allocation count on a dry run that we roll back.
+    std::uint64_t full_cost = 0;
+    {
+      core::Builder<FailingAlloc> b(alloc);
+      alloc.arm(0);
+      (void)op(t, b);
+      full_cost = b.stats().created;
+      b.rollback();
+    }
+    ASSERT_GT(full_cost, 0u) << what << ": op must allocate for this sweep";
+    ASSERT_EQ(base.stats().live_blocks(), live_before);
+
+    for (std::uint64_t fail_at = 1; fail_at <= full_cost; ++fail_at) {
+      core::Builder<FailingAlloc> b(alloc);
+      alloc.arm(fail_at);
+      bool threw = false;
+      try {
+        (void)op(t, b);
+      } catch (const std::bad_alloc&) {
+        threw = true;
+      }
+      alloc.disarm();
+      ASSERT_TRUE(threw) << what << ": failure point " << fail_at << " of "
+                         << full_cost;
+      b.rollback();  // what the Atom's unwinding does
+      ASSERT_EQ(base.stats().live_blocks(), live_before)
+          << what << ": leak at failure point " << fail_at;
+      ASSERT_EQ(t.root_ptr(), root_before);
+      ASSERT_EQ(t.size(), size_before);
+      ASSERT_TRUE(t.check_invariants())
+          << what << ": corrupted pre-state at failure point " << fail_at;
+    }
+
+    // And the op still succeeds cleanly afterwards.
+    DS t2 = test::apply(alloc, [&](auto& b) { return op(t, b); });
+    ASSERT_TRUE(t2.check_invariants());
+    DS::destroy(t2.root_node(), *base.retire_backend());
+  }
+  EXPECT_EQ(base.stats().live_blocks(), 0u);
+}
+
+struct MixHash {
+  std::uint64_t operator()(std::int64_t k) const noexcept {
+    std::uint64_t x = static_cast<std::uint64_t>(k) + 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+  }
+};
+
+using Treap = persist::Treap<std::int64_t, std::int64_t>;
+using Rbt = persist::RbTree<std::int64_t, std::int64_t>;
+using B8 = persist::BTree<std::int64_t, std::int64_t, 8>;
+using H = persist::Hamt<std::int64_t, std::int64_t, 6, MixHash>;
+
+TEST(FailureInjection, TreapInsertSurvivesEveryFailurePoint) {
+  sweep_failure_points<Treap>("treap insert", [](Treap t, auto& b) {
+    return t.insert(b, 999'999, 1);
+  });
+}
+
+TEST(FailureInjection, TreapEraseSurvivesEveryFailurePoint) {
+  // Erase an existing mid-range key (found via a probe insert dry run).
+  alloc::MallocAlloc base;
+  FailingAlloc alloc(base);
+  Treap probe = build<Treap>(alloc, 300, 17);
+  const std::int64_t victim = probe.kth(probe.size() / 2)->key;
+  Treap::destroy(probe.root_node(), *base.retire_backend());
+  sweep_failure_points<Treap>("treap erase", [victim](Treap t, auto& b) {
+    return t.erase(b, victim);
+  });
+}
+
+TEST(FailureInjection, RbtInsertSurvivesEveryFailurePoint) {
+  sweep_failure_points<Rbt>("rbt insert", [](Rbt t, auto& b) {
+    return t.insert(b, 999'999, 1);
+  });
+}
+
+TEST(FailureInjection, RbtEraseSurvivesEveryFailurePoint) {
+  alloc::MallocAlloc base;
+  FailingAlloc alloc(base);
+  Rbt probe = build<Rbt>(alloc, 300, 17);
+  const std::int64_t victim = probe.kth(probe.size() / 2)->key;
+  Rbt::destroy(probe.root_node(), *base.retire_backend());
+  sweep_failure_points<Rbt>("rbt erase", [victim](Rbt t, auto& b) {
+    return t.erase(b, victim);
+  });
+}
+
+TEST(FailureInjection, BtreeInsertSurvivesEveryFailurePoint) {
+  sweep_failure_points<B8>("btree insert", [](B8 t, auto& b) {
+    return t.insert(b, 999'999, 1);
+  });
+}
+
+TEST(FailureInjection, BtreeEraseSurvivesEveryFailurePoint) {
+  alloc::MallocAlloc base;
+  FailingAlloc alloc(base);
+  B8 probe = build<B8>(alloc, 300, 17);
+  const std::int64_t victim = *probe.kth_key(probe.size() / 2);
+  B8::destroy(probe.root_node(), *base.retire_backend());
+  sweep_failure_points<B8>("btree erase", [victim](B8 t, auto& b) {
+    return t.erase(b, victim);
+  });
+}
+
+TEST(FailureInjection, HamtInsertSurvivesEveryFailurePoint) {
+  sweep_failure_points<H>("hamt insert", [](H t, auto& b) {
+    return t.insert(b, 999'999, 1);
+  });
+}
+
+TEST(FailureInjection, BuilderDestructorRollsBackOnUnwind) {
+  // If the exception escapes past the Builder itself, its destructor must
+  // recycle everything without an explicit rollback() call.
+  alloc::MallocAlloc base;
+  {
+    FailingAlloc alloc(base);
+    Treap t = build<Treap>(alloc, 100, 3);
+    const auto live_before = base.stats().live_blocks();
+    alloc.arm(4);  // fail mid-copy
+    try {
+      core::Builder<FailingAlloc> b(alloc);
+      (void)t.insert(b, 999'999, 1);
+      FAIL() << "expected bad_alloc";
+    } catch (const std::bad_alloc&) {
+      // Builder went out of scope during unwinding.
+    }
+    alloc.disarm();
+    EXPECT_EQ(base.stats().live_blocks(), live_before);
+    EXPECT_TRUE(t.check_invariants());
+    Treap::destroy(t.root_node(), *base.retire_backend());
+  }
+  EXPECT_EQ(base.stats().live_blocks(), 0u);
+}
+
+TEST(FailureInjection, AtomUpdateSurvivesThrowingAttempt) {
+  // An update whose first attempt throws must not poison the Atom: the
+  // exception propagates to the caller, the version is unchanged, and a
+  // clean retry succeeds.
+  alloc::MallocAlloc base;
+  {
+    FailingAlloc alloc(base);
+    reclaim::EpochReclaimer smr;
+    core::Atom<Treap, reclaim::EpochReclaimer, FailingAlloc> atom(
+        smr, *alloc.retire_backend());
+    core::Atom<Treap, reclaim::EpochReclaimer, FailingAlloc>::Ctx ctx(smr,
+                                                                      alloc);
+    for (std::int64_t k = 0; k < 50; ++k) {
+      atom.update(ctx, [k](Treap t, auto& b) { return t.insert(b, k, k); });
+    }
+    const auto version_before = atom.version();
+    alloc.arm(2);
+    EXPECT_THROW(atom.update(ctx, [](Treap t, auto& b) {
+      return t.insert(b, 777, 7);
+    }),
+                 std::bad_alloc);
+    alloc.disarm();
+    EXPECT_EQ(atom.version(), version_before);
+    EXPECT_FALSE(atom.read(ctx, [](Treap t) { return t.contains(777); }));
+    // Clean retry.
+    atom.update(ctx, [](Treap t, auto& b) { return t.insert(b, 777, 7); });
+    EXPECT_TRUE(atom.read(ctx, [](Treap t) { return t.contains(777); }));
+    EXPECT_TRUE(atom.read(ctx, [](Treap t) { return t.check_invariants(); }));
+  }
+  EXPECT_EQ(base.stats().live_blocks(), 0u);
+}
+
+}  // namespace
+}  // namespace pathcopy

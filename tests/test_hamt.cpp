@@ -1,0 +1,326 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "alloc/arena_alloc.hpp"
+#include "alloc/malloc_alloc.hpp"
+#include "persist/hamt.hpp"
+#include "test_support.hpp"
+#include "util/rng.hpp"
+
+namespace pathcopy {
+namespace {
+
+/// splitmix64 — a real mixing hash, unlike std::hash<int64> (identity on
+/// most standard libraries), so trie shapes are representative.
+struct MixHash {
+  std::uint64_t operator()(std::int64_t k) const noexcept {
+    std::uint64_t x = static_cast<std::uint64_t>(k) + 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+  }
+};
+
+/// Degenerate hash: at most 4 distinct values, forcing deep single-child
+/// chains and collision nodes at max depth.
+struct ClashHash {
+  std::uint64_t operator()(std::int64_t k) const noexcept {
+    return static_cast<std::uint64_t>(k) & 3;
+  }
+};
+
+using H = persist::Hamt<std::int64_t, std::int64_t, 6, MixHash>;
+using HClash = persist::Hamt<std::int64_t, std::int64_t, 6, ClashHash>;
+
+template <class Hamt, class Alloc>
+Hamt insert_all(Alloc& al, Hamt t, const std::vector<std::int64_t>& keys) {
+  for (const auto k : keys) {
+    t = test::apply(al, [&](auto& b) { return t.insert(b, k, k * 10); });
+  }
+  return t;
+}
+
+std::vector<std::int64_t> iota_keys(std::int64_t n) {
+  std::vector<std::int64_t> keys;
+  keys.reserve(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) keys.push_back(i);
+  return keys;
+}
+
+TEST(Hamt, EmptyBasics) {
+  H t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.height(), 0u);
+  EXPECT_TRUE(t.check_invariants());
+  EXPECT_EQ(t.find(1), nullptr);
+}
+
+TEST(Hamt, SingleLeafRoot) {
+  alloc::Arena a;
+  H t = insert_all(a, H{}, {42});
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.height(), 1u);
+  EXPECT_TRUE(t.check_invariants());
+  EXPECT_EQ(*t.find(42), 420);
+}
+
+TEST(Hamt, InsertFindManyMixedKeys) {
+  alloc::Arena a;
+  H t = insert_all(a, H{}, iota_keys(2048));
+  EXPECT_EQ(t.size(), 2048u);
+  EXPECT_TRUE(t.check_invariants());
+  for (std::int64_t k = 0; k < 2048; ++k) {
+    ASSERT_NE(t.find(k), nullptr) << k;
+    ASSERT_EQ(*t.find(k), k * 10);
+  }
+  EXPECT_EQ(t.find(5000), nullptr);
+  EXPECT_EQ(t.find(-1), nullptr);
+}
+
+TEST(Hamt, DepthIsLogarithmicInWidth) {
+  alloc::Arena a;
+  H t = insert_all(a, H{}, iota_keys(4096));
+  // 64-way branching: expected depth ~ log64(4096) = 2, plus slack for
+  // sparse prefixes. Must be far below a binary tree's ~12.
+  EXPECT_LE(t.height(), 6u);
+}
+
+TEST(Hamt, DuplicateInsertReturnsSameRoot) {
+  alloc::Arena a;
+  H t = insert_all(a, H{}, {1, 2, 3});
+  core::Builder<alloc::Arena> b(a);
+  EXPECT_EQ(t.insert(b, 2, 0).root_ptr(), t.root_ptr());
+  EXPECT_EQ(b.fresh_count(), 0u);
+  b.rollback();
+}
+
+TEST(Hamt, EraseAbsentReturnsSameRoot) {
+  alloc::Arena a;
+  H t = insert_all(a, H{}, {1, 2, 3});
+  core::Builder<alloc::Arena> b(a);
+  EXPECT_EQ(t.erase(b, 9).root_ptr(), t.root_ptr());
+  b.rollback();
+}
+
+TEST(Hamt, InsertOrAssignReplacesValue) {
+  alloc::Arena a;
+  H t = insert_all(a, H{}, {1, 2, 3});
+  H t2 = test::apply(a, [&](auto& b) { return t.insert_or_assign(b, 2, 42); });
+  EXPECT_EQ(*t2.find(2), 42);
+  EXPECT_EQ(*t.find(2), 20);  // old version untouched
+  EXPECT_TRUE(t2.check_invariants());
+}
+
+TEST(Hamt, EraseEverythingInRandomOrder) {
+  alloc::Arena a;
+  const auto keys = iota_keys(512);
+  H t = insert_all(a, H{}, keys);
+  util::Xoshiro256 rng(7);
+  std::vector<std::int64_t> order = keys;
+  for (std::size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[rng.below(i)]);
+  }
+  for (const auto k : order) {
+    t = test::apply(a, [&](auto& b) { return t.erase(b, k); });
+    ASSERT_TRUE(t.check_invariants()) << "after erasing " << k;
+    ASSERT_EQ(t.find(k), nullptr);
+  }
+  EXPECT_TRUE(t.empty());
+}
+
+TEST(Hamt, EraseCollapsesToCanonicalForm) {
+  alloc::Arena a;
+  // Insert a cluster of keys, erase all but one: the trie must collapse
+  // back to a single leaf (no single-child branch chains left behind).
+  const auto keys = iota_keys(64);
+  H t = insert_all(a, H{}, keys);
+  for (std::int64_t k = 1; k < 64; ++k) {
+    t = test::apply(a, [&](auto& b) { return t.erase(b, k); });
+    ASSERT_TRUE(t.check_invariants());
+  }
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.height(), 1u);  // collapsed to a bare leaf
+}
+
+TEST(Hamt, CollisionNodesStoreAndRetrieve) {
+  alloc::Arena a;
+  HClash t;
+  // 40 keys, <=4 distinct hashes: at least one collision bucket of >=10.
+  t = insert_all(a, t, iota_keys(40));
+  EXPECT_EQ(t.size(), 40u);
+  EXPECT_TRUE(t.check_invariants());
+  for (std::int64_t k = 0; k < 40; ++k) {
+    ASSERT_NE(t.find(k), nullptr);
+    ASSERT_EQ(*t.find(k), k * 10);
+  }
+}
+
+TEST(Hamt, CollisionInsertOrAssign) {
+  alloc::Arena a;
+  HClash t = insert_all(a, HClash{}, iota_keys(12));
+  t = test::apply(a, [&](auto& b) { return t.insert_or_assign(b, 8, -1); });
+  EXPECT_EQ(*t.find(8), -1);
+  EXPECT_EQ(t.size(), 12u);
+  EXPECT_TRUE(t.check_invariants());
+}
+
+TEST(Hamt, CollisionEraseDownToLeaf) {
+  alloc::Arena a;
+  HClash t = insert_all(a, HClash{}, {0, 4, 8, 12});  // all hash to 0
+  EXPECT_EQ(t.size(), 4u);
+  for (const std::int64_t k : {0, 4, 8}) {
+    t = test::apply(a, [&](auto& b) { return t.erase(b, k); });
+    ASSERT_TRUE(t.check_invariants());
+  }
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_NE(t.find(12), nullptr);
+  t = test::apply(a, [&](auto& b) { return t.erase(b, 12); });
+  EXPECT_TRUE(t.empty());
+}
+
+TEST(Hamt, PersistenceOldVersionUnchanged) {
+  alloc::Arena a;
+  H v1 = insert_all(a, H{}, iota_keys(100));
+  core::Builder<alloc::Arena> b(a);
+  H v2 = v1.erase(b, 50);
+  b.seal();
+  (void)b.commit();
+  EXPECT_TRUE(v1.contains(50));
+  EXPECT_FALSE(v2.contains(50));
+  EXPECT_TRUE(v1.check_invariants());
+  EXPECT_TRUE(v2.check_invariants());
+}
+
+TEST(Hamt, SharingAfterInsertIsPathOnly) {
+  alloc::Arena a;
+  H v1 = insert_all(a, H{}, iota_keys(4096));
+  core::Builder<alloc::Arena> b(a);
+  H v2 = v1.insert(b, 999999, 0);
+  b.seal();
+  (void)b.commit();
+  const std::size_t shared = H::shared_nodes(v1, v2);
+  // Entry count reachable through shared nodes misses only the copied
+  // root-to-slot path's fan-in — a handful of entries out of 4096.
+  EXPECT_GE(shared, v1.size() - 200);
+}
+
+TEST(Hamt, ItemsContainsExactlyInsertedPairs) {
+  alloc::Arena a;
+  util::Xoshiro256 rng(17);
+  std::map<std::int64_t, std::int64_t> oracle;
+  H t;
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t k = rng.range(-500, 500);
+    t = test::apply(a, [&](auto& b) { return t.insert(b, k, k); });
+    oracle.emplace(k, k);
+  }
+  auto items = t.items();
+  std::sort(items.begin(), items.end());
+  ASSERT_EQ(items.size(), oracle.size());
+  std::size_t i = 0;
+  for (const auto& [k, v] : oracle) {
+    ASSERT_EQ(items[i].first, k);
+    ASSERT_EQ(items[i].second, v);
+    ++i;
+  }
+}
+
+TEST(Hamt, RandomOpsAgainstOracle) {
+  alloc::Arena a;
+  H t;
+  std::map<std::int64_t, std::int64_t> oracle;
+  util::Xoshiro256 rng(23);
+  for (int i = 0; i < 4000; ++i) {
+    const std::int64_t k = rng.range(-80, 80);
+    if (rng.chance(3, 5)) {
+      t = test::apply(a, [&](auto& b) { return t.insert(b, k, k); });
+      oracle.emplace(k, k);
+    } else {
+      t = test::apply(a, [&](auto& b) { return t.erase(b, k); });
+      oracle.erase(k);
+    }
+    ASSERT_EQ(t.size(), oracle.size());
+    if (i % 250 == 0) { ASSERT_TRUE(t.check_invariants()); }
+  }
+  EXPECT_TRUE(t.check_invariants());
+}
+
+TEST(Hamt, ClashHashRandomOpsAgainstOracle) {
+  alloc::Arena a;
+  HClash t;
+  std::map<std::int64_t, std::int64_t> oracle;
+  util::Xoshiro256 rng(31);
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t k = rng.range(0, 64);
+    if (rng.chance(1, 2)) {
+      t = test::apply(a, [&](auto& b) { return t.insert(b, k, k); });
+      oracle.emplace(k, k);
+    } else {
+      t = test::apply(a, [&](auto& b) { return t.erase(b, k); });
+      oracle.erase(k);
+    }
+    ASSERT_EQ(t.size(), oracle.size());
+    if (i % 100 == 0) { ASSERT_TRUE(t.check_invariants()); }
+  }
+}
+
+TEST(Hamt, DestroyFreesEverything) {
+  alloc::MallocAlloc a;
+  H t;
+  for (std::int64_t k = 0; k < 200; ++k) {
+    t = test::apply(a, [&](auto& b) { return t.insert(b, k, k); });
+  }
+  EXPECT_GT(a.stats().live_blocks(), 0u);
+  H::destroy(t.root_node(), a);
+  EXPECT_EQ(a.stats().live_blocks(), 0u);
+}
+
+TEST(Hamt, DestroyFreesCollisionNodes) {
+  alloc::MallocAlloc a;
+  HClash t;
+  for (std::int64_t k = 0; k < 32; ++k) {
+    t = test::apply(a, [&](auto& b) { return t.insert(b, k, k); });
+  }
+  HClash::destroy(t.root_node(), a);
+  EXPECT_EQ(a.stats().live_blocks(), 0u);
+}
+
+// The same battery at other branching factors: a template-parameter sweep
+// (not copy-paste — one function, three instantiations).
+template <unsigned Bits>
+void run_width_battery() {
+  using HW = persist::Hamt<std::int64_t, std::int64_t, Bits, MixHash>;
+  alloc::Arena a;
+  HW t;
+  std::map<std::int64_t, std::int64_t> oracle;
+  util::Xoshiro256 rng(101 + Bits);
+  for (int i = 0; i < 1500; ++i) {
+    const std::int64_t k = rng.range(-200, 200);
+    if (rng.chance(3, 5)) {
+      t = test::apply(a, [&](auto& b) { return t.insert(b, k, k * 2); });
+      oracle.emplace(k, k * 2);
+    } else {
+      t = test::apply(a, [&](auto& b) { return t.erase(b, k); });
+      oracle.erase(k);
+    }
+    ASSERT_EQ(t.size(), oracle.size());
+    if (i % 200 == 0) { ASSERT_TRUE(t.check_invariants()); }
+  }
+  ASSERT_TRUE(t.check_invariants());
+  for (const auto& [k, v] : oracle) {
+    ASSERT_NE(t.find(k), nullptr);
+    ASSERT_EQ(*t.find(k), v);
+  }
+}
+
+TEST(HamtWidths, Bits2) { run_width_battery<2>(); }
+TEST(HamtWidths, Bits4) { run_width_battery<4>(); }
+TEST(HamtWidths, Bits5) { run_width_battery<5>(); }
+
+}  // namespace
+}  // namespace pathcopy

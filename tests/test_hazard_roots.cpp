@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "alloc/malloc_alloc.hpp"
+#include "reclaim/hazard_roots.hpp"
+#include "reclaim/retired.hpp"
+
+namespace pathcopy {
+namespace {
+
+struct Canary {
+  explicit Canary(std::atomic<int>* counter) : destroyed(counter) {}
+  ~Canary() {
+    if (destroyed != nullptr) destroyed->fetch_add(1);
+  }
+  std::atomic<int>* destroyed;
+  std::uint64_t payload = 0xbead5afe0ddba11ULL;
+};
+
+template <class Alloc>
+const Canary* make_canary(Alloc& a, std::atomic<int>* counter) {
+  void* p = a.allocate(sizeof(Canary), alignof(Canary));
+  return ::new (p) Canary(counter);
+}
+
+std::vector<reclaim::Retired> one_retired(alloc::MallocAlloc& a, const Canary* c) {
+  std::vector<reclaim::Retired> v;
+  v.push_back(reclaim::make_retired(c, a.retire_backend()));
+  return v;
+}
+
+TEST(HazardRoots, PinPublishesHazard) {
+  reclaim::HazardRootReclaimer smr;
+  auto h = smr.register_thread();
+  int dummy = 0;
+  std::atomic<const void*> root{&dummy};
+  std::atomic<std::uint64_t> ver{1};
+  auto g = smr.pin(h, root, ver);
+  EXPECT_EQ(g.root(), &dummy);
+}
+
+TEST(HazardRoots, ProtectedRootBlocksItsBundle) {
+  alloc::MallocAlloc a;
+  std::atomic<int> destroyed{0};
+  reclaim::HazardRootReclaimer smr;
+  auto reader = smr.register_thread();
+  auto writer = smr.register_thread();
+
+  const Canary* v1_root = make_canary(a, &destroyed);
+  std::atomic<const void*> root{v1_root};
+  std::atomic<std::uint64_t> ver{1};
+  smr.note_root(v1_root, 1);
+
+  // Reader protects version 1's root.
+  auto g = smr.pin(reader, root, ver);
+
+  // Writer installs version 2 and retires version 1's root.
+  const Canary* v2_root = make_canary(a, &destroyed);
+  root.store(v2_root);
+  ver.store(2);
+  smr.retire_bundle(writer, 2, v1_root, v2_root, one_retired(a, v1_root));
+  smr.drain_all();
+  EXPECT_EQ(destroyed.load(), 0);  // hazard on v1_root blocks death=2
+  EXPECT_EQ(static_cast<const Canary*>(g.root())->payload, 0xbead5afe0ddba11ULL);
+
+  { auto g2 = std::move(g); }  // drop the hazard
+  smr.drain_all();
+  EXPECT_EQ(destroyed.load(), 1);
+
+  // Cleanup: retire version 2's root.
+  smr.retire_bundle(writer, 3, v2_root, nullptr, one_retired(a, v2_root));
+  smr.drain_all();
+  EXPECT_EQ(destroyed.load(), 2);
+  EXPECT_EQ(a.stats().live_blocks(), 0u);
+}
+
+TEST(HazardRoots, NewRootHazardDoesNotBlockOlderBundles) {
+  alloc::MallocAlloc a;
+  std::atomic<int> destroyed{0};
+  reclaim::HazardRootReclaimer smr;
+  auto reader = smr.register_thread();
+  auto writer = smr.register_thread();
+
+  const Canary* v1_root = make_canary(a, &destroyed);
+  std::atomic<const void*> root{v1_root};
+  std::atomic<std::uint64_t> ver{1};
+  smr.note_root(v1_root, 1);
+
+  // Writer replaces the root first...
+  const Canary* v2_root = make_canary(a, &destroyed);
+  root.store(v2_root);
+  ver.store(2);
+  smr.retire_bundle(writer, 2, v1_root, v2_root, one_retired(a, v1_root));
+
+  // ...then a reader pins the *new* root. Its hazard names version 2, so
+  // the version-2 bundle (death 2 <= 2) can be freed.
+  auto g = smr.pin(reader, root, ver);
+  EXPECT_EQ(g.root(), v2_root);
+  smr.drain_all();
+  EXPECT_EQ(destroyed.load(), 1);
+
+  { auto g2 = std::move(g); }
+  smr.retire_bundle(writer, 3, v2_root, nullptr, one_retired(a, v2_root));
+  smr.drain_all();
+  EXPECT_EQ(a.stats().live_blocks(), 0u);
+}
+
+TEST(HazardRoots, PinValidationLoopsOnRootChange) {
+  // Pin while the root keeps changing: the returned root must always be a
+  // value actually present in the register at validation time.
+  reclaim::HazardRootReclaimer smr;
+  auto h = smr.register_thread();
+  int a_val = 0, b_val = 0;
+  std::atomic<const void*> root{&a_val};
+  std::atomic<std::uint64_t> ver{1};
+  std::atomic<bool> stop{false};
+  std::thread flipper([&] {
+    for (int i = 0; i < 100000; ++i) {
+      root.store(i % 2 == 0 ? static_cast<const void*>(&b_val)
+                            : static_cast<const void*>(&a_val));
+    }
+    stop.store(true);
+  });
+  while (!stop.load()) {
+    auto g = smr.pin(h, root, ver);
+    ASSERT_TRUE(g.root() == &a_val || g.root() == &b_val);
+  }
+  flipper.join();
+}
+
+TEST(HazardRoots, NullRootIsSafe) {
+  reclaim::HazardRootReclaimer smr;
+  auto h = smr.register_thread();
+  std::atomic<const void*> root{nullptr};
+  std::atomic<std::uint64_t> ver{1};
+  auto g = smr.pin(h, root, ver);
+  EXPECT_EQ(g.root(), nullptr);
+}
+
+TEST(HazardRoots, ConcurrentChainStress) {
+  // Writers advance a chain of versions; readers pin and dereference.
+  alloc::MallocAlloc a;
+  std::atomic<int> destroyed{0};
+  constexpr int kOps = 4000;
+  {
+    reclaim::HazardRootReclaimer smr;
+    std::atomic<const void*> root{make_canary(a, &destroyed)};
+    std::atomic<std::uint64_t> ver{1};
+    smr.note_root(root.load(), 1);
+    std::atomic<bool> stop{false};
+
+    std::thread writer([&] {
+      auto h = smr.register_thread();
+      for (int i = 0; i < kOps; ++i) {
+        const Canary* fresh = make_canary(a, &destroyed);
+        const void* old = root.load();
+        root.store(fresh);
+        const std::uint64_t death = ver.fetch_add(1) + 1;
+        smr.retire_bundle(h, death, old, fresh,
+                          one_retired(a, static_cast<const Canary*>(old)));
+      }
+      stop.store(true);
+    });
+    std::vector<std::thread> readers;
+    for (int r = 0; r < 3; ++r) {
+      readers.emplace_back([&] {
+        auto h = smr.register_thread();
+        while (!stop.load()) {
+          auto g = smr.pin(h, root, ver);
+          ASSERT_EQ(static_cast<const Canary*>(g.root())->payload,
+                    0xbead5afe0ddba11ULL);
+        }
+      });
+    }
+    writer.join();
+    for (auto& r : readers) r.join();
+    auto h = smr.register_thread();
+    const auto* last = static_cast<const Canary*>(root.load());
+    smr.retire_bundle(h, ver.load() + 1, last, nullptr, one_retired(a, last));
+    smr.drain_all();
+  }
+  EXPECT_EQ(destroyed.load(), kOps + 1);
+  EXPECT_EQ(a.stats().live_blocks(), 0u);
+}
+
+}  // namespace
+}  // namespace pathcopy

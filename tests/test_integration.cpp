@@ -1,0 +1,280 @@
+// Cross-module integration tests: the full stack (allocator -> builder ->
+// persistent structure -> Atom -> reclaimer) exercised end to end in the
+// configurations the benches use.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "alloc/malloc_alloc.hpp"
+#include "alloc/pool_alloc.hpp"
+#include "alloc/thread_cache_alloc.hpp"
+#include "bench_util/workloads.hpp"
+#include "core/atom.hpp"
+#include "persist/avl.hpp"
+#include "persist/external_bst.hpp"
+#include "persist/treap.hpp"
+#include "reclaim/epoch.hpp"
+#include "reclaim/watermark.hpp"
+#include "seq/locked.hpp"
+#include "seq/seq_treap.hpp"
+#include "util/rng.hpp"
+
+namespace pathcopy {
+namespace {
+
+using T = persist::Treap<std::int64_t, std::int64_t>;
+using A = persist::AvlTree<std::int64_t, std::int64_t>;
+using E = persist::ExternalBst<std::int64_t, std::int64_t>;
+
+TEST(Integration, BatchWorkloadMatchesLockedBaseline) {
+  // The paper's Batch workload, executed concurrently through the UC and
+  // serially through the coarse-locked baseline: identical final sets.
+  const auto keys = bench::make_batch_keys(500, 4, 200, 21);
+
+  alloc::MallocAlloc a;
+  std::vector<std::int64_t> uc_items;
+  {
+    reclaim::EpochReclaimer smr;
+    core::Atom<T, reclaim::EpochReclaimer, alloc::MallocAlloc> atom(
+        smr, *a.retire_backend());
+    {
+      core::Atom<T, reclaim::EpochReclaimer, alloc::MallocAlloc>::Ctx ctx(smr, a);
+      auto sorted = keys.initial;
+      std::sort(sorted.begin(), sorted.end());
+      std::vector<std::pair<std::int64_t, std::int64_t>> items;
+      for (const auto k : sorted) items.emplace_back(k, k);
+      atom.update(ctx, [&](T, auto& b) {
+        return T::from_sorted(b, items.begin(), items.end());
+      });
+    }
+    std::vector<std::thread> workers;
+    for (std::size_t w = 0; w < keys.per_thread.size(); ++w) {
+      workers.emplace_back([&, w] {
+        core::Atom<T, reclaim::EpochReclaimer, alloc::MallocAlloc>::Ctx ctx(smr, a);
+        // One full batch round: insert all my keys, then remove all but
+        // the first quarter (leaves a verifiable residue).
+        for (const auto k : keys.per_thread[w]) {
+          ASSERT_EQ(atom.update(ctx, [k](T t, auto& b) { return t.insert(b, k, k); }),
+                    core::UpdateResult::kInstalled);
+        }
+        for (std::size_t i = keys.per_thread[w].size() / 4;
+             i < keys.per_thread[w].size(); ++i) {
+          const auto k = keys.per_thread[w][i];
+          ASSERT_EQ(atom.update(ctx, [k](T t, auto& b) { return t.erase(b, k); }),
+                    core::UpdateResult::kInstalled);
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+    core::Atom<T, reclaim::EpochReclaimer, alloc::MallocAlloc>::Ctx ctx(smr, a);
+    atom.read(ctx, [&](T t) {
+      EXPECT_TRUE(t.check_invariants());
+      for (const auto& [k, v] : t.items()) uc_items.push_back(k);
+    });
+  }
+  EXPECT_EQ(a.stats().live_blocks(), 0u);
+
+  // Locked baseline, same operations (serial order differs; sets agree).
+  seq::Locked<seq::SeqTreap<std::int64_t, std::int64_t>> locked;
+  locked.with([&](auto& t) {
+    for (const auto k : keys.initial) t.insert(k, k);
+  });
+  for (const auto& per : keys.per_thread) {
+    locked.with([&](auto& t) {
+      for (const auto k : per) t.insert(k, k);
+      for (std::size_t i = per.size() / 4; i < per.size(); ++i) t.erase(per[i]);
+    });
+  }
+  std::vector<std::int64_t> locked_items;
+  locked.with_read([&](const auto& t) {
+    t.for_each([&](const std::int64_t& k, const std::int64_t&) {
+      locked_items.push_back(k);
+    });
+  });
+  EXPECT_EQ(uc_items, locked_items);
+}
+
+TEST(Integration, RandomWorkloadHalfNoops) {
+  // §4.2's property: with insert/remove of uniform keys, about half the
+  // operations are semantic no-ops regardless of the set's density.
+  alloc::MallocAlloc a;
+  {
+    reclaim::EpochReclaimer smr;
+    core::Atom<T, reclaim::EpochReclaimer, alloc::MallocAlloc> atom(
+        smr, *a.retire_backend());
+    core::Atom<T, reclaim::EpochReclaimer, alloc::MallocAlloc>::Ctx ctx(smr, a);
+    util::Xoshiro256 rng(5);
+    constexpr std::int64_t kRange = 200;
+    // Pre-fill to steady-state density.
+    for (int i = 0; i < 400; ++i) {
+      const std::int64_t k = rng.range(-kRange, kRange);
+      atom.update(ctx, [k](T t, auto& b) { return t.insert(b, k, k); });
+    }
+    ctx.stats = core::OpStats{};
+    constexpr int kOps = 8000;
+    for (int i = 0; i < kOps; ++i) {
+      const std::int64_t k = rng.range(-kRange, kRange);
+      if (rng.chance(1, 2)) {
+        atom.update(ctx, [k](T t, auto& b) { return t.insert(b, k, k); });
+      } else {
+        atom.update(ctx, [k](T t, auto& b) { return t.erase(b, k); });
+      }
+    }
+    const double noop_frac =
+        static_cast<double>(ctx.stats.noop_updates) / kOps;
+    EXPECT_NEAR(noop_frac, 0.5, 0.05);
+  }
+  EXPECT_EQ(a.stats().live_blocks(), 0u);
+}
+
+TEST(Integration, SameHistoryAcrossStructures) {
+  // The UC is structure-agnostic: one operation history applied to the
+  // treap, AVL and external BST yields the same abstract set.
+  alloc::MallocAlloc a;
+  std::vector<std::pair<bool, std::int64_t>> history;
+  util::Xoshiro256 rng(31);
+  for (int i = 0; i < 2000; ++i) {
+    history.emplace_back(rng.chance(3, 5), rng.range(0, 150));
+  }
+
+  auto run = [&](auto structure_tag) {
+    using DS = decltype(structure_tag);
+    reclaim::EpochReclaimer smr;
+    core::Atom<DS, reclaim::EpochReclaimer, alloc::MallocAlloc> atom(
+        smr, *a.retire_backend());
+    typename core::Atom<DS, reclaim::EpochReclaimer, alloc::MallocAlloc>::Ctx ctx(
+        smr, a);
+    for (const auto& [is_insert, k] : history) {
+      if (is_insert) {
+        atom.update(ctx, [k](DS t, auto& b) { return t.insert(b, k, k); });
+      } else {
+        atom.update(ctx, [k](DS t, auto& b) { return t.erase(b, k); });
+      }
+    }
+    return atom.read(ctx, [](DS t) {
+      std::vector<std::int64_t> keys;
+      t.for_each([&](const std::int64_t& key, const std::int64_t&) {
+        keys.push_back(key);
+      });
+      return keys;
+    });
+  };
+
+  const auto treap_keys = run(T{});
+  const auto avl_keys = run(A{});
+  const auto ebst_keys = run(E{});
+  EXPECT_EQ(treap_keys, avl_keys);
+  EXPECT_EQ(treap_keys, ebst_keys);
+  EXPECT_EQ(a.stats().live_blocks(), 0u);
+}
+
+TEST(Integration, MvccAnalyticsOverSnapshots) {
+  // The MVCC use case the paper borrows from: an analytical reader pins a
+  // snapshot and computes an aggregate while writers keep committing. The
+  // writers maintain the invariant sum(values) == 10 * size, so any torn
+  // read would be visible in the aggregate.
+  alloc::MallocAlloc a;
+  {
+    reclaim::WatermarkReclaimer smr;
+    core::Atom<T, reclaim::WatermarkReclaimer, alloc::MallocAlloc> atom(
+        smr, *a.retire_backend());
+    {
+      core::Atom<T, reclaim::WatermarkReclaimer, alloc::MallocAlloc>::Ctx ctx(smr, a);
+      atom.update(ctx, [](T t, auto& b) {
+        for (std::int64_t i = 0; i < 128; ++i) t = t.insert(b, i, 10);
+        return t;
+      });
+    }
+    std::atomic<bool> stop{false};
+    std::thread writer([&] {
+      core::Atom<T, reclaim::WatermarkReclaimer, alloc::MallocAlloc>::Ctx ctx(smr, a);
+      util::Xoshiro256 rng(77);
+      for (int i = 0; i < 4000; ++i) {
+        const std::int64_t k = rng.range(0, 400);
+        if (rng.chance(1, 2)) {
+          atom.update(ctx, [k](T t, auto& b) { return t.insert(b, k, 10); });
+        } else {
+          atom.update(ctx, [k](T t, auto& b) { return t.erase(b, k); });
+        }
+      }
+      stop.store(true);
+    });
+    std::thread analyst([&] {
+      while (!stop.load()) {
+        auto snap = atom.snapshot();
+        const T frozen = T::from_root(snap.root());
+        std::int64_t sum = 0;
+        frozen.for_each([&](const std::int64_t&, const std::int64_t& v) { sum += v; });
+        ASSERT_EQ(sum, static_cast<std::int64_t>(frozen.size()) * 10);
+        ASSERT_TRUE(frozen.check_invariants());
+      }
+    });
+    writer.join();
+    analyst.join();
+    smr.drain_all();
+  }
+  EXPECT_EQ(a.stats().live_blocks(), 0u);
+}
+
+TEST(Integration, PoolBackedStackSurvivesThreadChurn) {
+  // Worker generations come and go; the pool backend owns all memory, so
+  // nothing dangles when a generation's caches die.
+  alloc::PoolBackend pool;
+  reclaim::EpochReclaimer smr;
+  {
+    core::Atom<T, reclaim::EpochReclaimer, alloc::ThreadCache> atom(smr, pool);
+    for (int gen = 0; gen < 3; ++gen) {
+      std::vector<std::thread> workers;
+      for (int w = 0; w < 3; ++w) {
+        workers.emplace_back([&, gen, w] {
+          alloc::ThreadCache cache(pool);
+          core::Atom<T, reclaim::EpochReclaimer, alloc::ThreadCache>::Ctx ctx(
+              smr, cache);
+          const std::int64_t base = (gen * 3 + w) * 500;
+          for (std::int64_t i = 0; i < 500; ++i) {
+            atom.update(ctx, [&](T t, auto& b) { return t.insert(b, base + i, i); });
+          }
+        });
+      }
+      for (auto& w : workers) w.join();
+    }
+    alloc::ThreadCache cache(pool);
+    core::Atom<T, reclaim::EpochReclaimer, alloc::ThreadCache>::Ctx ctx(smr, cache);
+    EXPECT_EQ(atom.read(ctx, [](T t) { return t.size(); }), 9u * 500u);
+    EXPECT_TRUE(atom.read(ctx, [](T t) { return t.check_invariants(); }));
+  }
+}
+
+TEST(Integration, FailedAttemptNodesAreRecycledNotLeaked) {
+  // Under heavy contention many attempts fail; their nodes must be reused,
+  // keeping allocation bounded near (successful ops x path length).
+  alloc::MallocAlloc a;
+  {
+    reclaim::EpochReclaimer smr;
+    core::Atom<T, reclaim::EpochReclaimer, alloc::MallocAlloc> atom(
+        smr, *a.retire_backend());
+    std::vector<std::thread> workers;
+    for (int w = 0; w < 4; ++w) {
+      workers.emplace_back([&, w] {
+        core::Atom<T, reclaim::EpochReclaimer, alloc::MallocAlloc>::Ctx ctx(smr, a);
+        for (std::int64_t i = 0; i < 2000; ++i) {
+          const std::int64_t k = w * 2000 + i;
+          atom.update(ctx, [k](T t, auto& b) { return t.insert(b, k, k); });
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+    smr.drain_all();
+    // Live nodes == final tree size: every failed attempt's nodes and all
+    // superseded path nodes have been freed or recycled.
+    EXPECT_EQ(a.stats().live_blocks(), 8000u);
+  }
+  EXPECT_EQ(a.stats().live_blocks(), 0u);
+}
+
+}  // namespace
+}  // namespace pathcopy

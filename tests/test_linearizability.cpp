@@ -1,0 +1,349 @@
+// The linearizability checker itself, then the checker applied to real
+// recorded histories of every concurrent construction in the library.
+//
+// Checker validation runs three ways: hand-built histories with known
+// verdicts, randomized tiny histories cross-checked against a brute-force
+// permutation reference, and a deterministic "lost update" interleaving
+// that any sound checker must reject.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "alloc/malloc_alloc.hpp"
+#include "core/atom.hpp"
+#include "core/combining.hpp"
+#include "persist/treap.hpp"
+#include "reclaim/epoch.hpp"
+#include "seq/flat_combining.hpp"
+#include "seq/seq_treap.hpp"
+#include "util/rng.hpp"
+#include "verify/history.hpp"
+#include "verify/linearizability.hpp"
+
+namespace pathcopy {
+namespace {
+
+using verify::Event;
+using verify::OpType;
+
+Event ev(std::uint64_t inv, std::uint64_t resp, OpType op, std::int64_t key,
+         bool result) {
+  Event e;
+  e.invoke_ts = inv;
+  e.response_ts = resp;
+  e.op = op;
+  e.key = key;
+  e.result = result;
+  return e;
+}
+
+// ----- hand-built histories -----
+
+TEST(LinCheck, EmptyHistoryIsLinearizable) {
+  EXPECT_TRUE(verify::check_set_linearizability({}));
+}
+
+TEST(LinCheck, SequentialValidHistoryAccepted) {
+  std::vector<Event> h{
+      ev(1, 2, OpType::kInsert, 7, true),
+      ev(3, 4, OpType::kContains, 7, true),
+      ev(5, 6, OpType::kErase, 7, true),
+      ev(7, 8, OpType::kContains, 7, false),
+      ev(9, 10, OpType::kInsert, 7, true),
+  };
+  EXPECT_TRUE(verify::check_set_linearizability(h));
+}
+
+TEST(LinCheck, SequentialInvalidHistoryRejected) {
+  // erase(7)=true with nothing ever inserted.
+  std::vector<Event> h{ev(1, 2, OpType::kErase, 7, true)};
+  const auto v = verify::check_set_linearizability(h);
+  EXPECT_FALSE(v);
+  EXPECT_EQ(v.bad_key, 7);
+}
+
+TEST(LinCheck, DoubleSuccessfulInsertRejected) {
+  // Non-overlapping successful inserts of the same key with no erase.
+  std::vector<Event> h{
+      ev(1, 2, OpType::kInsert, 3, true),
+      ev(5, 6, OpType::kInsert, 3, true),
+  };
+  EXPECT_FALSE(verify::check_set_linearizability(h));
+}
+
+TEST(LinCheck, ConcurrentDoubleInsertOneMustFail) {
+  // Overlapping inserts may order either way, but exactly one can win.
+  std::vector<Event> both_true{
+      ev(1, 10, OpType::kInsert, 3, true),
+      ev(2, 11, OpType::kInsert, 3, true),
+  };
+  EXPECT_FALSE(verify::check_set_linearizability(both_true));
+  std::vector<Event> one_wins{
+      ev(1, 10, OpType::kInsert, 3, true),
+      ev(2, 11, OpType::kInsert, 3, false),
+  };
+  EXPECT_TRUE(verify::check_set_linearizability(one_wins));
+}
+
+TEST(LinCheck, ConcurrentInsertEraseBothOrdersWork) {
+  // insert ∥ erase: erase=true needs insert first; erase=false needs the
+  // other order. Both are linearizable — just different points.
+  std::vector<Event> erase_after{
+      ev(1, 10, OpType::kInsert, 5, true),
+      ev(2, 11, OpType::kErase, 5, true),
+  };
+  EXPECT_TRUE(verify::check_set_linearizability(erase_after));
+  std::vector<Event> erase_before{
+      ev(1, 10, OpType::kInsert, 5, true),
+      ev(2, 11, OpType::kErase, 5, false),
+  };
+  EXPECT_TRUE(verify::check_set_linearizability(erase_before));
+}
+
+TEST(LinCheck, RealTimeOrderIsRespected) {
+  // contains(9)=false AFTER insert(9)=true completed: must be rejected —
+  // the read cannot be ordered before an update that already finished.
+  std::vector<Event> h{
+      ev(1, 2, OpType::kInsert, 9, true),
+      ev(3, 4, OpType::kContains, 9, false),
+  };
+  EXPECT_FALSE(verify::check_set_linearizability(h));
+  // The same read overlapping the insert is fine (read first).
+  std::vector<Event> overlapped{
+      ev(1, 5, OpType::kInsert, 9, true),
+      ev(2, 4, OpType::kContains, 9, false),
+  };
+  EXPECT_TRUE(verify::check_set_linearizability(overlapped));
+}
+
+TEST(LinCheck, LostUpdateInterleavingRejected) {
+  // The classic check-then-act bug, deterministically: A and B both
+  // observe key 1 absent (concurrent contains=false), then both report a
+  // successful insert, serially, with no erase between.
+  std::vector<Event> h{
+      ev(1, 4, OpType::kContains, 1, false),
+      ev(2, 5, OpType::kContains, 1, false),
+      ev(6, 7, OpType::kInsert, 1, true),
+      ev(8, 9, OpType::kInsert, 1, true),
+  };
+  EXPECT_FALSE(verify::check_set_linearizability(h));
+}
+
+TEST(LinCheck, KeysAreIndependent) {
+  // A violation on key 2 must be found even among valid key-1 traffic.
+  std::vector<Event> h{
+      ev(1, 2, OpType::kInsert, 1, true),
+      ev(3, 4, OpType::kErase, 1, true),
+      ev(5, 6, OpType::kInsert, 2, true),
+      ev(7, 8, OpType::kInsert, 2, true),
+  };
+  const auto v = verify::check_set_linearizability(h);
+  EXPECT_FALSE(v);
+  EXPECT_EQ(v.bad_key, 2);
+}
+
+TEST(LinCheck, InitiallyPresentSeedsTheSpec) {
+  std::vector<Event> h{ev(1, 2, OpType::kErase, 0, true)};
+  EXPECT_TRUE(verify::check_single_key_history(h, /*initially_present=*/true));
+  EXPECT_FALSE(verify::check_single_key_history(h, false));
+}
+
+// ----- randomized cross-validation against a brute-force reference -----
+
+bool naive_reference(std::vector<Event> ev_list) {
+  std::vector<std::size_t> idx(ev_list.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  std::sort(idx.begin(), idx.end());
+  do {
+    // Real-time order: an op may not precede one that finished before it
+    // started.
+    bool rt_ok = true;
+    for (std::size_t a = 0; a + 1 < idx.size() && rt_ok; ++a) {
+      for (std::size_t b = a + 1; b < idx.size() && rt_ok; ++b) {
+        if (ev_list[idx[b]].response_ts < ev_list[idx[a]].invoke_ts) {
+          rt_ok = false;
+        }
+      }
+    }
+    if (!rt_ok) continue;
+    bool present = false;
+    bool spec_ok = true;
+    for (const std::size_t i : idx) {
+      const Event& e = ev_list[i];
+      switch (e.op) {
+        case OpType::kInsert:
+          if (e.result == present) spec_ok = false;
+          present = true;
+          break;
+        case OpType::kErase:
+          if (e.result != present) spec_ok = false;
+          present = false;
+          break;
+        case OpType::kContains:
+          if (e.result != present) spec_ok = false;
+          break;
+      }
+      if (!spec_ok) break;
+    }
+    if (spec_ok) return true;
+  } while (std::next_permutation(idx.begin(), idx.end()));
+  return false;
+}
+
+TEST(LinCheck, AgreesWithBruteForceOnRandomTinyHistories) {
+  util::Xoshiro256 rng(1234);
+  int accepted = 0;
+  int rejected = 0;
+  for (int round = 0; round < 600; ++round) {
+    const std::size_t n = 2 + rng.below(5);  // 2..6 events
+    // Random distinct stamps for 2n endpoints.
+    std::vector<std::uint64_t> stamps(2 * n);
+    std::iota(stamps.begin(), stamps.end(), 1);
+    for (std::size_t i = stamps.size(); i > 1; --i) {
+      std::swap(stamps[i - 1], stamps[rng.below(i)]);
+    }
+    std::vector<Event> h;
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto a = stamps[2 * i];
+      const auto b = stamps[2 * i + 1];
+      const OpType op = static_cast<OpType>(rng.below(3));
+      h.push_back(ev(std::min(a, b), std::max(a, b), op, 0,
+                     rng.chance(1, 2)));
+    }
+    const bool fast = verify::check_single_key_history(h);
+    const bool slow = naive_reference(h);
+    ASSERT_EQ(fast, slow) << "round " << round << " n=" << n;
+    fast ? ++accepted : ++rejected;
+  }
+  // The generator must exercise both verdicts for this to mean anything.
+  EXPECT_GT(accepted, 50);
+  EXPECT_GT(rejected, 50);
+}
+
+// ----- real recorded histories from the library's constructions -----
+
+using T = persist::Treap<std::int64_t, std::int64_t>;
+
+TEST(LinHistories, AtomHistoryIsLinearizable) {
+  alloc::MallocAlloc a;
+  constexpr int kThreads = 4;
+  constexpr int kOps = 400;
+  constexpr std::int64_t kKeys = 48;
+  verify::HistoryRecorder rec(kThreads);
+  {
+    reclaim::EpochReclaimer smr;
+    core::Atom<T, reclaim::EpochReclaimer, alloc::MallocAlloc> atom(
+        smr, *a.retire_backend());
+    std::vector<std::thread> workers;
+    for (unsigned w = 0; w < kThreads; ++w) {
+      workers.emplace_back([&, w] {
+        core::Atom<T, reclaim::EpochReclaimer, alloc::MallocAlloc>::Ctx ctx(
+            smr, a);
+        util::Xoshiro256 rng(w + 1);
+        for (int i = 0; i < kOps; ++i) {
+          const std::int64_t k = rng.range(0, kKeys - 1);
+          const auto kind = rng.below(3);
+          if (kind == 0) {
+            rec.run(w, OpType::kInsert, k, [&] {
+              return atom.update(ctx, [k](T t, auto& b) {
+                       return t.insert(b, k, k);
+                     }) == core::UpdateResult::kInstalled;
+            });
+          } else if (kind == 1) {
+            rec.run(w, OpType::kErase, k, [&] {
+              return atom.update(ctx, [k](T t, auto& b) {
+                       return t.erase(b, k);
+                     }) == core::UpdateResult::kInstalled;
+            });
+          } else {
+            rec.run(w, OpType::kContains, k, [&] {
+              return atom.read(ctx, [k](T t) { return t.contains(k); });
+            });
+          }
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+  }
+  const auto verdict = verify::check_set_linearizability(rec.harvest());
+  EXPECT_TRUE(verdict) << "key " << verdict.bad_key << ": " << verdict.reason;
+}
+
+TEST(LinHistories, CombiningAtomHistoryIsLinearizable) {
+  alloc::MallocAlloc a;
+  constexpr int kThreads = 4;
+  constexpr int kOps = 400;
+  constexpr std::int64_t kKeys = 48;
+  verify::HistoryRecorder rec(kThreads);
+  {
+    reclaim::EpochReclaimer smr;
+    core::CombiningAtom<T, reclaim::EpochReclaimer, alloc::MallocAlloc> atom(
+        smr, a);
+    std::vector<std::thread> workers;
+    for (unsigned w = 0; w < kThreads; ++w) {
+      workers.emplace_back([&, w] {
+        core::CombiningAtom<T, reclaim::EpochReclaimer,
+                            alloc::MallocAlloc>::Ctx ctx(smr, a);
+        const unsigned slot = atom.register_slot();
+        util::Xoshiro256 rng(w + 1);
+        for (int i = 0; i < kOps; ++i) {
+          const std::int64_t k = rng.range(0, kKeys - 1);
+          const auto kind = rng.below(3);
+          if (kind == 0) {
+            rec.run(w, OpType::kInsert, k,
+                    [&] { return atom.insert(ctx, slot, k, k); });
+          } else if (kind == 1) {
+            rec.run(w, OpType::kErase, k,
+                    [&] { return atom.erase(ctx, slot, k); });
+          } else {
+            rec.run(w, OpType::kContains, k, [&] {
+              return atom.read(ctx, [k](T t) { return t.contains(k); });
+            });
+          }
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+  }
+  const auto verdict = verify::check_set_linearizability(rec.harvest());
+  EXPECT_TRUE(verdict) << "key " << verdict.bad_key << ": " << verdict.reason;
+}
+
+TEST(LinHistories, FlatCombiningHistoryIsLinearizable) {
+  constexpr int kThreads = 4;
+  constexpr int kOps = 500;
+  constexpr std::int64_t kKeys = 48;
+  verify::HistoryRecorder rec(kThreads);
+  seq::FlatCombining<seq::SeqTreap<std::int64_t, std::int64_t>> fc;
+  std::vector<std::thread> workers;
+  for (unsigned w = 0; w < kThreads; ++w) {
+    workers.emplace_back([&, w] {
+      const unsigned slot = fc.register_slot();
+      util::Xoshiro256 rng(w + 1);
+      for (int i = 0; i < kOps; ++i) {
+        const std::int64_t k = rng.range(0, kKeys - 1);
+        const auto kind = rng.below(3);
+        if (kind == 0) {
+          rec.run(w, OpType::kInsert, k,
+                  [&] { return fc.insert(slot, k, k); });
+        } else if (kind == 1) {
+          rec.run(w, OpType::kErase, k, [&] { return fc.erase(slot, k); });
+        } else {
+          rec.run(w, OpType::kContains, k,
+                  [&] { return fc.contains(slot, k); });
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  const auto verdict = verify::check_set_linearizability(rec.harvest());
+  EXPECT_TRUE(verdict) << "key " << verdict.bad_key << ": " << verdict.reason;
+}
+
+}  // namespace
+}  // namespace pathcopy

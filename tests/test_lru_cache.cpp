@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "model/lru_cache.hpp"
+
+namespace pathcopy {
+namespace {
+
+TEST(LruCache, MissThenHit) {
+  model::LruCache c(4);
+  EXPECT_FALSE(c.access(1));
+  EXPECT_TRUE(c.access(1));
+  EXPECT_EQ(c.hits(), 1u);
+  EXPECT_EQ(c.misses(), 1u);
+}
+
+TEST(LruCache, EvictsLeastRecentlyUsed) {
+  model::LruCache c(3);
+  c.access(1);
+  c.access(2);
+  c.access(3);
+  c.access(1);      // 1 is now most recent; LRU order: 2, 3, 1
+  c.access(4);      // evicts 2
+  EXPECT_FALSE(c.contains(2));
+  EXPECT_TRUE(c.contains(1));
+  EXPECT_TRUE(c.contains(3));
+  EXPECT_TRUE(c.contains(4));
+}
+
+TEST(LruCache, CapacityRespected) {
+  model::LruCache c(8);
+  for (std::uint64_t k = 0; k < 100; ++k) c.access(k);
+  EXPECT_EQ(c.size(), 8u);
+  // The last 8 keys survive.
+  for (std::uint64_t k = 92; k < 100; ++k) EXPECT_TRUE(c.contains(k));
+  EXPECT_FALSE(c.contains(91));
+}
+
+TEST(LruCache, FillDoesNotCountAccesses) {
+  model::LruCache c(4);
+  c.fill(7);
+  EXPECT_EQ(c.hits(), 0u);
+  EXPECT_EQ(c.misses(), 0u);
+  EXPECT_TRUE(c.access(7));  // fill made it resident
+}
+
+TEST(LruCache, FillRefreshesRecency) {
+  model::LruCache c(2);
+  c.access(1);
+  c.access(2);  // LRU: 1, 2
+  c.fill(1);    // refresh 1; LRU: 2, 1
+  c.access(3);  // evicts 2
+  EXPECT_TRUE(c.contains(1));
+  EXPECT_FALSE(c.contains(2));
+}
+
+TEST(LruCache, FillEvictsToo) {
+  model::LruCache c(2);
+  c.fill(1);
+  c.fill(2);
+  c.fill(3);
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_FALSE(c.contains(1));
+}
+
+TEST(LruCache, ResetCounters) {
+  model::LruCache c(2);
+  c.access(1);
+  c.access(1);
+  c.reset_counters();
+  EXPECT_EQ(c.hits(), 0u);
+  EXPECT_EQ(c.misses(), 0u);
+  EXPECT_TRUE(c.contains(1));  // contents survive counter reset
+}
+
+TEST(LruCache, SingleLineCache) {
+  model::LruCache c(1);
+  EXPECT_FALSE(c.access(1));
+  EXPECT_TRUE(c.access(1));
+  EXPECT_FALSE(c.access(2));
+  EXPECT_FALSE(c.access(1));
+}
+
+TEST(LruCache, WorkingSetWithinCapacityAlwaysHitsAfterWarmup) {
+  model::LruCache c(16);
+  for (int round = 0; round < 3; ++round) {
+    for (std::uint64_t k = 0; k < 16; ++k) c.access(k);
+  }
+  EXPECT_EQ(c.misses(), 16u);       // only the cold pass misses
+  EXPECT_EQ(c.hits(), 2u * 16u);
+}
+
+}  // namespace
+}  // namespace pathcopy

@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "alloc/malloc_alloc.hpp"
+#include "core/atom.hpp"
+#include "core/map_view.hpp"
+#include "persist/avl.hpp"
+#include "persist/rbt.hpp"
+#include "persist/treap.hpp"
+#include "reclaim/epoch.hpp"
+#include "util/rng.hpp"
+
+namespace pathcopy {
+namespace {
+
+using T = persist::Treap<std::int64_t, std::int64_t>;
+using Smr = reclaim::EpochReclaimer;
+using Alloc = alloc::MallocAlloc;
+using AtomT = core::Atom<T, Smr, Alloc>;
+using View = core::MapView<T, Smr, Alloc>;
+
+struct Fixture {
+  Alloc alloc;
+  Smr smr;
+  AtomT atom{smr, *alloc.retire_backend()};
+  AtomT::Ctx ctx{smr, alloc};
+  View view{atom, ctx};
+};
+
+TEST(MapView, InsertReportsNovelty) {
+  Fixture f;
+  EXPECT_TRUE(f.view.insert(1, 10));
+  EXPECT_FALSE(f.view.insert(1, 99));
+  EXPECT_EQ(f.view.get(1), 10);
+}
+
+TEST(MapView, EraseReportsPresence) {
+  Fixture f;
+  f.view.insert(1, 10);
+  EXPECT_TRUE(f.view.erase(1));
+  EXPECT_FALSE(f.view.erase(1));
+  EXPECT_TRUE(f.view.empty());
+}
+
+TEST(MapView, GetAndGetOr) {
+  Fixture f;
+  f.view.insert(5, 50);
+  EXPECT_EQ(f.view.get(5), 50);
+  EXPECT_EQ(f.view.get(6), std::nullopt);
+  EXPECT_EQ(f.view.get_or(5, -1), 50);
+  EXPECT_EQ(f.view.get_or(6, -1), -1);
+}
+
+TEST(MapView, InsertOrAssignOverwrites) {
+  Fixture f;
+  f.view.insert(2, 20);
+  f.view.insert_or_assign(2, 200);
+  EXPECT_EQ(f.view.get(2), 200);
+  EXPECT_EQ(f.view.size(), 1u);
+}
+
+TEST(MapView, UpdateValueIsAtomicRmw) {
+  Fixture f;
+  f.view.insert(0, 0);
+  EXPECT_TRUE(f.view.update_value(0, [](std::int64_t v) { return v + 5; }));
+  EXPECT_EQ(f.view.get(0), 5);
+  EXPECT_FALSE(f.view.update_value(99, [](std::int64_t v) { return v; }));
+}
+
+TEST(MapView, UpsertMergesOrInserts) {
+  Fixture f;
+  f.view.upsert(7, 1, [](std::int64_t v) { return v * 10; });
+  EXPECT_EQ(f.view.get(7), 1);  // was absent
+  f.view.upsert(7, 1, [](std::int64_t v) { return v * 10; });
+  EXPECT_EQ(f.view.get(7), 10);  // merged
+}
+
+TEST(MapView, CeilingAndRange) {
+  Fixture f;
+  for (const std::int64_t k : {10, 20, 30}) f.view.insert(k, k);
+  EXPECT_EQ(f.view.ceiling(15), 20);
+  EXPECT_EQ(f.view.ceiling(30), 30);
+  EXPECT_EQ(f.view.ceiling(31), std::nullopt);
+  EXPECT_EQ(f.view.count_range(10, 30), 2u);
+}
+
+TEST(MapView, ForEachConsistentSnapshot) {
+  Fixture f;
+  for (const std::int64_t k : {3, 1, 2}) f.view.insert(k, k * 10);
+  std::map<std::int64_t, std::int64_t> seen;
+  f.view.for_each([&](const std::int64_t& k, const std::int64_t& v) {
+    seen.emplace(k, v);
+  });
+  EXPECT_EQ(seen, (std::map<std::int64_t, std::int64_t>{{1, 10}, {2, 20}, {3, 30}}));
+}
+
+TEST(MapView, ConcurrentCountersViaUpsert) {
+  // Word-count style aggregation: every thread upserts into shared keys.
+  Alloc alloc;
+  {
+    Smr smr;
+    AtomT atom(smr, *alloc.retire_backend());
+    constexpr int kThreads = 4;
+    constexpr int kPerThread = 2000;
+    std::vector<std::thread> workers;
+    for (int w = 0; w < kThreads; ++w) {
+      workers.emplace_back([&] {
+        AtomT::Ctx ctx(smr, alloc);
+        View view(atom, ctx);
+        util::Xoshiro256 rng(0);  // same stream: all threads hit same keys
+        for (int i = 0; i < kPerThread; ++i) {
+          view.upsert(static_cast<std::int64_t>(rng.below(16)), 1,
+                      [](std::int64_t v) { return v + 1; });
+        }
+      });
+    }
+    for (auto& t : workers) t.join();
+    AtomT::Ctx ctx(smr, alloc);
+    View view(atom, ctx);
+    std::int64_t total = 0;
+    view.for_each([&](const std::int64_t&, const std::int64_t& v) { total += v; });
+    EXPECT_EQ(total, kThreads * kPerThread);  // no increment lost
+  }
+  EXPECT_EQ(alloc.stats().live_blocks(), 0u);
+}
+
+TEST(MapView, WorksOverAvlToo) {
+  using A = persist::AvlTree<std::int64_t, std::int64_t>;
+  alloc::MallocAlloc al;
+  {
+    Smr smr;
+    core::Atom<A, Smr, Alloc> atom(smr, *al.retire_backend());
+    core::Atom<A, Smr, Alloc>::Ctx ctx(smr, al);
+    core::MapView<A, Smr, Alloc> view(atom, ctx);
+    view.insert(1, 10);
+    view.insert(2, 20);
+    EXPECT_EQ(view.get(2), 20);
+    EXPECT_TRUE(view.erase(1));
+    EXPECT_EQ(view.size(), 1u);
+  }
+  EXPECT_EQ(al.stats().live_blocks(), 0u);
+}
+
+TEST(MapView, OracleChurn) {
+  Fixture f;
+  std::map<std::int64_t, std::int64_t> oracle;
+  util::Xoshiro256 rng(404);
+  for (int i = 0; i < 4000; ++i) {
+    const std::int64_t k = rng.range(-30, 30);
+    switch (rng.below(4)) {
+      case 0:
+        EXPECT_EQ(f.view.insert(k, k), oracle.emplace(k, k).second);
+        break;
+      case 1:
+        EXPECT_EQ(f.view.erase(k), oracle.erase(k) > 0);
+        break;
+      case 2:
+        f.view.insert_or_assign(k, k * 2);
+        oracle.insert_or_assign(k, k * 2);
+        break;
+      default: {
+        const auto got = f.view.get(k);
+        const auto it = oracle.find(k);
+        if (it == oracle.end()) {
+          EXPECT_EQ(got, std::nullopt);
+        } else {
+          EXPECT_EQ(got, it->second);
+        }
+      }
+    }
+    ASSERT_EQ(f.view.size(), oracle.size());
+  }
+}
+
+// MapView is structure-generic: anything with the ordered-node surface
+// (ceiling_node, count_range, ...) plugs in. Exercise it over the
+// red-black tree to pin that contract.
+TEST(MapView, WorksOverRedBlackTree) {
+  using R = persist::RbTree<std::int64_t, std::int64_t>;
+  Alloc alloc;
+  {
+    Smr smr;
+    core::Atom<R, Smr, Alloc> atom(smr, *alloc.retire_backend());
+    core::Atom<R, Smr, Alloc>::Ctx ctx(smr, alloc);
+    core::MapView<R, Smr, Alloc> view(atom, ctx);
+
+    EXPECT_TRUE(view.insert(3, 30));
+    EXPECT_TRUE(view.insert(1, 10));
+    EXPECT_FALSE(view.insert(3, 99));
+    view.upsert(3, 0, [](std::int64_t v) { return v + 5; });
+    EXPECT_EQ(view.get(3), 35);
+    EXPECT_EQ(view.ceiling(2), 3);
+    EXPECT_EQ(view.count_range(0, 10), 2u);
+    EXPECT_TRUE(view.erase(1));
+    EXPECT_EQ(view.size(), 1u);
+  }
+  EXPECT_EQ(alloc.stats().live_blocks(), 0u);
+}
+
+}  // namespace
+}  // namespace pathcopy

@@ -1,0 +1,155 @@
+// The arity- and policy-generalized simulator: B-ary path geometry, the
+// B/(B−1) modified-nodes law, wide-node costs, and robustness of the
+// paper's scaling effect across eviction policies.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/formulas.hpp"
+#include "model/sim.hpp"
+
+namespace pathcopy {
+namespace {
+
+using model::EvictionPolicy;
+using model::SimConfig;
+using model::SimResult;
+
+SimConfig base_config() {
+  SimConfig cfg;
+  cfg.num_leaves = 1 << 16;
+  cfg.cache_lines = 1 << 12;
+  cfg.miss_cost = 64;
+  cfg.ops = 8000;
+  cfg.seed = 3;
+  return cfg;
+}
+
+TEST(ModelBranching, PathLengthFollowsArity) {
+  // With one process every attempt succeeds: attempts == ops, and the
+  // traversal touches exactly path_len nodes per op (lines_per_node = 1),
+  // so hits+misses == ops * (log_B N + 1).
+  for (const std::size_t b : {2u, 4u, 8u, 16u}) {
+    SimConfig cfg = base_config();
+    cfg.branching = b;
+    cfg.processes = 1;
+    const SimResult r = model::run_protocol_sim(cfg);
+    const double path =
+        std::ceil(std::log2(double(cfg.num_leaves)) / std::log2(double(b))) + 1;
+    EXPECT_EQ(r.traversal_hits + r.traversal_misses,
+              r.attempts * static_cast<std::uint64_t>(path))
+        << "B=" << b;
+  }
+}
+
+TEST(ModelBranching, MissesPerRetryTrackBOverBMinus1) {
+  // The generalized "≤ 2 modified nodes" law: a warm retry reloads
+  // B/(B−1) path nodes in expectation under the lockstep model. The
+  // event-driven sim lets a slow retry span more than one winner (same
+  // slack the binary tests document), so assert the law up to that
+  // drift factor, plus strict monotonicity in B.
+  double prev = 1e9;
+  for (const std::size_t b : {2u, 4u, 8u}) {
+    SimConfig cfg = base_config();
+    cfg.branching = b;
+    cfg.processes = 8;
+    cfg.ops = 20000;
+    const SimResult r = model::run_protocol_sim(cfg);
+    ASSERT_GT(r.retry_count, 1000u) << "B=" << b;
+    const double law = double(b) / double(b - 1);
+    EXPECT_GE(r.misses_per_retry(), 0.8 * law) << "B=" << b;
+    EXPECT_LE(r.misses_per_retry(), 2.2 * law) << "B=" << b;
+    EXPECT_LT(r.misses_per_retry(), prev) << "B=" << b;
+    prev = r.misses_per_retry();
+  }
+}
+
+TEST(ModelBranching, BinaryMatchesPaperTwoBoundUpToDrift) {
+  SimConfig cfg = base_config();
+  cfg.processes = 8;
+  cfg.ops = 20000;
+  const SimResult r = model::run_protocol_sim(cfg);
+  // Paper bound is 2; event-driven drift pushes it up but never near the
+  // full path length (17 here) — the sharing effect is doing the work.
+  EXPECT_LE(r.misses_per_retry(), 3.5);
+  EXPECT_GE(r.misses_per_retry(), 1.5);
+}
+
+TEST(ModelBranching, WideNodesMultiplyTraversalCost) {
+  SimConfig narrow = base_config();
+  narrow.processes = 1;
+  SimConfig wide = narrow;
+  wide.lines_per_node = 4;
+  const SimResult rn = model::run_protocol_sim(narrow);
+  const SimResult rw = model::run_protocol_sim(wide);
+  // Same node count touched, 4x the line accesses.
+  EXPECT_EQ(4 * (rn.traversal_hits + rn.traversal_misses),
+            rw.traversal_hits + rw.traversal_misses);
+}
+
+TEST(ModelBranching, SpeedupSurvivesEveryEvictionPolicy) {
+  // The paper's effect is not an LRU artifact: under every policy the
+  // write-heavy UC beats the sequential baseline at P=16.
+  for (const EvictionPolicy pol :
+       {EvictionPolicy::kLru, EvictionPolicy::kFifo, EvictionPolicy::kClock,
+        EvictionPolicy::kRandom}) {
+    SimConfig cfg = base_config();
+    cfg.processes = 16;
+    cfg.eviction = pol;
+    const double s = model::simulated_speedup(cfg);
+    EXPECT_GT(s, 1.3) << model::policy_name(pol);
+    EXPECT_LT(s, 20.0) << model::policy_name(pol);
+  }
+}
+
+TEST(ModelBranching, WiderTreesShrinkTheConcurrentAdvantage) {
+  // Wider nodes mean shorter paths; the serialized winner's retry cost is
+  // dominated by the B/(B−1)·R reload either way, but the sequential
+  // baseline gets faster (fewer levels miss). Net: speedup at fixed P
+  // declines with B (with node size scaled to the fanout).
+  double prev = 1e9;
+  for (const std::size_t b : {2u, 8u, 32u}) {
+    SimConfig cfg = base_config();
+    cfg.branching = b;
+    cfg.lines_per_node = std::max<std::size_t>(1, b / 4);  // ~16B per entry
+    cfg.processes = 16;
+    const double s = model::simulated_speedup(cfg);
+    EXPECT_LT(s, prev * 1.15) << "B=" << b;  // allow sim noise
+    prev = s;
+  }
+}
+
+TEST(ModelBranching, FormulaBracketsSimAcrossArity) {
+  // The closed form assumes a fully cold first attempt (the paper's
+  // pessimistic "none of which might be cached"), while the sim's caches
+  // persist across operations — so the sim consistently lands above the
+  // formula, by a bounded factor. The formula itself must decline
+  // monotonically in B (deterministic).
+  double prev_formula = 1e9;
+  for (const std::size_t b : {2u, 4u, 8u}) {
+    SimConfig cfg = base_config();
+    cfg.branching = b;
+    cfg.processes = 12;
+    cfg.ops = 20000;
+    const double sim = model::simulated_speedup(cfg);
+    const double formula = model::predicted_speedup_bary(
+        double(cfg.num_leaves), double(cfg.cache_lines),
+        double(cfg.miss_cost), 12.0, double(b));
+    EXPECT_GE(sim, formula) << "B=" << b;
+    EXPECT_LE(sim, 4.0 * formula) << "B=" << b << " sim=" << sim
+                                  << " formula=" << formula;
+    EXPECT_LT(formula, prev_formula) << "B=" << b;
+    prev_formula = formula;
+  }
+}
+
+TEST(ModelBranching, ExpectedModifiedFormula) {
+  EXPECT_NEAR(model::expected_modified_bary(2, 30), 2.0, 1e-6);
+  EXPECT_NEAR(model::expected_modified_bary(4, 30), 4.0 / 3.0, 1e-6);
+  EXPECT_NEAR(model::expected_modified_bary(16, 30), 16.0 / 15.0, 1e-6);
+  // Truncation matters for short paths.
+  EXPECT_NEAR(model::expected_modified_bary(2, 2), 1.5, 1e-9);
+}
+
+}  // namespace
+}  // namespace pathcopy

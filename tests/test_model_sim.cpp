@@ -1,0 +1,220 @@
+#include <gtest/gtest.h>
+
+#include "model/formulas.hpp"
+#include "model/sim.hpp"
+
+namespace pathcopy {
+namespace {
+
+model::SimConfig small_config() {
+  model::SimConfig cfg;
+  cfg.num_leaves = 1 << 14;
+  cfg.cache_lines = 1 << 10;
+  cfg.miss_cost = 64;
+  cfg.ops = 4000;
+  cfg.seed = 42;
+  return cfg;
+}
+
+TEST(SeqSim, CompletesRequestedOps) {
+  auto cfg = small_config();
+  const auto r = model::run_seq_sim(cfg);
+  EXPECT_EQ(r.ops_completed, cfg.ops);
+  EXPECT_EQ(r.modifying_ops, cfg.ops);
+  EXPECT_EQ(r.noop_ops, 0u);
+  EXPECT_GT(r.total_ticks, 0u);
+}
+
+TEST(SeqSim, DeterministicPerSeed) {
+  auto cfg = small_config();
+  const auto a = model::run_seq_sim(cfg);
+  const auto b = model::run_seq_sim(cfg);
+  EXPECT_EQ(a.total_ticks, b.total_ticks);
+  cfg.seed = 43;
+  const auto c = model::run_seq_sim(cfg);
+  EXPECT_NE(a.total_ticks, c.total_ticks);
+}
+
+TEST(SeqSim, MatchesAppendixA1Formula) {
+  // Per-op cost should approach log M + R (log N - log M) once warm.
+  auto cfg = small_config();
+  cfg.ops = 60000;  // long run to amortize cold start
+  const auto r = model::run_seq_sim(cfg);
+  const double measured =
+      static_cast<double>(r.total_ticks) / static_cast<double>(r.ops_completed);
+  // A tree over N leaves has log N + 1 levels; the paper's formula counts
+  // log N nodes per path, so evaluate it at 2N to account for the extra
+  // level (log 2N = log N + 1).
+  const double predicted = model::seq_op_cost(
+      2.0 * static_cast<double>(cfg.num_leaves),
+      static_cast<double>(cfg.cache_lines),
+      static_cast<double>(cfg.miss_cost));
+  // Real LRU keeps slightly fewer than log M full levels resident: every
+  // one-off deep-node access inserts and evicts, polluting the top-level
+  // working set the ideal model assumes is pinned. Empirically ~1.7 levels
+  // are lost to pollution here, i.e. ~30% extra cost — allow 35%.
+  EXPECT_NEAR(measured, predicted, 0.35 * predicted);
+}
+
+TEST(SeqSim, LargerCacheIsFaster) {
+  auto cfg = small_config();
+  cfg.cache_lines = 1 << 8;
+  const auto small_cache = model::run_seq_sim(cfg);
+  cfg.cache_lines = 1 << 12;
+  const auto big_cache = model::run_seq_sim(cfg);
+  EXPECT_LT(big_cache.total_ticks, small_cache.total_ticks);
+}
+
+TEST(ProtocolSim, SingleProcessHasNoCasFailures) {
+  auto cfg = small_config();
+  cfg.processes = 1;
+  const auto r = model::run_protocol_sim(cfg);
+  EXPECT_EQ(r.cas_failures, 0u);
+  EXPECT_EQ(r.ops_completed, cfg.ops);
+  EXPECT_EQ(r.attempts, cfg.ops);
+}
+
+TEST(ProtocolSim, DeterministicPerSeed) {
+  auto cfg = small_config();
+  cfg.processes = 4;
+  const auto a = model::run_protocol_sim(cfg);
+  const auto b = model::run_protocol_sim(cfg);
+  EXPECT_EQ(a.total_ticks, b.total_ticks);
+  EXPECT_EQ(a.cas_failures, b.cas_failures);
+}
+
+TEST(ProtocolSim, ContentionProducesRetries) {
+  auto cfg = small_config();
+  cfg.processes = 8;
+  const auto r = model::run_protocol_sim(cfg);
+  EXPECT_GT(r.cas_failures, 0u);
+  // Up to P-1 attempts are still in flight when the op target is reached.
+  const auto resolved = r.modifying_ops + r.noop_ops + r.cas_failures;
+  EXPECT_GE(r.attempts, resolved);
+  EXPECT_LE(r.attempts, resolved + cfg.processes);
+}
+
+TEST(ProtocolSim, RetriesMissAboutTwoNodes) {
+  // The paper's central claim (§3.1): in expectation at most 2 nodes on
+  // the retried path were replaced by the winning update, so a warm retry
+  // incurs ~2 uncached loads.
+  auto cfg = small_config();
+  cfg.processes = 8;
+  cfg.ops = 8000;
+  const auto r = model::run_protocol_sim(cfg);
+  ASSERT_GT(r.retry_count, 1000u);
+  EXPECT_GT(r.misses_per_retry(), 0.5);
+  // The paper's lockstep model sees exactly one winner between retries
+  // (bound: 2). The event-driven sim lets a slow retry span more than one
+  // winner, so the constant is slightly larger — but it must stay a small
+  // constant, far below the full path length (15 here) or the cold cost.
+  EXPECT_LE(r.misses_per_retry(), 3.5);
+  const double path_len = 15.0;
+  EXPECT_LT(r.misses_per_retry(), path_len / 3.0);
+}
+
+TEST(ProtocolSim, WriteHeavySpeedupExceedsOne) {
+  // The headline result: pure-write workload, yet the UC beats the
+  // sequential baseline once enough processes retry-and-prefetch.
+  auto cfg = small_config();
+  cfg.processes = 8;
+  const double s = model::simulated_speedup(cfg);
+  EXPECT_GT(s, 1.2);
+}
+
+TEST(ProtocolSim, SpeedupGrowsThenSaturates) {
+  auto cfg = small_config();
+  cfg.processes = 2;
+  const double s2 = model::simulated_speedup(cfg);
+  cfg.processes = 8;
+  const double s8 = model::simulated_speedup(cfg);
+  cfg.processes = 32;
+  const double s32 = model::simulated_speedup(cfg);
+  EXPECT_GT(s8, s2);
+  // Saturation: the jump from 8 to 32 is much smaller than 2 to 8.
+  EXPECT_LT(s32 / s8, s8 / s2);
+}
+
+TEST(ProtocolSim, TracksFormulaTrendInN) {
+  // Speedup should increase with log N (the paper's Ω(log N) claim).
+  model::SimConfig cfg = small_config();
+  cfg.processes = 16;
+  cfg.ops = 6000;
+  cfg.num_leaves = 1 << 12;
+  cfg.cache_lines = 1 << 9;
+  const double s_small = model::simulated_speedup(cfg);
+  cfg.num_leaves = 1 << 18;
+  cfg.cache_lines = 1 << 13;  // keep M = O(N^(1-eps)) proportionally
+  const double s_large = model::simulated_speedup(cfg);
+  EXPECT_GT(s_large, s_small);
+}
+
+TEST(ProtocolSim, NoopFractionImprovesScaling) {
+  // Random workload (§4.2): ~half the ops are semantic no-ops that never
+  // CAS; the paper observes better speedups there than in Batch.
+  auto cfg = small_config();
+  cfg.processes = 8;
+  cfg.ops = 8000;
+  const double batch = model::simulated_speedup(cfg);
+  cfg.noop_fraction = 0.5;
+  const double random = model::simulated_speedup(cfg);
+  EXPECT_GT(random, batch);
+}
+
+TEST(ProtocolSim, SerializedAllocatorCausesCollapse) {
+  // Appendix B: with a contended shared allocator (refill trips cost
+  // Theta(P)), throughput declines at high P instead of saturating.
+  auto cfg = small_config();
+  cfg.alloc_ticks_per_node = 10;
+  cfg.alloc_refill_batch = 32;
+  cfg.alloc_contention_ticks = 8;
+  cfg.ops = 6000;
+  cfg.processes = 8;
+  const double s8 = model::simulated_speedup(cfg);
+  cfg.processes = 64;
+  const double s64 = model::simulated_speedup(cfg);
+  EXPECT_LT(s64, s8);  // collapse, not saturation
+
+  // And without the contention term the same configuration saturates.
+  cfg.alloc_contention_ticks = 0;
+  cfg.processes = 8;
+  const double flat8 = model::simulated_speedup(cfg);
+  cfg.processes = 64;
+  const double flat64 = model::simulated_speedup(cfg);
+  EXPECT_GE(flat64, 0.9 * flat8);
+}
+
+TEST(ProtocolSim, NoopOnlyWorkloadScalesFreely) {
+  auto cfg = small_config();
+  cfg.noop_fraction = 1.0;
+  cfg.processes = 8;
+  const auto r = model::run_protocol_sim(cfg);
+  EXPECT_EQ(r.cas_failures, 0u);
+  EXPECT_EQ(r.noop_ops, r.ops_completed);
+}
+
+TEST(ProtocolSim, RoundRobinFairnessUnderSymmetry) {
+  // In the paper's Fig. 3/4 lockstep pattern every success costs P-1
+  // failures elsewhere. Event-driven timing lets one retry span several
+  // winners, so failures-per-success lands below P-1 — but it must scale
+  // with P and stay bounded by P-1 (each failure is caused by exactly one
+  // success, and a success can fail at most P-1 in-flight attempts).
+  auto fps = [](std::size_t p) {
+    auto cfg = small_config();
+    cfg.processes = p;
+    cfg.ops = 6000;
+    const auto r = model::run_protocol_sim(cfg);
+    return static_cast<double>(r.cas_failures) /
+           static_cast<double>(r.modifying_ops);
+  };
+  const double fps3 = fps(3);
+  const double fps6 = fps(6);
+  const double fps12 = fps(12);
+  EXPECT_GT(fps6, fps3);
+  EXPECT_GT(fps12, fps6);
+  EXPECT_GT(fps6, 0.3 * (6 - 1));
+  EXPECT_LE(fps6, 1.2 * (6 - 1));
+}
+
+}  // namespace
+}  // namespace pathcopy

@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "alloc/arena_alloc.hpp"
+#include "alloc/malloc_alloc.hpp"
+#include "persist/plist.hpp"
+#include "test_support.hpp"
+
+namespace pathcopy {
+namespace {
+
+using L = persist::PList<std::int64_t>;
+
+template <class Alloc>
+L make_list(Alloc& a, std::initializer_list<std::int64_t> values) {
+  // push_front reverses, so feed back-to-front.
+  L l;
+  std::vector<std::int64_t> v(values);
+  for (auto it = v.rbegin(); it != v.rend(); ++it) {
+    const auto x = *it;
+    l = test::apply(a, [&](auto& b) { return l.push_front(b, x); });
+  }
+  return l;
+}
+
+TEST(PList, EmptyBasics) {
+  L l;
+  EXPECT_TRUE(l.empty());
+  EXPECT_EQ(l.size(), 0u);
+  EXPECT_TRUE(l.check_invariants());
+}
+
+TEST(PList, PushFrontOrder) {
+  alloc::Arena a;
+  L l = make_list(a, {1, 2, 3});
+  EXPECT_EQ(l.items(), (std::vector<std::int64_t>{1, 2, 3}));
+  EXPECT_EQ(l.front(), 1);
+  EXPECT_EQ(l.size(), 3u);
+  EXPECT_TRUE(l.check_invariants());
+}
+
+TEST(PList, AtIndexing) {
+  alloc::Arena a;
+  L l = make_list(a, {10, 20, 30});
+  EXPECT_EQ(l.at(0), 10);
+  EXPECT_EQ(l.at(1), 20);
+  EXPECT_EQ(l.at(2), 30);
+}
+
+TEST(PList, PopFront) {
+  alloc::Arena a;
+  L l = make_list(a, {1, 2});
+  l = test::apply(a, [&](auto& b) { return l.pop_front(b); });
+  EXPECT_EQ(l.items(), (std::vector<std::int64_t>{2}));
+  l = test::apply(a, [&](auto& b) { return l.pop_front(b); });
+  EXPECT_TRUE(l.empty());
+  core::Builder<alloc::Arena> b(a);
+  EXPECT_EQ(l.pop_front(b).root_ptr(), nullptr);  // no-op on empty
+  b.rollback();
+}
+
+TEST(PList, SetCopiesPrefixOnly) {
+  alloc::Arena a;
+  L v1 = make_list(a, {1, 2, 3, 4, 5});
+  core::Builder<alloc::Arena> b(a);
+  L v2 = v1.set(b, 1, 99);
+  b.seal();
+  (void)b.commit();
+  EXPECT_EQ(v2.items(), (std::vector<std::int64_t>{1, 99, 3, 4, 5}));
+  EXPECT_EQ(v1.items(), (std::vector<std::int64_t>{1, 2, 3, 4, 5}));
+  // Suffix after index 1 is shared.
+  EXPECT_EQ(L::shared_nodes(v1, v2), 3u);
+}
+
+TEST(PList, InsertAt) {
+  alloc::Arena a;
+  L l = make_list(a, {1, 3});
+  l = test::apply(a, [&](auto& b) { return l.insert_at(b, 1, 2); });
+  EXPECT_EQ(l.items(), (std::vector<std::int64_t>{1, 2, 3}));
+  l = test::apply(a, [&](auto& b) { return l.insert_at(b, 3, 4); });  // append
+  EXPECT_EQ(l.items(), (std::vector<std::int64_t>{1, 2, 3, 4}));
+  l = test::apply(a, [&](auto& b) { return l.insert_at(b, 0, 0); });  // prepend
+  EXPECT_EQ(l.items(), (std::vector<std::int64_t>{0, 1, 2, 3, 4}));
+  EXPECT_TRUE(l.check_invariants());
+}
+
+TEST(PList, EraseAt) {
+  alloc::Arena a;
+  L l = make_list(a, {1, 2, 3, 4});
+  l = test::apply(a, [&](auto& b) { return l.erase_at(b, 1); });
+  EXPECT_EQ(l.items(), (std::vector<std::int64_t>{1, 3, 4}));
+  l = test::apply(a, [&](auto& b) { return l.erase_at(b, 0); });
+  EXPECT_EQ(l.items(), (std::vector<std::int64_t>{3, 4}));
+  l = test::apply(a, [&](auto& b) { return l.erase_at(b, 1); });
+  EXPECT_EQ(l.items(), (std::vector<std::int64_t>{3}));
+  EXPECT_TRUE(l.check_invariants());
+}
+
+TEST(PList, Concat) {
+  alloc::Arena a;
+  L x = make_list(a, {1, 2});
+  L y = make_list(a, {3, 4});
+  core::Builder<alloc::Arena> b(a);
+  L z = L::concat(b, x, y);
+  b.seal();
+  (void)b.commit();
+  EXPECT_EQ(z.items(), (std::vector<std::int64_t>{1, 2, 3, 4}));
+  // rhs is shared wholesale; lhs was copied.
+  EXPECT_EQ(L::shared_nodes(y, z), 2u);
+  EXPECT_EQ(x.items(), (std::vector<std::int64_t>{1, 2}));
+}
+
+TEST(PList, PersistenceAcrossManyVersions) {
+  alloc::Arena a;
+  std::vector<L> versions;
+  L l;
+  for (std::int64_t i = 0; i < 20; ++i) {
+    core::Builder<alloc::Arena> b(a);
+    l = l.push_front(b, i);
+    b.seal();
+    (void)b.commit();
+    versions.push_back(l);
+  }
+  for (std::size_t i = 0; i < versions.size(); ++i) {
+    EXPECT_EQ(versions[i].size(), i + 1);
+    EXPECT_EQ(versions[i].front(), static_cast<std::int64_t>(i));
+  }
+}
+
+TEST(PList, PushFrontIsO1Allocation) {
+  alloc::Arena a;
+  L l = make_list(a, {1, 2, 3, 4, 5, 6, 7, 8});
+  core::Builder<alloc::Arena> b(a);
+  (void)l.push_front(b, 0);
+  EXPECT_EQ(b.stats().created, 1u);
+  b.rollback();
+}
+
+TEST(PList, SetAllocatesPrefixLength) {
+  alloc::Arena a;
+  L l = make_list(a, {1, 2, 3, 4, 5, 6, 7, 8});
+  core::Builder<alloc::Arena> b(a);
+  (void)l.set(b, 5, 0);
+  EXPECT_EQ(b.stats().created, 6u);  // indices 0..5 copied
+  b.rollback();
+}
+
+TEST(PList, DestroyFreesEverything) {
+  alloc::MallocAlloc a;
+  L l;
+  for (std::int64_t i = 0; i < 50; ++i) {
+    l = test::apply(a, [&](auto& b) { return l.push_front(b, i); });
+  }
+  EXPECT_EQ(a.stats().live_blocks(), 50u);
+  L::destroy(l.head_node(), a);
+  EXPECT_EQ(a.stats().live_blocks(), 0u);
+}
+
+}  // namespace
+}  // namespace pathcopy

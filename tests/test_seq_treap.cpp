@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "alloc/arena_alloc.hpp"
+#include "persist/treap.hpp"
+#include "seq/locked.hpp"
+#include "seq/seq_treap.hpp"
+#include "test_support.hpp"
+#include "util/rng.hpp"
+
+namespace pathcopy {
+namespace {
+
+using S = seq::SeqTreap<std::int64_t, std::int64_t>;
+using P = persist::Treap<std::int64_t, std::int64_t>;
+
+TEST(SeqTreap, EmptyBasics) {
+  S t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_FALSE(t.contains(1));
+  EXPECT_TRUE(t.check_invariants());
+}
+
+TEST(SeqTreap, InsertReportsNovelty) {
+  S t;
+  EXPECT_TRUE(t.insert(5, 50));
+  EXPECT_FALSE(t.insert(5, 99));
+  EXPECT_EQ(*t.find(5), 50);
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(SeqTreap, EraseReportsPresence) {
+  S t;
+  t.insert(5, 50);
+  EXPECT_FALSE(t.erase(7));
+  EXPECT_TRUE(t.erase(5));
+  EXPECT_FALSE(t.erase(5));
+  EXPECT_TRUE(t.empty());
+}
+
+TEST(SeqTreap, ItemsSorted) {
+  S t;
+  for (const auto k : {9, 1, 8, 2, 7}) t.insert(k, k);
+  const auto items = t.items();
+  EXPECT_TRUE(std::is_sorted(items.begin(), items.end()));
+  EXPECT_EQ(items.size(), 5u);
+}
+
+TEST(SeqTreap, RankMatchesSortedPosition) {
+  S t;
+  for (std::int64_t i = 0; i < 64; ++i) t.insert(i * 2, i);
+  EXPECT_EQ(t.rank(0), 0u);
+  EXPECT_EQ(t.rank(64), 32u);
+  EXPECT_EQ(t.rank(127), 64u);
+}
+
+TEST(SeqTreap, OracleStress) {
+  S t;
+  std::map<std::int64_t, std::int64_t> oracle;
+  util::Xoshiro256 rng(13);
+  for (int i = 0; i < 5000; ++i) {
+    const std::int64_t k = rng.range(-80, 80);
+    if (rng.chance(1, 2)) {
+      EXPECT_EQ(t.insert(k, k), oracle.emplace(k, k).second);
+    } else {
+      EXPECT_EQ(t.erase(k), oracle.erase(k) > 0);
+    }
+    ASSERT_EQ(t.size(), oracle.size());
+  }
+  EXPECT_TRUE(t.check_invariants());
+}
+
+TEST(SeqTreap, SameCanonicalShapeAsPersistentTreap) {
+  // Both use the same hashed priorities, so the same key set must produce
+  // the same tree shape: identical heights and identical in-order keys.
+  alloc::Arena a;
+  S s;
+  P p;
+  util::Xoshiro256 rng(77);
+  for (int i = 0; i < 500; ++i) {
+    const std::int64_t k = rng.range(-300, 300);
+    s.insert(k, k);
+    p = test::apply(a, [&](auto& b) { return p.insert(b, k, k); });
+  }
+  EXPECT_EQ(s.size(), p.size());
+  EXPECT_EQ(s.height(), p.height());
+  std::vector<std::int64_t> sk, pk;
+  s.for_each([&](const std::int64_t& k, const std::int64_t&) { sk.push_back(k); });
+  p.for_each([&](const std::int64_t& k, const std::int64_t&) { pk.push_back(k); });
+  EXPECT_EQ(sk, pk);
+}
+
+TEST(SeqTreap, MoveTransfersOwnership) {
+  S a;
+  a.insert(1, 10);
+  S b = std::move(a);
+  EXPECT_EQ(b.size(), 1u);
+  EXPECT_TRUE(b.contains(1));
+}
+
+TEST(SeqTreap, ClearEmpties) {
+  S t;
+  for (std::int64_t i = 0; i < 100; ++i) t.insert(i, i);
+  t.clear();
+  EXPECT_TRUE(t.empty());
+  EXPECT_TRUE(t.insert(5, 5));
+}
+
+TEST(Locked, SerializesAccess) {
+  seq::Locked<S> locked;
+  locked.with([](S& t) { t.insert(1, 10); });
+  const auto size = locked.with_read([](const S& t) { return t.size(); });
+  EXPECT_EQ(size, 1u);
+}
+
+TEST(Locked, ConcurrentInsertsAllLand) {
+  seq::Locked<S> locked;
+  constexpr int kThreads = 4;
+  constexpr std::int64_t kPerThread = 2000;
+  std::vector<std::thread> workers;
+  for (int w = 0; w < kThreads; ++w) {
+    workers.emplace_back([&locked, w] {
+      for (std::int64_t i = 0; i < kPerThread; ++i) {
+        locked.with([&](S& t) { t.insert(w * kPerThread + i, i); });
+      }
+    });
+  }
+  for (auto& t : workers) t.join();
+  EXPECT_EQ(locked.with_read([](const S& t) { return t.size(); }),
+            static_cast<std::size_t>(kThreads * kPerThread));
+  EXPECT_TRUE(locked.with_read([](const S& t) { return t.check_invariants(); }));
+}
+
+}  // namespace
+}  // namespace pathcopy

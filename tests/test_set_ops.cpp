@@ -1,0 +1,306 @@
+// Bulk set algebra on the persistent treap (union / intersect /
+// difference, join-based) plus range erase.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "alloc/arena_alloc.hpp"
+#include "alloc/malloc_alloc.hpp"
+#include "core/atom.hpp"
+#include "reclaim/epoch.hpp"
+#include "reclaim/leaky.hpp"
+#include "persist/treap.hpp"
+#include "test_support.hpp"
+#include "util/rng.hpp"
+
+namespace pathcopy {
+namespace {
+
+using T = persist::Treap<std::int64_t, std::int64_t>;
+
+template <class Alloc>
+T build(Alloc& a, const std::vector<std::int64_t>& keys, std::int64_t tag) {
+  T t;
+  for (const auto k : keys) {
+    t = test::apply(a, [&](auto& b) { return t.insert(b, k, k * 10 + tag); });
+  }
+  return t;
+}
+
+std::vector<std::int64_t> keys_of(const T& t) {
+  std::vector<std::int64_t> out;
+  t.for_each([&](const std::int64_t& k, const std::int64_t&) { out.push_back(k); });
+  return out;
+}
+
+TEST(SetOps, UnionBasics) {
+  alloc::Arena a;
+  T x = build(a, {1, 3, 5}, 1);
+  T y = build(a, {2, 3, 4}, 2);
+  T u = test::apply(a, [&](auto& b) { return T::set_union(b, x, y); });
+  EXPECT_EQ(keys_of(u), (std::vector<std::int64_t>{1, 2, 3, 4, 5}));
+  EXPECT_TRUE(u.check_invariants());
+  // Duplicate key 3: x's value wins.
+  EXPECT_EQ(*u.find(3), 31);
+}
+
+TEST(SetOps, UnionWithEmpty) {
+  alloc::Arena a;
+  T x = build(a, {1, 2}, 1);
+  core::Builder<alloc::Arena> b(a);
+  EXPECT_EQ(T::set_union(b, x, T{}).root_ptr(), x.root_ptr());
+  EXPECT_EQ(T::set_union(b, T{}, x).root_ptr(), x.root_ptr());
+  b.rollback();
+}
+
+TEST(SetOps, UnionLeavesInputsIntact) {
+  alloc::Arena a;
+  T x = build(a, {1, 3, 5, 7, 9}, 1);
+  T y = build(a, {2, 4, 6, 8}, 2);
+  core::Builder<alloc::Arena> b(a);
+  T u = T::set_union(b, x, y);
+  b.seal();
+  (void)b.commit();
+  // Pure operation: both inputs are unchanged, valid versions.
+  EXPECT_EQ(keys_of(x), (std::vector<std::int64_t>{1, 3, 5, 7, 9}));
+  EXPECT_EQ(keys_of(y), (std::vector<std::int64_t>{2, 4, 6, 8}));
+  EXPECT_TRUE(x.check_invariants());
+  EXPECT_TRUE(y.check_invariants());
+  EXPECT_EQ(u.size(), 9u);
+}
+
+TEST(SetOps, UnionSharesStructure) {
+  alloc::Arena a;
+  std::vector<std::int64_t> many;
+  for (std::int64_t i = 0; i < 4096; ++i) many.push_back(i);
+  T x = build(a, many, 1);
+  T y = build(a, {100000, 100001}, 2);
+  core::Builder<alloc::Arena> b(a);
+  T u = T::set_union(b, x, y);
+  const auto created = b.stats().created;
+  b.seal();
+  (void)b.commit();
+  EXPECT_EQ(u.size(), 4098u);
+  // O(m log(n/m)): merging 2 keys into 4096 copies a few dozen nodes, not
+  // thousands; the bulk of x is shared wholesale.
+  EXPECT_LT(created, 200u);
+  EXPECT_GT(T::shared_nodes(x, u), x.size() - 100);
+}
+
+TEST(SetOps, UnionCanonicalShape) {
+  // The union of two treaps must be structurally identical to the treap
+  // built from scratch over the combined key set (canonical form).
+  alloc::Arena a;
+  T x = build(a, {1, 4, 9, 16, 25}, 1);
+  T y = build(a, {2, 4, 8, 16, 32}, 1);
+  T u = test::apply(a, [&](auto& b) { return T::set_union(b, x, y); });
+  std::vector<std::int64_t> combined{1, 2, 4, 8, 9, 16, 25, 32};
+  T direct = build(a, combined, 1);
+  EXPECT_EQ(u.height(), direct.height());
+  EXPECT_EQ(keys_of(u), keys_of(direct));
+}
+
+TEST(SetOps, IntersectBasics) {
+  alloc::Arena a;
+  T x = build(a, {1, 2, 3, 4, 5}, 1);
+  T y = build(a, {4, 5, 6, 7}, 2);
+  T i = test::apply(a, [&](auto& b) { return T::set_intersect(b, x, y); });
+  EXPECT_EQ(keys_of(i), (std::vector<std::int64_t>{4, 5}));
+  EXPECT_EQ(*i.find(4), 41);  // x's values
+  EXPECT_TRUE(i.check_invariants());
+}
+
+TEST(SetOps, IntersectDisjointIsEmpty) {
+  alloc::Arena a;
+  T x = build(a, {1, 2, 3}, 1);
+  T y = build(a, {4, 5, 6}, 2);
+  T i = test::apply(a, [&](auto& b) { return T::set_intersect(b, x, y); });
+  EXPECT_TRUE(i.empty());
+}
+
+TEST(SetOps, DifferenceBasics) {
+  alloc::Arena a;
+  T x = build(a, {1, 2, 3, 4, 5}, 1);
+  T y = build(a, {2, 4, 6}, 2);
+  T d = test::apply(a, [&](auto& b) { return T::set_difference(b, x, y); });
+  EXPECT_EQ(keys_of(d), (std::vector<std::int64_t>{1, 3, 5}));
+  EXPECT_TRUE(d.check_invariants());
+}
+
+TEST(SetOps, DifferenceWithSelfIsEmpty) {
+  alloc::Arena a;
+  T x = build(a, {1, 2, 3}, 1);
+  T d = test::apply(a, [&](auto& b) { return T::set_difference(b, x, x); });
+  EXPECT_TRUE(d.empty());
+}
+
+TEST(SetOps, AlgebraOracleSweep) {
+  alloc::Arena a;
+  util::Xoshiro256 rng(71);
+  for (int round = 0; round < 8; ++round) {
+    std::set<std::int64_t> xs, ys;
+    const std::int64_t range = 50 + round * 40;
+    for (int i = 0; i < 120; ++i) {
+      xs.insert(rng.range(0, range));
+      ys.insert(rng.range(0, range));
+    }
+    T x = build(a, {xs.begin(), xs.end()}, 1);
+    T y = build(a, {ys.begin(), ys.end()}, 2);
+
+    std::vector<std::int64_t> u_ref, i_ref, d_ref;
+    std::set_union(xs.begin(), xs.end(), ys.begin(), ys.end(),
+                   std::back_inserter(u_ref));
+    std::set_intersection(xs.begin(), xs.end(), ys.begin(), ys.end(),
+                          std::back_inserter(i_ref));
+    std::set_difference(xs.begin(), xs.end(), ys.begin(), ys.end(),
+                        std::back_inserter(d_ref));
+
+    T u = test::apply(a, [&](auto& b) { return T::set_union(b, x, y); });
+    T i = test::apply(a, [&](auto& b) { return T::set_intersect(b, x, y); });
+    T d = test::apply(a, [&](auto& b) { return T::set_difference(b, x, y); });
+    ASSERT_EQ(keys_of(u), u_ref);
+    ASSERT_EQ(keys_of(i), i_ref);
+    ASSERT_EQ(keys_of(d), d_ref);
+    ASSERT_TRUE(u.check_invariants());
+    ASSERT_TRUE(i.check_invariants());
+    ASSERT_TRUE(d.check_invariants());
+    // Identities: |u| = |x| + |y| - |i|; d ∪ i = x.
+    ASSERT_EQ(u.size(), x.size() + y.size() - i.size());
+    T di = test::apply(a, [&](auto& b) { return T::set_union(b, d, i); });
+    ASSERT_EQ(keys_of(di), keys_of(x));
+  }
+}
+
+TEST(EraseRange, Basics) {
+  alloc::Arena a;
+  std::vector<std::int64_t> keys;
+  for (std::int64_t i = 0; i < 100; ++i) keys.push_back(i);
+  T t = build(a, keys, 1);
+  T t2 = test::apply(a, [&](auto& b) { return t.erase_range(b, 20, 40); });
+  EXPECT_EQ(t2.size(), 80u);
+  EXPECT_TRUE(t2.contains(19));
+  EXPECT_FALSE(t2.contains(20));
+  EXPECT_FALSE(t2.contains(39));
+  EXPECT_TRUE(t2.contains(40));
+  EXPECT_TRUE(t2.check_invariants());
+  EXPECT_EQ(t.size(), 100u);  // old version intact
+}
+
+TEST(EraseRange, EmptyRangeIsSameVersion) {
+  alloc::Arena a;
+  T t = build(a, {1, 2, 3}, 1);
+  core::Builder<alloc::Arena> b(a);
+  EXPECT_EQ(t.erase_range(b, 10, 20).root_ptr(), t.root_ptr());
+  EXPECT_EQ(t.erase_range(b, 3, 3).root_ptr(), t.root_ptr());
+  EXPECT_EQ(t.erase_range(b, 5, 2).root_ptr(), t.root_ptr());  // inverted
+  b.rollback();
+}
+
+TEST(EraseRange, WholeTree) {
+  alloc::Arena a;
+  T t = build(a, {1, 2, 3, 4}, 1);
+  T t2 = test::apply(a, [&](auto& b) { return t.erase_range(b, 0, 100); });
+  EXPECT_TRUE(t2.empty());
+}
+
+TEST(EraseRange, RetiresAllRemovedNodes) {
+  // With MallocAlloc, erasing a range and committing must free exactly the
+  // removed keys' nodes plus the copied splice path.
+  alloc::MallocAlloc a;
+  std::vector<std::int64_t> keys;
+  for (std::int64_t i = 0; i < 200; ++i) keys.push_back(i);
+  T t = build(a, keys, 1);
+  ASSERT_EQ(a.stats().live_blocks(), 200u);
+  t = test::apply(a, [&](auto& b) { return t.erase_range(b, 50, 150); });
+  EXPECT_EQ(t.size(), 100u);
+  EXPECT_EQ(a.stats().live_blocks(), 100u);  // no leak, no double free
+  EXPECT_TRUE(t.check_invariants());
+  T::destroy(t.root_node(), a);
+  EXPECT_EQ(a.stats().live_blocks(), 0u);
+}
+
+TEST(EraseRange, MatchesEraseLoop) {
+  alloc::Arena a;
+  util::Xoshiro256 rng(9);
+  std::set<std::int64_t> ref;
+  std::vector<std::int64_t> keys;
+  for (int i = 0; i < 300; ++i) {
+    const auto k = rng.range(0, 1000);
+    if (ref.insert(k).second) keys.push_back(k);
+  }
+  T bulk = build(a, keys, 1);
+  T loop = bulk;
+  bulk = test::apply(a, [&](auto& b) { return bulk.erase_range(b, 250, 750); });
+  for (auto it = ref.begin(); it != ref.end();) {
+    if (*it >= 250 && *it < 750) {
+      const auto k = *it;
+      loop = test::apply(a, [&](auto& b) { return loop.erase(b, k); });
+      it = ref.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  EXPECT_EQ(keys_of(bulk), keys_of(loop));
+  EXPECT_EQ(bulk.height(), loop.height());  // canonical form again
+}
+
+
+TEST(SetOps, BulkUnionAsOneAtomicUpdate) {
+  // The documented UC pattern for bulk algebra: arena + leaky reclaimer
+  // (pure ops do not retire the replaced version's dropped nodes).
+  using Smr = reclaim::LeakyReclaimer;
+  alloc::Arena arena;
+  Smr smr;
+  core::Atom<T, Smr, alloc::Arena> atom(smr, *arena.retire_backend());
+  core::Atom<T, Smr, alloc::Arena>::Ctx ctx(smr, arena);
+
+  for (std::int64_t i = 0; i < 100; ++i) {
+    atom.update(ctx, [i](T t, auto& b) { return t.insert(b, i * 2, i); });
+  }
+  // Build a delta set off to the side (a value-level persistent treap).
+  T delta;
+  for (std::int64_t i = 0; i < 50; ++i) {
+    delta = test::apply(arena, [&](auto& b) { return delta.insert(b, i * 2 + 1, -i); });
+  }
+  // One atomic transition merges the whole delta.
+  const auto before = atom.version();
+  atom.update(ctx, [&](T cur, auto& b) { return T::set_union(b, cur, delta); });
+  EXPECT_EQ(atom.version(), before + 1);
+  atom.read(ctx, [&](T t) {
+    EXPECT_EQ(t.size(), 150u);
+    EXPECT_TRUE(t.check_invariants());
+    EXPECT_TRUE(t.contains(1));   // from delta
+    EXPECT_TRUE(t.contains(0));   // from the original
+  });
+  // delta remains a valid, unchanged version.
+  EXPECT_EQ(delta.size(), 50u);
+  EXPECT_TRUE(delta.check_invariants());
+}
+
+TEST(SetOps, EraseRangeUnderAtomRetiresExactly) {
+  using Smr = reclaim::EpochReclaimer;
+  alloc::MallocAlloc a;
+  {
+    Smr smr;
+    core::Atom<T, Smr, alloc::MallocAlloc> atom(smr, *a.retire_backend());
+    core::Atom<T, Smr, alloc::MallocAlloc>::Ctx ctx(smr, a);
+    for (std::int64_t i = 0; i < 300; ++i) {
+      atom.update(ctx, [i](T t, auto& b) { return t.insert(b, i, i); });
+    }
+    atom.update(ctx, [](T t, auto& b) { return t.erase_range(b, 100, 200); });
+    atom.read(ctx, [](T t) {
+      EXPECT_EQ(t.size(), 200u);
+      EXPECT_TRUE(t.check_invariants());
+      EXPECT_EQ(t.count_range(100, 200), 0u);
+    });
+    smr.drain_all();
+    EXPECT_EQ(a.stats().live_blocks(), 200u);  // removed range fully retired
+  }
+  EXPECT_EQ(a.stats().live_blocks(), 0u);
+}
+
+}  // namespace
+}  // namespace pathcopy

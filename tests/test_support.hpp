@@ -1,0 +1,33 @@
+// Shared helpers for the test suite.
+#pragma once
+
+#include <vector>
+
+#include "alloc/malloc_alloc.hpp"
+#include "core/builder.hpp"
+#include "reclaim/retired.hpp"
+
+namespace pathcopy::test {
+
+/// Standalone builder session for constructing persistent values outside
+/// an Atom: commit the attempt and free the superseded nodes immediately
+/// (safe single-threaded — there are no concurrent readers in tests that
+/// use this).
+template <class Alloc>
+void commit_and_free(core::Builder<Alloc>& b) {
+  b.seal();
+  std::vector<reclaim::Retired> retired = b.commit();
+  reclaim::run_all(retired);
+}
+
+/// Applies one structural update outside an Atom: f(builder) -> new value.
+/// Superseded nodes are freed immediately.
+template <class Alloc, class F>
+auto apply(Alloc& alloc, F&& f) {
+  core::Builder<Alloc> b(alloc);
+  auto result = f(b);
+  commit_and_free(b);
+  return result;
+}
+
+}  // namespace pathcopy::test

@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "util/align.hpp"
+#include "util/rng.hpp"
+
+namespace pathcopy {
+namespace {
+
+TEST(Rng, SplitmixIsDeterministic) {
+  std::uint64_t s1 = 42, s2 = 42;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(util::splitmix64(s1), util::splitmix64(s2));
+  }
+}
+
+TEST(Rng, SplitmixAdvancesState) {
+  std::uint64_t s = 42;
+  const auto a = util::splitmix64(s);
+  const auto b = util::splitmix64(s);
+  EXPECT_NE(a, b);
+}
+
+TEST(Rng, Mix64IsPure) {
+  EXPECT_EQ(util::mix64(123), util::mix64(123));
+  EXPECT_NE(util::mix64(123), util::mix64(124));
+}
+
+TEST(Rng, XoshiroDeterministicPerSeed) {
+  util::Xoshiro256 a(7), b(7), c(8);
+  bool all_equal_c = true;
+  for (int i = 0; i < 64; ++i) {
+    const auto va = a();
+    EXPECT_EQ(va, b());
+    if (va != c()) all_equal_c = false;
+  }
+  EXPECT_FALSE(all_equal_c);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  util::Xoshiro256 rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+  }
+}
+
+TEST(Rng, BelowCoversRange) {
+  util::Xoshiro256 rng(2);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, RangeInclusiveBounds) {
+  util::Xoshiro256 rng(3);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 20000; ++i) {
+    const auto v = rng.range(-3, 3);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ChanceExtremes) {
+  util::Xoshiro256 rng(4);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0, 100));
+    EXPECT_TRUE(rng.chance(100, 100));
+  }
+}
+
+TEST(Rng, ChanceIsApproximatelyFair) {
+  util::Xoshiro256 rng(5);
+  int heads = 0;
+  constexpr int kTrials = 100000;
+  for (int i = 0; i < kTrials; ++i) {
+    if (rng.chance(1, 2)) ++heads;
+  }
+  EXPECT_NEAR(static_cast<double>(heads) / kTrials, 0.5, 0.02);
+}
+
+TEST(Align, RoundUp) {
+  EXPECT_EQ(util::round_up(0, 16), 0u);
+  EXPECT_EQ(util::round_up(1, 16), 16u);
+  EXPECT_EQ(util::round_up(16, 16), 16u);
+  EXPECT_EQ(util::round_up(17, 16), 32u);
+}
+
+TEST(Align, PaddedIsCacheLineSized) {
+  EXPECT_GE(sizeof(util::Padded<char>), util::kCacheLine);
+  EXPECT_EQ(alignof(util::Padded<char>), util::kCacheLine);
+}
+
+TEST(Align, PaddedAccessors) {
+  util::Padded<int> p;
+  *p = 7;
+  EXPECT_EQ(p.value, 7);
+  EXPECT_EQ(*p, 7);
+}
+
+}  // namespace
+}  // namespace pathcopy

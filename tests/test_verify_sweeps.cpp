@@ -1,0 +1,131 @@
+// Parameterized sweeps over the verification and model layers: recorded
+// Atom histories stay linearizable across thread-count × contention
+// combinations, and the simulated scaling effect holds across the
+// (eviction policy × process count) grid.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "alloc/malloc_alloc.hpp"
+#include "core/atom.hpp"
+#include "model/sim.hpp"
+#include "persist/treap.hpp"
+#include "reclaim/epoch.hpp"
+#include "util/rng.hpp"
+#include "verify/history.hpp"
+#include "verify/linearizability.hpp"
+
+namespace pathcopy {
+namespace {
+
+using T = persist::Treap<std::int64_t, std::int64_t>;
+
+// ----- linearizability across contention levels -----
+
+class LinSweep
+    : public ::testing::TestWithParam<std::tuple<int /*threads*/,
+                                                 std::int64_t /*keys*/>> {};
+
+TEST_P(LinSweep, AtomHistoryLinearizable) {
+  const auto [threads, keys] = GetParam();
+  const int ops = 1200 / threads;
+  alloc::MallocAlloc a;
+  verify::HistoryRecorder rec(static_cast<unsigned>(threads));
+  {
+    reclaim::EpochReclaimer smr;
+    core::Atom<T, reclaim::EpochReclaimer, alloc::MallocAlloc> atom(
+        smr, *a.retire_backend());
+    std::vector<std::thread> workers;
+    for (unsigned w = 0; w < static_cast<unsigned>(threads); ++w) {
+      workers.emplace_back([&, w] {
+        core::Atom<T, reclaim::EpochReclaimer, alloc::MallocAlloc>::Ctx ctx(
+            smr, a);
+        util::Xoshiro256 rng(w * 31 + 7);
+        for (int i = 0; i < ops; ++i) {
+          const std::int64_t k = rng.range(0, keys - 1);
+          switch (rng.below(3)) {
+            case 0:
+              rec.run(w, verify::OpType::kInsert, k, [&] {
+                return atom.update(ctx, [k](T t, auto& b) {
+                         return t.insert(b, k, k);
+                       }) == core::UpdateResult::kInstalled;
+              });
+              break;
+            case 1:
+              rec.run(w, verify::OpType::kErase, k, [&] {
+                return atom.update(ctx, [k](T t, auto& b) {
+                         return t.erase(b, k);
+                       }) == core::UpdateResult::kInstalled;
+              });
+              break;
+            default:
+              rec.run(w, verify::OpType::kContains, k, [&] {
+                return atom.read(ctx, [k](T t) { return t.contains(k); });
+              });
+          }
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+  }
+  const auto verdict = verify::check_set_linearizability(rec.harvest());
+  EXPECT_TRUE(verdict) << "threads=" << threads << " keys=" << keys
+                       << " key " << verdict.bad_key << ": "
+                       << verdict.reason;
+}
+
+// Keyspace is kept >= ops/keyspace ratio that bounds per-key projections
+// under the checker's 64-event cap.
+INSTANTIATE_TEST_SUITE_P(
+    Grid, LinSweep,
+    ::testing::Combine(::testing::Values(2, 3, 4),
+                       ::testing::Values<std::int64_t>(48, 96, 192)),
+    [](const auto& info) {
+      return "t" + std::to_string(std::get<0>(info.param)) + "_k" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// ----- scaling effect across (policy × P) -----
+
+class PolicySweep
+    : public ::testing::TestWithParam<
+          std::tuple<model::EvictionPolicy, std::size_t /*P*/>> {};
+
+TEST_P(PolicySweep, WriteHeavySpeedupHolds) {
+  const auto [policy, procs] = GetParam();
+  model::SimConfig cfg;
+  cfg.num_leaves = 1 << 16;
+  cfg.cache_lines = 1 << 12;
+  cfg.miss_cost = 64;
+  cfg.processes = procs;
+  cfg.ops = 8000;
+  cfg.eviction = policy;
+  cfg.seed = 11;
+  const double s = model::simulated_speedup(cfg);
+  // The paper's effect at every grid point: concurrent write-heavy UC
+  // beats sequential once P >= 4, under every replacement policy.
+  if (procs >= 4) {
+    EXPECT_GT(s, 1.0) << model::policy_name(policy) << " P=" << procs;
+  }
+  // And it never exceeds the trivial bound of P (no superlinear magic).
+  EXPECT_LT(s, static_cast<double>(procs) + 0.5)
+      << model::policy_name(policy) << " P=" << procs;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, PolicySweep,
+    ::testing::Combine(::testing::Values(model::EvictionPolicy::kLru,
+                                         model::EvictionPolicy::kFifo,
+                                         model::EvictionPolicy::kClock,
+                                         model::EvictionPolicy::kRandom),
+                       ::testing::Values<std::size_t>(4, 8, 16)),
+    [](const auto& info) {
+      return std::string(model::policy_name(std::get<0>(info.param))) + "_P" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace pathcopy

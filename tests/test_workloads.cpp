@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "bench_util/runner.hpp"
+#include "bench_util/table.hpp"
+#include "bench_util/workloads.hpp"
+
+namespace pathcopy {
+namespace {
+
+TEST(Workloads, BatchKeysAreDisjointAndUnique) {
+  const auto keys = bench::make_batch_keys(1000, 4, 250, 7);
+  std::unordered_set<std::int64_t> all;
+  for (const auto k : keys.initial) EXPECT_TRUE(all.insert(k).second);
+  for (const auto& per : keys.per_thread) {
+    EXPECT_EQ(per.size(), 250u);
+    for (const auto k : per) EXPECT_TRUE(all.insert(k).second);
+  }
+  EXPECT_EQ(all.size(), 1000u + 4u * 250u);
+}
+
+TEST(Workloads, BatchKeysDeterministicPerSeed) {
+  const auto a = bench::make_batch_keys(100, 2, 50, 9);
+  const auto b = bench::make_batch_keys(100, 2, 50, 9);
+  EXPECT_EQ(a.initial, b.initial);
+  EXPECT_EQ(a.per_thread, b.per_thread);
+  const auto c = bench::make_batch_keys(100, 2, 50, 10);
+  EXPECT_NE(a.initial, c.initial);
+}
+
+TEST(Workloads, RandomInitialInRangeWithDuplicates) {
+  bench::RandomWorkloadConfig cfg;
+  cfg.initial_inserts = 50000;
+  cfg.lo = -1000;
+  cfg.hi = 1000;
+  const auto draws = bench::make_random_initial(cfg, 3);
+  EXPECT_EQ(draws.size(), 50000u);
+  for (const auto k : draws) {
+    ASSERT_GE(k, cfg.lo);
+    ASSERT_LE(k, cfg.hi);
+  }
+  const auto unique = bench::dedup_sorted(draws);
+  // 50000 draws from 2001 values: nearly all values hit, many duplicates.
+  EXPECT_LT(unique.size(), draws.size());
+  EXPECT_GT(unique.size(), 1900u);
+  EXPECT_TRUE(std::is_sorted(unique.begin(), unique.end()));
+}
+
+TEST(Runner, SummarizeBasics) {
+  const auto s = bench::summarize({2.0, 4.0, 6.0});
+  EXPECT_DOUBLE_EQ(s.mean, 4.0);
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 6.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 2.0);
+  const auto empty = bench::summarize({});
+  EXPECT_DOUBLE_EQ(empty.mean, 0.0);
+}
+
+TEST(Runner, RunTrialsCollects) {
+  int calls = 0;
+  const auto s = bench::run_trials(5, [&] { return static_cast<double>(++calls); });
+  EXPECT_EQ(calls, 5);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+}
+
+TEST(Runner, RunTimedCountsWork) {
+  using namespace std::chrono_literals;
+  const auto run = bench::run_timed(2, 50ms, [](std::size_t, const std::atomic<bool>& stop) {
+    std::uint64_t ops = 0;
+    while (!stop.load(std::memory_order_relaxed)) ++ops;
+    return ops;
+  });
+  EXPECT_GT(run.total_ops, 0u);
+  EXPECT_GT(run.seconds, 0.04);
+  EXPECT_GT(run.ops_per_sec(), 0.0);
+}
+
+TEST(Runner, HardwareThreadsPositive) {
+  EXPECT_GE(bench::hardware_threads(), 1u);
+}
+
+TEST(Table, FormatSpeedup) {
+  EXPECT_EQ(bench::format_speedup(1.466), "1.47x");
+  EXPECT_EQ(bench::format_speedup(0.89), "0.89x");
+}
+
+TEST(Table, FormatThroughputSpacesThousands) {
+  EXPECT_EQ(bench::format_throughput(451940), "451 940");
+  EXPECT_EQ(bench::format_throughput(999), "999");
+  EXPECT_EQ(bench::format_throughput(1000000), "1 000 000");
+}
+
+TEST(Table, PrintTableShape) {
+  bench::SpeedupTable t;
+  t.title = "Test";
+  t.process_counts = {1, 4};
+  t.rows.push_back({"Batch", 451940, {0.89, 1.23}});
+  std::ostringstream os;
+  bench::print_table(os, t);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("Batch"), std::string::npos);
+  EXPECT_NE(out.find("451 940"), std::string::npos);
+  EXPECT_NE(out.find("0.89x"), std::string::npos);
+  EXPECT_NE(out.find("UC 4p"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pathcopy
