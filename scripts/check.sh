@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# One-command gate: configure, build, run the tier-1 tests, then smoke the
+# batch-combining bench for ~5 seconds. Usage: scripts/check.sh [build-dir]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+
+cmake -B "$build_dir" -S "$repo_root"
+cmake --build "$build_dir" -j "$(nproc)"
+ctest --test-dir "$build_dir" --output-on-failure -j 2
+
+# Smoke: the batch-combining bench's quick sweep (~5s) proves the batch
+# install path runs end to end and prints its table.
+"$build_dir/bench_batch_combining" --quick
+
+echo "check.sh: all gates passed"

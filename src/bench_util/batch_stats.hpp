@@ -1,0 +1,60 @@
+// Aggregation + rendering for the combining UC's batch counters.
+//
+// Worker threads own plain OpStats; benches fold them into one
+// accumulator at join time and render the batch-size histogram and
+// spine-copy savings that bench_batch_combining (and future combining
+// benches) report alongside throughput.
+#pragma once
+
+#include <cstdio>
+#include <mutex>
+
+#include "core/stats.hpp"
+
+namespace pathcopy::bench {
+
+/// Mutex-guarded fold target for per-thread OpStats. Workers call add()
+/// once, after their run (not per-op), so the lock is cold.
+class OpStatsAccumulator {
+ public:
+  void add(const core::OpStats& s) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    total_ += s;
+  }
+
+  core::OpStats snapshot() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return total_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  core::OpStats total_;
+};
+
+/// One-line batch-size histogram: share of batched installs per bucket.
+inline void print_batch_histogram(std::FILE* out, const core::OpStats& s) {
+  std::fprintf(out, "batch-size histogram (of %llu batched installs):",
+               static_cast<unsigned long long>(s.batched_installs));
+  if (s.batched_installs == 0) {
+    std::fprintf(out, " (none)\n");
+    return;
+  }
+  for (unsigned i = 0; i < core::OpStats::kBatchHistBuckets; ++i) {
+    if (s.batch_hist[i] == 0) continue;
+    std::fprintf(out, "  %s:%.1f%%", core::OpStats::batch_bucket_label(i),
+                 100.0 * static_cast<double>(s.batch_hist[i]) /
+                     static_cast<double>(s.batched_installs));
+  }
+  std::fprintf(out, "\n");
+}
+
+/// Mean spine copies saved per batched install (0 when none ran).
+inline double spine_savings_per_install(const core::OpStats& s) {
+  return s.batched_installs == 0
+             ? 0.0
+             : static_cast<double>(s.spine_copies_saved) /
+                   static_cast<double>(s.batched_installs);
+}
+
+}  // namespace pathcopy::bench

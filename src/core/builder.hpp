@@ -136,6 +136,16 @@ class Builder {
   std::size_t fresh_count() const noexcept { return fresh_.size(); }
   std::size_t superseded_count() const noexcept { return superseded_.size(); }
 
+  // Monotonic counters (they survive reset()), so a caller that spans
+  // several attempts — e.g. the combining UC measuring what one batched
+  // install copied versus what per-op application would have — can take
+  // before/after deltas instead of threading its own tallies through the
+  // structure code.
+  std::uint64_t created_count() const noexcept { return stats_.created; }
+  std::uint64_t superseded_published_count() const noexcept {
+    return stats_.superseded_published;
+  }
+
  private:
   struct FreshRec {
     void* p;

@@ -41,9 +41,15 @@
 // against the plain Atom under the paper's workloads.
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <atomic>
+#include <bit>
 #include <cstdint>
+#include <optional>
+#include <span>
+#include <thread>
+#include <type_traits>
 #include <utility>
 
 #include "core/builder.hpp"
@@ -54,6 +60,19 @@
 
 namespace pathcopy::core {
 
+/// Detects the sorted-batch bulk-update protocol (persist/batch.hpp): the
+/// structure aliases BatchOp/BatchOutcome/KeyCompare and applies a
+/// key-sorted, key-unique span in one sweep. Structures without it fall
+/// back to per-op application inside the combiner.
+template <class DS, class B>
+concept SupportsSortedBatch =
+    requires(const DS ds, B& b, std::span<const typename DS::BatchOp> ops,
+             std::span<typename DS::BatchOutcome> outs,
+             typename DS::KeyCompare cmp, typename DS::KeyType key) {
+      { ds.apply_sorted_batch(b, ops, outs) } -> std::same_as<DS>;
+      { cmp(key, key) } -> std::convertible_to<bool>;
+    };
+
 template <class DS, class Smr, class Alloc, unsigned MaxThreads = 32>
 class CombiningAtom {
  public:
@@ -61,6 +80,17 @@ class CombiningAtom {
   using RetireBackend = typename Alloc::RetireBackend;
   using Key = typename DS::KeyType;
   using Value = typename DS::ValueType;
+
+  // Announcement payloads are read by combiners racing with the owner's
+  // next announcement; the seq re-check discards any torn copy, but the
+  // copy itself must therefore be harmless on garbage bytes — i.e.
+  // trivially copyable. (std::optional<Value> of a trivially copyable
+  // Value is itself trivially copyable, so the optional wrapper that
+  // frees Value from default-constructibility keeps this property.)
+  static_assert(std::is_trivially_copyable_v<Key>,
+                "CombiningAtom keys must be trivially copyable");
+  static_assert(std::is_trivially_copyable_v<Value>,
+                "CombiningAtom values must be trivially copyable");
 
   enum class OpKind : std::uint8_t { kInsert, kErase };
 
@@ -112,12 +142,113 @@ class CombiningAtom {
 
   /// Returns true iff the key was newly inserted.
   bool insert(Ctx& ctx, unsigned slot, const Key& key, const Value& value) {
-    return run_op(ctx, slot, OpKind::kInsert, key, value);
+    return run_op(ctx, slot, OpKind::kInsert, key,
+                  std::optional<Value>(value));
   }
 
-  /// Returns true iff the key was present and removed.
+  /// Returns true iff the key was present and removed. Value need not be
+  /// default-constructible: the announcement payload is an optional that
+  /// simply stays empty for erases.
   bool erase(Ctx& ctx, unsigned slot, const Key& key) {
-    return run_op(ctx, slot, OpKind::kErase, key, Value{});
+    return run_op(ctx, slot, OpKind::kErase, key, std::nullopt);
+  }
+
+  /// One client-side batched operation (see execute_batch).
+  struct BatchRequest {
+    OpKind kind;
+    Key key;
+    std::optional<Value> value;  // engaged for inserts
+  };
+
+  /// Applies a client-supplied op sequence through the combiner's install
+  /// path: each install absorbs up to MaxThreads requests (plus any
+  /// pending per-thread announcements — helping is preserved) in one CAS,
+  /// using the sorted-batch sweep when the structure supports it. Results
+  /// land in `results_out` aligned with `reqs`, with the same semantics as
+  /// issuing the ops in order through insert()/erase(). This is the
+  /// ingest interface for callers that already hold a batch (e.g. a shard
+  /// draining a network queue), and what bench_batch_combining drives to
+  /// measure the install path at a controlled batch size.
+  void execute_batch(Ctx& ctx, std::span<const BatchRequest> reqs,
+                     std::span<bool> results_out) {
+    PC_ASSERT(results_out.size() >= reqs.size(),
+              "execute_batch result span too small");
+    BuilderT builder(*ctx.alloc);
+    std::size_t done = 0;
+    while (done < reqs.size()) {
+      const unsigned chunk = static_cast<unsigned>(
+          std::min<std::size_t>(reqs.size() - done, MaxThreads));
+      for (;;) {
+        builder.reset();
+        ++ctx.stats.attempts;
+        auto guard = smr_->pin(ctx.smr_handle, root_, version_);
+        const auto* vr = static_cast<const VersionRec*>(guard.root());
+        std::array<Gathered, kMaxGather> gathered;
+        unsigned g = gather_pending(vr, gathered);
+        for (unsigned i = 0; i < chunk; ++i) {
+          const BatchRequest& r = reqs[done + i];
+          PC_DASSERT(r.kind == OpKind::kErase || r.value.has_value(),
+                     "insert request without a value");
+          Gathered& e = gathered[g++];
+          e.slot = kRequestSlot;
+          e.seq = done + i;
+          e.kind = r.kind;
+          e.key = r.key;
+          e.value = r.value;
+        }
+        if (install_attempt(ctx, builder, vr, gathered, g, results_out) !=
+            nullptr) {
+          done += chunk;
+          break;
+        }
+      }
+    }
+  }
+
+  /// Disables/enables the sorted-batch fast path (per-op fallback). For
+  /// A/B measurement; flip only between phases, not mid-contention.
+  void set_batch_apply(bool on) noexcept {
+    batch_apply_.store(on, std::memory_order_relaxed);
+  }
+
+  /// Opens a scheduling window (one yield) between announcing and
+  /// gathering. On a machine with fewer cores than updater threads the
+  /// natural window is a whole scheduling quantum — a thread finishes
+  /// every op it starts before anyone else runs, so batches never form;
+  /// the yield lets the other runnable updaters announce first and
+  /// restores the batch sizes a real multicore would see.
+  void set_gather_window(bool on) noexcept {
+    gather_window_.store(on, std::memory_order_relaxed);
+  }
+
+  /// Single-writer bulk load of `items` (strictly increasing keys) as one
+  /// installed version — bench pre-fill, not for concurrent use.
+  template <class It>
+  void seed_sorted(Ctx& ctx, It first, It last) {
+    Builder<Alloc> builder(*ctx.alloc);
+    for (;;) {
+      builder.reset();
+      auto guard = smr_->pin(ctx.smr_handle, root_, version_);
+      const auto* vr = static_cast<const VersionRec*>(guard.root());
+      PC_ASSERT(vr->ds_root == nullptr,
+                "seed_sorted requires an empty structure");
+      DS next = DS::from_sorted(builder, first, last);
+      const VersionRec* nvr = builder.template create<VersionRec>(
+          next.root_ptr(), vr->applied_seq, vr->last_result);
+      builder.supersede(vr);
+      builder.seal();
+      const void* expected = vr;
+      if (root_.compare_exchange_strong(expected, nvr,
+                                        std::memory_order_seq_cst,
+                                        std::memory_order_relaxed)) {
+        const std::uint64_t death =
+            version_.fetch_add(1, std::memory_order_seq_cst) + 1;
+        smr_->retire_bundle(ctx.smr_handle, death, vr, nvr, builder.commit());
+        ++ctx.stats.updates;
+        return;
+      }
+      builder.rollback();
+    }
   }
 
   /// Runs f on an immutable snapshot of the current structure.
@@ -143,23 +274,53 @@ class CombiningAtom {
   /// payload. A combiner can only observe a payload newer than the seq it
   /// read if the root already moved past its pinned version — in which
   /// case its CAS is doomed and the misread candidate is discarded.
+  /// The value is optional so erase announcements need no Value at all
+  /// (Value need not be default-constructible).
   struct alignas(util::kCacheLine) AnnounceSlot {
     std::atomic<std::uint64_t> seq{0};
     OpKind kind{OpKind::kInsert};
     Key key{};
-    Value value{};
+    std::optional<Value> value{};
   };
 
+  /// A stable copy of one pending announcement taken during the gather
+  /// scan, so sorting/deduping works on data no owner can re-write.
+  struct Gathered {
+    unsigned slot;
+    std::uint64_t seq;
+    OpKind kind;
+    Key key;
+    std::optional<Value> value;
+  };
+
+  using BuilderT = Builder<Alloc>;
+  static constexpr bool kHasBatchApply = SupportsSortedBatch<DS, BuilderT>;
+  /// Sentinel slot id marking a Gathered entry as an execute_batch
+  /// request; its seq field is then the request index, and its response
+  /// goes to the caller's result span instead of the VersionRec arrays.
+  static constexpr unsigned kRequestSlot = MaxThreads;
+  /// One install can absorb every announcement slot plus one
+  /// execute_batch chunk (itself capped at MaxThreads requests).
+  static constexpr unsigned kMaxGather = 2 * MaxThreads;
+  /// Smallest gathered batch worth the sorted sweep: at B=2 the sort +
+  /// chain-collapse bookkeeping costs more than the one or two shared
+  /// spine levels save (measured in bench_batch_combining), so tiny
+  /// batches take the per-op loop.
+  static constexpr unsigned kMinBatchApply = 3;
+
   bool run_op(Ctx& ctx, unsigned slot, OpKind kind, const Key& key,
-              const Value& value) {
+              std::optional<Value> value) {
     AnnounceSlot& mine = slots_[slot];
     const std::uint64_t seq = mine.seq.load(std::memory_order_relaxed) + 1;
     mine.kind = kind;
     mine.key = key;
-    mine.value = value;
+    mine.value = std::move(value);
     mine.seq.store(seq, std::memory_order_release);
+    if (gather_window_.load(std::memory_order_relaxed)) {
+      std::this_thread::yield();  // let other runnable updaters announce
+    }
 
-    Builder<Alloc> builder(*ctx.alloc);
+    BuilderT builder(*ctx.alloc);
     for (;;) {
       builder.reset();
       ++ctx.stats.attempts;
@@ -171,52 +332,250 @@ class CombiningAtom {
         ++ctx.stats.helped_completions;
         return vr->last_result[slot];
       }
-      DS ds = DS::from_root(vr->ds_root);
-      std::array<std::uint64_t, MaxThreads> applied = vr->applied_seq;
-      std::array<bool, MaxThreads> results = vr->last_result;
-      std::uint64_t batched = 0;
-      const unsigned live = next_slot_.load(std::memory_order_acquire);
-      for (unsigned i = 0; i < live && i < MaxThreads; ++i) {
-        const std::uint64_t si = slots_[i].seq.load(std::memory_order_acquire);
-        if (si <= vr->applied_seq[i]) continue;
-        const OpKind op = slots_[i].kind;
-        const Key k = slots_[i].key;
-        const Value v = slots_[i].value;
-        if (slots_[i].seq.load(std::memory_order_acquire) != si) {
-          continue;  // re-announced mid-read; skip the torn payload
-        }
-        DS next = op == OpKind::kInsert ? ds.insert(builder, k, v)
-                                        : ds.erase(builder, k);
-        results[i] = next.root_ptr() != ds.root_ptr();
-        applied[i] = si;
-        ds = next;
-        ++batched;
-      }
-      PC_DASSERT(applied[slot] >= seq, "own announcement must be gathered");
-      const VersionRec* nvr = builder.template create<VersionRec>(
-          ds.root_ptr(), applied, results);
-      builder.supersede(vr);
-      builder.seal();
-      const void* expected = vr;
-      if (root_.compare_exchange_strong(expected, nvr,
-                                        std::memory_order_seq_cst,
-                                        std::memory_order_relaxed)) {
-        const std::uint64_t death =
-            version_.fetch_add(1, std::memory_order_seq_cst) + 1;
-        smr_->retire_bundle(ctx.smr_handle, death, vr, nvr, builder.commit());
-        ++ctx.stats.updates;
-        ctx.stats.combined_ops += batched;
+      std::array<Gathered, kMaxGather> gathered;
+      const unsigned g = gather_pending(vr, gathered);
+      const VersionRec* nvr =
+          install_attempt(ctx, builder, vr, gathered, g, {});
+      if (nvr != nullptr) {
+        PC_DASSERT(nvr->applied_seq[slot] >= seq,
+                   "own announcement must be gathered");
         return nvr->last_result[slot];
       }
+    }
+  }
+
+  /// Scans every announcement slot for pending (announced, not yet
+  /// applied relative to vr) operations and copies them into `out` in
+  /// ascending slot order. Torn payloads — an owner re-announcing while
+  /// we read — are skipped: the owner can only have moved on because some
+  /// install absorbed its previous op, so our CAS against vr is already
+  /// doomed and any choice here is discarded.
+  unsigned gather_pending(const VersionRec* vr,
+                          std::array<Gathered, kMaxGather>& out) {
+    unsigned g = 0;
+    const unsigned live = next_slot_.load(std::memory_order_acquire);
+    for (unsigned i = 0; i < live && i < MaxThreads; ++i) {
+      const std::uint64_t si = slots_[i].seq.load(std::memory_order_acquire);
+      if (si <= vr->applied_seq[i]) continue;
+      Gathered& e = out[g];
+      e.slot = i;
+      e.seq = si;
+      e.kind = slots_[i].kind;
+      e.key = slots_[i].key;
+      e.value = slots_[i].value;
+      if (slots_[i].seq.load(std::memory_order_acquire) != si) {
+        continue;  // re-announced mid-read; skip the torn payload
+      }
+      if (e.kind == OpKind::kInsert && !e.value.has_value()) {
+        continue;  // torn read straddled a re-announce; CAS is doomed
+      }
+      ++g;
+    }
+    return g;
+  }
+
+  /// Builds a candidate absorbing gathered[0, g) on top of vr and tries
+  /// to install it. Returns the new VersionRec on success (stats and
+  /// retirement done); nullptr after a lost CAS (builder rolled back).
+  const VersionRec* install_attempt(Ctx& ctx, BuilderT& builder,
+                                    const VersionRec* vr,
+                                    std::array<Gathered, kMaxGather>& gathered,
+                                    unsigned g, std::span<bool> results_out) {
+    DS ds = DS::from_root(vr->ds_root);
+    std::array<std::uint64_t, MaxThreads> applied = vr->applied_seq;
+    std::array<bool, MaxThreads> results = vr->last_result;
+    const std::uint64_t created_before = builder.created_count();
+    std::uint64_t size_before = 0;
+    bool used_batch = false;
+    std::uint64_t landed = 0;  // ops with a structural effect
+    if constexpr (kHasBatchApply) {
+      if (g >= kMinBatchApply && batch_apply_.load(std::memory_order_relaxed)) {
+        size_before = ds.size();
+        ds = apply_gathered_batch(builder, ds, gathered, g, applied, results,
+                                  results_out, landed);
+        used_batch = true;
+      }
+    }
+    if (!used_batch) {
+      // Per-op fallback: one root-to-leaf path copy per gathered op, in
+      // gather order (the legacy combining loop).
+      for (unsigned t = 0; t < g; ++t) {
+        const Gathered& e = gathered[t];
+        DS next = e.kind == OpKind::kInsert
+                      ? ds.insert(builder, e.key, *e.value)
+                      : ds.erase(builder, e.key);
+        emit_result(e, next.root_ptr() != ds.root_ptr(), applied, results,
+                    results_out);
+        ds = next;
+      }
+    }
+    const std::uint64_t created_by_ops =
+        builder.created_count() - created_before;
+
+    const VersionRec* nvr = builder.template create<VersionRec>(
+        ds.root_ptr(), applied, results);
+    builder.supersede(vr);
+    builder.seal();
+    const void* expected = vr;
+    if (!root_.compare_exchange_strong(expected, nvr,
+                                       std::memory_order_seq_cst,
+                                       std::memory_order_relaxed)) {
       builder.rollback();
       ++ctx.stats.cas_failures;
+      return nullptr;
     }
+    const std::uint64_t death =
+        version_.fetch_add(1, std::memory_order_seq_cst) + 1;
+    smr_->retire_bundle(ctx.smr_handle, death, vr, nvr, builder.commit());
+    ++ctx.stats.updates;
+    ctx.stats.combined_ops += g;
+    if (used_batch) {
+      ctx.stats.batched_installs += 1;
+      ctx.stats.batched_ops += g;
+      ctx.stats.batch_hist[OpStats::batch_bucket(g)] += 1;
+      // Spine-copy savings vs per-op application: the single-pass
+      // insert/erase copies ~one root-to-leaf path (lg n nodes) per
+      // *landing* op and nothing for no-ops, so that is the baseline;
+      // clamped at zero so mis-estimates never wrap.
+      const std::uint64_t height_est = std::bit_width(size_before + 1);
+      const std::uint64_t per_op_est = landed * (height_est + 1);
+      if (per_op_est > created_by_ops) {
+        ctx.stats.spine_copies_saved += per_op_est - created_by_ops;
+      }
+    }
+    return nvr;
+  }
+
+  /// Routes one op's response: announcement slots publish through the
+  /// VersionRec arrays, execute_batch requests through the caller's span.
+  static void emit_result(const Gathered& e, bool res,
+                          std::array<std::uint64_t, MaxThreads>& applied,
+                          std::array<bool, MaxThreads>& results,
+                          std::span<bool> results_out) {
+    if (e.slot == kRequestSlot) {
+      results_out[e.seq] = res;
+    } else {
+      results[e.slot] = res;
+      applied[e.slot] = e.seq;
+    }
+  }
+
+  /// Sorts the gathered ops by key, collapses each same-key chain (in
+  /// gather order) to the one effective op whose application leaves the
+  /// structure exactly as applying the chain per-op would, applies the
+  /// batch through one shared spine, and back-fills every chained op's
+  /// response by replaying the chain against the key's pre-batch presence
+  /// (recovered from the batch outcome).
+  DS apply_gathered_batch(BuilderT& builder, DS ds,
+                          std::array<Gathered, kMaxGather>& gathered,
+                          unsigned g,
+                          std::array<std::uint64_t, MaxThreads>& applied,
+                          std::array<bool, MaxThreads>& results,
+                          std::span<bool> results_out,
+                          std::uint64_t& landed) {
+    using BatchOp = typename DS::BatchOp;
+    using BatchOutcome = typename DS::BatchOutcome;
+    using BatchOpKind = typename DS::BatchOpKind;
+    typename DS::KeyCompare cmp;
+
+    // Key-sort; the gather scan emitted ascending slots (then requests in
+    // issue order), so a stable sort keeps that order inside each
+    // same-key chain — "later op wins" for the structural effect, earlier
+    // ops respond as if they ran first.
+    std::array<unsigned, kMaxGather> order;
+    for (unsigned i = 0; i < g; ++i) order[i] = i;
+    std::stable_sort(order.begin(), order.begin() + g,
+                     [&](unsigned a, unsigned b) {
+                       return cmp(gathered[a].key, gathered[b].key);
+                     });
+
+    std::array<BatchOp, kMaxGather> ops;
+    std::array<BatchOutcome, kMaxGather> outs;
+    std::array<unsigned, kMaxGather> chain_begin, chain_end;
+    unsigned nb = 0;
+    for (unsigned i = 0; i < g;) {
+      unsigned j = i + 1;
+      while (j < g && !cmp(gathered[order[i]].key, gathered[order[j]].key)) {
+        ++j;
+      }
+      // Effective op of the chain gathered[order[i..j)], gather order:
+      //   * no erase            → the first insert (set-style) decides;
+      //   * insert after the    → the key ends present with that insert's
+      //     last erase            value whatever came before: kAssign;
+      //   * erase last          → the key ends absent: kErase.
+      unsigned last_erase = j;  // "none"
+      for (unsigned t = i; t < j; ++t) {
+        if (gathered[order[t]].kind == OpKind::kErase) last_erase = t;
+      }
+      BatchOp& op = ops[nb];
+      op.key = gathered[order[i]].key;
+      if (last_erase == j) {
+        op.kind = BatchOpKind::kInsert;
+        op.value = gathered[order[i]].value;
+      } else {
+        unsigned reinsert = j;
+        for (unsigned t = last_erase + 1; t < j; ++t) {
+          if (gathered[order[t]].kind == OpKind::kInsert) {
+            reinsert = t;
+            break;
+          }
+        }
+        if (reinsert == j) {
+          op.kind = BatchOpKind::kErase;
+          op.value.reset();
+        } else {
+          op.kind = BatchOpKind::kAssign;
+          op.value = gathered[order[reinsert]].value;
+        }
+      }
+      chain_begin[nb] = i;
+      chain_end[nb] = j;
+      ++nb;
+      i = j;
+    }
+
+    DS next = ds.apply_sorted_batch(
+        builder, std::span<const BatchOp>(ops.data(), nb),
+        std::span<BatchOutcome>(outs.data(), nb));
+
+    for (unsigned k = 0; k < nb; ++k) {
+      // Pre-batch presence of this key, recovered from the outcome of the
+      // one op that structurally ran.
+      bool present;
+      switch (ops[k].kind) {
+        case BatchOpKind::kInsert:
+          present = outs[k] == BatchOutcome::kNoop;
+          break;
+        case BatchOpKind::kAssign:
+          present = outs[k] == BatchOutcome::kAssigned;
+          break;
+        default:
+          present = outs[k] == BatchOutcome::kErased;
+          break;
+      }
+      for (unsigned t = chain_begin[k]; t < chain_end[k]; ++t) {
+        const Gathered& e = gathered[order[t]];
+        bool res;
+        if (e.kind == OpKind::kInsert) {
+          res = !present;
+          present = true;
+        } else {
+          res = present;
+          present = false;
+        }
+        if (res) ++landed;
+        emit_result(e, res, applied, results, results_out);
+      }
+    }
+    return next;
   }
 
   alignas(util::kCacheLine) std::atomic<const void*> root_{nullptr};
   alignas(util::kCacheLine) std::atomic<std::uint64_t> version_{1};
   alignas(util::kCacheLine) std::atomic<unsigned> next_slot_{0};
   std::array<AnnounceSlot, MaxThreads> slots_{};
+  std::atomic<bool> batch_apply_{true};
+  std::atomic<bool> gather_window_{false};
   Smr* smr_;
   RetireBackend* backend_;
 };

@@ -5,11 +5,16 @@
 // quantity the paper's analysis is built on.
 #pragma once
 
+#include <array>
 #include <cstdint>
 
 namespace pathcopy::core {
 
 struct OpStats {
+  /// Histogram buckets for combining batch sizes:
+  /// 1 / 2 / 3-4 / 5-8 / 9-16 / 17-32 / 33+.
+  static constexpr unsigned kBatchHistBuckets = 7;
+
   std::uint64_t reads = 0;
   std::uint64_t updates = 0;        // update() calls that installed a version
   std::uint64_t noop_updates = 0;   // update() calls that changed nothing
@@ -18,6 +23,11 @@ struct OpStats {
   // Combining-UC extras (zero for the plain Atom):
   std::uint64_t combined_ops = 0;        // announced ops absorbed by my installs
   std::uint64_t helped_completions = 0;  // my ops completed by someone else
+  // Sorted-batch fast-path extras (zero when batching is off/unsupported):
+  std::uint64_t batched_installs = 0;  // installs that used apply_sorted_batch
+  std::uint64_t batched_ops = 0;       // announced ops absorbed by those
+  std::uint64_t spine_copies_saved = 0;  // est. per-op node copies avoided
+  std::array<std::uint64_t, kBatchHistBuckets> batch_hist{};
 
   OpStats& operator+=(const OpStats& o) noexcept {
     reads += o.reads;
@@ -27,7 +37,38 @@ struct OpStats {
     cas_failures += o.cas_failures;
     combined_ops += o.combined_ops;
     helped_completions += o.helped_completions;
+    batched_installs += o.batched_installs;
+    batched_ops += o.batched_ops;
+    spine_copies_saved += o.spine_copies_saved;
+    for (unsigned i = 0; i < kBatchHistBuckets; ++i) {
+      batch_hist[i] += o.batch_hist[i];
+    }
     return *this;
+  }
+
+  /// Bucket index for a batch of b ops (b >= 1).
+  static unsigned batch_bucket(std::uint64_t b) noexcept {
+    if (b <= 2) return b <= 1 ? 0u : 1u;
+    unsigned i = 2;
+    std::uint64_t hi = 4;
+    while (i + 1 < kBatchHistBuckets && b > hi) {
+      ++i;
+      hi <<= 1;
+    }
+    return i;
+  }
+
+  static const char* batch_bucket_label(unsigned i) noexcept {
+    static constexpr const char* kLabels[kBatchHistBuckets] = {
+        "1", "2", "3-4", "5-8", "9-16", "17-32", "33+"};
+    return i < kBatchHistBuckets ? kLabels[i] : "?";
+  }
+
+  /// Mean announced ops per batched install; 0 when none happened.
+  double mean_batch_size() const noexcept {
+    return batched_installs == 0 ? 0.0
+                                 : static_cast<double>(batched_ops) /
+                                       static_cast<double>(batched_installs);
   }
 
   /// Mean retries per successful update; 0 when uncontended.

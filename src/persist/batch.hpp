@@ -1,0 +1,47 @@
+// Vocabulary types for sorted batch application.
+//
+// A batch is a key-sorted, key-unique sequence of reified operations that
+// a persistent structure applies in one path-copying sweep (one shared
+// spine instead of one root-to-leaf copy per op). Structures that support
+// it expose
+//
+//   DS apply_sorted_batch(Builder&, std::span<const BatchOp>,
+//                         std::span<BatchOutcome>);
+//
+// and alias BatchOp/BatchOutcome as nested names, which is how the
+// combining UC detects batch support without naming concrete structures.
+//
+// kAssign exists for the combiner's duplicate-key collapse: a chain of
+// same-key announcements whose last erase is followed by an insert must
+// leave the key present with that insert's value regardless of the prior
+// state — insert-or-assign semantics, which plain set-style kInsert
+// cannot express.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+namespace pathcopy::persist {
+
+enum class BatchOpKind : std::uint8_t {
+  kInsert,  // set-style: lands only when the key is absent
+  kErase,   // removes the key when present
+  kAssign,  // insert-or-assign: lands when absent, overwrites when present
+};
+
+/// Per-op report from apply_sorted_batch, aligned with the input span.
+enum class BatchOutcome : std::uint8_t {
+  kNoop,      // no structural change (insert on present / erase on absent)
+  kInserted,  // key was absent and is now present
+  kErased,    // key was present and is now absent
+  kAssigned,  // key was present; value overwritten in place (kAssign only)
+};
+
+template <class K, class V>
+struct BatchOp {
+  BatchOpKind kind;
+  K key;
+  std::optional<V> value;  // engaged for kInsert/kAssign, ignored for kErase
+};
+
+}  // namespace pathcopy::persist

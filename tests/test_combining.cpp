@@ -10,6 +10,8 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <memory>
+#include <span>
 #include <thread>
 #include <vector>
 
@@ -179,6 +181,211 @@ TYPED_TEST(CombiningTyped, ContendedNetEffectReconciles) {
       ASSERT_EQ(present, n == 1) << "key " << k;
     }
     EXPECT_TRUE(atom.read(ctx, [](T t) { return t.check_invariants(); }));
+  }
+  EXPECT_EQ(a.stats().live_blocks(), 0u);
+}
+
+// ----- sorted-batch fast path -----
+
+using EpochCA = core::CombiningAtom<T, reclaim::EpochReclaimer,
+                                    alloc::MallocAlloc>;
+
+// Same-key collisions: a chain of ops on one key inside one batch must
+// respond exactly as if applied in order, with the later op deciding the
+// final structural state (the "later slot wins" collapse). Checked
+// deterministically through execute_batch in both modes.
+TEST(CombiningBatch, SameKeyChainsCollapseCorrectly) {
+  for (const bool batched : {false, true}) {
+    alloc::MallocAlloc a;
+    {
+      reclaim::EpochReclaimer smr;
+      EpochCA atom(smr, a);
+      atom.set_batch_apply(batched);
+      EpochCA::Ctx ctx(smr, a);
+      using Req = EpochCA::BatchRequest;
+      using K = EpochCA::OpKind;
+
+      // Key 7 absent: insert v1 lands, erase removes, insert v2 lands,
+      // insert v3 no-ops. Keys 1/2 pad the batch over the fast-path
+      // threshold. Expected results follow per-op order semantics.
+      const std::vector<Req> reqs{
+          {K::kInsert, 1, 10},      {K::kInsert, 7, 71},
+          {K::kErase, 7, std::nullopt}, {K::kInsert, 7, 72},
+          {K::kInsert, 7, 73},      {K::kInsert, 2, 20},
+      };
+      std::vector<bool> expected{true, true, true, true, false, true};
+      bool results[8] = {};
+      atom.execute_batch(ctx, reqs, std::span<bool>(results, reqs.size()));
+      for (std::size_t i = 0; i < reqs.size(); ++i) {
+        EXPECT_EQ(results[i], expected[i])
+            << "batched=" << batched << " op " << i;
+      }
+      EXPECT_TRUE(atom.read(ctx, [](T t) {
+        return t.size() == 3 && *t.find(7) == 72 && t.check_invariants();
+      }));
+      EXPECT_EQ(ctx.stats.batched_installs, batched ? 1u : 0u);
+
+      // Chain ending in an erase: key 7 present, [erase, insert v9,
+      // erase] leaves it absent; responses trace presence flips.
+      const std::vector<Req> reqs2{
+          {K::kErase, 7, std::nullopt}, {K::kInsert, 7, 90},
+          {K::kErase, 7, std::nullopt}, {K::kErase, 3, std::nullopt},
+      };
+      std::vector<bool> expected2{true, true, true, false};
+      atom.execute_batch(ctx, reqs2, std::span<bool>(results, reqs2.size()));
+      for (std::size_t i = 0; i < reqs2.size(); ++i) {
+        EXPECT_EQ(results[i], expected2[i])
+            << "batched=" << batched << " op " << i;
+      }
+      EXPECT_TRUE(atom.read(ctx, [](T t) {
+        return t.size() == 2 && !t.contains(7);
+      }));
+    }
+    EXPECT_EQ(a.stats().live_blocks(), 0u);
+  }
+}
+
+// Batch and per-op modes must be observationally identical: same
+// responses, same final contents, and — the treap being canonical — the
+// same tree for randomized request streams.
+TEST(CombiningBatch, BatchMatchesPerOpOnRandomStreams) {
+  util::Xoshiro256 rng(99);
+  for (int round = 0; round < 20; ++round) {
+    alloc::MallocAlloc a1, a2;
+    {
+      reclaim::EpochReclaimer smr1, smr2;
+      EpochCA batched(smr1, a1), per_op(smr2, a2);
+      batched.set_batch_apply(true);
+      per_op.set_batch_apply(false);
+      EpochCA::Ctx c1(smr1, a1), c2(smr2, a2);
+      using Req = EpochCA::BatchRequest;
+      using K = EpochCA::OpKind;
+
+      const std::int64_t key_range = 1 + static_cast<std::int64_t>(rng.range(0, 60));
+      for (int iter = 0; iter < 30; ++iter) {
+        const int n = 1 + static_cast<int>(rng.range(0, 24));
+        std::vector<Req> reqs;
+        for (int i = 0; i < n; ++i) {
+          const std::int64_t k = rng.range(0, key_range);
+          if (rng.chance(1, 2)) {
+            reqs.push_back(Req{K::kInsert, k, k + 1000 * iter + i});
+          } else {
+            reqs.push_back(Req{K::kErase, k, std::nullopt});
+          }
+        }
+        bool buf1[32], buf2[32];
+        batched.execute_batch(c1, reqs, std::span<bool>(buf1, n));
+        per_op.execute_batch(c2, reqs, std::span<bool>(buf2, n));
+        for (int i = 0; i < n; ++i) {
+          ASSERT_EQ(buf1[i], buf2[i]) << "round " << round << " op " << i;
+        }
+      }
+      const auto items1 = batched.read(c1, [](T t) { return t.items(); });
+      const auto items2 = per_op.read(c2, [](T t) { return t.items(); });
+      ASSERT_EQ(items1, items2) << "round " << round;
+      ASSERT_TRUE(batched.read(c1, [](T t) { return t.check_invariants(); }));
+      ASSERT_GT(c1.stats.batched_installs, 0u);
+      ASSERT_EQ(c2.stats.batched_installs, 0u);
+    }
+    EXPECT_EQ(a1.stats().live_blocks(), 0u);
+    EXPECT_EQ(a2.stats().live_blocks(), 0u);
+  }
+}
+
+// Request streams longer than the slot count split into chunked installs
+// (one CAS per MaxThreads requests), each with correct per-op results.
+TEST(CombiningBatch, LongRequestStreamChunks) {
+  alloc::MallocAlloc a;
+  {
+    reclaim::EpochReclaimer smr;
+    EpochCA atom(smr, a);  // MaxThreads = 32 -> 150 reqs = 5 chunks
+    EpochCA::Ctx ctx(smr, a);
+    using Req = EpochCA::BatchRequest;
+    std::vector<Req> reqs;
+    for (std::int64_t k = 0; k < 150; ++k) {
+      reqs.push_back(Req{EpochCA::OpKind::kInsert, k, k * 3});
+    }
+    auto out = std::make_unique<bool[]>(reqs.size());
+    atom.execute_batch(ctx, reqs, std::span<bool>(out.get(), reqs.size()));
+    for (std::size_t i = 0; i < reqs.size(); ++i) EXPECT_TRUE(out[i]);
+    EXPECT_EQ(ctx.stats.updates, 5u);
+    EXPECT_EQ(atom.size(ctx), 150u);
+    EXPECT_TRUE(atom.read(ctx, [](T t) { return t.check_invariants(); }));
+  }
+  EXPECT_EQ(a.stats().live_blocks(), 0u);
+}
+
+// Per-op result correctness under concurrent combiners with the batch
+// path hot: a tiny key range plus the gather window forces same-key
+// chains inside real gathered batches; net-effect must still reconcile
+// with the final contents, and every op must complete exactly once.
+TYPED_TEST(CombiningTyped, BatchedContendedNetEffectReconciles) {
+  alloc::MallocAlloc a;
+  constexpr int kThreads = 4;
+  constexpr int kKeys = 8;
+  {
+    TypeParam smr;
+    core::CombiningAtom<T, TypeParam, alloc::MallocAlloc> atom(smr, a);
+    atom.set_gather_window(true);
+    std::array<std::atomic<std::int64_t>, kKeys> net{};
+    std::atomic<std::uint64_t> total_ops{0}, completions{0};
+    std::vector<std::thread> workers;
+    for (int w = 0; w < kThreads; ++w) {
+      workers.emplace_back([&, w] {
+        typename core::CombiningAtom<T, TypeParam, alloc::MallocAlloc>::Ctx
+            ctx(smr, a);
+        const unsigned slot = atom.register_slot();
+        util::Xoshiro256 rng(w + 77);
+        for (int i = 0; i < 3000; ++i) {
+          const std::int64_t k = rng.range(0, kKeys - 1);
+          if (rng.chance(1, 2)) {
+            if (atom.insert(ctx, slot, k, k)) net[k].fetch_add(1);
+          } else {
+            if (atom.erase(ctx, slot, k)) net[k].fetch_sub(1);
+          }
+        }
+        total_ops += 3000;
+        completions += ctx.stats.updates + ctx.stats.helped_completions;
+      });
+    }
+    for (auto& w : workers) w.join();
+    EXPECT_EQ(completions.load(), total_ops.load());
+    typename core::CombiningAtom<T, TypeParam, alloc::MallocAlloc>::Ctx ctx(
+        smr, a);
+    for (int k = 0; k < kKeys; ++k) {
+      const std::int64_t n = net[k].load();
+      ASSERT_TRUE(n == 0 || n == 1) << "key " << k << " net " << n;
+      const bool present = atom.read(ctx, [k](T t) { return t.contains(k); });
+      ASSERT_EQ(present, n == 1) << "key " << k;
+    }
+    EXPECT_TRUE(atom.read(ctx, [](T t) { return t.check_invariants(); }));
+  }
+  EXPECT_EQ(a.stats().live_blocks(), 0u);
+}
+
+// Value types without a default constructor are announceable: erase
+// carries no payload and insert's travels in an optional.
+struct Opaque {
+  int v;
+  explicit Opaque(int x) : v(x) {}
+  bool operator==(const Opaque&) const = default;
+};
+
+TEST(CombiningBatch, ValueNeedNotBeDefaultConstructible) {
+  using OT = persist::Treap<std::int64_t, Opaque>;
+  alloc::MallocAlloc a;
+  {
+    reclaim::EpochReclaimer smr;
+    core::CombiningAtom<OT, reclaim::EpochReclaimer, alloc::MallocAlloc>
+        atom(smr, a);
+    core::CombiningAtom<OT, reclaim::EpochReclaimer, alloc::MallocAlloc>::Ctx
+        ctx(smr, a);
+    const unsigned slot = atom.register_slot();
+    EXPECT_TRUE(atom.insert(ctx, slot, 1, Opaque{11}));
+    EXPECT_FALSE(atom.insert(ctx, slot, 1, Opaque{99}));
+    EXPECT_TRUE(atom.erase(ctx, slot, 2) == false);
+    EXPECT_TRUE(atom.read(ctx, [](OT t) { return t.find(1)->v == 11; }));
+    EXPECT_TRUE(atom.erase(ctx, slot, 1));
   }
   EXPECT_EQ(a.stats().live_blocks(), 0u);
 }
