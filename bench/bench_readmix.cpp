@@ -13,8 +13,10 @@
 // Expected shape: speedup grows monotonically with the read fraction, and
 // the pure-read column scales ~linearly in P while pure-write saturates
 // near the paper's Ω(log N) bound.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <utility>
 #include <vector>
 
 #include "alloc/pool_alloc.hpp"
@@ -39,15 +41,24 @@ double run_real(std::size_t procs, unsigned read_pct, int duration_ms) {
   core::Atom<Treap, reclaim::EpochReclaimer, alloc::ThreadCache> atom(smr,
                                                                       pool);
   {
-    // Pre-fill to half the key range so reads hit roughly half the time.
+    // Pre-fill to ~half the key range so reads hit roughly half the time.
+    // seed_sorted: one path-copying install for the whole set instead of
+    // one root-to-leaf copy per initial key.
     alloc::ThreadCache cache(pool);
     core::Atom<Treap, reclaim::EpochReclaimer, alloc::ThreadCache>::Ctx ctx(
         smr, cache);
     util::Xoshiro256 rng(99);
+    std::vector<std::int64_t> keys;
+    keys.reserve(kKeyRange / 2);
     for (std::int64_t i = 0; i < kKeyRange / 2; ++i) {
-      const std::int64_t k = rng.range(0, kKeyRange);
-      atom.update(ctx, [k](Treap t, auto& b) { return t.insert(b, k, k); });
+      keys.push_back(rng.range(0, kKeyRange));
     }
+    std::sort(keys.begin(), keys.end());
+    keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+    std::vector<std::pair<std::int64_t, std::int64_t>> items;
+    items.reserve(keys.size());
+    for (const auto k : keys) items.emplace_back(k, k);
+    atom.seed_sorted(ctx, items.begin(), items.end());
   }
   const auto run = bench::run_timed(
       procs, std::chrono::milliseconds(duration_ms),

@@ -1,0 +1,201 @@
+// Store-layer bench: throughput vs shard count × UC backend on an
+// update-heavy workload (acceptance experiment for the sharding PR).
+//
+// The single-atom UC is capped by one CAS stream per structure; S shards
+// give S independent install streams. Every cell runs the same workload
+// through ShardedMap over a range router (equal-width keyspace split, so
+// per-shard streams stay local) in two ingest modes:
+//
+//   * per-op  — each thread routes point inserts/erases to the owning
+//     shard (the classic workload, one root CAS per landing op on the
+//     plain backend);
+//   * batch-B — each thread offers client batches of B ops through the
+//     cross-shard splitter, which feeds every shard's install path a
+//     key-sorted sub-batch (the combining backend applies it through the
+//     sorted sweep — one spine copy per sub-batch).
+//
+// Backends are swept through the UniversalConstruction concept: the same
+// harness instantiates the plain Atom and the CombiningAtom, which is the
+// point of the concept refactor. Per-shard install/batch accounting comes
+// from the ShardStatsBoard and is printed for the widest configuration.
+//
+// On hosts with fewer cores than threads the absolute numbers are
+// scheduler-bound (see bench_batch_combining's header); the shard-count
+// *trend* within one backend and mode remains the comparison of record.
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "alloc/pool_alloc.hpp"
+#include "alloc/thread_cache_alloc.hpp"
+#include "bench_util/runner.hpp"
+#include "core/atom.hpp"
+#include "core/combining.hpp"
+#include "persist/treap.hpp"
+#include "reclaim/epoch.hpp"
+#include "store/router.hpp"
+#include "store/shard_stats.hpp"
+#include "store/sharded_map.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace pathcopy;
+using Treap = persist::Treap<std::int64_t, std::int64_t>;
+using Smr = reclaim::EpochReclaimer;
+using TC = alloc::ThreadCache;
+using PlainUc = core::Atom<Treap, Smr, TC>;
+using CombUc = core::CombiningAtom<Treap, Smr, TC>;
+using Router = store::RangeRouter<std::int64_t>;
+
+struct Config {
+  std::size_t initial_keys = 1 << 20;  // pre-fill; key space is 2x this
+  int duration_ms = 300;
+  std::size_t threads = 4;
+  std::vector<std::size_t> shards{1, 2, 4, 8};
+  unsigned batch = 64;
+};
+
+struct Cell {
+  double ops_per_sec = 0.0;
+  core::OpStats total;
+};
+
+template <class Uc>
+Cell run_cell(const Config& cfg, std::size_t shards, bool batch_mode,
+              store::ShardStatsBoard& board) {
+  using Map = store::ShardedMap<Uc, Router>;
+  alloc::PoolBackend pool;
+  alloc::ThreadCache root_cache(pool);
+  const auto key_space = static_cast<std::int64_t>(2 * cfg.initial_keys);
+  Map map(shards, root_cache,
+          shards == 1 ? Router{} : Router::uniform(0, key_space, shards));
+  {
+    typename Map::Session seeder(map, root_cache);
+    std::vector<std::pair<std::int64_t, std::int64_t>> items;
+    items.reserve(cfg.initial_keys);
+    for (std::size_t i = 0; i < cfg.initial_keys; ++i) {
+      items.emplace_back(static_cast<std::int64_t>(2 * i),
+                         static_cast<std::int64_t>(i));
+    }
+    seeder.seed_sorted(items.begin(), items.end());
+  }
+  for (std::size_t s = 0; s < shards; ++s) {
+    // One-yield announce window so combining batches form on hosts with
+    // fewer cores than threads (no-op for the plain backend).
+    if constexpr (requires(Uc& u) { u.set_gather_window(true); }) {
+      map.shard(s).set_gather_window(true);
+    }
+  }
+  const auto run = bench::run_timed(
+      cfg.threads, std::chrono::milliseconds(cfg.duration_ms),
+      [&](std::size_t tid, const std::atomic<bool>& stop) -> std::uint64_t {
+        alloc::ThreadCache cache(pool);
+        typename Map::Session sess(map, cache);
+        util::Xoshiro256 rng(tid * 104729 + 31);
+        std::uint64_t ops = 0;
+        if (batch_mode) {
+          using Req = typename Map::BatchRequest;
+          using K = typename Map::OpKind;
+          std::vector<Req> reqs(cfg.batch, Req{K::kInsert, 0, 0});
+          const auto out = std::make_unique<bool[]>(cfg.batch);
+          while (!stop.load(std::memory_order_relaxed)) {
+            for (unsigned i = 0; i < cfg.batch; ++i) {
+              const std::int64_t k = rng.range(0, key_space - 1);
+              reqs[i] = rng.chance(1, 2) ? Req{K::kInsert, k, k}
+                                         : Req{K::kErase, k, std::nullopt};
+            }
+            sess.execute_batch(reqs, std::span<bool>(out.get(), cfg.batch));
+            ops += cfg.batch;
+          }
+        } else {
+          while (!stop.load(std::memory_order_relaxed)) {
+            const std::int64_t k = rng.range(0, key_space - 1);
+            if (rng.chance(1, 2)) {
+              sess.insert(k, k);
+            } else {
+              sess.erase(k);
+            }
+            ++ops;
+          }
+        }
+        sess.fold_into(board);
+        return ops;
+      });
+  Cell cell;
+  cell.ops_per_sec = run.ops_per_sec();
+  cell.total = board.total();
+  return cell;
+}
+
+/// Runs one backend's shard sweep and returns the batch-ingest board of
+/// the widest configuration (for the per-shard stats printout).
+template <class Uc>
+std::unique_ptr<store::ShardStatsBoard> sweep_backend(const Config& cfg,
+                                                      const char* name) {
+  std::unique_ptr<store::ShardStatsBoard> widest;
+  for (const std::size_t s : cfg.shards) {
+    store::ShardStatsBoard per_op_board(s);
+    const Cell per_op = run_cell<Uc>(cfg, s, /*batch_mode=*/false,
+                                     per_op_board);
+    auto batch_board = std::make_unique<store::ShardStatsBoard>(s);
+    const Cell batch = run_cell<Uc>(cfg, s, /*batch_mode=*/true, *batch_board);
+    const core::OpStats& bt = batch.total;
+    const double batched_pct =
+        bt.updates == 0 ? 0.0
+                        : 100.0 * static_cast<double>(bt.batched_installs) /
+                              static_cast<double>(bt.updates);
+    std::printf("%-9s  %6zu  %13.0f  %13.0f  %10.2f  %8.1f%%\n", name, s,
+                per_op.ops_per_sec, batch.ops_per_sec, bt.mean_batch_size(),
+                batched_pct);
+    if (s == cfg.shards.back()) widest = std::move(batch_board);
+  }
+  return widest;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Config cfg;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      cfg.initial_keys = 1 << 16;
+      cfg.duration_ms = 80;
+      cfg.shards = {1, 4};
+    } else if (std::strcmp(argv[i], "--duration-ms") == 0 && i + 1 < argc) {
+      cfg.duration_ms = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      cfg.threads = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--initial") == 0 && i + 1 < argc) {
+      cfg.initial_keys = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--quick] [--threads N] [--duration-ms N]"
+                   " [--initial N]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  std::printf("### store: sharded treap, %zu threads, 100%% updates, "
+              "%zu initial keys, range router, %d ms/cell "
+              "(%zu hw thread(s))\n\n",
+              cfg.threads, cfg.initial_keys, cfg.duration_ms,
+              bench::hardware_threads());
+  std::printf("%-9s  %6s  %13s  %13s  %10s  %9s\n", "backend", "shards",
+              "per-op ops/s", "batch-64 ops/s", "mean batch", "batched%");
+
+  sweep_backend<PlainUc>(cfg, "atom");
+  const auto widest = sweep_backend<CombUc>(cfg, "combining");
+
+  if (widest != nullptr) {
+    std::printf("\nper-shard stats, widest combining batch-ingest cell "
+                "(%zu shards):\n",
+                widest->shards());
+    widest->print(stdout);
+  }
+  return 0;
+}

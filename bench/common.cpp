@@ -82,7 +82,9 @@ double seq_random_ops_per_sec(const std::vector<std::int64_t>& initial,
   return static_cast<double>(ops) / secs;
 }
 
-// UC harness: pre-fills once, then runs each trial with P workers.
+// UC harness: pre-fills once (seed_sorted: one path-copying install for
+// the whole initial set, not one per key), then runs each trial with P
+// workers.
 
 struct UcFixture {
   explicit UcFixture(const std::vector<std::int64_t>& initial)
@@ -95,9 +97,7 @@ struct UcFixture {
     std::vector<std::pair<std::int64_t, std::int64_t>> items;
     items.reserve(sorted.size());
     for (const auto k : sorted) items.emplace_back(k, k);
-    atom.update(ctx, [&](T, auto& b) {
-      return T::from_sorted(b, items.begin(), items.end());
-    });
+    atom.seed_sorted(ctx, items.begin(), items.end());
   }
 
   alloc::PoolBackend pool;

@@ -14,4 +14,8 @@ ctest --test-dir "$build_dir" --output-on-failure -j 2
 # install path runs end to end and prints its table.
 "$build_dir/bench_batch_combining" --quick
 
+# Smoke: the store layer's quick sweep proves ShardedMap drives both UC
+# backends (concept conformance at runtime) and the cross-shard splitter.
+"$build_dir/bench_sharded" --quick
+
 echo "check.sh: all gates passed"

@@ -17,10 +17,12 @@
 
 #include <atomic>
 #include <cstdint>
+#include <span>
 #include <utility>
 
 #include "core/builder.hpp"
 #include "core/thread_context.hpp"
+#include "core/universal.hpp"
 #include "util/align.hpp"
 #include "util/assert.hpp"
 
@@ -38,6 +40,16 @@ class Atom {
   using Node = typename DS::Node;
   using Ctx = ThreadContext<Smr, Alloc>;
   using RetireBackend = typename Alloc::RetireBackend;
+  // Unified universal-construction vocabulary (core/universal.hpp). The
+  // Key/Value aliases degrade to placeholders for non-map structures so
+  // the surface below still declares; bodies instantiate only on use.
+  using Structure = DS;
+  using SmrType = Smr;
+  using AllocType = Alloc;
+  using Key = typename detail::KeyOf<DS>::type;
+  using Value = typename detail::ValueOf<DS>::type;
+  using OpKind = core::OpKind;
+  using BatchRequest = core::BatchRequest<Key, Value>;
 
   /// The retire backend is kept for teardown: the destructor frees the
   /// final version through it. It must outlive the Atom.
@@ -46,6 +58,16 @@ class Atom {
       smr_->note_root(root_.load(std::memory_order_relaxed), 1);
     }
   }
+
+  /// Uniform-construction form (UniversalConstruction concept): grabs the
+  /// retire backend from the allocator view, like CombiningAtom does. The
+  /// constrained template keeps the overload out of play when Alloc *is*
+  /// its own retire backend (MallocAlloc), where the primary constructor
+  /// already accepts the allocator directly.
+  template <class A>
+    requires(std::same_as<A, Alloc> &&
+             !std::same_as<Alloc, typename Alloc::RetireBackend>)
+  Atom(Smr& smr, A& alloc) : Atom(smr, *alloc.retire_backend()) {}
 
   Atom(const Atom&) = delete;
   Atom& operator=(const Atom&) = delete;
@@ -127,6 +149,61 @@ class Atom {
   }
 
   Smr& reclaimer() noexcept { return *smr_; }
+
+  // ----- unified universal-construction surface (core/universal.hpp) -----
+
+  /// The plain Atom has no announcement slots; register_slot exists so
+  /// store-layer code can treat both backends uniformly. The returned slot
+  /// is accepted — and ignored — by insert/erase.
+  unsigned register_slot() noexcept { return 0; }
+
+  /// Returns true iff the key was newly inserted (reified counterpart of
+  /// update-with-a-lambda; the slot is unused here).
+  bool insert(Ctx& ctx, unsigned /*slot*/, const Key& key, const Value& value) {
+    return update(ctx, [&](DS cur, Builder<Alloc>& b) {
+             return cur.insert(b, key, value);
+           }) == UpdateResult::kInstalled;
+  }
+
+  /// Returns true iff the key was present and removed.
+  bool erase(Ctx& ctx, unsigned /*slot*/, const Key& key) {
+    return update(ctx, [&](DS cur, Builder<Alloc>& b) {
+             return cur.erase(b, key);
+           }) == UpdateResult::kInstalled;
+  }
+
+  /// Span-based batch ingest, aligned with CombiningAtom::execute_batch.
+  /// The single-CAS Atom has no shared install path to amortize, so this
+  /// degrades to the per-op retry loop — one CAS per landing op — which is
+  /// exactly the baseline the combining backend's batching is measured
+  /// against. Results land in `results_out` aligned with `reqs`.
+  void execute_batch(Ctx& ctx, std::span<const BatchRequest> reqs,
+                     std::span<bool> results_out) {
+    PC_ASSERT(results_out.size() >= reqs.size(),
+              "execute_batch result span too small");
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+      const BatchRequest& r = reqs[i];
+      PC_DASSERT(r.kind == OpKind::kErase || r.value.has_value(),
+                 "insert request without a value");
+      results_out[i] = r.kind == OpKind::kInsert
+                           ? insert(ctx, 0, r.key, *r.value)
+                           : erase(ctx, 0, r.key);
+    }
+  }
+
+  /// Single-writer bulk load of [first, last) (strictly increasing keys)
+  /// as one installed version — pre-fill, not for concurrent use.
+  template <class It>
+    requires requires(Builder<Alloc>& b, It f, It l) {
+      DS::from_sorted(b, f, l);
+    }
+  void seed_sorted(Ctx& ctx, It first, It last) {
+    update(ctx, [&](DS cur, Builder<Alloc>& b) {
+      PC_ASSERT(cur.root_ptr() == nullptr,
+                "seed_sorted requires an empty structure");
+      return DS::from_sorted(b, first, last);
+    });
+  }
 
  private:
   alignas(util::kCacheLine) std::atomic<const void*> root_{nullptr};

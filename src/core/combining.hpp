@@ -55,6 +55,7 @@
 #include "core/builder.hpp"
 #include "core/node_base.hpp"
 #include "core/thread_context.hpp"
+#include "core/universal.hpp"
 #include "util/align.hpp"
 #include "util/assert.hpp"
 
@@ -78,6 +79,10 @@ class CombiningAtom {
  public:
   using Ctx = ThreadContext<Smr, Alloc>;
   using RetireBackend = typename Alloc::RetireBackend;
+  // Unified universal-construction vocabulary (core/universal.hpp).
+  using Structure = DS;
+  using SmrType = Smr;
+  using AllocType = Alloc;
   using Key = typename DS::KeyType;
   using Value = typename DS::ValueType;
 
@@ -92,7 +97,7 @@ class CombiningAtom {
   static_assert(std::is_trivially_copyable_v<Value>,
                 "CombiningAtom values must be trivially copyable");
 
-  enum class OpKind : std::uint8_t { kInsert, kErase };
+  using OpKind = core::OpKind;
 
   /// The unit the root pointer addresses: structure root + the response
   /// state of every announcement slot. Immutable once published, like any
@@ -154,11 +159,7 @@ class CombiningAtom {
   }
 
   /// One client-side batched operation (see execute_batch).
-  struct BatchRequest {
-    OpKind kind;
-    Key key;
-    std::optional<Value> value;  // engaged for inserts
-  };
+  using BatchRequest = core::BatchRequest<Key, Value>;
 
   /// Applies a client-supplied op sequence through the combiner's install
   /// path: each install absorbs up to MaxThreads requests (plus any
@@ -267,6 +268,8 @@ class CombiningAtom {
   std::size_t size(Ctx& ctx) const {
     return read(ctx, [](DS snapshot) { return snapshot.size(); });
   }
+
+  Smr& reclaimer() noexcept { return *smr_; }
 
  private:
   /// One announcement slot. The owner writes payload fields, then bumps

@@ -1,0 +1,131 @@
+// UniversalConstruction: the one vocabulary every UC backend speaks.
+//
+// PR 1 left the repo with two universal constructions — the paper's
+// single-CAS Atom and the PSim-style CombiningAtom — each exposing an
+// ad-hoc surface. The store layer (src/store) multiplies UC instances
+// behind one facade and must construct, drive, and account for them
+// generically, so the surface is nailed down once here: a universal
+// construction is anything that can
+//
+//   * be built from a reclaimer and an allocator view,
+//   * register per-updater slots (a no-op for slotless backends),
+//   * run reified map operations (insert/erase with per-op bool results),
+//   * read immutable snapshots and probe size/version,
+//   * ingest a client-side batch through its install path
+//     (execute_batch), and
+//   * bulk-seed an empty structure from a sorted range (seed_sorted).
+//
+// Atom and CombiningAtom both model the concept; ShardedMap is written
+// against it alone, which is what lets one bench harness sweep
+// backend × shard-count × structure.
+//
+// Op reification (OpKind / BatchRequest) lives here rather than in
+// combining.hpp because every batch-capable backend shares it: a request
+// names the operation, the key, and an optional payload (erases carry
+// none) — exactly the information a helping combiner or a shard router
+// needs. The generic-lambda Atom::update stays backend-specific: a
+// helping-based UC cannot execute an arbitrary closure from another
+// thread's announcement, so the portable update vocabulary is the
+// reified one.
+#pragma once
+
+#include <concepts>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace pathcopy::core {
+
+/// The reified operations every UC backend understands.
+enum class OpKind : std::uint8_t { kInsert, kErase };
+
+/// One client-side operation for UC::execute_batch. The value is optional
+/// so erase requests need no Value at all (Value need not be
+/// default-constructible).
+template <class K, class V>
+struct BatchRequest {
+  OpKind kind;
+  K key;
+  std::optional<V> value;  // engaged for inserts
+};
+
+namespace detail {
+
+/// Placeholders standing in for Key/Value when the wrapped structure is
+/// not a map (e.g. a heap under an Atom): the unified surface still
+/// *declares* cleanly — member bodies are only instantiated on use — and
+/// the concept below rejects such backends via the KeyType check.
+struct NoKey {};
+struct NoValue {};
+
+template <class DS, class = void>
+struct KeyOf {
+  using type = NoKey;
+};
+template <class DS>
+struct KeyOf<DS, std::void_t<typename DS::KeyType>> {
+  using type = typename DS::KeyType;
+};
+
+template <class DS, class = void>
+struct ValueOf {
+  using type = NoValue;
+};
+template <class DS>
+struct ValueOf<DS, std::void_t<typename DS::ValueType>> {
+  using type = typename DS::ValueType;
+};
+
+}  // namespace detail
+
+/// Reads a snapshot's size — a named functor because a concept cannot
+/// portably spell "read() accepts any generic lambda"; one concrete,
+/// representative reader is enough to pin the read() shape down.
+struct SnapshotSizeProbe {
+  template <class DS>
+  std::size_t operator()(DS snapshot) const {
+    return snapshot.size();
+  }
+};
+
+/// The contract the store layer is written against. See the header
+/// comment for the prose version.
+template <class UC>
+concept UniversalConstruction =
+    requires {
+      typename UC::Structure;
+      typename UC::SmrType;
+      typename UC::AllocType;
+      typename UC::Ctx;
+      typename UC::Key;
+      typename UC::Value;
+      typename UC::BatchRequest;
+      typename UC::OpKind;
+    } &&
+    std::same_as<typename UC::Key, typename UC::Structure::KeyType> &&
+    std::same_as<typename UC::Value, typename UC::Structure::ValueType> &&
+    std::constructible_from<UC, typename UC::SmrType&,
+                            typename UC::AllocType&> &&
+    requires(UC uc, const UC cuc, typename UC::Ctx& ctx, unsigned slot,
+             const typename UC::Key& key, const typename UC::Value& value,
+             std::span<const typename UC::BatchRequest> reqs,
+             std::span<bool> results,
+             typename std::vector<std::pair<typename UC::Key,
+                                            typename UC::Value>>::const_iterator
+                 it) {
+      { uc.register_slot() } -> std::convertible_to<unsigned>;
+      { uc.insert(ctx, slot, key, value) } -> std::same_as<bool>;
+      { uc.erase(ctx, slot, key) } -> std::same_as<bool>;
+      { cuc.read(ctx, SnapshotSizeProbe{}) } -> std::convertible_to<std::size_t>;
+      { cuc.size(ctx) } -> std::convertible_to<std::size_t>;
+      { cuc.version() } -> std::convertible_to<std::uint64_t>;
+      { uc.execute_batch(ctx, reqs, results) };
+      { uc.seed_sorted(ctx, it, it) };
+      { uc.reclaimer() } -> std::same_as<typename UC::SmrType&>;
+    };
+
+}  // namespace pathcopy::core

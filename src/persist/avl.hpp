@@ -7,18 +7,30 @@
 // extra node, which the structure ablation (E8) quantifies.
 //
 // Height- and size-augmented; erase pulls up the in-order successor.
+//
+// Supports the sorted-batch protocol (persist/batch.hpp): unlike the
+// treap, whose canonical shape lets the batch recursion be driven by op
+// priorities, the AVL sweep is driven by the existing tree — ops are
+// partitioned around each node's key — and arbitrary height changes from
+// landing ops are repaired by a path-copying join (Blelloch et al.'s
+// "just join" recursion), so the result is a valid AVL tree whose
+// *contents* (not shape — AVL is history-dependent) match per-op
+// application.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <tuple>
 #include <unordered_set>
 #include <utility>
 #include <vector>
 
 #include "core/node_base.hpp"
+#include "persist/batch.hpp"
 #include "util/assert.hpp"
+#include "util/small_vec.hpp"
 
 namespace pathcopy::persist {
 
@@ -27,6 +39,10 @@ class AvlTree {
  public:
   using KeyType = K;
   using ValueType = V;
+  using KeyCompare = Cmp;
+  using BatchOp = persist::BatchOp<K, V>;
+  using BatchOpKind = persist::BatchOpKind;
+  using BatchOutcome = persist::BatchOutcome;
   struct Node : core::PNode {
     K key;
     V value;
@@ -145,6 +161,43 @@ class AvlTree {
   AvlTree erase(B& b, const K& key) const {
     if (!contains(key)) return *this;
     return AvlTree{erase_rec(b, root_, key)};
+  }
+
+  /// O(n) bulk construction from strictly increasing (key, value) pairs.
+  /// The midpoint build yields a perfectly size-balanced tree (subtree
+  /// sizes differ by at most 1 at every node), which satisfies the AVL
+  /// height invariant by construction.
+  template <class B, class It>
+  static AvlTree from_sorted(B& b, It first, It last) {
+    std::vector<std::pair<K, V>> items(first, last);
+    const std::size_t n = items.size();
+    for (std::size_t i = 1; i < n; ++i) {
+      PC_ASSERT(Cmp{}(items[i - 1].first, items[i].first),
+                "from_sorted requires strictly increasing keys");
+    }
+    return AvlTree{build_sorted_rec(b, items, 0, n)};
+  }
+
+  /// Applies a key-sorted, key-unique op batch in one path-copying sweep
+  /// and reports a per-op outcome (aligned with `ops`). Contents are
+  /// exactly those of applying the ops one at a time; the whole batch
+  /// shares one copied spine — untouched subtrees are returned by pointer
+  /// (an all-noop batch returns the same root with zero allocations) and
+  /// subtrees reshaped by landing ops are repaired with O(height-delta)
+  /// join steps instead of one root-to-leaf copy per op.
+  template <class B>
+  AvlTree apply_sorted_batch(B& b, std::span<const BatchOp> ops,
+                             std::span<BatchOutcome> outcomes) const {
+    PC_ASSERT(outcomes.size() >= ops.size(),
+              "apply_sorted_batch outcome span too small");
+    if (ops.empty()) return *this;
+    Cmp cmp;
+    for (std::size_t i = 1; i < ops.size(); ++i) {
+      PC_ASSERT(cmp(ops[i - 1].key, ops[i].key),
+                "apply_sorted_batch requires strictly increasing keys");
+    }
+    BatchCtx ctx{ops, outcomes};
+    return AvlTree{apply_batch_rec(b, root_, ctx, 0, ops.size())};
   }
 
   // ----- structural utilities -----
@@ -280,6 +333,134 @@ class AvlTree {
     if (n->left == nullptr) return {n->key, n->value, n->right};
     auto [k, v, nl] = pop_min(b, n->left);
     return {k, v, balance(b, n->key, n->value, nl, n->right)};
+  }
+
+  template <class B>
+  static const Node* build_sorted_rec(B& b,
+                                      const std::vector<std::pair<K, V>>& items,
+                                      std::size_t lo, std::size_t hi) {
+    if (lo == hi) return nullptr;
+    const std::size_t mid = lo + (hi - lo) / 2;
+    const Node* l = build_sorted_rec(b, items, lo, mid);
+    const Node* r = build_sorted_rec(b, items, mid + 1, hi);
+    return mk(b, items[mid].first, items[mid].second, l, r);
+  }
+
+  // --- sorted-batch application ---
+
+  /// Joins l < (k, v) < r where l and r may differ in height arbitrarily
+  /// (the batch recursion hands back reshaped subtrees). Descends the
+  /// taller side's inner spine until the height gap closes to <= 1, then
+  /// links; every unwind step is a balance() whose inputs differ by at
+  /// most 2, so the result is a valid AVL tree in O(|h(l) - h(r)|) copies.
+  template <class B>
+  static const Node* join(B& b, const K& k, const V& v, const Node* l,
+                          const Node* r) {
+    const std::uint32_t hl = height_of(l);
+    const std::uint32_t hr = height_of(r);
+    if (hl > hr + 1) {
+      b.supersede(l);
+      return balance(b, l->key, l->value, l->left, join(b, k, v, l->right, r));
+    }
+    if (hr > hl + 1) {
+      b.supersede(r);
+      return balance(b, r->key, r->value, join(b, k, v, l, r->left), r->right);
+    }
+    return mk(b, k, v, l, r);
+  }
+
+  /// Joins l < r without a middle key (the batch erased it): pulls up r's
+  /// minimum as the new pivot.
+  template <class B>
+  static const Node* join2(B& b, const Node* l, const Node* r) {
+    if (r == nullptr) return l;
+    auto [k, v, nr] = pop_min(b, r);
+    return join(b, k, v, l, nr);
+  }
+
+  /// Inline scratch capacity for the batch-tail builder; combiner batches
+  /// are at most 2x the announcement-slot count.
+  static constexpr std::size_t kInlineBatch = 128;
+
+  struct BatchCtx {
+    std::span<const BatchOp> ops;
+    std::span<BatchOutcome> out;
+  };
+
+  // Core of apply_sorted_batch: applies ops[lo, hi) to subtree n. The
+  // recursion is tree-driven — ops are partitioned around n->key with a
+  // binary search — and each level relinks its (possibly reshaped)
+  // children with join, so untouched ranges return their subtree by
+  // pointer and only the contested spine is copied.
+  template <class B>
+  static const Node* apply_batch_rec(B& b, const Node* n, BatchCtx& ctx,
+                                     std::size_t lo, std::size_t hi) {
+    if (lo == hi) return n;  // untouched subtree: shared, zero copies
+    if (n == nullptr) return build_batch_inserts(b, ctx, lo, hi);
+    Cmp cmp;
+    std::size_t a = lo, z = hi;
+    while (a < z) {
+      const std::size_t mid = a + (z - a) / 2;
+      if (cmp(ctx.ops[mid].key, n->key)) {
+        a = mid + 1;
+      } else {
+        z = mid;
+      }
+    }
+    const bool has_eq = a < hi && !cmp(n->key, ctx.ops[a].key);
+    const Node* l = apply_batch_rec(b, n->left, ctx, lo, a);
+    const Node* r = apply_batch_rec(b, n->right, ctx, has_eq ? a + 1 : a, hi);
+    if (has_eq) {
+      const BatchOp& op = ctx.ops[a];
+      switch (op.kind) {
+        case BatchOpKind::kErase:
+          ctx.out[a] = BatchOutcome::kErased;
+          b.supersede(n);
+          return join2(b, l, r);
+        case BatchOpKind::kAssign:
+          ctx.out[a] = BatchOutcome::kAssigned;
+          b.supersede(n);
+          return join(b, n->key, *op.value, l, r);
+        case BatchOpKind::kInsert:
+          ctx.out[a] = BatchOutcome::kNoop;  // set-style: value kept
+          break;
+      }
+    }
+    if (l == n->left && r == n->right) return n;  // children untouched
+    b.supersede(n);
+    return join(b, n->key, n->value, l, r);
+  }
+
+  // Batch tail that ran off the tree: erases are no-ops, the surviving
+  // inserts/assigns build their balanced subtree directly via the same
+  // midpoint scheme as from_sorted.
+  template <class B>
+  static const Node* build_batch_inserts(B& b, BatchCtx& ctx, std::size_t lo,
+                                         std::size_t hi) {
+    util::SmallVec<std::size_t, kInlineBatch> land;  // ops that insert
+    for (std::size_t i = lo; i < hi; ++i) {
+      if (ctx.ops[i].kind == BatchOpKind::kErase) {
+        ctx.out[i] = BatchOutcome::kNoop;
+      } else {
+        ctx.out[i] = BatchOutcome::kInserted;
+        land.push_back(i);
+      }
+    }
+    if (land.empty()) return nullptr;
+    return build_land_rec(b, ctx, land, 0, land.size());
+  }
+
+  template <class B>
+  static const Node* build_land_rec(
+      B& b, const BatchCtx& ctx,
+      const util::SmallVec<std::size_t, kInlineBatch>& land, std::size_t lo,
+      std::size_t hi) {
+    if (lo == hi) return nullptr;
+    const std::size_t mid = lo + (hi - lo) / 2;
+    const Node* l = build_land_rec(b, ctx, land, lo, mid);
+    const Node* r = build_land_rec(b, ctx, land, mid + 1, hi);
+    const BatchOp& op = ctx.ops[land[mid]];
+    return mk(b, op.key, *op.value, l, r);
   }
 
   template <class F>

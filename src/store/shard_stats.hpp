@@ -1,0 +1,93 @@
+// Per-shard OpStats roll-up for the store layer.
+//
+// Each Session owns plain per-shard counters (one OpStats per shard, no
+// atomics on the hot path). At the end of a run every worker folds its
+// session into a ShardStatsBoard — a mutex-guarded, per-shard accumulator
+// — and the bench/report side reads per-shard and whole-store totals from
+// one place. This is the sharded analogue of bench_util's
+// OpStatsAccumulator, kept in src/store because the per-shard breakdown
+// (which shard absorbed the installs, where the CAS failures concentrate,
+// who formed batches) is store-layer vocabulary, not bench plumbing.
+#pragma once
+
+#include <cstdio>
+#include <mutex>
+#include <vector>
+
+#include "core/stats.hpp"
+#include "util/assert.hpp"
+
+namespace pathcopy::store {
+
+class ShardStatsBoard {
+ public:
+  explicit ShardStatsBoard(std::size_t shards) : per_shard_(shards) {}
+
+  /// Folds one thread's per-shard counters in. Called once per worker at
+  /// the end of its run (not per-op), so the lock is cold.
+  void add(std::size_t shard, const core::OpStats& s) {
+    PC_ASSERT(shard < per_shard_.size(), "shard index out of range");
+    const std::lock_guard<std::mutex> lock(mu_);
+    per_shard_[shard] += s;
+  }
+
+  /// Folds a whole Session (anything exposing shard_stats(i)).
+  template <class Session>
+  void add_session(const Session& session) {
+    for (std::size_t i = 0; i < per_shard_.size(); ++i) {
+      add(i, session.shard_stats(i));
+    }
+  }
+
+  std::size_t shards() const noexcept { return per_shard_.size(); }
+
+  core::OpStats shard(std::size_t i) const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return per_shard_[i];
+  }
+
+  core::OpStats total() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    core::OpStats t;
+    for (const core::OpStats& s : per_shard_) t += s;
+    return t;
+  }
+
+  /// Per-shard table: installs, retry pressure, and batch formation. The
+  /// "batched%" column is the share of installs that went through the
+  /// sorted-sweep path — the quantity shard-count sweeps move.
+  void print(std::FILE* out) const {
+    std::fprintf(out, "%6s  %10s  %10s  %12s  %9s  %11s\n", "shard",
+                 "installs", "noops", "cas-fail/op", "batched%", "mean batch");
+    core::OpStats t;
+    for (std::size_t i = 0; i < per_shard_.size(); ++i) {
+      const core::OpStats s = shard(i);
+      t += s;
+      print_row(out, i, s);
+    }
+    std::fprintf(out, "%6s  %10llu  %10llu  %12.3f  %8.1f%%  %11.2f\n",
+                 "total", static_cast<unsigned long long>(t.updates),
+                 static_cast<unsigned long long>(t.noop_updates),
+                 t.failure_ratio(), batched_pct(t), t.mean_batch_size());
+  }
+
+ private:
+  static double batched_pct(const core::OpStats& s) {
+    return s.updates == 0 ? 0.0
+                          : 100.0 * static_cast<double>(s.batched_installs) /
+                                static_cast<double>(s.updates);
+  }
+
+  static void print_row(std::FILE* out, std::size_t i,
+                        const core::OpStats& s) {
+    std::fprintf(out, "%6zu  %10llu  %10llu  %12.3f  %8.1f%%  %11.2f\n", i,
+                 static_cast<unsigned long long>(s.updates),
+                 static_cast<unsigned long long>(s.noop_updates),
+                 s.failure_ratio(), batched_pct(s), s.mean_batch_size());
+  }
+
+  mutable std::mutex mu_;
+  std::vector<core::OpStats> per_shard_;
+};
+
+}  // namespace pathcopy::store

@@ -1,0 +1,339 @@
+// ShardedMap: an ordered map partitioned across S independent universal-
+// construction instances.
+//
+// The paper's UC funnels every update through one Read/CAS register; PR 1
+// widened what one CAS can carry (sorted batch-apply), and this layer
+// multiplies the registers themselves. Each shard is a full UC — its own
+// root atom, reclaimer domain, and version counter — so S shards give S
+// concurrent install streams and S times the batch-formation opportunity
+// (a shard's combiner gathers only its own keyspace slice, which is a
+// denser, more local stream — the regime where the sorted sweep wins).
+//
+// The map is written purely against the UniversalConstruction concept
+// (core/universal.hpp): any backend modeling it — the plain Atom, the
+// CombiningAtom, future ones — plugs in unchanged, which is how the test
+// suite and bench_sharded sweep backend × shard-count from one harness.
+//
+// Layering (see src/store/README.md):
+//
+//   ShardedMap / Session      routing, batch splitting, cross-shard reads
+//        │  UniversalConstruction concept
+//   Atom / CombiningAtom      install path, helping, version publication
+//        │  path-copying structure API
+//   Treap / AvlTree / ...     split/merge/join sweeps over immutable nodes
+//
+// Consistency model: each shard is linearizable on its own. Cross-shard
+// reads (size, ordered iteration) compose independently-pinned per-shard
+// snapshots — every shard's contribution is a real version of that shard,
+// but the S pins are not atomic with each other. Snapshot-consistent
+// cross-shard reads are a ROADMAP follow-on (composing the per-shard
+// version counters into a vector clock).
+//
+// Threading model: the map and its shards are shared; each worker thread
+// owns one Session (per-shard reclaimer registrations + announcement
+// slots + stats). Sessions must not outlive the map. Combining backends
+// never recycle announcement slots, so at most MaxThreads sessions may
+// ever be created against one map.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "core/stats.hpp"
+#include "core/universal.hpp"
+#include "store/router.hpp"
+#include "util/assert.hpp"
+
+namespace pathcopy::store {
+
+template <core::UniversalConstruction Uc,
+          class RouterT = HashRouter<typename Uc::Key>>
+  requires RouterFor<RouterT, typename Uc::Key>
+class ShardedMap {
+ public:
+  using Key = typename Uc::Key;
+  using Value = typename Uc::Value;
+  using Structure = typename Uc::Structure;
+  using Smr = typename Uc::SmrType;
+  using Alloc = typename Uc::AllocType;
+  using Ctx = typename Uc::Ctx;
+  using OpKind = typename Uc::OpKind;
+  using BatchRequest = typename Uc::BatchRequest;
+  using Router = RouterT;
+
+  /// `alloc` is the allocator view used to build the shards' initial
+  /// (empty) versions; its retire backend must outlive the map, like for
+  /// a single UC. Each shard gets its own reclaimer domain.
+  ShardedMap(std::size_t shards, Alloc& alloc, RouterT router = RouterT{})
+      : router_(std::move(router)) {
+    PC_ASSERT(shards >= 1, "ShardedMap needs at least one shard");
+    PC_ASSERT(router_.compatible(shards),
+              "router incompatible with this shard count");
+    shards_.reserve(shards);
+    for (std::size_t i = 0; i < shards; ++i) {
+      shards_.push_back(std::make_unique<ShardRec>(alloc));
+    }
+  }
+
+  ShardedMap(const ShardedMap&) = delete;
+  ShardedMap& operator=(const ShardedMap&) = delete;
+
+  std::size_t shard_count() const noexcept { return shards_.size(); }
+  const RouterT& router() const noexcept { return router_; }
+  std::size_t shard_of(const Key& key) const {
+    return router_(key, shards_.size());
+  }
+  Uc& shard(std::size_t i) { return shards_[i]->uc; }
+
+  class Session;
+
+ private:
+  /// Declaration order is destruction order in reverse: the UC is torn
+  /// down (freeing the final version through the allocator backend)
+  /// before its reclaimer drains.
+  struct ShardRec {
+    Smr smr;
+    Uc uc;
+    explicit ShardRec(Alloc& alloc) : uc(smr, alloc) {}
+  };
+
+  std::vector<std::unique_ptr<ShardRec>> shards_;
+  RouterT router_;
+};
+
+/// Per-thread handle on a ShardedMap: one reclaimer registration, one
+/// announcement slot, and one OpStats per shard. Create on the owning
+/// thread, do not share, destroy before the map.
+template <core::UniversalConstruction Uc, class RouterT>
+  requires RouterFor<RouterT, typename Uc::Key>
+class ShardedMap<Uc, RouterT>::Session {
+ public:
+  Session(ShardedMap& map, Alloc& alloc) : map_(&map) {
+    const std::size_t n = map.shard_count();
+    ctxs_.reserve(n);
+    slots_.reserve(n);
+    split_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      ctxs_.emplace_back(map.shards_[i]->smr, alloc);
+      slots_.push_back(map.shards_[i]->uc.register_slot());
+    }
+  }
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+  Session(Session&&) noexcept = default;
+
+  // ----- point operations (routed to the owning shard) -----
+
+  bool insert(const Key& key, const Value& value) {
+    const std::size_t s = map_->shard_of(key);
+    return map_->shards_[s]->uc.insert(ctxs_[s], slots_[s], key, value);
+  }
+
+  bool erase(const Key& key) {
+    const std::size_t s = map_->shard_of(key);
+    return map_->shards_[s]->uc.erase(ctxs_[s], slots_[s], key);
+  }
+
+  bool contains(const Key& key) {
+    const std::size_t s = map_->shard_of(key);
+    return map_->shards_[s]->uc.read(
+        ctxs_[s], [&](auto snapshot) { return snapshot.contains(key); });
+  }
+
+  std::optional<Value> find(const Key& key) {
+    const std::size_t s = map_->shard_of(key);
+    return map_->shards_[s]->uc.read(
+        ctxs_[s], [&](auto snapshot) -> std::optional<Value> {
+          const Value* v = snapshot.find(key);
+          return v == nullptr ? std::nullopt : std::optional<Value>(*v);
+        });
+  }
+
+  /// Runs f on an immutable snapshot of the shard owning `key` — the
+  /// single-shard window where reads stay fully linearizable.
+  template <class F>
+  decltype(auto) read_shard_of(const Key& key, F&& f) {
+    const std::size_t s = map_->shard_of(key);
+    return map_->shards_[s]->uc.read(ctxs_[s], std::forward<F>(f));
+  }
+
+  // ----- cross-shard composed reads -----
+
+  /// Sum of per-shard sizes; each addend is linearizable, the sum is not
+  /// atomic across shards (see the consistency note in the header).
+  std::size_t size() {
+    std::size_t total = 0;
+    for (std::size_t s = 0; s < map_->shard_count(); ++s) {
+      total += map_->shards_[s]->uc.size(ctxs_[s]);
+    }
+    return total;
+  }
+
+  /// Ordered in-order visit of (key, value) across every shard. With an
+  /// order-preserving router this is per-shard traversal in shard order;
+  /// otherwise per-shard snapshots are collected and k-way merged.
+  template <class F>
+  void for_each_ordered(F&& f) {
+    if constexpr (RouterT::kOrderPreserving) {
+      for (std::size_t s = 0; s < map_->shard_count(); ++s) {
+        map_->shards_[s]->uc.read(ctxs_[s], [&](auto snapshot) {
+          snapshot.for_each(f);
+          return 0;
+        });
+      }
+    } else {
+      std::vector<std::vector<std::pair<Key, Value>>> parts = snapshot_items();
+      merge_ordered(parts, f);
+    }
+  }
+
+  std::vector<std::pair<Key, Value>> items() {
+    std::vector<std::pair<Key, Value>> out;
+    for_each_ordered([&](const Key& k, const Value& v) {
+      out.emplace_back(k, v);
+    });
+    return out;
+  }
+
+  // ----- batch ingest (split across shards) -----
+
+  /// Splits a client batch into per-shard, key-sorted sub-batches (stable
+  /// on the original order, so same-key chains keep their issue order and
+  /// per-op semantics survive the reorder — ops on distinct keys commute,
+  /// and same-key ops always land on the same shard), feeds each shard's
+  /// install path, and scatters the per-op results back into
+  /// `results_out` aligned with `reqs`.
+  void execute_batch(std::span<const BatchRequest> reqs,
+                     std::span<bool> results_out) {
+    PC_ASSERT(results_out.size() >= reqs.size(),
+              "execute_batch result span too small");
+    const std::size_t n_shards = map_->shard_count();
+    if (n_shards == 1) {
+      map_->shards_[0]->uc.execute_batch(ctxs_[0], reqs, results_out);
+      return;
+    }
+    for (auto& idx : split_) idx.clear();
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+      split_[map_->shard_of(reqs[i].key)].push_back(i);
+    }
+    for (std::size_t s = 0; s < n_shards; ++s) {
+      std::vector<std::size_t>& idx = split_[s];
+      if (idx.empty()) continue;
+      std::stable_sort(idx.begin(), idx.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         return key_less(reqs[a].key, reqs[b].key);
+                       });
+      sub_reqs_.clear();
+      for (const std::size_t i : idx) sub_reqs_.push_back(reqs[i]);
+      if (sub_results_cap_ < idx.size()) {
+        sub_results_ = std::make_unique<bool[]>(idx.size());
+        sub_results_cap_ = idx.size();
+      }
+      map_->shards_[s]->uc.execute_batch(
+          ctxs_[s], std::span<const BatchRequest>(sub_reqs_),
+          std::span<bool>(sub_results_.get(), idx.size()));
+      for (std::size_t j = 0; j < idx.size(); ++j) {
+        results_out[idx[j]] = sub_results_[j];
+      }
+    }
+  }
+
+  /// Single-writer bulk load of strictly increasing (key, value) pairs:
+  /// partitions the run into per-shard slices (each still sorted) and
+  /// seeds every non-empty shard in one install.
+  template <class It>
+  void seed_sorted(It first, It last) {
+    std::vector<std::vector<std::pair<Key, Value>>> parts(map_->shard_count());
+    for (It it = first; it != last; ++it) {
+      parts[map_->shard_of(it->first)].push_back(*it);
+    }
+    for (std::size_t s = 0; s < parts.size(); ++s) {
+      if (parts[s].empty()) continue;
+      map_->shards_[s]->uc.seed_sorted(ctxs_[s], parts[s].begin(),
+                                       parts[s].end());
+    }
+  }
+
+  // ----- stats -----
+
+  const core::OpStats& shard_stats(std::size_t s) const {
+    return ctxs_[s].stats;
+  }
+
+  /// Whole-store roll-up of this session's counters.
+  core::OpStats stats() const {
+    core::OpStats total;
+    for (const Ctx& ctx : ctxs_) total += ctx.stats;
+    return total;
+  }
+
+  /// Folds this session into a cross-thread accumulator (anything with
+  /// add(shard, OpStats) — see store/shard_stats.hpp).
+  template <class Board>
+  void fold_into(Board& board) const {
+    for (std::size_t s = 0; s < ctxs_.size(); ++s) {
+      board.add(s, ctxs_[s].stats);
+    }
+  }
+
+ private:
+  static bool key_less(const Key& a, const Key& b) {
+    if constexpr (requires { typename Structure::KeyCompare; }) {
+      return typename Structure::KeyCompare{}(a, b);
+    } else {
+      return std::less<Key>{}(a, b);
+    }
+  }
+
+  std::vector<std::vector<std::pair<Key, Value>>> snapshot_items() {
+    std::vector<std::vector<std::pair<Key, Value>>> parts;
+    parts.reserve(map_->shard_count());
+    for (std::size_t s = 0; s < map_->shard_count(); ++s) {
+      parts.push_back(map_->shards_[s]->uc.read(ctxs_[s], [](auto snapshot) {
+        return snapshot.items();
+      }));
+    }
+    return parts;
+  }
+
+  /// S-way merge over per-shard sorted runs; S is small (tens), so a
+  /// linear head scan beats heap bookkeeping.
+  template <class F>
+  static void merge_ordered(
+      std::vector<std::vector<std::pair<Key, Value>>>& parts, F&& f) {
+    std::vector<std::size_t> head(parts.size(), 0);
+    for (;;) {
+      std::size_t best = parts.size();
+      for (std::size_t s = 0; s < parts.size(); ++s) {
+        if (head[s] == parts[s].size()) continue;
+        if (best == parts.size() ||
+            key_less(parts[s][head[s]].first, parts[best][head[best]].first)) {
+          best = s;
+        }
+      }
+      if (best == parts.size()) return;
+      const auto& [k, v] = parts[best][head[best]];
+      f(k, v);
+      ++head[best];
+    }
+  }
+
+  ShardedMap* map_;
+  std::vector<Ctx> ctxs_;
+  std::vector<unsigned> slots_;
+  // Batch-split scratch, reused across execute_batch calls.
+  std::vector<std::vector<std::size_t>> split_;
+  std::vector<BatchRequest> sub_reqs_;
+  std::unique_ptr<bool[]> sub_results_;
+  std::size_t sub_results_cap_ = 0;
+};
+
+}  // namespace pathcopy::store

@@ -1,16 +1,22 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <optional>
+#include <set>
+#include <span>
+#include <utility>
 #include <vector>
 
 #include "alloc/arena_alloc.hpp"
 #include "alloc/malloc_alloc.hpp"
 #include "core/atom.hpp"
+#include "core/universal.hpp"
 #include "persist/treap.hpp"
 #include "reclaim/epoch.hpp"
 #include "reclaim/hazard_roots.hpp"
 #include "reclaim/leaky.hpp"
 #include "reclaim/watermark.hpp"
+#include "util/rng.hpp"
 
 namespace pathcopy {
 namespace {
@@ -169,6 +175,83 @@ TEST(AtomWatermark, SnapshotReadsOldVersionWhileWritersAdvance) {
 
     snap.release();
     smr.drain_all();
+  }
+  EXPECT_EQ(a.stats().live_blocks(), 0u);
+}
+
+// ----- unified universal-construction surface (core/universal.hpp) -----
+
+// The plain Atom models the same concept the store layer drives the
+// combining backend through.
+static_assert(core::UniversalConstruction<
+              core::Atom<T, reclaim::EpochReclaimer, alloc::MallocAlloc>>);
+
+TYPED_TEST(AtomTyped, ReifiedInsertEraseMatchSetOracle) {
+  alloc::MallocAlloc a;
+  {
+    TypeParam smr;
+    core::Atom<T, TypeParam, alloc::MallocAlloc> atom(smr, *a.retire_backend());
+    typename core::Atom<T, TypeParam, alloc::MallocAlloc>::Ctx ctx(smr, a);
+    const unsigned slot = atom.register_slot();  // vocabulary no-op
+    std::set<std::int64_t> oracle;
+    util::Xoshiro256 rng(3);
+    for (int i = 0; i < 1500; ++i) {
+      const std::int64_t k = rng.range(-40, 40);
+      if (rng.chance(1, 2)) {
+        ASSERT_EQ(atom.insert(ctx, slot, k, k), oracle.insert(k).second);
+      } else {
+        ASSERT_EQ(atom.erase(ctx, slot, k), oracle.erase(k) > 0);
+      }
+    }
+    ASSERT_EQ(atom.size(ctx), oracle.size());
+  }
+  EXPECT_EQ(a.stats().live_blocks(), 0u);
+}
+
+TYPED_TEST(AtomTyped, ExecuteBatchDegradesToPerOpLoop) {
+  alloc::MallocAlloc a;
+  {
+    TypeParam smr;
+    using Atom = core::Atom<T, TypeParam, alloc::MallocAlloc>;
+    Atom atom(smr, *a.retire_backend());
+    typename Atom::Ctx ctx(smr, a);
+    using Req = typename Atom::BatchRequest;
+    using K = typename Atom::OpKind;
+    // Same-key chain semantics fall out of per-op order for free.
+    const std::vector<Req> reqs{
+        {K::kInsert, 1, 10},          {K::kInsert, 7, 71},
+        {K::kErase, 7, std::nullopt}, {K::kInsert, 7, 72},
+        {K::kInsert, 7, 73},          {K::kErase, 9, std::nullopt},
+    };
+    const std::vector<bool> expected{true, true, true, true, false, false};
+    bool results[8] = {};
+    atom.execute_batch(ctx, reqs, std::span<bool>(results, reqs.size()));
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+      EXPECT_EQ(results[i], expected[i]) << "op " << i;
+    }
+    EXPECT_TRUE(atom.read(ctx, [](T t) {
+      return t.size() == 2 && *t.find(7) == 72 && t.check_invariants();
+    }));
+    // One CAS per landing op, no batched installs: the measured baseline.
+    EXPECT_EQ(ctx.stats.updates, 4u);
+    EXPECT_EQ(ctx.stats.noop_updates, 2u);
+    EXPECT_EQ(ctx.stats.batched_installs, 0u);
+  }
+  EXPECT_EQ(a.stats().live_blocks(), 0u);
+}
+
+TYPED_TEST(AtomTyped, SeedSortedBulkLoadsInOneInstall) {
+  alloc::MallocAlloc a;
+  {
+    TypeParam smr;
+    core::Atom<T, TypeParam, alloc::MallocAlloc> atom(smr, *a.retire_backend());
+    typename core::Atom<T, TypeParam, alloc::MallocAlloc>::Ctx ctx(smr, a);
+    std::vector<std::pair<std::int64_t, std::int64_t>> items;
+    for (std::int64_t k = 0; k < 500; ++k) items.emplace_back(k, k * 2);
+    atom.seed_sorted(ctx, items.begin(), items.end());
+    EXPECT_EQ(atom.version(), 2u);  // exactly one installed version
+    EXPECT_EQ(atom.size(ctx), 500u);
+    EXPECT_TRUE(atom.read(ctx, [](T t) { return t.check_invariants(); }));
   }
   EXPECT_EQ(a.stats().live_blocks(), 0u);
 }

@@ -126,7 +126,7 @@ TEST(Builder, StatsTrackEachCategory) {
     (void)b.commit();
   }
   core::Builder<alloc::MallocAlloc> b(a);
-  b.create<TestNode>(1);
+  const TestNode* live = b.create<TestNode>(1);
   const TestNode* dead = b.create<TestNode>(2);
   b.supersede(dead);
   b.supersede(published);
@@ -139,6 +139,10 @@ TEST(Builder, StatsTrackEachCategory) {
   reclaim::run_all(retired);
   // One live node remains (value 1); clean it up.
   EXPECT_EQ(a.stats().live_blocks(), 1u);
+  live->~TestNode();
+  a.deallocate(const_cast<TestNode*>(live), sizeof(TestNode),
+               alignof(TestNode));
+  EXPECT_EQ(a.stats().live_blocks(), 0u);
 }
 
 TEST(Builder, WorksWithArena) {

@@ -17,6 +17,7 @@
 
 #include "alloc/malloc_alloc.hpp"
 #include "core/combining.hpp"
+#include "persist/avl.hpp"
 #include "persist/treap.hpp"
 #include "reclaim/epoch.hpp"
 #include "reclaim/hazard_roots.hpp"
@@ -361,6 +362,65 @@ TYPED_TEST(CombiningTyped, BatchedContendedNetEffectReconciles) {
     EXPECT_TRUE(atom.read(ctx, [](T t) { return t.check_invariants(); }));
   }
   EXPECT_EQ(a.stats().live_blocks(), 0u);
+}
+
+// The sorted-batch fast path is auto-detected per structure: both the
+// treap and (since the store PR) the AVL tree support it.
+static_assert(core::SupportsSortedBatch<T, core::Builder<alloc::MallocAlloc>>);
+static_assert(
+    core::SupportsSortedBatch<persist::AvlTree<std::int64_t, std::int64_t>,
+                              core::Builder<alloc::MallocAlloc>>);
+
+// AVL under the combining UC: batched and per-op modes must agree on
+// responses and contents for randomized request streams — same check the
+// treap gets in BatchMatchesPerOpOnRandomStreams, minus the shape
+// comparison (AVL is history-dependent).
+TEST(CombiningBatch, AvlBatchMatchesPerOpOnRandomStreams) {
+  using Avl = persist::AvlTree<std::int64_t, std::int64_t>;
+  using AvlCA =
+      core::CombiningAtom<Avl, reclaim::EpochReclaimer, alloc::MallocAlloc>;
+  util::Xoshiro256 rng(55);
+  for (int round = 0; round < 10; ++round) {
+    alloc::MallocAlloc a1, a2;
+    {
+      reclaim::EpochReclaimer smr1, smr2;
+      AvlCA batched(smr1, a1), per_op(smr2, a2);
+      batched.set_batch_apply(true);
+      per_op.set_batch_apply(false);
+      AvlCA::Ctx c1(smr1, a1), c2(smr2, a2);
+      using Req = AvlCA::BatchRequest;
+      using K = AvlCA::OpKind;
+
+      const std::int64_t key_range =
+          1 + static_cast<std::int64_t>(rng.range(0, 60));
+      for (int iter = 0; iter < 30; ++iter) {
+        const int n = 1 + static_cast<int>(rng.range(0, 24));
+        std::vector<Req> reqs;
+        for (int i = 0; i < n; ++i) {
+          const std::int64_t k = rng.range(0, key_range);
+          if (rng.chance(1, 2)) {
+            reqs.push_back(Req{K::kInsert, k, k + 1000 * iter + i});
+          } else {
+            reqs.push_back(Req{K::kErase, k, std::nullopt});
+          }
+        }
+        bool buf1[32], buf2[32];
+        batched.execute_batch(c1, reqs, std::span<bool>(buf1, n));
+        per_op.execute_batch(c2, reqs, std::span<bool>(buf2, n));
+        for (int i = 0; i < n; ++i) {
+          ASSERT_EQ(buf1[i], buf2[i]) << "round " << round << " op " << i;
+        }
+      }
+      const auto items1 = batched.read(c1, [](Avl t) { return t.items(); });
+      const auto items2 = per_op.read(c2, [](Avl t) { return t.items(); });
+      ASSERT_EQ(items1, items2) << "round " << round;
+      ASSERT_TRUE(batched.read(c1, [](Avl t) { return t.check_invariants(); }));
+      ASSERT_GT(c1.stats.batched_installs, 0u);
+      ASSERT_EQ(c2.stats.batched_installs, 0u);
+    }
+    EXPECT_EQ(a1.stats().live_blocks(), 0u);
+    EXPECT_EQ(a2.stats().live_blocks(), 0u);
+  }
 }
 
 // Value types without a default constructor are announceable: erase

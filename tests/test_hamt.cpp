@@ -147,8 +147,11 @@ TEST(Hamt, EraseCollapsesToCanonicalForm) {
   EXPECT_EQ(t.height(), 1u);  // collapsed to a bare leaf
 }
 
+// Collision tests run on MallocAlloc: collision leaves own heap storage
+// (their entry vector), which the arena's no-op frees would leak — the
+// retire pipeline must run their destructors.
 TEST(Hamt, CollisionNodesStoreAndRetrieve) {
-  alloc::Arena a;
+  alloc::MallocAlloc a;
   HClash t;
   // 40 keys, <=4 distinct hashes: at least one collision bucket of >=10.
   t = insert_all(a, t, iota_keys(40));
@@ -158,19 +161,23 @@ TEST(Hamt, CollisionNodesStoreAndRetrieve) {
     ASSERT_NE(t.find(k), nullptr);
     ASSERT_EQ(*t.find(k), k * 10);
   }
+  HClash::destroy(t.root_node(), a);
+  EXPECT_EQ(a.stats().live_blocks(), 0u);
 }
 
 TEST(Hamt, CollisionInsertOrAssign) {
-  alloc::Arena a;
+  alloc::MallocAlloc a;
   HClash t = insert_all(a, HClash{}, iota_keys(12));
   t = test::apply(a, [&](auto& b) { return t.insert_or_assign(b, 8, -1); });
   EXPECT_EQ(*t.find(8), -1);
   EXPECT_EQ(t.size(), 12u);
   EXPECT_TRUE(t.check_invariants());
+  HClash::destroy(t.root_node(), a);
+  EXPECT_EQ(a.stats().live_blocks(), 0u);
 }
 
 TEST(Hamt, CollisionEraseDownToLeaf) {
-  alloc::Arena a;
+  alloc::MallocAlloc a;
   HClash t = insert_all(a, HClash{}, {0, 4, 8, 12});  // all hash to 0
   EXPECT_EQ(t.size(), 4u);
   for (const std::int64_t k : {0, 4, 8}) {
@@ -181,6 +188,7 @@ TEST(Hamt, CollisionEraseDownToLeaf) {
   EXPECT_NE(t.find(12), nullptr);
   t = test::apply(a, [&](auto& b) { return t.erase(b, 12); });
   EXPECT_TRUE(t.empty());
+  EXPECT_EQ(a.stats().live_blocks(), 0u);
 }
 
 TEST(Hamt, PersistenceOldVersionUnchanged) {
@@ -251,7 +259,7 @@ TEST(Hamt, RandomOpsAgainstOracle) {
 }
 
 TEST(Hamt, ClashHashRandomOpsAgainstOracle) {
-  alloc::Arena a;
+  alloc::MallocAlloc a;
   HClash t;
   std::map<std::int64_t, std::int64_t> oracle;
   util::Xoshiro256 rng(31);
@@ -267,6 +275,8 @@ TEST(Hamt, ClashHashRandomOpsAgainstOracle) {
     ASSERT_EQ(t.size(), oracle.size());
     if (i % 100 == 0) { ASSERT_TRUE(t.check_invariants()); }
   }
+  HClash::destroy(t.root_node(), a);
+  EXPECT_EQ(a.stats().live_blocks(), 0u);
 }
 
 TEST(Hamt, DestroyFreesEverything) {
