@@ -32,6 +32,7 @@
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "alloc/pool_alloc.hpp"
@@ -39,7 +40,12 @@
 #include "bench_util/batch_stats.hpp"
 #include "bench_util/runner.hpp"
 #include "core/combining.hpp"
+#include "persist/avl.hpp"
+#include "persist/btree.hpp"
+#include "persist/external_bst.hpp"
+#include "persist/rbt.hpp"
 #include "persist/treap.hpp"
+#include "persist/wbt.hpp"
 #include "reclaim/epoch.hpp"
 #include "util/rng.hpp"
 
@@ -47,8 +53,10 @@ namespace {
 
 using namespace pathcopy;
 using Treap = persist::Treap<std::int64_t, std::int64_t>;
-using CA = core::CombiningAtom<Treap, reclaim::EpochReclaimer,
-                               alloc::ThreadCache, 64>;
+template <class DS>
+using CAFor = core::CombiningAtom<DS, reclaim::EpochReclaimer,
+                                  alloc::ThreadCache, 64>;
+using CA = CAFor<Treap>;
 
 struct Config {
   std::size_t initial_keys = 1 << 20;  // pre-fill; key space is 2x this
@@ -57,15 +65,17 @@ struct Config {
   std::vector<std::size_t> threads{1, 2, 4, 8};
   std::vector<int> update_pcts{100, 50};
   std::vector<unsigned> offered_batches{2, 8, 16, 32, 64};
+  std::vector<unsigned> matrix_batches{8, 64};  // structure-matrix sweep
 };
 
-struct Harness {
+template <class DS>
+struct HarnessT {
   alloc::PoolBackend pool;
   reclaim::EpochReclaimer smr;
   alloc::ThreadCache root_cache{pool};
-  CA atom{smr, root_cache};
+  CAFor<DS> atom{smr, root_cache};
 
-  explicit Harness(const Config& cfg, bool batched) {
+  explicit HarnessT(const Config& cfg, bool batched) {
     atom.set_batch_apply(batched);
     std::vector<std::pair<std::int64_t, std::int64_t>> items;
     items.reserve(cfg.initial_keys);
@@ -73,10 +83,11 @@ struct Harness {
       items.emplace_back(static_cast<std::int64_t>(2 * i),
                          static_cast<std::int64_t>(i));
     }
-    CA::Ctx ctx(smr, root_cache);
+    typename CAFor<DS>::Ctx ctx(smr, root_cache);
     atom.seed_sorted(ctx, items.begin(), items.end());
   }
 };
+using Harness = HarnessT<Treap>;
 
 struct ModeResult {
   double ops_per_sec = 0.0;
@@ -85,9 +96,11 @@ struct ModeResult {
 
 // ----- Section 1: install path at a controlled batch size -----
 
+template <class DS>
 ModeResult run_install_path(const Config& cfg, unsigned batch, bool batched,
                             std::int64_t hot_range) {
-  Harness h(cfg, batched);
+  using CAx = CAFor<DS>;
+  HarnessT<DS> h(cfg, batched);
   const std::int64_t key_space =
       hot_range > 0 ? hot_range
                     : static_cast<std::int64_t>(2 * cfg.initial_keys);
@@ -96,27 +109,27 @@ ModeResult run_install_path(const Config& cfg, unsigned batch, bool batched,
       1, std::chrono::milliseconds(cfg.duration_ms),
       [&](std::size_t, const std::atomic<bool>& stop) -> std::uint64_t {
         alloc::ThreadCache cache(h.pool);
-        CA::Ctx ctx(h.smr, cache);
+        typename CAx::Ctx ctx(h.smr, cache);
         util::Xoshiro256 rng(17);
-        std::vector<CA::BatchRequest> reqs(batch,
-                                           CA::BatchRequest{
-                                               CA::OpKind::kInsert, 0, 0});
-        std::vector<bool> out(batch);
+        std::vector<typename CAx::BatchRequest> reqs(
+            batch, typename CAx::BatchRequest{CAx::OpKind::kInsert, 0, 0});
         std::uint64_t ops = 0;
         while (!stop.load(std::memory_order_relaxed)) {
           for (unsigned i = 0; i < batch; ++i) {
             const std::int64_t k = rng.range(0, key_space - 1);
             if (rng.chance(1, 2)) {
-              reqs[i] = CA::BatchRequest{CA::OpKind::kInsert, k, k};
+              reqs[i] = typename CAx::BatchRequest{CAx::OpKind::kInsert, k, k};
             } else {
-              reqs[i] = CA::BatchRequest{CA::OpKind::kErase, k, std::nullopt};
+              reqs[i] = typename CAx::BatchRequest{CAx::OpKind::kErase, k,
+                                                   std::nullopt};
             }
           }
           // std::vector<bool> has no contiguous bool storage; a small
           // stack array keeps the span interface honest.
           bool results[64];
           h.atom.execute_batch(
-              ctx, std::span<const CA::BatchRequest>(reqs.data(), batch),
+              ctx,
+              std::span<const typename CAx::BatchRequest>(reqs.data(), batch),
               std::span<bool>(results, batch));
           ops += batch;
         }
@@ -153,10 +166,12 @@ void section_install_path(const Config& cfg) {
   for (const Locality& loc : locs) {
     for (const unsigned b : cfg.offered_batches) {
       const ModeResult per_op = median_of([&] {
-        return run_install_path(cfg, b, /*batched=*/false, loc.hot_range);
+        return run_install_path<Treap>(cfg, b, /*batched=*/false,
+                                       loc.hot_range);
       });
       const ModeResult batched = median_of([&] {
-        return run_install_path(cfg, b, /*batched=*/true, loc.hot_range);
+        return run_install_path<Treap>(cfg, b, /*batched=*/true,
+                                       loc.hot_range);
       });
       const double speedup = per_op.ops_per_sec == 0.0
                                  ? 0.0
@@ -166,6 +181,49 @@ void section_install_path(const Config& cfg) {
                   bench::spine_savings_per_install(batched.stats));
     }
   }
+  std::printf("\n");
+}
+
+// ----- Section 1b: the full E8 structure matrix through the install path -----
+
+void section_structure_matrix(const Config& cfg) {
+  std::printf("--- structure matrix: every SupportsSortedBatch structure "
+              "through the same install path (B ops/install, 100%% updates, "
+              "hot-256 + uniform) ---\n\n");
+  std::printf("%-8s  %-9s  %3s  %12s  %12s  %8s  %12s\n", "struct",
+              "locality", "B", "per-op ops/s", "batch ops/s", "speedup",
+              "saved/install");
+  const auto sweep = [&](const char* name, auto tag) {
+    using DS = typename decltype(tag)::type;
+    struct Cell {
+      const char* loc;
+      std::int64_t hot;
+    };
+    const Cell cells[] = {{"hot-256", 256}, {"uniform", 0}};
+    for (const Cell& cell : cells) {
+      for (const unsigned b : cfg.matrix_batches) {
+        const ModeResult per_op =
+            run_install_path<DS>(cfg, b, /*batched=*/false, cell.hot);
+        const ModeResult batched =
+            run_install_path<DS>(cfg, b, /*batched=*/true, cell.hot);
+        const double speedup = per_op.ops_per_sec == 0.0
+                                   ? 0.0
+                                   : batched.ops_per_sec / per_op.ops_per_sec;
+        std::printf("%-8s  %-9s  %3u  %12.0f  %12.0f  %7.2fx  %12.1f\n", name,
+                    cell.loc, b, per_op.ops_per_sec, batched.ops_per_sec,
+                    speedup,
+                    bench::spine_savings_per_install(batched.stats));
+      }
+    }
+  };
+  sweep("treap", std::type_identity<Treap>{});
+  sweep("avl", std::type_identity<persist::AvlTree<std::int64_t, std::int64_t>>{});
+  sweep("btree8",
+        std::type_identity<persist::BTree<std::int64_t, std::int64_t, 8>>{});
+  sweep("rbt", std::type_identity<persist::RbTree<std::int64_t, std::int64_t>>{});
+  sweep("wbt", std::type_identity<persist::WbTree<std::int64_t, std::int64_t>>{});
+  sweep("extbst",
+        std::type_identity<persist::ExternalBst<std::int64_t, std::int64_t>>{});
   std::printf("\n");
 }
 
@@ -243,7 +301,7 @@ void section_threads(const Config& cfg) {
 
 int main(int argc, char** argv) {
   Config cfg;
-  bool install_only = false, threads_only = false;
+  bool install_only = false, threads_only = false, matrix_only = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
       cfg.initial_keys = 1 << 16;
@@ -252,6 +310,7 @@ int main(int argc, char** argv) {
       cfg.threads = {1, 8};
       cfg.update_pcts = {100};
       cfg.offered_batches = {8, 64};
+      cfg.matrix_batches = {64};
     } else if (std::strcmp(argv[i], "--duration-ms") == 0 && i + 1 < argc) {
       cfg.duration_ms = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--initial") == 0 && i + 1 < argc) {
@@ -260,13 +319,22 @@ int main(int argc, char** argv) {
       install_only = true;
     } else if (std::strcmp(argv[i], "--threads-only") == 0) {
       threads_only = true;
+    } else if (std::strcmp(argv[i], "--matrix-only") == 0) {
+      matrix_only = true;
     }
   }
 
   std::printf("### E11: sorted batch-apply vs per-op combining "
               "(%zu initial keys, %d ms/cell, %zu hw thread(s))\n\n",
               cfg.initial_keys, cfg.duration_ms, bench::hardware_threads());
-  if (!threads_only) section_install_path(cfg);
+  if (matrix_only) {
+    section_structure_matrix(cfg);
+    return 0;
+  }
+  if (!threads_only) {
+    section_install_path(cfg);
+    section_structure_matrix(cfg);
+  }
   if (!install_only) section_threads(cfg);
   return 0;
 }

@@ -26,6 +26,7 @@
 #include <cstring>
 #include <memory>
 #include <span>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -34,7 +35,12 @@
 #include "bench_util/runner.hpp"
 #include "core/atom.hpp"
 #include "core/combining.hpp"
+#include "persist/avl.hpp"
+#include "persist/btree.hpp"
+#include "persist/external_bst.hpp"
+#include "persist/rbt.hpp"
 #include "persist/treap.hpp"
+#include "persist/wbt.hpp"
 #include "reclaim/epoch.hpp"
 #include "store/router.hpp"
 #include "store/shard_stats.hpp"
@@ -156,6 +162,43 @@ std::unique_ptr<store::ShardStatsBoard> sweep_backend(const Config& cfg,
   return widest;
 }
 
+/// Structure sweep: the combining backend's batch-ingest path over every
+/// SupportsSortedBatch structure at one shard count — the store-layer
+/// view of the E8 batch matrix (each shard's sub-batch is applied in one
+/// sorted sweep whatever the balancing discipline underneath).
+void sweep_structures(const Config& cfg, std::size_t shards) {
+  std::printf("\n== structure matrix: combining backend, %zu shards, "
+              "batch-%u ingest ==\n", shards, cfg.batch);
+  std::printf("%-8s  %13s  %13s  %10s  %9s\n", "struct", "per-op ops/s",
+              "batch ops/s", "mean batch", "batched%");
+  const auto row = [&](const char* name, auto tag) {
+    using DS = typename decltype(tag)::type;
+    using Uc = core::CombiningAtom<DS, Smr, TC>;
+    store::ShardStatsBoard per_op_board(shards);
+    const Cell per_op =
+        run_cell<Uc>(cfg, shards, /*batch_mode=*/false, per_op_board);
+    store::ShardStatsBoard batch_board(shards);
+    const Cell batch =
+        run_cell<Uc>(cfg, shards, /*batch_mode=*/true, batch_board);
+    const core::OpStats& bt = batch.total;
+    const double batched_pct =
+        bt.updates == 0 ? 0.0
+                        : 100.0 * static_cast<double>(bt.batched_installs) /
+                              static_cast<double>(bt.updates);
+    std::printf("%-8s  %13.0f  %13.0f  %10.2f  %8.1f%%\n", name,
+                per_op.ops_per_sec, batch.ops_per_sec, bt.mean_batch_size(),
+                batched_pct);
+  };
+  row("treap", std::type_identity<Treap>{});
+  row("avl", std::type_identity<persist::AvlTree<std::int64_t, std::int64_t>>{});
+  row("btree8",
+      std::type_identity<persist::BTree<std::int64_t, std::int64_t, 8>>{});
+  row("rbt", std::type_identity<persist::RbTree<std::int64_t, std::int64_t>>{});
+  row("wbt", std::type_identity<persist::WbTree<std::int64_t, std::int64_t>>{});
+  row("extbst",
+      std::type_identity<persist::ExternalBst<std::int64_t, std::int64_t>>{});
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -197,5 +240,7 @@ int main(int argc, char** argv) {
                 widest->shards());
     widest->print(stdout);
   }
+
+  sweep_structures(cfg, cfg.shards.back());
   return 0;
 }

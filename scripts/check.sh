@@ -1,6 +1,11 @@
 #!/usr/bin/env bash
 # One-command gate: configure, build, run the tier-1 tests, then smoke the
-# batch-combining bench for ~5 seconds. Usage: scripts/check.sh [build-dir]
+# benches for a few seconds each. Usage: scripts/check.sh [build-dir]
+#
+# set -euo pipefail is load-bearing for the smokes below: their output is
+# piped through tee into logs, and without `pipefail` a crashing bench
+# would be masked by tee's zero exit status — the gate would "pass" on a
+# broken bench binary.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -10,12 +15,25 @@ cmake -B "$build_dir" -S "$repo_root"
 cmake --build "$build_dir" -j "$(nproc)"
 ctest --test-dir "$build_dir" --output-on-failure -j 2
 
-# Smoke: the batch-combining bench's quick sweep (~5s) proves the batch
-# install path runs end to end and prints its table.
-"$build_dir/bench_batch_combining" --quick
+# Runs one bench smoke, teeing its table into the build dir; the bench's
+# own exit code decides the gate (pipefail propagates it past tee).
+smoke() {
+  local bench="$1"
+  shift
+  "$build_dir/$bench" "$@" | tee "$build_dir/$bench.smoke.log"
+}
+
+# Smoke: the batch-combining bench's quick sweep proves the batch install
+# path runs end to end — including the 6-structure sorted-batch matrix.
+smoke bench_batch_combining --quick
 
 # Smoke: the store layer's quick sweep proves ShardedMap drives both UC
-# backends (concept conformance at runtime) and the cross-shard splitter.
-"$build_dir/bench_sharded" --quick
+# backends (concept conformance at runtime), the cross-shard splitter,
+# and the structure sweep through the combining backend.
+smoke bench_sharded --quick
+
+# Smoke: the structure ablation (E8 + E8b batch matrix) covers every
+# persistent structure's per-op and sorted-batch install paths.
+smoke bench_ablation_structure --quick
 
 echo "check.sh: all gates passed"

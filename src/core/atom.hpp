@@ -53,11 +53,7 @@ class Atom {
 
   /// The retire backend is kept for teardown: the destructor frees the
   /// final version through it. It must outlive the Atom.
-  Atom(Smr& smr, RetireBackend& backend) : smr_(&smr), backend_(&backend) {
-    if constexpr (requires(Smr s) { s.note_root(nullptr, std::uint64_t{0}); }) {
-      smr_->note_root(root_.load(std::memory_order_relaxed), 1);
-    }
-  }
+  Atom(Smr& smr, RetireBackend& backend) : smr_(&smr), backend_(&backend) {}
 
   /// Uniform-construction form (UniversalConstruction concept): grabs the
   /// retire backend from the allocator view, like CombiningAtom does. The

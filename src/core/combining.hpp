@@ -58,6 +58,7 @@
 #include "core/universal.hpp"
 #include "util/align.hpp"
 #include "util/assert.hpp"
+#include "util/racy_cell.hpp"
 
 namespace pathcopy::core {
 
@@ -120,9 +121,6 @@ class CombiningAtom {
                    std::array<bool, MaxThreads>{});
     vr->pc_state_ = NodeState::kPublished;
     root_.store(vr, std::memory_order_release);
-    if constexpr (requires(Smr s) { s.note_root(nullptr, std::uint64_t{0}); }) {
-      smr_->note_root(vr, 1);
-    }
   }
 
   CombiningAtom(const CombiningAtom&) = delete;
@@ -278,12 +276,15 @@ class CombiningAtom {
   /// read if the root already moved past its pinned version — in which
   /// case its CAS is doomed and the misread candidate is discarded.
   /// The value is optional so erase announcements need no Value at all
-  /// (Value need not be default-constructible).
+  /// (Value need not be default-constructible). Payload fields live in
+  /// RacyCells (word-wise relaxed atomics) so the deliberate read/rewrite
+  /// race stays defined behavior: torn copies are possible by design,
+  /// undefined ones are not.
   struct alignas(util::kCacheLine) AnnounceSlot {
     std::atomic<std::uint64_t> seq{0};
-    OpKind kind{OpKind::kInsert};
-    Key key{};
-    std::optional<Value> value{};
+    util::RacyCell<OpKind> kind;
+    util::RacyCell<Key> key;
+    util::RacyCell<std::optional<Value>> value;
   };
 
   /// A stable copy of one pending announcement taken during the gather
@@ -315,9 +316,9 @@ class CombiningAtom {
               std::optional<Value> value) {
     AnnounceSlot& mine = slots_[slot];
     const std::uint64_t seq = mine.seq.load(std::memory_order_relaxed) + 1;
-    mine.kind = kind;
-    mine.key = key;
-    mine.value = std::move(value);
+    mine.kind.store(kind);
+    mine.key.store(key);
+    mine.value.store(value);
     mine.seq.store(seq, std::memory_order_release);
     if (gather_window_.load(std::memory_order_relaxed)) {
       std::this_thread::yield();  // let other runnable updaters announce
@@ -363,9 +364,9 @@ class CombiningAtom {
       Gathered& e = out[g];
       e.slot = i;
       e.seq = si;
-      e.kind = slots_[i].kind;
-      e.key = slots_[i].key;
-      e.value = slots_[i].value;
+      e.kind = slots_[i].kind.load();
+      e.key = slots_[i].key.load();
+      e.value = slots_[i].value.load();
       if (slots_[i].seq.load(std::memory_order_acquire) != si) {
         continue;  // re-announced mid-read; skip the torn payload
       }

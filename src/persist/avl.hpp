@@ -170,12 +170,8 @@ class AvlTree {
   template <class B, class It>
   static AvlTree from_sorted(B& b, It first, It last) {
     std::vector<std::pair<K, V>> items(first, last);
-    const std::size_t n = items.size();
-    for (std::size_t i = 1; i < n; ++i) {
-      PC_ASSERT(Cmp{}(items[i - 1].first, items[i].first),
-                "from_sorted requires strictly increasing keys");
-    }
-    return AvlTree{build_sorted_rec(b, items, 0, n)};
+    check_sorted_items<Cmp>(items);
+    return AvlTree{build_sorted_rec(b, items, 0, items.size())};
   }
 
   /// Applies a key-sorted, key-unique op batch in one path-copying sweep
@@ -191,13 +187,9 @@ class AvlTree {
     PC_ASSERT(outcomes.size() >= ops.size(),
               "apply_sorted_batch outcome span too small");
     if (ops.empty()) return *this;
-    Cmp cmp;
-    for (std::size_t i = 1; i < ops.size(); ++i) {
-      PC_ASSERT(cmp(ops[i - 1].key, ops[i].key),
-                "apply_sorted_batch requires strictly increasing keys");
-    }
-    BatchCtx ctx{ops, outcomes};
-    return AvlTree{apply_batch_rec(b, root_, ctx, 0, ops.size())};
+    check_sorted_batch<Cmp>(ops);
+    return AvlTree{detail::apply_batch_rec<BatchSweep>(b, root_, ops, outcomes,
+                                                       0, ops.size())};
   }
 
   // ----- structural utilities -----
@@ -382,84 +374,59 @@ class AvlTree {
   /// are at most 2x the announcement-slot count.
   static constexpr std::size_t kInlineBatch = 128;
 
-  struct BatchCtx {
-    std::span<const BatchOp> ops;
-    std::span<BatchOutcome> out;
-  };
-
-  // Core of apply_sorted_batch: applies ops[lo, hi) to subtree n. The
-  // recursion is tree-driven — ops are partitioned around n->key with a
-  // binary search — and each level relinks its (possibly reshaped)
-  // children with join, so untouched ranges return their subtree by
-  // pointer and only the contested spine is copied.
-  template <class B>
-  static const Node* apply_batch_rec(B& b, const Node* n, BatchCtx& ctx,
+  /// Policy for the shared tree-driven sweep (persist/batch.hpp): the
+  /// partition recursion lives there; only the join discipline and the
+  /// off-tree bulk build are AVL-specific.
+  struct BatchSweep {
+    using Node = AvlTree::Node;
+    using KeyCompare = Cmp;
+    template <class B>
+    static const Node* join(B& b, const K& k, const V& v, const Node* l,
+                            const Node* r) {
+      return AvlTree::join(b, k, v, l, r);
+    }
+    template <class B>
+    static const Node* join2(B& b, const Node* l, const Node* r) {
+      return AvlTree::join2(b, l, r);
+    }
+    template <class B>
+    static const Node* build_inserts(B& b, std::span<const BatchOp> ops,
+                                     std::span<BatchOutcome> out,
                                      std::size_t lo, std::size_t hi) {
-    if (lo == hi) return n;  // untouched subtree: shared, zero copies
-    if (n == nullptr) return build_batch_inserts(b, ctx, lo, hi);
-    Cmp cmp;
-    std::size_t a = lo, z = hi;
-    while (a < z) {
-      const std::size_t mid = a + (z - a) / 2;
-      if (cmp(ctx.ops[mid].key, n->key)) {
-        a = mid + 1;
-      } else {
-        z = mid;
-      }
+      return AvlTree::build_batch_inserts(b, ops, out, lo, hi);
     }
-    const bool has_eq = a < hi && !cmp(n->key, ctx.ops[a].key);
-    const Node* l = apply_batch_rec(b, n->left, ctx, lo, a);
-    const Node* r = apply_batch_rec(b, n->right, ctx, has_eq ? a + 1 : a, hi);
-    if (has_eq) {
-      const BatchOp& op = ctx.ops[a];
-      switch (op.kind) {
-        case BatchOpKind::kErase:
-          ctx.out[a] = BatchOutcome::kErased;
-          b.supersede(n);
-          return join2(b, l, r);
-        case BatchOpKind::kAssign:
-          ctx.out[a] = BatchOutcome::kAssigned;
-          b.supersede(n);
-          return join(b, n->key, *op.value, l, r);
-        case BatchOpKind::kInsert:
-          ctx.out[a] = BatchOutcome::kNoop;  // set-style: value kept
-          break;
-      }
-    }
-    if (l == n->left && r == n->right) return n;  // children untouched
-    b.supersede(n);
-    return join(b, n->key, n->value, l, r);
-  }
+  };
 
   // Batch tail that ran off the tree: erases are no-ops, the surviving
   // inserts/assigns build their balanced subtree directly via the same
   // midpoint scheme as from_sorted.
   template <class B>
-  static const Node* build_batch_inserts(B& b, BatchCtx& ctx, std::size_t lo,
-                                         std::size_t hi) {
+  static const Node* build_batch_inserts(B& b, std::span<const BatchOp> ops,
+                                         std::span<BatchOutcome> out,
+                                         std::size_t lo, std::size_t hi) {
     util::SmallVec<std::size_t, kInlineBatch> land;  // ops that insert
     for (std::size_t i = lo; i < hi; ++i) {
-      if (ctx.ops[i].kind == BatchOpKind::kErase) {
-        ctx.out[i] = BatchOutcome::kNoop;
+      if (ops[i].kind == BatchOpKind::kErase) {
+        out[i] = BatchOutcome::kNoop;
       } else {
-        ctx.out[i] = BatchOutcome::kInserted;
+        out[i] = BatchOutcome::kInserted;
         land.push_back(i);
       }
     }
     if (land.empty()) return nullptr;
-    return build_land_rec(b, ctx, land, 0, land.size());
+    return build_land_rec(b, ops, land, 0, land.size());
   }
 
   template <class B>
   static const Node* build_land_rec(
-      B& b, const BatchCtx& ctx,
+      B& b, std::span<const BatchOp> ops,
       const util::SmallVec<std::size_t, kInlineBatch>& land, std::size_t lo,
       std::size_t hi) {
     if (lo == hi) return nullptr;
     const std::size_t mid = lo + (hi - lo) / 2;
-    const Node* l = build_land_rec(b, ctx, land, lo, mid);
-    const Node* r = build_land_rec(b, ctx, land, mid + 1, hi);
-    const BatchOp& op = ctx.ops[land[mid]];
+    const Node* l = build_land_rec(b, ops, land, lo, mid);
+    const Node* r = build_land_rec(b, ops, land, mid + 1, hi);
+    const BatchOp& op = ops[land[mid]];
     return mk(b, op.key, *op.value, l, r);
   }
 

@@ -18,8 +18,14 @@
 // cannot express.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "util/assert.hpp"
 
 namespace pathcopy::persist {
 
@@ -43,5 +49,89 @@ struct BatchOp {
   K key;
   std::optional<V> value;  // engaged for kInsert/kAssign, ignored for kErase
 };
+
+// Shared precondition checks. Every structure's from_sorted and
+// apply_sorted_batch take strictly increasing (hence unique) keys; the
+// contract is enforced here, once, so changing it (message, assert
+// level, tolerance) never needs a per-structure sweep.
+
+template <class Cmp, class K, class V>
+inline void check_sorted_items(const std::vector<std::pair<K, V>>& items) {
+  Cmp cmp;
+  for (std::size_t i = 1; i < items.size(); ++i) {
+    PC_ASSERT(cmp(items[i - 1].first, items[i].first),
+              "from_sorted requires strictly increasing keys");
+  }
+}
+
+template <class Cmp, class K, class V>
+inline void check_sorted_batch(std::span<const BatchOp<K, V>> ops) {
+  Cmp cmp;
+  for (std::size_t i = 1; i < ops.size(); ++i) {
+    PC_ASSERT(cmp(ops[i - 1].key, ops[i].key),
+              "apply_sorted_batch requires strictly increasing keys");
+  }
+}
+
+namespace detail {
+
+/// Tree-driven sorted-batch sweep shared by the comparison-balanced
+/// binary trees (AVL, weight-balanced, red-black): ops[lo, hi) are
+/// partitioned around each node's key with a binary search, untouched
+/// ranges return their subtree by pointer (an all-noop batch allocates
+/// nothing), and children reshaped by landing ops are relinked through
+/// the structure's own join discipline. Policy supplies the pieces on
+/// top of a binary node with key/value/left/right members:
+///   using Node = ...; using KeyCompare = ...;
+///   static const Node* join(B&, key, value, l, r);   // keyed relink
+///   static const Node* join2(B&, l, r);              // key was erased
+///   static const Node* build_inserts(B&, ops, out, lo, hi);  // off-tree tail
+/// (The treap is not a client: its sweep is priority-driven, not
+/// partition-driven, and the B-tree's works on piece runs.)
+template <class Policy, class B, class K, class V>
+const typename Policy::Node* apply_batch_rec(B& b,
+                                             const typename Policy::Node* n,
+                                             std::span<const BatchOp<K, V>> ops,
+                                             std::span<BatchOutcome> out,
+                                             std::size_t lo, std::size_t hi) {
+  using Node = typename Policy::Node;
+  if (lo == hi) return n;  // untouched subtree: shared, zero copies
+  if (n == nullptr) return Policy::build_inserts(b, ops, out, lo, hi);
+  typename Policy::KeyCompare cmp;
+  std::size_t a = lo, z = hi;
+  while (a < z) {
+    const std::size_t mid = a + (z - a) / 2;
+    if (cmp(ops[mid].key, n->key)) {
+      a = mid + 1;
+    } else {
+      z = mid;
+    }
+  }
+  const bool has_eq = a < hi && !cmp(n->key, ops[a].key);
+  const Node* l = apply_batch_rec<Policy>(b, n->left, ops, out, lo, a);
+  const Node* r =
+      apply_batch_rec<Policy>(b, n->right, ops, out, has_eq ? a + 1 : a, hi);
+  if (has_eq) {
+    const BatchOp<K, V>& op = ops[a];
+    switch (op.kind) {
+      case BatchOpKind::kErase:
+        out[a] = BatchOutcome::kErased;
+        b.supersede(n);
+        return Policy::join2(b, l, r);
+      case BatchOpKind::kAssign:
+        out[a] = BatchOutcome::kAssigned;
+        b.supersede(n);
+        return Policy::join(b, n->key, *op.value, l, r);
+      case BatchOpKind::kInsert:
+        out[a] = BatchOutcome::kNoop;  // set-style: value kept
+        break;
+    }
+  }
+  if (l == n->left && r == n->right) return n;  // children untouched
+  b.supersede(n);
+  return Policy::join(b, n->key, n->value, l, r);
+}
+
+}  // namespace detail
 
 }  // namespace pathcopy::persist

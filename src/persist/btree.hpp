@@ -21,17 +21,27 @@
 //     means siblings are never mutated in place.
 //   * Size-augmented for O(log N) rank/kth/count_range, like every other
 //     structure in src/persist/.
+//   * Supports the sorted-batch protocol (persist/batch.hpp): ops
+//     partition at separator keys and recurse; each touched node comes
+//     back as a run of same-height valid nodes ("pieces") — split leaves
+//     or internal nodes — that the parent stitches into its child array,
+//     repairing underfull pieces with the same borrow/merge primitives
+//     the point erase uses and splitting itself when the array overflows.
+//     Untouched subtrees are shared by pointer; an all-noop batch returns
+//     the same root with zero allocations.
 #pragma once
 
 #include <array>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <unordered_set>
 #include <utility>
 #include <vector>
 
 #include "core/node_base.hpp"
+#include "persist/batch.hpp"
 #include "util/assert.hpp"
 
 namespace pathcopy::persist {
@@ -43,6 +53,10 @@ class BTree {
  public:
   using KeyType = K;
   using ValueType = V;
+  using KeyCompare = Cmp;
+  using BatchOp = persist::BatchOp<K, V>;
+  using BatchOpKind = persist::BatchOpKind;
+  using BatchOutcome = persist::BatchOutcome;
   static constexpr unsigned kMaxChildren = Fanout;
   static constexpr unsigned kMaxKeys = Fanout - 1;       // internal nodes
   static constexpr unsigned kMinChildren = (Fanout + 1) / 2;
@@ -217,20 +231,49 @@ class BTree {
     if (!contains(key)) return *this;
     bool underflow = false;
     const Node* n = erase_rec(b, root_, key, &underflow);
-    if (n != nullptr && !n->is_leaf && n->count == 0) {
-      // Height shrinks: an internal root with a single child hands the
-      // root role to that child (already a committed-version node or a
-      // fresh one — either way it is the new root).
-      const auto* in = static_cast<const InternalNode*>(n);
-      const Node* only = in->child[0];
-      b.supersede(in);
-      return BTree{only};
+    return BTree{collapse_root(b, n)};
+  }
+
+  /// O(n) bulk construction from strictly increasing (key, value) pairs:
+  /// packs the run into balanced leaves, then builds internal levels on
+  /// top. Balanced packing keeps every node within [min, max] occupancy
+  /// (only a single-node root may be smaller).
+  template <class B, class It>
+  static BTree from_sorted(B& b, It first, It last) {
+    std::vector<std::pair<K, V>> items(first, last);
+    check_sorted_items<Cmp>(items);
+    if (items.empty()) return BTree{};
+    std::vector<const Node*> nodes;
+    std::vector<K> seps;
+    pack_leaves(b, items, nodes, seps);
+    return BTree{build_levels(b, nodes, seps)};
+  }
+
+  /// Applies a key-sorted, key-unique op batch in one path-copying sweep
+  /// and reports a per-op outcome (aligned with `ops`). Contents are
+  /// exactly those of applying the ops one at a time; ops partition at
+  /// separator keys, untouched subtrees are shared by pointer (an
+  /// all-noop batch returns the same root with zero allocations), and
+  /// only the contested nodes are rebuilt — one leaf rewrite absorbs an
+  /// entire op run instead of one root-to-leaf copy per op.
+  template <class B>
+  BTree apply_sorted_batch(B& b, std::span<const BatchOp> ops,
+                           std::span<BatchOutcome> outcomes) const {
+    PC_ASSERT(outcomes.size() >= ops.size(),
+              "apply_sorted_batch outcome span too small");
+    if (ops.empty()) return *this;
+    check_sorted_batch<Cmp>(ops);
+    BatchCtx ctx{ops, outcomes};
+    if (root_ == nullptr) {
+      return BTree{build_batch_inserts(b, ctx, 0, ops.size())};
     }
-    if (n != nullptr && n->is_leaf && n->count == 0) {
-      b.supersede(n);
-      return BTree{nullptr};
+    BatchResult r = apply_rec(b, root_, ctx, 0, ops.size(), height());
+    if (!r.changed) return *this;  // same version, zero allocations
+    if (r.pieces.empty()) return BTree{};
+    if (r.pieces.size() == 1) {
+      return BTree{collapse_root(b, r.pieces.front())};
     }
-    return BTree{n};
+    return BTree{build_levels(b, r.pieces, r.seps)};
   }
 
   // ----- structural utilities -----
@@ -278,6 +321,38 @@ class BTree {
 
  private:
   explicit BTree(const Node* root) noexcept : root_(root) {}
+
+  /// Supersedes through the node's dynamic kind: retire records carry
+  /// the static type's size, so a base-typed supersede would hand the
+  /// allocator sizeof(Node) for a LeafNode/InternalNode-sized block —
+  /// sized-delete UB on malloc, the wrong size class on pools.
+  template <class B>
+  static void supersede_node(B& b, const Node* n) {
+    if (n->is_leaf) {
+      b.supersede(static_cast<const LeafNode*>(n));
+    } else {
+      b.supersede(static_cast<const InternalNode*>(n));
+    }
+  }
+
+  /// Height collapse shared by the point erase and the batch apply: an
+  /// internal root with a single child hands the root role down (the
+  /// child is already a committed-version or fresh node — either way it
+  /// is the new root), and an emptied root leaf yields the empty tree.
+  template <class B>
+  static const Node* collapse_root(B& b, const Node* n) {
+    while (n != nullptr && !n->is_leaf && n->count == 0) {
+      const auto* in = static_cast<const InternalNode*>(n);
+      const Node* only = in->child[0];
+      b.supersede(in);
+      n = only;
+    }
+    if (n != nullptr && n->is_leaf && n->count == 0) {
+      b.supersede(static_cast<const LeafNode*>(n));
+      return nullptr;
+    }
+    return n;
+  }
 
   /// Index of the child subtree that may contain `key`: the number of
   /// separators <= key (separator keys[i] is the minimum of child[i+1]).
@@ -453,8 +528,8 @@ class BTree {
   static void borrow_from_left(B& b, K* ks, const Node** ch, unsigned idx) {
     const Node* sib = ch[idx - 1];
     const Node* cur = ch[idx];
-    b.supersede(sib);
-    b.supersede(cur);
+    supersede_node(b, sib);
+    supersede_node(b, cur);
     if (cur->is_leaf) {
       const auto* sl = static_cast<const LeafNode*>(sib);
       const auto* cl = static_cast<const LeafNode*>(cur);
@@ -500,8 +575,8 @@ class BTree {
   static void borrow_from_right(B& b, K* ks, const Node** ch, unsigned idx) {
     const Node* sib = ch[idx + 1];
     const Node* cur = ch[idx];
-    b.supersede(sib);
-    b.supersede(cur);
+    supersede_node(b, sib);
+    supersede_node(b, cur);
     if (cur->is_leaf) {
       const auto* sl = static_cast<const LeafNode*>(sib);
       const auto* cl = static_cast<const LeafNode*>(cur);
@@ -547,8 +622,8 @@ class BTree {
                              unsigned at) {
     const Node* l = ch[at];
     const Node* r = ch[at + 1];
-    b.supersede(l);
-    b.supersede(r);
+    supersede_node(b, l);
+    supersede_node(b, r);
     if (l->is_leaf) {
       const auto* ll = static_cast<const LeafNode*>(l);
       const auto* rl = static_cast<const LeafNode*>(r);
@@ -585,6 +660,472 @@ class BTree {
     for (unsigned i = at; i + 1 < nk; ++i) ks[i] = ks[i + 1];
     for (unsigned i = at + 1; i + 1 <= nk; ++i) ch[i] = ch[i + 1];
     --nk;
+  }
+
+  // ----- bulk construction and sorted-batch application -----
+
+  struct BatchCtx {
+    std::span<const BatchOp> ops;
+    std::span<BatchOutcome> out;
+  };
+
+  /// Result of applying a sub-batch to one subtree: `pieces` are nodes of
+  /// uniform height `height` (<= the input subtree's height — mass erases
+  /// collapse levels), fully valid below their top level; only the top of
+  /// a single-piece result may be underfull (the parent repairs it by
+  /// grafting/merging, and at the root it is legal outright — multi-piece
+  /// runs are always repaired before being returned). `seps[i]` separates
+  /// pieces[i] and pieces[i+1]. `changed == false` means the subtree is
+  /// shared untouched (pieces == {n}, nothing allocated).
+  struct BatchResult {
+    std::vector<const Node*> pieces;
+    std::vector<K> seps;
+    std::size_t height = 0;
+    bool changed = false;
+  };
+
+  /// One or two same-height nodes (b == nullptr when one) — what a spine
+  /// graft hands back to its caller level.
+  struct MiniRun {
+    const Node* a;
+    const Node* b;
+    K sep;
+  };
+
+  static bool below_min(const Node* n) noexcept {
+    return n->is_leaf ? n->count < kLeafMin : n->count < kMinKeys;
+  }
+
+  /// Packs sorted entries into ceil(m / kLeafCap) balanced leaves; every
+  /// leaf lands in [kLeafMin, kLeafCap] whenever m >= kLeafMin (balanced
+  /// distribution arithmetic), so only a lone tiny run yields an
+  /// underfull (single) piece.
+  template <class B>
+  static void pack_leaves(B& b, const std::vector<std::pair<K, V>>& items,
+                          std::vector<const Node*>& nodes,
+                          std::vector<K>& seps) {
+    const std::size_t m = items.size();
+    const std::size_t groups = (m + kLeafCap - 1) / kLeafCap;
+    const std::size_t base = m / groups;
+    const std::size_t extra = m % groups;
+    std::size_t at = 0;
+    for (std::size_t g = 0; g < groups; ++g) {
+      const std::size_t take = base + (g < extra ? 1 : 0);
+      K ks[kLeafCap];
+      V vs[kLeafCap];
+      for (std::size_t j = 0; j < take; ++j) {
+        ks[j] = items[at + j].first;
+        vs[j] = items[at + j].second;
+      }
+      if (g > 0) seps.push_back(items[at].first);
+      nodes.push_back(
+          b.template create<LeafNode>(ks, vs, static_cast<unsigned>(take)));
+      at += take;
+    }
+  }
+
+  /// Packs a same-height child run (with separators between children)
+  /// into one internal level; boundary separators between groups are
+  /// promoted into `seps`. A single output node may be underfull — the
+  /// single-piece exception again.
+  template <class B>
+  static void pack_internals(B& b, const std::vector<K>& ks,
+                             const std::vector<const Node*>& ch,
+                             std::vector<const Node*>& nodes,
+                             std::vector<K>& seps) {
+    const std::size_t m = ch.size();
+    const std::size_t groups = (m + kMaxChildren - 1) / kMaxChildren;
+    const std::size_t base = m / groups;
+    const std::size_t extra = m % groups;
+    std::size_t at = 0;
+    for (std::size_t g = 0; g < groups; ++g) {
+      const std::size_t take = base + (g < extra ? 1 : 0);
+      if (g > 0) seps.push_back(ks[at - 1]);
+      nodes.push_back(b.template create<InternalNode>(
+          ks.data() + at, ch.data() + at, static_cast<unsigned>(take - 1)));
+      at += take;
+    }
+  }
+
+  /// Stacks internal levels on top of same-height `nodes` until one root
+  /// remains. Consumes its arguments.
+  template <class B>
+  static const Node* build_levels(B& b, std::vector<const Node*>& nodes,
+                                  std::vector<K>& seps) {
+    while (nodes.size() > 1) {
+      std::vector<const Node*> up;
+      std::vector<K> up_seps;
+      pack_internals(b, seps, nodes, up, up_seps);
+      nodes = std::move(up);
+      seps = std::move(up_seps);
+    }
+    return nodes.empty() ? nullptr : nodes.front();
+  }
+
+  /// Repairs underfull pieces in a child run with the point-erase
+  /// borrow/merge primitives until every piece meets its minimum or a
+  /// single piece remains. Borrow strictly shrinks the total deficiency
+  /// and merge shrinks the run, so the loop terminates.
+  template <class B>
+  static void fix_pieces(B& b, std::vector<K>& ks,
+                         std::vector<const Node*>& ch) {
+    bool again = ch.size() > 1;
+    while (again) {
+      again = false;
+      for (std::size_t i = 0; i < ch.size() && ch.size() > 1; ++i) {
+        if (!below_min(ch[i])) continue;
+        unsigned nk = static_cast<unsigned>(ks.size());
+        fix_underflow(b, ks.data(), ch.data(), nk, static_cast<unsigned>(i));
+        if (nk < ks.size()) {
+          ks.pop_back();
+          ch.pop_back();
+        }
+        again = true;
+        break;
+      }
+    }
+  }
+
+  /// Attaches subtree P (d levels shorter than N, valid below its
+  /// possibly-underfull top) to the right edge of N, separated by `s`:
+  /// N's right spine is path-copied, P joins as the last child of the
+  /// spine node one level above it, underfull tops are repaired against
+  /// their new left sibling, and an overflowing level splits — returning
+  /// one or two nodes at N's height.
+  template <class B>
+  static MiniRun attach_right(B& b, const Node* n, const K& s, const Node* p,
+                              std::size_t d) {
+    const auto* in = static_cast<const InternalNode*>(n);
+    b.supersede(in);
+    K ks[kMaxKeys + 2];
+    const Node* ch[kMaxChildren + 2];
+    unsigned nk = in->count;
+    for (unsigned i = 0; i < nk; ++i) ks[i] = in->keys[i];
+    for (unsigned i = 0; i <= nk; ++i) ch[i] = in->child[i];
+    if (d == 1) {
+      ks[nk] = s;
+      ch[nk + 1] = p;
+      ++nk;
+      // Repair the grafted child (and any merge fallout) at the edge;
+      // each borrow shrinks its deficiency, each merge absorbs it into a
+      // valid sibling, so the loop is bounded.
+      while (nk > 0 && below_min(ch[nk])) {
+        fix_underflow(b, ks, ch, nk, nk);
+      }
+    } else {
+      const MiniRun sub = attach_right(b, ch[nk], s, p, d - 1);
+      ch[nk] = sub.a;
+      if (sub.b != nullptr) {
+        ks[nk] = sub.sep;
+        ch[nk + 1] = sub.b;
+        ++nk;
+      }
+    }
+    if (nk <= kMaxKeys) {
+      return {b.template create<InternalNode>(ks, ch, nk), nullptr, K{}};
+    }
+    const unsigned mid = nk / 2;
+    const Node* left = b.template create<InternalNode>(ks, ch, mid);
+    const Node* right = b.template create<InternalNode>(ks + mid + 1,
+                                                        ch + mid + 1,
+                                                        nk - mid - 1);
+    return {left, right, ks[mid]};
+  }
+
+  /// Mirror image: attaches P to the left edge of N.
+  template <class B>
+  static MiniRun attach_left(B& b, const Node* n, const K& s, const Node* p,
+                             std::size_t d) {
+    const auto* in = static_cast<const InternalNode*>(n);
+    b.supersede(in);
+    K ks[kMaxKeys + 2];
+    const Node* ch[kMaxChildren + 2];
+    unsigned nk = in->count;
+    for (unsigned i = 0; i < nk; ++i) ks[i + 1] = in->keys[i];
+    for (unsigned i = 0; i <= nk; ++i) ch[i + 1] = in->child[i];
+    if (d == 1) {
+      ks[0] = s;
+      ch[0] = p;
+      ++nk;
+      while (nk > 0 && below_min(ch[0])) {
+        fix_underflow(b, ks, ch, nk, 0);
+      }
+    } else {
+      const MiniRun sub = attach_left(b, ch[1], s, p, d - 1);
+      if (sub.b != nullptr) {
+        ch[0] = sub.a;
+        ks[0] = sub.sep;
+        ch[1] = sub.b;
+        ++nk;
+      } else {
+        // No split: shift back down into the original layout.
+        for (unsigned i = 0; i < nk; ++i) ks[i] = ks[i + 1];
+        for (unsigned i = 0; i <= nk; ++i) ch[i] = ch[i + 1];
+        ch[0] = sub.a;
+      }
+    }
+    if (nk <= kMaxKeys) {
+      return {b.template create<InternalNode>(ks, ch, nk), nullptr, K{}};
+    }
+    const unsigned mid = nk / 2;
+    const Node* left = b.template create<InternalNode>(ks, ch, mid);
+    const Node* right = b.template create<InternalNode>(ks + mid + 1,
+                                                        ch + mid + 1,
+                                                        nk - mid - 1);
+    return {left, right, ks[mid]};
+  }
+
+  template <class B>
+  static BatchResult apply_rec(B& b, const Node* n, BatchCtx& ctx,
+                               std::size_t lo, std::size_t hi,
+                               std::size_t height) {
+    if (n->is_leaf) {
+      return apply_leaf(b, static_cast<const LeafNode*>(n), ctx, lo, hi);
+    }
+    return apply_internal(b, static_cast<const InternalNode*>(n), ctx, lo, hi,
+                          height);
+  }
+
+  /// Merge-joins the leaf's entries with its op run, reporting outcomes;
+  /// an untouched leaf is shared, a touched one is repacked into
+  /// balanced leaves.
+  template <class B>
+  static BatchResult apply_leaf(B& b, const LeafNode* leaf, BatchCtx& ctx,
+                                std::size_t lo, std::size_t hi) {
+    Cmp cmp;
+    std::vector<std::pair<K, V>> merged;
+    merged.reserve(leaf->count + (hi - lo));
+    bool changed = false;
+    unsigned e = 0;
+    std::size_t i = lo;
+    while (e < leaf->count || i < hi) {
+      if (i == hi) {
+        merged.emplace_back(leaf->keys[e], leaf->values[e]);
+        ++e;
+        continue;
+      }
+      const BatchOp& op = ctx.ops[i];
+      if (e == leaf->count || cmp(op.key, leaf->keys[e])) {
+        // The op's key is absent from the leaf.
+        if (op.kind == BatchOpKind::kErase) {
+          ctx.out[i] = BatchOutcome::kNoop;
+        } else {
+          ctx.out[i] = BatchOutcome::kInserted;
+          merged.emplace_back(op.key, *op.value);
+          changed = true;
+        }
+        ++i;
+        continue;
+      }
+      if (cmp(leaf->keys[e], op.key)) {
+        merged.emplace_back(leaf->keys[e], leaf->values[e]);
+        ++e;
+        continue;
+      }
+      switch (op.kind) {  // op.key present at entry e
+        case BatchOpKind::kInsert:
+          ctx.out[i] = BatchOutcome::kNoop;  // set-style: value kept
+          merged.emplace_back(leaf->keys[e], leaf->values[e]);
+          break;
+        case BatchOpKind::kErase:
+          ctx.out[i] = BatchOutcome::kErased;
+          changed = true;
+          break;
+        case BatchOpKind::kAssign:
+          ctx.out[i] = BatchOutcome::kAssigned;
+          merged.emplace_back(op.key, *op.value);
+          changed = true;
+          break;
+      }
+      ++e;
+      ++i;
+    }
+    BatchResult res;
+    res.changed = changed;
+    res.height = 1;
+    if (!changed) {
+      res.pieces.push_back(leaf);
+      return res;
+    }
+    b.supersede(leaf);
+    if (merged.empty()) {
+      res.height = 0;
+    } else {
+      pack_leaves(b, merged, res.pieces, res.seps);
+    }
+    return res;
+  }
+
+  /// Partitions the op run at the separators, recurses per child, and
+  /// stitches the piece runs back together: old separators survive
+  /// between pieces of different children (all new content stays inside
+  /// its old routing range), split separators arrive with the pieces,
+  /// and height-collapsed results are grafted onto a taller neighbor's
+  /// spine instead of being wrapped in hollow nodes.
+  template <class B>
+  static BatchResult apply_internal(B& b, const InternalNode* in,
+                                    BatchCtx& ctx, std::size_t lo,
+                                    std::size_t hi, std::size_t height) {
+    Cmp cmp;
+    std::array<std::size_t, kMaxChildren + 1> pos;
+    pos[0] = lo;
+    for (unsigned c = 0; c < in->count; ++c) {
+      // First op with key >= keys[c] (such keys route right of child c).
+      std::size_t a = pos[c], z = hi;
+      while (a < z) {
+        const std::size_t mid = a + (z - a) / 2;
+        if (cmp(ctx.ops[mid].key, in->keys[c])) {
+          a = mid + 1;
+        } else {
+          z = mid;
+        }
+      }
+      pos[c + 1] = a;
+    }
+    pos[in->count + 1] = hi;
+
+    std::array<BatchResult, kMaxChildren> results;  // touched children only
+    bool any_changed = false;
+    for (unsigned c = 0; c <= in->count; ++c) {
+      if (pos[c] != pos[c + 1]) {
+        results[c] =
+            apply_rec(b, in->child[c], ctx, pos[c], pos[c + 1], height - 1);
+        any_changed |= results[c].changed;
+      }
+    }
+    BatchResult res;
+    res.height = height;
+    if (!any_changed) {
+      res.pieces.push_back(in);
+      return res;
+    }
+    res.changed = true;
+    b.supersede(in);
+
+    // Assemble left to right at a running height, grafting the shorter
+    // side onto the taller side's edge whenever heights disagree.
+    // Untouched children contribute themselves directly (no run is
+    // materialized for them).
+    std::vector<const Node*> run;
+    std::vector<K> run_seps;
+    std::size_t run_h = 0;
+    for (unsigned c = 0; c <= in->count; ++c) {
+      const Node* self = in->child[c];  // shared as-is when untouched
+      const Node* const* nodes = &self;
+      const K* seps = nullptr;
+      std::size_t count = 1;
+      std::size_t hc = height - 1;
+      if (pos[c] != pos[c + 1]) {
+        const BatchResult& rc = results[c];
+        if (rc.pieces.empty()) continue;  // child fully erased
+        nodes = rc.pieces.data();
+        seps = rc.seps.data();
+        count = rc.pieces.size();
+        hc = rc.height;
+      }
+      if (run.empty()) {
+        run.assign(nodes, nodes + count);
+        run_seps.assign(seps, seps + (count > 1 ? count - 1 : 0));
+        run_h = hc;
+        continue;
+      }
+      const K sep = in->keys[c - 1];  // routing bound between old children
+      if (run_h < hc) {
+        // The accumulated run is shorter than the incoming pieces: raise
+        // it level by level (only ever wrapping repaired multi-runs — a
+        // lone piece with an underfull top must never be wrapped) until
+        // it matches or collapses to a single graftable node.
+        while (run.size() > 1 && run_h < hc) {
+          fix_pieces(b, run_seps, run);
+          if (run.size() == 1) break;
+          std::vector<const Node*> up;
+          std::vector<K> up_seps;
+          pack_internals(b, run_seps, run, up, up_seps);
+          run = std::move(up);
+          run_seps = std::move(up_seps);
+          ++run_h;
+        }
+        if (run_h < hc) {
+          const MiniRun m =
+              attach_left(b, nodes[0], sep, run.front(), hc - run_h);
+          run.clear();
+          run_seps.clear();
+          run.push_back(m.a);
+          if (m.b != nullptr) {
+            run_seps.push_back(m.sep);
+            run.push_back(m.b);
+          }
+          for (std::size_t j = 1; j < count; ++j) {
+            run_seps.push_back(seps[j - 1]);
+            run.push_back(nodes[j]);
+          }
+          run_h = hc;
+          continue;
+        }
+      }
+      if (run_h == hc) {
+        run_seps.push_back(sep);
+        for (std::size_t j = 0; j < count; ++j) {
+          if (j > 0) run_seps.push_back(seps[j - 1]);
+          run.push_back(nodes[j]);
+        }
+      } else {
+        // Incoming collapsed below the run: a single piece to graft onto
+        // the run's right edge.
+        const MiniRun m = attach_right(b, run.back(), sep, nodes[0],
+                                       run_h - hc);
+        run.back() = m.a;
+        if (m.b != nullptr) {
+          run_seps.push_back(m.sep);
+          run.push_back(m.b);
+        }
+      }
+    }
+    if (run.empty()) {
+      res.height = 0;
+      return res;  // the whole subtree vanished
+    }
+    // Normalize back up to this node's height; stop early if the run
+    // collapses to one node — that is the height-dropped result the
+    // parent grafts (or the root adopts).
+    while (run_h < height && run.size() > 1) {
+      fix_pieces(b, run_seps, run);
+      if (run.size() == 1) break;
+      std::vector<const Node*> up;
+      std::vector<K> up_seps;
+      pack_internals(b, run_seps, run, up, up_seps);
+      run = std::move(up);
+      run_seps = std::move(up_seps);
+      ++run_h;
+    }
+    if (run.size() > 1) fix_pieces(b, run_seps, run);
+    res.pieces = std::move(run);
+    res.seps = std::move(run_seps);
+    res.height = run_h;
+    return res;
+  }
+
+  // Batch aimed at an empty tree: erases are no-ops, the surviving
+  // inserts/assigns bulk-build their tree through the same packers as
+  // from_sorted.
+  template <class B>
+  static const Node* build_batch_inserts(B& b, BatchCtx& ctx, std::size_t lo,
+                                         std::size_t hi) {
+    std::vector<std::pair<K, V>> run;
+    run.reserve(hi - lo);
+    for (std::size_t i = lo; i < hi; ++i) {
+      if (ctx.ops[i].kind == BatchOpKind::kErase) {
+        ctx.out[i] = BatchOutcome::kNoop;
+      } else {
+        ctx.out[i] = BatchOutcome::kInserted;
+        run.emplace_back(ctx.ops[i].key, *ctx.ops[i].value);
+      }
+    }
+    if (run.empty()) return nullptr;
+    std::vector<const Node*> nodes;
+    std::vector<K> seps;
+    pack_leaves(b, run, nodes, seps);
+    return build_levels(b, nodes, seps);
   }
 
   template <class F>

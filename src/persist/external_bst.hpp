@@ -11,16 +11,25 @@
 // its right subtree; searches go left on cmp(k, router) and right
 // otherwise. Duplicate-key inserts and missing-key erases return the same
 // version without allocating a single node.
+//
+// Supports the sorted-batch protocol (persist/batch.hpp): ops partition
+// at each router (no balancing, so no join machinery at all) and every
+// leaf absorbs its op run by rebuilding a balanced router-plus-leaves
+// subtree over the survivors in place — untouched subtrees are shared by
+// pointer, erased leaves splice their sibling up, and an all-noop batch
+// returns the same root with zero allocations.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <unordered_set>
 #include <utility>
 #include <vector>
 
 #include "core/node_base.hpp"
+#include "persist/batch.hpp"
 #include "util/assert.hpp"
 
 namespace pathcopy::persist {
@@ -30,6 +39,10 @@ class ExternalBst {
  public:
   using KeyType = K;
   using ValueType = V;
+  using KeyCompare = Cmp;
+  using BatchOp = persist::BatchOp<K, V>;
+  using BatchOpKind = persist::BatchOpKind;
+  using BatchOutcome = persist::BatchOutcome;
   struct Node : core::PNode {
     K key;         // leaf: element key; internal: routing key
     V value;       // meaningful for leaves only
@@ -171,6 +184,38 @@ class ExternalBst {
     return removed ? ExternalBst{nr} : *this;
   }
 
+  /// O(n) bulk construction from strictly increasing (key, value) pairs:
+  /// the midpoint build places every pair in a leaf and every router at
+  /// the min key of its right subtree, giving the minimal-height external
+  /// tree (2n - 1 nodes).
+  template <class B, class It>
+  static ExternalBst from_sorted(B& b, It first, It last) {
+    std::vector<std::pair<K, V>> items(first, last);
+    check_sorted_items<Cmp>(items);
+    if (items.empty()) return ExternalBst{};
+    return ExternalBst{build_sorted_rec(b, items, 0, items.size())};
+  }
+
+  /// Applies a key-sorted, key-unique op batch in one path-copying sweep
+  /// and reports a per-op outcome (aligned with `ops`). Contents are
+  /// exactly those of applying the ops one at a time; ops partition at
+  /// routers, untouched subtrees are shared by pointer (an all-noop batch
+  /// returns the same root with zero allocations), and each touched leaf
+  /// is replaced by a balanced subtree over its surviving run.
+  template <class B>
+  ExternalBst apply_sorted_batch(B& b, std::span<const BatchOp> ops,
+                                 std::span<BatchOutcome> outcomes) const {
+    PC_ASSERT(outcomes.size() >= ops.size(),
+              "apply_sorted_batch outcome span too small");
+    if (ops.empty()) return *this;
+    check_sorted_batch<Cmp>(ops);
+    BatchCtx ctx{ops, outcomes};
+    if (root_ == nullptr) {
+      return ExternalBst{build_batch_inserts(b, ctx, 0, ops.size())};
+    }
+    return ExternalBst{apply_batch_rec(b, root_, ctx, 0, ops.size())};
+  }
+
   // ----- structural utilities -----
 
   bool check_invariants() const {
@@ -288,6 +333,135 @@ class ExternalBst {
       return b.template create<Node>(n->key, nc, n->right);
     }
     return b.template create<Node>(n->key, n->left, nc);
+  }
+
+  // ----- bulk construction and sorted-batch application -----
+
+  /// Midpoint build over [lo, hi): a leaf per pair, routers at the min
+  /// key of their right half. Pre: hi > lo.
+  template <class B>
+  static const Node* build_sorted_rec(B& b,
+                                      const std::vector<std::pair<K, V>>& items,
+                                      std::size_t lo, std::size_t hi) {
+    if (hi - lo == 1) {
+      return b.template create<Node>(items[lo].first, items[lo].second);
+    }
+    const std::size_t mid = lo + (hi - lo) / 2;
+    const Node* l = build_sorted_rec(b, items, lo, mid);
+    const Node* r = build_sorted_rec(b, items, mid, hi);
+    return b.template create<Node>(items[mid].first, l, r);
+  }
+
+  struct BatchCtx {
+    std::span<const BatchOp> ops;
+    std::span<BatchOutcome> out;
+  };
+
+  // Core of apply_sorted_batch: applies ops[lo, hi) to subtree n. Ops
+  // partition at each router exactly as searches route (key < router
+  // goes left), so every op lands on the one leaf whose range covers its
+  // key; untouched subtrees return their pointer, an erased side splices
+  // its sibling up, and a touched leaf rebuilds its surviving run.
+  template <class B>
+  static const Node* apply_batch_rec(B& b, const Node* n, BatchCtx& ctx,
+                                     std::size_t lo, std::size_t hi) {
+    if (lo == hi) return n;  // untouched subtree: shared, zero copies
+    if (n->is_leaf()) return apply_leaf_run(b, n, ctx, lo, hi);
+    Cmp cmp;
+    std::size_t a = lo, z = hi;
+    while (a < z) {
+      const std::size_t mid = a + (z - a) / 2;
+      if (cmp(ctx.ops[mid].key, n->key)) {
+        a = mid + 1;
+      } else {
+        z = mid;
+      }
+    }
+    const Node* l = apply_batch_rec(b, n->left, ctx, lo, a);
+    const Node* r = apply_batch_rec(b, n->right, ctx, a, hi);
+    if (l == n->left && r == n->right) return n;  // children untouched
+    b.supersede(n);
+    if (l == nullptr) return r;  // sibling splice (r may be null too)
+    if (r == nullptr) return l;
+    return b.template create<Node>(n->key, l, r);
+  }
+
+  /// Replaces leaf n with a balanced subtree over the survivors of its
+  /// op run: the leaf's own pair (unless erased/reassigned) merged with
+  /// every landing insert. Returns n unchanged when nothing lands.
+  template <class B>
+  static const Node* apply_leaf_run(B& b, const Node* n, BatchCtx& ctx,
+                                    std::size_t lo, std::size_t hi) {
+    Cmp cmp;
+    bool alive = true;    // the leaf's own key survives
+    V value = n->value;   // possibly reassigned
+    bool changed = false;
+    std::vector<std::pair<K, V>> run;
+    run.reserve(hi - lo + 1);
+    bool placed = false;  // leaf pair already merged into the run
+    for (std::size_t i = lo; i < hi; ++i) {
+      const BatchOp& op = ctx.ops[i];
+      if (!cmp(op.key, n->key) && !cmp(n->key, op.key)) {
+        switch (op.kind) {
+          case BatchOpKind::kInsert:
+            ctx.out[i] = BatchOutcome::kNoop;  // set-style: value kept
+            break;
+          case BatchOpKind::kErase:
+            ctx.out[i] = BatchOutcome::kErased;
+            alive = false;
+            changed = true;
+            break;
+          case BatchOpKind::kAssign:
+            ctx.out[i] = BatchOutcome::kAssigned;
+            value = *op.value;
+            changed = true;
+            break;
+        }
+        continue;
+      }
+      if (op.kind == BatchOpKind::kErase) {
+        ctx.out[i] = BatchOutcome::kNoop;  // absent key
+        continue;
+      }
+      ctx.out[i] = BatchOutcome::kInserted;
+      changed = true;
+      if (!placed && alive && cmp(n->key, op.key)) {
+        run.emplace_back(n->key, value);
+        placed = true;
+      }
+      run.emplace_back(op.key, *op.value);
+    }
+    if (!changed) return n;
+    if (alive && !placed) {
+      // The leaf's key sorts after every landing insert seen so far —
+      // or before all of them; find its slot (the run is sorted).
+      std::size_t at = run.size();
+      while (at > 0 && cmp(n->key, run[at - 1].first)) --at;
+      run.insert(run.begin() + static_cast<std::ptrdiff_t>(at),
+                 {n->key, value});
+    }
+    b.supersede(n);
+    if (run.empty()) return nullptr;
+    return build_sorted_rec(b, run, 0, run.size());
+  }
+
+  // Batch aimed at an empty tree: erases are no-ops, the surviving
+  // inserts/assigns build the balanced external tree directly.
+  template <class B>
+  static const Node* build_batch_inserts(B& b, BatchCtx& ctx, std::size_t lo,
+                                         std::size_t hi) {
+    std::vector<std::pair<K, V>> run;
+    run.reserve(hi - lo);
+    for (std::size_t i = lo; i < hi; ++i) {
+      if (ctx.ops[i].kind == BatchOpKind::kErase) {
+        ctx.out[i] = BatchOutcome::kNoop;
+      } else {
+        ctx.out[i] = BatchOutcome::kInserted;
+        run.emplace_back(ctx.ops[i].key, *ctx.ops[i].value);
+      }
+    }
+    if (run.empty()) return nullptr;
+    return build_sorted_rec(b, run, 0, run.size());
   }
 
   template <class F>

@@ -17,17 +17,28 @@
 //
 // Size-augmented like every structure here: rank/kth/count_range are
 // O(log N), and a handle is a single root pointer.
+//
+// Supports the sorted-batch protocol (persist/batch.hpp): the sweep is
+// tree-driven like the AVL port — ops partition around each node's key —
+// and subtrees reshaped by landing ops are stitched back with a
+// black-height-aware join (descend the taller side's spine to equal
+// height, attach red, repair red-red on unwind — the "just join"
+// formulation), so the result honors the full red/black contract while
+// untouched subtrees are shared by pointer.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <unordered_set>
 #include <utility>
 #include <vector>
 
 #include "core/node_base.hpp"
+#include "persist/batch.hpp"
 #include "util/assert.hpp"
+#include "util/small_vec.hpp"
 
 namespace pathcopy::persist {
 
@@ -36,6 +47,10 @@ class RbTree {
  public:
   using KeyType = K;
   using ValueType = V;
+  using KeyCompare = Cmp;
+  using BatchOp = persist::BatchOp<K, V>;
+  using BatchOpKind = persist::BatchOpKind;
+  using BatchOutcome = persist::BatchOutcome;
   enum class Color : std::uint8_t { kRed = 0, kBlack = 1 };
 
   struct Node : core::PNode {
@@ -195,6 +210,38 @@ class RbTree {
   RbTree erase(B& b, const K& key) const {
     if (!contains(key)) return *this;
     return RbTree{make_black(b, del(b, root_, key))};
+  }
+
+  /// O(n) bulk construction from strictly increasing (key, value) pairs.
+  /// The midpoint build fills every level but the last, so coloring the
+  /// bottommost level red and everything above black gives a uniform
+  /// black height (every root-to-null path sees exactly the full-level
+  /// blacks) with no red-red edge — a valid red-black tree.
+  template <class B, class It>
+  static RbTree from_sorted(B& b, It first, It last) {
+    std::vector<std::pair<K, V>> items(first, last);
+    check_sorted_items<Cmp>(items);
+    const std::size_t levels = levels_of(items.size());
+    return RbTree{build_sorted_rec(b, items, 0, items.size(), 1, levels)};
+  }
+
+  /// Applies a key-sorted, key-unique op batch in one path-copying sweep
+  /// and reports a per-op outcome (aligned with `ops`). Contents are
+  /// exactly those of applying the ops one at a time; untouched subtrees
+  /// are returned by pointer (an all-noop batch returns the same root
+  /// with zero allocations) and reshaped subtrees are stitched back with
+  /// O(|bh difference|) join steps plus a bounded recolor cascade.
+  template <class B>
+  RbTree apply_sorted_batch(B& b, std::span<const BatchOp> ops,
+                            std::span<BatchOutcome> outcomes) const {
+    PC_ASSERT(outcomes.size() >= ops.size(),
+              "apply_sorted_batch outcome span too small");
+    if (ops.empty()) return *this;
+    check_sorted_batch<Cmp>(ops);
+    // The root is always black, so an untouched result stays shared and
+    // a reshaped one is re-anchored for free (make_black on black = id).
+    return RbTree{make_black(b, detail::apply_batch_rec<BatchSweep>(
+                                    b, root_, ops, outcomes, 0, ops.size()))};
   }
 
   // ----- structural utilities -----
@@ -511,6 +558,175 @@ class RbTree {
       return mk(b, kRed, n->left, n->key, n->value, del(b, n->right, k));
     }
     return append(b, n->left, n->right);
+  }
+
+  // ----- bulk construction and sorted-batch application -----
+
+  /// Levels of the midpoint-built tree of n nodes (bit_width(n)): every
+  /// level but the last is full, which is what the coloring rule rides.
+  static std::size_t levels_of(std::size_t n) noexcept {
+    std::size_t lv = 0;
+    while (n != 0) {
+      ++lv;
+      n >>= 1;
+    }
+    return lv;
+  }
+
+  template <class B>
+  static const Node* build_sorted_rec(B& b,
+                                      const std::vector<std::pair<K, V>>& items,
+                                      std::size_t lo, std::size_t hi,
+                                      std::size_t depth, std::size_t levels) {
+    if (lo == hi) return nullptr;
+    const std::size_t mid = lo + (hi - lo) / 2;
+    const Node* l = build_sorted_rec(b, items, lo, mid, depth + 1, levels);
+    const Node* r = build_sorted_rec(b, items, mid + 1, hi, depth + 1, levels);
+    const Color c = (depth == levels && levels > 1) ? kRed : kBlack;
+    return mk(b, c, l, items[mid].first, items[mid].second, r);
+  }
+
+  /// Blacks on the left spine — the black height of any valid subtree.
+  static std::size_t black_height_of(const Node* n) noexcept {
+    std::size_t h = 0;
+    for (; n != nullptr; n = n->left) {
+      if (n->color == kBlack) ++h;
+    }
+    return h;
+  }
+
+  /// Descends l's right spine to the black node of r's black height,
+  /// attaches (k, v) red there, and repairs any red-red pair on unwind
+  /// with one recoloring left rotation per level. Pre: bh(l) >= bh(r),
+  /// both roots black.
+  template <class B>
+  static const Node* join_right(B& b, const Node* l, const K& k, const V& v,
+                                const Node* r, std::size_t bl, std::size_t br) {
+    if (bl == br && !is_red(l)) return mk(b, kRed, l, k, v, r);
+    b.supersede(l);
+    const Node* t = join_right(b, l->right, k, v, r,
+                               bl - (l->color == kBlack ? 1 : 0), br);
+    if (l->color == kBlack && is_red(t) && is_red(t->right)) {
+      const Node* tr = t->right;
+      b.supersede(t);
+      b.supersede(tr);
+      return mk(b, kRed, mk(b, kBlack, l->left, l->key, l->value, t->left),
+                t->key, t->value,
+                mk(b, kBlack, tr->left, tr->key, tr->value, tr->right));
+    }
+    return mk(b, l->color, l->left, l->key, l->value, t);
+  }
+
+  /// Mirror image: descends r's left spine. Pre: bh(r) >= bh(l).
+  template <class B>
+  static const Node* join_left(B& b, const Node* l, const K& k, const V& v,
+                               const Node* r, std::size_t bl, std::size_t br) {
+    if (bl == br && !is_red(r)) return mk(b, kRed, l, k, v, r);
+    b.supersede(r);
+    const Node* t = join_left(b, l, k, v, r->left, bl,
+                              br - (r->color == kBlack ? 1 : 0));
+    if (r->color == kBlack && is_red(t) && is_red(t->left)) {
+      const Node* tl = t->left;
+      b.supersede(t);
+      b.supersede(tl);
+      return mk(b, kRed, mk(b, kBlack, tl->left, tl->key, tl->value, tl->right),
+                t->key, t->value,
+                mk(b, kBlack, t->right, r->key, r->value, r->right));
+    }
+    return mk(b, r->color, t, r->key, r->value, r->right);
+  }
+
+  /// Joins l < (k, v) < r where l and r are standalone valid red-black
+  /// subtrees of arbitrary black height (the batch recursion hands back
+  /// reshaped trees). Result is a valid black-rooted tree.
+  template <class B>
+  static const Node* join(B& b, const K& k, const V& v, const Node* l,
+                          const Node* r) {
+    l = make_black(b, l);
+    r = make_black(b, r);
+    const std::size_t bl = black_height_of(l);
+    const std::size_t br = black_height_of(r);
+    if (bl == br) return mk(b, kBlack, l, k, v, r);
+    const Node* t = bl > br ? join_right(b, l, k, v, r, bl, br)
+                            : join_left(b, l, k, v, r, bl, br);
+    return make_black(b, t);
+  }
+
+  /// Joins l < r without a middle key (the batch erased it): pops r's
+  /// minimum through the deletion machinery and reuses it as the pivot.
+  template <class B>
+  static const Node* join2(B& b, const Node* l, const Node* r) {
+    if (r == nullptr) return l;
+    if (l == nullptr) return r;
+    const Node* rb = make_black(b, r);
+    const Node* mn = rb;
+    while (mn->left != nullptr) mn = mn->left;
+    const K pk = mn->key;
+    const V pv = mn->value;
+    const Node* rest = make_black(b, del(b, rb, pk));
+    return join(b, pk, pv, l, rest);
+  }
+
+  /// Inline scratch capacity for the batch-tail builder; combiner batches
+  /// are at most 2x the announcement-slot count.
+  static constexpr std::size_t kInlineBatch = 128;
+
+  /// Policy for the shared tree-driven sweep (persist/batch.hpp): the
+  /// partition recursion lives there; only the join discipline and the
+  /// off-tree bulk build are red-black-specific.
+  struct BatchSweep {
+    using Node = RbTree::Node;
+    using KeyCompare = Cmp;
+    template <class B>
+    static const Node* join(B& b, const K& k, const V& v, const Node* l,
+                            const Node* r) {
+      return RbTree::join(b, k, v, l, r);
+    }
+    template <class B>
+    static const Node* join2(B& b, const Node* l, const Node* r) {
+      return RbTree::join2(b, l, r);
+    }
+    template <class B>
+    static const Node* build_inserts(B& b, std::span<const BatchOp> ops,
+                                     std::span<BatchOutcome> out,
+                                     std::size_t lo, std::size_t hi) {
+      return RbTree::build_batch_inserts(b, ops, out, lo, hi);
+    }
+  };
+
+  // Batch tail that ran off the tree: erases are no-ops, the surviving
+  // inserts/assigns build their balanced subtree directly via the same
+  // leveled-coloring midpoint scheme as from_sorted.
+  template <class B>
+  static const Node* build_batch_inserts(B& b, std::span<const BatchOp> ops,
+                                         std::span<BatchOutcome> out,
+                                         std::size_t lo, std::size_t hi) {
+    util::SmallVec<std::size_t, kInlineBatch> land;  // ops that insert
+    for (std::size_t i = lo; i < hi; ++i) {
+      if (ops[i].kind == BatchOpKind::kErase) {
+        out[i] = BatchOutcome::kNoop;
+      } else {
+        out[i] = BatchOutcome::kInserted;
+        land.push_back(i);
+      }
+    }
+    if (land.empty()) return nullptr;
+    return build_land_rec(b, ops, land, 0, land.size(), 1,
+                          levels_of(land.size()));
+  }
+
+  template <class B>
+  static const Node* build_land_rec(
+      B& b, std::span<const BatchOp> ops,
+      const util::SmallVec<std::size_t, kInlineBatch>& land, std::size_t lo,
+      std::size_t hi, std::size_t depth, std::size_t levels) {
+    if (lo == hi) return nullptr;
+    const std::size_t mid = lo + (hi - lo) / 2;
+    const Node* l = build_land_rec(b, ops, land, lo, mid, depth + 1, levels);
+    const Node* r = build_land_rec(b, ops, land, mid + 1, hi, depth + 1, levels);
+    const BatchOp& op = ops[land[mid]];
+    const Color c = (depth == levels && levels > 1) ? kRed : kBlack;
+    return mk(b, c, l, op.key, *op.value, r);
   }
 
   // ----- verification and traversal -----

@@ -256,10 +256,7 @@ class Treap {
     std::vector<std::pair<K, V>> items(first, last);
     const std::size_t n = items.size();
     if (n == 0) return Treap{};
-    for (std::size_t i = 1; i < n; ++i) {
-      PC_ASSERT(Cmp{}(items[i - 1].first, items[i].first),
-                "from_sorted requires strictly increasing keys");
-    }
+    check_sorted_items<Cmp>(items);
     // Cartesian-tree construction over the rightmost spine, on index
     // scaffolding first (nodes are immutable, so links are resolved
     // bottom-up in a second pass).
@@ -303,11 +300,7 @@ class Treap {
     PC_ASSERT(outcomes.size() >= ops.size(),
               "apply_sorted_batch outcome span too small");
     if (ops.empty()) return *this;
-    Cmp cmp;
-    for (std::size_t i = 1; i < ops.size(); ++i) {
-      PC_ASSERT(cmp(ops[i - 1].key, ops[i].key),
-                "apply_sorted_batch requires strictly increasing keys");
-    }
+    check_sorted_batch<Cmp>(ops);
     util::SmallVec<std::uint64_t, kInlineBatch> prio;
     prio.reserve(ops.size());
     for (std::size_t i = 0; i < ops.size(); ++i) {

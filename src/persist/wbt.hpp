@@ -12,18 +12,29 @@
 // and rotations are rarer for insert-heavy workloads — another data point
 // for the structure ablation. Same path-copying discipline as every
 // structure here: updates take a core::Builder and return a new handle.
+//
+// Supports the sorted-batch protocol (persist/batch.hpp) like the AVL
+// tree: the sweep is driven by the existing tree — ops are partitioned
+// around each node's key — and arbitrary weight changes from landing ops
+// are repaired by a path-copying join (Adams' `link` recursion, the one
+// behind Haskell's Data.Map, with the same <Delta, Gamma> = <3, 2>
+// criterion as the point updates), so the result is a valid BB[alpha]
+// tree whose contents match per-op application.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <tuple>
 #include <unordered_set>
 #include <utility>
 #include <vector>
 
 #include "core/node_base.hpp"
+#include "persist/batch.hpp"
 #include "util/assert.hpp"
+#include "util/small_vec.hpp"
 
 namespace pathcopy::persist {
 
@@ -32,6 +43,10 @@ class WbTree {
  public:
   using KeyType = K;
   using ValueType = V;
+  using KeyCompare = Cmp;
+  using BatchOp = persist::BatchOp<K, V>;
+  using BatchOpKind = persist::BatchOpKind;
+  using BatchOutcome = persist::BatchOutcome;
   static constexpr std::uint64_t kDelta = 3;  // sibling weight ratio bound
   static constexpr std::uint64_t kGamma = 2;  // single-vs-double rotation
 
@@ -155,6 +170,35 @@ class WbTree {
   WbTree erase(B& b, const K& key) const {
     if (!contains(key)) return *this;
     return WbTree{erase_rec(b, root_, key)};
+  }
+
+  /// O(n) bulk construction from strictly increasing (key, value) pairs.
+  /// The midpoint build yields a perfectly size-balanced tree (subtree
+  /// sizes differ by at most 1 at every node), which satisfies the weight
+  /// invariant by construction.
+  template <class B, class It>
+  static WbTree from_sorted(B& b, It first, It last) {
+    std::vector<std::pair<K, V>> items(first, last);
+    check_sorted_items<Cmp>(items);
+    return WbTree{build_sorted_rec(b, items, 0, items.size())};
+  }
+
+  /// Applies a key-sorted, key-unique op batch in one path-copying sweep
+  /// and reports a per-op outcome (aligned with `ops`). Contents are
+  /// exactly those of applying the ops one at a time; the whole batch
+  /// shares one copied spine — untouched subtrees are returned by pointer
+  /// (an all-noop batch returns the same root with zero allocations) and
+  /// subtrees reshaped by landing ops are repaired with weight-aware join
+  /// steps instead of one root-to-leaf copy per op.
+  template <class B>
+  WbTree apply_sorted_batch(B& b, std::span<const BatchOp> ops,
+                            std::span<BatchOutcome> outcomes) const {
+    PC_ASSERT(outcomes.size() >= ops.size(),
+              "apply_sorted_batch outcome span too small");
+    if (ops.empty()) return *this;
+    check_sorted_batch<Cmp>(ops);
+    return WbTree{detail::apply_batch_rec<BatchSweep>(b, root_, ops, outcomes,
+                                                      0, ops.size())};
   }
 
   // ----- structural utilities -----
@@ -287,6 +331,109 @@ class WbTree {
     if (n->left == nullptr) return {n->key, n->value, n->right};
     auto [k, v, nl] = pop_min(b, n->left);
     return {k, v, balance(b, n->key, n->value, nl, n->right)};
+  }
+
+  template <class B>
+  static const Node* build_sorted_rec(B& b,
+                                      const std::vector<std::pair<K, V>>& items,
+                                      std::size_t lo, std::size_t hi) {
+    if (lo == hi) return nullptr;
+    const std::size_t mid = lo + (hi - lo) / 2;
+    const Node* l = build_sorted_rec(b, items, lo, mid);
+    const Node* r = build_sorted_rec(b, items, mid + 1, hi);
+    return mk(b, items[mid].first, items[mid].second, l, r);
+  }
+
+  // --- sorted-batch application ---
+
+  /// Joins l < (k, v) < r where l and r may differ in weight arbitrarily
+  /// (the batch recursion hands back reshaped subtrees). Adams' `link`:
+  /// descends the heavier side's inner spine until the Delta ratio holds,
+  /// then links; every unwind step is a balance() whose single/double
+  /// rotation (Gamma criterion) restores the invariant level by level.
+  template <class B>
+  static const Node* join(B& b, const K& k, const V& v, const Node* l,
+                          const Node* r) {
+    const std::uint64_t wl = weight(l);
+    const std::uint64_t wr = weight(r);
+    if (wl > kDelta * wr) {
+      b.supersede(l);
+      return balance(b, l->key, l->value, l->left, join(b, k, v, l->right, r));
+    }
+    if (wr > kDelta * wl) {
+      b.supersede(r);
+      return balance(b, r->key, r->value, join(b, k, v, l, r->left), r->right);
+    }
+    return mk(b, k, v, l, r);
+  }
+
+  /// Joins l < r without a middle key (the batch erased it): pulls up r's
+  /// minimum as the new pivot.
+  template <class B>
+  static const Node* join2(B& b, const Node* l, const Node* r) {
+    if (r == nullptr) return l;
+    auto [k, v, nr] = pop_min(b, r);
+    return join(b, k, v, l, nr);
+  }
+
+  /// Inline scratch capacity for the batch-tail builder; combiner batches
+  /// are at most 2x the announcement-slot count.
+  static constexpr std::size_t kInlineBatch = 128;
+
+  /// Policy for the shared tree-driven sweep (persist/batch.hpp): the
+  /// partition recursion lives there; only the join discipline and the
+  /// off-tree bulk build are weight-balance-specific.
+  struct BatchSweep {
+    using Node = WbTree::Node;
+    using KeyCompare = Cmp;
+    template <class B>
+    static const Node* join(B& b, const K& k, const V& v, const Node* l,
+                            const Node* r) {
+      return WbTree::join(b, k, v, l, r);
+    }
+    template <class B>
+    static const Node* join2(B& b, const Node* l, const Node* r) {
+      return WbTree::join2(b, l, r);
+    }
+    template <class B>
+    static const Node* build_inserts(B& b, std::span<const BatchOp> ops,
+                                     std::span<BatchOutcome> out,
+                                     std::size_t lo, std::size_t hi) {
+      return WbTree::build_batch_inserts(b, ops, out, lo, hi);
+    }
+  };
+
+  // Batch tail that ran off the tree: erases are no-ops, the surviving
+  // inserts/assigns build their balanced subtree directly via the same
+  // midpoint scheme as from_sorted.
+  template <class B>
+  static const Node* build_batch_inserts(B& b, std::span<const BatchOp> ops,
+                                         std::span<BatchOutcome> out,
+                                         std::size_t lo, std::size_t hi) {
+    util::SmallVec<std::size_t, kInlineBatch> land;  // ops that insert
+    for (std::size_t i = lo; i < hi; ++i) {
+      if (ops[i].kind == BatchOpKind::kErase) {
+        out[i] = BatchOutcome::kNoop;
+      } else {
+        out[i] = BatchOutcome::kInserted;
+        land.push_back(i);
+      }
+    }
+    if (land.empty()) return nullptr;
+    return build_land_rec(b, ops, land, 0, land.size());
+  }
+
+  template <class B>
+  static const Node* build_land_rec(
+      B& b, std::span<const BatchOp> ops,
+      const util::SmallVec<std::size_t, kInlineBatch>& land, std::size_t lo,
+      std::size_t hi) {
+    if (lo == hi) return nullptr;
+    const std::size_t mid = lo + (hi - lo) / 2;
+    const Node* l = build_land_rec(b, ops, land, lo, mid);
+    const Node* r = build_land_rec(b, ops, land, mid + 1, hi);
+    const BatchOp& op = ops[land[mid]];
+    return mk(b, op.key, *op.value, l, r);
   }
 
   template <class F>

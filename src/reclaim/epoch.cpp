@@ -9,10 +9,12 @@ EpochReclaimer::~EpochReclaimer() { drain_all(); }
 EpochReclaimer::ThreadHandle EpochReclaimer::register_thread() {
   std::lock_guard lock(registry_mu_);
   // Reuse a slot whose previous owner has exited (keeps the registry from
-  // growing without bound when threads churn).
+  // growing without bound when threads churn). The acquire pairs with the
+  // releasing thread's in_use store: it orders that thread's bucket flush
+  // before any use of the slot by its new owner.
   for (auto& slot : registry_) {
     Guard::Rec& rec = slot->value;
-    if (!rec.in_use.load(std::memory_order_relaxed)) {
+    if (!rec.in_use.load(std::memory_order_acquire)) {
       rec.in_use.store(true, std::memory_order_relaxed);
       rec.epoch.store(kIdle, std::memory_order_relaxed);
       return ThreadHandle{&rec};

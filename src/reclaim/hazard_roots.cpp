@@ -12,9 +12,12 @@ HazardRootReclaimer::ThreadHandle HazardRootReclaimer::register_thread() {
   std::lock_guard lock(registry_mu_);
   for (auto& slot : slots_) {
     Slot& s = slot->value;
-    if (!s.in_use.load(std::memory_order_relaxed)) {
+    // Acquire pairs with the exiting owner's release store: its final
+    // writes to the slot happen-before the new owner's first use.
+    if (!s.in_use.load(std::memory_order_acquire)) {
       s.in_use.store(true, std::memory_order_relaxed);
       s.hazard.store(nullptr, std::memory_order_relaxed);
+      s.era.store(kIdle, std::memory_order_relaxed);
       return ThreadHandle{&s};
     }
   }
@@ -26,11 +29,17 @@ HazardRootReclaimer::ThreadHandle HazardRootReclaimer::register_thread() {
 
 HazardRootReclaimer::Guard HazardRootReclaimer::pin(
     ThreadHandle& h, const std::atomic<const void*>& root,
-    const std::atomic<std::uint64_t>&) {
+    const std::atomic<std::uint64_t>& version) {
   Slot* slot = h.slot_;
   PC_DASSERT(slot != nullptr, "pin on an empty thread handle");
   for (;;) {
-    const void* r = root.load(std::memory_order_acquire);
+    // Era before root: the counter trails the root (writers bump it after
+    // their CAS), so whatever root we then load has version >= e — the
+    // era conservatively covers the whole pinned snapshot, and also any
+    // nodes this thread publishes on top of it (they die later still).
+    const std::uint64_t e = version.load(std::memory_order_seq_cst);
+    const void* r = root.load(std::memory_order_seq_cst);
+    slot->era.store(e, std::memory_order_seq_cst);
     slot->hazard.store(r, std::memory_order_seq_cst);
     // Validate: if the root moved between load and announce, the announced
     // value may already be retired — retry until the announcement sticks.
@@ -40,21 +49,15 @@ HazardRootReclaimer::Guard HazardRootReclaimer::pin(
   }
 }
 
-void HazardRootReclaimer::note_root(const void* root, std::uint64_t version) {
-  if (root == nullptr) return;  // empty version: nothing to protect
-  std::lock_guard lock(mu_);
-  root_version_[root] = version;
-}
-
 void HazardRootReclaimer::retire_bundle(ThreadHandle& h,
                                         std::uint64_t death_version,
                                         const void* old_root,
                                         const void* new_root,
                                         std::vector<Retired>&& nodes) {
+  (void)new_root;
   retired_.fetch_add(nodes.size(), std::memory_order_relaxed);
   {
     std::lock_guard lock(mu_);
-    if (new_root != nullptr) root_version_[new_root] = death_version;
     bundles_.push_back(Bundle{death_version, old_root, std::move(nodes)});
   }
   if (++h.since_scan_ >= kScanInterval) {
@@ -63,19 +66,11 @@ void HazardRootReclaimer::retire_bundle(ThreadHandle& h,
   }
 }
 
-std::uint64_t HazardRootReclaimer::min_protected_version_locked() {
+std::uint64_t HazardRootReclaimer::min_protected_era_locked() {
   std::uint64_t min = ~std::uint64_t{0};
   std::lock_guard lock(registry_mu_);
   for (const auto& slot : slots_) {
-    const void* h = slot->value.hazard.load(std::memory_order_seq_cst);
-    if (h == nullptr) continue;
-    auto it = root_version_.find(h);
-    if (it != root_version_.end()) {
-      min = std::min(min, it->second);
-    }
-    // A hazard not in the map is a transient announcement that lost its
-    // validation race (the root it names was already retired and freed, so
-    // the reader will loop); it protects nothing.
+    min = std::min(min, slot->value.era.load(std::memory_order_seq_cst));
   }
   return min;
 }
@@ -84,12 +79,12 @@ void HazardRootReclaimer::collect() {
   std::vector<Bundle> ripe;
   {
     std::lock_guard lock(mu_);
-    const std::uint64_t min = min_protected_version_locked();
+    const std::uint64_t min = min_protected_era_locked();
     std::size_t kept = 0;
     for (std::size_t i = 0; i < bundles_.size(); ++i) {
-      // A protected root of version v pins all bundles with death > v.
+      // An announced era e pins all bundles with death > e: everything
+      // the announcing thread can touch dies strictly after its era.
       if (bundles_[i].death_version <= min) {
-        root_version_.erase(bundles_[i].old_root);
         ripe.push_back(std::move(bundles_[i]));
       } else {
         if (kept != i) bundles_[kept] = std::move(bundles_[i]);

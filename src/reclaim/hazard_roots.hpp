@@ -6,17 +6,27 @@
 // thread plus the classic load/announce/validate loop on Root_Ptr.
 //
 // A protected root r pins every node of r's version — including nodes
-// that later transitions superseded. The reclaimer therefore maps each
-// live root to its version number and frees a bundle with death version d
-// only when every protected root's version is >= d. Roots leave the map
-// when the bundle retiring them is freed.
+// that later transitions superseded. Protection is keyed on *eras*
+// (hazard-era style): alongside the root pointer, pin announces the
+// version counter value read *before* loading the root. The counter
+// trails the root (writers bump it after their CAS), so the announced
+// era e lower-bounds the pinned root's version, and every node the
+// reader can touch — the pinned snapshot plus anything the reader
+// itself publishes afterwards — dies at a version > e. A bundle with
+// death version d is freed only when every announced era is >= d.
+//
+// Keying on the announced era rather than on a root -> version side map
+// matters: a map entry can only be registered *after* the installing
+// CAS publishes the root, so a reader can validly pin a root the map
+// has never heard of, and map entries keyed by address are exposed to
+// reuse ABA. The era is announced by the reader itself, is always
+// conservative, and needs no shared lookup state.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
-#include <unordered_map>
 #include <vector>
 
 #include "reclaim/retired.hpp"
@@ -27,6 +37,8 @@ namespace pathcopy::reclaim {
 class HazardRootReclaimer {
  public:
   static constexpr std::uint64_t kScanInterval = 64;
+  /// Era announced by idle slots (no guard live).
+  static constexpr std::uint64_t kIdle = ~std::uint64_t{0};
 
   HazardRootReclaimer() = default;
   HazardRootReclaimer(const HazardRootReclaimer&) = delete;
@@ -35,6 +47,7 @@ class HazardRootReclaimer {
 
   struct Slot {
     std::atomic<const void*> hazard{nullptr};
+    std::atomic<std::uint64_t> era{kIdle};
     std::atomic<bool> in_use{false};
   };
 
@@ -64,6 +77,7 @@ class HazardRootReclaimer {
     void release() noexcept {
       if (slot_ != nullptr) {
         slot_->hazard.store(nullptr, std::memory_order_release);
+        slot_->era.store(kIdle, std::memory_order_release);
         slot_->in_use.store(false, std::memory_order_release);
         slot_ = nullptr;
       }
@@ -79,7 +93,10 @@ class HazardRootReclaimer {
     Guard& operator=(const Guard&) = delete;
     Guard& operator=(Guard&&) = delete;
     ~Guard() {
-      if (slot_ != nullptr) slot_->hazard.store(nullptr, std::memory_order_release);
+      if (slot_ != nullptr) {
+        slot_->hazard.store(nullptr, std::memory_order_release);
+        slot_->era.store(kIdle, std::memory_order_release);
+      }
     }
     const void* root() const noexcept { return root_; }
 
@@ -92,17 +109,14 @@ class HazardRootReclaimer {
 
   ThreadHandle register_thread();
 
-  /// Standard hazard protocol: announce the loaded root, re-validate, loop.
+  /// Standard hazard protocol plus the era announcement: read the version
+  /// counter, load the root, announce (era, root), re-validate, loop.
   Guard pin(ThreadHandle& h, const std::atomic<const void*>& root,
             const std::atomic<std::uint64_t>& version);
 
   void retire_bundle(ThreadHandle& h, std::uint64_t death_version,
                      const void* old_root, const void* new_root,
                      std::vector<Retired>&& nodes);
-
-  /// Registers the version of the initial root (called once by the UC at
-  /// construction so the map covers version 1).
-  void note_root(const void* root, std::uint64_t version);
 
   void drain_all();
 
@@ -116,14 +130,13 @@ class HazardRootReclaimer {
 
  private:
   void collect();
-  std::uint64_t min_protected_version_locked();
+  std::uint64_t min_protected_era_locked();
 
   std::mutex registry_mu_;
   std::vector<std::unique_ptr<util::Padded<Slot>>> slots_;
 
-  std::mutex mu_;  // guards bundles_ and root_version_
+  std::mutex mu_;  // guards bundles_
   std::vector<Bundle> bundles_;
-  std::unordered_map<const void*, std::uint64_t> root_version_;
 
   std::atomic<std::uint64_t> freed_{0};
   std::atomic<std::uint64_t> retired_{0};

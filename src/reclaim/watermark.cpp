@@ -12,7 +12,9 @@ WatermarkReclaimer::ThreadHandle WatermarkReclaimer::register_thread() {
   std::lock_guard lock(registry_mu_);
   for (auto& slot : slots_) {
     Slot& s = slot->value;
-    if (!s.in_use.load(std::memory_order_relaxed)) {
+    // Acquire pairs with the exiting owner's release store: its final
+    // writes to the slot happen-before the new owner's first use.
+    if (!s.in_use.load(std::memory_order_acquire)) {
       s.in_use.store(true, std::memory_order_relaxed);
       s.pinned.store(kUnpinned, std::memory_order_relaxed);
       return ThreadHandle{&s};

@@ -1,0 +1,69 @@
+// Word-wise relaxed-atomic storage for seqlock-style publication.
+//
+// The combining UC's announcement protocol deliberately lets combiners
+// copy a payload its owner may be concurrently overwriting: a seq
+// re-check after the copy discards torn values, and anything decided on
+// a torn copy is guarded by a root CAS that is already doomed. For that
+// discipline to be defined behavior (and TSan-clean) the racing accesses
+// themselves must be atomic: RacyCell stores T as relaxed atomic 64-bit
+// words, so a concurrent load observes an interleaving of whole words —
+// possibly torn *across* words, never undefined. All ordering comes from
+// the seq counter the caller publishes with release/acquire around the
+// cell accesses; the cell itself adds none.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+namespace pathcopy::util {
+
+template <class T>
+class RacyCell {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "RacyCell requires a trivially copyable payload");
+
+ public:
+  RacyCell() noexcept = default;
+
+  void store(const T& v) noexcept {
+    unsigned char tmp[kWords * 8] = {};
+    std::memcpy(tmp, &v, sizeof(T));
+    for (std::size_t i = 0; i < kWords; ++i) {
+      std::uint64_t w;
+      std::memcpy(&w, tmp + 8 * i, 8);
+      word_ref(i).store(w, std::memory_order_relaxed);
+    }
+  }
+
+  /// May return a value torn across 8-byte boundaries; the caller's seq
+  /// protocol must detect and discard such reads.
+  T load() noexcept {
+    Raw raw;
+    unsigned char tmp[kWords * 8];
+    for (std::size_t i = 0; i < kWords; ++i) {
+      const std::uint64_t w = word_ref(i).load(std::memory_order_relaxed);
+      std::memcpy(tmp + 8 * i, &w, 8);
+    }
+    std::memcpy(raw.b, tmp, sizeof(T));
+    return std::bit_cast<T>(raw);
+  }
+
+ private:
+  static constexpr std::size_t kWords = (sizeof(T) + 7) / 8;
+  struct Raw {
+    unsigned char b[sizeof(T)];
+  };
+
+  std::atomic_ref<std::uint64_t> word_ref(std::size_t i) noexcept {
+    return std::atomic_ref<std::uint64_t>(
+        *std::launder(reinterpret_cast<std::uint64_t*>(buf_ + 8 * i)));
+  }
+
+  alignas(alignof(T) > 8 ? alignof(T) : 8) unsigned char buf_[kWords * 8] = {};
+};
+
+}  // namespace pathcopy::util

@@ -246,59 +246,14 @@ TEST(Avl, FromSortedEmptyAndSingle) {
 A::BatchOp ains(std::int64_t k, std::int64_t v) {
   return A::BatchOp{A::BatchOpKind::kInsert, k, v};
 }
-A::BatchOp aera(std::int64_t k) {
-  return A::BatchOp{A::BatchOpKind::kErase, k, std::nullopt};
-}
-A::BatchOp aasg(std::int64_t k, std::int64_t v) {
-  return A::BatchOp{A::BatchOpKind::kAssign, k, v};
+
+// Empty/all-noop sharing and the three-kind outcome check come from the
+// shared batch-oracle harness (test_support.hpp).
+TEST(AvlBatch, NoopBatchesShareRoot) {
+  test::batch_oracle_noop_shares_root<A>();
 }
 
-TEST(AvlBatch, EmptyBatchReturnsSameRoot) {
-  alloc::Arena a;
-  A t = insert_all(a, A{}, {1, 2, 3});
-  core::Builder<alloc::Arena> b(a);
-  std::vector<A::BatchOutcome> out;
-  A t2 = t.apply_sorted_batch(b, {}, out);
-  EXPECT_EQ(t2.root_ptr(), t.root_ptr());
-  EXPECT_EQ(b.fresh_count(), 0u);
-  b.rollback();
-}
-
-TEST(AvlBatch, AllNoopBatchSharesRoot) {
-  alloc::Arena a;
-  A t = insert_all(a, A{}, {10, 20, 30});
-  core::Builder<alloc::Arena> b(a);
-  std::vector<A::BatchOp> ops{ains(10, 99), aera(15), ains(30, 99), aera(40)};
-  std::vector<A::BatchOutcome> out(ops.size());
-  A t2 = t.apply_sorted_batch(b, ops, out);
-  EXPECT_EQ(t2.root_ptr(), t.root_ptr());
-  EXPECT_EQ(b.fresh_count(), 0u);
-  for (const auto o : out) EXPECT_EQ(o, A::BatchOutcome::kNoop);
-  EXPECT_EQ(*t2.find(10), 100);  // set-style insert kept the old value
-  b.rollback();
-}
-
-TEST(AvlBatch, OutcomesAndContents) {
-  alloc::Arena a;
-  A t = insert_all(a, A{}, {10, 20, 30});
-  std::vector<A::BatchOp> ops{ains(5, 55), aera(10), aasg(20, 2000),
-                              aasg(25, 2500), ains(30, 999)};
-  std::vector<A::BatchOutcome> out(ops.size());
-  A t2 = test::apply(
-      a, [&](auto& b) { return t.apply_sorted_batch(b, ops, out); });
-  EXPECT_EQ(out[0], A::BatchOutcome::kInserted);
-  EXPECT_EQ(out[1], A::BatchOutcome::kErased);
-  EXPECT_EQ(out[2], A::BatchOutcome::kAssigned);
-  EXPECT_EQ(out[3], A::BatchOutcome::kInserted);  // assign on absent key
-  EXPECT_EQ(out[4], A::BatchOutcome::kNoop);
-  EXPECT_EQ(t2.size(), 4u);
-  EXPECT_EQ(*t2.find(5), 55);
-  EXPECT_FALSE(t2.contains(10));
-  EXPECT_EQ(*t2.find(20), 2000);
-  EXPECT_EQ(*t2.find(25), 2500);
-  EXPECT_EQ(*t2.find(30), 300);
-  EXPECT_TRUE(t2.check_invariants());
-}
+TEST(AvlBatch, OutcomesAndContents) { test::batch_oracle_outcomes<A>(); }
 
 TEST(AvlBatch, BatchOnEmptyTreeIsBalanced) {
   alloc::Arena a;
@@ -312,82 +267,13 @@ TEST(AvlBatch, BatchOnEmptyTreeIsBalanced) {
   EXPECT_EQ(t.height(), 7u);  // perfect tree of 127
 }
 
-// The property the AVL batch path is held to: contents (not shape — AVL
-// is history-dependent) must match sequential application of the same
-// ops, outcomes must match the per-op returns, and the result must be a
-// valid AVL tree. Mirrors TreapBatch.RandomBatchesMatchSequentialApplication.
+// The property the AVL batch path is held to, via the shared oracle
+// harness: contents (not shape — AVL is history-dependent) must match
+// sequential application of the same ops, outcomes must match the
+// per-op returns, and the result must be a valid AVL tree.
 TEST(AvlBatch, RandomBatchesMatchSequentialApplication) {
-  util::Xoshiro256 rng(4321);
-  for (int round = 0; round < 40; ++round) {
-    alloc::Arena a;
-    {
-      const std::int64_t key_range =
-          1 + static_cast<std::int64_t>(rng.range(0, 400));
-      A t;
-      for (int i = 0; i < 120; ++i) {
-        const std::int64_t k = rng.range(0, key_range);
-        t = test::apply(a, [&](auto& b) { return t.insert(b, k, k * 7); });
-      }
-
-      std::vector<A::BatchOp> ops;
-      const int batch_size = 1 + static_cast<int>(rng.range(0, 40));
-      std::set<std::int64_t> used;
-      for (int i = 0; i < batch_size; ++i) {
-        const std::int64_t k = rng.range(0, key_range);
-        if (!used.insert(k).second) continue;
-        const auto roll = rng.range(0, 2);
-        if (roll == 0) {
-          ops.push_back(ains(k, k * 100 + 1));
-        } else if (roll == 1) {
-          ops.push_back(aera(k));
-        } else {
-          ops.push_back(aasg(k, k * 100 + 2));
-        }
-      }
-      std::sort(ops.begin(), ops.end(),
-                [](const A::BatchOp& x, const A::BatchOp& y) {
-                  return x.key < y.key;
-                });
-
-      std::vector<A::BatchOutcome> out(ops.size());
-      A batch = test::apply(
-          a, [&](auto& b) { return t.apply_sorted_batch(b, ops, out); });
-      ASSERT_TRUE(batch.check_invariants()) << "round " << round;
-
-      A seq = t;
-      for (std::size_t i = 0; i < ops.size(); ++i) {
-        const A::BatchOp& op = ops[i];
-        const bool was_present = seq.contains(op.key);
-        seq = test::apply(a, [&](auto& b) {
-          switch (op.kind) {
-            case A::BatchOpKind::kInsert:
-              return seq.insert(b, op.key, *op.value);
-            case A::BatchOpKind::kErase:
-              return seq.erase(b, op.key);
-            default:
-              return seq.insert_or_assign(b, op.key, *op.value);
-          }
-        });
-        A::BatchOutcome expect;
-        switch (op.kind) {
-          case A::BatchOpKind::kInsert:
-            expect = was_present ? A::BatchOutcome::kNoop
-                                 : A::BatchOutcome::kInserted;
-            break;
-          case A::BatchOpKind::kErase:
-            expect = was_present ? A::BatchOutcome::kErased
-                                 : A::BatchOutcome::kNoop;
-            break;
-          default:
-            expect = was_present ? A::BatchOutcome::kAssigned
-                                 : A::BatchOutcome::kInserted;
-            break;
-        }
-        ASSERT_EQ(out[i], expect) << "round " << round << " op " << i;
-      }
-      ASSERT_EQ(batch.items(), seq.items()) << "round " << round;
-    }
-  }
+  test::batch_oracle_random<A>(4321, 40, test::BatchKeyPattern::kUniform);
+  test::batch_oracle_random<A>(4322, 20, test::BatchKeyPattern::kClustered);
 }
 
 }  // namespace

@@ -280,5 +280,103 @@ TEST(BtreeFanouts, F4) { run_fanout_battery<4>(); }
 TEST(BtreeFanouts, F16) { run_fanout_battery<16>(); }
 TEST(BtreeFanouts, F64) { run_fanout_battery<64>(); }
 
+// ----- from_sorted + apply_sorted_batch (shared oracle harness) -----
+
+TEST(Btree, FromSortedRoundTrip) { test::from_sorted_roundtrip<T>(); }
+
+// Balanced leaf/internal packing must respect the occupancy bounds at
+// every size (check_invariants audits [min, max] fill and uniform leaf
+// depth) — and at the tightest legal fanout, where the margins vanish.
+TEST(Btree, FromSortedOccupancyHoldsAcrossSizes) {
+  alloc::Arena a;
+  for (std::int64_t n = 0; n <= 200; ++n) {
+    std::vector<std::pair<std::int64_t, std::int64_t>> items;
+    for (std::int64_t k = 0; k < n; ++k) items.emplace_back(k, k);
+    T t = test::apply(a, [&](auto& b) {
+      return T::from_sorted(b, items.begin(), items.end());
+    });
+    ASSERT_TRUE(t.check_invariants()) << "n = " << n;
+    using T3 = persist::BTree<std::int64_t, std::int64_t, 3>;
+    T3 t3 = test::apply(a, [&](auto& b) {
+      return T3::from_sorted(b, items.begin(), items.end());
+    });
+    ASSERT_TRUE(t3.check_invariants()) << "fanout 3, n = " << n;
+  }
+}
+
+TEST(BtreeBatch, NoopBatchesShareRoot) {
+  test::batch_oracle_noop_shares_root<T>();
+}
+
+TEST(BtreeBatch, OutcomesAndContents) { test::batch_oracle_outcomes<T>(); }
+
+TEST(BtreeBatch, RandomBatchesMatchSequentialApplication) {
+  test::batch_oracle_random<T>(9191, 40, test::BatchKeyPattern::kUniform);
+  test::batch_oracle_random<T>(9192, 20, test::BatchKeyPattern::kClustered);
+}
+
+// The piece machinery is fanout-sensitive (underflow repair margins
+// shrink with F); run the oracle at the tightest and a fat fanout too.
+TEST(BtreeBatch, RandomBatchesAcrossFanouts) {
+  test::batch_oracle_random<persist::BTree<std::int64_t, std::int64_t, 3>>(
+      9291, 25, test::BatchKeyPattern::kUniform);
+  test::batch_oracle_random<persist::BTree<std::int64_t, std::int64_t, 4>>(
+      9292, 25, test::BatchKeyPattern::kUniform);
+  test::batch_oracle_random<persist::BTree<std::int64_t, std::int64_t, 16>>(
+      9293, 25, test::BatchKeyPattern::kClustered);
+}
+
+// Occupancy audit around batch-driven growth and shrinkage: a bulk
+// insert run must split leaves (height grows, bounds hold), and a mass
+// erase must merge/collapse back down to a shorter valid tree.
+TEST(BtreeBatch, SplitsAndCollapsesKeepOccupancyBounds) {
+  alloc::Arena a;
+  std::vector<std::pair<std::int64_t, std::int64_t>> items;
+  for (std::int64_t k = 0; k < 512; ++k) items.emplace_back(k * 2, k);
+  T t = test::apply(
+      a, [&](auto& b) { return T::from_sorted(b, items.begin(), items.end()); });
+  const std::size_t h0 = t.height();
+
+  // Dense insert run: every odd key in [0, 2048) lands, doubling the
+  // contested range and forcing leaf splits all along it.
+  std::vector<T::BatchOp> grow;
+  for (std::int64_t k = 1; k < 2048; k += 2) {
+    grow.push_back(T::BatchOp{T::BatchOpKind::kInsert, k, k});
+  }
+  std::vector<T::BatchOutcome> out(grow.size());
+  T big = test::apply(
+      a, [&](auto& b) { return t.apply_sorted_batch(b, grow, out); });
+  EXPECT_EQ(big.size(), 512u + grow.size());
+  EXPECT_TRUE(big.check_invariants());
+  EXPECT_GE(big.height(), h0);
+
+  // Mass erase: everything but 3 keys vanishes in one batch; the tree
+  // must collapse to a short valid root without underfull nodes.
+  std::vector<T::BatchOp> shrink;
+  for (const auto& [k, v] : big.items()) {
+    if (k % 997 != 0) {
+      shrink.push_back(T::BatchOp{T::BatchOpKind::kErase, k, std::nullopt});
+    }
+  }
+  std::vector<T::BatchOutcome> out2(shrink.size());
+  T small = test::apply(
+      a, [&](auto& b) { return big.apply_sorted_batch(b, shrink, out2); });
+  EXPECT_EQ(small.size(), big.size() - shrink.size());
+  EXPECT_TRUE(small.check_invariants());
+  EXPECT_LT(small.height(), big.height());
+  EXPECT_TRUE(big.check_invariants());  // old version untouched
+
+  // And all the way to empty.
+  std::vector<T::BatchOp> wipe;
+  for (const auto& [k, v] : small.items()) {
+    wipe.push_back(T::BatchOp{T::BatchOpKind::kErase, k, std::nullopt});
+  }
+  std::vector<T::BatchOutcome> out3(wipe.size());
+  T none = test::apply(
+      a, [&](auto& b) { return small.apply_sorted_batch(b, wipe, out3); });
+  EXPECT_TRUE(none.empty());
+  EXPECT_TRUE(none.check_invariants());
+}
+
 }  // namespace
 }  // namespace pathcopy

@@ -18,7 +18,11 @@
 #include "alloc/malloc_alloc.hpp"
 #include "core/combining.hpp"
 #include "persist/avl.hpp"
+#include "persist/btree.hpp"
+#include "persist/external_bst.hpp"
+#include "persist/rbt.hpp"
 #include "persist/treap.hpp"
+#include "persist/wbt.hpp"
 #include "reclaim/epoch.hpp"
 #include "reclaim/hazard_roots.hpp"
 #include "reclaim/watermark.hpp"
@@ -364,32 +368,60 @@ TYPED_TEST(CombiningTyped, BatchedContendedNetEffectReconciles) {
   EXPECT_EQ(a.stats().live_blocks(), 0u);
 }
 
-// The sorted-batch fast path is auto-detected per structure: both the
-// treap and (since the store PR) the AVL tree support it.
-static_assert(core::SupportsSortedBatch<T, core::Builder<alloc::MallocAlloc>>);
-static_assert(
-    core::SupportsSortedBatch<persist::AvlTree<std::int64_t, std::int64_t>,
-                              core::Builder<alloc::MallocAlloc>>);
+// ----- sorted-batch matrix: every map structure through the combiner -----
+//
+// The sorted-batch fast path is auto-detected per structure; since the
+// E8 port, every map-shaped structure models SupportsSortedBatch, and the
+// whole matrix must behave identically through the combining UC: batched
+// and per-op modes agree on responses and contents for randomized
+// request streams, and contended multi-thread runs reconcile per-key.
 
-// AVL under the combining UC: batched and per-op modes must agree on
-// responses and contents for randomized request streams — same check the
-// treap gets in BatchMatchesPerOpOnRandomStreams, minus the shape
-// comparison (AVL is history-dependent).
-TEST(CombiningBatch, AvlBatchMatchesPerOpOnRandomStreams) {
-  using Avl = persist::AvlTree<std::int64_t, std::int64_t>;
-  using AvlCA =
-      core::CombiningAtom<Avl, reclaim::EpochReclaimer, alloc::MallocAlloc>;
+template <class DS>
+class CombiningMatrix : public ::testing::Test {};
+
+using MapStructures =
+    ::testing::Types<persist::Treap<std::int64_t, std::int64_t>,
+                     persist::AvlTree<std::int64_t, std::int64_t>,
+                     persist::BTree<std::int64_t, std::int64_t, 8>,
+                     persist::RbTree<std::int64_t, std::int64_t>,
+                     persist::WbTree<std::int64_t, std::int64_t>,
+                     persist::ExternalBst<std::int64_t, std::int64_t>>;
+TYPED_TEST_SUITE(CombiningMatrix, MapStructures);
+
+static_assert(core::SupportsSortedBatch<
+              persist::Treap<std::int64_t, std::int64_t>,
+              core::Builder<alloc::MallocAlloc>>);
+static_assert(core::SupportsSortedBatch<
+              persist::AvlTree<std::int64_t, std::int64_t>,
+              core::Builder<alloc::MallocAlloc>>);
+static_assert(core::SupportsSortedBatch<
+              persist::BTree<std::int64_t, std::int64_t, 8>,
+              core::Builder<alloc::MallocAlloc>>);
+static_assert(core::SupportsSortedBatch<
+              persist::RbTree<std::int64_t, std::int64_t>,
+              core::Builder<alloc::MallocAlloc>>);
+static_assert(core::SupportsSortedBatch<
+              persist::WbTree<std::int64_t, std::int64_t>,
+              core::Builder<alloc::MallocAlloc>>);
+static_assert(core::SupportsSortedBatch<
+              persist::ExternalBst<std::int64_t, std::int64_t>,
+              core::Builder<alloc::MallocAlloc>>);
+
+TYPED_TEST(CombiningMatrix, BatchMatchesPerOpOnRandomStreams) {
+  using DS = TypeParam;
+  using CA = core::CombiningAtom<DS, reclaim::EpochReclaimer,
+                                 alloc::MallocAlloc>;
   util::Xoshiro256 rng(55);
-  for (int round = 0; round < 10; ++round) {
+  for (int round = 0; round < 6; ++round) {
     alloc::MallocAlloc a1, a2;
     {
       reclaim::EpochReclaimer smr1, smr2;
-      AvlCA batched(smr1, a1), per_op(smr2, a2);
+      CA batched(smr1, a1), per_op(smr2, a2);
       batched.set_batch_apply(true);
       per_op.set_batch_apply(false);
-      AvlCA::Ctx c1(smr1, a1), c2(smr2, a2);
-      using Req = AvlCA::BatchRequest;
-      using K = AvlCA::OpKind;
+      typename CA::Ctx c1(smr1, a1), c2(smr2, a2);
+      using Req = typename CA::BatchRequest;
+      using K = typename CA::OpKind;
 
       const std::int64_t key_range =
           1 + static_cast<std::int64_t>(rng.range(0, 60));
@@ -411,16 +443,68 @@ TEST(CombiningBatch, AvlBatchMatchesPerOpOnRandomStreams) {
           ASSERT_EQ(buf1[i], buf2[i]) << "round " << round << " op " << i;
         }
       }
-      const auto items1 = batched.read(c1, [](Avl t) { return t.items(); });
-      const auto items2 = per_op.read(c2, [](Avl t) { return t.items(); });
+      const auto items1 = batched.read(c1, [](DS t) { return t.items(); });
+      const auto items2 = per_op.read(c2, [](DS t) { return t.items(); });
       ASSERT_EQ(items1, items2) << "round " << round;
-      ASSERT_TRUE(batched.read(c1, [](Avl t) { return t.check_invariants(); }));
+      ASSERT_TRUE(
+          batched.read(c1, [](DS t) { return t.check_invariants(); }));
       ASSERT_GT(c1.stats.batched_installs, 0u);
       ASSERT_EQ(c2.stats.batched_installs, 0u);
     }
     EXPECT_EQ(a1.stats().live_blocks(), 0u);
     EXPECT_EQ(a2.stats().live_blocks(), 0u);
   }
+}
+
+// Contended 4-thread net-effect run with the batch path hot (gather
+// window on, tiny key range): per-key presence must reconcile with the
+// net of successful inserts/erases, every op completes exactly once, and
+// the final structure passes its own invariant audit — for every
+// structure in the matrix.
+TYPED_TEST(CombiningMatrix, ContendedNetEffectReconcilesBatched) {
+  using DS = TypeParam;
+  alloc::MallocAlloc a;
+  constexpr int kThreads = 4;
+  constexpr int kKeys = 8;
+  {
+    reclaim::EpochReclaimer smr;
+    core::CombiningAtom<DS, reclaim::EpochReclaimer, alloc::MallocAlloc> atom(
+        smr, a);
+    atom.set_gather_window(true);
+    std::array<std::atomic<std::int64_t>, kKeys> net{};
+    std::atomic<std::uint64_t> total_ops{0}, completions{0};
+    std::vector<std::thread> workers;
+    for (int w = 0; w < kThreads; ++w) {
+      workers.emplace_back([&, w] {
+        typename core::CombiningAtom<DS, reclaim::EpochReclaimer,
+                                     alloc::MallocAlloc>::Ctx ctx(smr, a);
+        const unsigned slot = atom.register_slot();
+        util::Xoshiro256 rng(w + 177);
+        for (int i = 0; i < 2000; ++i) {
+          const std::int64_t k = rng.range(0, kKeys - 1);
+          if (rng.chance(1, 2)) {
+            if (atom.insert(ctx, slot, k, k)) net[k].fetch_add(1);
+          } else {
+            if (atom.erase(ctx, slot, k)) net[k].fetch_sub(1);
+          }
+        }
+        total_ops += 2000;
+        completions += ctx.stats.updates + ctx.stats.helped_completions;
+      });
+    }
+    for (auto& w : workers) w.join();
+    EXPECT_EQ(completions.load(), total_ops.load());
+    typename core::CombiningAtom<DS, reclaim::EpochReclaimer,
+                                 alloc::MallocAlloc>::Ctx ctx(smr, a);
+    for (int k = 0; k < kKeys; ++k) {
+      const std::int64_t n = net[k].load();
+      ASSERT_TRUE(n == 0 || n == 1) << "key " << k << " net " << n;
+      const bool present = atom.read(ctx, [k](DS t) { return t.contains(k); });
+      ASSERT_EQ(present, n == 1) << "key " << k;
+    }
+    EXPECT_TRUE(atom.read(ctx, [](DS t) { return t.check_invariants(); }));
+  }
+  EXPECT_EQ(a.stats().live_blocks(), 0u);
 }
 
 // Value types without a default constructor are announceable: erase

@@ -209,5 +209,74 @@ TEST(ExternalBst, DestroyFreesEverything) {
   EXPECT_EQ(a.stats().live_blocks(), 0u);
 }
 
+// ----- from_sorted + apply_sorted_batch (shared oracle harness) -----
+
+TEST(ExternalBst, FromSortedRoundTrip) { test::from_sorted_roundtrip<E>(); }
+
+// The bulk build is leaf-oriented: exactly 2n-1 nodes, every pair in a
+// leaf, routers separating (check_invariants audits leaf/router
+// separation and the size augmentation).
+TEST(ExternalBst, FromSortedIsLeafOriented) {
+  alloc::Arena a;
+  std::vector<std::pair<std::int64_t, std::int64_t>> items;
+  for (std::int64_t k = 0; k < 200; ++k) items.emplace_back(k * 3, k);
+  {
+    alloc::MallocAlloc counted;
+    E t = test::apply(counted, [&](auto& b) {
+      return E::from_sorted(b, items.begin(), items.end());
+    });
+    EXPECT_EQ(counted.stats().live_blocks(), 2 * 200u - 1);
+    EXPECT_TRUE(t.check_invariants());
+    // Midpoint build: height is logarithmic, not the linked-list chain
+    // a naive sequential external insert of sorted keys would produce.
+    EXPECT_LE(t.height(), 10u);  // ceil(log2(200)) + 1
+    E::destroy(t.root_node(), counted);
+    EXPECT_EQ(counted.stats().live_blocks(), 0u);
+  }
+}
+
+TEST(ExternalBstBatch, NoopBatchesShareRoot) {
+  test::batch_oracle_noop_shares_root<E>();
+}
+
+TEST(ExternalBstBatch, OutcomesAndContents) {
+  test::batch_oracle_outcomes<E>();
+}
+
+TEST(ExternalBstBatch, RandomBatchesMatchSequentialApplication) {
+  test::batch_oracle_random<E>(6161, 40, test::BatchKeyPattern::kUniform);
+  test::batch_oracle_random<E>(6162, 20, test::BatchKeyPattern::kClustered);
+}
+
+// Batch erases splice siblings upward exactly like point erases: erasing
+// one side of a router leaves the other side's subtree shared, and
+// erasing everything leaves the empty tree.
+TEST(ExternalBstBatch, EraseRunSplicesSiblings) {
+  alloc::Arena a;
+  E t = insert_all(a, E{}, {10, 20, 30, 40, 50, 60, 70, 80});
+  // Erase the whole left half [10, 40]; the right half must come back
+  // shared, not copied.
+  std::vector<E::BatchOp> ops;
+  for (const std::int64_t k : {10, 20, 30, 40}) {
+    ops.push_back(E::BatchOp{E::BatchOpKind::kErase, k, std::nullopt});
+  }
+  std::vector<E::BatchOutcome> out(ops.size());
+  E t2 = test::apply(
+      a, [&](auto& b) { return t.apply_sorted_batch(b, ops, out); });
+  EXPECT_EQ(t2.size(), 4u);
+  EXPECT_TRUE(t2.check_invariants());
+  EXPECT_TRUE(t.check_invariants());  // old version untouched
+  EXPECT_EQ(E::shared_nodes(t, t2), 2 * 4u - 1);  // right half fully shared
+
+  std::vector<E::BatchOp> wipe;
+  for (const std::int64_t k : {50, 60, 70, 80}) {
+    wipe.push_back(E::BatchOp{E::BatchOpKind::kErase, k, std::nullopt});
+  }
+  std::vector<E::BatchOutcome> out2(wipe.size());
+  E none = test::apply(
+      a, [&](auto& b) { return t2.apply_sorted_batch(b, wipe, out2); });
+  EXPECT_TRUE(none.empty());
+}
+
 }  // namespace
 }  // namespace pathcopy

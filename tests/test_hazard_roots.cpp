@@ -52,9 +52,8 @@ TEST(HazardRoots, ProtectedRootBlocksItsBundle) {
   const Canary* v1_root = make_canary(a, &destroyed);
   std::atomic<const void*> root{v1_root};
   std::atomic<std::uint64_t> ver{1};
-  smr.note_root(v1_root, 1);
 
-  // Reader protects version 1's root.
+  // Reader protects version 1's root (announced era 1).
   auto g = smr.pin(reader, root, ver);
 
   // Writer installs version 2 and retires version 1's root.
@@ -87,7 +86,6 @@ TEST(HazardRoots, NewRootHazardDoesNotBlockOlderBundles) {
   const Canary* v1_root = make_canary(a, &destroyed);
   std::atomic<const void*> root{v1_root};
   std::atomic<std::uint64_t> ver{1};
-  smr.note_root(v1_root, 1);
 
   // Writer replaces the root first...
   const Canary* v2_root = make_canary(a, &destroyed);
@@ -95,7 +93,7 @@ TEST(HazardRoots, NewRootHazardDoesNotBlockOlderBundles) {
   ver.store(2);
   smr.retire_bundle(writer, 2, v1_root, v2_root, one_retired(a, v1_root));
 
-  // ...then a reader pins the *new* root. Its hazard names version 2, so
+  // ...then a reader pins the *new* root. Its announced era is 2, so
   // the version-2 bundle (death 2 <= 2) can be freed.
   auto g = smr.pin(reader, root, ver);
   EXPECT_EQ(g.root(), v2_root);
@@ -149,7 +147,6 @@ TEST(HazardRoots, ConcurrentChainStress) {
     reclaim::HazardRootReclaimer smr;
     std::atomic<const void*> root{make_canary(a, &destroyed)};
     std::atomic<std::uint64_t> ver{1};
-    smr.note_root(root.load(), 1);
     std::atomic<bool> stop{false};
 
     std::thread writer([&] {

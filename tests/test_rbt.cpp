@@ -286,5 +286,64 @@ TEST(Rbt, NoLeaksThroughInsertEraseCycles) {
   EXPECT_EQ(a.stats().live_blocks(), 0u);
 }
 
+// ----- from_sorted + apply_sorted_batch (shared oracle harness) -----
+
+TEST(Rbt, FromSortedRoundTrip) { test::from_sorted_roundtrip<R>(); }
+
+// The leveled coloring (bottommost midpoint level red, the rest black)
+// must satisfy the full red/black contract at every size, including the
+// awkward just-past-a-power-of-two ones; check_invariants audits BST
+// order, black root, no red-red edge, and uniform black height.
+TEST(Rbt, FromSortedColoringHoldsAcrossSizes) {
+  alloc::Arena a;
+  for (std::int64_t n = 0; n <= 300; ++n) {
+    std::vector<std::pair<std::int64_t, std::int64_t>> items;
+    for (std::int64_t k = 0; k < n; ++k) items.emplace_back(k, k);
+    R t = test::apply(a, [&](auto& b) {
+      return R::from_sorted(b, items.begin(), items.end());
+    });
+    ASSERT_TRUE(t.check_invariants()) << "n = " << n;
+    ASSERT_EQ(t.size(), static_cast<std::size_t>(n));
+  }
+}
+
+TEST(RbtBatch, NoopBatchesShareRoot) {
+  test::batch_oracle_noop_shares_root<R>();
+}
+
+TEST(RbtBatch, OutcomesAndContents) { test::batch_oracle_outcomes<R>(); }
+
+TEST(RbtBatch, RandomBatchesMatchSequentialApplication) {
+  test::batch_oracle_random<R>(8181, 40, test::BatchKeyPattern::kUniform);
+  test::batch_oracle_random<R>(8182, 20, test::BatchKeyPattern::kClustered);
+}
+
+// Red/black audit after a reshaping batch on a big tree: the join spine
+// descent and recolor cascade must leave uniform black height and no
+// red-red edge, with the deterministic height bound intact.
+TEST(RbtBatch, BigBatchKeepsRedBlackContract) {
+  alloc::Arena a;
+  std::vector<std::pair<std::int64_t, std::int64_t>> items;
+  for (std::int64_t k = 0; k < 4096; ++k) items.emplace_back(k * 2, k);
+  R t = test::apply(
+      a, [&](auto& b) { return R::from_sorted(b, items.begin(), items.end()); });
+  std::vector<R::BatchOp> ops;
+  for (std::int64_t k = 1000; k < 1400; k += 2) {
+    ops.push_back(R::BatchOp{R::BatchOpKind::kInsert, k + 1, k});
+  }
+  for (std::int64_t k = 6000; k < 6800; k += 2) {
+    ops.push_back(R::BatchOp{R::BatchOpKind::kErase, k, std::nullopt});
+  }
+  std::vector<R::BatchOutcome> out(ops.size());
+  R t2 = test::apply(
+      a, [&](auto& b) { return t.apply_sorted_batch(b, ops, out); });
+  EXPECT_EQ(t2.size(), 4096u + 200 - 400);
+  EXPECT_TRUE(t2.check_invariants());
+  EXPECT_TRUE(t.check_invariants());  // old version untouched
+  // height <= 2 log2(N+1), the red-black worst case.
+  EXPECT_LE(t2.height(),
+            2 * static_cast<std::size_t>(std::log2(t2.size() + 1)) + 2);
+}
+
 }  // namespace
 }  // namespace pathcopy

@@ -25,7 +25,11 @@
 #include "core/combining.hpp"
 #include "core/universal.hpp"
 #include "persist/avl.hpp"
+#include "persist/btree.hpp"
+#include "persist/external_bst.hpp"
+#include "persist/rbt.hpp"
 #include "persist/treap.hpp"
+#include "persist/wbt.hpp"
 #include "reclaim/epoch.hpp"
 #include "store/router.hpp"
 #include "store/shard_stats.hpp"
@@ -43,15 +47,31 @@ using PlainUc = core::Atom<T, Epoch, MA>;
 using CombUc = core::CombiningAtom<T, Epoch, MA>;
 using PlainAvlUc = core::Atom<Avl, Epoch, MA>;
 using CombAvlUc = core::CombiningAtom<Avl, Epoch, MA>;
+using CombBtreeUc =
+    core::CombiningAtom<persist::BTree<std::int64_t, std::int64_t, 8>, Epoch,
+                        MA>;
+using CombRbtUc =
+    core::CombiningAtom<persist::RbTree<std::int64_t, std::int64_t>, Epoch,
+                        MA>;
+using CombWbtUc =
+    core::CombiningAtom<persist::WbTree<std::int64_t, std::int64_t>, Epoch,
+                        MA>;
+using CombEbstUc =
+    core::CombiningAtom<persist::ExternalBst<std::int64_t, std::int64_t>,
+                        Epoch, MA>;
 using HashR = store::HashRouter<std::int64_t>;
 using RangeR = store::RangeRouter<std::int64_t>;
 
-// Both backends (and both structures under them) model the concept the
-// store layer is written against.
+// Both backends (and every structure in the sorted-batch matrix under
+// them) model the concept the store layer is written against.
 static_assert(core::UniversalConstruction<PlainUc>);
 static_assert(core::UniversalConstruction<CombUc>);
 static_assert(core::UniversalConstruction<PlainAvlUc>);
 static_assert(core::UniversalConstruction<CombAvlUc>);
+static_assert(core::UniversalConstruction<CombBtreeUc>);
+static_assert(core::UniversalConstruction<CombRbtUc>);
+static_assert(core::UniversalConstruction<CombWbtUc>);
+static_assert(core::UniversalConstruction<CombEbstUc>);
 static_assert(store::RouterFor<HashR, std::int64_t>);
 static_assert(store::RouterFor<RangeR, std::int64_t>);
 
@@ -151,7 +171,9 @@ class StoreTyped : public ::testing::Test {};
 using Combos =
     ::testing::Types<Combo<PlainUc, HashR>, Combo<PlainUc, RangeR>,
                      Combo<CombUc, HashR>, Combo<CombUc, RangeR>,
-                     Combo<PlainAvlUc, RangeR>, Combo<CombAvlUc, HashR>>;
+                     Combo<PlainAvlUc, RangeR>, Combo<CombAvlUc, HashR>,
+                     Combo<CombBtreeUc, RangeR>, Combo<CombRbtUc, HashR>,
+                     Combo<CombWbtUc, RangeR>, Combo<CombEbstUc, HashR>>;
 TYPED_TEST_SUITE(StoreTyped, Combos);
 
 TYPED_TEST(StoreTyped, PointOpsMatchSetOracle) {

@@ -384,57 +384,14 @@ T::BatchOp asg(std::int64_t k, std::int64_t v) {
   return T::BatchOp{T::BatchOpKind::kAssign, k, v};
 }
 
-TEST(TreapBatch, EmptyBatchReturnsSameRoot) {
-  alloc::Arena a;
-  T t = insert_all(a, T{}, {1, 2, 3});
-  core::Builder<alloc::Arena> b(a);
-  std::vector<T::BatchOutcome> out;
-  T t2 = t.apply_sorted_batch(b, {}, out);
-  EXPECT_EQ(t2.root_ptr(), t.root_ptr());
-  EXPECT_EQ(b.fresh_count(), 0u);
-  b.rollback();
+// Empty/all-noop sharing and the three-kind outcome check come from the
+// shared batch-oracle harness (test_support.hpp), instantiated for every
+// SupportsSortedBatch structure.
+TEST(TreapBatch, NoopBatchesShareRoot) {
+  test::batch_oracle_noop_shares_root<T>();
 }
 
-TEST(TreapBatch, AllNoopBatchSharesRoot) {
-  alloc::Arena a;
-  T t = insert_all(a, T{}, {10, 20, 30});
-  core::Builder<alloc::Arena> b(a);
-  // Inserts of present keys + erases of absent keys: nothing changes, and
-  // the whole version is shared (no copies at all).
-  std::vector<T::BatchOp> ops{ins(10, 99), era(15), ins(30, 99), era(40)};
-  std::vector<T::BatchOutcome> out(ops.size());
-  T t2 = t.apply_sorted_batch(b, ops, out);
-  EXPECT_EQ(t2.root_ptr(), t.root_ptr());
-  EXPECT_EQ(b.fresh_count(), 0u);
-  EXPECT_EQ(out[0], T::BatchOutcome::kNoop);
-  EXPECT_EQ(out[1], T::BatchOutcome::kNoop);
-  EXPECT_EQ(out[2], T::BatchOutcome::kNoop);
-  EXPECT_EQ(out[3], T::BatchOutcome::kNoop);
-  EXPECT_EQ(*t2.find(10), 100);  // set-style insert kept the old value
-  b.rollback();
-}
-
-TEST(TreapBatch, OutcomesAndContents) {
-  alloc::Arena a;
-  T t = insert_all(a, T{}, {10, 20, 30});
-  std::vector<T::BatchOp> ops{ins(5, 55), era(10), asg(20, 2000),
-                              asg(25, 2500), ins(30, 999)};
-  std::vector<T::BatchOutcome> out(ops.size());
-  T t2 = test::apply(
-      a, [&](auto& b) { return t.apply_sorted_batch(b, ops, out); });
-  EXPECT_EQ(out[0], T::BatchOutcome::kInserted);
-  EXPECT_EQ(out[1], T::BatchOutcome::kErased);
-  EXPECT_EQ(out[2], T::BatchOutcome::kAssigned);
-  EXPECT_EQ(out[3], T::BatchOutcome::kInserted);  // assign on absent key
-  EXPECT_EQ(out[4], T::BatchOutcome::kNoop);
-  EXPECT_EQ(t2.size(), 4u);
-  EXPECT_EQ(*t2.find(5), 55);
-  EXPECT_FALSE(t2.contains(10));
-  EXPECT_EQ(*t2.find(20), 2000);
-  EXPECT_EQ(*t2.find(25), 2500);
-  EXPECT_EQ(*t2.find(30), 300);
-  EXPECT_TRUE(t2.check_invariants());
-}
+TEST(TreapBatch, OutcomesAndContents) { test::batch_oracle_outcomes<T>(); }
 
 TEST(TreapBatch, BatchOnEmptyTreeBuildsCanonicalShape) {
   alloc::Arena a;
@@ -451,92 +408,19 @@ TEST(TreapBatch, BatchOnEmptyTreeBuildsCanonicalShape) {
   EXPECT_TRUE(batch.check_invariants());
 }
 
-// The canonical-form property test the batch path is held to: for random
-// op batches on random starting sets, one sorted sweep must produce a
-// tree structurally identical (shape, keys, values) to applying the same
-// ops one at a time, and report outcomes matching the per-op returns.
+// The canonical-form property test the batch path is held to, via the
+// shared oracle harness: contents and outcomes must match sequential
+// application — and, the treap being canonical, so must the exact shape
+// (the `extra` hook). Uniform and clustered key patterns both run; the
+// clustered one is the hot-range regime the shared spine exists for.
 TEST(TreapBatch, RandomBatchesMatchSequentialApplication) {
-  util::Xoshiro256 rng(1234);
-  for (int round = 0; round < 60; ++round) {
-    // Arena allocator: individual frees are no-ops, so the batch and the
-    // sequential reference can both be applied to the same starting
-    // version (each superseding its copy of the spine) without
-    // invalidating the other.
-    alloc::Arena a;
-    {
-      const std::int64_t key_range = 1 + static_cast<std::int64_t>(rng.range(0, 400));
-      T t;
-      std::vector<std::int64_t> initial;
-      for (int i = 0; i < 120; ++i) initial.push_back(rng.range(0, key_range));
-      std::sort(initial.begin(), initial.end());
-      initial.erase(std::unique(initial.begin(), initial.end()), initial.end());
-      for (const auto k : initial) {
-        t = test::apply(a, [&](auto& b) { return t.insert(b, k, k * 7); });
-      }
-
-      // Random sorted, key-unique batch mixing all three kinds.
-      std::vector<T::BatchOp> ops;
-      const int batch_size = 1 + static_cast<int>(rng.range(0, 40));
-      std::set<std::int64_t> used;
-      for (int i = 0; i < batch_size; ++i) {
-        const std::int64_t k = rng.range(0, key_range);
-        if (!used.insert(k).second) continue;
-        const auto roll = rng.range(0, 2);
-        if (roll == 0) {
-          ops.push_back(ins(k, k * 100 + 1));
-        } else if (roll == 1) {
-          ops.push_back(era(k));
-        } else {
-          ops.push_back(asg(k, k * 100 + 2));
-        }
-      }
-      std::sort(ops.begin(), ops.end(),
-                [](const T::BatchOp& x, const T::BatchOp& y) {
-                  return x.key < y.key;
-                });
-
-      std::vector<T::BatchOutcome> out(ops.size());
-      T batch = test::apply(
-          a, [&](auto& b) { return t.apply_sorted_batch(b, ops, out); });
-
-      // Sequential reference + expected outcomes from per-op semantics.
-      T seq = t;
-      for (std::size_t i = 0; i < ops.size(); ++i) {
-        const T::BatchOp& op = ops[i];
-        const bool was_present = seq.contains(op.key);
-        seq = test::apply(a, [&](auto& b) {
-          switch (op.kind) {
-            case T::BatchOpKind::kInsert:
-              return seq.insert(b, op.key, *op.value);
-            case T::BatchOpKind::kErase:
-              return seq.erase(b, op.key);
-            default:
-              return seq.insert_or_assign(b, op.key, *op.value);
-          }
-        });
-        T::BatchOutcome expect;
-        switch (op.kind) {
-          case T::BatchOpKind::kInsert:
-            expect = was_present ? T::BatchOutcome::kNoop
-                                 : T::BatchOutcome::kInserted;
-            break;
-          case T::BatchOpKind::kErase:
-            expect = was_present ? T::BatchOutcome::kErased
-                                 : T::BatchOutcome::kNoop;
-            break;
-          default:
-            expect = was_present ? T::BatchOutcome::kAssigned
-                                 : T::BatchOutcome::kInserted;
-            break;
-        }
-        ASSERT_EQ(out[i], expect) << "round " << round << " op " << i;
-      }
-
-      ASSERT_EQ(shape_of(batch), shape_of(seq)) << "round " << round;
-      ASSERT_EQ(batch.items(), seq.items()) << "round " << round;
-      ASSERT_TRUE(batch.check_invariants());
-    }
-  }
+  const auto shapes_equal = [](const T& batch, const T& seq) {
+    ASSERT_EQ(shape_of(batch), shape_of(seq));
+  };
+  test::batch_oracle_random<T>(1234, 40, test::BatchKeyPattern::kUniform,
+                               shapes_equal);
+  test::batch_oracle_random<T>(1235, 20, test::BatchKeyPattern::kClustered,
+                               shapes_equal);
 }
 
 }  // namespace

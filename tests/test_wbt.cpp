@@ -187,5 +187,46 @@ TEST(Wbt, DestroyFreesEverything) {
   EXPECT_EQ(a.stats().live_blocks(), 0u);
 }
 
+// ----- from_sorted + apply_sorted_batch (shared oracle harness) -----
+
+TEST(Wbt, FromSortedRoundTrip) { test::from_sorted_roundtrip<W>(); }
+
+TEST(WbtBatch, NoopBatchesShareRoot) {
+  test::batch_oracle_noop_shares_root<W>();
+}
+
+TEST(WbtBatch, OutcomesAndContents) { test::batch_oracle_outcomes<W>(); }
+
+TEST(WbtBatch, RandomBatchesMatchSequentialApplication) {
+  test::batch_oracle_random<W>(7171, 40, test::BatchKeyPattern::kUniform);
+  test::batch_oracle_random<W>(7172, 20, test::BatchKeyPattern::kClustered);
+}
+
+// Weight-balance audit after a reshaping batch on a big tree: the join
+// unwind must restore the Delta bound at every level, not just produce
+// the right contents.
+TEST(WbtBatch, BigBatchKeepsWeightBalance) {
+  alloc::Arena a;
+  std::vector<std::pair<std::int64_t, std::int64_t>> items;
+  for (std::int64_t k = 0; k < 4096; ++k) items.emplace_back(k * 2, k);
+  W t = test::apply(
+      a, [&](auto& b) { return W::from_sorted(b, items.begin(), items.end()); });
+  // One clustered run of inserts (odd keys in a hot range) plus a run of
+  // erases: the batch recursion reshapes two whole subranges.
+  std::vector<W::BatchOp> ops;
+  for (std::int64_t k = 1000; k < 1400; k += 2) {
+    ops.push_back(W::BatchOp{W::BatchOpKind::kInsert, k + 1, k});
+  }
+  for (std::int64_t k = 6000; k < 6800; k += 2) {
+    ops.push_back(W::BatchOp{W::BatchOpKind::kErase, k, std::nullopt});
+  }
+  std::vector<W::BatchOutcome> out(ops.size());
+  W t2 = test::apply(
+      a, [&](auto& b) { return t.apply_sorted_batch(b, ops, out); });
+  EXPECT_EQ(t2.size(), 4096u + 200 - 400);
+  EXPECT_TRUE(t2.check_invariants());
+  EXPECT_TRUE(t.check_invariants());  // old version untouched
+}
+
 }  // namespace
 }  // namespace pathcopy
