@@ -1,30 +1,44 @@
-// Store-layer bench: throughput vs shard count × UC backend on an
-// update-heavy workload (acceptance experiment for the sharding PR).
+// Store-layer bench: throughput vs shard count × UC backend × ingest
+// pipeline on an update-heavy workload (acceptance experiment for the
+// sharding and async-pipeline PRs).
 //
 // The single-atom UC is capped by one CAS stream per structure; S shards
 // give S independent install streams. Every cell runs the same workload
 // through ShardedMap over a range router (equal-width keyspace split, so
-// per-shard streams stay local) in two ingest modes:
+// per-shard streams stay local) in three ingest modes:
 //
-//   * per-op  — each thread routes point inserts/erases to the owning
+//   * per-op      — each thread routes point inserts/erases to the owning
 //     shard (the classic workload, one root CAS per landing op on the
 //     plain backend);
-//   * batch-B — each thread offers client batches of B ops through the
-//     cross-shard splitter, which feeds every shard's install path a
-//     key-sorted sub-batch (the combining backend applies it through the
-//     sorted sweep — one spine copy per sub-batch).
+//   * batch-sync  — each thread offers client batches of B ops through the
+//     cross-shard splitter and walks the shards itself, one sub-batch
+//     install after another;
+//   * batch-async — a ShardExecutor is attached: the same client batches
+//     scatter into per-shard worker queues and join on a ticket, so the S
+//     installs of one client batch run concurrently and every client's
+//     sub-batches funnel through the shard's one combiner-affine thread.
 //
 // Backends are swept through the UniversalConstruction concept: the same
 // harness instantiates the plain Atom and the CombiningAtom, which is the
-// point of the concept refactor. Per-shard install/batch accounting comes
-// from the ShardStatsBoard and is printed for the widest configuration.
+// point of the concept refactor. Per-shard install/batch/queue accounting
+// comes from the ShardStatsBoard (sessions + executor workers folded) and
+// is printed for the widest configuration.
+//
+// The cut-read section exercises the other tentpole: concurrent readers
+// composing cross-shard size()/items() as vector-clock-consistent cuts
+// while writers churn, reporting cut throughput and the re-pin (retry)
+// pressure the validation loop absorbed.
 //
 // On hosts with fewer cores than threads the absolute numbers are
-// scheduler-bound (see bench_batch_combining's header); the shard-count
-// *trend* within one backend and mode remains the comparison of record.
+// scheduler-bound (see bench_batch_combining's header) — the async mode
+// in particular pays S extra worker threads' context switches; the
+// shard-count *trend* within one backend and mode remains the comparison
+// of record.
+#include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <memory>
+#include <optional>
 #include <span>
 #include <type_traits>
 #include <utility>
@@ -42,6 +56,7 @@
 #include "persist/treap.hpp"
 #include "persist/wbt.hpp"
 #include "reclaim/epoch.hpp"
+#include "store/executor.hpp"
 #include "store/router.hpp"
 #include "store/shard_stats.hpp"
 #include "store/sharded_map.hpp"
@@ -63,32 +78,53 @@ struct Config {
   std::size_t threads = 4;
   std::vector<std::size_t> shards{1, 2, 4, 8};
   unsigned batch = 64;
+  bool run_sync = true;
+  bool run_async = true;
 };
+
+enum class Mode { kPerOp, kBatchSync, kBatchAsync };
 
 struct Cell {
   double ops_per_sec = 0.0;
   core::OpStats total;
 };
 
+std::int64_t key_space_of(const Config& cfg) {
+  return static_cast<std::int64_t>(2 * cfg.initial_keys);
+}
+
+/// Every cell's store has the same shape: equal-width range split of the
+/// doubled key space, pre-filled with the even keys in one bulk load.
+/// One seeding scheme, one place (cells and the cut section must agree
+/// or they benchmark differently-shaped stores).
+template <class Map, class Alloc>
+void seed_even_keys(const Config& cfg, Map& map, Alloc& alloc) {
+  typename Map::Session seeder(map, alloc);
+  std::vector<std::pair<std::int64_t, std::int64_t>> items;
+  items.reserve(cfg.initial_keys);
+  for (std::size_t i = 0; i < cfg.initial_keys; ++i) {
+    items.emplace_back(static_cast<std::int64_t>(2 * i),
+                       static_cast<std::int64_t>(i));
+  }
+  seeder.seed_sorted(items.begin(), items.end());
+}
+
 template <class Uc>
-Cell run_cell(const Config& cfg, std::size_t shards, bool batch_mode,
+Cell run_cell(const Config& cfg, std::size_t shards, Mode mode,
               store::ShardStatsBoard& board) {
   using Map = store::ShardedMap<Uc, Router>;
   alloc::PoolBackend pool;
   alloc::ThreadCache root_cache(pool);
-  const auto key_space = static_cast<std::int64_t>(2 * cfg.initial_keys);
+  const std::int64_t key_space = key_space_of(cfg);
   Map map(shards, root_cache,
           shards == 1 ? Router{} : Router::uniform(0, key_space, shards));
-  {
-    typename Map::Session seeder(map, root_cache);
-    std::vector<std::pair<std::int64_t, std::int64_t>> items;
-    items.reserve(cfg.initial_keys);
-    for (std::size_t i = 0; i < cfg.initial_keys; ++i) {
-      items.emplace_back(static_cast<std::int64_t>(2 * i),
-                         static_cast<std::int64_t>(i));
-    }
-    seeder.seed_sorted(items.begin(), items.end());
+  // The executor (if any) is attached before seeding, so the bulk load
+  // itself also goes through the per-shard workers.
+  std::optional<store::ShardExecutor<Uc>> exec;
+  if (mode == Mode::kBatchAsync) {
+    exec.emplace(map, [&pool] { return alloc::ThreadCache(pool); });
   }
+  seed_even_keys(cfg, map, root_cache);
   for (std::size_t s = 0; s < shards; ++s) {
     // One-yield announce window so combining batches form on hosts with
     // fewer cores than threads (no-op for the plain backend).
@@ -96,6 +132,7 @@ Cell run_cell(const Config& cfg, std::size_t shards, bool batch_mode,
       map.shard(s).set_gather_window(true);
     }
   }
+  const bool batch_mode = mode != Mode::kPerOp;
   const auto run = bench::run_timed(
       cfg.threads, std::chrono::milliseconds(cfg.duration_ms),
       [&](std::size_t tid, const std::atomic<bool>& stop) -> std::uint64_t {
@@ -131,63 +168,159 @@ Cell run_cell(const Config& cfg, std::size_t shards, bool batch_mode,
         sess.fold_into(board);
         return ops;
       });
+  if (exec.has_value()) {
+    exec->stop();
+    exec->fold_into(board);  // queue depth / task latency / install stats
+    exec.reset();
+  }
   Cell cell;
   cell.ops_per_sec = run.ops_per_sec();
   cell.total = board.total();
   return cell;
 }
 
-/// Runs one backend's shard sweep and returns the batch-ingest board of
-/// the widest configuration (for the per-shard stats printout).
+/// Runs one backend's shard sweep and returns the widest configuration's
+/// batch-ingest board — async when the async mode ran, else sync — for
+/// the per-shard stats printout.
 template <class Uc>
 std::unique_ptr<store::ShardStatsBoard> sweep_backend(const Config& cfg,
                                                       const char* name) {
   std::unique_ptr<store::ShardStatsBoard> widest;
   for (const std::size_t s : cfg.shards) {
     store::ShardStatsBoard per_op_board(s);
-    const Cell per_op = run_cell<Uc>(cfg, s, /*batch_mode=*/false,
-                                     per_op_board);
-    auto batch_board = std::make_unique<store::ShardStatsBoard>(s);
-    const Cell batch = run_cell<Uc>(cfg, s, /*batch_mode=*/true, *batch_board);
-    const core::OpStats& bt = batch.total;
+    const Cell per_op =
+        run_cell<Uc>(cfg, s, Mode::kPerOp, per_op_board);
+    Cell sync_cell;
+    auto sync_board = std::make_unique<store::ShardStatsBoard>(s);
+    if (cfg.run_sync) {
+      sync_cell = run_cell<Uc>(cfg, s, Mode::kBatchSync, *sync_board);
+    }
+    Cell async_cell;
+    auto async_board = std::make_unique<store::ShardStatsBoard>(s);
+    if (cfg.run_async) {
+      async_cell = run_cell<Uc>(cfg, s, Mode::kBatchAsync, *async_board);
+    }
+    const core::OpStats& bt =
+        cfg.run_async ? async_cell.total : sync_cell.total;
     const double batched_pct =
         bt.updates == 0 ? 0.0
                         : 100.0 * static_cast<double>(bt.batched_installs) /
                               static_cast<double>(bt.updates);
-    std::printf("%-9s  %6zu  %13.0f  %13.0f  %10.2f  %8.1f%%\n", name, s,
-                per_op.ops_per_sec, batch.ops_per_sec, bt.mean_batch_size(),
-                batched_pct);
-    if (s == cfg.shards.back()) widest = std::move(batch_board);
+    std::printf("%-9s  %6zu  %13.0f  %13.0f  %13.0f  %10.2f  %8.1f%%\n",
+                name, s, per_op.ops_per_sec, sync_cell.ops_per_sec,
+                async_cell.ops_per_sec, bt.mean_batch_size(), batched_pct);
+    if (s == cfg.shards.back()) {
+      widest = cfg.run_async ? std::move(async_board) : std::move(sync_board);
+    }
   }
   return widest;
+}
+
+/// The cut section's thread topology, computed once: the banner in
+/// main() and the workload in cut_read_bench must describe the same
+/// split.
+struct CutTopology {
+  std::size_t writers;
+  std::size_t readers;
+};
+
+CutTopology cut_topology(const Config& cfg) {
+  const std::size_t writers = cfg.threads >= 2 ? cfg.threads / 2 : 1;
+  const std::size_t readers =
+      cfg.threads > writers ? cfg.threads - writers : 1;
+  return {writers, readers};
+}
+
+/// Cut-read section: writers churn point updates while readers compose
+/// cross-shard size() (and every 64th round, full items()) as consistent
+/// cuts. Reports the cut rate and the retry pressure — how often a
+/// shard's version moved inside the pin/validate window.
+template <class Uc>
+void cut_read_bench(const Config& cfg, std::size_t shards,
+                    const char* name) {
+  using Map = store::ShardedMap<Uc, Router>;
+  alloc::PoolBackend pool;
+  alloc::ThreadCache root_cache(pool);
+  const std::int64_t key_space = key_space_of(cfg);
+  Map map(shards, root_cache,
+          shards == 1 ? Router{} : Router::uniform(0, key_space, shards));
+  seed_even_keys(cfg, map, root_cache);
+  const auto [writers, readers] = cut_topology(cfg);
+  store::ShardStatsBoard board(shards);
+  std::atomic<std::uint64_t> cuts{0};
+  const auto run = bench::run_timed(
+      writers + readers, std::chrono::milliseconds(cfg.duration_ms),
+      [&](std::size_t tid, const std::atomic<bool>& stop) -> std::uint64_t {
+        alloc::ThreadCache cache(pool);
+        typename Map::Session sess(map, cache);
+        util::Xoshiro256 rng(tid * 7919 + 3);
+        std::uint64_t ops = 0;
+        if (tid < writers) {
+          while (!stop.load(std::memory_order_relaxed)) {
+            const std::int64_t k = rng.range(0, key_space - 1);
+            if (rng.chance(1, 2)) {
+              sess.insert(k, k);
+            } else {
+              sess.erase(k);
+            }
+            ++ops;
+          }
+        } else {
+          std::uint64_t round = 0;
+          std::size_t sink = 0;
+          while (!stop.load(std::memory_order_relaxed)) {
+            if (++round % 64 == 0) {
+              sink += sess.items().size();
+            } else {
+              sink += sess.size();
+            }
+            ++ops;
+          }
+          cuts.fetch_add(ops, std::memory_order_relaxed);
+          if (sink == ~std::size_t{0}) std::printf("?");  // keep sink live
+        }
+        sess.fold_into(board);
+        return ops;
+      });
+  (void)run;
+  const core::OpStats total = board.total();
+  const double n_cuts = static_cast<double>(cuts.load());
+  const double retries_per_cut =
+      n_cuts == 0.0 ? 0.0 : static_cast<double>(total.cut_retries) / n_cuts;
+  std::printf("%-9s  %6zu  %11.0f  %14.3f  %12llu\n", name, shards,
+              n_cuts * 1000.0 / cfg.duration_ms, retries_per_cut,
+              static_cast<unsigned long long>(total.cut_retries));
 }
 
 /// Structure sweep: the combining backend's batch-ingest path over every
 /// SupportsSortedBatch structure at one shard count — the store-layer
 /// view of the E8 batch matrix (each shard's sub-batch is applied in one
-/// sorted sweep whatever the balancing discipline underneath).
+/// sorted sweep whatever the balancing discipline underneath; wide-fanout
+/// structures may decline unclustered batches through the fanout gate,
+/// visible as a lower batched% with no throughput penalty).
 void sweep_structures(const Config& cfg, std::size_t shards) {
   std::printf("\n== structure matrix: combining backend, %zu shards, "
-              "batch-%u ingest ==\n", shards, cfg.batch);
-  std::printf("%-8s  %13s  %13s  %10s  %9s\n", "struct", "per-op ops/s",
-              "batch ops/s", "mean batch", "batched%");
+              "batch-%u sync ingest ==\n", shards, cfg.batch);
+  std::printf("%-8s  %13s  %13s  %10s  %9s  %9s\n", "struct", "per-op ops/s",
+              "batch ops/s", "mean batch", "batched%", "declined");
   const auto row = [&](const char* name, auto tag) {
     using DS = typename decltype(tag)::type;
     using Uc = core::CombiningAtom<DS, Smr, TC>;
     store::ShardStatsBoard per_op_board(shards);
     const Cell per_op =
-        run_cell<Uc>(cfg, shards, /*batch_mode=*/false, per_op_board);
+        run_cell<Uc>(cfg, shards, Mode::kPerOp, per_op_board);
     store::ShardStatsBoard batch_board(shards);
     const Cell batch =
-        run_cell<Uc>(cfg, shards, /*batch_mode=*/true, batch_board);
+        run_cell<Uc>(cfg, shards, Mode::kBatchSync, batch_board);
     const core::OpStats& bt = batch.total;
     const double batched_pct =
         bt.updates == 0 ? 0.0
                         : 100.0 * static_cast<double>(bt.batched_installs) /
                               static_cast<double>(bt.updates);
-    std::printf("%-8s  %13.0f  %13.0f  %10.2f  %8.1f%%\n", name,
+    std::printf("%-8s  %13.0f  %13.0f  %10.2f  %8.1f%%  %9llu\n", name,
                 per_op.ops_per_sec, batch.ops_per_sec, bt.mean_batch_size(),
-                batched_pct);
+                batched_pct,
+                static_cast<unsigned long long>(bt.batch_declines));
   };
   row("treap", std::type_identity<Treap>{});
   row("avl", std::type_identity<persist::AvlTree<std::int64_t, std::int64_t>>{});
@@ -214,10 +347,19 @@ int main(int argc, char** argv) {
       cfg.threads = static_cast<std::size_t>(std::atoll(argv[++i]));
     } else if (std::strcmp(argv[i], "--initial") == 0 && i + 1 < argc) {
       cfg.initial_keys = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--ingest") == 0 && i + 1 < argc) {
+      const char* m = argv[++i];
+      cfg.run_sync = std::strcmp(m, "async") != 0;
+      cfg.run_async = std::strcmp(m, "sync") != 0;
+      if (std::strcmp(m, "sync") != 0 && std::strcmp(m, "async") != 0 &&
+          std::strcmp(m, "both") != 0) {
+        std::fprintf(stderr, "--ingest takes sync|async|both\n");
+        return 2;
+      }
     } else {
       std::fprintf(stderr,
                    "usage: %s [--quick] [--threads N] [--duration-ms N]"
-                   " [--initial N]\n",
+                   " [--initial N] [--ingest sync|async|both]\n",
                    argv[0]);
       return 2;
     }
@@ -228,17 +370,29 @@ int main(int argc, char** argv) {
               "(%zu hw thread(s))\n\n",
               cfg.threads, cfg.initial_keys, cfg.duration_ms,
               bench::hardware_threads());
-  std::printf("%-9s  %6s  %13s  %13s  %10s  %9s\n", "backend", "shards",
-              "per-op ops/s", "batch-64 ops/s", "mean batch", "batched%");
+  std::printf("%-9s  %6s  %13s  %13s  %13s  %10s  %9s\n", "backend", "shards",
+              "per-op ops/s", "sync-64 ops/s", "async-64 ops/s", "mean batch",
+              "batched%");
 
   sweep_backend<PlainUc>(cfg, "atom");
   const auto widest = sweep_backend<CombUc>(cfg, "combining");
 
   if (widest != nullptr) {
-    std::printf("\nper-shard stats, widest combining batch-ingest cell "
+    std::printf("\nper-shard stats, widest combining %s batch-ingest cell "
                 "(%zu shards):\n",
-                widest->shards());
+                cfg.run_async ? "async" : "sync", widest->shards());
     widest->print(stdout);
+  }
+
+  const auto [cut_writers, cut_readers] = cut_topology(cfg);
+  std::printf("\n== consistent cut reads: %zu writer(s) + %zu reader(s), "
+              "size() every round, items() every 64th ==\n",
+              cut_writers, cut_readers);
+  std::printf("%-9s  %6s  %11s  %14s  %12s\n", "backend", "shards", "cuts/s",
+              "retries/cut", "cut-retries");
+  for (const std::size_t s : cfg.shards) {
+    cut_read_bench<PlainUc>(cfg, s, "atom");
+    cut_read_bench<CombUc>(cfg, s, "combining");
   }
 
   sweep_structures(cfg, cfg.shards.back());

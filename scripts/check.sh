@@ -17,10 +17,13 @@ ctest --test-dir "$build_dir" --output-on-failure -j 2
 
 # Runs one bench smoke, teeing its table into the build dir; the bench's
 # own exit code decides the gate (pipefail propagates it past tee).
+# SMOKE_TAG=<tag> names the log "<bench>.<tag>.smoke.log" so one bench
+# can be smoked under several flag sets without clobbering its log.
 smoke() {
   local bench="$1"
   shift
-  "$build_dir/$bench" "$@" | tee "$build_dir/$bench.smoke.log"
+  "$build_dir/$bench" "$@" \
+    | tee "$build_dir/$bench${SMOKE_TAG:+.$SMOKE_TAG}.smoke.log"
 }
 
 # Smoke: the batch-combining bench's quick sweep proves the batch install
@@ -28,9 +31,14 @@ smoke() {
 smoke bench_batch_combining --quick
 
 # Smoke: the store layer's quick sweep proves ShardedMap drives both UC
-# backends (concept conformance at runtime), the cross-shard splitter,
-# and the structure sweep through the combining backend.
+# backends (concept conformance at runtime), the cross-shard splitter in
+# sync and async (ShardExecutor) ingest modes, the consistent-cut read
+# section, and the structure sweep through the combining backend.
 smoke bench_sharded --quick
+
+# Smoke: the async pipeline in isolation — executor-attached ingest only,
+# so a regression that deadlocks the scatter/join path fails fast here.
+SMOKE_TAG=async smoke bench_sharded --quick --ingest async
 
 # Smoke: the structure ablation (E8 + E8b batch matrix) covers every
 # persistent structure's per-op and sorted-batch install paths.

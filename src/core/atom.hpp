@@ -129,6 +129,53 @@ class Atom {
     return version_.load(std::memory_order_acquire);
   }
 
+  /// Opaque identity of the current root. Changes on every install; while
+  /// a VersionedView pins a root, that root's address cannot be recycled,
+  /// so comparing its token against this probe is an ABA-free "did the
+  /// shard move?" check (see the concept note in core/universal.hpp).
+  const void* root_token() const noexcept {
+    return root_.load(std::memory_order_acquire);
+  }
+
+  /// A pinned snapshot bundled with its version label and root token
+  /// (the shared shape in core/universal.hpp).
+  using VersionedView = core::VersionedView<Smr, DS>;
+
+  /// Pins the current version and returns it with its version label. The
+  /// plain Atom bumps the counter *after* the root CAS (the watermark
+  /// reclaimer's pin-then-load protocol depends on the counter trailing
+  /// the root), so the label read here can lag installs whose bump is
+  /// still in flight; it is a lower bound that is exact whenever the
+  /// shard is settled. Cut validation therefore keys on the token, which
+  /// is exact unconditionally.
+  ///
+  /// The label is read BEFORE the pin on purpose: a counter value read
+  /// before the pin cannot exceed the pinned root's version (the counter
+  /// trails the root at all times), which is what makes it a true lower
+  /// bound — read after the pin it could absorb bumps of installs newer
+  /// than the pinned snapshot and over-report.
+  VersionedView pin_versioned(Ctx& ctx) const {
+    ++ctx.stats.reads;
+    const std::uint64_t v = version_.load(std::memory_order_seq_cst);
+    auto guard = smr_->pin(ctx.smr_handle, root_, version_);
+    const void* r = guard.root();
+    return VersionedView{std::move(guard), DS::from_root(r), v, r};
+  }
+
+  /// Runs f on a pinned snapshot and returns (result, version label),
+  /// retrying until the root and label are stable around the read.
+  template <class F>
+  auto read_versioned(Ctx& ctx, F&& f) const {
+    for (;;) {
+      VersionedView view = pin_versioned(ctx);
+      auto result = f(view.snapshot);
+      if (root_.load(std::memory_order_seq_cst) == view.token &&
+          version_.load(std::memory_order_seq_cst) == view.version) {
+        return std::pair(std::move(result), view.version);
+      }
+    }
+  }
+
   /// Unguarded size probe — safe because size is read from the root node
   /// itself, which a concurrent reclaimer cannot free while it is current;
   /// callers needing linearizable reads should use read().

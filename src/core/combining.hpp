@@ -75,6 +75,26 @@ concept SupportsSortedBatch =
       { cmp(key, key) } -> std::convertible_to<bool>;
     };
 
+/// Detects wide-fanout structures that can price a batch before applying
+/// it: kBatchFanout reports the node width, count_leaf_runs the number of
+/// distinct leaves a key-sorted batch would touch. The combiner uses the
+/// pair to skip the sorted sweep when a batch is unclustered — on a wide
+/// leaf every landing op rewrites the whole leaf, so a batch that puts
+/// ~one op per leaf pays full leaf-rewrite cost per op *plus* the
+/// partition machinery, losing to the per-op loop (the btree8 uniform-key
+/// regression measured in bench_batch_combining).
+template <class DS>
+concept ReportsBatchFanout =
+    requires(const DS ds, std::span<const typename DS::BatchOp> ops,
+             unsigned max_runs, std::size_t* ops_covered) {
+      { DS::kBatchFanout } -> std::convertible_to<unsigned>;
+      // The capped, coverage-reporting form is what the gate calls; a
+      // structure modeling the concept must accept it (defaulted
+      // arguments on the structure side are fine).
+      { ds.count_leaf_runs(ops, max_runs, ops_covered) }
+          -> std::convertible_to<unsigned>;
+    };
+
 template <class DS, class Smr, class Alloc, unsigned MaxThreads = 32>
 class CombiningAtom {
  public:
@@ -101,23 +121,27 @@ class CombiningAtom {
   using OpKind = core::OpKind;
 
   /// The unit the root pointer addresses: structure root + the response
-  /// state of every announcement slot. Immutable once published, like any
-  /// path-copied node, and reclaimed through the same retire pipeline.
+  /// state of every announcement slot + the version this record was
+  /// installed as. Immutable once published, like any path-copied node,
+  /// and reclaimed through the same retire pipeline. Carrying the version
+  /// in the record is what makes pin_versioned exactly atomic here: the
+  /// one pointer load that pins the snapshot also pins its label.
   struct VersionRec : PNode {
     const void* ds_root;
+    std::uint64_t version;
     std::array<std::uint64_t, MaxThreads> applied_seq;
     std::array<bool, MaxThreads> last_result;
-    VersionRec(const void* root,
+    VersionRec(const void* root, std::uint64_t v,
                const std::array<std::uint64_t, MaxThreads>& seqs,
                const std::array<bool, MaxThreads>& results)
-        : ds_root(root), applied_seq(seqs), last_result(results) {}
+        : ds_root(root), version(v), applied_seq(seqs), last_result(results) {}
   };
 
   CombiningAtom(Smr& smr, Alloc& alloc)
       : smr_(&smr), backend_(alloc.retire_backend()) {
     void* raw = alloc.allocate(sizeof(VersionRec), alignof(VersionRec));
     auto* vr = ::new (raw)
-        VersionRec(nullptr, std::array<std::uint64_t, MaxThreads>{},
+        VersionRec(nullptr, 1, std::array<std::uint64_t, MaxThreads>{},
                    std::array<bool, MaxThreads>{});
     vr->pc_state_ = NodeState::kPublished;
     root_.store(vr, std::memory_order_release);
@@ -233,7 +257,7 @@ class CombiningAtom {
                 "seed_sorted requires an empty structure");
       DS next = DS::from_sorted(builder, first, last);
       const VersionRec* nvr = builder.template create<VersionRec>(
-          next.root_ptr(), vr->applied_seq, vr->last_result);
+          next.root_ptr(), vr->version + 1, vr->applied_seq, vr->last_result);
       builder.supersede(vr);
       builder.seal();
       const void* expected = vr;
@@ -265,6 +289,35 @@ class CombiningAtom {
 
   std::size_t size(Ctx& ctx) const {
     return read(ctx, [](DS snapshot) { return snapshot.size(); });
+  }
+
+  /// Opaque identity of the current VersionRec (see core/universal.hpp):
+  /// changes on every install, ABA-free against any held VersionedView.
+  const void* root_token() const noexcept {
+    return root_.load(std::memory_order_acquire);
+  }
+
+  /// A pinned snapshot bundled with its version label and root token
+  /// (the shared shape in core/universal.hpp). Exactly atomic here: the
+  /// label rides in the pinned VersionRec, so snapshot and label come
+  /// from the same pointer load — and the token (the VersionRec) is
+  /// never null, so cut validation needs no version cross-check.
+  using VersionedView = core::VersionedView<Smr, DS>;
+
+  VersionedView pin_versioned(Ctx& ctx) const {
+    ++ctx.stats.reads;
+    auto guard = smr_->pin(ctx.smr_handle, root_, version_);
+    const auto* vr = static_cast<const VersionRec*>(guard.root());
+    return VersionedView{std::move(guard), DS::from_root(vr->ds_root),
+                         vr->version, vr};
+  }
+
+  /// Runs f on a pinned snapshot and returns (result, version) — one pin,
+  /// no retry loop needed (label and snapshot are bound atomically).
+  template <class F>
+  auto read_versioned(Ctx& ctx, F&& f) const {
+    VersionedView view = pin_versioned(ctx);
+    return std::pair(std::forward<F>(f)(view.snapshot), view.version);
   }
 
   Smr& reclaimer() noexcept { return *smr_; }
@@ -311,6 +364,16 @@ class CombiningAtom {
   /// spine levels save (measured in bench_batch_combining), so tiny
   /// batches take the per-op loop.
   static constexpr unsigned kMinBatchApply = 3;
+  /// Fanout gate (ReportsBatchFanout structures only): structures at
+  /// least this wide price each batch through count_leaf_runs, and the
+  /// sweep runs only when on average kMinOpsPerLeaf ops share a touched
+  /// leaf — below that, whole-leaf rewrites dominate and per-op wins.
+  /// The probe samples at most kClusterProbes leaf descents per install
+  /// (a descent is ~height cold cache misses; an exact count of an
+  /// unclustered batch would cost a large slice of the loop it vetoes).
+  static constexpr unsigned kWideFanout = 6;
+  static constexpr unsigned kMinOpsPerLeaf = 2;
+  static constexpr unsigned kClusterProbes = 4;
 
   bool run_op(Ctx& ctx, unsigned slot, OpKind kind, const Key& key,
               std::optional<Value> value) {
@@ -395,9 +458,16 @@ class CombiningAtom {
     if constexpr (kHasBatchApply) {
       if (g >= kMinBatchApply && batch_apply_.load(std::memory_order_relaxed)) {
         size_before = ds.size();
-        ds = apply_gathered_batch(builder, ds, gathered, g, applied, results,
-                                  results_out, landed);
-        used_batch = true;
+        std::optional<DS> applied_ds = apply_gathered_batch(
+            builder, ds, gathered, g, applied, results, results_out, landed);
+        if (applied_ds.has_value()) {
+          ds = *applied_ds;
+          used_batch = true;
+        } else {
+          // Fanout gate declined (unclustered batch on a wide structure);
+          // fall through to the per-op loop below.
+          ++ctx.stats.batch_declines;
+        }
       }
     }
     if (!used_batch) {
@@ -417,7 +487,7 @@ class CombiningAtom {
         builder.created_count() - created_before;
 
     const VersionRec* nvr = builder.template create<VersionRec>(
-        ds.root_ptr(), applied, results);
+        ds.root_ptr(), vr->version + 1, applied, results);
     builder.supersede(vr);
     builder.seal();
     const void* expected = vr;
@@ -469,14 +539,15 @@ class CombiningAtom {
   /// structure exactly as applying the chain per-op would, applies the
   /// batch through one shared spine, and back-fills every chained op's
   /// response by replaying the chain against the key's pre-batch presence
-  /// (recovered from the batch outcome).
-  DS apply_gathered_batch(BuilderT& builder, DS ds,
-                          std::array<Gathered, kMaxGather>& gathered,
-                          unsigned g,
-                          std::array<std::uint64_t, MaxThreads>& applied,
-                          std::array<bool, MaxThreads>& results,
-                          std::span<bool> results_out,
-                          std::uint64_t& landed) {
+  /// (recovered from the batch outcome). Returns nullopt — nothing
+  /// applied, nothing allocated — when the fanout gate prices the batch
+  /// as unclustered on a wide structure; the caller then runs the per-op
+  /// loop on the original gather order.
+  std::optional<DS> apply_gathered_batch(
+      BuilderT& builder, DS ds, std::array<Gathered, kMaxGather>& gathered,
+      unsigned g, std::array<std::uint64_t, MaxThreads>& applied,
+      std::array<bool, MaxThreads>& results, std::span<bool> results_out,
+      std::uint64_t& landed) {
     using BatchOp = typename DS::BatchOp;
     using BatchOutcome = typename DS::BatchOutcome;
     using BatchOpKind = typename DS::BatchOpKind;
@@ -536,6 +607,25 @@ class CombiningAtom {
       chain_end[nb] = j;
       ++nb;
       i = j;
+    }
+
+    if constexpr (ReportsBatchFanout<DS>) {
+      if constexpr (DS::kBatchFanout >= kWideFanout) {
+        // Price the collapsed batch before applying it: if fewer than
+        // kMinOpsPerLeaf ops share each touched leaf on average, the
+        // shared spine cannot pay for the whole-leaf rewrites and the
+        // per-op loop is cheaper. The probe samples the first
+        // kClusterProbes leaves and extrapolates from the ops they
+        // absorbed — read-only and a few descents, far below either path
+        // it chooses between.
+        std::size_t covered = 0;
+        const unsigned runs =
+            ds.count_leaf_runs(std::span<const BatchOp>(ops.data(), nb),
+                               kClusterProbes, &covered);
+        if (runs > 0 && covered < kMinOpsPerLeaf * runs) {
+          return std::nullopt;
+        }
+      }
     }
 
     DS next = ds.apply_sorted_batch(

@@ -27,7 +27,16 @@ struct OpStats {
   std::uint64_t batched_installs = 0;  // installs that used apply_sorted_batch
   std::uint64_t batched_ops = 0;       // announced ops absorbed by those
   std::uint64_t spine_copies_saved = 0;  // est. per-op node copies avoided
+  std::uint64_t batch_declines = 0;      // batches the fanout gate sent per-op
   std::array<std::uint64_t, kBatchHistBuckets> batch_hist{};
+  // Shard-executor extras (counted by a shard's worker thread; zero when
+  // the store runs executor-less):
+  std::uint64_t exec_tasks = 0;            // sub-batches executed
+  std::uint64_t exec_queue_depth_sum = 0;  // queue depth sampled at dequeue
+  std::uint64_t exec_task_ns = 0;          // submit -> completion latency
+  // Consistent-cut extras (counted by the reading session per shard):
+  std::uint64_t cut_reads = 0;    // stable cut participations of this shard
+  std::uint64_t cut_retries = 0;  // re-pins because this shard's version moved
 
   OpStats& operator+=(const OpStats& o) noexcept {
     reads += o.reads;
@@ -40,10 +49,30 @@ struct OpStats {
     batched_installs += o.batched_installs;
     batched_ops += o.batched_ops;
     spine_copies_saved += o.spine_copies_saved;
+    batch_declines += o.batch_declines;
     for (unsigned i = 0; i < kBatchHistBuckets; ++i) {
       batch_hist[i] += o.batch_hist[i];
     }
+    exec_tasks += o.exec_tasks;
+    exec_queue_depth_sum += o.exec_queue_depth_sum;
+    exec_task_ns += o.exec_task_ns;
+    cut_reads += o.cut_reads;
+    cut_retries += o.cut_retries;
     return *this;
+  }
+
+  /// Mean submission-queue depth seen by the shard worker at dequeue.
+  double mean_queue_depth() const noexcept {
+    return exec_tasks == 0 ? 0.0
+                           : static_cast<double>(exec_queue_depth_sum) /
+                                 static_cast<double>(exec_tasks);
+  }
+
+  /// Mean submit-to-completion latency of one executor task, microseconds.
+  double mean_task_us() const noexcept {
+    return exec_tasks == 0 ? 0.0
+                           : static_cast<double>(exec_task_ns) / 1000.0 /
+                                 static_cast<double>(exec_tasks);
   }
 
   /// Bucket index for a batch of b ops (b >= 1).

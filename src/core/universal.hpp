@@ -11,6 +11,10 @@
 //   * register per-updater slots (a no-op for slotless backends),
 //   * run reified map operations (insert/erase with per-op bool results),
 //   * read immutable snapshots and probe size/version,
+//   * serve *versioned* reads — pin_versioned / read_versioned hand back
+//     a snapshot together with the version it belongs to (plus an opaque
+//     root token), which is what lets the store layer compose per-shard
+//     snapshots into one vector-clock-consistent cut,
 //   * ingest a client-side batch through its install path
 //     (execute_batch), and
 //   * bulk-seed an empty structure from a sorted range (seed_sorted).
@@ -29,6 +33,7 @@
 // reified one.
 #pragma once
 
+#include <atomic>
 #include <concepts>
 #include <cstddef>
 #include <cstdint>
@@ -82,6 +87,23 @@ struct ValueOf<DS, std::void_t<typename DS::ValueType>> {
 
 }  // namespace detail
 
+/// The bundle pin_versioned hands back, shared by every backend: a held
+/// reclaimer guard (keeps the whole pinned version alive), the snapshot
+/// handle, the version label, and the opaque root token (see the concept
+/// note below for the token/label contract). Move-only, because the
+/// guard is.
+template <class Smr, class DS>
+struct VersionedView {
+  using Guard = decltype(std::declval<Smr&>().pin(
+      std::declval<typename Smr::ThreadHandle&>(),
+      std::declval<const std::atomic<const void*>&>(),
+      std::declval<const std::atomic<std::uint64_t>&>()));
+  Guard guard;
+  DS snapshot;
+  std::uint64_t version;
+  const void* token;
+};
+
 /// Reads a snapshot's size — a named functor because a concept cannot
 /// portably spell "read() accepts any generic lambda"; one concrete,
 /// representative reader is enough to pin the read() shape down.
@@ -94,6 +116,25 @@ struct SnapshotSizeProbe {
 
 /// The contract the store layer is written against. See the header
 /// comment for the prose version.
+///
+/// The versioned-read surface deserves its own note. `pin_versioned`
+/// returns a `VersionedView` — a held reclaimer guard plus the snapshot
+/// handle, the version label, and an opaque `token` identifying the
+/// pinned root record. Two guarantees every backend must provide:
+///
+///   * token identity *is* version identity: the token changes on every
+///     installed version, and while a view holds its pin the token cannot
+///     be recycled (the pinned record cannot be freed, so its address
+///     cannot be reused) — comparing a held view's token against
+///     `root_token()` is an ABA-free "did this shard move?" probe;
+///   * the version label is exact whenever the backend can bind it to the
+///     root atomically (CombiningAtom rides it in the VersionRec), and
+///     otherwise a lower bound that catches up once in-flight installs
+///     publish their counter bump (the plain Atom, whose counter trails
+///     the root CAS by design — the watermark reclaimer's invariant).
+///
+/// The store's consistent-cut protocol (store/version_vector.hpp) builds
+/// only on the first guarantee; the label is the reported clock value.
 template <class UC>
 concept UniversalConstruction =
     requires {
@@ -105,6 +146,7 @@ concept UniversalConstruction =
       typename UC::Value;
       typename UC::BatchRequest;
       typename UC::OpKind;
+      typename UC::VersionedView;
     } &&
     std::same_as<typename UC::Key, typename UC::Structure::KeyType> &&
     std::same_as<typename UC::Value, typename UC::Structure::ValueType> &&
@@ -123,9 +165,17 @@ concept UniversalConstruction =
       { cuc.read(ctx, SnapshotSizeProbe{}) } -> std::convertible_to<std::size_t>;
       { cuc.size(ctx) } -> std::convertible_to<std::size_t>;
       { cuc.version() } -> std::convertible_to<std::uint64_t>;
+      { cuc.root_token() } -> std::convertible_to<const void*>;
+      { cuc.pin_versioned(ctx) } -> std::same_as<typename UC::VersionedView>;
+      { cuc.read_versioned(ctx, SnapshotSizeProbe{}) };
       { uc.execute_batch(ctx, reqs, results) };
       { uc.seed_sorted(ctx, it, it) };
       { uc.reclaimer() } -> std::same_as<typename UC::SmrType&>;
+    } &&
+    requires(typename UC::VersionedView view) {
+      { view.snapshot } -> std::convertible_to<typename UC::Structure>;
+      { view.version } -> std::convertible_to<std::uint64_t>;
+      { view.token } -> std::convertible_to<const void*>;
     };
 
 }  // namespace pathcopy::core

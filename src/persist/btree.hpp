@@ -63,6 +63,11 @@ class BTree {
   static constexpr unsigned kMinKeys = kMinChildren - 1;
   static constexpr unsigned kLeafCap = Fanout;           // entries per leaf
   static constexpr unsigned kLeafMin = (Fanout + 1) / 2;
+  /// Advertised to the combining UC's fanout gate (ReportsBatchFanout):
+  /// a landing op rewrites a whole kLeafCap-wide leaf, so unclustered
+  /// batches on wide trees are priced via count_leaf_runs before the
+  /// sorted sweep is taken.
+  static constexpr unsigned kBatchFanout = Fanout;
 
   struct Node : core::PNode {
     bool is_leaf;
@@ -129,6 +134,51 @@ class BTree {
   }
 
   bool contains(const K& key) const { return find(key) != nullptr; }
+
+  /// Number of distinct leaves a key-sorted, key-unique batch would
+  /// touch — the combining UC's clustering probe (see ReportsBatchFanout
+  /// in core/combining.hpp, advertised via kBatchFanout below). Read-only,
+  /// one descent per counted leaf, then a linear skip of every further
+  /// batch key below that leaf's upper separator (child i of an internal
+  /// node owns keys < keys[i], so the tightest such separator along the
+  /// descent bounds the leaf's range).
+  ///
+  /// Each descent is ~height cold pointer chases, so an exact count of an
+  /// unclustered batch would cost a sizeable fraction of the per-op pass
+  /// it is meant to veto. max_runs caps the probe: counting stops after
+  /// that many descents and *ops_covered reports how many leading batch
+  /// ops the counted leaves absorbed — covered/runs estimates the batch's
+  /// mean ops-per-leaf from a prefix sample, which is what the combiner's
+  /// gate actually consumes. With the default cap the count is exact over
+  /// the whole batch.
+  unsigned count_leaf_runs(std::span<const BatchOp> ops,
+                           unsigned max_runs = ~0u,
+                           std::size_t* ops_covered = nullptr) const {
+    std::size_t covered = ops.size();
+    unsigned runs = 0;
+    if (!ops.empty() && (root_ == nullptr || root_->is_leaf)) {
+      runs = 1;
+    } else if (!ops.empty()) {
+      Cmp cmp;
+      std::size_t i = 0;
+      while (i < ops.size() && runs < max_runs) {
+        ++runs;
+        const Node* n = root_;
+        const K* hi = nullptr;
+        while (!n->is_leaf) {
+          const auto* in = static_cast<const InternalNode*>(n);
+          const unsigned c = child_index(in, ops[i].key);
+          if (c < in->count) hi = &in->keys[c];
+          n = in->child[c];
+        }
+        ++i;
+        while (i < ops.size() && (hi == nullptr || cmp(ops[i].key, *hi))) ++i;
+      }
+      covered = i;
+    }
+    if (ops_covered != nullptr) *ops_covered = covered;
+    return runs;
+  }
 
   /// Smallest key, or nullptr when empty.
   const K* min_key() const {

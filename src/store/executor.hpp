@@ -1,0 +1,295 @@
+// ShardExecutor: the store layer's shard execution pipeline.
+//
+// Before this, a ShardedMap client drove its S shards *sequentially* —
+// split the batch, then visit shard 0, shard 1, ... from the client
+// thread, each install finishing before the next begins. The executor
+// turns that into a pipeline: one worker thread per shard, each owning an
+// MPSC submission queue, its own reclaimer registration, and its own
+// allocator view. Clients scatter per-shard sub-batches into the queues
+// and receive a join ticket; workers run the shards' install paths
+// concurrently and scatter per-op results straight back into the
+// client's result span before completing the ticket. S shards now mean S
+// genuinely concurrent install streams even for a single client — and a
+// shard's worker is also a natural combining funnel: every sub-batch
+// from every client lands on the one thread that shard's CombiningAtom
+// sees, so batches stack up in its queue instead of contending on the
+// root CAS.
+//
+// Threading/ownership contract:
+//   * construct over a ShardedMap (any map exposing shard_count() /
+//     shard(s)); the constructor spawns the workers and attaches itself
+//     to the map, so Sessions route execute_batch/seed_sorted through it
+//     automatically;
+//   * the alloc factory runs once on each worker thread and may return
+//     either a fresh per-worker allocator by value (ThreadCache) or a
+//     reference to a shared thread-safe one (MallocAlloc). Whatever
+//     backs it must outlive the *map* (retired nodes free through the
+//     allocator's retire backend long after the worker exits);
+//   * submitted spans must stay valid until the task's ticket completes
+//     (Session keeps them in per-session scratch and joins before
+//     returning);
+//   * stop() detaches from the map, lets every worker drain its queue,
+//     and joins the threads; the destructor stops implicitly. Declare the
+//     executor after the map so it stops first. An explicit stop() may
+//     race in-flight client batches: a submit that loses the race returns
+//     false and the client runs that sub-batch synchronously (Session
+//     settles the ticket slot itself), so nothing is dropped and nothing
+//     aborts. *Destruction* is different: like any object, the executor
+//     must not be destroyed while another thread may still call into it —
+//     the race-tolerant shutdown is stop()-then-quiesce-then-destroy (or
+//     quiesce clients first and let RAII do both).
+//
+// Completion of a task happens-before the submitting client's join()
+// return (mutex + condition variable in the ticket), so result writes by
+// workers need no further synchronization.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/stats.hpp"
+#include "core/universal.hpp"
+#include "util/assert.hpp"
+
+namespace pathcopy::store {
+
+/// Join handle for one scattered client batch: arm() it with the number
+/// of sub-batches about to be submitted, then join() blocks until every
+/// worker completed its share. Reusable sequentially; not shareable
+/// between concurrent client calls.
+class BatchTicket {
+ public:
+  BatchTicket() = default;
+  BatchTicket(const BatchTicket&) = delete;
+  BatchTicket& operator=(const BatchTicket&) = delete;
+
+  /// Must be called before the first submit referencing this ticket —
+  /// workers only ever count down, so arming up front cannot race a
+  /// completion into negative territory.
+  void arm(unsigned subbatches) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    PC_ASSERT(pending_ == 0, "ticket re-armed while a join is outstanding");
+    pending_ = subbatches;
+  }
+
+  /// Worker side: one sub-batch done (its result writes precede this).
+  /// The notify happens under the lock on purpose: the joiner's wait can
+  /// only return after re-acquiring the mutex, i.e. after this worker has
+  /// fully left the condition variable — which is what makes destroying
+  /// the ticket right after join() safe.
+  void complete_one() {
+    const std::lock_guard<std::mutex> lock(mu_);
+    PC_ASSERT(pending_ > 0, "ticket completed more often than armed");
+    if (--pending_ == 0) cv_.notify_all();
+  }
+
+  /// Client side: blocks until every armed sub-batch completed.
+  void join() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return pending_ == 0; });
+  }
+
+  bool done() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return pending_ == 0;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  unsigned pending_ = 0;
+};
+
+template <core::UniversalConstruction Uc>
+class ShardExecutor {
+ public:
+  using Key = typename Uc::Key;
+  using Value = typename Uc::Value;
+  using BatchRequest = typename Uc::BatchRequest;
+  using Ctx = typename Uc::Ctx;
+  using SeedItems = std::vector<std::pair<Key, Value>>;
+
+  /// One unit of shard work. Exactly one of {reqs, seed} is meaningful:
+  /// a batch task runs uc.execute_batch over `reqs` and writes op i's
+  /// result to results[scatter[i]] (or results[i] when scatter is null);
+  /// a seed task bulk-loads `*seed` through uc.seed_sorted. All referenced
+  /// storage is client-owned and must outlive the ticket.
+  struct Task {
+    std::span<const BatchRequest> reqs;
+    const std::size_t* scatter = nullptr;
+    bool* results = nullptr;
+    const SeedItems* seed = nullptr;
+    BatchTicket* ticket = nullptr;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  /// Spawns one worker per shard and attaches to the map. `Map` is any
+  /// ShardedMap instantiation over this Uc; `AllocFactory` is invoked
+  /// once on each worker thread (see the header contract).
+  template <class Map, class AllocFactory>
+  ShardExecutor(Map& map, AllocFactory factory) {
+    const std::size_t n = map.shard_count();
+    PC_ASSERT(n >= 1, "executor over an empty map");
+    lanes_.reserve(n);
+    for (std::size_t s = 0; s < n; ++s) {
+      lanes_.push_back(std::make_unique<Lane>());
+    }
+    workers_.reserve(n);
+    try {
+      for (std::size_t s = 0; s < n; ++s) {
+        workers_.emplace_back(
+            [this, s, &uc = map.shard(s), factory]() mutable {
+              run_worker(s, uc, factory);
+            });
+      }
+    } catch (...) {
+      // A failed spawn (e.g. std::system_error at the thread limit) must
+      // not unwind past joinable threads — that is std::terminate. Wake
+      // and join whatever already started, then surface the exception.
+      stopped_ = true;
+      for (auto& lane : lanes_) {
+        const std::lock_guard<std::mutex> lock(lane->mu);
+        lane->stopping = true;
+        lane->cv.notify_all();
+      }
+      for (std::thread& w : workers_) w.join();
+      throw;
+    }
+    map.attach_executor(*this);
+    detach_ = [&map] { map.detach_executor(); };
+  }
+
+  ShardExecutor(const ShardExecutor&) = delete;
+  ShardExecutor& operator=(const ShardExecutor&) = delete;
+
+  ~ShardExecutor() { stop(); }
+
+  std::size_t shard_count() const noexcept { return lanes_.size(); }
+
+  /// Enqueues one task on a shard's lane. FIFO per shard: two tasks
+  /// submitted to the same shard (by any threads, in a determinable
+  /// order) are applied to that shard's UC in submission order. Returns
+  /// false — nothing enqueued — when the lane is already stopping: a
+  /// client that raced stop() past the map's detach must run the
+  /// sub-batch itself (Session does exactly that), so stop() is safe to
+  /// call while batches are in flight.
+  [[nodiscard]] bool submit(std::size_t shard, Task task) {
+    PC_ASSERT(shard < lanes_.size(), "submit to an unknown shard");
+    task.enqueued = std::chrono::steady_clock::now();
+    Lane& lane = *lanes_[shard];
+    const std::lock_guard<std::mutex> lock(lane.mu);
+    if (lane.stopping) return false;
+    lane.q.push_back(task);
+    lane.cv.notify_one();  // under the lock: see BatchTicket::complete_one
+    return true;
+  }
+
+  /// Detaches from the map, drains every queue, joins the workers.
+  /// Idempotent; called by the destructor. Tasks already submitted are
+  /// still fully executed and their tickets completed — shutdown drains,
+  /// it does not drop.
+  void stop() {
+    if (stopped_) return;
+    stopped_ = true;
+    if (detach_) detach_();
+    for (auto& lane : lanes_) {
+      const std::lock_guard<std::mutex> lock(lane->mu);
+      lane->stopping = true;
+      lane->cv.notify_all();
+    }
+    for (std::thread& w : workers_) w.join();
+  }
+
+  /// A shard worker's counters (install stats + queue depth / latency).
+  /// Meaningful once stop() returned; workers publish on exit.
+  const core::OpStats& shard_stats(std::size_t s) const {
+    PC_ASSERT(stopped_, "shard_stats before stop()");
+    return lanes_[s]->final_stats;
+  }
+
+  /// Folds every worker's counters into a ShardStatsBoard-compatible
+  /// accumulator (anything with add(shard, OpStats)).
+  template <class Board>
+  void fold_into(Board& board) const {
+    for (std::size_t s = 0; s < lanes_.size(); ++s) {
+      board.add(s, shard_stats(s));
+    }
+  }
+
+ private:
+  /// Per-shard submission lane. Heap-allocated once: mutexes and cvs are
+  /// neither movable nor copyable, and workers hold stable pointers.
+  struct Lane {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<Task> q;
+    bool stopping = false;
+    core::OpStats final_stats;  // written by the worker on exit, under mu
+  };
+
+  template <class AllocFactory>
+  void run_worker(std::size_t s, Uc& uc, AllocFactory& factory) {
+    // decltype(auto): the factory may hand back a per-worker allocator by
+    // value (guaranteed elision, so non-movable ThreadCache works) or a
+    // reference to a shared thread-safe one.
+    decltype(auto) alloc = factory();
+    Ctx ctx(uc.reclaimer(), alloc);
+    std::unique_ptr<bool[]> scratch;
+    std::size_t scratch_cap = 0;
+    Lane& lane = *lanes_[s];
+    for (;;) {
+      Task task;
+      std::size_t depth;
+      {
+        std::unique_lock<std::mutex> lock(lane.mu);
+        lane.cv.wait(lock, [&] { return !lane.q.empty() || lane.stopping; });
+        if (lane.q.empty()) break;  // stopping and fully drained
+        task = lane.q.front();
+        lane.q.pop_front();
+        depth = lane.q.size();
+      }
+      if (task.seed != nullptr) {
+        uc.seed_sorted(ctx, task.seed->begin(), task.seed->end());
+      } else if (task.scatter == nullptr) {
+        uc.execute_batch(ctx, task.reqs,
+                         std::span<bool>(task.results, task.reqs.size()));
+      } else {
+        const std::size_t n = task.reqs.size();
+        if (scratch_cap < n) {
+          scratch = std::make_unique<bool[]>(n);
+          scratch_cap = n;
+        }
+        uc.execute_batch(ctx, task.reqs, std::span<bool>(scratch.get(), n));
+        for (std::size_t i = 0; i < n; ++i) {
+          task.results[task.scatter[i]] = scratch[i];
+        }
+      }
+      ctx.stats.exec_tasks += 1;
+      ctx.stats.exec_queue_depth_sum += depth;
+      ctx.stats.exec_task_ns += static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - task.enqueued)
+              .count());
+      if (task.ticket != nullptr) task.ticket->complete_one();
+    }
+    const std::lock_guard<std::mutex> lock(lane.mu);
+    lane.final_stats = ctx.stats;
+  }
+
+  std::vector<std::unique_ptr<Lane>> lanes_;
+  std::vector<std::thread> workers_;
+  std::function<void()> detach_;
+  bool stopped_ = false;  // main-thread lifecycle flag, not shared
+};
+
+}  // namespace pathcopy::store

@@ -53,22 +53,31 @@ class ShardStatsBoard {
     return t;
   }
 
-  /// Per-shard table: installs, retry pressure, and batch formation. The
-  /// "batched%" column is the share of installs that went through the
-  /// sorted-sweep path — the quantity shard-count sweeps move.
+  /// Per-shard table: installs, retry pressure, batch formation, the
+  /// executor pipeline (mean submission-queue depth at dequeue and mean
+  /// submit-to-completion task latency — zero on executor-less runs) and
+  /// consistent-cut pressure ("cut-retry": how often a cut had to re-pin
+  /// this shard because its version moved mid-validation). "batched%" is
+  /// the share of installs that went through the sorted-sweep path — the
+  /// quantity shard-count sweeps move.
   void print(std::FILE* out) const {
-    std::fprintf(out, "%6s  %10s  %10s  %12s  %9s  %11s\n", "shard",
-                 "installs", "noops", "cas-fail/op", "batched%", "mean batch");
+    std::fprintf(out, "%6s  %10s  %10s  %12s  %9s  %11s  %8s  %9s  %9s\n",
+                 "shard", "installs", "noops", "cas-fail/op", "batched%",
+                 "mean batch", "q-depth", "task-us", "cut-retry");
     core::OpStats t;
     for (std::size_t i = 0; i < per_shard_.size(); ++i) {
       const core::OpStats s = shard(i);
       t += s;
       print_row(out, i, s);
     }
-    std::fprintf(out, "%6s  %10llu  %10llu  %12.3f  %8.1f%%  %11.2f\n",
+    std::fprintf(out,
+                 "%6s  %10llu  %10llu  %12.3f  %8.1f%%  %11.2f  %8.2f  "
+                 "%9.1f  %9llu\n",
                  "total", static_cast<unsigned long long>(t.updates),
                  static_cast<unsigned long long>(t.noop_updates),
-                 t.failure_ratio(), batched_pct(t), t.mean_batch_size());
+                 t.failure_ratio(), batched_pct(t), t.mean_batch_size(),
+                 t.mean_queue_depth(), t.mean_task_us(),
+                 static_cast<unsigned long long>(t.cut_retries));
   }
 
  private:
@@ -80,10 +89,14 @@ class ShardStatsBoard {
 
   static void print_row(std::FILE* out, std::size_t i,
                         const core::OpStats& s) {
-    std::fprintf(out, "%6zu  %10llu  %10llu  %12.3f  %8.1f%%  %11.2f\n", i,
-                 static_cast<unsigned long long>(s.updates),
+    std::fprintf(out,
+                 "%6zu  %10llu  %10llu  %12.3f  %8.1f%%  %11.2f  %8.2f  "
+                 "%9.1f  %9llu\n",
+                 i, static_cast<unsigned long long>(s.updates),
                  static_cast<unsigned long long>(s.noop_updates),
-                 s.failure_ratio(), batched_pct(s), s.mean_batch_size());
+                 s.failure_ratio(), batched_pct(s), s.mean_batch_size(),
+                 s.mean_queue_depth(), s.mean_task_us(),
+                 static_cast<unsigned long long>(s.cut_retries));
   }
 
   mutable std::mutex mu_;

@@ -23,20 +23,31 @@
 //   Treap / AvlTree / ...     split/merge/join sweeps over immutable nodes
 //
 // Consistency model: each shard is linearizable on its own. Cross-shard
-// reads (size, ordered iteration) compose independently-pinned per-shard
-// snapshots — every shard's contribution is a real version of that shard,
-// but the S pins are not atomic with each other. Snapshot-consistent
-// cross-shard reads are a ROADMAP follow-on (composing the per-shard
-// version counters into a vector clock).
+// reads (size, ordered iteration, read_cut) observe one vector-clock-
+// consistent cut: every shard is pinned via the concept's versioned-read
+// surface and the pins are validated/re-taken until one instant lies
+// inside every shard's stability window (store/version_vector.hpp has
+// the full argument). Cross-shard *writes* remain independent installs —
+// a multi-shard batch is not atomic across shards; see
+// src/store/README.md for exactly what is and is not linearizable.
+//
+// Ingest pipeline: a ShardExecutor (store/executor.hpp) may be attached
+// to the map, after which Session::execute_batch / seed_sorted scatter
+// per-shard sub-batches into the per-shard worker queues and join on a
+// ticket — S concurrent install streams instead of a sequential shard
+// walk. Executor-less maps keep the synchronous path unchanged.
 //
 // Threading model: the map and its shards are shared; each worker thread
 // owns one Session (per-shard reclaimer registrations + announcement
 // slots + stats). Sessions must not outlive the map. Combining backends
 // never recycle announcement slots, so at most MaxThreads sessions may
-// ever be created against one map.
+// ever be created against one map (executor workers consume none of that
+// budget: they drive execute_batch/seed_sorted, which use the request
+// sentinel slot, and never call register_slot).
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -48,7 +59,9 @@
 
 #include "core/stats.hpp"
 #include "core/universal.hpp"
+#include "store/executor.hpp"
 #include "store/router.hpp"
+#include "store/version_vector.hpp"
 #include "util/assert.hpp"
 
 namespace pathcopy::store {
@@ -92,6 +105,28 @@ class ShardedMap {
   }
   Uc& shard(std::size_t i) { return shards_[i]->uc; }
 
+  // ----- shard execution pipeline -----
+  //
+  // ShardExecutor's constructor attaches itself; its stop()/destructor
+  // detaches. While attached, every Session routes execute_batch and
+  // seed_sorted through the worker queues. Attach before spawning client
+  // threads (the pointer is atomic so racing readers are defined, but
+  // mid-run attachment changes which thread runs a given install).
+
+  void attach_executor(ShardExecutor<Uc>& exec) {
+    PC_ASSERT(executor_.load(std::memory_order_acquire) == nullptr,
+              "an executor is already attached to this map");
+    executor_.store(&exec, std::memory_order_release);
+  }
+
+  void detach_executor() noexcept {
+    executor_.store(nullptr, std::memory_order_release);
+  }
+
+  ShardExecutor<Uc>* executor() const noexcept {
+    return executor_.load(std::memory_order_acquire);
+  }
+
   class Session;
 
  private:
@@ -106,6 +141,7 @@ class ShardedMap {
 
   std::vector<std::unique_ptr<ShardRec>> shards_;
   RouterT router_;
+  std::atomic<ShardExecutor<Uc>*> executor_{nullptr};
 };
 
 /// Per-thread handle on a ShardedMap: one reclaimer registration, one
@@ -165,34 +201,84 @@ class ShardedMap<Uc, RouterT>::Session {
     return map_->shards_[s]->uc.read(ctxs_[s], std::forward<F>(f));
   }
 
-  // ----- cross-shard composed reads -----
+  // ----- cross-shard composed reads (vector-clock-consistent cuts) -----
 
-  /// Sum of per-shard sizes; each addend is linearizable, the sum is not
-  /// atomic across shards (see the consistency note in the header).
-  std::size_t size() {
-    std::size_t total = 0;
-    for (std::size_t s = 0; s < map_->shard_count(); ++s) {
-      total += map_->shards_[s]->uc.size(ctxs_[s]);
+  /// Runs f on a ConsistentCut of the whole store: every shard pinned,
+  /// versions converged to one stable vector clock, so f observes the S
+  /// snapshots as they simultaneously were at one instant (see
+  /// store/version_vector.hpp). f receives `const ConsistentCut<Uc>&`;
+  /// the pins are dropped when read_cut returns, so f must not retain
+  /// snapshot references past its return. Retries are charged to the
+  /// moving shard's cut_retries counter (surfaced by ShardStatsBoard).
+  ///
+  /// Not re-entrant: the cut engine is session scratch, so f must not
+  /// call another composed read (size/items/for_each_ordered/read_cut)
+  /// on the SAME session — the nested collect would drop the outer
+  /// cut's pins from under f. Debug builds assert, mirroring the
+  /// execute_batch scratch guard.
+  template <class F>
+  decltype(auto) read_cut(F&& f) {
+    PC_DASSERT(!in_cut_,
+               "Session::read_cut re-entered (nested composed read on the "
+               "same session); the cut scratch is shared per session");
+    in_cut_ = true;
+    struct CutScope {
+      bool* flag;
+      ~CutScope() { *flag = false; }
+    } cut_scope{&in_cut_};
+    // The cut engine is session scratch: collect() reuses its vectors'
+    // capacity, so steady-state composed reads allocate nothing. The
+    // releaser drops the S reclaimer guards as soon as f returns
+    // (holding them past the call would stall reclamation), whatever f
+    // returns.
+    cut_scratch_.collect(
+        map_->shard_count(),
+        [&](std::size_t s) -> Uc& { return map_->shards_[s]->uc; },
+        [&](std::size_t s) -> Ctx& { return ctxs_[s]; },
+        [&](std::size_t s) { ++ctxs_[s].stats.cut_retries; });
+    for (std::size_t s = 0; s < ctxs_.size(); ++s) {
+      ++ctxs_[s].stats.cut_reads;
     }
-    return total;
+    struct Releaser {
+      ConsistentCut<Uc>* cut;
+      ~Releaser() { cut->release(); }
+    } releaser{&cut_scratch_};
+    return std::forward<F>(f)(std::as_const(cut_scratch_));
   }
 
-  /// Ordered in-order visit of (key, value) across every shard. With an
-  /// order-preserving router this is per-shard traversal in shard order;
-  /// otherwise per-shard snapshots are collected and k-way merged.
+  /// Total size over one consistent cut: the sum the cut's clock vouches
+  /// for — all addends belong to the same instant.
+  std::size_t size() {
+    return read_cut([](const ConsistentCut<Uc>& cut) {
+      std::size_t total = 0;
+      for (std::size_t s = 0; s < cut.shards(); ++s) {
+        total += cut.snapshot(s).size();
+      }
+      return total;
+    });
+  }
+
+  /// Ordered in-order visit of (key, value) across every shard, all
+  /// shards read at one consistent cut. With an order-preserving router
+  /// this is per-shard traversal in shard order; otherwise per-shard
+  /// items are collected (still under the cut's pins) and k-way merged.
   template <class F>
   void for_each_ordered(F&& f) {
-    if constexpr (RouterT::kOrderPreserving) {
-      for (std::size_t s = 0; s < map_->shard_count(); ++s) {
-        map_->shards_[s]->uc.read(ctxs_[s], [&](auto snapshot) {
-          snapshot.for_each(f);
-          return 0;
-        });
+    read_cut([&](const ConsistentCut<Uc>& cut) {
+      if constexpr (RouterT::kOrderPreserving) {
+        for (std::size_t s = 0; s < cut.shards(); ++s) {
+          cut.snapshot(s).for_each(f);
+        }
+      } else {
+        std::vector<std::vector<std::pair<Key, Value>>> parts;
+        parts.reserve(cut.shards());
+        for (std::size_t s = 0; s < cut.shards(); ++s) {
+          parts.push_back(cut.snapshot(s).items());
+        }
+        merge_ordered(parts, f);
       }
-    } else {
-      std::vector<std::vector<std::pair<Key, Value>>> parts = snapshot_items();
-      merge_ordered(parts, f);
-    }
+      return 0;
+    });
   }
 
   std::vector<std::pair<Key, Value>> items() {
@@ -210,50 +296,70 @@ class ShardedMap<Uc, RouterT>::Session {
   /// per-op semantics survive the reorder — ops on distinct keys commute,
   /// and same-key ops always land on the same shard), feeds each shard's
   /// install path, and scatters the per-op results back into
-  /// `results_out` aligned with `reqs`.
+  /// `results_out` aligned with `reqs`. With an executor attached the
+  /// sub-batches go through the per-shard worker queues concurrently and
+  /// this call joins on their ticket; otherwise shards are visited
+  /// synchronously from this thread.
+  ///
+  /// Not re-entrant: the split index and sub-batch storage live in
+  /// session scratch (reused across calls, and referenced by in-flight
+  /// executor tasks until the join) — a session is a single-owner handle,
+  /// so a second execute_batch on the same session before the first
+  /// returned would silently corrupt both. Debug builds assert.
   void execute_batch(std::span<const BatchRequest> reqs,
                      std::span<bool> results_out) {
     PC_ASSERT(results_out.size() >= reqs.size(),
               "execute_batch result span too small");
+    PC_DASSERT(!in_batch_,
+               "Session::execute_batch re-entered; sessions are single-owner "
+               "and their batch scratch is not re-entrant");
+    in_batch_ = true;
+    // Scope guard, not a trailing store: an exception mid-batch (e.g. a
+    // scratch vector's bad_alloc) must not leave the session permanently
+    // "in batch" and turn every later call into a phantom re-entry abort.
+    struct BatchScope {
+      bool* flag;
+      ~BatchScope() { *flag = false; }
+    } scope{&in_batch_};
+    ShardExecutor<Uc>* exec = map_->executor();
     const std::size_t n_shards = map_->shard_count();
-    if (n_shards == 1) {
+    if (exec != nullptr) {
+      execute_batch_async(*exec, reqs, results_out);
+    } else if (n_shards == 1) {
       map_->shards_[0]->uc.execute_batch(ctxs_[0], reqs, results_out);
-      return;
-    }
-    for (auto& idx : split_) idx.clear();
-    for (std::size_t i = 0; i < reqs.size(); ++i) {
-      split_[map_->shard_of(reqs[i].key)].push_back(i);
-    }
-    for (std::size_t s = 0; s < n_shards; ++s) {
-      std::vector<std::size_t>& idx = split_[s];
-      if (idx.empty()) continue;
-      std::stable_sort(idx.begin(), idx.end(),
-                       [&](std::size_t a, std::size_t b) {
-                         return key_less(reqs[a].key, reqs[b].key);
-                       });
-      sub_reqs_.clear();
-      for (const std::size_t i : idx) sub_reqs_.push_back(reqs[i]);
-      if (sub_results_cap_ < idx.size()) {
-        sub_results_ = std::make_unique<bool[]>(idx.size());
-        sub_results_cap_ = idx.size();
-      }
-      map_->shards_[s]->uc.execute_batch(
-          ctxs_[s], std::span<const BatchRequest>(sub_reqs_),
-          std::span<bool>(sub_results_.get(), idx.size()));
-      for (std::size_t j = 0; j < idx.size(); ++j) {
-        results_out[idx[j]] = sub_results_[j];
+    } else {
+      split_batch(reqs);
+      for (std::size_t s = 0; s < n_shards; ++s) {
+        if (split_[s].empty()) continue;
+        run_sub_batch_sync(s, results_out);
       }
     }
   }
 
   /// Single-writer bulk load of strictly increasing (key, value) pairs:
   /// partitions the run into per-shard slices (each still sorted) and
-  /// seeds every non-empty shard in one install.
+  /// seeds every non-empty shard in one install — all shards in parallel
+  /// when an executor is attached.
   template <class It>
   void seed_sorted(It first, It last) {
     std::vector<std::vector<std::pair<Key, Value>>> parts(map_->shard_count());
     for (It it = first; it != last; ++it) {
       parts[map_->shard_of(it->first)].push_back(*it);
+    }
+    if (ShardExecutor<Uc>* exec = map_->executor(); exec != nullptr) {
+      // parts is local, so the helper's join happens before it dies.
+      scatter_and_join(
+          *exec, [&](std::size_t s) { return !parts[s].empty(); },
+          [&](std::size_t s) {
+            typename ShardExecutor<Uc>::Task task;
+            task.seed = &parts[s];
+            return task;
+          },
+          [&](std::size_t s) {
+            map_->shards_[s]->uc.seed_sorted(ctxs_[s], parts[s].begin(),
+                                             parts[s].end());
+          });
+      return;
     }
     for (std::size_t s = 0; s < parts.size(); ++s) {
       if (parts[s].empty()) continue;
@@ -293,15 +399,111 @@ class ShardedMap<Uc, RouterT>::Session {
     }
   }
 
-  std::vector<std::vector<std::pair<Key, Value>>> snapshot_items() {
-    std::vector<std::vector<std::pair<Key, Value>>> parts;
-    parts.reserve(map_->shard_count());
-    for (std::size_t s = 0; s < map_->shard_count(); ++s) {
-      parts.push_back(map_->shards_[s]->uc.read(ctxs_[s], [](auto snapshot) {
-        return snapshot.items();
-      }));
+  /// Routes reqs into split_ (client indices per shard, key-sorted
+  /// stably) and materializes the per-shard sub-batches in
+  /// sub_reqs_by_shard_. split_[s] doubles as the scatter map: sub-op j
+  /// of shard s answers client op split_[s][j].
+  void split_batch(std::span<const BatchRequest> reqs) {
+    for (auto& idx : split_) idx.clear();
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+      split_[map_->shard_of(reqs[i].key)].push_back(i);
     }
-    return parts;
+    sub_reqs_by_shard_.resize(map_->shard_count());
+    for (std::size_t s = 0; s < split_.size(); ++s) {
+      std::vector<std::size_t>& idx = split_[s];
+      std::vector<BatchRequest>& sub = sub_reqs_by_shard_[s];
+      sub.clear();
+      if (idx.empty()) continue;
+      std::stable_sort(idx.begin(), idx.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         return key_less(reqs[a].key, reqs[b].key);
+                       });
+      sub.reserve(idx.size());
+      for (const std::size_t i : idx) sub.push_back(reqs[i]);
+    }
+  }
+
+  /// Runs shard s's already-split sub-batch synchronously on this thread
+  /// and scatters its results — the executor-less path, and the fallback
+  /// for a submit that raced a stop().
+  void run_sub_batch_sync(std::size_t s, std::span<bool> results_out) {
+    std::vector<std::size_t>& idx = split_[s];
+    if (sub_results_cap_ < idx.size()) {
+      sub_results_ = std::make_unique<bool[]>(idx.size());
+      sub_results_cap_ = idx.size();
+    }
+    map_->shards_[s]->uc.execute_batch(
+        ctxs_[s], std::span<const BatchRequest>(sub_reqs_by_shard_[s]),
+        std::span<bool>(sub_results_.get(), idx.size()));
+    for (std::size_t j = 0; j < idx.size(); ++j) {
+      results_out[idx[j]] = sub_results_[j];
+    }
+  }
+
+  /// The one home of the scatter/join protocol: arms a ticket for every
+  /// shard with work, submits make_task(s) to each, and joins. A submit
+  /// refused by a stopping executor is run synchronously via run_sync(s)
+  /// and its ticket slot settled by this thread — callers never drop ops
+  /// or block on a lane that will not drain them. All storage the tasks
+  /// reference must outlive the join (it happens before this returns).
+  template <class HasWork, class MakeTask, class RunSync>
+  void scatter_and_join(ShardExecutor<Uc>& exec, HasWork&& has_work,
+                        MakeTask&& make_task, RunSync&& run_sync) {
+    BatchTicket ticket;
+    const std::size_t n = map_->shard_count();
+    unsigned pending = 0;
+    for (std::size_t s = 0; s < n; ++s) {
+      if (has_work(s)) ++pending;
+    }
+    if (pending == 0) return;
+    ticket.arm(pending);
+    for (std::size_t s = 0; s < n; ++s) {
+      if (!has_work(s)) continue;
+      typename ShardExecutor<Uc>::Task task = make_task(s);
+      task.ticket = &ticket;
+      if (!exec.submit(s, task)) {
+        run_sync(s);
+        ticket.complete_one();
+      }
+    }
+    ticket.join();
+  }
+
+  /// Scatters the split batch into the executor's per-shard queues and
+  /// joins. Workers write each result straight into results_out through
+  /// the split_ scatter map; the ticket's completion happens-before
+  /// join() returns, so no second client-side pass is needed.
+  void execute_batch_async(ShardExecutor<Uc>& exec,
+                           std::span<const BatchRequest> reqs,
+                           std::span<bool> results_out) {
+    using Task = typename ShardExecutor<Uc>::Task;
+    if (map_->shard_count() == 1) {
+      // No split needed: the whole client batch is shard 0's sub-batch.
+      scatter_and_join(
+          exec, [](std::size_t) { return true; },
+          [&](std::size_t) {
+            Task task;
+            task.reqs = reqs;
+            task.results = results_out.data();
+            return task;
+          },
+          [&](std::size_t) {
+            map_->shards_[0]->uc.execute_batch(ctxs_[0], reqs, results_out);
+          });
+      return;
+    }
+    split_batch(reqs);
+    scatter_and_join(
+        exec, [&](std::size_t s) { return !split_[s].empty(); },
+        [&](std::size_t s) {
+          Task task;
+          task.reqs = std::span<const BatchRequest>(sub_reqs_by_shard_[s]);
+          task.scatter = split_[s].data();
+          task.results = results_out.data();
+          return task;
+        },
+        [&](std::size_t s) { run_sub_batch_sync(s, results_out); });
+    // split_/sub_reqs_by_shard_ stayed untouched until the join above.
   }
 
   /// S-way merge over per-shard sorted runs; S is small (tens), so a
@@ -329,11 +531,19 @@ class ShardedMap<Uc, RouterT>::Session {
   ShardedMap* map_;
   std::vector<Ctx> ctxs_;
   std::vector<unsigned> slots_;
-  // Batch-split scratch, reused across execute_batch calls.
+  // Batch-split scratch, reused across execute_batch calls and referenced
+  // by in-flight executor tasks until their ticket joins — which is why
+  // execute_batch is not re-entrant (in_batch_ asserts in debug builds).
   std::vector<std::vector<std::size_t>> split_;
-  std::vector<BatchRequest> sub_reqs_;
+  std::vector<std::vector<BatchRequest>> sub_reqs_by_shard_;
   std::unique_ptr<bool[]> sub_results_;
   std::size_t sub_results_cap_ = 0;
+  bool in_batch_ = false;
+  bool in_cut_ = false;
+  // Consistent-cut scratch (pins dropped before read_cut returns; only
+  // vector capacity persists between calls) — shared per session, hence
+  // the read_cut re-entrancy assert.
+  ConsistentCut<Uc> cut_scratch_;
 };
 
 }  // namespace pathcopy::store

@@ -1,0 +1,168 @@
+// VersionVector + ConsistentCut: vector-clock-consistent cross-shard
+// reads for the store layer.
+//
+// A ShardedMap is S independent universal constructions; each publishes
+// its own monotone version counter. A naive composed read pins S
+// snapshots one after another, so the S contributions may belong to
+// moments arbitrarily far apart — real per-shard versions, but no single
+// instant at which the whole store looked like that. The cut protocol
+// here repairs that:
+//
+//   1. pin every shard (pin_versioned: snapshot + version label + root
+//      token, guard held);
+//   2. with ALL pins held, re-probe every shard; a shard whose current
+//      root token differs from its pinned token moved — drop only that
+//      pin and re-pin it;
+//   3. repeat until one full validation pass sees every shard unmoved.
+//
+// Why this is a true consistent cut: a pinned root cannot be freed, so
+// its address cannot be recycled, and no install ever republishes an
+// existing root — hence "current token == pinned token" means the shard
+// has been on that exact version continuously since the pin. In the
+// final round every (re-)pin happens before every validation probe, so
+// the instant between the last pin and the first probe lies inside every
+// shard's stability window: at that instant the store's contents were
+// exactly the S pinned snapshots. The token comparison is the ABA-free
+// form of "did the version move" (see the concept note in
+// core/universal.hpp); the version labels are the reported clock.
+//
+// One token is recyclable: nullptr, the plain Atom's empty-structure
+// root (the CombiningAtom's token is its VersionRec, never null). A
+// shard that goes empty -> non-empty -> empty between pin and probe
+// would pass a token-only check, so a null-token pin is additionally
+// validated against the version counter, which any completed install
+// advances. Residual (documented, plain Atom only): installs whose
+// counter bump is still in flight at probe time are invisible to that
+// check — the same publication lag its version labels already carry;
+// backends with a never-null root record are exact on the token alone.
+//
+// Progress: each failed validation implies some shard installed a new
+// version — retries are bounded by system-wide write progress, the same
+// progress class as the Atom's CAS retry loop. The per-round work between
+// pin and validation is S pointer loads (traversal happens after the cut
+// is established, on the still-pinned immutable snapshots), so the window
+// is tiny and convergence under write load is fast in practice.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "core/universal.hpp"
+#include "util/assert.hpp"
+
+namespace pathcopy::store {
+
+/// One version label per shard — the clock a consistent cut reports.
+class VersionVector {
+ public:
+  VersionVector() = default;
+  explicit VersionVector(std::size_t shards) : v_(shards, 0) {}
+
+  /// Reset to `shards` zeroed components, reusing capacity (the cut
+  /// engine's steady state allocates nothing).
+  void assign(std::size_t shards) { v_.assign(shards, 0); }
+
+  std::size_t size() const noexcept { return v_.size(); }
+  std::uint64_t operator[](std::size_t s) const { return v_[s]; }
+  std::uint64_t& operator[](std::size_t s) { return v_[s]; }
+
+  bool operator==(const VersionVector&) const = default;
+
+  /// Component-wise <=: this clock is no later than `o` on every shard.
+  /// Successive cuts taken by one session are totally ordered under this
+  /// (shard versions only grow), which is what the monotonicity tests
+  /// assert.
+  bool dominated_by(const VersionVector& o) const {
+    PC_ASSERT(v_.size() == o.v_.size(), "clock width mismatch");
+    for (std::size_t s = 0; s < v_.size(); ++s) {
+      if (v_[s] > o.v_[s]) return false;
+    }
+    return true;
+  }
+
+  const std::vector<std::uint64_t>& values() const noexcept { return v_; }
+
+ private:
+  std::vector<std::uint64_t> v_;
+};
+
+/// The cut engine: pins every shard of a map and converges to one stable
+/// vector clock. Owns the S reclaimer guards for its lifetime, so the
+/// snapshots it exposes stay valid until the cut is destroyed (or
+/// release()d). Create on the reading thread; not shareable.
+template <core::UniversalConstruction Uc>
+class ConsistentCut {
+ public:
+  using Structure = typename Uc::Structure;
+  using View = typename Uc::VersionedView;
+
+  /// Runs the pin / validate / re-pin loop. `shard_at(s)` yields the
+  /// shard UC, `ctx_at(s)` the caller's per-shard context, `on_retry(s)`
+  /// is invoked each time shard s moved and had to be re-pinned (stats
+  /// hook). Any previously held pins are released first.
+  template <class ShardAt, class CtxAt, class OnRetry>
+  void collect(std::size_t shards, ShardAt&& shard_at, CtxAt&& ctx_at,
+               OnRetry&& on_retry) {
+    pins_.clear();
+    pins_.resize(shards);
+    retries_ = 0;
+    for (;;) {
+      for (std::size_t s = 0; s < shards; ++s) {
+        if (!pins_[s].has_value()) {
+          pins_[s].emplace(shard_at(s).pin_versioned(ctx_at(s)));
+        }
+      }
+      // All pins held: one probe pass. Every probe runs after every pin,
+      // which is what puts one instant inside all stability windows.
+      // Non-null tokens are ABA-free outright; a null token (pinned
+      // empty plain-Atom shard) can recur after installs, so it is
+      // cross-checked against the version counter (header comment).
+      bool stable = true;
+      for (std::size_t s = 0; s < shards; ++s) {
+        const bool moved =
+            shard_at(s).root_token() != pins_[s]->token ||
+            (pins_[s]->token == nullptr &&
+             shard_at(s).version() != pins_[s]->version);
+        if (moved) {
+          pins_[s].reset();
+          ++retries_;
+          on_retry(s);
+          stable = false;
+        }
+      }
+      if (stable) break;
+    }
+    clock_.assign(shards);
+    for (std::size_t s = 0; s < shards; ++s) {
+      clock_[s] = pins_[s]->version;
+    }
+  }
+
+  std::size_t shards() const noexcept { return pins_.size(); }
+
+  /// The pinned snapshot of shard s — valid while the cut holds its pins.
+  const Structure& snapshot(std::size_t s) const {
+    PC_DASSERT(pins_[s].has_value(), "snapshot of an unpinned shard");
+    return pins_[s]->snapshot;
+  }
+
+  std::uint64_t version(std::size_t s) const { return clock_[s]; }
+  const VersionVector& clock() const noexcept { return clock_; }
+
+  /// Re-pins performed before the clock stabilized (0 when no writer
+  /// raced the cut).
+  std::uint64_t retries() const noexcept { return retries_; }
+
+  /// Drops every guard; snapshots become invalid.
+  void release() { pins_.clear(); }
+
+ private:
+  std::vector<std::optional<View>> pins_;
+  VersionVector clock_;
+  std::uint64_t retries_ = 0;
+};
+
+}  // namespace pathcopy::store

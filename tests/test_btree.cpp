@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <map>
+#include <span>
 #include <vector>
 
 #include "alloc/arena_alloc.hpp"
@@ -329,6 +330,66 @@ TEST(BtreeBatch, RandomBatchesAcrossFanouts) {
 // Occupancy audit around batch-driven growth and shrinkage: a bulk
 // insert run must split leaves (height grows, bounds hold), and a mass
 // erase must merge/collapse back down to a shorter valid tree.
+// ----- the combining UC's clustering probe (count_leaf_runs) -----
+
+TEST(BtreeBatch, CountLeafRunsMatchesLeafPartition) {
+  alloc::Arena a;
+  // Dense keys 0..n-1 at fanout 8: consecutive keys co-reside in leaves,
+  // far-apart keys do not.
+  T t = insert_all(a, T{}, iota_keys(512));
+  const auto probe = [&](std::vector<std::int64_t> keys) {
+    std::vector<typename T::BatchOp> ops;
+    for (const auto k : keys) {
+      ops.push_back({persist::BatchOpKind::kInsert, k, k});
+    }
+    return t.count_leaf_runs(std::span<const typename T::BatchOp>(ops));
+  };
+  EXPECT_EQ(probe({}), 0u);
+  EXPECT_EQ(probe({100}), 1u);
+  // Two adjacent keys share a leaf; a full-span pair cannot.
+  EXPECT_EQ(probe({100, 101}), 1u);
+  EXPECT_EQ(probe({0, 511}), 2u);
+  // Keys 64 apart at leaf capacity 8 are always on distinct leaves, so
+  // the run count equals the key count.
+  EXPECT_EQ(probe({0, 64, 128, 192, 256, 320, 384, 448}), 8u);
+  // A clustered window tiles into far fewer leaves than it has ops: every
+  // key of 128..191 lands in one of ~64/kLeafMin..64/kLeafCap leaves.
+  std::vector<std::int64_t> window;
+  for (std::int64_t k = 128; k < 192; ++k) window.push_back(k);
+  const unsigned runs = probe(window);
+  EXPECT_GE(runs, 64u / T::kLeafCap);
+  EXPECT_LE(runs, 64u / T::kLeafMin + 1);
+}
+
+TEST(BtreeBatch, CountLeafRunsSampledPrefixStopsEarly) {
+  alloc::Arena a;
+  T t = insert_all(a, T{}, iota_keys(512));
+  std::vector<typename T::BatchOp> ops;
+  for (std::int64_t k = 0; k < 512; k += 64) {
+    ops.push_back({persist::BatchOpKind::kInsert, k, k});  // 8 leaves
+  }
+  const std::span<const typename T::BatchOp> span(ops);
+  // Uncapped: exact count, everything covered.
+  std::size_t covered = ~std::size_t{0};
+  EXPECT_EQ(t.count_leaf_runs(span, ~0u, &covered), 8u);
+  EXPECT_EQ(covered, ops.size());
+  // Capped at 4: four descents, four leading ops covered (one per leaf).
+  EXPECT_EQ(t.count_leaf_runs(span, 4, &covered), 4u);
+  EXPECT_EQ(covered, 4u);
+  // Clustered prefix: the cap still covers many ops per counted leaf.
+  std::vector<typename T::BatchOp> dense;
+  for (std::int64_t k = 128; k < 192; ++k) {
+    dense.push_back({persist::BatchOpKind::kInsert, k, k});
+  }
+  const unsigned dense_runs = t.count_leaf_runs(
+      std::span<const typename T::BatchOp>(dense), 4, &covered);
+  EXPECT_EQ(dense_runs, 4u);
+  // Every key in the window is in the batch, so each fully-sampled leaf
+  // contributes its whole occupancy (>= kLeafMin); the first leaf may be
+  // entered mid-range, so discount it.
+  EXPECT_GE(covered, 3u * T::kLeafMin + 1);
+}
+
 TEST(BtreeBatch, SplitsAndCollapsesKeepOccupancyBounds) {
   alloc::Arena a;
   std::vector<std::pair<std::int64_t, std::int64_t>> items;

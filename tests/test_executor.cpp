@@ -1,0 +1,331 @@
+// ShardExecutor: the store's async shard pipeline.
+//
+// What must hold:
+//   * per-shard FIFO — tasks submitted to one shard apply in submission
+//     order (the results of an alternating insert/erase chain on one key
+//     betray any reorder);
+//   * join-ticket completeness — join() returns only after every armed
+//     sub-batch ran and scattered its results;
+//   * shutdown drains — stop()/destruction executes everything already
+//     submitted, completing its tickets, before the workers exit;
+//   * the async Session path (executor attached) is observationally
+//     identical to the synchronous splitter, including under concurrent
+//     clients (the TSan target).
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "alloc/malloc_alloc.hpp"
+#include "core/atom.hpp"
+#include "core/combining.hpp"
+#include "persist/treap.hpp"
+#include "reclaim/epoch.hpp"
+#include "store/executor.hpp"
+#include "store/router.hpp"
+#include "store/shard_stats.hpp"
+#include "store/sharded_map.hpp"
+#include "util/rng.hpp"
+
+namespace pathcopy {
+namespace {
+
+using T = persist::Treap<std::int64_t, std::int64_t>;
+using Epoch = reclaim::EpochReclaimer;
+using MA = alloc::MallocAlloc;
+using PlainUc = core::Atom<T, Epoch, MA>;
+using CombUc = core::CombiningAtom<T, Epoch, MA>;
+using RangeR = store::RangeRouter<std::int64_t>;
+
+// MallocAlloc is thread-safe (operator new + atomic counters), so every
+// worker can share the map's instance; sharing also keeps the leak check
+// one-sided: all allocs and frees land on the same stats block.
+template <class Uc>
+auto shared_alloc_factory(MA& a) {
+  return [&a]() -> MA& { return a; };
+}
+
+template <class Uc>
+using Map = store::ShardedMap<Uc, RangeR>;
+
+template <class Uc>
+Map<Uc> make_map(std::size_t shards, MA& a) {
+  return Map<Uc>(shards, a,
+                 shards == 1 ? RangeR{} : RangeR::uniform(0, 1024, shards));
+}
+
+TEST(Executor, PerShardFifoOrderingOnOneKey) {
+  MA a;
+  {
+    auto map = make_map<CombUc>(1, a);
+    store::ShardExecutor<CombUc> exec(map, shared_alloc_factory<CombUc>(a));
+    using Req = typename CombUc::BatchRequest;
+    using K = typename CombUc::OpKind;
+    // 2N single-op tasks alternating insert/erase of the same key. FIFO
+    // execution makes every op land (insert on absent, erase on present):
+    // all results true. Any reorder yields a false somewhere.
+    constexpr int kPairs = 200;
+    std::vector<Req> reqs;
+    for (int i = 0; i < kPairs; ++i) {
+      reqs.push_back(Req{K::kInsert, 7, 7});
+      reqs.push_back(Req{K::kErase, 7, std::nullopt});
+    }
+    const auto results = std::make_unique<bool[]>(reqs.size());
+    store::BatchTicket ticket;
+    ticket.arm(static_cast<unsigned>(reqs.size()));
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+      typename store::ShardExecutor<CombUc>::Task task;
+      task.reqs = std::span<const Req>(&reqs[i], 1);
+      task.results = &results[i];
+      task.ticket = &ticket;
+      ASSERT_TRUE(exec.submit(0, task));
+    }
+    ticket.join();
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+      ASSERT_TRUE(results[i]) << "op " << i << " saw a reordered state";
+    }
+    typename Map<CombUc>::Session session(map, a);
+    EXPECT_EQ(session.size(), 0u);
+  }
+  EXPECT_EQ(a.stats().live_blocks(), 0u);
+}
+
+TEST(Executor, JoinTicketCoversEveryShardsSubBatch) {
+  MA a;
+  {
+    auto map = make_map<CombUc>(4, a);
+    store::ShardExecutor<CombUc> exec(map, shared_alloc_factory<CombUc>(a));
+    typename Map<CombUc>::Session session(map, a);
+    using Req = typename Map<CombUc>::BatchRequest;
+    using K = typename Map<CombUc>::OpKind;
+    // Fresh distinct keys spread over all shards: every result must come
+    // back true, and only after join() may we rely on any of them.
+    std::vector<Req> reqs;
+    for (std::int64_t k = 0; k < 1024; k += 3) {
+      reqs.push_back(Req{K::kInsert, k, k * 2});
+    }
+    const auto res = std::make_unique<bool[]>(reqs.size());
+    session.execute_batch(reqs, std::span<bool>(res.get(), reqs.size()));
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+      ASSERT_TRUE(res[i]) << "result " << i << " not scattered back";
+    }
+    ASSERT_EQ(session.size(), reqs.size());
+    for (const Req& r : reqs) {
+      ASSERT_EQ(session.find(r.key), std::optional<std::int64_t>(r.key * 2));
+    }
+  }
+  EXPECT_EQ(a.stats().live_blocks(), 0u);
+}
+
+TEST(Executor, StopDrainsQueuedTasksBeforeExit) {
+  MA a;
+  {
+    auto map = make_map<CombUc>(2, a);
+    using Req = typename CombUc::BatchRequest;
+    using K = typename CombUc::OpKind;
+    std::vector<std::vector<Req>> batches;
+    for (std::int64_t b = 0; b < 64; ++b) {
+      std::vector<Req> reqs;
+      for (std::int64_t i = 0; i < 8; ++i) {
+        const std::int64_t k = b * 8 + i;
+        reqs.push_back(Req{K::kInsert, k, k});
+      }
+      batches.push_back(std::move(reqs));
+    }
+    const auto res = std::make_unique<bool[]>(64 * 8);
+    store::BatchTicket ticket;
+    {
+      store::ShardExecutor<CombUc> exec(map, shared_alloc_factory<CombUc>(a));
+      ticket.arm(64);
+      for (std::size_t b = 0; b < batches.size(); ++b) {
+        typename store::ShardExecutor<CombUc>::Task task;
+        task.reqs = std::span<const Req>(batches[b]);
+        task.results = &res[b * 8];
+        task.ticket = &ticket;
+        // Keys 0..511 with the range split at 512: everything routes to
+        // shard 0; alternate lanes anyway to exercise both workers.
+        ASSERT_TRUE(exec.submit(b % 2 == 0 ? 0 : 1, task));
+      }
+      // No join before stop: destruction must drain, not drop.
+    }
+    EXPECT_TRUE(ticket.done());
+    typename Map<CombUc>::Session session(map, a);
+    EXPECT_EQ(session.size(), 64u * 8u);
+    for (std::size_t i = 0; i < 64u * 8u; ++i) {
+      ASSERT_TRUE(res[i]) << "task for op " << i << " was dropped";
+    }
+  }
+  EXPECT_EQ(a.stats().live_blocks(), 0u);
+}
+
+TEST(Executor, WorkerStatsSurfaceQueueDepthAndLatency) {
+  MA a;
+  {
+    auto map = make_map<CombUc>(2, a);
+    store::ShardStatsBoard board(2);
+    {
+      store::ShardExecutor<CombUc> exec(map, shared_alloc_factory<CombUc>(a));
+      typename Map<CombUc>::Session session(map, a);
+      using Req = typename Map<CombUc>::BatchRequest;
+      using K = typename Map<CombUc>::OpKind;
+      std::vector<Req> reqs;
+      for (std::int64_t k = 0; k < 1024; k += 2) {
+        reqs.push_back(Req{K::kInsert, k, k});
+      }
+      const auto res = std::make_unique<bool[]>(reqs.size());
+      session.execute_batch(reqs, std::span<bool>(res.get(), reqs.size()));
+      exec.stop();
+      exec.fold_into(board);
+    }
+    const core::OpStats total = board.total();
+    // One client batch split over two shards: each worker ran one task.
+    EXPECT_EQ(total.exec_tasks, 2u);
+    EXPECT_GT(total.exec_task_ns, 0u);
+    EXPECT_GT(total.updates, 0u);
+  }
+  EXPECT_EQ(a.stats().live_blocks(), 0u);
+}
+
+TEST(Executor, SubmitAfterStopIsRefusedNotFatal) {
+  MA a;
+  {
+    auto map = make_map<CombUc>(1, a);
+    using Req = typename CombUc::BatchRequest;
+    using K = typename CombUc::OpKind;
+    store::ShardExecutor<CombUc> exec(map, shared_alloc_factory<CombUc>(a));
+    exec.stop();
+    // A submit that lost the race against stop() is refused, not fatal;
+    // the caller settles the ticket slot and runs the work itself, which
+    // is exactly what Session does.
+    const Req req{K::kInsert, 3, 3};
+    bool res = false;
+    store::BatchTicket ticket;
+    ticket.arm(1);
+    typename store::ShardExecutor<CombUc>::Task task;
+    task.reqs = std::span<const Req>(&req, 1);
+    task.results = &res;
+    task.ticket = &ticket;
+    EXPECT_FALSE(exec.submit(0, task));
+    ticket.complete_one();
+    ticket.join();
+    EXPECT_TRUE(ticket.done());
+    // stop() detached from the map, so session batches take the
+    // synchronous path transparently.
+    typename Map<CombUc>::Session session(map, a);
+    bool out[1];
+    session.execute_batch(std::span<const Req>(&req, 1),
+                          std::span<bool>(out, 1));
+    EXPECT_TRUE(out[0]);
+    EXPECT_TRUE(session.contains(3));
+  }
+  EXPECT_EQ(a.stats().live_blocks(), 0u);
+}
+
+template <class UcT>
+struct ExecCase {
+  using Uc = UcT;
+};
+
+template <class C>
+class ExecutorTyped : public ::testing::Test {};
+
+using ExecBackends =
+    ::testing::Types<ExecCase<PlainUc>, ExecCase<CombUc>>;
+TYPED_TEST_SUITE(ExecutorTyped, ExecBackends);
+
+TYPED_TEST(ExecutorTyped, AsyncSessionMatchesSyncOracle) {
+  using Uc = typename TypeParam::Uc;
+  using Req = typename Uc::BatchRequest;
+  using K = typename Uc::OpKind;
+  MA a1, a2;
+  {
+    auto async_map = make_map<Uc>(4, a1);
+    store::ShardExecutor<Uc> exec(async_map, shared_alloc_factory<Uc>(a1));
+    typename Map<Uc>::Session async_sess(async_map, a1);
+    auto sync_map = make_map<Uc>(4, a2);
+    typename Map<Uc>::Session sync_sess(sync_map, a2);
+
+    util::Xoshiro256 rng(19);
+    for (int iter = 0; iter < 30; ++iter) {
+      const int n = 1 + static_cast<int>(rng.range(0, 49));
+      std::vector<Req> reqs;
+      for (int i = 0; i < n; ++i) {
+        const std::int64_t k = rng.range(0, 96);  // dense: same-key chains
+        if (rng.chance(1, 2)) {
+          reqs.push_back(Req{K::kInsert, k, k + 7 * iter});
+        } else {
+          reqs.push_back(Req{K::kErase, k, std::nullopt});
+        }
+      }
+      bool got[56], want[56];
+      async_sess.execute_batch(reqs, std::span<bool>(got, reqs.size()));
+      sync_sess.execute_batch(reqs, std::span<bool>(want, reqs.size()));
+      for (int i = 0; i < n; ++i) {
+        ASSERT_EQ(got[i], want[i]) << "iter " << iter << " op " << i;
+      }
+    }
+    ASSERT_EQ(async_sess.items(), sync_sess.items());
+  }
+  EXPECT_EQ(a1.stats().live_blocks(), 0u);
+  EXPECT_EQ(a2.stats().live_blocks(), 0u);
+}
+
+TYPED_TEST(ExecutorTyped, ConcurrentClientsThroughOnePipeline) {
+  using Uc = typename TypeParam::Uc;
+  using Req = typename Uc::BatchRequest;
+  using K = typename Uc::OpKind;
+  MA a;
+  constexpr int kClients = 4;
+  constexpr int kKeys = 96;
+  {
+    auto map = make_map<Uc>(4, a);
+    store::ShardExecutor<Uc> exec(map, shared_alloc_factory<Uc>(a));
+    std::array<std::atomic<std::int64_t>, kKeys> net{};
+    std::vector<std::thread> clients;
+    for (int w = 0; w < kClients; ++w) {
+      clients.emplace_back([&, w] {
+        typename Map<Uc>::Session session(map, a);
+        util::Xoshiro256 rng(w * 31 + 5);
+        std::vector<Req> reqs;
+        bool res[16];
+        for (int round = 0; round < 150; ++round) {
+          reqs.clear();
+          for (int i = 0; i < 16; ++i) {
+            const std::int64_t k = rng.range(0, kKeys - 1);
+            if (rng.chance(1, 2)) {
+              reqs.push_back(Req{K::kInsert, k, k});
+            } else {
+              reqs.push_back(Req{K::kErase, k, std::nullopt});
+            }
+          }
+          session.execute_batch(reqs, std::span<bool>(res, reqs.size()));
+          for (std::size_t i = 0; i < reqs.size(); ++i) {
+            if (!res[i]) continue;
+            net[reqs[i].key].fetch_add(
+                reqs[i].kind == K::kInsert ? 1 : -1);
+          }
+        }
+      });
+    }
+    for (auto& c : clients) c.join();
+    typename Map<Uc>::Session session(map, a);
+    std::size_t present = 0;
+    for (int k = 0; k < kKeys; ++k) {
+      const std::int64_t n = net[k].load();
+      ASSERT_TRUE(n == 0 || n == 1) << "key " << k << " net " << n;
+      ASSERT_EQ(session.contains(k), n == 1) << "key " << k;
+      present += static_cast<std::size_t>(n);
+    }
+    EXPECT_EQ(session.size(), present);
+  }
+  EXPECT_EQ(a.stats().live_blocks(), 0u);
+}
+
+}  // namespace
+}  // namespace pathcopy
