@@ -34,12 +34,16 @@
 // in particular pays S extra worker threads' context switches; the
 // shard-count *trend* within one backend and mode remains the comparison
 // of record.
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <span>
+#include <thread>
 #include <type_traits>
 #include <utility>
 #include <vector>
@@ -47,6 +51,7 @@
 #include "alloc/pool_alloc.hpp"
 #include "alloc/thread_cache_alloc.hpp"
 #include "bench_util/runner.hpp"
+#include "bench_util/workloads.hpp"
 #include "core/atom.hpp"
 #include "core/combining.hpp"
 #include "persist/avl.hpp"
@@ -57,6 +62,7 @@
 #include "persist/wbt.hpp"
 #include "reclaim/epoch.hpp"
 #include "store/executor.hpp"
+#include "store/rebalancer.hpp"
 #include "store/router.hpp"
 #include "store/shard_stats.hpp"
 #include "store/sharded_map.hpp"
@@ -72,6 +78,8 @@ using PlainUc = core::Atom<Treap, Smr, TC>;
 using CombUc = core::CombiningAtom<Treap, Smr, TC>;
 using Router = store::RangeRouter<std::int64_t>;
 
+enum class Skew { kZipf, kHot, kMoving };
+
 struct Config {
   std::size_t initial_keys = 1 << 20;  // pre-fill; key space is 2x this
   int duration_ms = 300;
@@ -80,6 +88,10 @@ struct Config {
   unsigned batch = 64;
   bool run_sync = true;
   bool run_async = true;
+  // Skew sweep (rebalancing acceptance experiment):
+  Skew skew = Skew::kZipf;
+  bool skew_only = false;        // --skew given: run just the skew sweep
+  bool assert_migrated = false;  // exit 1 unless the adaptive cells migrated
 };
 
 enum class Mode { kPerOp, kBatchSync, kBatchAsync };
@@ -332,6 +344,276 @@ void sweep_structures(const Config& cfg, std::size_t shards) {
       std::type_identity<persist::ExternalBst<std::int64_t, std::int64_t>>{});
 }
 
+// ----- skew sweep: the adaptive-rebalancing acceptance experiment -----
+//
+// Skewed offered load is where the static uniform() split collapses: a
+// Zipf(0.99) or hot-range keyspace concentrates most ops on one shard
+// and the S-install-stream scaling story reverts to the single-atom
+// baseline. Three router policies run the same skewed workload:
+//
+//   static-uniform — the pre-rebalancing status quo (the victim);
+//   static-fitted  — RangeRouter::from_samples over an offline sample of
+//                    the workload (the oracle fit: what adaptive should
+//                    converge to, without paying for a live migration);
+//   adaptive       — starts uniform; a control thread runs the
+//                    Rebalancer's sketch -> plan -> migrate loop while
+//                    the workload hammers the store.
+//
+// Skew cells run 3x the base duration: a first migration under heavy
+// skew moves a large slice of the resident keys (quantile bounds pack
+// the cold mass into few shards), and the cell must amortize that
+// one-time cost the way a long-running store would.
+
+enum class RouterPolicy { kStaticUniform, kStaticFitted, kAdaptive };
+
+const char* skew_name(Skew s) {
+  switch (s) {
+    case Skew::kZipf: return "zipf(0.99)";
+    case Skew::kHot: return "hot-range";
+    default: return "moving-hotspot";
+  }
+}
+
+/// Per-thread key draw for one skew. The ZipfGen is shared (its draws
+/// are stateless); the hotspot generators carry a per-thread op clock.
+std::function<std::int64_t(util::Xoshiro256&)> make_draw(
+    const Config& cfg, const bench::ZipfGen* zipf) {
+  const std::int64_t key_space = key_space_of(cfg);
+  switch (cfg.skew) {
+    case Skew::kZipf:
+      return [zipf](util::Xoshiro256& rng) {
+        return static_cast<std::int64_t>((*zipf)(rng));
+      };
+    case Skew::kHot:
+      return [h = bench::MovingHotspot(key_space, 1 << 12, 0, 0)](
+                 util::Xoshiro256& rng) mutable { return h(rng); };
+    case Skew::kMoving:
+    default:
+      return [h = bench::MovingHotspot(key_space, 1 << 12, 30000,
+                                       key_space / 5)](
+                 util::Xoshiro256& rng) mutable { return h(rng); };
+  }
+}
+
+/// Offline workload sample for the static-fitted policy.
+std::vector<std::int64_t> skew_sample(const Config& cfg,
+                                      const bench::ZipfGen* zipf,
+                                      std::size_t n) {
+  util::Xoshiro256 rng(0xfeedc0de);
+  auto draw = make_draw(cfg, zipf);
+  std::vector<std::int64_t> keys;
+  keys.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) keys.push_back(draw(rng));
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+struct SkewCell {
+  double ops_per_sec = 0.0;
+  std::uint64_t migrations = 0;
+  std::uint64_t keys_moved = 0;
+  /// Hottest shard's share of a fresh offered-load sample under the
+  /// cell's FINAL topology, as a multiple of the ideal 1/S share —
+  /// 1.0 = perfectly balanced; ~S = everything on one shard. This is
+  /// the structural quantity rebalancing exists to fix (and on hosts
+  /// with fewer cores than threads, where the scheduler masks the
+  /// throughput cost of skew, the more telling column).
+  double max_load_share = 0.0;
+};
+
+template <class Uc>
+SkewCell run_skew_cell(const Config& cfg, std::size_t shards, Mode mode,
+                       RouterPolicy policy, const bench::ZipfGen* zipf,
+                       store::ShardStatsBoard& board) {
+  using Map = store::ShardedMap<Uc, Router>;
+  alloc::PoolBackend pool;
+  alloc::ThreadCache root_cache(pool);
+  const std::int64_t key_space = key_space_of(cfg);
+  Router router = Router::uniform(0, key_space, shards);
+  if (policy == RouterPolicy::kStaticFitted) {
+    const auto sample = skew_sample(cfg, zipf, 1 << 16);
+    router = Router::from_samples(std::span<const std::int64_t>(sample),
+                                  shards);
+  }
+  Map map(shards, root_cache, std::move(router));
+  std::optional<store::ShardExecutor<Uc>> exec;
+  if (mode == Mode::kBatchAsync) {
+    exec.emplace(map, [&pool] { return alloc::ThreadCache(pool); });
+  }
+  seed_even_keys(cfg, map, root_cache);
+  for (std::size_t s = 0; s < shards; ++s) {
+    if constexpr (requires(Uc& u) { u.set_gather_window(true); }) {
+      map.shard(s).set_gather_window(true);
+    }
+  }
+  const int duration_ms = cfg.duration_ms * 3;
+  // The adaptive policy's control thread: tick the sketch->plan->migrate
+  // loop until the workload stops. Owns its own allocator view and the
+  // Rebalancer (its per-shard reclaimer registrations live on this
+  // thread), folding migration counters into the board on exit.
+  SkewCell cell;
+  std::atomic<bool> reb_stop{false};
+  std::thread ticker;
+  if (policy == RouterPolicy::kAdaptive) {
+    ticker = std::thread([&] {
+      alloc::ThreadCache cache(pool);
+      store::Rebalancer<Map> reb(map, cache);
+      // Short ticks: the first fit should land early so the cell spends
+      // its time under the fitted topology, not waiting to plan.
+      const auto tick =
+          std::chrono::milliseconds(std::max(5, cfg.duration_ms / 30));
+      while (!reb_stop.load(std::memory_order_relaxed)) {
+        std::this_thread::sleep_for(tick);
+        reb.maybe_rebalance();
+      }
+      cell.migrations = reb.stats().migrations;
+      cell.keys_moved = reb.stats().keys_moved;
+      reb.fold_into(board);
+    });
+  }
+  const bool batch_mode = mode != Mode::kPerOp;
+  const auto run = bench::run_timed(
+      cfg.threads, std::chrono::milliseconds(duration_ms),
+      [&](std::size_t tid, const std::atomic<bool>& stop) -> std::uint64_t {
+        alloc::ThreadCache cache(pool);
+        typename Map::Session sess(map, cache);
+        util::Xoshiro256 rng(tid * 104729 + 31);
+        auto draw = make_draw(cfg, zipf);
+        std::uint64_t ops = 0;
+        if (batch_mode) {
+          using Req = typename Map::BatchRequest;
+          using K = typename Map::OpKind;
+          std::vector<Req> reqs(cfg.batch, Req{K::kInsert, 0, 0});
+          const auto out = std::make_unique<bool[]>(cfg.batch);
+          while (!stop.load(std::memory_order_relaxed)) {
+            for (unsigned i = 0; i < cfg.batch; ++i) {
+              const std::int64_t k = draw(rng);
+              reqs[i] = rng.chance(1, 2) ? Req{K::kInsert, k, k}
+                                         : Req{K::kErase, k, std::nullopt};
+            }
+            sess.execute_batch(reqs, std::span<bool>(out.get(), cfg.batch));
+            ops += cfg.batch;
+          }
+        } else {
+          while (!stop.load(std::memory_order_relaxed)) {
+            const std::int64_t k = draw(rng);
+            if (rng.chance(1, 2)) {
+              sess.insert(k, k);
+            } else {
+              sess.erase(k);
+            }
+            ++ops;
+          }
+        }
+        sess.fold_into(board);
+        return ops;
+      });
+  reb_stop.store(true);
+  if (ticker.joinable()) ticker.join();
+  if (exec.has_value()) {
+    exec->stop();
+    exec->fold_into(board);
+    exec.reset();
+  }
+  cell.ops_per_sec = run.ops_per_sec();
+  {
+    // Offered-load balance under the cell's final topology.
+    const auto sample = skew_sample(cfg, zipf, 1 << 14);
+    const auto& router = map.router();
+    std::vector<std::size_t> load(shards, 0);
+    for (const std::int64_t k : sample) ++load[router(k, shards)];
+    std::size_t max_load = 0;
+    for (const std::size_t l : load) max_load = std::max(max_load, l);
+    cell.max_load_share = static_cast<double>(max_load) *
+                          static_cast<double>(shards) /
+                          static_cast<double>(sample.size());
+  }
+  return cell;
+}
+
+struct SkewSummary {
+  std::uint64_t adaptive_migrations = 0;
+  double adaptive_share = 0.0;  // final max/ideal load share, adaptive row
+};
+
+/// Runs the three router policies over one skew; returns the adaptive
+/// row's migration count and final load balance (for --assert-migrated).
+SkewSummary skew_sweep(const Config& cfg) {
+  const std::size_t shards = cfg.shards.back();
+  const std::int64_t key_space = key_space_of(cfg);
+  std::optional<bench::ZipfGen> zipf;
+  if (cfg.skew == Skew::kZipf) {
+    zipf.emplace(static_cast<std::uint64_t>(key_space), 0.99);
+  }
+  const bench::ZipfGen* z = zipf.has_value() ? &*zipf : nullptr;
+  std::printf("\n== skew sweep: %s offered load, combining backend, "
+              "%zu shards, %zu threads, %d ms/cell ==\n",
+              skew_name(cfg.skew), shards, cfg.threads, cfg.duration_ms * 3);
+  std::printf("%-15s  %13s  %13s  %13s  %10s  %10s  %9s\n", "router",
+              "per-op ops/s", "sync-64 ops/s", "async-64 ops/s", "migrations",
+              "keys-moved", "max/ideal");
+  std::uint64_t adaptive_migrations = 0;
+  double adaptive_share = 0.0;
+  std::unique_ptr<store::ShardStatsBoard> adaptive_board;
+  for (const RouterPolicy policy :
+       {RouterPolicy::kStaticUniform, RouterPolicy::kStaticFitted,
+        RouterPolicy::kAdaptive}) {
+    const char* name = policy == RouterPolicy::kStaticUniform
+                           ? "static-uniform"
+                           : policy == RouterPolicy::kStaticFitted
+                                 ? "static-fitted"
+                                 : "adaptive";
+    auto per_op_board = std::make_unique<store::ShardStatsBoard>(shards);
+    const SkewCell per_op = run_skew_cell<CombUc>(cfg, shards, Mode::kPerOp,
+                                                  policy, z, *per_op_board);
+    SkewCell sync_cell;
+    auto sync_board = std::make_unique<store::ShardStatsBoard>(shards);
+    if (cfg.run_sync) {
+      sync_cell = run_skew_cell<CombUc>(cfg, shards, Mode::kBatchSync, policy,
+                                        z, *sync_board);
+    }
+    SkewCell async_cell;
+    auto async_board = std::make_unique<store::ShardStatsBoard>(shards);
+    if (cfg.run_async) {
+      async_cell = run_skew_cell<CombUc>(cfg, shards, Mode::kBatchAsync,
+                                         policy, z, *async_board);
+    }
+    const std::uint64_t migrations =
+        per_op.migrations + sync_cell.migrations + async_cell.migrations;
+    // The final topology's offered-load balance (hottest shard's share
+    // vs the ideal 1/S) — the structural quantity rebalancing fixes,
+    // and on core-starved hosts, where the scheduler masks most of the
+    // throughput cost of skew, the more telling column.
+    const double share = cfg.run_async    ? async_cell.max_load_share
+                         : cfg.run_sync   ? sync_cell.max_load_share
+                                          : per_op.max_load_share;
+    std::printf("%-15s  %13.0f  %13.0f  %13.0f  %10llu  %10llu  %8.2fx\n",
+                name, per_op.ops_per_sec, sync_cell.ops_per_sec,
+                async_cell.ops_per_sec,
+                static_cast<unsigned long long>(migrations),
+                static_cast<unsigned long long>(per_op.keys_moved +
+                                                sync_cell.keys_moved +
+                                                async_cell.keys_moved),
+                share);
+    if (policy == RouterPolicy::kAdaptive) {
+      adaptive_migrations = migrations;
+      adaptive_share = share;
+      adaptive_board = cfg.run_async  ? std::move(async_board)
+                       : cfg.run_sync ? std::move(sync_board)
+                                      : std::move(per_op_board);
+    }
+  }
+  if (adaptive_board != nullptr) {
+    std::printf("\nper-shard stats, adaptive %s cell (installs rebalanced "
+                "across shards; mig-in/mig-out = migrated keys):\n",
+                cfg.run_async  ? "async batch-ingest"
+                : cfg.run_sync ? "sync batch-ingest"
+                               : "per-op");
+    adaptive_board->print(stdout);
+  }
+  return SkewSummary{adaptive_migrations, adaptive_share};
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -356,13 +638,49 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "--ingest takes sync|async|both\n");
         return 2;
       }
+    } else if (std::strcmp(argv[i], "--skew") == 0 && i + 1 < argc) {
+      const char* m = argv[++i];
+      cfg.skew_only = true;
+      if (std::strcmp(m, "zipf") == 0) {
+        cfg.skew = Skew::kZipf;
+      } else if (std::strcmp(m, "hot") == 0) {
+        cfg.skew = Skew::kHot;
+      } else if (std::strcmp(m, "moving") == 0) {
+        cfg.skew = Skew::kMoving;
+      } else {
+        std::fprintf(stderr, "--skew takes zipf|hot|moving\n");
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--assert-migrated") == 0) {
+      cfg.assert_migrated = true;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--quick] [--threads N] [--duration-ms N]"
-                   " [--initial N] [--ingest sync|async|both]\n",
+                   " [--initial N] [--ingest sync|async|both]"
+                   " [--skew zipf|hot|moving] [--assert-migrated]\n",
                    argv[0]);
       return 2;
     }
+  }
+
+  if (cfg.skew_only) {
+    // Skew-sweep-only mode (the CI rebalancing smoke): the three router
+    // policies over the requested distribution, nothing else.
+    const SkewSummary sum = skew_sweep(cfg);
+    if (cfg.assert_migrated && sum.adaptive_migrations == 0) {
+      std::fprintf(stderr,
+                   "FAIL: adaptive cells completed without a migration\n");
+      return 1;
+    }
+    if (cfg.assert_migrated &&
+        sum.adaptive_share * 2.0 > static_cast<double>(cfg.shards.back())) {
+      std::fprintf(stderr,
+                   "FAIL: adaptive topology left the load unbalanced "
+                   "(max/ideal %.2f over %zu shards)\n",
+                   sum.adaptive_share, cfg.shards.back());
+      return 1;
+    }
+    return 0;
   }
 
   std::printf("### store: sharded treap, %zu threads, 100%% updates, "
@@ -396,5 +714,12 @@ int main(int argc, char** argv) {
   }
 
   sweep_structures(cfg, cfg.shards.back());
+
+  const SkewSummary sum = skew_sweep(cfg);
+  if (cfg.assert_migrated && sum.adaptive_migrations == 0) {
+    std::fprintf(stderr,
+                 "FAIL: adaptive cells completed without a migration\n");
+    return 1;
+  }
   return 0;
 }

@@ -40,6 +40,12 @@ smoke bench_sharded --quick
 # so a regression that deadlocks the scatter/join path fails fast here.
 SMOKE_TAG=async smoke bench_sharded --quick --ingest async
 
+# Smoke: adaptive rebalancing under a Zipfian offered load — the sweep's
+# own asserts fail the gate unless at least one live migration ran AND
+# the adaptive cells ended on a balanced topology (max/ideal load share
+# within 2x), with the per-shard install counts printed as evidence.
+SMOKE_TAG=skew smoke bench_sharded --quick --skew zipf --assert-migrated
+
 # Smoke: the structure ablation (E8 + E8b batch matrix) covers every
 # persistent structure's per-op and sorted-batch install paths.
 smoke bench_ablation_structure --quick

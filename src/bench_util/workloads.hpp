@@ -8,13 +8,23 @@
 // (duplicates collapse, as in the paper); each process then repeatedly
 // draws a key from the range and inserts or removes it with probability
 // 1/2 — about half the operations are semantic no-ops.
+//
+// Skewed generators (the store layer's rebalancing experiments): ZipfGen
+// draws ranks from the standard Zipf(theta) law — rank 0 hottest, mapped
+// onto the keyspace identically, so the hot mass is *contiguous* and a
+// static uniform range split concentrates it on one shard — and
+// MovingHotspot confines most draws to a narrow window whose base
+// shifts over (op-count) time, the workload an adaptive rebalancer must
+// chase rather than fit once.
 #pragma once
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <unordered_set>
 #include <vector>
 
+#include "util/assert.hpp"
 #include "util/rng.hpp"
 
 namespace pathcopy::bench {
@@ -77,5 +87,90 @@ inline std::vector<std::int64_t> dedup_sorted(std::vector<std::int64_t> v) {
   v.erase(std::unique(v.begin(), v.end()), v.end());
   return v;
 }
+
+/// Zipf(theta) rank generator over [0, n), Gray et al.'s quantile-
+/// inversion method ("Quickly generating billion-record synthetic
+/// databases"): the zeta sums are precomputed once, each draw is one
+/// uniform double and two pow() calls. theta in (0, 1); theta ~ 0.99 is
+/// the classic YCSB-style heavy skew (rank 0 alone draws ~1/zeta(n) of
+/// the mass — about 7% at n = 2^21).
+class ZipfGen {
+ public:
+  ZipfGen(std::uint64_t n, double theta) : n_(n), theta_(theta) {
+    PC_ASSERT(n >= 2 && theta > 0.0 && theta < 1.0,
+              "ZipfGen needs n >= 2 and theta in (0, 1)");
+    zetan_ = zeta(n, theta);
+    const double zeta2 = zeta(2, theta);
+    alpha_ = 1.0 / (1.0 - theta);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+           (1.0 - zeta2 / zetan_);
+  }
+
+  /// Draws a rank in [0, n); rank 0 is the hottest.
+  std::uint64_t operator()(util::Xoshiro256& rng) const {
+    // 53 uniform mantissa bits in [0, 1).
+    const double u = static_cast<double>(rng() >> 11) * 0x1.0p-53;
+    const double uz = u * zetan_;
+    if (uz < 1.0) return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+    const double r = static_cast<double>(n_) *
+                     std::pow(eta_ * u - eta_ + 1.0, alpha_);
+    const auto rank = static_cast<std::uint64_t>(r);
+    return rank >= n_ ? n_ - 1 : rank;
+  }
+
+ private:
+  static double zeta(std::uint64_t n, double theta) {
+    double z = 0.0;
+    for (std::uint64_t i = 1; i <= n; ++i) {
+      z += std::pow(1.0 / static_cast<double>(i), theta);
+    }
+    return z;
+  }
+
+  std::uint64_t n_;
+  double theta_;
+  double zetan_;
+  double alpha_;
+  double eta_;
+};
+
+/// A hot window of `width` keys holding `hot_permille`/1000 of the draws,
+/// whose base advances by `stride` every `period` draws (per generator
+/// instance; drive one per thread). The cold remainder is uniform over
+/// the whole keyspace. period = 0 pins the window — the plain hot-range
+/// workload.
+class MovingHotspot {
+ public:
+  MovingHotspot(std::int64_t keyspace, std::int64_t width,
+                std::uint64_t period, std::int64_t stride,
+                unsigned hot_permille = 900)
+      : keyspace_(keyspace), width_(width), period_(period), stride_(stride),
+        hot_permille_(hot_permille) {
+    PC_ASSERT(keyspace > width && width >= 1, "hotspot wider than keyspace");
+  }
+
+  std::int64_t operator()(util::Xoshiro256& rng) {
+    const std::uint64_t t = ops_++;
+    if (rng.below(1000) >= hot_permille_) {
+      return rng.range(0, keyspace_ - 1);
+    }
+    const std::int64_t base =
+        period_ == 0
+            ? 0
+            : static_cast<std::int64_t>(
+                  (static_cast<std::uint64_t>(stride_) * (t / period_)) %
+                  static_cast<std::uint64_t>(keyspace_ - width_));
+    return base + rng.range(0, width_ - 1);
+  }
+
+ private:
+  std::int64_t keyspace_;
+  std::int64_t width_;
+  std::uint64_t period_;
+  std::int64_t stride_;
+  unsigned hot_permille_;
+  std::uint64_t ops_ = 0;
+};
 
 }  // namespace pathcopy::bench

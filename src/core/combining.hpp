@@ -45,12 +45,14 @@
 #include <array>
 #include <atomic>
 #include <bit>
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <span>
 #include <thread>
 #include <type_traits>
 #include <utility>
+#include <vector>
 
 #include "core/builder.hpp"
 #include "core/node_base.hpp"
@@ -94,6 +96,17 @@ concept ReportsBatchFanout =
       { ds.count_leaf_runs(ops, max_runs, ops_covered) }
           -> std::convertible_to<unsigned>;
     };
+
+/// Optional per-structure override of the gate's density demand — the
+/// cost-model constant alongside kBatchFanout. A structure whose batch
+/// machinery costs more per touched leaf than a leaf rewrite (e.g. the
+/// red-black tree's join/recoloring cascade, priced in virtual leaves)
+/// declares how many ops must share a leaf before its sorted sweep pays;
+/// structures without it get the combiner's default.
+template <class DS>
+concept ReportsBatchThreshold = requires {
+  { DS::kBatchMinOpsPerLeaf } -> std::convertible_to<unsigned>;
+};
 
 template <class DS, class Smr, class Alloc, unsigned MaxThreads = 32>
 class CombiningAtom {
@@ -224,6 +237,104 @@ class CombiningAtom {
           done += chunk;
           break;
         }
+      }
+    }
+  }
+
+  /// Bulk sorted ingest — the control-plane fast path behind shard
+  /// migration backfills. `reqs` must be key-sorted and key-unique; the
+  /// whole span is applied through giant sorted sweeps, one CAS per
+  /// chunk of up to kBulkChunk requests instead of one per MaxThreads,
+  /// so moving a large key range costs a handful of installs. Under CAS
+  /// contention the chunk halves (a lost giant sweep is expensive to
+  /// rebuild, and a long build window keeps losing to per-op rivals);
+  /// below kBulkFloor the remainder falls back to execute_batch, whose
+  /// small gather-integrated installs win contended shards. Unlike
+  /// execute_batch this path does NOT gather announcements — helping is
+  /// suspended for the duration of a bulk install (announcers still
+  /// complete through their own retry loops; the two-install bound
+  /// stretches by the chunks in flight) — which is the deliberate trade
+  /// for control-plane batches; client traffic should keep using
+  /// execute_batch. Results land in `results_out` aligned with `reqs`.
+  void ingest_sorted(Ctx& ctx, std::span<const BatchRequest> reqs,
+                     std::span<bool> results_out) {
+    PC_ASSERT(results_out.size() >= reqs.size(),
+              "ingest_sorted result span too small");
+    if constexpr (!kHasBatchApply) {
+      execute_batch(ctx, reqs, results_out);
+    } else {
+      using BatchOp = typename DS::BatchOp;
+      using BatchOutcome = typename DS::BatchOutcome;
+      using BatchOpKind = typename DS::BatchOpKind;
+#ifndef NDEBUG
+      {
+        typename DS::KeyCompare cmp;
+        for (std::size_t i = 1; i < reqs.size(); ++i) {
+          PC_DASSERT(cmp(reqs[i - 1].key, reqs[i].key),
+                     "ingest_sorted requires strictly increasing keys");
+        }
+      }
+#endif
+      std::vector<BatchOp> ops;
+      std::vector<BatchOutcome> outs;
+      Builder<Alloc> builder(*ctx.alloc);
+      std::size_t done = 0;
+      std::size_t chunk = kBulkChunk;
+      while (done < reqs.size()) {
+        if (chunk < kBulkFloor) {
+          // Contention won this shard: finish through the combining
+          // install path.
+          execute_batch(ctx, reqs.subspan(done), results_out.subspan(done));
+          return;
+        }
+        const std::size_t n = std::min(chunk, reqs.size() - done);
+        ops.clear();
+        ops.reserve(n);
+        for (std::size_t i = 0; i < n; ++i) {
+          const BatchRequest& r = reqs[done + i];
+          PC_DASSERT(r.kind == OpKind::kErase || r.value.has_value(),
+                     "insert request without a value");
+          ops.push_back(BatchOp{r.kind == OpKind::kInsert
+                                    ? BatchOpKind::kInsert
+                                    : BatchOpKind::kErase,
+                                r.key, r.value});
+        }
+        outs.assign(n, BatchOutcome::kNoop);
+        builder.reset();
+        ++ctx.stats.attempts;
+        auto guard = smr_->pin(ctx.smr_handle, root_, version_);
+        const auto* vr = static_cast<const VersionRec*>(guard.root());
+        DS ds = DS::from_root(vr->ds_root);
+        DS next = ds.apply_sorted_batch(builder,
+                                        std::span<const BatchOp>(ops),
+                                        std::span<BatchOutcome>(outs));
+        const VersionRec* nvr = builder.template create<VersionRec>(
+            next.root_ptr(), vr->version + 1, vr->applied_seq,
+            vr->last_result);
+        builder.supersede(vr);
+        builder.seal();
+        const void* expected = vr;
+        if (!root_.compare_exchange_strong(expected, nvr,
+                                           std::memory_order_seq_cst,
+                                           std::memory_order_relaxed)) {
+          builder.rollback();
+          ++ctx.stats.cas_failures;
+          chunk /= 2;
+          continue;
+        }
+        const std::uint64_t death =
+            version_.fetch_add(1, std::memory_order_seq_cst) + 1;
+        smr_->retire_bundle(ctx.smr_handle, death, vr, nvr, builder.commit());
+        ++ctx.stats.updates;
+        ctx.stats.batched_installs += 1;
+        ctx.stats.batched_ops += n;
+        ctx.stats.batch_hist[OpStats::batch_bucket(n)] += 1;
+        for (std::size_t i = 0; i < n; ++i) {
+          results_out[done + i] = outs[i] != BatchOutcome::kNoop;
+        }
+        done += n;
+        // Contention is bursty: grow back toward the full chunk.
+        chunk = std::min<std::size_t>(chunk * 2, kBulkChunk);
       }
     }
   }
@@ -374,6 +485,11 @@ class CombiningAtom {
   static constexpr unsigned kWideFanout = 6;
   static constexpr unsigned kMinOpsPerLeaf = 2;
   static constexpr unsigned kClusterProbes = 4;
+  /// Bulk-ingest chunking (ingest_sorted): target requests per install,
+  /// and the floor below which contention hands the remainder to
+  /// execute_batch.
+  static constexpr std::size_t kBulkChunk = std::size_t{1} << 16;
+  static constexpr std::size_t kBulkFloor = 2048;
 
   bool run_op(Ctx& ctx, unsigned slot, OpKind kind, const Key& key,
               std::optional<Value> value) {
@@ -612,17 +728,25 @@ class CombiningAtom {
     if constexpr (ReportsBatchFanout<DS>) {
       if constexpr (DS::kBatchFanout >= kWideFanout) {
         // Price the collapsed batch before applying it: if fewer than
-        // kMinOpsPerLeaf ops share each touched leaf on average, the
-        // shared spine cannot pay for the whole-leaf rewrites and the
-        // per-op loop is cheaper. The probe samples the first
-        // kClusterProbes leaves and extrapolates from the ops they
-        // absorbed — read-only and a few descents, far below either path
-        // it chooses between.
+        // the structure's ops-per-leaf demand share each touched leaf on
+        // average, the shared spine cannot pay for the per-leaf batch
+        // machinery (whole-leaf rewrites on a B-tree, join/recoloring
+        // cascades on a virtual-leaf structure) and the per-op loop is
+        // cheaper. The probe samples the first kClusterProbes leaves and
+        // extrapolates from the ops they absorbed — read-only and a few
+        // descents, far below either path it chooses between.
+        constexpr unsigned kMinOps = [] {
+          if constexpr (ReportsBatchThreshold<DS>) {
+            return DS::kBatchMinOpsPerLeaf;
+          } else {
+            return kMinOpsPerLeaf;
+          }
+        }();
         std::size_t covered = 0;
         const unsigned runs =
             ds.count_leaf_runs(std::span<const BatchOp>(ops.data(), nb),
                                kClusterProbes, &covered);
-        if (runs > 0 && covered < kMinOpsPerLeaf * runs) {
+        if (runs > 0 && covered < kMinOps * runs) {
           return std::nullopt;
         }
       }

@@ -37,6 +37,11 @@ struct OpStats {
   // Consistent-cut extras (counted by the reading session per shard):
   std::uint64_t cut_reads = 0;    // stable cut participations of this shard
   std::uint64_t cut_retries = 0;  // re-pins because this shard's version moved
+  // Rebalancing extras (epoch_retries counted by sessions whose op or cut
+  // raced a topology flip; mig_keys_* counted by the Rebalancer per shard):
+  std::uint64_t epoch_retries = 0;  // ops/cuts re-run against a flipping epoch
+  std::uint64_t mig_keys_in = 0;    // keys migrated INTO this shard
+  std::uint64_t mig_keys_out = 0;   // keys migrated OUT of this shard
 
   OpStats& operator+=(const OpStats& o) noexcept {
     reads += o.reads;
@@ -58,6 +63,9 @@ struct OpStats {
     exec_task_ns += o.exec_task_ns;
     cut_reads += o.cut_reads;
     cut_retries += o.cut_retries;
+    epoch_retries += o.epoch_retries;
+    mig_keys_in += o.mig_keys_in;
+    mig_keys_out += o.mig_keys_out;
     return *this;
   }
 

@@ -97,6 +97,66 @@ class RbTree {
 
   bool contains(const K& key) const { return find(key) != nullptr; }
 
+  // ----- combining-gate clustering probe (core/combining.hpp) -----
+  //
+  // A red-black tree has no wide leaves, but its sorted-batch sweep has
+  // an analogous fixed cost per *touched region*: the partition recursion
+  // plus black-height joins (one recoloring rotation per unwind level)
+  // that a landing op only amortizes when neighbors share them — the
+  // join-machinery overhead behind the uniform-key batch loss measured in
+  // bench_batch_combining. The probe prices a batch in "virtual leaves":
+  // the maximal subtrees of at most kBatchVirtualLeaf keys, found by a
+  // size-bounded descent (the size augmentation is already in every
+  // node), mirroring the B-tree's physical-leaf probe. A batch that puts
+  // ~one op per virtual leaf pays the join machinery per op and loses to
+  // the per-op loop; a clustered batch shares it and wins.
+
+  /// Size bound of one virtual leaf — the cost-model constant the gate
+  /// consumes (kBatchFanout advertises it to the ReportsBatchFanout
+  /// concept; kBatchMinOpsPerLeaf is the matching density demand).
+  static constexpr unsigned kBatchVirtualLeaf = 8;
+  static constexpr unsigned kBatchFanout = kBatchVirtualLeaf;
+  /// Ops that must share a touched virtual leaf, on average, for the
+  /// sorted sweep to beat per-op application (below it, join rebalancing
+  /// dominates — the ~0.6x uniform-key cell).
+  static constexpr unsigned kBatchMinOpsPerLeaf = 2;
+
+  /// Number of distinct virtual leaves a key-sorted, key-unique batch
+  /// would touch. Sampling contract as BTree::count_leaf_runs: at most
+  /// max_runs descents, *ops_covered reports how many leading ops the
+  /// counted leaves absorbed, covered/runs estimating the batch's mean
+  /// clustering from a prefix.
+  unsigned count_leaf_runs(std::span<const BatchOp> ops,
+                           unsigned max_runs = ~0u,
+                           std::size_t* ops_covered = nullptr) const {
+    std::size_t covered = ops.size();
+    unsigned runs = 0;
+    if (!ops.empty() && size_of(root_) <= kBatchVirtualLeaf) {
+      runs = 1;
+    } else if (!ops.empty()) {
+      Cmp cmp;
+      std::size_t i = 0;
+      while (i < ops.size() && runs < max_runs) {
+        ++runs;
+        const Node* n = root_;
+        const K* hi = nullptr;  // tightest upper bound along the descent
+        while (n != nullptr && n->size > kBatchVirtualLeaf) {
+          if (cmp(ops[i].key, n->key)) {
+            hi = &n->key;
+            n = n->left;
+          } else {
+            n = n->right;
+          }
+        }
+        ++i;
+        while (i < ops.size() && (hi == nullptr || cmp(ops[i].key, *hi))) ++i;
+      }
+      covered = i;
+    }
+    if (ops_covered != nullptr) *ops_covered = covered;
+    return runs;
+  }
+
   const Node* min_node() const {
     const Node* n = root_;
     while (n != nullptr && n->left != nullptr) n = n->left;

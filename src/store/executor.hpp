@@ -124,12 +124,18 @@ class ShardExecutor {
   /// result to results[scatter[i]] (or results[i] when scatter is null);
   /// a seed task bulk-loads `*seed` through uc.seed_sorted. All referenced
   /// storage is client-owned and must outlive the ticket.
+  ///
+  /// sorted_unique marks a control-plane batch (migration install/erase)
+  /// whose reqs are key-sorted and key-unique: the worker routes it
+  /// through the backend's bulk ingest_sorted path when it has one —
+  /// giant sorted sweeps, a few CASes — and execute_batch otherwise.
   struct Task {
     std::span<const BatchRequest> reqs;
     const std::size_t* scatter = nullptr;
     bool* results = nullptr;
     const SeedItems* seed = nullptr;
     BatchTicket* ticket = nullptr;
+    bool sorted_unique = false;
     std::chrono::steady_clock::time_point enqueued;
   };
 
@@ -261,8 +267,16 @@ class ShardExecutor {
       if (task.seed != nullptr) {
         uc.seed_sorted(ctx, task.seed->begin(), task.seed->end());
       } else if (task.scatter == nullptr) {
-        uc.execute_batch(ctx, task.reqs,
-                         std::span<bool>(task.results, task.reqs.size()));
+        const std::span<bool> out(task.results, task.reqs.size());
+        if constexpr (requires { uc.ingest_sorted(ctx, task.reqs, out); }) {
+          if (task.sorted_unique) {
+            uc.ingest_sorted(ctx, task.reqs, out);
+          } else {
+            uc.execute_batch(ctx, task.reqs, out);
+          }
+        } else {
+          uc.execute_batch(ctx, task.reqs, out);
+        }
       } else {
         const std::size_t n = task.reqs.size();
         if (scratch_cap < n) {

@@ -1,0 +1,407 @@
+// Rebalancer: distribution-fitted split-point planning + live
+// path-copying shard migration for a ShardedMap over a RangeRouter.
+//
+// A range-partitioned store is only as fast as its hottest shard: under
+// a Zipfian or hot-range keyspace the static uniform() split sends most
+// of the offered load to one shard, and the S-install-stream scaling
+// story collapses back to the single-atom baseline. The Rebalancer
+// closes the loop:
+//
+//   plan     — read the map's KeySketch (a reservoir sample of offered
+//              keys), measure the load imbalance under the current
+//              epoch's bounds, and — past the threshold — fit new split
+//              points at the sample's quantiles
+//              (RangeRouter::from_samples), so each shard sees ~equal
+//              offered load;
+//   migrate  — execute the epoch protocol from router_epoch.hpp:
+//              publish + drain (begin_epoch), then extract every key
+//              whose owner changed from a pinned source snapshot — the
+//              paper's trick doing systems work: a path-copied root IS a
+//              free consistent image of the shard, so the extraction
+//              runs on an immutable snapshot while non-moving writers
+//              proceed — bulk-install the moving ranges into their new
+//              owners and erase them from the sources (each a plain
+//              execute_batch through the shard's own install path: the
+//              sorted sweep batches it, the shard's CAS/combining
+//              machinery serializes it against concurrent writers, and
+//              an attached ShardExecutor runs it as ordinary lane tasks,
+//              FIFO with every other sub-batch bound for that shard),
+//              and finally settle the epoch, releasing gated ops.
+//
+// Safety recap (the full argument lives in router_epoch.hpp): after the
+// drain no operation routed by the old topology is in flight, ops on
+// moving keys gate until settle, so the extracted snapshot is the
+// complete and final content of every moving range — nothing is lost,
+// nothing is applied twice, and every per-op outcome is computed against
+// a shard that holds exactly the data it owns.
+//
+// Threading: one Rebalancer per map, driven from one control thread
+// (re-entry is serialized by an internal mutex, but plan quality assumes
+// a single driver). Create after the map and destroy before it; like a
+// Session it holds one reclaimer registration per shard.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "store/executor.hpp"
+#include "store/sharded_map.hpp"
+#include "util/assert.hpp"
+
+namespace pathcopy::store {
+
+struct RebalanceConfig {
+  /// Don't plan off fewer sampled keys than this (quantiles of a tiny
+  /// reservoir are noise).
+  std::size_t min_samples = 512;
+  /// Rebalance when the hottest shard's sampled-load share exceeds this
+  /// multiple of the ideal (1/S) share.
+  double imbalance_threshold = 1.3;
+};
+
+struct RebalanceStats {
+  std::uint64_t plans = 0;        // plan() calls that had enough samples
+  std::uint64_t migrations = 0;   // executed topology flips
+  std::uint64_t keys_moved = 0;   // keys extracted + re-installed
+  double last_imbalance = 0.0;    // hottest-shard share multiple at last plan
+};
+
+template <class Map>
+class Rebalancer {
+ public:
+  using Uc = typename Map::Backend;
+  using Key = typename Map::Key;
+  using Value = typename Map::Value;
+  using Ctx = typename Map::Ctx;
+  using Alloc = typename Map::Alloc;
+  using RouterT = typename Map::Router;
+  using Epoch = typename Map::Epoch;
+  using BatchRequest = typename Map::BatchRequest;
+  using OpKind = typename Map::OpKind;
+
+  Rebalancer(Map& map, Alloc& alloc, RebalanceConfig cfg = {})
+      : map_(&map), cfg_(cfg) {
+    ctxs_.reserve(map.shard_count());
+    for (std::size_t s = 0; s < map.shard_count(); ++s) {
+      ctxs_.emplace_back(map.shard(s).reclaimer(), alloc);
+    }
+    // Sampling is opt-in by attachment: sessions start feeding the
+    // sketch on their next op, and maps without a Rebalancer never pay.
+    map.set_sketch_enabled(true);
+  }
+
+  ~Rebalancer() {
+    // Detach the sampling too: a map whose Rebalancer is gone should not
+    // keep feeding a reservoir nobody will read.
+    map_->set_sketch_enabled(false);
+  }
+
+  Rebalancer(const Rebalancer&) = delete;
+  Rebalancer& operator=(const Rebalancer&) = delete;
+
+  /// Fits new split points to the sketch when the sampled load is
+  /// imbalanced past the threshold. nullopt: not enough samples, load
+  /// already balanced, or the fit reproduces the current bounds.
+  std::optional<RouterT> plan() {
+    std::vector<Key> samples = map_->sketch().sorted_sample();
+    if (samples.size() < cfg_.min_samples) return std::nullopt;
+    ++stats_.plans;
+    const Epoch* e = map_->current_epoch();
+    const std::size_t shards = map_->shard_count();
+    std::vector<std::size_t> load(shards, 0);
+    for (const Key& k : samples) ++load[e->router(k, shards)];
+    std::size_t max_load = 0;
+    for (const std::size_t l : load) max_load = std::max(max_load, l);
+    const double ideal =
+        static_cast<double>(samples.size()) / static_cast<double>(shards);
+    stats_.last_imbalance = static_cast<double>(max_load) / ideal;
+    if (stats_.last_imbalance < cfg_.imbalance_threshold) return std::nullopt;
+    RouterT fitted =
+        RouterT::from_samples(std::span<const Key>(samples), shards);
+    if (fitted.bounds() == e->router.bounds()) return std::nullopt;
+    return fitted;
+  }
+
+  /// Executes one live migration to `next` (publish → drain → extract →
+  /// install → erase → settle). Blocks until the flip is settled.
+  void migrate_to(RouterT next) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    Epoch* e = map_->begin_epoch(std::move(next));
+    std::uint64_t moved = 0;
+    if constexpr (RouterT::kOrderPreserving) {
+      migrate_ranges(e, moved);
+    } else {
+      migrate_generic(e, moved);
+    }
+    map_->settle_epoch(e);
+    stats_.migrations += 1;
+    stats_.keys_moved += moved;
+    // Forget the pre-flip traffic: the next plan should be fitted to
+    // what the store sees under the new topology.
+    map_->sketch().reset();
+  }
+
+  /// plan() + migrate_to() in one step; true when a migration ran.
+  bool maybe_rebalance() {
+    std::optional<RouterT> next = plan();
+    if (!next.has_value()) return false;
+    migrate_to(std::move(*next));
+    return true;
+  }
+
+  const RebalanceStats& stats() const noexcept { return stats_; }
+
+  /// Folds the per-shard migration counters into a stats accumulator
+  /// (anything with add(shard, OpStats), e.g. ShardStatsBoard).
+  template <class Board>
+  void fold_into(Board& board) const {
+    for (std::size_t s = 0; s < ctxs_.size(); ++s) {
+      board.add(s, ctxs_[s].stats);
+    }
+  }
+
+ private:
+  /// Range-router migration: one source shard at a time, pipelined
+  /// extract → install → erase, releasing parked traffic as early as the
+  /// range algebra allows. Sources are processed in ascending shard (=
+  /// key) order; destination d is complete — nothing further can move
+  /// into it — as soon as every source overlapping its new range has
+  /// been processed, i.e. once hi_new(d) <= hi_old(s). Under a skew fit
+  /// that shape is decisive: the hot head's narrow destinations all draw
+  /// from the first source shard, so the bulk of the parked offered load
+  /// resumes after one shard's scan, while the single cold destination
+  /// absorbing the resident mass fills in the background behind its
+  /// ascending watermark. Erasing each source right after its extraction
+  /// both spreads the erase work and runs it while the affected traffic
+  /// is parked anyway.
+  void migrate_ranges(Epoch* e, std::uint64_t& moved) {
+    const std::size_t shards = map_->shard_count();
+    const std::vector<Key>& old_b = e->prev->router.bounds();
+    const std::vector<Key>& new_b = e->router.bounds();
+    std::vector<std::vector<BatchRequest>> per_dest(shards);
+    std::vector<BatchRequest> erases;
+    for (std::size_t s = 0; s < shards; ++s) {
+      for (auto& v : per_dest) v.clear();
+      erases.clear();
+      {
+        // The pinned root is a free consistent image of the shard; after
+        // the drain its moving ranges are frozen, so this snapshot holds
+        // their complete final content even while non-moving writers
+        // keep installing. In-order traversal keeps every slice sorted.
+        const auto view = map_->shard(s).pin_versioned(ctxs_[s]);
+        const auto collect = [&](const Key& k, const Value& v) {
+          const std::size_t owner = e->router(k, shards);
+          if (owner == s) return;
+          per_dest[owner].push_back(BatchRequest{OpKind::kInsert, k, v});
+          erases.push_back(BatchRequest{OpKind::kErase, k, std::nullopt});
+          ++moved;
+        };
+        // Source s's moving keys are at most two contiguous intervals —
+        // [lo_old, lo_new) lost leftward, [hi_new, hi_old) lost
+        // rightward (shard 0 has no left edge, the last shard no right
+        // edge) — so a structure with ranged traversal is scanned in
+        // O(moved + log n), not O(resident). Ascending order across and
+        // within the two calls keeps every slice sorted. Structures
+        // without for_each_range fall back to the full scan, where
+        // `collect`'s owner check does the filtering.
+        if constexpr (requires(const Key& k) {
+                        view.snapshot.for_each_range(k, k, collect);
+                      }) {
+          if (s > 0 && key_less(old_b[s - 1], new_b[s - 1])) {
+            view.snapshot.for_each_range(old_b[s - 1], new_b[s - 1], collect);
+          }
+          if (s + 1 < shards && key_less(new_b[s], old_b[s])) {
+            view.snapshot.for_each_range(new_b[s], old_b[s], collect);
+          }
+        } else {
+          view.snapshot.for_each(collect);
+        }
+      }
+      for (std::size_t d = 0; d < shards; ++d) {
+        if (per_dest[d].empty()) continue;
+        ctxs_[d].stats.mig_keys_in += per_dest[d].size();
+        install_slice(d, per_dest[d], e);
+      }
+      // Destinations no later source can reach are complete.
+      for (std::size_t d = 0; d < shards; ++d) {
+        if (e->is_ready(d)) continue;
+        const bool complete =
+            d + 1 == shards
+                ? s + 1 == shards
+                : s + 1 == shards || !key_less(old_b[s], new_b[d]);
+        if (complete) e->set_ready(d);
+      }
+      if (!erases.empty()) {
+        ctxs_[s].stats.mig_keys_out += erases.size();
+        run_chunked(s, erases, nullptr);
+      }
+    }
+  }
+
+  /// Generic-router fallback (no range algebra to pipeline with): full
+  /// extraction, per-destination sorted installs, then the erases.
+  void migrate_generic(Epoch* e, std::uint64_t& moved) {
+    const std::size_t shards = map_->shard_count();
+    std::vector<std::vector<BatchRequest>> incoming(shards);
+    std::vector<std::vector<BatchRequest>> outgoing(shards);
+    for (std::size_t s = 0; s < shards; ++s) {
+      const auto view = map_->shard(s).pin_versioned(ctxs_[s]);
+      view.snapshot.for_each([&](const Key& k, const Value& v) {
+        const std::size_t owner = e->router(k, shards);
+        if (owner == s) return;
+        incoming[owner].push_back(BatchRequest{OpKind::kInsert, k, v});
+        outgoing[s].push_back(BatchRequest{OpKind::kErase, k, std::nullopt});
+        ++moved;
+      });
+    }
+    const auto by_key = [](const BatchRequest& a, const BatchRequest& b) {
+      return key_less(a.key, b.key);
+    };
+    for (auto& slice : incoming) {
+      std::sort(slice.begin(), slice.end(), by_key);
+    }
+    // Smallest destinations first, each behind its watermark.
+    std::vector<std::size_t> order;
+    for (std::size_t d = 0; d < shards; ++d) {
+      if (incoming[d].empty()) {
+        e->set_ready(d);
+      } else {
+        order.push_back(d);
+      }
+    }
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return incoming[a].size() < incoming[b].size();
+    });
+    for (const std::size_t d : order) {
+      ctxs_[d].stats.mig_keys_in += incoming[d].size();
+      install_slice(d, incoming[d], e);
+      e->set_ready(d);
+    }
+    for (std::size_t s = 0; s < shards; ++s) {
+      if (outgoing[s].empty()) continue;
+      ctxs_[s].stats.mig_keys_out += outgoing[s].size();
+      run_chunked(s, outgoing[s], nullptr);
+    }
+  }
+
+  static bool key_less(const Key& a, const Key& b) {
+    if constexpr (requires { typename Uc::Structure::KeyCompare; }) {
+      return typename Uc::Structure::KeyCompare{}(a, b);
+    } else {
+      return std::less<Key>{}(a, b);
+    }
+  }
+
+  /// Keys installed per watermark bump: small enough that parked traffic
+  /// resumes every few milliseconds as the big cold-destination install
+  /// advances, large enough that the bulk ingest path still amortizes.
+  static constexpr std::size_t kWatermarkChunk = 8192;
+
+  /// Runs one shard's migration batch (key-sorted, key-unique) through
+  /// its install path: as a lane task on `exec` when non-null (FIFO with
+  /// client sub-batches, no stop-the-world; `ticket` joined by the
+  /// caller), synchronously from this thread otherwise (returns true).
+  /// `exec` is the caller's one-time snapshot of the map's executor —
+  /// re-reading it here could see an executor attached mid-migration and
+  /// enqueue a task whose null ticket the caller would never join.
+  /// Either way the backend's bulk ingest_sorted path carries the batch
+  /// when available — giant sorted sweeps, a few CASes — with
+  /// execute_batch as the generic fallback.
+  bool run_shard_batch(ShardExecutor<Uc>* exec, std::size_t s,
+                       std::span<const BatchRequest> reqs, bool* results,
+                       BatchTicket* ticket) {
+    if (exec != nullptr) {
+      typename ShardExecutor<Uc>::Task task;
+      task.reqs = reqs;
+      task.results = results;
+      task.ticket = ticket;
+      task.sorted_unique = true;
+      if (exec->submit(s, task)) return false;
+      // Stopping executor: run the batch ourselves, settle the slot.
+    }
+    Uc& uc = map_->shard(s);
+    const std::span<bool> out(results, reqs.size());
+    if constexpr (requires { uc.ingest_sorted(ctxs_[s], reqs, out); }) {
+      uc.ingest_sorted(ctxs_[s], reqs, out);
+    } else {
+      uc.execute_batch(ctxs_[s], reqs, out);
+    }
+    if (ticket != nullptr) ticket->complete_one();
+    return true;
+  }
+
+  /// Every migration op must land — inserts into territory the
+  /// destination never owned, erases of keys the pinned snapshot proved
+  /// present, with the moving ranges unreachable to clients meanwhile —
+  /// which the debug build asserts.
+  static void assert_all_landed(std::span<const BatchRequest> reqs,
+                                const bool* results) {
+#ifndef NDEBUG
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+      PC_DASSERT(results[i],
+                 "migration op was a no-op: a moving key escaped the "
+                 "freeze or was double-applied");
+    }
+#else
+    (void)reqs;
+    (void)results;
+#endif
+  }
+
+  /// Installs one destination's (possibly partial — one source's worth)
+  /// incoming slice, advancing its watermark chunk by chunk so parked
+  /// traffic resumes progressively. Does NOT set the ready bit: the
+  /// caller knows when no further source can contribute.
+  void install_slice(std::size_t d, std::vector<BatchRequest>& slice,
+                     Epoch* e) {
+    run_chunked(d, slice, e);
+  }
+
+  /// Applies `reqs` (key-sorted, key-unique) to `shard` in
+  /// kWatermarkChunk-sized pieces through run_shard_batch. With a
+  /// non-null `e` the pieces are an incoming install for destination
+  /// `shard` and the watermark advances after each one; null = erase
+  /// sweep, no watermark.
+  void run_chunked(std::size_t shard, std::vector<BatchRequest>& reqs,
+                   Epoch* e) {
+    const auto results = std::make_unique<bool[]>(
+        std::min(reqs.size(), kWatermarkChunk));
+    BatchTicket ticket;
+    ShardExecutor<Uc>* const exec = map_->executor();
+    std::size_t off = 0;
+    while (off < reqs.size()) {
+      const std::size_t n = std::min(kWatermarkChunk, reqs.size() - off);
+      const std::span<const BatchRequest> chunk(reqs.data() + off, n);
+      if (exec != nullptr) {
+        ticket.arm(1);
+        run_shard_batch(exec, shard, chunk, results.get(), &ticket);
+        ticket.join();
+      } else {
+        run_shard_batch(exec, shard, chunk, results.get(), nullptr);
+      }
+      assert_all_landed(chunk, results.get());
+      off += n;
+      if (e != nullptr) {
+        if constexpr (Epoch::kHasWatermark) {
+          e->advance_watermark(shard, chunk.back().key);
+        }
+      }
+    }
+  }
+
+  Map* map_;
+  RebalanceConfig cfg_;
+  std::vector<Ctx> ctxs_;
+  RebalanceStats stats_;
+  std::mutex mu_;
+};
+
+}  // namespace pathcopy::store

@@ -25,6 +25,8 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <limits>
+#include <span>
 #include <vector>
 
 #include "util/assert.hpp"
@@ -93,6 +95,37 @@ class RangeRouter {
           width / shards * i + width % shards * i / shards;
       bounds.push_back(
           static_cast<K>(static_cast<std::uint64_t>(lo) + off));
+    }
+    return RangeRouter{std::move(bounds)};
+  }
+
+  /// Quantile-fitted split of a *sampled key distribution*: bound i is the
+  /// i/shards-quantile of `sorted_samples`, so each shard sees ~the same
+  /// share of the offered load the sample was drawn from — the constructor
+  /// the Rebalancer uses to turn a KeySketch reservoir into a topology,
+  /// and usable standalone for statically fitting a known workload.
+  /// Duplicate quantiles (a heavy hitter spanning several quantile slots)
+  /// are resolved by bumping each bound just past the previous one, which
+  /// keeps the bounds strictly increasing at the price of some near-empty
+  /// shards — the honest rendering of "one key carries > 1/S of the load".
+  static RangeRouter from_samples(std::span<const K> sorted_samples,
+                                  std::size_t shards)
+    requires std::integral<K>
+  {
+    PC_ASSERT(shards >= 1, "from_samples needs shards >= 1");
+    PC_ASSERT(!sorted_samples.empty() || shards == 1,
+              "from_samples needs a non-empty sample");
+    std::vector<K> bounds;
+    bounds.reserve(shards - 1);
+    const std::size_t n = sorted_samples.size();
+    for (std::size_t i = 1; i < shards; ++i) {
+      K q = sorted_samples[i * n / shards];
+      if (!bounds.empty() && q <= bounds.back()) {
+        PC_ASSERT(bounds.back() < std::numeric_limits<K>::max(),
+                  "sample quantiles saturate the key type");
+        q = bounds.back() + 1;
+      }
+      bounds.push_back(q);
     }
     return RangeRouter{std::move(bounds)};
   }

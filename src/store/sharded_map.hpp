@@ -37,6 +37,16 @@
 // ticket — S concurrent install streams instead of a sequential shard
 // walk. Executor-less maps keep the synchronous path unchanged.
 //
+// Routing epochs: the router lives in a published RouterEpoch
+// (store/router_epoch.hpp), read once per operation/batch, so a
+// Rebalancer (store/rebalancer.hpp) can replace the split points while
+// sessions run: publish + drain (per-session epoch marks), live-migrate
+// the moving ranges off pinned snapshots, settle. Ops on mid-flip moving
+// keys park until their new owner holds their data; everything else —
+// and everything always, on maps that never rebalance — pays one atomic
+// announce per op. Sessions also feed the map's KeySketch (offered-key
+// reservoir) that rebalancing plans are fitted to.
+//
 // Threading model: the map and its shards are shared; each worker thread
 // owns one Session (per-shard reclaimer registrations + announcement
 // slots + stats). Sessions must not outlive the map. Combining backends
@@ -48,19 +58,23 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <optional>
 #include <span>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "core/stats.hpp"
 #include "core/universal.hpp"
 #include "store/executor.hpp"
+#include "store/key_sketch.hpp"
 #include "store/router.hpp"
+#include "store/router_epoch.hpp"
 #include "store/version_vector.hpp"
 #include "util/assert.hpp"
 
@@ -80,15 +94,18 @@ class ShardedMap {
   using OpKind = typename Uc::OpKind;
   using BatchRequest = typename Uc::BatchRequest;
   using Router = RouterT;
+  using Backend = Uc;
+  using Epoch = RouterEpoch<RouterT, Key>;
 
   /// `alloc` is the allocator view used to build the shards' initial
   /// (empty) versions; its retire backend must outlive the map, like for
   /// a single UC. Each shard gets its own reclaimer domain.
-  ShardedMap(std::size_t shards, Alloc& alloc, RouterT router = RouterT{})
-      : router_(std::move(router)) {
+  ShardedMap(std::size_t shards, Alloc& alloc, RouterT router = RouterT{}) {
     PC_ASSERT(shards >= 1, "ShardedMap needs at least one shard");
-    PC_ASSERT(router_.compatible(shards),
+    PC_ASSERT(router.compatible(shards),
               "router incompatible with this shard count");
+    epoch_.store(new Epoch(1, std::move(router), nullptr, true, shards),
+                 std::memory_order_release);
     shards_.reserve(shards);
     for (std::size_t i = 0; i < shards; ++i) {
       shards_.push_back(std::make_unique<ShardRec>(alloc));
@@ -98,12 +115,71 @@ class ShardedMap {
   ShardedMap(const ShardedMap&) = delete;
   ShardedMap& operator=(const ShardedMap&) = delete;
 
+  ~ShardedMap() {
+    // Epochs are retained on the chain for the map's lifetime (see
+    // router_epoch.hpp); free them all here.
+    const Epoch* e = epoch_.load(std::memory_order_acquire);
+    while (e != nullptr) {
+      const Epoch* prev = e->prev;
+      delete e;
+      e = prev;
+    }
+  }
+
   std::size_t shard_count() const noexcept { return shards_.size(); }
-  const RouterT& router() const noexcept { return router_; }
+  /// The current epoch's router. The reference stays valid for the map's
+  /// lifetime (epochs are retained), but a rebalance may supersede it —
+  /// sessions route through one coherent epoch per operation instead.
+  const RouterT& router() const noexcept { return current_epoch()->router; }
   std::size_t shard_of(const Key& key) const {
-    return router_(key, shards_.size());
+    return current_epoch()->router(key, shards_.size());
   }
   Uc& shard(std::size_t i) { return shards_[i]->uc; }
+
+  // ----- routing epochs (store/router_epoch.hpp has the protocol) -----
+
+  const Epoch* current_epoch() const noexcept {
+    return epoch_.load(std::memory_order_acquire);
+  }
+
+  /// Rebalancer side, step 1+2: publishes `next` as a new unsettled epoch
+  /// and drains every session still mid-operation under the old one. On
+  /// return the moving key ranges are frozen — ops on them gate until
+  /// settle_epoch — and sources can be snapshotted for extraction. Must
+  /// not be called while another epoch is still unsettled (one rebalance
+  /// at a time; the Rebalancer serializes itself).
+  Epoch* begin_epoch(RouterT next) {
+    PC_ASSERT(next.compatible(shards_.size()),
+              "new router incompatible with this shard count");
+    const Epoch* cur = epoch_.load(std::memory_order_acquire);
+    PC_ASSERT(cur->is_settled(), "begin_epoch while a flip is in flight");
+    Epoch* e =
+        new Epoch(cur->seq + 1, std::move(next), cur, false, shards_.size());
+    epoch_.store(e, std::memory_order_seq_cst);
+    marks_.drain_below(e->seq);
+    return e;
+  }
+
+  /// Rebalancer side, step 4: the migration's installs are done; gated
+  /// ops may proceed against the new owners.
+  void settle_epoch(Epoch* e) {
+    e->settled.store(true, std::memory_order_release);
+  }
+
+  // ----- offered-load sketch (fed by sessions, read by the Rebalancer) --
+
+  KeySketch<Key>& sketch() noexcept { return sketch_; }
+  const KeySketch<Key>& sketch() const noexcept { return sketch_; }
+
+  /// Off by default — maps that never rebalance don't pay for traffic
+  /// sampling. The Rebalancer's constructor turns it on (sessions pick
+  /// the flag up on their next operation).
+  void set_sketch_enabled(bool on) noexcept {
+    sketch_enabled_.store(on, std::memory_order_relaxed);
+  }
+  bool sketch_enabled() const noexcept {
+    return sketch_enabled_.load(std::memory_order_relaxed);
+  }
 
   // ----- shard execution pipeline -----
   //
@@ -140,7 +216,10 @@ class ShardedMap {
   };
 
   std::vector<std::unique_ptr<ShardRec>> shards_;
-  RouterT router_;
+  std::atomic<const Epoch*> epoch_{nullptr};
+  EpochMarkRegistry marks_;
+  KeySketch<Key> sketch_;
+  std::atomic<bool> sketch_enabled_{false};
   std::atomic<ShardExecutor<Uc>*> executor_{nullptr};
 };
 
@@ -151,11 +230,13 @@ template <core::UniversalConstruction Uc, class RouterT>
   requires RouterFor<RouterT, typename Uc::Key>
 class ShardedMap<Uc, RouterT>::Session {
  public:
-  Session(ShardedMap& map, Alloc& alloc) : map_(&map) {
+  Session(ShardedMap& map, Alloc& alloc)
+      : map_(&map), mark_slot_(map.marks_.acquire()) {
     const std::size_t n = map.shard_count();
     ctxs_.reserve(n);
     slots_.reserve(n);
     split_.resize(n);
+    sketch_buf_.reserve(kSketchFlush);
     for (std::size_t i = 0; i < n; ++i) {
       ctxs_.emplace_back(map.shards_[i]->smr, alloc);
       slots_.push_back(map.shards_[i]->uc.register_slot());
@@ -164,28 +245,65 @@ class ShardedMap<Uc, RouterT>::Session {
 
   Session(const Session&) = delete;
   Session& operator=(const Session&) = delete;
-  Session(Session&&) noexcept = default;
+  Session(Session&& o) noexcept
+      : map_(o.map_),
+        ctxs_(std::move(o.ctxs_)),
+        slots_(std::move(o.slots_)),
+        mark_slot_(o.mark_slot_),
+        sketch_buf_(std::move(o.sketch_buf_)),
+        split_(std::move(o.split_)),
+        sub_reqs_by_shard_(std::move(o.sub_reqs_by_shard_)),
+        sub_results_(std::move(o.sub_results_)),
+        sub_results_cap_(o.sub_results_cap_) {
+    o.map_ = nullptr;  // the source no longer owns the mark slot
+  }
+
+  ~Session() {
+    if (map_ == nullptr) return;  // moved-from
+    flush_sketch();
+    map_->marks_.release(mark_slot_);
+  }
 
   // ----- point operations (routed to the owning shard) -----
+  //
+  // Every op routes through one coherent RouterEpoch: the session
+  // announces the epoch in its mark slot (so a topology flip drains
+  // behind in-flight ops), and an op whose key is mid-migration — its
+  // owner differs between the flipping epochs — retries until the epoch
+  // settles and the data has arrived at the new owner. Non-moving keys
+  // (and all keys on settled epochs, i.e. always outside a rebalance)
+  // pay only the announce handshake.
 
   bool insert(const Key& key, const Value& value) {
-    const std::size_t s = map_->shard_of(key);
+    record_key(key);
+    const Epoch* e = epoch_enter_for(key);
+    const EpochExit scope{this};
+    const std::size_t s = e->router(key, map_->shard_count());
     return map_->shards_[s]->uc.insert(ctxs_[s], slots_[s], key, value);
   }
 
   bool erase(const Key& key) {
-    const std::size_t s = map_->shard_of(key);
+    record_key(key);
+    const Epoch* e = epoch_enter_for(key);
+    const EpochExit scope{this};
+    const std::size_t s = e->router(key, map_->shard_count());
     return map_->shards_[s]->uc.erase(ctxs_[s], slots_[s], key);
   }
 
   bool contains(const Key& key) {
-    const std::size_t s = map_->shard_of(key);
+    record_key(key);
+    const Epoch* e = epoch_enter_for(key);
+    const EpochExit scope{this};
+    const std::size_t s = e->router(key, map_->shard_count());
     return map_->shards_[s]->uc.read(
         ctxs_[s], [&](auto snapshot) { return snapshot.contains(key); });
   }
 
   std::optional<Value> find(const Key& key) {
-    const std::size_t s = map_->shard_of(key);
+    record_key(key);
+    const Epoch* e = epoch_enter_for(key);
+    const EpochExit scope{this};
+    const std::size_t s = e->router(key, map_->shard_count());
     return map_->shards_[s]->uc.read(
         ctxs_[s], [&](auto snapshot) -> std::optional<Value> {
           const Value* v = snapshot.find(key);
@@ -197,7 +315,9 @@ class ShardedMap<Uc, RouterT>::Session {
   /// single-shard window where reads stay fully linearizable.
   template <class F>
   decltype(auto) read_shard_of(const Key& key, F&& f) {
-    const std::size_t s = map_->shard_of(key);
+    const Epoch* e = epoch_enter_for(key);
+    const EpochExit scope{this};
+    const std::size_t s = e->router(key, map_->shard_count());
     return map_->shards_[s]->uc.read(ctxs_[s], std::forward<F>(f));
   }
 
@@ -231,11 +351,28 @@ class ShardedMap<Uc, RouterT>::Session {
     // releaser drops the S reclaimer guards as soon as f returns
     // (holding them past the call would stall reclamation), whatever f
     // returns.
+    // The epoch probe ties the cut to the routing topology: it refuses
+    // to stabilize while a rebalance is migrating (when a moving key
+    // transiently exists in two shards) and restarts if the topology
+    // flipped inside the pin window — a cut is wholly-before or
+    // wholly-after a rebalance, never mixed. Cuts hold no epoch mark:
+    // their snapshots are pin-protected, and the probe — not the drain —
+    // is what orders them against flips.
     cut_scratch_.collect(
         map_->shard_count(),
         [&](std::size_t s) -> Uc& { return map_->shards_[s]->uc; },
         [&](std::size_t s) -> Ctx& { return ctxs_[s]; },
-        [&](std::size_t s) { ++ctxs_[s].stats.cut_retries; });
+        [&](std::size_t s) { ++ctxs_[s].stats.cut_retries; },
+        [&]() -> const void* {
+          const Epoch* e = map_->epoch_.load(std::memory_order_seq_cst);
+          return e->is_settled() ? e : nullptr;
+        },
+        [&] {
+          // An epoch-driven restart re-pins every shard, so it is a cut
+          // retry of all S participants — not shard-0 activity (the
+          // per-shard epoch_retries column stays op-gate-only).
+          for (Ctx& ctx : ctxs_) ++ctx.stats.cut_retries;
+        });
     for (std::size_t s = 0; s < ctxs_.size(); ++s) {
       ++ctxs_[s].stats.cut_reads;
     }
@@ -321,14 +458,22 @@ class ShardedMap<Uc, RouterT>::Session {
       bool* flag;
       ~BatchScope() { *flag = false; }
     } scope{&in_batch_};
+    if (map_->sketch_enabled()) {
+      for (const BatchRequest& r : reqs) record_key(r.key);
+    }
+    // One coherent epoch for the whole batch (the mark is held through
+    // the join, so an in-flight async scatter drains any topology flip
+    // behind it).
+    const Epoch* e = epoch_enter_for_batch(reqs);
+    const EpochExit escope{this};
     ShardExecutor<Uc>* exec = map_->executor();
     const std::size_t n_shards = map_->shard_count();
     if (exec != nullptr) {
-      execute_batch_async(*exec, reqs, results_out);
+      execute_batch_async(*exec, e, reqs, results_out);
     } else if (n_shards == 1) {
       map_->shards_[0]->uc.execute_batch(ctxs_[0], reqs, results_out);
     } else {
-      split_batch(reqs);
+      split_batch(e, reqs);
       for (std::size_t s = 0; s < n_shards; ++s) {
         if (split_[s].empty()) continue;
         run_sub_batch_sync(s, results_out);
@@ -342,9 +487,11 @@ class ShardedMap<Uc, RouterT>::Session {
   /// when an executor is attached.
   template <class It>
   void seed_sorted(It first, It last) {
+    const Epoch* e = epoch_enter_for_seed(first, last);
+    const EpochExit escope{this};
     std::vector<std::vector<std::pair<Key, Value>>> parts(map_->shard_count());
     for (It it = first; it != last; ++it) {
-      parts[map_->shard_of(it->first)].push_back(*it);
+      parts[e->router(it->first, map_->shard_count())].push_back(*it);
     }
     if (ShardExecutor<Uc>* exec = map_->executor(); exec != nullptr) {
       // parts is local, so the helper's join happens before it dies.
@@ -399,14 +546,129 @@ class ShardedMap<Uc, RouterT>::Session {
     }
   }
 
+  // ----- routing-epoch protocol (session side; see router_epoch.hpp) ---
+
+  /// Announces the current epoch in this session's mark slot and
+  /// confirms the pointer did not move across the announce (the Dekker
+  /// handshake begin_epoch's drain pairs with). The mark stays published
+  /// until epoch_exit().
+  const Epoch* epoch_announce() {
+    for (;;) {
+      const Epoch* e = map_->epoch_.load(std::memory_order_acquire);
+      EpochMarkRegistry::announce(mark_slot_, e->seq);
+      if (map_->epoch_.load(std::memory_order_seq_cst) == e) return e;
+      // The epoch moved under the announce; the mark may name a stale
+      // epoch — re-announce against the new one.
+    }
+  }
+
+  void epoch_exit() { EpochMarkRegistry::clear(mark_slot_); }
+
+  struct EpochExit {
+    Session* sess;
+    ~EpochExit() { sess->epoch_exit(); }
+  };
+
+  /// One parked wait: a few polite yields, then short sleeps — parked
+  /// ops must not starve the very migration they are waiting on (on a
+  /// core-constrained host a spin loop would).
+  static void gate_backoff(unsigned& spins) {
+    if (spins++ < 8) {
+      std::this_thread::yield();
+    } else {
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+  }
+
+  /// True when `key`'s route under `e` is safe to execute now: the epoch
+  /// is settled, the key did not move at the flip, or its new owner has
+  /// already installed its incoming slice at least through `key` (the
+  /// per-destination ready bit or watermark — the stale source copy is
+  /// unreachable because every post-drain op routes by the new bounds,
+  /// so the op observes complete, exact state for its key).
+  bool key_route_stable(const Epoch* e, const Key& key) const {
+    const std::size_t shards = map_->shard_count();
+    return e->is_settled() || !e->moves(key, shards) ||
+           e->is_ready_for(e->router(key, shards), key, &Session::key_less);
+  }
+
+  /// Enters an epoch under which `key`'s owner is stable. A mid-flip
+  /// moving key's op parks here (mark cleared, so it never blocks the
+  /// drain) until the migration lands its destination's data.
+  const Epoch* epoch_enter_for(const Key& key) {
+    unsigned spins = 0;
+    for (;;) {
+      const Epoch* e = epoch_announce();
+      if (key_route_stable(e, key)) return e;
+      epoch_exit();
+      ++ctxs_[e->router(key, map_->shard_count())].stats.epoch_retries;
+      gate_backoff(spins);
+    }
+  }
+
+  /// Range form of the gate — one loop shared by the batch and seed
+  /// entry points: the whole client batch waits until every key it
+  /// touches routes stably, so one batch splits under one topology with
+  /// every sub-batch's destination already holding its data. `key_of`
+  /// projects an element to its key.
+  template <class It, class Proj>
+  const Epoch* epoch_enter_for_range(It first, It last, Proj&& key_of) {
+    unsigned spins = 0;
+    for (;;) {
+      const Epoch* e = epoch_announce();
+      if (e->is_settled()) return e;
+      const Key* parked = nullptr;
+      for (It it = first; it != last; ++it) {
+        const Key& k = key_of(*it);
+        if (!key_route_stable(e, k)) {
+          parked = &k;
+          break;
+        }
+      }
+      if (parked == nullptr) return e;
+      epoch_exit();
+      ++ctxs_[e->router(*parked, map_->shard_count())].stats.epoch_retries;
+      gate_backoff(spins);
+    }
+  }
+
+  const Epoch* epoch_enter_for_batch(std::span<const BatchRequest> reqs) {
+    return epoch_enter_for_range(
+        reqs.begin(), reqs.end(),
+        [](const BatchRequest& r) -> const Key& { return r.key; });
+  }
+
+  template <class It>
+  const Epoch* epoch_enter_for_seed(It first, It last) {
+    return epoch_enter_for_range(
+        first, last, [](const auto& item) -> const Key& { return item.first; });
+  }
+
+  // ----- offered-load sketch feed -----
+
+  /// Buffers one offered key; flushed into the map's KeySketch every
+  /// kSketchFlush keys (and on session destruction), so the hot path
+  /// never takes the sketch mutex.
+  void record_key(const Key& key) {
+    if (!map_->sketch_enabled()) return;
+    sketch_buf_.push_back(key);
+    if (sketch_buf_.size() >= kSketchFlush) flush_sketch();
+  }
+
+  void flush_sketch() {
+    if (sketch_buf_.empty()) return;
+    map_->sketch_.offer(std::span<const Key>(sketch_buf_));
+    sketch_buf_.clear();
+  }
+
   /// Routes reqs into split_ (client indices per shard, key-sorted
   /// stably) and materializes the per-shard sub-batches in
   /// sub_reqs_by_shard_. split_[s] doubles as the scatter map: sub-op j
   /// of shard s answers client op split_[s][j].
-  void split_batch(std::span<const BatchRequest> reqs) {
+  void split_batch(const Epoch* e, std::span<const BatchRequest> reqs) {
     for (auto& idx : split_) idx.clear();
     for (std::size_t i = 0; i < reqs.size(); ++i) {
-      split_[map_->shard_of(reqs[i].key)].push_back(i);
+      split_[e->router(reqs[i].key, map_->shard_count())].push_back(i);
     }
     sub_reqs_by_shard_.resize(map_->shard_count());
     for (std::size_t s = 0; s < split_.size(); ++s) {
@@ -473,7 +735,7 @@ class ShardedMap<Uc, RouterT>::Session {
   /// joins. Workers write each result straight into results_out through
   /// the split_ scatter map; the ticket's completion happens-before
   /// join() returns, so no second client-side pass is needed.
-  void execute_batch_async(ShardExecutor<Uc>& exec,
+  void execute_batch_async(ShardExecutor<Uc>& exec, const Epoch* e,
                            std::span<const BatchRequest> reqs,
                            std::span<bool> results_out) {
     using Task = typename ShardExecutor<Uc>::Task;
@@ -492,7 +754,7 @@ class ShardedMap<Uc, RouterT>::Session {
           });
       return;
     }
-    split_batch(reqs);
+    split_batch(e, reqs);
     scatter_and_join(
         exec, [&](std::size_t s) { return !split_[s].empty(); },
         [&](std::size_t s) {
@@ -528,9 +790,16 @@ class ShardedMap<Uc, RouterT>::Session {
     }
   }
 
+  /// Keys buffered per session before one locked flush into the sketch.
+  static constexpr std::size_t kSketchFlush = 256;
+
   ShardedMap* map_;
   std::vector<Ctx> ctxs_;
   std::vector<unsigned> slots_;
+  // This session's EpochMarkRegistry slot (stable address; returned to
+  // the registry's free list on destruction).
+  EpochMarkRegistry::Slot* mark_slot_ = nullptr;
+  std::vector<Key> sketch_buf_;  // offered keys awaiting a sketch flush
   // Batch-split scratch, reused across execute_batch calls and referenced
   // by in-flight executor tasks until their ticket joins — which is why
   // execute_batch is not re-entrant (in_batch_ asserts in debug builds).

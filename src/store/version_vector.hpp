@@ -47,6 +47,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <optional>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -54,6 +55,20 @@
 #include "util/assert.hpp"
 
 namespace pathcopy::store {
+
+namespace detail_vv {
+/// Default epoch probe for stores without routing epochs: one fixed
+/// non-null identity, so the epoch checks in collect() always pass.
+struct StableEpochProbe {
+  const void* operator()() const noexcept {
+    static const char kStable = 0;
+    return &kStable;
+  }
+};
+struct NoopHook {
+  void operator()() const noexcept {}
+};
+}  // namespace detail_vv
 
 /// One version label per shard — the clock a consistent cut reports.
 class VersionVector {
@@ -103,37 +118,74 @@ class ConsistentCut {
   /// shard UC, `ctx_at(s)` the caller's per-shard context, `on_retry(s)`
   /// is invoked each time shard s moved and had to be re-pinned (stats
   /// hook). Any previously held pins are released first.
-  template <class ShardAt, class CtxAt, class OnRetry>
+  ///
+  /// `epoch_probe` ties the cut to the store's routing topology
+  /// (store/router_epoch.hpp): it returns an opaque identity of the
+  /// current *settled* epoch, or nullptr while a topology flip's
+  /// migration is in flight. The probe brackets the pin window — once
+  /// before the first pin of a round, once after token stability — and
+  /// the cut only completes when both observations name the same settled
+  /// epoch. That is what makes a cut wholly-before or wholly-after any
+  /// rebalance, never a mixture: during a migration the store transiently
+  /// holds a moving key in both its old and new shard, and a cut that
+  /// stabilized there would double-count; refusing to stabilize on an
+  /// unsettled epoch (and restarting from scratch when the epoch pointer
+  /// moved inside the window, `on_epoch_retry` counting it) excludes
+  /// exactly that state. Maps without rebalancing pass the default
+  /// always-stable probe and lose nothing.
+  template <class ShardAt, class CtxAt, class OnRetry,
+            class EpochProbe = detail_vv::StableEpochProbe,
+            class OnEpochRetry = detail_vv::NoopHook>
   void collect(std::size_t shards, ShardAt&& shard_at, CtxAt&& ctx_at,
-               OnRetry&& on_retry) {
+               OnRetry&& on_retry, EpochProbe&& epoch_probe = {},
+               OnEpochRetry&& on_epoch_retry = {}) {
     pins_.clear();
     pins_.resize(shards);
     retries_ = 0;
     for (;;) {
-      for (std::size_t s = 0; s < shards; ++s) {
-        if (!pins_[s].has_value()) {
-          pins_[s].emplace(shard_at(s).pin_versioned(ctx_at(s)));
-        }
+      const void* e0 = epoch_probe();
+      if (e0 == nullptr) {
+        // Topology flip in flight: both-copies states exist right now.
+        for (auto& p : pins_) p.reset();
+        on_epoch_retry();
+        std::this_thread::yield();
+        continue;
       }
-      // All pins held: one probe pass. Every probe runs after every pin,
-      // which is what puts one instant inside all stability windows.
-      // Non-null tokens are ABA-free outright; a null token (pinned
-      // empty plain-Atom shard) can recur after installs, so it is
-      // cross-checked against the version counter (header comment).
-      bool stable = true;
-      for (std::size_t s = 0; s < shards; ++s) {
-        const bool moved =
-            shard_at(s).root_token() != pins_[s]->token ||
-            (pins_[s]->token == nullptr &&
-             shard_at(s).version() != pins_[s]->version);
-        if (moved) {
-          pins_[s].reset();
-          ++retries_;
-          on_retry(s);
-          stable = false;
+      for (;;) {
+        for (std::size_t s = 0; s < shards; ++s) {
+          if (!pins_[s].has_value()) {
+            pins_[s].emplace(shard_at(s).pin_versioned(ctx_at(s)));
+          }
         }
+        // All pins held: one probe pass. Every probe runs after every pin,
+        // which is what puts one instant inside all stability windows.
+        // Non-null tokens are ABA-free outright; a null token (pinned
+        // empty plain-Atom shard) can recur after installs, so it is
+        // cross-checked against the version counter (header comment).
+        bool stable = true;
+        for (std::size_t s = 0; s < shards; ++s) {
+          const bool moved =
+              shard_at(s).root_token() != pins_[s]->token ||
+              (pins_[s]->token == nullptr &&
+               shard_at(s).version() != pins_[s]->version);
+          if (moved) {
+            pins_[s].reset();
+            ++retries_;
+            on_retry(s);
+            stable = false;
+          }
+        }
+        if (stable) break;
       }
-      if (stable) break;
+      // Tokens stable — now the epoch must not have moved inside the
+      // window (and must still be settled), or the snapshots straddle a
+      // topology flip and the whole cut restarts.
+      if (epoch_probe() == e0) {
+        epoch_token_ = e0;
+        break;
+      }
+      for (auto& p : pins_) p.reset();
+      on_epoch_retry();
     }
     clock_.assign(shards);
     for (std::size_t s = 0; s < shards; ++s) {
@@ -152,6 +204,11 @@ class ConsistentCut {
   std::uint64_t version(std::size_t s) const { return clock_[s]; }
   const VersionVector& clock() const noexcept { return clock_; }
 
+  /// Identity of the settled routing epoch the cut was taken under (the
+  /// value the epoch probe returned); the default probe's sentinel for
+  /// epoch-less stores. Two cuts with equal tokens saw one topology.
+  const void* epoch_token() const noexcept { return epoch_token_; }
+
   /// Re-pins performed before the clock stabilized (0 when no writer
   /// raced the cut).
   std::uint64_t retries() const noexcept { return retries_; }
@@ -163,6 +220,7 @@ class ConsistentCut {
   std::vector<std::optional<View>> pins_;
   VersionVector clock_;
   std::uint64_t retries_ = 0;
+  const void* epoch_token_ = nullptr;
 };
 
 }  // namespace pathcopy::store

@@ -1,10 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <unordered_set>
 
 #include "bench_util/runner.hpp"
 #include "bench_util/table.hpp"
 #include "bench_util/workloads.hpp"
+#include "util/rng.hpp"
 
 namespace pathcopy {
 namespace {
@@ -89,6 +91,47 @@ TEST(Table, FormatThroughputSpacesThousands) {
   EXPECT_EQ(bench::format_throughput(451940), "451 940");
   EXPECT_EQ(bench::format_throughput(999), "999");
   EXPECT_EQ(bench::format_throughput(1000000), "1 000 000");
+}
+
+TEST(Skew, ZipfDrawsAreInRangeSkewedAndDeterministic) {
+  const bench::ZipfGen zipf(1 << 20, 0.99);
+  util::Xoshiro256 rng(7);
+  std::uint64_t head = 0;  // draws landing in the hottest 1% of ranks
+  constexpr int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) {
+    const std::uint64_t r = zipf(rng);
+    ASSERT_LT(r, std::uint64_t{1} << 20);
+    if (r < (1u << 20) / 100) ++head;
+  }
+  // Zipf(0.99): the top 1% of ranks draw well over half the mass —
+  // that is the skew the rebalancing bench exists for. (Uniform would
+  // put ~1% here.)
+  EXPECT_GT(head, kDraws / 2);
+  // Deterministic per seed.
+  util::Xoshiro256 a(42), b(42);
+  for (int i = 0; i < 100; ++i) ASSERT_EQ(zipf(a), zipf(b));
+}
+
+TEST(Skew, MovingHotspotConfinesAndAdvances) {
+  constexpr std::int64_t kSpace = 1 << 16;
+  constexpr std::int64_t kWidth = 256;
+  // Pinned hotspot (period 0): 100% of draws inside [0, width).
+  bench::MovingHotspot pinned(kSpace, kWidth, 0, 0, 1000);
+  util::Xoshiro256 rng(3);
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t k = pinned(rng);
+    ASSERT_GE(k, 0);
+    ASSERT_LT(k, kWidth);
+  }
+  // Moving hotspot: after `period` draws the window has advanced by
+  // `stride` — hot draws land in the shifted window.
+  bench::MovingHotspot moving(kSpace, kWidth, 1000, 4096, 1000);
+  for (int i = 0; i < 1000; ++i) (void)moving(rng);  // first window
+  for (int i = 0; i < 500; ++i) {
+    const std::int64_t k = moving(rng);
+    ASSERT_GE(k, 4096);
+    ASSERT_LT(k, 4096 + kWidth);
+  }
 }
 
 TEST(Table, PrintTableShape) {
