@@ -64,6 +64,7 @@
 #include "store/executor.hpp"
 #include "store/rebalancer.hpp"
 #include "store/router.hpp"
+#include "store/tablet_router.hpp"
 #include "store/shard_stats.hpp"
 #include "store/sharded_map.hpp"
 #include "util/rng.hpp"
@@ -77,6 +78,7 @@ using TC = alloc::ThreadCache;
 using PlainUc = core::Atom<Treap, Smr, TC>;
 using CombUc = core::CombiningAtom<Treap, Smr, TC>;
 using Router = store::RangeRouter<std::int64_t>;
+using TabR = store::TabletRouter<std::int64_t>;
 
 enum class Skew { kZipf, kHot, kMoving };
 
@@ -89,9 +91,11 @@ struct Config {
   bool run_sync = true;
   bool run_async = true;
   // Skew sweep (rebalancing acceptance experiment):
-  Skew skew = Skew::kZipf;
+  std::vector<Skew> skews;       // --skew (repeatable); defaults to zipf
   bool skew_only = false;        // --skew given: run just the skew sweep
+  bool continuous = false;       // --continuous: add the adaptive-tablet row
   bool assert_migrated = false;  // exit 1 unless the adaptive cells migrated
+  const char* json_path = nullptr;  // --json: machine-readable skew rows
 };
 
 enum class Mode { kPerOp, kBatchSync, kBatchAsync };
@@ -349,7 +353,7 @@ void sweep_structures(const Config& cfg, std::size_t shards) {
 // Skewed offered load is where the static uniform() split collapses: a
 // Zipf(0.99) or hot-range keyspace concentrates most ops on one shard
 // and the S-install-stream scaling story reverts to the single-atom
-// baseline. Three router policies run the same skewed workload:
+// baseline. The router policies run the same skewed workload:
 //
 //   static-uniform — the pre-rebalancing status quo (the victim);
 //   static-fitted  — RangeRouter::from_samples over an offline sample of
@@ -357,14 +361,31 @@ void sweep_structures(const Config& cfg, std::size_t shards) {
 //                    converge to, without paying for a live migration);
 //   adaptive       — starts uniform; a control thread runs the
 //                    Rebalancer's sketch -> plan -> migrate loop while
-//                    the workload hammers the store.
+//                    the workload hammers the store. One contiguous
+//                    range per shard, so fixing a hot head re-draws
+//                    every boundary and repacks the cold mass: balance
+//                    is bought with ~most of the resident keys moving;
+//   adaptive-tablet (--continuous) — starts as a uniform tablet table;
+//                    the control thread runs the continuous tick loop:
+//                    split the hot head (zero keys), reassign one
+//                    right-sized tablet at a time under the migration
+//                    throttle's keys-per-interval budget. Cold tablets
+//                    never change owner, so balance costs a fraction of
+//                    the resident mass — the keys-moved and max/ideal
+//                    columns side by side are this PR's acceptance
+//                    numbers.
 //
 // Skew cells run 3x the base duration: a first migration under heavy
 // skew moves a large slice of the resident keys (quantile bounds pack
 // the cold mass into few shards), and the cell must amortize that
 // one-time cost the way a long-running store would.
 
-enum class RouterPolicy { kStaticUniform, kStaticFitted, kAdaptive };
+enum class RouterPolicy {
+  kStaticUniform,
+  kStaticFitted,
+  kAdaptive,
+  kAdaptiveTablet,
+};
 
 const char* skew_name(Skew s) {
   switch (s) {
@@ -377,9 +398,9 @@ const char* skew_name(Skew s) {
 /// Per-thread key draw for one skew. The ZipfGen is shared (its draws
 /// are stateless); the hotspot generators carry a per-thread op clock.
 std::function<std::int64_t(util::Xoshiro256&)> make_draw(
-    const Config& cfg, const bench::ZipfGen* zipf) {
+    const Config& cfg, Skew skew, const bench::ZipfGen* zipf) {
   const std::int64_t key_space = key_space_of(cfg);
-  switch (cfg.skew) {
+  switch (skew) {
     case Skew::kZipf:
       return [zipf](util::Xoshiro256& rng) {
         return static_cast<std::int64_t>((*zipf)(rng));
@@ -396,11 +417,11 @@ std::function<std::int64_t(util::Xoshiro256&)> make_draw(
 }
 
 /// Offline workload sample for the static-fitted policy.
-std::vector<std::int64_t> skew_sample(const Config& cfg,
+std::vector<std::int64_t> skew_sample(const Config& cfg, Skew skew,
                                       const bench::ZipfGen* zipf,
                                       std::size_t n) {
   util::Xoshiro256 rng(0xfeedc0de);
-  auto draw = make_draw(cfg, zipf);
+  auto draw = make_draw(cfg, skew, zipf);
   std::vector<std::int64_t> keys;
   keys.reserve(n);
   for (std::size_t i = 0; i < n; ++i) keys.push_back(draw(rng));
@@ -412,6 +433,12 @@ struct SkewCell {
   double ops_per_sec = 0.0;
   std::uint64_t migrations = 0;
   std::uint64_t keys_moved = 0;
+  std::uint64_t splits = 0;            // boundary-only flips (tablet row)
+  std::uint64_t assignment_moves = 0;  // single-tablet moves (tablet row)
+  std::uint64_t budget_deferrals = 0;
+  std::uint64_t pressure_deferrals = 0;
+  std::uint64_t peak_interval_keys = 0;
+  std::uint64_t budget_keys = 0;
   /// Hottest shard's share of a fresh offered-load sample under the
   /// cell's FINAL topology, as a multiple of the ideal 1/S share —
   /// 1.0 = perfectly balanced; ~S = everything on one shard. This is
@@ -421,19 +448,31 @@ struct SkewCell {
   double max_load_share = 0.0;
 };
 
-template <class Uc>
-SkewCell run_skew_cell(const Config& cfg, std::size_t shards, Mode mode,
-                       RouterPolicy policy, const bench::ZipfGen* zipf,
+/// Continuous-mode migration budget: enough that the steady stream of
+/// single-tablet moves is never starved, small enough that one interval
+/// can only touch a modest slice of the store (asserted by the smoke).
+std::uint64_t continuous_budget(const Config& cfg) {
+  return std::max<std::uint64_t>(8192, cfg.initial_keys / 8);
+}
+
+template <class Uc, class RouterT>
+SkewCell run_skew_cell(const Config& cfg, Skew skew, std::size_t shards,
+                       Mode mode, RouterPolicy policy,
+                       const bench::ZipfGen* zipf,
                        store::ShardStatsBoard& board) {
-  using Map = store::ShardedMap<Uc, Router>;
+  using Map = store::ShardedMap<Uc, RouterT>;
   alloc::PoolBackend pool;
   alloc::ThreadCache root_cache(pool);
   const std::int64_t key_space = key_space_of(cfg);
-  Router router = Router::uniform(0, key_space, shards);
-  if (policy == RouterPolicy::kStaticFitted) {
-    const auto sample = skew_sample(cfg, zipf, 1 << 16);
-    router = Router::from_samples(std::span<const std::int64_t>(sample),
-                                  shards);
+  RouterT router = RouterT::uniform(0, key_space, shards);
+  if constexpr (requires(std::span<const std::int64_t> s) {
+                  RouterT::from_samples(s, shards);
+                }) {
+    if (policy == RouterPolicy::kStaticFitted) {
+      const auto sample = skew_sample(cfg, skew, zipf, 1 << 16);
+      router = RouterT::from_samples(std::span<const std::int64_t>(sample),
+                                     shards);
+    }
   }
   Map map(shards, root_cache, std::move(router));
   std::optional<store::ShardExecutor<Uc>> exec;
@@ -447,27 +486,53 @@ SkewCell run_skew_cell(const Config& cfg, std::size_t shards, Mode mode,
     }
   }
   const int duration_ms = cfg.duration_ms * 3;
-  // The adaptive policy's control thread: tick the sketch->plan->migrate
-  // loop until the workload stops. Owns its own allocator view and the
-  // Rebalancer (its per-shard reclaimer registrations live on this
-  // thread), folding migration counters into the board on exit.
+  // The adaptive policies' control thread: drive the sketch -> plan ->
+  // migrate loop until the workload stops. Owns its own allocator view
+  // and the Rebalancer (its per-shard reclaimer registrations live on
+  // this thread), folding migration counters into the board on exit.
+  // kAdaptive re-fits the whole topology per pass; kAdaptiveTablet runs
+  // the continuous tick — frequent small steps under the throttle.
   SkewCell cell;
   std::atomic<bool> reb_stop{false};
   std::thread ticker;
-  if (policy == RouterPolicy::kAdaptive) {
+  if (policy == RouterPolicy::kAdaptive ||
+      policy == RouterPolicy::kAdaptiveTablet) {
     ticker = std::thread([&] {
       alloc::ThreadCache cache(pool);
-      store::Rebalancer<Map> reb(map, cache);
-      // Short ticks: the first fit should land early so the cell spends
-      // its time under the fitted topology, not waiting to plan.
-      const auto tick =
-          std::chrono::milliseconds(std::max(5, cfg.duration_ms / 30));
-      while (!reb_stop.load(std::memory_order_relaxed)) {
-        std::this_thread::sleep_for(tick);
-        reb.maybe_rebalance();
+      store::RebalanceConfig rcfg;
+      rcfg.budget_keys = continuous_budget(cfg);
+      store::Rebalancer<Map> reb(map, cache, rcfg);
+      if constexpr (store::TabletTable<RouterT>) {
+        if (policy == RouterPolicy::kAdaptiveTablet) {
+          // Continuous mode: tick often; each tick is one cheap step
+          // (or a deferral) so the cadence sets reaction latency, not
+          // migration volume — the throttle meters that.
+          while (!reb_stop.load(std::memory_order_relaxed)) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(2));
+            reb.tick();
+          }
+        }
       }
-      cell.migrations = reb.stats().migrations;
-      cell.keys_moved = reb.stats().keys_moved;
+      if (policy == RouterPolicy::kAdaptive) {
+        // Short ticks: the first fit should land early so the cell
+        // spends its time under the fitted topology, not waiting.
+        const auto tick =
+            std::chrono::milliseconds(std::max(5, cfg.duration_ms / 30));
+        while (!reb_stop.load(std::memory_order_relaxed)) {
+          std::this_thread::sleep_for(tick);
+          reb.maybe_rebalance();
+        }
+      }
+      const store::RebalanceStats& st = reb.stats();
+      cell.migrations = st.migrations;
+      cell.keys_moved = st.keys_moved;
+      cell.splits = st.splits;
+      cell.assignment_moves = st.assignment_moves;
+      cell.budget_deferrals = st.budget_deferrals;
+      cell.pressure_deferrals = st.pressure_deferrals;
+      cell.peak_interval_keys = reb.throttle().peak_interval_keys();
+      cell.budget_keys = reb.throttle().budget_keys();
+      board.set_rebalance_summary(reb.summary());
       reb.fold_into(board);
     });
   }
@@ -478,7 +543,7 @@ SkewCell run_skew_cell(const Config& cfg, std::size_t shards, Mode mode,
         alloc::ThreadCache cache(pool);
         typename Map::Session sess(map, cache);
         util::Xoshiro256 rng(tid * 104729 + 31);
-        auto draw = make_draw(cfg, zipf);
+        auto draw = make_draw(cfg, skew, zipf);
         std::uint64_t ops = 0;
         if (batch_mode) {
           using Req = typename Map::BatchRequest;
@@ -518,7 +583,7 @@ SkewCell run_skew_cell(const Config& cfg, std::size_t shards, Mode mode,
   cell.ops_per_sec = run.ops_per_sec();
   {
     // Offered-load balance under the cell's final topology.
-    const auto sample = skew_sample(cfg, zipf, 1 << 14);
+    const auto sample = skew_sample(cfg, skew, zipf, 1 << 14);
     const auto& router = map.router();
     std::vector<std::size_t> load(shards, 0);
     for (const std::int64_t k : sample) ++load[router(k, shards)];
@@ -531,87 +596,196 @@ SkewCell run_skew_cell(const Config& cfg, std::size_t shards, Mode mode,
   return cell;
 }
 
+/// The --json sink: a flat array of row objects, one per (skew, policy)
+/// sweep row, written as rows complete. The machine-readable counterpart
+/// of the printed skew table (BENCH_sharded_skew.json is one of these).
+class JsonSink {
+ public:
+  explicit JsonSink(const char* path) {
+    if (path == nullptr) return;
+    f_ = std::fopen(path, "w");
+    if (f_ == nullptr) {
+      std::fprintf(stderr, "cannot open %s for writing\n", path);
+      std::exit(2);
+    }
+    std::fprintf(f_, "[\n");
+  }
+  ~JsonSink() {
+    if (f_ == nullptr) return;
+    std::fprintf(f_, "\n]\n");
+    std::fclose(f_);
+  }
+  JsonSink(const JsonSink&) = delete;
+  JsonSink& operator=(const JsonSink&) = delete;
+
+  void meta(const Config& cfg, std::size_t shards) {
+    if (f_ == nullptr) return;
+    sep();
+    std::fprintf(f_,
+                 "  {\"row\": \"meta\", \"bench\": \"bench_sharded\", "
+                 "\"threads\": %zu, \"shards\": %zu, \"initial_keys\": %zu, "
+                 "\"cell_ms\": %d, \"hw_threads\": %zu, \"continuous\": %s}",
+                 cfg.threads, shards, cfg.initial_keys, cfg.duration_ms * 3,
+                 bench::hardware_threads(),
+                 cfg.continuous ? "true" : "false");
+  }
+
+  /// One printed table row, plus the representative cell's rebalancing
+  /// detail (rep = the cell whose final topology the max/ideal column
+  /// reports; migrations/keys_moved are the row's three-mode sums).
+  void row(Skew skew, const char* policy, std::size_t shards,
+           const SkewCell& per_op, const SkewCell& sync_cell,
+           const SkewCell& async_cell, const SkewCell& rep,
+           std::uint64_t migrations, std::uint64_t keys_moved,
+           std::size_t resident) {
+    if (f_ == nullptr) return;
+    sep();
+    std::fprintf(
+        f_,
+        "  {\"row\": \"skew\", \"skew\": \"%s\", \"policy\": \"%s\", "
+        "\"shards\": %zu, \"per_op_ops\": %.0f, \"sync_ops\": %.0f, "
+        "\"async_ops\": %.0f, \"migrations\": %llu, \"keys_moved\": %llu, "
+        "\"resident\": %zu, \"max_ideal\": %.4f, \"splits\": %llu, "
+        "\"assignment_moves\": %llu, \"budget_deferrals\": %llu, "
+        "\"pressure_deferrals\": %llu, \"peak_interval_keys\": %llu, "
+        "\"budget_keys\": %llu}",
+        skew_name(skew), policy, shards, per_op.ops_per_sec,
+        sync_cell.ops_per_sec, async_cell.ops_per_sec,
+        static_cast<unsigned long long>(migrations),
+        static_cast<unsigned long long>(keys_moved), resident,
+        rep.max_load_share, static_cast<unsigned long long>(rep.splits),
+        static_cast<unsigned long long>(rep.assignment_moves),
+        static_cast<unsigned long long>(rep.budget_deferrals),
+        static_cast<unsigned long long>(rep.pressure_deferrals),
+        static_cast<unsigned long long>(rep.peak_interval_keys),
+        static_cast<unsigned long long>(rep.budget_keys));
+  }
+
+ private:
+  void sep() {
+    if (!first_) std::fprintf(f_, ",\n");
+    first_ = false;
+  }
+  std::FILE* f_ = nullptr;
+  bool first_ = true;
+};
+
 struct SkewSummary {
   std::uint64_t adaptive_migrations = 0;
   double adaptive_share = 0.0;  // final max/ideal load share, adaptive row
+  // adaptive-tablet row, representative cell (--continuous only):
+  bool have_tablet = false;
+  std::uint64_t tablet_migrations = 0;
+  double tablet_share = 0.0;
+  std::uint64_t tablet_keys_moved = 0;
+  std::uint64_t tablet_peak_interval = 0;
+  std::uint64_t tablet_budget = 0;
 };
 
-/// Runs the three router policies over one skew; returns the adaptive
-/// row's migration count and final load balance (for --assert-migrated).
-SkewSummary skew_sweep(const Config& cfg) {
+/// Runs the router policies over one skew; returns the adaptive rows'
+/// migration counts and final load balance (for --assert-migrated).
+SkewSummary skew_sweep(const Config& cfg, Skew skew, JsonSink& json) {
   const std::size_t shards = cfg.shards.back();
   const std::int64_t key_space = key_space_of(cfg);
   std::optional<bench::ZipfGen> zipf;
-  if (cfg.skew == Skew::kZipf) {
+  if (skew == Skew::kZipf) {
     zipf.emplace(static_cast<std::uint64_t>(key_space), 0.99);
   }
   const bench::ZipfGen* z = zipf.has_value() ? &*zipf : nullptr;
   std::printf("\n== skew sweep: %s offered load, combining backend, "
               "%zu shards, %zu threads, %d ms/cell ==\n",
-              skew_name(cfg.skew), shards, cfg.threads, cfg.duration_ms * 3);
+              skew_name(skew), shards, cfg.threads, cfg.duration_ms * 3);
   std::printf("%-15s  %13s  %13s  %13s  %10s  %10s  %9s\n", "router",
               "per-op ops/s", "sync-64 ops/s", "async-64 ops/s", "migrations",
               "keys-moved", "max/ideal");
-  std::uint64_t adaptive_migrations = 0;
-  double adaptive_share = 0.0;
-  std::unique_ptr<store::ShardStatsBoard> adaptive_board;
-  for (const RouterPolicy policy :
-       {RouterPolicy::kStaticUniform, RouterPolicy::kStaticFitted,
-        RouterPolicy::kAdaptive}) {
+  SkewSummary sum;
+  std::unique_ptr<store::ShardStatsBoard> detail_board;
+  const char* detail_name = "adaptive";
+  std::vector<RouterPolicy> policies = {RouterPolicy::kStaticUniform,
+                                        RouterPolicy::kStaticFitted,
+                                        RouterPolicy::kAdaptive};
+  // The continuous row goes last so its board (with the rebalance
+  // footer) is the one printed below the table.
+  if (cfg.continuous) policies.push_back(RouterPolicy::kAdaptiveTablet);
+  for (const RouterPolicy policy : policies) {
     const char* name = policy == RouterPolicy::kStaticUniform
                            ? "static-uniform"
-                           : policy == RouterPolicy::kStaticFitted
-                                 ? "static-fitted"
-                                 : "adaptive";
+                       : policy == RouterPolicy::kStaticFitted
+                           ? "static-fitted"
+                       : policy == RouterPolicy::kAdaptive ? "adaptive"
+                                                           : "adaptive-tablet";
+    const auto run_one = [&](Mode mode, store::ShardStatsBoard& b) {
+      return policy == RouterPolicy::kAdaptiveTablet
+                 ? run_skew_cell<CombUc, TabR>(cfg, skew, shards, mode,
+                                               policy, z, b)
+                 : run_skew_cell<CombUc, Router>(cfg, skew, shards, mode,
+                                                 policy, z, b);
+    };
     auto per_op_board = std::make_unique<store::ShardStatsBoard>(shards);
-    const SkewCell per_op = run_skew_cell<CombUc>(cfg, shards, Mode::kPerOp,
-                                                  policy, z, *per_op_board);
+    const SkewCell per_op = run_one(Mode::kPerOp, *per_op_board);
     SkewCell sync_cell;
     auto sync_board = std::make_unique<store::ShardStatsBoard>(shards);
     if (cfg.run_sync) {
-      sync_cell = run_skew_cell<CombUc>(cfg, shards, Mode::kBatchSync, policy,
-                                        z, *sync_board);
+      sync_cell = run_one(Mode::kBatchSync, *sync_board);
     }
     SkewCell async_cell;
     auto async_board = std::make_unique<store::ShardStatsBoard>(shards);
     if (cfg.run_async) {
-      async_cell = run_skew_cell<CombUc>(cfg, shards, Mode::kBatchAsync,
-                                         policy, z, *async_board);
+      async_cell = run_one(Mode::kBatchAsync, *async_board);
     }
     const std::uint64_t migrations =
         per_op.migrations + sync_cell.migrations + async_cell.migrations;
+    const std::uint64_t keys_moved =
+        per_op.keys_moved + sync_cell.keys_moved + async_cell.keys_moved;
     // The final topology's offered-load balance (hottest shard's share
     // vs the ideal 1/S) — the structural quantity rebalancing fixes,
     // and on core-starved hosts, where the scheduler masks most of the
-    // throughput cost of skew, the more telling column.
-    const double share = cfg.run_async    ? async_cell.max_load_share
-                         : cfg.run_sync   ? sync_cell.max_load_share
-                                          : per_op.max_load_share;
+    // throughput cost of skew, the more telling column. The same cell
+    // is the "representative" one for the per-policy detail counters.
+    const SkewCell& rep = cfg.run_async  ? async_cell
+                          : cfg.run_sync ? sync_cell
+                                         : per_op;
     std::printf("%-15s  %13.0f  %13.0f  %13.0f  %10llu  %10llu  %8.2fx\n",
                 name, per_op.ops_per_sec, sync_cell.ops_per_sec,
                 async_cell.ops_per_sec,
                 static_cast<unsigned long long>(migrations),
-                static_cast<unsigned long long>(per_op.keys_moved +
-                                                sync_cell.keys_moved +
-                                                async_cell.keys_moved),
-                share);
+                static_cast<unsigned long long>(keys_moved),
+                rep.max_load_share);
+    json.row(skew, name, shards, per_op, sync_cell, async_cell, rep,
+             migrations, keys_moved, cfg.initial_keys);
     if (policy == RouterPolicy::kAdaptive) {
-      adaptive_migrations = migrations;
-      adaptive_share = share;
-      adaptive_board = cfg.run_async  ? std::move(async_board)
-                       : cfg.run_sync ? std::move(sync_board)
-                                      : std::move(per_op_board);
+      sum.adaptive_migrations = migrations;
+      sum.adaptive_share = rep.max_load_share;
+    }
+    if (policy == RouterPolicy::kAdaptiveTablet) {
+      // Assertable quantities come from the representative cell alone:
+      // each cell is one fresh store, so "keys moved vs resident" and
+      // "peak interval vs budget" are per-cell statements.
+      sum.have_tablet = true;
+      sum.tablet_migrations = rep.migrations;
+      sum.tablet_share = rep.max_load_share;
+      sum.tablet_keys_moved = rep.keys_moved;
+      sum.tablet_peak_interval = rep.peak_interval_keys;
+      sum.tablet_budget = rep.budget_keys;
+    }
+    if (policy == RouterPolicy::kAdaptive ||
+        policy == RouterPolicy::kAdaptiveTablet) {
+      detail_name = name;
+      detail_board = cfg.run_async  ? std::move(async_board)
+                     : cfg.run_sync ? std::move(sync_board)
+                                    : std::move(per_op_board);
     }
   }
-  if (adaptive_board != nullptr) {
-    std::printf("\nper-shard stats, adaptive %s cell (installs rebalanced "
+  if (detail_board != nullptr) {
+    std::printf("\nper-shard stats, %s %s cell (installs rebalanced "
                 "across shards; mig-in/mig-out = migrated keys):\n",
+                detail_name,
                 cfg.run_async  ? "async batch-ingest"
                 : cfg.run_sync ? "sync batch-ingest"
                                : "per-op");
-    adaptive_board->print(stdout);
+    detail_board->print(stdout);
   }
-  return SkewSummary{adaptive_migrations, adaptive_share};
+  return sum;
 }
 
 }  // namespace
@@ -642,43 +816,95 @@ int main(int argc, char** argv) {
       const char* m = argv[++i];
       cfg.skew_only = true;
       if (std::strcmp(m, "zipf") == 0) {
-        cfg.skew = Skew::kZipf;
+        cfg.skews.push_back(Skew::kZipf);
       } else if (std::strcmp(m, "hot") == 0) {
-        cfg.skew = Skew::kHot;
+        cfg.skews.push_back(Skew::kHot);
       } else if (std::strcmp(m, "moving") == 0) {
-        cfg.skew = Skew::kMoving;
+        cfg.skews.push_back(Skew::kMoving);
       } else {
-        std::fprintf(stderr, "--skew takes zipf|hot|moving\n");
+        std::fprintf(stderr, "--skew takes zipf|hot|moving (repeatable)\n");
         return 2;
       }
+    } else if (std::strcmp(argv[i], "--continuous") == 0) {
+      cfg.continuous = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      cfg.json_path = argv[++i];
     } else if (std::strcmp(argv[i], "--assert-migrated") == 0) {
       cfg.assert_migrated = true;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--quick] [--threads N] [--duration-ms N]"
                    " [--initial N] [--ingest sync|async|both]"
-                   " [--skew zipf|hot|moving] [--assert-migrated]\n",
+                   " [--skew zipf|hot|moving]... [--continuous]"
+                   " [--json PATH] [--assert-migrated]\n",
                    argv[0]);
       return 2;
     }
   }
+  if (cfg.skews.empty()) cfg.skews.push_back(Skew::kZipf);
 
-  if (cfg.skew_only) {
-    // Skew-sweep-only mode (the CI rebalancing smoke): the three router
-    // policies over the requested distribution, nothing else.
-    const SkewSummary sum = skew_sweep(cfg);
-    if (cfg.assert_migrated && sum.adaptive_migrations == 0) {
+  // Gate one skew's summary against the --assert-migrated contract.
+  // The whole-topology adaptive row must have migrated and landed on a
+  // usably balanced topology (generous bound: the refit is coarse).
+  // The continuous adaptive-tablet row carries the strict acceptance:
+  // balance actually reached (max/ideal <= 1.3), bought with at most a
+  // quarter of the resident keys, and never more than one throttle
+  // budget of keys inside one interval.
+  const auto check_summary = [&cfg](const SkewSummary& sum) -> int {
+    if (sum.adaptive_migrations == 0) {
       std::fprintf(stderr,
                    "FAIL: adaptive cells completed without a migration\n");
       return 1;
     }
-    if (cfg.assert_migrated &&
-        sum.adaptive_share * 2.0 > static_cast<double>(cfg.shards.back())) {
+    if (sum.adaptive_share * 2.0 > static_cast<double>(cfg.shards.back())) {
       std::fprintf(stderr,
                    "FAIL: adaptive topology left the load unbalanced "
                    "(max/ideal %.2f over %zu shards)\n",
                    sum.adaptive_share, cfg.shards.back());
       return 1;
+    }
+    if (!sum.have_tablet) return 0;
+    if (sum.tablet_migrations == 0) {
+      std::fprintf(stderr,
+                   "FAIL: continuous cells completed without a flip\n");
+      return 1;
+    }
+    if (sum.tablet_share > 1.3) {
+      std::fprintf(stderr,
+                   "FAIL: continuous rebalancing left the load unbalanced "
+                   "(max/ideal %.2f, want <= 1.3)\n",
+                   sum.tablet_share);
+      return 1;
+    }
+    if (sum.tablet_keys_moved * 4 > cfg.initial_keys) {
+      std::fprintf(stderr,
+                   "FAIL: continuous rebalancing migrated %llu keys "
+                   "(> 25%% of %zu resident)\n",
+                   static_cast<unsigned long long>(sum.tablet_keys_moved),
+                   cfg.initial_keys);
+      return 1;
+    }
+    if (sum.tablet_peak_interval > sum.tablet_budget) {
+      std::fprintf(stderr,
+                   "FAIL: throttle admitted %llu keys in one interval "
+                   "(budget %llu)\n",
+                   static_cast<unsigned long long>(sum.tablet_peak_interval),
+                   static_cast<unsigned long long>(sum.tablet_budget));
+      return 1;
+    }
+    return 0;
+  };
+
+  if (cfg.skew_only) {
+    // Skew-sweep-only mode (the CI rebalancing smoke): the router
+    // policies over the requested distribution(s), nothing else.
+    JsonSink json(cfg.json_path);
+    json.meta(cfg, cfg.shards.back());
+    for (const Skew skew : cfg.skews) {
+      const SkewSummary sum = skew_sweep(cfg, skew, json);
+      if (cfg.assert_migrated) {
+        if (const int rc = check_summary(sum); rc != 0) return rc;
+      }
     }
     return 0;
   }
@@ -715,11 +941,13 @@ int main(int argc, char** argv) {
 
   sweep_structures(cfg, cfg.shards.back());
 
-  const SkewSummary sum = skew_sweep(cfg);
-  if (cfg.assert_migrated && sum.adaptive_migrations == 0) {
-    std::fprintf(stderr,
-                 "FAIL: adaptive cells completed without a migration\n");
-    return 1;
+  JsonSink json(cfg.json_path);
+  json.meta(cfg, cfg.shards.back());
+  for (const Skew skew : cfg.skews) {
+    const SkewSummary sum = skew_sweep(cfg, skew, json);
+    if (cfg.assert_migrated) {
+      if (const int rc = check_summary(sum); rc != 0) return rc;
+    }
   }
   return 0;
 }

@@ -46,6 +46,12 @@ SMOKE_TAG=async smoke bench_sharded --quick --ingest async
 # within 2x), with the per-shard install counts printed as evidence.
 SMOKE_TAG=skew smoke bench_sharded --quick --skew zipf --assert-migrated
 
+# Smoke: continuous tablet rebalancing — the adaptive-tablet row runs
+# Rebalancer::tick() against live traffic; the asserts additionally gate
+# "balance reached (max/ideal <= 1.3x) while moving <= 25% of resident
+# keys, never exceeding the per-interval migration budget".
+SMOKE_TAG=continuous smoke bench_sharded --quick --skew zipf --continuous --assert-migrated
+
 # Smoke: the structure ablation (E8 + E8b batch matrix) covers every
 # persistent structure's per-op and sorted-batch install paths.
 smoke bench_ablation_structure --quick

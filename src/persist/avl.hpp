@@ -131,9 +131,24 @@ class AvlTree {
     return nullptr;
   }
 
+  /// Keys in the half-open interval [lo, hi).
+  std::size_t count_range(const K& lo, const K& hi) const {
+    const std::size_t a = rank(lo);
+    const std::size_t b = rank(hi);
+    return b > a ? b - a : 0;
+  }
+
   template <class F>
   void for_each(F&& f) const {
     for_each_rec(root_, f);
+  }
+
+  /// In-order visit restricted to [lo, hi): subtrees wholly outside the
+  /// interval are pruned at their root, so the visit costs O(hits + log n)
+  /// — what makes tablet extraction proportional to the moved slice.
+  template <class F>
+  void for_each_range(const K& lo, const K& hi, F&& f) const {
+    for_each_range_rec(root_, lo, hi, f);
   }
 
   std::vector<std::pair<K, V>> items() const {
@@ -436,6 +451,24 @@ class AvlTree {
     for_each_rec(n->left, f);
     f(n->key, n->value);
     for_each_rec(n->right, f);
+  }
+
+  template <class F>
+  static void for_each_range_rec(const Node* n, const K& lo, const K& hi,
+                                 F& f) {
+    if (n == nullptr) return;
+    Cmp cmp;
+    if (cmp(n->key, lo)) {  // entire left subtree < lo as well
+      for_each_range_rec(n->right, lo, hi, f);
+      return;
+    }
+    if (!cmp(n->key, hi)) {  // n->key >= hi
+      for_each_range_rec(n->left, lo, hi, f);
+      return;
+    }
+    for_each_range_rec(n->left, lo, hi, f);
+    f(n->key, n->value);
+    for_each_range_rec(n->right, lo, hi, f);
   }
 
   struct CheckResult {

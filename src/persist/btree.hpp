@@ -256,6 +256,15 @@ class BTree {
     for_each_rec(root_, f);
   }
 
+  /// In-order visit restricted to [lo, hi): children wholly outside the
+  /// interval are pruned at their separator, so the visit costs
+  /// O(hits + fanout · depth) — what makes tablet extraction proportional
+  /// to the moved slice.
+  template <class F>
+  void for_each_range(const K& lo, const K& hi, F&& f) const {
+    for_each_range_rec(root_, lo, hi, f);
+  }
+
   std::vector<std::pair<K, V>> items() const {
     std::vector<std::pair<K, V>> out;
     out.reserve(size());
@@ -1190,6 +1199,31 @@ class BTree {
     }
     const auto* in = static_cast<const InternalNode*>(n);
     for (unsigned i = 0; i <= in->count; ++i) for_each_rec(in->child[i], f);
+  }
+
+  // Child i serves [keys[i-1], keys[i]) (descent sends a key equal to a
+  // separator rightward), so a child is skippable exactly when its upper
+  // separator is <= lo or its lower separator is >= hi.
+  template <class F>
+  static void for_each_range_rec(const Node* n, const K& lo, const K& hi,
+                                 F& f) {
+    if (n == nullptr) return;
+    Cmp cmp;
+    if (n->is_leaf) {
+      const auto* leaf = static_cast<const LeafNode*>(n);
+      for (unsigned i = 0; i < leaf->count; ++i) {
+        if (cmp(leaf->keys[i], lo)) continue;
+        if (!cmp(leaf->keys[i], hi)) return;
+        f(leaf->keys[i], leaf->values[i]);
+      }
+      return;
+    }
+    const auto* in = static_cast<const InternalNode*>(n);
+    for (unsigned i = 0; i <= in->count; ++i) {
+      if (i > 0 && !cmp(in->keys[i - 1], hi)) return;       // child >= hi
+      if (i < in->count && !cmp(lo, in->keys[i])) continue;  // child <= lo
+      for_each_range_rec(in->child[i], lo, hi, f);
+    }
   }
 
   struct CheckResult {

@@ -216,6 +216,17 @@ class ShardExecutor {
     for (std::thread& w : workers_) w.join();
   }
 
+  /// Instantaneous submission-queue depth of one shard's lane — a
+  /// control-plane pressure probe (the continuous rebalancer backs off
+  /// when client sub-batches are stacking up). Takes the lane lock; not
+  /// for hot paths.
+  std::size_t queue_depth(std::size_t s) const {
+    PC_ASSERT(s < lanes_.size(), "queue_depth of an unknown shard");
+    Lane& lane = *lanes_[s];
+    const std::lock_guard<std::mutex> lock(lane.mu);
+    return lane.q.size();
+  }
+
   /// A shard worker's counters (install stats + queue depth / latency).
   /// Meaningful once stop() returned; workers publish on exit.
   const core::OpStats& shard_stats(std::size_t s) const {

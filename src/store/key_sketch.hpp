@@ -78,6 +78,24 @@ class KeySketch {
     offered_ = 0;
   }
 
+  /// Ages the stream instead of forgetting it: keeps each reservoir
+  /// entry with probability num/den and scales the offered count by the
+  /// same factor. The continuous rebalancer calls this after a
+  /// single-tablet flip — the offered distribution is a property of the
+  /// workload, not of the topology, so most of the sample is still
+  /// valid; full reset() would force a cold re-fill before every small
+  /// move, while decay keeps half the evidence and still lets a moving
+  /// hotspot wash out of the reservoir within a few flips.
+  void decay(std::uint64_t num, std::uint64_t den) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < sample_.size(); ++i) {
+      if (rng_.below(den) < num) sample_[kept++] = sample_[i];
+    }
+    sample_.resize(kept);
+    offered_ = offered_ * num / den;
+  }
+
  private:
   const std::size_t capacity_;
   mutable std::mutex mu_;

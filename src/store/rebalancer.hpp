@@ -1,5 +1,7 @@
-// Rebalancer: distribution-fitted split-point planning + live
-// path-copying shard migration for a ShardedMap over a RangeRouter.
+// Rebalancer: distribution-fitted planning + live path-copying shard
+// migration for a ShardedMap — over a RangeRouter (whole-topology
+// quantile fits, PR 5) or a TabletRouter (tablet-delta plans and
+// budget-throttled continuous moves, PR 6).
 //
 // A range-partitioned store is only as fast as its hottest shard: under
 // a Zipfian or hot-range keyspace the static uniform() split sends most
@@ -9,31 +11,38 @@
 //
 //   plan     — read the map's KeySketch (a reservoir sample of offered
 //              keys), measure the load imbalance under the current
-//              epoch's bounds, and — past the threshold — fit new split
-//              points at the sample's quantiles
-//              (RangeRouter::from_samples), so each shard sees ~equal
-//              offered load;
+//              epoch's topology, and — past the threshold — fit a new
+//              one. RangeRouter: new split points at the sample's
+//              quantiles. TabletRouter: split hot tablets at quantile
+//              cuts (a boundary-only change: zero keys move), then
+//              greedily *reassign* whole tablets from hot to cold
+//              shards — cold tablets keep their owner, so only the hot
+//              head's resident keys pay migration.
+//   tick     — the continuous mode (tablet tables only): one small step
+//              per call — split the hottest tablet, or move exactly one
+//              tablet to the coldest shard — admission-controlled by a
+//              MigrationThrottle (keys-moved-per-interval budget) and
+//              deferred outright while client ops are parking or lanes
+//              are deep. Steady-state traffic never stalls behind a
+//              whole-store re-fit; balance is reached as a stream of
+//              cheap single-tablet flips.
 //   migrate  — execute the epoch protocol from router_epoch.hpp:
 //              publish + drain (begin_epoch), then extract every key
 //              whose owner changed from a pinned source snapshot — the
 //              paper's trick doing systems work: a path-copied root IS a
 //              free consistent image of the shard, so the extraction
 //              runs on an immutable snapshot while non-moving writers
-//              proceed — bulk-install the moving ranges into their new
+//              proceed — bulk-install the moving segments into their new
 //              owners and erase them from the sources (each a plain
-//              execute_batch through the shard's own install path: the
-//              sorted sweep batches it, the shard's CAS/combining
-//              machinery serializes it against concurrent writers, and
-//              an attached ShardExecutor runs it as ordinary lane tasks,
-//              FIFO with every other sub-batch bound for that shard),
-//              and finally settle the epoch, releasing gated ops.
+//              batch through the shard's own install path), and finally
+//              settle the epoch, releasing gated ops.
 //
 // Safety recap (the full argument lives in router_epoch.hpp): after the
 // drain no operation routed by the old topology is in flight, ops on
-// moving keys gate until settle, so the extracted snapshot is the
-// complete and final content of every moving range — nothing is lost,
-// nothing is applied twice, and every per-op outcome is computed against
-// a shard that holds exactly the data it owns.
+// moving keys gate until their destination is ready, so the extracted
+// snapshot is the complete and final content of every moving segment —
+// nothing is lost, nothing is applied twice, and every per-op outcome is
+// computed against a shard that holds exactly the data it owns.
 //
 // Threading: one Rebalancer per map, driven from one control thread
 // (re-entry is serialized by an internal mutex, but plan quality assumes
@@ -42,9 +51,11 @@
 #pragma once
 
 #include <algorithm>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -53,10 +64,20 @@
 #include <vector>
 
 #include "store/executor.hpp"
+#include "store/shard_stats.hpp"
 #include "store/sharded_map.hpp"
+#include "store/tablet_router.hpp"
 #include "util/assert.hpp"
 
 namespace pathcopy::store {
+
+/// A router exposing a tablet table (TabletRouter's surface): planning
+/// switches from whole-topology quantile fits to tablet deltas.
+template <class R>
+concept TabletTable = requires(const R r) {
+  { r.tablet_count() } -> std::convertible_to<std::size_t>;
+  { r.owners() } -> std::convertible_to<std::vector<std::size_t>>;
+};
 
 struct RebalanceConfig {
   /// Don't plan off fewer sampled keys than this (quantiles of a tiny
@@ -65,13 +86,103 @@ struct RebalanceConfig {
   /// Rebalance when the hottest shard's sampled-load share exceeds this
   /// multiple of the ideal (1/S) share.
   double imbalance_threshold = 1.3;
+
+  // ----- tablet planning (TabletTable routers only) -----
+
+  /// Cap on table growth: at most this many tablets per shard on
+  /// average before splits stop and a coalesce pass is tried instead.
+  std::size_t max_tablets_per_shard = 16;
+  /// Don't carve a tablet represented by fewer sampled keys than this
+  /// (the cut position would be noise).
+  std::size_t min_split_samples = 32;
+  /// tick() moves a whole tablet when its load fits the coldest shard's
+  /// deficit within this factor; hotter tablets are split first so the
+  /// eventual move is right-sized.
+  double move_fit = 1.25;
+
+  // ----- continuous-mode migration throttle -----
+
+  /// At most this many resident keys may start moving per interval.
+  std::uint64_t budget_keys = 32 * 1024;
+  std::chrono::milliseconds budget_interval{50};
+  /// tick() defers while any executor lane is deeper than this (client
+  /// sub-batches are stacking up; a migration would stall them more).
+  std::size_t max_lane_depth = 8;
 };
 
 struct RebalanceStats {
-  std::uint64_t plans = 0;        // plan() calls that had enough samples
-  std::uint64_t migrations = 0;   // executed topology flips
+  std::uint64_t plans = 0;        // plan()/tick() calls that had enough samples
+  std::uint64_t migrations = 0;   // executed topology flips (all kinds)
+  std::uint64_t splits = 0;       // boundary-only flips (zero keys moved)
+  std::uint64_t assignment_moves = 0;  // single-tablet continuous moves
   std::uint64_t keys_moved = 0;   // keys extracted + re-installed
+  std::uint64_t budget_deferrals = 0;    // tick()s the throttle held back
+  std::uint64_t pressure_deferrals = 0;  // tick()s client pressure held back
+  std::uint64_t peak_interval_keys = 0;  // most keys moved in one interval
   double last_imbalance = 0.0;    // hottest-shard share multiple at last plan
+};
+
+/// Keys-moved-per-interval admission meter for continuous migration.
+/// The bucket holds `budget_keys` tokens and refills *discretely* at
+/// interval boundaries, so the keys charged inside one interval never
+/// exceed what one full bucket grants — the per-interval bound the CI
+/// smoke asserts. One exception keeps progress possible: a full bucket
+/// admits even an over-budget move (a tablet bigger than the whole
+/// budget could otherwise never migrate); the window peak then reports
+/// the overshoot honestly instead of hiding it.
+class MigrationThrottle {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  MigrationThrottle(std::uint64_t budget_keys,
+                    std::chrono::milliseconds interval)
+      : budget_(budget_keys),
+        interval_(interval),
+        tokens_(budget_keys),
+        boundary_(Clock::now()) {}
+
+  /// May a move of ~`estimated_keys` start now?
+  bool admit(std::uint64_t estimated_keys) {
+    roll();
+    return tokens_ >= estimated_keys || tokens_ == budget_;
+  }
+
+  /// Accounts a move that ran: drains tokens and tracks the window sum.
+  void charge(std::uint64_t actual_keys) {
+    roll();
+    tokens_ -= std::min(tokens_, actual_keys);
+    window_keys_ += actual_keys;
+    peak_ = std::max(peak_, window_keys_);
+  }
+
+  std::uint64_t peak_interval_keys() const noexcept { return peak_; }
+  std::uint64_t budget_keys() const noexcept { return budget_; }
+
+ private:
+  void roll() {
+    const Clock::time_point now = Clock::now();
+    if (now - boundary_ >= interval_) {
+      tokens_ = budget_;
+      window_keys_ = 0;
+      boundary_ = now;
+    }
+  }
+
+  const std::uint64_t budget_;
+  const std::chrono::milliseconds interval_;
+  std::uint64_t tokens_;
+  std::uint64_t window_keys_ = 0;
+  std::uint64_t peak_ = 0;
+  Clock::time_point boundary_;
+};
+
+/// What one continuous-rebalancing step did.
+enum class TickResult {
+  kIdle,              // balanced, or not enough samples
+  kSplit,             // boundary-only flip (split or coalesce), zero keys
+  kMove,              // one tablet migrated to the coldest shard
+  kDeferredBudget,    // a move was due but the throttle held it
+  kDeferredPressure,  // client ops parking / lanes deep; try later
 };
 
 template <class Map>
@@ -80,6 +191,7 @@ class Rebalancer {
   using Uc = typename Map::Backend;
   using Key = typename Map::Key;
   using Value = typename Map::Value;
+  using Structure = typename Map::Structure;
   using Ctx = typename Map::Ctx;
   using Alloc = typename Map::Alloc;
   using RouterT = typename Map::Router;
@@ -88,7 +200,9 @@ class Rebalancer {
   using OpKind = typename Map::OpKind;
 
   Rebalancer(Map& map, Alloc& alloc, RebalanceConfig cfg = {})
-      : map_(&map), cfg_(cfg) {
+      : map_(&map),
+        cfg_(cfg),
+        throttle_(cfg.budget_keys, cfg.budget_interval) {
     ctxs_.reserve(map.shard_count());
     for (std::size_t s = 0; s < map.shard_count(); ++s) {
       ctxs_.emplace_back(map.shard(s).reclaimer(), alloc);
@@ -96,6 +210,7 @@ class Rebalancer {
     // Sampling is opt-in by attachment: sessions start feeding the
     // sketch on their next op, and maps without a Rebalancer never pay.
     map.set_sketch_enabled(true);
+    last_parked_ = map.parked_waits();
   }
 
   ~Rebalancer() {
@@ -107,10 +222,220 @@ class Rebalancer {
   Rebalancer(const Rebalancer&) = delete;
   Rebalancer& operator=(const Rebalancer&) = delete;
 
-  /// Fits new split points to the sketch when the sampled load is
+  /// Fits a new topology to the sketch when the sampled load is
   /// imbalanced past the threshold. nullopt: not enough samples, load
-  /// already balanced, or the fit reproduces the current bounds.
+  /// already balanced, or the fit reproduces the current topology.
   std::optional<RouterT> plan() {
+    if constexpr (TabletTable<RouterT>) {
+      return plan_tablets();
+    } else {
+      return plan_range();
+    }
+  }
+
+  /// Executes one live migration to `next` (publish → drain → extract →
+  /// install → erase → settle). Blocks until the flip is settled.
+  void migrate_to(RouterT next) {
+    flip_to(std::move(next));
+    // Forget the pre-flip traffic: the next plan should be fitted to
+    // what the store sees under the new topology.
+    map_->sketch().reset();
+  }
+
+  /// plan() + migrate_to() in one step; true when a migration ran.
+  bool maybe_rebalance() {
+    std::optional<RouterT> next = plan();
+    if (!next.has_value()) return false;
+    migrate_to(std::move(*next));
+    return true;
+  }
+
+  /// One continuous-rebalancing step (tablet tables only): defer under
+  /// client pressure, else split the hottest tablet down to the coldest
+  /// shard's deficit (zero keys), else move exactly one tablet there —
+  /// if the throttle's key budget admits it. Call periodically from a
+  /// control thread; each call does at most one cheap flip.
+  TickResult tick()
+    requires TabletTable<RouterT>
+  {
+    if (under_pressure()) {
+      ++stats_.pressure_deferrals;
+      return TickResult::kDeferredPressure;
+    }
+    const std::vector<Key> samples = map_->sketch().sorted_sample();
+    if (samples.size() < cfg_.min_samples) return TickResult::kIdle;
+    const Epoch* e = map_->current_epoch();
+    const std::size_t shards = map_->shard_count();
+    const RouterT& cur = e->router;
+    const std::vector<std::size_t> loads =
+        tablet_loads(cur, std::span<const Key>(samples));
+    std::vector<std::size_t> shard_load(shards, 0);
+    for (std::size_t t = 0; t < loads.size(); ++t) {
+      shard_load[cur.owner(t)] += loads[t];
+    }
+    ++stats_.plans;
+    std::size_t h = 0, c = 0;
+    for (std::size_t s = 1; s < shards; ++s) {
+      if (shard_load[s] > shard_load[h]) h = s;
+      if (shard_load[s] < shard_load[c]) c = s;
+    }
+    const double ideal =
+        static_cast<double>(samples.size()) / static_cast<double>(shards);
+    stats_.last_imbalance = static_cast<double>(shard_load[h]) / ideal;
+    if (stats_.last_imbalance < cfg_.imbalance_threshold) {
+      // Steady state: age the reservoir so the next plan is fitted to
+      // the *current* workload. A full reservoir over a long run
+      // freezes — the replacement probability decays with the offered
+      // count — and a frozen sketch would blend every past hotspot into
+      // a phantom balanced load while the live one goes unserved.
+      map_->sketch().decay(1, 2);
+      return TickResult::kIdle;
+    }
+    // Hottest tablet on the hottest shard.
+    std::size_t t_hot = loads.size();
+    for (std::size_t t = 0; t < loads.size(); ++t) {
+      if (cur.owner(t) != h) continue;
+      if (t_hot == loads.size() || loads[t] > loads[t_hot]) t_hot = t;
+    }
+    if (t_hot == loads.size() || loads[t_hot] == 0) return TickResult::kIdle;
+    // Right-size before moving: a tablet much hotter than the coldest
+    // shard's deficit would just relocate the hotspot, so carve a
+    // deficit-sized piece first (boundary-only, zero keys migrated).
+    const std::size_t want = static_cast<std::size_t>(
+        std::max(1.0, ideal - static_cast<double>(shard_load[c])));
+    const std::size_t max_tablets = cfg_.max_tablets_per_shard * shards;
+    if (static_cast<double>(loads[t_hot]) >
+        static_cast<double>(want) * cfg_.move_fit) {
+      if (cur.tablet_count() + 2 > max_tablets) {
+        const RouterT merged = cur.coalesced();
+        if (merged.tablet_count() < cur.tablet_count()) {
+          flip_to(merged);
+          ++stats_.splits;
+          after_flip();
+          return TickResult::kSplit;
+        }
+      } else {
+        const std::vector<Key> cuts =
+            carve_cuts(cur, t_hot, std::span<const Key>(samples), want);
+        if (!cuts.empty()) {
+          flip_to(cur.with_split(t_hot, std::span<const Key>(cuts)));
+          ++stats_.splits;
+          after_flip();
+          return TickResult::kSplit;
+        }
+      }
+    }
+    // Whole-tablet move — only if it strictly improves the hot/cold pair
+    // (an unsplittable heavy tablet that fits nowhere stays put).
+    if (shard_load[c] + loads[t_hot] >= shard_load[h]) {
+      return TickResult::kIdle;
+    }
+    const std::uint64_t est = estimate_resident(cur, t_hot);
+    if (!throttle_.admit(est)) {
+      ++stats_.budget_deferrals;
+      return TickResult::kDeferredBudget;
+    }
+    const std::uint64_t before = stats_.keys_moved;
+    flip_to(cur.with_owner(t_hot, c));
+    throttle_.charge(stats_.keys_moved - before);
+    stats_.peak_interval_keys = throttle_.peak_interval_keys();
+    ++stats_.assignment_moves;
+    after_flip();
+    return TickResult::kMove;
+  }
+
+  const RebalanceStats& stats() const noexcept { return stats_; }
+  const MigrationThrottle& throttle() const noexcept { return throttle_; }
+
+  /// Board-ready roll-up of this rebalancer's run (see shard_stats.hpp).
+  RebalanceSummary summary() const {
+    RebalanceSummary s;
+    s.migrations = stats_.migrations;
+    s.splits = stats_.splits;
+    s.assignment_moves = stats_.assignment_moves;
+    s.keys_moved = stats_.keys_moved;
+    s.budget_deferrals = stats_.budget_deferrals;
+    s.pressure_deferrals = stats_.pressure_deferrals;
+    s.peak_interval_keys = throttle_.peak_interval_keys();
+    s.budget_keys = throttle_.budget_keys();
+    if constexpr (TabletTable<RouterT>) {
+      s.tablets_per_shard =
+          map_->router().tablets_per_shard(map_->shard_count());
+    }
+    return s;
+  }
+
+  /// Folds the per-shard migration counters into a stats accumulator
+  /// (anything with add(shard, OpStats), e.g. ShardStatsBoard).
+  template <class Board>
+  void fold_into(Board& board) const {
+    for (std::size_t s = 0; s < ctxs_.size(); ++s) {
+      board.add(s, ctxs_[s].stats);
+    }
+  }
+
+ private:
+  /// Does the backing structure support pruned half-open traversal? With
+  /// it a tablet segment is extracted in O(moved + log n); without it
+  /// migration falls back to the filtering full scan.
+  static constexpr bool kRangedExtract =
+      requires(const Structure s, const Key& k,
+               void (*f)(const Key&, const Value&)) {
+        s.for_each_range(k, k, f);
+      };
+
+  /// The flip engine shared by migrate_to and tick: publish + drain,
+  /// run the router-appropriate migration, settle. Does NOT touch the
+  /// sketch — migrate_to resets it (whole-topology re-fit), tick decays
+  /// it (a single-tablet move invalidates little of the evidence).
+  void flip_to(RouterT next) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    Epoch* e = map_->begin_epoch(std::move(next));
+    std::uint64_t moved = 0;
+    if constexpr (TabletTable<RouterT>) {
+      if constexpr (kRangedExtract && std::integral<Key>) {
+        migrate_tablets(e, moved);
+      } else {
+        migrate_generic(e, moved);
+      }
+    } else if constexpr (RouterT::kOrderPreserving) {
+      migrate_ranges(e, moved);
+    } else {
+      migrate_generic(e, moved);
+    }
+    map_->settle_epoch(e);
+    stats_.migrations += 1;
+    stats_.keys_moved += moved;
+  }
+
+  /// Post-flip bookkeeping for tick(): age the sketch (the offered
+  /// distribution is a property of the workload, not the topology — keep
+  /// half the evidence instead of cold-restarting before every small
+  /// move) and re-baseline the parked-wait counter so the parks our own
+  /// flip caused don't read as client pressure next tick.
+  void after_flip() {
+    map_->sketch().decay(1, 2);
+    last_parked_ = map_->parked_waits();
+  }
+
+  /// Client backpressure probe: ops parked on a gate since the last
+  /// look, or any executor lane deeper than the configured cap.
+  bool under_pressure() {
+    const std::uint64_t parked = map_->parked_waits();
+    const bool rising = parked != last_parked_;
+    last_parked_ = parked;
+    if (rising) return true;
+    if (ShardExecutor<Uc>* exec = map_->executor(); exec != nullptr) {
+      for (std::size_t s = 0; s < map_->shard_count(); ++s) {
+        if (exec->queue_depth(s) > cfg_.max_lane_depth) return true;
+      }
+    }
+    return false;
+  }
+
+  // ----- planning: RangeRouter (whole-topology quantile fit) -----
+
+  std::optional<RouterT> plan_range() {
     std::vector<Key> samples = map_->sketch().sorted_sample();
     if (samples.size() < cfg_.min_samples) return std::nullopt;
     ++stats_.plans;
@@ -130,45 +455,270 @@ class Rebalancer {
     return fitted;
   }
 
-  /// Executes one live migration to `next` (publish → drain → extract →
-  /// install → erase → settle). Blocks until the flip is settled.
-  void migrate_to(RouterT next) {
-    const std::lock_guard<std::mutex> lock(mu_);
-    Epoch* e = map_->begin_epoch(std::move(next));
-    std::uint64_t moved = 0;
-    if constexpr (RouterT::kOrderPreserving) {
-      migrate_ranges(e, moved);
-    } else {
-      migrate_generic(e, moved);
+  // ----- planning: TabletRouter (split hot head + sticky assignment) --
+
+  /// Whole-plan tablet fit: refine tablets that alone exceed twice the
+  /// per-piece cap, then greedily reassign whole tablets hot → cold.
+  /// Cold tablets keep their owner, so the resulting flip migrates only
+  /// the tablets whose assignment actually changed — under a hot-head
+  /// skew that is the hot head's resident mass, not the whole store.
+  std::optional<RouterT> plan_tablets() {
+    std::vector<Key> samples = map_->sketch().sorted_sample();
+    if (samples.size() < cfg_.min_samples) return std::nullopt;
+    ++stats_.plans;
+    const Epoch* e = map_->current_epoch();
+    const std::size_t shards = map_->shard_count();
+    RouterT cur = e->router;
+    {
+      const std::vector<std::size_t> loads =
+          tablet_loads(cur, std::span<const Key>(samples));
+      std::vector<std::size_t> shard_load(shards, 0);
+      for (std::size_t t = 0; t < loads.size(); ++t) {
+        shard_load[cur.owner(t)] += loads[t];
+      }
+      std::size_t max_load = 0;
+      for (const std::size_t l : shard_load) max_load = std::max(max_load, l);
+      const double ideal =
+          static_cast<double>(samples.size()) / static_cast<double>(shards);
+      stats_.last_imbalance = static_cast<double>(max_load) / ideal;
+      if (stats_.last_imbalance < cfg_.imbalance_threshold) {
+        return std::nullopt;
+      }
     }
-    map_->settle_epoch(e);
-    stats_.migrations += 1;
-    stats_.keys_moved += moved;
-    // Forget the pre-flip traffic: the next plan should be fitted to
-    // what the store sees under the new topology.
-    map_->sketch().reset();
+    // Refinement pass: no tablet should alone carry more than twice the
+    // piece cap (~half a shard's ideal share). Freshly cut pieces are
+    // already near the cap, so the loop skips over them.
+    const std::size_t piece_cap = std::max<std::size_t>(
+        cfg_.min_split_samples, samples.size() / (2 * shards));
+    const std::size_t max_tablets = cfg_.max_tablets_per_shard * shards;
+    for (std::size_t t = 0; t < cur.tablet_count(); ++t) {
+      if (cur.tablet_count() >= max_tablets) break;
+      const auto [first, last] =
+          tablet_slice(cur, t, std::span<const Key>(samples));
+      if (last - first <= 2 * piece_cap) continue;
+      const std::vector<Key> cuts = quantile_cuts(
+          cur, t, std::span<const Key>(samples), piece_cap, max_tablets);
+      if (cuts.empty()) continue;
+      cur = cur.with_split(t, std::span<const Key>(cuts));
+      t += cuts.size();
+    }
+    // Sticky assignment: start from the current owners and move the
+    // biggest improving tablet off the hottest shard until balanced.
+    const std::vector<std::size_t> loads =
+        tablet_loads(cur, std::span<const Key>(samples));
+    std::vector<std::size_t> owners = cur.owners();
+    std::vector<std::size_t> shard_load(shards, 0);
+    for (std::size_t t = 0; t < loads.size(); ++t) {
+      shard_load[owners[t]] += loads[t];
+    }
+    const double ideal =
+        static_cast<double>(samples.size()) / static_cast<double>(shards);
+    for (std::size_t guard = 0; guard < owners.size() * shards; ++guard) {
+      std::size_t h = 0, c = 0;
+      for (std::size_t s = 1; s < shards; ++s) {
+        if (shard_load[s] > shard_load[h]) h = s;
+        if (shard_load[s] < shard_load[c]) c = s;
+      }
+      if (static_cast<double>(shard_load[h]) <
+          ideal * cfg_.imbalance_threshold) {
+        break;
+      }
+      std::size_t best = owners.size();
+      for (std::size_t t = 0; t < owners.size(); ++t) {
+        if (owners[t] != h || loads[t] == 0) continue;
+        if (shard_load[c] + loads[t] >= shard_load[h]) continue;
+        if (best == owners.size() || loads[t] > loads[best]) best = t;
+      }
+      if (best == owners.size()) break;
+      owners[best] = c;
+      shard_load[h] -= loads[best];
+      shard_load[c] += loads[best];
+    }
+    RouterT next(cur.bounds(), std::move(owners));
+    if (next == e->router) return std::nullopt;
+    return next;
   }
 
-  /// plan() + migrate_to() in one step; true when a migration ran.
-  bool maybe_rebalance() {
-    std::optional<RouterT> next = plan();
-    if (!next.has_value()) return false;
-    migrate_to(std::move(*next));
-    return true;
+  /// Sample-count load of every tablet (samples sorted ascending).
+  static std::vector<std::size_t> tablet_loads(const RouterT& r,
+                                               std::span<const Key> samples) {
+    const std::vector<Key>& b = r.bounds();
+    std::vector<std::size_t> loads(r.tablet_count(), 0);
+    std::size_t prev = 0;
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      const std::size_t pos = static_cast<std::size_t>(
+          std::lower_bound(samples.begin(), samples.end(), b[j], key_less) -
+          samples.begin());
+      loads[j] = pos - prev;
+      prev = pos;
+    }
+    loads[b.size()] = samples.size() - prev;
+    return loads;
   }
 
-  const RebalanceStats& stats() const noexcept { return stats_; }
+  /// [first, last) index range of tablet t's samples.
+  static std::pair<std::size_t, std::size_t> tablet_slice(
+      const RouterT& r, std::size_t t, std::span<const Key> samples) {
+    const Key* lo = r.tablet_lo(t);
+    const Key* hi = r.tablet_hi(t);
+    const std::size_t first =
+        lo == nullptr
+            ? 0
+            : static_cast<std::size_t>(
+                  std::lower_bound(samples.begin(), samples.end(), *lo,
+                                   key_less) -
+                  samples.begin());
+    const std::size_t last =
+        hi == nullptr
+            ? samples.size()
+            : static_cast<std::size_t>(
+                  std::lower_bound(samples.begin(), samples.end(), *hi,
+                                   key_less) -
+                  samples.begin());
+    return {first, std::max(first, last)};
+  }
 
-  /// Folds the per-shard migration counters into a stats accumulator
-  /// (anything with add(shard, OpStats), e.g. ShardStatsBoard).
-  template <class Board>
-  void fold_into(Board& board) const {
-    for (std::size_t s = 0; s < ctxs_.size(); ++s) {
-      board.add(s, ctxs_[s].stats);
+  /// Equal-load quantile cuts refining tablet t into ~piece_cap-sample
+  /// pieces (the whole-plan refinement). Duplicate quantiles are bumped
+  /// past the previous cut, from_samples-style; cuts that run out of
+  /// tablet interior are dropped.
+  std::vector<Key> quantile_cuts(const RouterT& r, std::size_t t,
+                                 std::span<const Key> samples,
+                                 std::size_t piece_cap,
+                                 std::size_t max_tablets) const {
+    const auto [first, last] = tablet_slice(r, t, samples);
+    const std::size_t cnt = last - first;
+    std::size_t pieces = cnt / piece_cap;
+    pieces = std::min(pieces, max_tablets - r.tablet_count() + 1);
+    if (pieces < 2) return {};
+    const Key* lo = r.tablet_lo(t);
+    const Key* hi = r.tablet_hi(t);
+    std::vector<Key> cuts;
+    cuts.reserve(pieces - 1);
+    for (std::size_t p = 1; p < pieces; ++p) {
+      Key q = samples[first + p * cnt / pieces];
+      const Key* floor = cuts.empty() ? lo : &cuts.back();
+      if (floor != nullptr && !key_less(*floor, q)) {
+        if (*floor == std::numeric_limits<Key>::max()) break;
+        q = static_cast<Key>(*floor + 1);
+      }
+      if (hi != nullptr && !key_less(q, *hi)) break;
+      cuts.push_back(q);
+    }
+    return cuts;
+  }
+
+  /// The cut(s) carving a ~`want`-sample piece out of tablet t, centered
+  /// on the tablet's sample mass: a piece dense in samples spans little
+  /// keyspace, so the carved tablet drags few cold resident keys along
+  /// when it later moves. Empty when the tablet is too thinly sampled or
+  /// has no interior key to cut at (a single heavy key cannot be split).
+  std::vector<Key> carve_cuts(const RouterT& r, std::size_t t,
+                              std::span<const Key> samples,
+                              std::size_t want) const {
+    const auto [first, last] = tablet_slice(r, t, samples);
+    const std::size_t cnt = last - first;
+    if (cnt < cfg_.min_split_samples) return {};
+    want = std::clamp<std::size_t>(want, 1, cnt - 1);
+    const std::size_t j = (cnt - want) / 2;
+    const Key c1 = samples[first + j];
+    const Key c2 = samples[first + j + want];
+    const Key* lo = r.tablet_lo(t);
+    const Key* hi = r.tablet_hi(t);
+    std::vector<Key> cuts;
+    if (lo == nullptr || key_less(*lo, c1)) cuts.push_back(c1);
+    const Key* floor = cuts.empty() ? lo : &cuts.back();
+    if ((hi == nullptr || key_less(c2, *hi)) &&
+        (floor == nullptr || key_less(*floor, c2))) {
+      cuts.push_back(c2);
+    }
+    return cuts;
+  }
+
+  /// Resident-key cost of moving tablet t — exact via count_range when
+  /// the structure has it, the whole shard's size (a conservative
+  /// overestimate) otherwise. Runs on the owner's current snapshot.
+  std::uint64_t estimate_resident(const RouterT& r, std::size_t t) {
+    const std::size_t s = r.owner(t);
+    return map_->shard(s).read(
+        ctxs_[s], [&](auto snap) -> std::uint64_t {
+          if constexpr (std::integral<Key> &&
+                        requires { snap.count_range(Key{}, Key{}); }) {
+            const Key lo = r.tablet_lo(t) != nullptr
+                               ? *r.tablet_lo(t)
+                               : std::numeric_limits<Key>::min();
+            if (const Key* hp = r.tablet_hi(t)) {
+              return snap.count_range(lo, *hp);
+            }
+            const Key mx = std::numeric_limits<Key>::max();
+            return snap.count_range(lo, mx) + (snap.contains(mx) ? 1 : 0);
+          } else {
+            return snap.size();
+          }
+        });
+  }
+
+  // ----- migration executors -----
+
+  /// Tablet migration: diff the two tables into maximal moving segments
+  /// (ascending key order — empty for a pure split/coalesce), then per
+  /// segment: pin the source, extract the segment's slice via the
+  /// structure's pruned range traversal (O(moved + log n)), install it
+  /// into the destination behind its watermark, and erase it from the
+  /// source. A destination is ready the moment its last incoming
+  /// segment lands — per-tablet readiness instead of range algebra, so
+  /// unrelated traffic resumes segment by segment.
+  void migrate_tablets(Epoch* e, std::uint64_t& moved)
+    requires TabletTable<RouterT> && std::integral<Key>
+  {
+    const std::size_t shards = map_->shard_count();
+    const std::vector<TabletSegment<Key>> segs =
+        RouterT::diff(e->prev->router, e->router);
+    std::vector<std::size_t> incoming(shards, 0);
+    for (const TabletSegment<Key>& sg : segs) ++incoming[sg.dst];
+    for (std::size_t d = 0; d < shards; ++d) {
+      if (incoming[d] == 0) e->set_ready(d);
+    }
+    std::vector<BatchRequest> slice;
+    std::vector<BatchRequest> erases;
+    for (const TabletSegment<Key>& sg : segs) {
+      slice.clear();
+      erases.clear();
+      {
+        // The pinned root is a free consistent image of the shard; after
+        // the drain the moving segment is frozen, so this snapshot holds
+        // its complete final content even while non-moving writers keep
+        // installing. In-order traversal keeps the slice sorted.
+        const auto view = map_->shard(sg.src).pin_versioned(ctxs_[sg.src]);
+        const auto collect = [&](const Key& k, const Value& v) {
+          slice.push_back(BatchRequest{OpKind::kInsert, k, v});
+          erases.push_back(BatchRequest{OpKind::kErase, k, std::nullopt});
+          ++moved;
+        };
+        const Key lo =
+            sg.lo.has_value() ? *sg.lo : std::numeric_limits<Key>::min();
+        if (sg.hi.has_value()) {
+          view.snapshot.for_each_range(lo, *sg.hi, collect);
+        } else {
+          // Half-open traversal cannot name "past the maximum key", so
+          // sweep to max and pick up max itself separately.
+          const Key mx = std::numeric_limits<Key>::max();
+          view.snapshot.for_each_range(lo, mx, collect);
+          if (const Value* v = view.snapshot.find(mx)) collect(mx, *v);
+        }
+      }
+      if (!slice.empty()) {
+        ctxs_[sg.dst].stats.mig_keys_in += slice.size();
+        install_slice(sg.dst, slice, e);
+      }
+      if (--incoming[sg.dst] == 0) e->set_ready(sg.dst);
+      if (!erases.empty()) {
+        ctxs_[sg.src].stats.mig_keys_out += erases.size();
+        run_chunked(sg.src, erases, nullptr);
+      }
     }
   }
 
- private:
   /// Range-router migration: one source shard at a time, pipelined
   /// extract → install → erase, releasing parked traffic as early as the
   /// range algebra allows. Sources are processed in ascending shard (=
@@ -192,10 +742,7 @@ class Rebalancer {
       for (auto& v : per_dest) v.clear();
       erases.clear();
       {
-        // The pinned root is a free consistent image of the shard; after
-        // the drain its moving ranges are frozen, so this snapshot holds
-        // their complete final content even while non-moving writers
-        // keep installing. In-order traversal keeps every slice sorted.
+        // Same snapshot argument as migrate_tablets above.
         const auto view = map_->shard(s).pin_versioned(ctxs_[s]);
         const auto collect = [&](const Key& k, const Value& v) {
           const std::size_t owner = e->router(k, shards);
@@ -246,7 +793,7 @@ class Rebalancer {
     }
   }
 
-  /// Generic-router fallback (no range algebra to pipeline with): full
+  /// Generic fallback (no range structure to extract with): full
   /// extraction, per-destination sorted installs, then the erases.
   void migrate_generic(Epoch* e, std::uint64_t& moved) {
     const std::size_t shards = map_->shard_count();
@@ -356,10 +903,10 @@ class Rebalancer {
 #endif
   }
 
-  /// Installs one destination's (possibly partial — one source's worth)
+  /// Installs one destination's (possibly partial — one segment's worth)
   /// incoming slice, advancing its watermark chunk by chunk so parked
   /// traffic resumes progressively. Does NOT set the ready bit: the
-  /// caller knows when no further source can contribute.
+  /// caller knows when no further segment can contribute.
   void install_slice(std::size_t d, std::vector<BatchRequest>& slice,
                      Epoch* e) {
     run_chunked(d, slice, e);
@@ -401,6 +948,8 @@ class Rebalancer {
   RebalanceConfig cfg_;
   std::vector<Ctx> ctxs_;
   RebalanceStats stats_;
+  MigrationThrottle throttle_;
+  std::uint64_t last_parked_ = 0;
   std::mutex mu_;
 };
 

@@ -10,14 +10,36 @@
 // who formed batches) is store-layer vocabulary, not bench plumbing.
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
 #include <mutex>
+#include <utility>
 #include <vector>
 
 #include "core/stats.hpp"
 #include "util/assert.hpp"
 
 namespace pathcopy::store {
+
+/// One-shot roll-up of a Rebalancer run, printed as a footer under the
+/// per-shard table. tablets_per_shard is empty on non-tablet routers;
+/// the counters separate cheap flips (splits: boundary refinements that
+/// move zero keys; assignment moves: single-tablet reassignments) from
+/// the keys they carried, and surface how often the migration throttle
+/// held a planned move back (budget exhausted vs client backpressure).
+/// peak_interval_keys is the most keys moved inside one throttle
+/// interval — the quantity the budget bounds, and what CI asserts.
+struct RebalanceSummary {
+  std::vector<std::size_t> tablets_per_shard;
+  std::uint64_t migrations = 0;
+  std::uint64_t splits = 0;
+  std::uint64_t assignment_moves = 0;
+  std::uint64_t keys_moved = 0;
+  std::uint64_t budget_deferrals = 0;
+  std::uint64_t pressure_deferrals = 0;
+  std::uint64_t peak_interval_keys = 0;
+  std::uint64_t budget_keys = 0;  // the configured per-interval cap
+};
 
 class ShardStatsBoard {
  public:
@@ -51,6 +73,13 @@ class ShardStatsBoard {
     core::OpStats t;
     for (const core::OpStats& s : per_shard_) t += s;
     return t;
+  }
+
+  /// Attaches a Rebalancer roll-up; print() renders it as a footer.
+  void set_rebalance_summary(RebalanceSummary s) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    rebalance_ = std::move(s);
+    have_rebalance_ = true;
   }
 
   /// Per-shard table: installs, retry pressure, batch formation, the
@@ -88,6 +117,33 @@ class ShardStatsBoard {
                  static_cast<unsigned long long>(t.epoch_retries),
                  static_cast<unsigned long long>(t.mig_keys_in),
                  static_cast<unsigned long long>(t.mig_keys_out));
+    RebalanceSummary reb;
+    bool have = false;
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      reb = rebalance_;
+      have = have_rebalance_;
+    }
+    if (!have) return;
+    std::fprintf(out,
+                 "rebalance: %llu flips (%llu splits, %llu moves), "
+                 "%llu keys moved, deferrals budget=%llu pressure=%llu, "
+                 "peak interval keys=%llu/%llu\n",
+                 static_cast<unsigned long long>(reb.migrations),
+                 static_cast<unsigned long long>(reb.splits),
+                 static_cast<unsigned long long>(reb.assignment_moves),
+                 static_cast<unsigned long long>(reb.keys_moved),
+                 static_cast<unsigned long long>(reb.budget_deferrals),
+                 static_cast<unsigned long long>(reb.pressure_deferrals),
+                 static_cast<unsigned long long>(reb.peak_interval_keys),
+                 static_cast<unsigned long long>(reb.budget_keys));
+    if (!reb.tablets_per_shard.empty()) {
+      std::fprintf(out, "tablets/shard:");
+      for (const std::size_t c : reb.tablets_per_shard) {
+        std::fprintf(out, " %zu", c);
+      }
+      std::fprintf(out, "\n");
+    }
   }
 
  private:
@@ -114,6 +170,8 @@ class ShardStatsBoard {
 
   mutable std::mutex mu_;
   std::vector<core::OpStats> per_shard_;
+  RebalanceSummary rebalance_;
+  bool have_rebalance_ = false;
 };
 
 }  // namespace pathcopy::store

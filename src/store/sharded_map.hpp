@@ -171,6 +171,15 @@ class ShardedMap {
   KeySketch<Key>& sketch() noexcept { return sketch_; }
   const KeySketch<Key>& sketch() const noexcept { return sketch_; }
 
+  /// Monotone count of parked-op waits (ops that gated on a mid-flip
+  /// moving key, summed over all sessions). The continuous rebalancer
+  /// reads the delta across its own flips as a backpressure signal: a
+  /// rising count means client traffic is stalling behind migrations and
+  /// the next move should wait.
+  std::uint64_t parked_waits() const noexcept {
+    return parked_waits_.load(std::memory_order_relaxed);
+  }
+
   /// Off by default — maps that never rebalance don't pay for traffic
   /// sampling. The Rebalancer's constructor turns it on (sessions pick
   /// the flag up on their next operation).
@@ -219,6 +228,7 @@ class ShardedMap {
   std::atomic<const Epoch*> epoch_{nullptr};
   EpochMarkRegistry marks_;
   KeySketch<Key> sketch_;
+  std::atomic<std::uint64_t> parked_waits_{0};
   std::atomic<bool> sketch_enabled_{false};
   std::atomic<ShardExecutor<Uc>*> executor_{nullptr};
 };
@@ -602,6 +612,7 @@ class ShardedMap<Uc, RouterT>::Session {
       if (key_route_stable(e, key)) return e;
       epoch_exit();
       ++ctxs_[e->router(key, map_->shard_count())].stats.epoch_retries;
+      map_->parked_waits_.fetch_add(1, std::memory_order_relaxed);
       gate_backoff(spins);
     }
   }
@@ -628,6 +639,7 @@ class ShardedMap<Uc, RouterT>::Session {
       if (parked == nullptr) return e;
       epoch_exit();
       ++ctxs_[e->router(*parked, map_->shard_count())].stats.epoch_retries;
+      map_->parked_waits_.fetch_add(1, std::memory_order_relaxed);
       gate_backoff(spins);
     }
   }

@@ -132,6 +132,44 @@ TEST(Avl, RankAndKth) {
   }
 }
 
+TEST(Avl, ForEachRangeMatchesFilteredScanAndCountRange) {
+  alloc::Arena a;
+  util::Xoshiro256 rng(7);
+  std::set<std::int64_t> oracle;
+  A t;
+  for (int i = 0; i < 600; ++i) {
+    const std::int64_t k = rng.range(-500, 500);
+    t = test::apply(a, [&](auto& b) { return t.insert(b, k, k * 10); });
+    oracle.insert(k);
+  }
+  // Random [lo, hi) windows, including empty and inverted ones, against
+  // the oracle's own half-open slice. In-order visitation is part of the
+  // contract (migration slices must arrive sorted).
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::int64_t lo = rng.range(-600, 600);
+    const std::int64_t hi = rng.range(-600, 600);
+    std::vector<std::int64_t> got;
+    t.for_each_range(lo, hi, [&](const std::int64_t& k, const std::int64_t& v) {
+      EXPECT_EQ(v, k * 10);
+      got.push_back(k);
+    });
+    std::vector<std::int64_t> want;
+    for (auto it = oracle.lower_bound(lo); it != oracle.end() && *it < hi;
+         ++it) {
+      want.push_back(*it);
+    }
+    ASSERT_EQ(got, want) << "[" << lo << ", " << hi << ")";
+    EXPECT_EQ(t.count_range(lo, hi), want.size());
+  }
+  // Boundary semantics: lo inclusive, hi exclusive.
+  const std::int64_t present = *oracle.begin();
+  std::size_t hits = 0;
+  t.for_each_range(present, present, [&](auto&, auto&) { ++hits; });
+  EXPECT_EQ(hits, 0u);
+  t.for_each_range(present, present + 1, [&](auto&, auto&) { ++hits; });
+  EXPECT_EQ(hits, 1u);
+}
+
 TEST(Avl, MinMaxItems) {
   alloc::Arena a;
   A t = insert_all(a, A{}, {5, 1, 9, 3});

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <map>
+#include <set>
 #include <span>
 #include <vector>
 
@@ -169,6 +170,43 @@ TEST(Btree, FloorCeilingCountRange) {
   EXPECT_EQ(t.count_range(10, 40), 3u);
   EXPECT_EQ(t.count_range(11, 41), 3u);
   EXPECT_EQ(t.count_range(40, 10), 0u);
+}
+
+TEST(Btree, ForEachRangeMatchesFilteredScan) {
+  alloc::Arena a;
+  util::Xoshiro256 rng(9);
+  std::set<std::int64_t> oracle;
+  T t;
+  for (int i = 0; i < 900; ++i) {
+    const std::int64_t k = rng.range(-700, 700);
+    t = test::apply(a, [&](auto& b) { return t.insert(b, k, k * 10); });
+    oracle.insert(k);
+  }
+  // Random [lo, hi) windows against the oracle's half-open slice; the
+  // pruned descent must both skip cold subtrees and visit in order.
+  // Windows that straddle separator keys are the interesting cases, so
+  // bounds are drawn from the stored-key range.
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::int64_t lo = rng.range(-800, 800);
+    const std::int64_t hi = rng.range(-800, 800);
+    std::vector<std::int64_t> got;
+    t.for_each_range(lo, hi, [&](const std::int64_t& k, const std::int64_t& v) {
+      EXPECT_EQ(v, k * 10);
+      got.push_back(k);
+    });
+    std::vector<std::int64_t> want;
+    for (auto it = oracle.lower_bound(lo); it != oracle.end() && *it < hi;
+         ++it) {
+      want.push_back(*it);
+    }
+    ASSERT_EQ(got, want) << "[" << lo << ", " << hi << ")";
+    EXPECT_EQ(t.count_range(lo, hi), want.size());
+  }
+  // Boundary semantics: lo inclusive, hi exclusive — also when the edge
+  // sits exactly on a separator key (an internal node's routing key).
+  std::size_t hits = 0;
+  t.for_each_range(5, 5, [&](auto&, auto&) { ++hits; });
+  EXPECT_EQ(hits, 0u);
 }
 
 TEST(Btree, ItemsAreSorted) {
