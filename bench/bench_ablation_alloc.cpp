@@ -13,6 +13,7 @@
 // Run twice: with real threads on this host, and in the simulator where
 // the allocator term can be dialed to show the collapse at paper scale.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
@@ -22,12 +23,14 @@
 #include "alloc/malloc_alloc.hpp"
 #include "alloc/pool_alloc.hpp"
 #include "alloc/thread_cache_alloc.hpp"
+#include "bench_util/batch_stats.hpp"
 #include "bench_util/runner.hpp"
 #include "core/atom.hpp"
 #include "model/sim.hpp"
 #include "persist/treap.hpp"
 #include "reclaim/epoch.hpp"
 #include "reclaim/leaky.hpp"
+#include "reclaim/retired.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -138,6 +141,213 @@ void real_threads(int duration_ms, const std::vector<std::size_t>& procs) {
   std::printf("\n");
 }
 
+// -- E6b: the memory loop (failed-install recycling + batched retire) --
+//
+// A/B on the thread-cached-pool configuration only. "baseline" is the
+// pre-PR free path: losing CAS attempts deallocate their fresh path
+// per-node, and expired retire bundles free through one locked backend
+// trip per node (reclaim::set_batched_free(false), ctx.recycle_fresh =
+// false). "recycled" is the defaults: losers park their nodes in the
+// builder bin for the retry, and expired bundles land in thread-cache
+// magazines in one trip per size class. The contended cell (every update
+// CASes the one atom root) is where both mechanisms fire; the 1-thread
+// cell checks they cost nothing when they never trigger.
+struct RecycleArm {
+  const char* cell;
+  const char* arm;
+  std::size_t threads = 0;
+  std::uint64_t ops = 0;
+  double ops_per_sec = 0.0;
+  std::uint64_t cas_failures = 0;
+  std::uint64_t failed_attempt_nodes = 0;
+  std::uint64_t recycled_nodes = 0;
+  double recycle_ratio = 0.0;
+  std::uint64_t pool_lock_trips = 0;
+  double trips_per_op = 0.0;
+};
+
+RecycleArm run_recycle_arm(const char* cell, const char* arm, bool recycle_on,
+                           std::size_t threads, int duration_ms) {
+  reclaim::set_batched_free(recycle_on);
+  RecycleArm r;
+  r.cell = cell;
+  r.arm = arm;
+  r.threads = threads;
+  {
+    alloc::PoolBackend pool;
+    reclaim::EpochReclaimer smr;
+    core::Atom<T, reclaim::EpochReclaimer, alloc::ThreadCache> atom(smr, pool);
+    bench::OpStatsAccumulator acc;
+    const auto run = bench::run_timed(
+        threads, std::chrono::milliseconds(duration_ms),
+        [&](std::size_t tid, const std::atomic<bool>& stop) -> std::uint64_t {
+          alloc::ThreadCache cache(pool);  // per-thread magazine view
+          core::Atom<T, reclaim::EpochReclaimer, alloc::ThreadCache>::Ctx ctx(
+              smr, cache);
+          ctx.recycle_fresh = recycle_on;
+          util::Xoshiro256 rng(tid * 7919 + 13);
+          std::uint64_t ops = 0;
+          while (!stop.load(std::memory_order_relaxed)) {
+            const std::int64_t k = rng.range(0, kKeyRange);
+            if (rng.chance(1, 2)) {
+              atom.update(ctx, [k](T t, auto& b) { return t.insert(b, k, k); });
+            } else {
+              atom.update(ctx, [k](T t, auto& b) { return t.erase(b, k); });
+            }
+            ++ops;
+          }
+          acc.add(ctx.stats);
+          return ops;
+        });
+    // Snapshot after the workers' caches flushed (their teardown trips are
+    // part of the free path) but before the reclaimer's final drain_all,
+    // which frees whatever survived the run identically in both arms.
+    r.pool_lock_trips = pool.lock_acquisitions();
+    const core::OpStats s = acc.snapshot();
+    r.ops = run.total_ops;
+    r.ops_per_sec = run.ops_per_sec();
+    r.cas_failures = s.cas_failures;
+    r.failed_attempt_nodes = s.failed_attempt_nodes;
+    r.recycled_nodes = s.recycled_nodes;
+    r.recycle_ratio = s.recycle_ratio();
+    r.trips_per_op =
+        r.ops == 0 ? 0.0
+                   : static_cast<double>(r.pool_lock_trips) /
+                         static_cast<double>(r.ops);
+  }
+  reclaim::set_batched_free(true);  // restore the process default
+  return r;
+}
+
+void print_recycle_row(const RecycleArm& r) {
+  std::printf("%-12s  %-9s  %3zut  %9.0f  %9llu  %11llu  %9llu  %7.1f%%  "
+              "%9llu  %8.3f\n",
+              r.cell, r.arm, r.threads, r.ops_per_sec,
+              static_cast<unsigned long long>(r.cas_failures),
+              static_cast<unsigned long long>(r.failed_attempt_nodes),
+              static_cast<unsigned long long>(r.recycled_nodes),
+              100.0 * r.recycle_ratio,
+              static_cast<unsigned long long>(r.pool_lock_trips),
+              r.trips_per_op);
+}
+
+void write_recycle_json(const char* path, const std::vector<RecycleArm>& arms,
+                        int duration_ms) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_ablation_alloc: cannot open %s\n", path);
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n  \"bench\": \"alloc_recycle\",\n");
+  std::fprintf(f, "  \"duration_ms\": %d,\n  \"cells\": [\n", duration_ms);
+  for (std::size_t i = 0; i < arms.size(); ++i) {
+    const RecycleArm& r = arms[i];
+    std::fprintf(
+        f,
+        "    {\"cell\": \"%s\", \"arm\": \"%s\", \"threads\": %zu, "
+        "\"ops\": %llu, \"ops_per_sec\": %.0f, \"cas_failures\": %llu, "
+        "\"failed_attempt_nodes\": %llu, \"recycled_nodes\": %llu, "
+        "\"recycle_ratio\": %.4f, \"pool_lock_trips\": %llu, "
+        "\"trips_per_op\": %.4f}%s\n",
+        r.cell, r.arm, r.threads, static_cast<unsigned long long>(r.ops),
+        r.ops_per_sec, static_cast<unsigned long long>(r.cas_failures),
+        static_cast<unsigned long long>(r.failed_attempt_nodes),
+        static_cast<unsigned long long>(r.recycled_nodes), r.recycle_ratio,
+        static_cast<unsigned long long>(r.pool_lock_trips), r.trips_per_op,
+        i + 1 < arms.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  double base_tpo = 0.0, rec_tpo = 0.0, rec_ratio = 0.0;
+  for (const RecycleArm& r : arms) {
+    if (std::strcmp(r.cell, "contended") != 0) continue;
+    if (std::strcmp(r.arm, "baseline") == 0) base_tpo = r.trips_per_op;
+    if (std::strcmp(r.arm, "recycled") == 0) {
+      rec_tpo = r.trips_per_op;
+      rec_ratio = r.recycle_ratio;
+    }
+  }
+  std::fprintf(f,
+               "  \"summary\": {\"contended_recycle_ratio\": %.4f, "
+               "\"trips_per_op_baseline\": %.4f, "
+               "\"trips_per_op_recycled\": %.4f, "
+               "\"trips_reduction_x\": %.2f}\n}\n",
+               rec_ratio, base_tpo, rec_tpo,
+               rec_tpo == 0.0 ? 0.0 : base_tpo / rec_tpo);
+  std::fclose(f);
+  std::printf("wrote %s\n", path);
+}
+
+std::vector<RecycleArm> recycle_section(int duration_ms, std::size_t threads) {
+  std::printf("== E6b memory loop: failed-install recycling + batched retire "
+              "(thread-cache pool) ==\n");
+  std::printf("%-12s  %-9s  %4s  %9s  %9s  %11s  %9s  %8s  %9s  %8s\n", "cell",
+              "arm", "thr", "ops/s", "cas-fail", "failed-node", "recycled",
+              "ratio", "pool-lock", "trips/op");
+  std::vector<RecycleArm> arms;
+  // The contended cell needs CAS failures to mean anything. On a
+  // single-core host a short run can get lucky and never lose a CAS —
+  // retry with doubled duration until contention shows up.
+  int ms = duration_ms;
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    RecycleArm base =
+        run_recycle_arm("contended", "baseline", false, threads, ms);
+    RecycleArm rec = run_recycle_arm("contended", "recycled", true, threads, ms);
+    if ((base.cas_failures == 0 || rec.cas_failures == 0) && attempt < 3) {
+      ms *= 2;
+      continue;
+    }
+    arms.push_back(base);
+    arms.push_back(rec);
+    break;
+  }
+  arms.push_back(run_recycle_arm("uncontended", "baseline", false, 1, ms));
+  arms.push_back(run_recycle_arm("uncontended", "recycled", true, 1, ms));
+  for (const RecycleArm& r : arms) print_recycle_row(r);
+  std::printf("\n");
+  return arms;
+}
+
+// Exit non-zero unless the contended cell shows the loop closed: some
+// failed-attempt nodes were recycled and the batched retire path costs
+// measurably fewer backend lock trips per op than the per-node baseline.
+void assert_recycle(const std::vector<RecycleArm>& arms) {
+  const RecycleArm* base = nullptr;
+  const RecycleArm* rec = nullptr;
+  for (const RecycleArm& r : arms) {
+    if (std::strcmp(r.cell, "contended") != 0) continue;
+    if (std::strcmp(r.arm, "baseline") == 0) base = &r;
+    if (std::strcmp(r.arm, "recycled") == 0) rec = &r;
+  }
+  if (base == nullptr || rec == nullptr) {
+    std::fprintf(stderr, "assert-recycle: contended cell missing\n");
+    std::exit(1);
+  }
+  if (rec->cas_failures > 0 && rec->recycled_nodes == 0) {
+    std::fprintf(stderr,
+                 "assert-recycle: CAS failures occurred but no nodes were "
+                 "recycled\n");
+    std::exit(1);
+  }
+  if (rec->recycle_ratio <= 0.0 && rec->failed_attempt_nodes > 0) {
+    std::fprintf(stderr, "assert-recycle: recycle ratio is zero\n");
+    std::exit(1);
+  }
+  if (rec->trips_per_op >= base->trips_per_op) {
+    std::fprintf(stderr,
+                 "assert-recycle: batched free path took %.4f lock trips/op, "
+                 "baseline %.4f — no reduction\n",
+                 rec->trips_per_op, base->trips_per_op);
+    std::exit(1);
+  }
+  std::printf("assert-recycle: ok (ratio %.1f%%, trips/op %.4f -> %.4f, "
+              "%.1fx fewer)\n",
+              100.0 * rec->recycle_ratio, base->trips_per_op,
+              rec->trips_per_op,
+              rec->trips_per_op == 0.0
+                  ? 0.0
+                  : base->trips_per_op / rec->trips_per_op);
+}
+
 void simulated(const std::vector<std::size_t>& procs) {
   std::printf("== E6 simulated: shared-allocator contention vs speedup ==\n");
   std::printf("(N=2^20, M=2^14, R=100; TLAB refills of 32 nodes cost "
@@ -170,14 +380,23 @@ void simulated(const std::vector<std::size_t>& procs) {
 int main(int argc, char** argv) {
   int duration_ms = 250;
   bool quick = false;
+  bool do_assert = false;
+  const char* json_path = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    if (std::strcmp(argv[i], "--assert-recycle") == 0) do_assert = true;
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    }
   }
   if (quick) duration_ms = 100;
   const std::vector<std::size_t> procs = quick
                                              ? std::vector<std::size_t>{1, 4}
                                              : std::vector<std::size_t>{1, 2, 4, 8};
   real_threads(duration_ms, procs);
+  const std::vector<RecycleArm> arms = recycle_section(duration_ms, 4);
+  if (json_path != nullptr) write_recycle_json(json_path, arms, duration_ms);
+  if (do_assert) assert_recycle(arms);
   simulated({1, 8, 16, 32, 63});
   return 0;
 }

@@ -291,6 +291,7 @@ void section_threads(const Config& cfg) {
   std::printf("\nhighest-contention cell (last threads row, first upd%% "
               "column):\n");
   bench::print_batch_histogram(stdout, contended_stats);
+  bench::print_recycle_stats(stdout, contended_stats);
   std::printf("batched installs: %llu of %llu installs; spine-copy savings "
               "are vs a ~lg(n) copies per landing op estimate.\n",
               static_cast<unsigned long long>(contended_stats.batched_installs),

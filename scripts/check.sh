@@ -56,4 +56,11 @@ SMOKE_TAG=continuous smoke bench_sharded --quick --skew zipf --continuous --asse
 # persistent structure's per-op and sorted-batch install paths.
 smoke bench_ablation_structure --quick
 
+# Smoke: the memory loop (E6b) — --assert-recycle fails the gate unless
+# the contended cell actually recycled failed-attempt nodes AND the
+# batched retire path cost fewer backend lock trips per op than the
+# per-node baseline; the JSON lands next to the log for inspection.
+SMOKE_TAG=recycle smoke bench_ablation_alloc --quick \
+  --json "$build_dir/BENCH_alloc_recycle.json" --assert-recycle
+
 echo "check.sh: all gates passed"

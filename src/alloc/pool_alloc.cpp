@@ -35,9 +35,25 @@ void PoolBackend::deallocate(void* p, std::size_t bytes, std::size_t align) noex
   stats_.on_free(class_bytes(cls));
   std::lock_guard lock(mu_);
   lock_acquisitions_.fetch_add(1, std::memory_order_relaxed);
+  check_class_locked(p, cls);
   auto* n = static_cast<FreeNode*>(p);
   n->next = free_[cls];
   free_[cls] = n;
+}
+
+void PoolBackend::free_batch(void* const* items, std::size_t n, std::size_t bytes,
+                             std::size_t align) noexcept {
+  if (n == 0) return;
+  if (bytes > kMaxPooled || align > alignof(std::max_align_t)) {
+    for (std::size_t i = 0; i < n; ++i) {
+      stats_.on_free(bytes);
+      ::operator delete(items[i], std::align_val_t{align});
+    }
+    return;
+  }
+  const std::size_t cls = class_of(bytes);
+  stats_.on_free_n(n, class_bytes(cls) * n);
+  push_batch(cls, items, n);
 }
 
 std::size_t PoolBackend::pop_batch(std::size_t size_class, void** out, std::size_t n) {
@@ -62,10 +78,22 @@ void PoolBackend::push_batch(std::size_t size_class, void* const* items,
   std::lock_guard lock(mu_);
   lock_acquisitions_.fetch_add(1, std::memory_order_relaxed);
   for (std::size_t i = 0; i < n; ++i) {
+    check_class_locked(items[i], size_class);
     auto* node = static_cast<FreeNode*>(items[i]);
     node->next = free_[size_class];
     free_[size_class] = node;
   }
+}
+
+void PoolBackend::check_class_locked(const void* p, std::size_t size_class) noexcept {
+#ifndef NDEBUG
+  const auto it = carved_class_.find(p);
+  PC_DASSERT(it != carved_class_.end(), "freed pointer was never carved from this pool");
+  PC_DASSERT(it->second == size_class, "pointer freed with a different size class than it was allocated with");
+#else
+  (void)p;
+  (void)size_class;
+#endif
 }
 
 void* PoolBackend::carve_locked(std::size_t size_class) {
@@ -77,6 +105,9 @@ void* PoolBackend::carve_locked(std::size_t size_class) {
   }
   char* p = bump_;
   bump_ += sz;
+#ifndef NDEBUG
+  carved_class_.emplace(p, static_cast<std::uint32_t>(size_class));
+#endif
   return p;
 }
 

@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <unordered_map>
 #include <vector>
 
 #include "alloc/stats.hpp"
@@ -47,6 +48,12 @@ class PoolBackend {
   /// Returns n blocks of the given size class to the shared free list.
   void push_batch(std::size_t size_class, void* const* items, std::size_t n) noexcept;
 
+  /// Batch twin of free_bytes: returns n same-size blocks in ONE locked
+  /// trip (or n operator-delete calls for oversize blocks). This is the
+  /// reclaimers' bundle-granular exit path.
+  void free_batch(void* const* items, std::size_t n, std::size_t bytes,
+                  std::size_t align) noexcept;
+
   static std::size_t class_of(std::size_t bytes) noexcept {
     const std::size_t sz = util::round_up(bytes < kGranule ? kGranule : bytes, kGranule);
     return sz / kGranule - 1;
@@ -67,6 +74,11 @@ class PoolBackend {
 
   // Pre: mu_ held.
   void* carve_locked(std::size_t size_class);
+  // Pre: mu_ held. Debug-only: asserts p was carved for size_class (a
+  // carved block's class is permanent — free lists never mix classes), so
+  // a retire path that reports a different size than it allocated trips
+  // here instead of silently corrupting a free list.
+  void check_class_locked(const void* p, std::size_t size_class) noexcept;
 
   std::mutex mu_;
   FreeNode* free_[kClasses]{};
@@ -75,6 +87,9 @@ class PoolBackend {
   char* end_ = nullptr;
   AllocStats stats_;
   std::atomic<std::uint64_t> lock_acquisitions_{0};
+#ifndef NDEBUG
+  std::unordered_map<const void*, std::uint32_t> carved_class_;
+#endif
 };
 
 /// Allocator view over the shared pool: every call locks the backend.

@@ -15,6 +15,12 @@ struct AllocStats {
   std::atomic<std::uint64_t> frees{0};
   std::atomic<std::uint64_t> bytes_allocated{0};
   std::atomic<std::uint64_t> bytes_freed{0};
+  /// Retired blocks absorbed straight into a magazine (ThreadCache's
+  /// RetireSink path) instead of travelling through the shared backend.
+  std::atomic<std::uint64_t> recycled{0};
+  /// Trips to the shared backend (pop_batch/push_batch/free_batch calls);
+  /// each trip is one mutex acquisition on PoolBackend.
+  std::atomic<std::uint64_t> backend_trips{0};
 
   void on_alloc(std::size_t n) noexcept {
     allocs.fetch_add(1, std::memory_order_relaxed);
@@ -23,6 +29,13 @@ struct AllocStats {
   void on_free(std::size_t n) noexcept {
     frees.fetch_add(1, std::memory_order_relaxed);
     bytes_freed.fetch_add(n, std::memory_order_relaxed);
+  }
+  void on_free_n(std::uint64_t blocks, std::size_t total_bytes) noexcept {
+    frees.fetch_add(blocks, std::memory_order_relaxed);
+    bytes_freed.fetch_add(total_bytes, std::memory_order_relaxed);
+  }
+  void on_backend_trip() noexcept {
+    backend_trips.fetch_add(1, std::memory_order_relaxed);
   }
 
   /// Blocks currently outstanding. Only meaningful once all threads have

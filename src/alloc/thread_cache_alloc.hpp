@@ -7,12 +7,22 @@
 // experiment E6: the paper attributes its high-core-count collapse to the
 // Java allocator, and this policy demonstrates that a thread-cached
 // allocator removes that ceiling.
+//
+// retire_sink() closes the loop on the free side: a reclaimer running on
+// this thread hands expired retire bundles to accept_retired(), which
+// drops the raw blocks straight into the magazines — retired bytes become
+// allocatable again without a single backend trip (only a past-high-water
+// flush ever touches the shared pool, and that moves kBatch blocks per
+// trip). The sink must be deregistered (ThreadHandle::release / context
+// teardown) before this cache dies; cross-thread bundles keep flowing
+// through the backend's free_batch instead.
 #pragma once
 
 #include <cstddef>
 
 #include "alloc/pool_alloc.hpp"
 #include "alloc/stats.hpp"
+#include "reclaim/retired.hpp"
 #include "util/assert.hpp"
 
 namespace pathcopy::alloc {
@@ -38,6 +48,7 @@ class ThreadCache {
     auto& mag = mags_[cls];
     if (mag.count == 0) {
       mag.count = backend_->pop_batch(cls, mag.items, kBatch);
+      stats_.on_backend_trip();
       PC_DASSERT(mag.count > 0, "backend refill returned nothing");
     }
     return mag.items[--mag.count];
@@ -50,16 +61,31 @@ class ThreadCache {
     }
     const std::size_t cls = PoolBackend::class_of(bytes);
     stats_.on_free(PoolBackend::class_bytes(cls));
-    auto& mag = mags_[cls];
-    if (mag.count == kHighWater) {
-      // Return the older half so the hottest blocks stay local.
-      backend_->push_batch(cls, mag.items, kBatch);
-      mag.count -= kBatch;
-      for (std::size_t i = 0; i < mag.count; ++i) {
-        mag.items[i] = mag.items[i + kBatch];
-      }
+    put_block(cls, p);
+  }
+
+  /// RetireSink entry: absorbs a whole same-size group of retired blocks
+  /// (destructors already run) into the magazines. Refuses groups that
+  /// belong to a different backend or exceed the pooled classes — those
+  /// fall through to the backend's own free path.
+  bool accept_retired(void* backend, void* const* ptrs, std::size_t n,
+                      std::size_t bytes, std::size_t align) noexcept {
+    if (backend != static_cast<void*>(backend_) ||
+        bytes > PoolBackend::kMaxPooled || align > alignof(std::max_align_t)) {
+      return false;
     }
-    mag.items[mag.count++] = p;
+    const std::size_t cls = PoolBackend::class_of(bytes);
+    stats_.on_free_n(n, PoolBackend::class_bytes(cls) * n);
+    stats_.recycled.fetch_add(n, std::memory_order_relaxed);
+    for (std::size_t i = 0; i < n; ++i) {
+      put_block(cls, ptrs[i]);
+    }
+    return true;
+  }
+
+  /// Type-erased handle reclaimers use to route expired bundles here.
+  reclaim::RetireSink retire_sink() noexcept {
+    return reclaim::RetireSink{this, &sink_thunk};
   }
 
   /// Returns every cached block to the backend (run at thread exit).
@@ -68,6 +94,7 @@ class ThreadCache {
       auto& mag = mags_[cls];
       if (mag.count > 0) {
         backend_->push_batch(cls, mag.items, mag.count);
+        stats_.on_backend_trip();
         mag.count = 0;
       }
     }
@@ -81,6 +108,27 @@ class ThreadCache {
     void* items[kHighWater];
     std::size_t count = 0;
   };
+
+  void put_block(std::size_t cls, void* p) noexcept {
+    auto& mag = mags_[cls];
+    if (mag.count == kHighWater) {
+      // Return the older half so the hottest blocks stay local.
+      backend_->push_batch(cls, mag.items, kBatch);
+      stats_.on_backend_trip();
+      mag.count -= kBatch;
+      for (std::size_t i = 0; i < mag.count; ++i) {
+        mag.items[i] = mag.items[i + kBatch];
+      }
+    }
+    mag.items[mag.count++] = p;
+  }
+
+  static bool sink_thunk(void* obj, void* backend, void* const* ptrs,
+                         std::size_t n, std::size_t bytes,
+                         std::size_t align) noexcept {
+    return static_cast<ThreadCache*>(obj)->accept_retired(backend, ptrs, n,
+                                                          bytes, align);
+  }
 
   PoolBackend* backend_;
   Magazine mags_[PoolBackend::kClasses]{};

@@ -57,4 +57,18 @@ inline double spine_savings_per_install(const core::OpStats& s) {
                    static_cast<double>(s.batched_installs);
 }
 
+/// One-line failed-install recycling summary: how many fresh nodes losing
+/// CAS attempts threw away, and what share of subsequent create() calls
+/// the builder bin served instead of the allocator. Prints nothing when
+/// the run never lost a CAS (uncontended cells).
+inline void print_recycle_stats(std::FILE* out, const core::OpStats& s) {
+  if (s.failed_attempt_nodes == 0 && s.recycled_nodes == 0) return;
+  std::fprintf(out,
+               "recycling: %llu failed-attempt nodes, %llu creates served "
+               "from the bin (%.1f%% recycle ratio)\n",
+               static_cast<unsigned long long>(s.failed_attempt_nodes),
+               static_cast<unsigned long long>(s.recycled_nodes),
+               100.0 * s.recycle_ratio());
+}
+
 }  // namespace pathcopy::bench

@@ -90,6 +90,8 @@ class Atom {
   template <class F>
   UpdateResult update(Ctx& ctx, F&& f) {
     Builder<Alloc> builder(*ctx.alloc);
+    builder.set_recycling(ctx.recycle_fresh);
+    RecycleScope<Alloc> recycle_scope(ctx.stats, builder);
     for (;;) {
       builder.reset();
       ++ctx.stats.attempts;
@@ -117,10 +119,13 @@ class Atom {
         ++ctx.stats.updates;
         return UpdateResult::kInstalled;
       }
+      ctx.stats.failed_attempt_nodes += builder.fresh_count();
       builder.rollback();
       ++ctx.stats.cas_failures;
       // Loop: reread the (new) current version and rebuild. The nodes we
-      // just recycled and the path we just walked are hot in cache.
+      // just recycled sit in the builder's bin, so the retry's create()
+      // calls reuse the same still-cache-hot blocks instead of paying
+      // another O(log n) trip through the allocator.
     }
   }
 

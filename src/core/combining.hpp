@@ -210,6 +210,8 @@ class CombiningAtom {
     PC_ASSERT(results_out.size() >= reqs.size(),
               "execute_batch result span too small");
     BuilderT builder(*ctx.alloc);
+    builder.set_recycling(ctx.recycle_fresh);
+    RecycleScope<Alloc> recycle_scope(ctx.stats, builder);
     std::size_t done = 0;
     while (done < reqs.size()) {
       const unsigned chunk = static_cast<unsigned>(
@@ -278,6 +280,8 @@ class CombiningAtom {
       std::vector<BatchOp> ops;
       std::vector<BatchOutcome> outs;
       Builder<Alloc> builder(*ctx.alloc);
+      builder.set_recycling(ctx.recycle_fresh);
+      RecycleScope<Alloc> recycle_scope(ctx.stats, builder);
       std::size_t done = 0;
       std::size_t chunk = kBulkChunk;
       while (done < reqs.size()) {
@@ -317,6 +321,7 @@ class CombiningAtom {
         if (!root_.compare_exchange_strong(expected, nvr,
                                            std::memory_order_seq_cst,
                                            std::memory_order_relaxed)) {
+          ctx.stats.failed_attempt_nodes += builder.fresh_count();
           builder.rollback();
           ++ctx.stats.cas_failures;
           chunk /= 2;
@@ -360,6 +365,8 @@ class CombiningAtom {
   template <class It>
   void seed_sorted(Ctx& ctx, It first, It last) {
     Builder<Alloc> builder(*ctx.alloc);
+    builder.set_recycling(ctx.recycle_fresh);
+    RecycleScope<Alloc> recycle_scope(ctx.stats, builder);
     for (;;) {
       builder.reset();
       auto guard = smr_->pin(ctx.smr_handle, root_, version_);
@@ -381,6 +388,7 @@ class CombiningAtom {
         ++ctx.stats.updates;
         return;
       }
+      ctx.stats.failed_attempt_nodes += builder.fresh_count();
       builder.rollback();
     }
   }
@@ -504,6 +512,8 @@ class CombiningAtom {
     }
 
     BuilderT builder(*ctx.alloc);
+    builder.set_recycling(ctx.recycle_fresh);
+    RecycleScope<Alloc> recycle_scope(ctx.stats, builder);
     for (;;) {
       builder.reset();
       ++ctx.stats.attempts;
@@ -610,6 +620,7 @@ class CombiningAtom {
     if (!root_.compare_exchange_strong(expected, nvr,
                                        std::memory_order_seq_cst,
                                        std::memory_order_relaxed)) {
+      ctx.stats.failed_attempt_nodes += builder.fresh_count();
       builder.rollback();
       ++ctx.stats.cas_failures;
       return nullptr;

@@ -42,6 +42,10 @@ struct OpStats {
   std::uint64_t epoch_retries = 0;  // ops/cuts re-run against a flipping epoch
   std::uint64_t mig_keys_in = 0;    // keys migrated INTO this shard
   std::uint64_t mig_keys_out = 0;   // keys migrated OUT of this shard
+  // Failed-install recycling extras (counted at each builder-owning call
+  // site; zero when recycling is disabled or the cell is uncontended):
+  std::uint64_t failed_attempt_nodes = 0;  // fresh nodes a losing CAS threw away
+  std::uint64_t recycled_nodes = 0;        // create() calls served from the bin
 
   OpStats& operator+=(const OpStats& o) noexcept {
     reads += o.reads;
@@ -66,6 +70,8 @@ struct OpStats {
     epoch_retries += o.epoch_retries;
     mig_keys_in += o.mig_keys_in;
     mig_keys_out += o.mig_keys_out;
+    failed_attempt_nodes += o.failed_attempt_nodes;
+    recycled_nodes += o.recycled_nodes;
     return *this;
   }
 
@@ -106,6 +112,15 @@ struct OpStats {
     return batched_installs == 0 ? 0.0
                                  : static_cast<double>(batched_ops) /
                                        static_cast<double>(batched_installs);
+  }
+
+  /// Share of failed-attempt nodes whose blocks a later create() reused;
+  /// 0 when no attempt ever failed.
+  double recycle_ratio() const noexcept {
+    return failed_attempt_nodes == 0
+               ? 0.0
+               : static_cast<double>(recycled_nodes) /
+                     static_cast<double>(failed_attempt_nodes);
   }
 
   /// Mean retries per successful update; 0 when uncontended.

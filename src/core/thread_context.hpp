@@ -4,6 +4,15 @@
 // registration, its allocator view (shared or thread-local depending on
 // the policy), and its operation counters. Contexts are created on the
 // owning thread and must not be shared.
+//
+// Construction also closes the memory loop when both sides support it:
+// if the allocator exposes a retire_sink() (ThreadCache) and the
+// reclaimer handle accepts one (the three real reclaimers), the handle is
+// wired to drop expired retire bundles straight into the allocator's
+// magazines. The declaration-order contract matters: declare the
+// allocator BEFORE the context (as ShardExecutor workers and the benches
+// do), so the context — and with it the handle, which clears its sink on
+// release — dies first.
 #pragma once
 
 #include "core/stats.hpp"
@@ -15,7 +24,13 @@ struct ThreadContext {
   using SmrHandle = typename Smr::ThreadHandle;
 
   ThreadContext(Smr& smr, Alloc& alloc)
-      : smr_handle(smr.register_thread()), alloc(&alloc) {}
+      : smr_handle(smr.register_thread()), alloc(&alloc) {
+    if constexpr (requires(SmrHandle& h, Alloc& a) {
+                    h.set_retire_sink(a.retire_sink());
+                  }) {
+      smr_handle.set_retire_sink(alloc.retire_sink());
+    }
+  }
 
   ThreadContext(ThreadContext&&) noexcept = default;
   ThreadContext& operator=(ThreadContext&&) noexcept = default;
@@ -25,6 +40,10 @@ struct ThreadContext {
   SmrHandle smr_handle;
   Alloc* alloc;
   OpStats stats;
+  /// Feed a failed install attempt's nodes back to the next attempt via
+  /// the builder's bin (default). Off restores the pre-recycling
+  /// allocate-afresh-per-retry behaviour for A/B measurement.
+  bool recycle_fresh = true;
 };
 
 }  // namespace pathcopy::core

@@ -17,6 +17,7 @@ EpochReclaimer::ThreadHandle EpochReclaimer::register_thread() {
     if (!rec.in_use.load(std::memory_order_acquire)) {
       rec.in_use.store(true, std::memory_order_relaxed);
       rec.epoch.store(kIdle, std::memory_order_relaxed);
+      rec.sink = RetireSink{};
       return ThreadHandle{&rec};
     }
   }
@@ -32,6 +33,7 @@ void EpochReclaimer::ThreadHandle::release() noexcept {
   PC_ASSERT(rec_->epoch.load(std::memory_order_relaxed) == EpochReclaimer::kIdle,
             "thread handle released while a guard is live");
   rec_->owner->flush_to_orphans(*rec_);
+  rec_->sink = RetireSink{};
   rec_->in_use.store(false, std::memory_order_release);
   rec_ = nullptr;
 }
@@ -64,7 +66,7 @@ void EpochReclaimer::retire_bundle(ThreadHandle& h, std::uint64_t,
   Guard::Rec& rec = *h.rec_;
   const std::uint64_t now = global_epoch_.load(std::memory_order_acquire);
   const std::size_t idx = static_cast<std::size_t>(now % 3);
-  maybe_free_bucket(rec, idx, now);
+  maybe_free_bucket(rec, idx, now, &rec.sink);
   rec.bucket_epoch[idx] = now;
   retired_.fetch_add(nodes.size(), std::memory_order_relaxed);
   auto& bucket = rec.bucket[idx];
@@ -77,12 +79,13 @@ void EpochReclaimer::retire_bundle(ThreadHandle& h, std::uint64_t,
     try_advance();
     // Opportunistically free whatever ripened, including other buckets.
     const std::uint64_t e = global_epoch_.load(std::memory_order_acquire);
-    for (std::size_t i = 0; i < 3; ++i) maybe_free_bucket(rec, i, e);
+    for (std::size_t i = 0; i < 3; ++i) maybe_free_bucket(rec, i, e, &rec.sink);
   }
 }
 
 void EpochReclaimer::maybe_free_bucket(Guard::Rec& rec, std::size_t idx,
-                                       std::uint64_t now) {
+                                       std::uint64_t now,
+                                       const RetireSink* sink) {
   auto& bucket = rec.bucket[idx];
   if (bucket.empty()) return;
   // Contents were retired in bucket_epoch[idx]; all guards that could see
@@ -90,7 +93,7 @@ void EpochReclaimer::maybe_free_bucket(Guard::Rec& rec, std::size_t idx,
   // guard has been released.
   if (rec.bucket_epoch[idx] + 2 <= now) {
     freed_.fetch_add(bucket.size(), std::memory_order_relaxed);
-    run_all(bucket);
+    free_all(bucket, sink);
   }
 }
 
@@ -130,7 +133,9 @@ void EpochReclaimer::free_ripe_orphans_locked(std::uint64_t now) {
   for (std::size_t i = 0; i < orphans_.size(); ++i) {
     if (orphans_[i].epoch + 2 <= now) {
       freed_.fetch_add(orphans_[i].nodes.size(), std::memory_order_relaxed);
-      run_all(orphans_[i].nodes);
+      // Orphans free on whatever thread advances the epoch — never
+      // through a thread-local sink.
+      free_all(orphans_[i].nodes, nullptr);
     } else {
       if (kept != i) orphans_[kept] = std::move(orphans_[i]);
       ++kept;
@@ -150,7 +155,8 @@ void EpochReclaimer::drain_all() {
     std::lock_guard lock(registry_mu_);
     for (auto& slot : registry_) {
       for (std::size_t i = 0; i < 3; ++i) {
-        maybe_free_bucket(slot->value, i, now);
+        // Teardown runs on an arbitrary thread: no sink.
+        maybe_free_bucket(slot->value, i, now, nullptr);
       }
     }
   }

@@ -94,7 +94,10 @@ class EpochReclaimer {
   void try_advance() noexcept;
 
   // Frees the bucket's contents if its epoch is at least two behind now.
-  void maybe_free_bucket(Guard::Rec& rec, std::size_t idx, std::uint64_t now);
+  // `sink` (nullable) routes ripened blocks into the owning thread's
+  // magazine cache; only the owner thread may pass a non-null sink.
+  void maybe_free_bucket(Guard::Rec& rec, std::size_t idx, std::uint64_t now,
+                         const RetireSink* sink);
 
   void flush_to_orphans(Guard::Rec& rec);
   void free_ripe_orphans_locked(std::uint64_t now);
@@ -122,6 +125,10 @@ struct EpochReclaimer::Guard::Rec {
   std::uint64_t bucket_epoch[3] = {0, 0, 0};
   std::uint64_t since_scan = 0;
   EpochReclaimer* owner = nullptr;
+  // Written by the owning thread only (via ThreadHandle::set_retire_sink)
+  // and cleared in release() before in_use is dropped; the foreign-thread
+  // paths (drain_all, orphans) never read it.
+  RetireSink sink{};
 };
 
 class EpochReclaimer::ThreadHandle {
@@ -139,6 +146,13 @@ class EpochReclaimer::ThreadHandle {
   ThreadHandle(const ThreadHandle&) = delete;
   ThreadHandle& operator=(const ThreadHandle&) = delete;
   ~ThreadHandle() { release(); }
+
+  /// Routes this thread's expired bundles into a local magazine cache.
+  /// The sink's object must outlive the handle (it is cleared on
+  /// release, which runs before a stack-ordered ThreadCache dies).
+  void set_retire_sink(const RetireSink& sink) noexcept {
+    if (rec_ != nullptr) rec_->sink = sink;
+  }
 
  private:
   friend class EpochReclaimer;

@@ -62,7 +62,7 @@ void HazardRootReclaimer::retire_bundle(ThreadHandle& h,
   }
   if (++h.since_scan_ >= kScanInterval) {
     h.since_scan_ = 0;
-    collect();
+    collect(&h.sink_);
   }
 }
 
@@ -75,7 +75,7 @@ std::uint64_t HazardRootReclaimer::min_protected_era_locked() {
   return min;
 }
 
-void HazardRootReclaimer::collect() {
+void HazardRootReclaimer::collect(const RetireSink* sink) {
   std::vector<Bundle> ripe;
   {
     std::lock_guard lock(mu_);
@@ -95,10 +95,13 @@ void HazardRootReclaimer::collect() {
   }
   for (auto& b : ripe) {
     freed_.fetch_add(b.nodes.size(), std::memory_order_relaxed);
-    run_all(b.nodes);
+    free_all(b.nodes, sink);
   }
 }
 
-void HazardRootReclaimer::drain_all() { collect(); }
+void HazardRootReclaimer::drain_all() {
+  // Teardown/test path, possibly on a foreign thread: no sink.
+  collect(nullptr);
+}
 
 }  // namespace pathcopy::reclaim

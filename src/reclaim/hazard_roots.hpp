@@ -55,21 +55,29 @@ class HazardRootReclaimer {
    public:
     ThreadHandle() noexcept = default;
     ThreadHandle(ThreadHandle&& o) noexcept
-        : slot_(o.slot_), since_scan_(o.since_scan_) {
+        : slot_(o.slot_), since_scan_(o.since_scan_), sink_(o.sink_) {
       o.slot_ = nullptr;
+      o.sink_ = RetireSink{};
     }
     ThreadHandle& operator=(ThreadHandle&& o) noexcept {
       if (this != &o) {
         release();
         slot_ = o.slot_;
         since_scan_ = o.since_scan_;
+        sink_ = o.sink_;
         o.slot_ = nullptr;
+        o.sink_ = RetireSink{};
       }
       return *this;
     }
     ThreadHandle(const ThreadHandle&) = delete;
     ThreadHandle& operator=(const ThreadHandle&) = delete;
     ~ThreadHandle() { release(); }
+
+    /// Routes bundles this thread's scans ripen into a local magazine
+    /// cache. Handle-local: the sink dies with the handle, which a
+    /// stack-ordered ThreadCache outlives.
+    void set_retire_sink(const RetireSink& sink) noexcept { sink_ = sink; }
 
    private:
     friend class HazardRootReclaimer;
@@ -81,9 +89,11 @@ class HazardRootReclaimer {
         slot_->in_use.store(false, std::memory_order_release);
         slot_ = nullptr;
       }
+      sink_ = RetireSink{};
     }
     Slot* slot_ = nullptr;
     std::uint64_t since_scan_ = 0;
+    RetireSink sink_{};
   };
 
   class Guard {
@@ -129,7 +139,8 @@ class HazardRootReclaimer {
   }
 
  private:
-  void collect();
+  // `sink` (nullable) must belong to the calling thread.
+  void collect(const RetireSink* sink);
   std::uint64_t min_protected_era_locked();
 
   std::mutex registry_mu_;

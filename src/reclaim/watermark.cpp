@@ -111,11 +111,12 @@ void WatermarkReclaimer::retire_bundle(ThreadHandle& h,
   }
   if (++h.since_scan_ >= kScanInterval) {
     h.since_scan_ = 0;
-    collect(min_pinned_version());
+    collect(min_pinned_version(), &h.sink_);
   }
 }
 
-void WatermarkReclaimer::collect(std::uint64_t min_pinned) {
+void WatermarkReclaimer::collect(std::uint64_t min_pinned,
+                                 const RetireSink* sink) {
   std::vector<Bundle> ripe;
   {
     std::lock_guard lock(bundle_mu_);
@@ -134,10 +135,13 @@ void WatermarkReclaimer::collect(std::uint64_t min_pinned) {
   }
   for (auto& b : ripe) {
     freed_.fetch_add(b.nodes.size(), std::memory_order_relaxed);
-    run_all(b.nodes);
+    free_all(b.nodes, sink);
   }
 }
 
-void WatermarkReclaimer::drain_all() { collect(min_pinned_version()); }
+void WatermarkReclaimer::drain_all() {
+  // Teardown/test path, possibly on a foreign thread: no sink.
+  collect(min_pinned_version(), nullptr);
+}
 
 }  // namespace pathcopy::reclaim

@@ -45,21 +45,29 @@ class WatermarkReclaimer {
    public:
     ThreadHandle() noexcept = default;
     ThreadHandle(ThreadHandle&& o) noexcept
-        : slot_(o.slot_), since_scan_(o.since_scan_) {
+        : slot_(o.slot_), since_scan_(o.since_scan_), sink_(o.sink_) {
       o.slot_ = nullptr;
+      o.sink_ = RetireSink{};
     }
     ThreadHandle& operator=(ThreadHandle&& o) noexcept {
       if (this != &o) {
         release();
         slot_ = o.slot_;
         since_scan_ = o.since_scan_;
+        sink_ = o.sink_;
         o.slot_ = nullptr;
+        o.sink_ = RetireSink{};
       }
       return *this;
     }
     ThreadHandle(const ThreadHandle&) = delete;
     ThreadHandle& operator=(const ThreadHandle&) = delete;
     ~ThreadHandle() { release(); }
+
+    /// Routes bundles this thread's scans ripen into a local magazine
+    /// cache. Handle-local: the sink dies with the handle, which a
+    /// stack-ordered ThreadCache outlives.
+    void set_retire_sink(const RetireSink& sink) noexcept { sink_ = sink; }
 
    private:
     friend class WatermarkReclaimer;
@@ -70,9 +78,11 @@ class WatermarkReclaimer {
         slot_->in_use.store(false, std::memory_order_release);
         slot_ = nullptr;
       }
+      sink_ = RetireSink{};
     }
     Slot* slot_ = nullptr;
     std::uint64_t since_scan_ = 0;
+    RetireSink sink_{};
   };
 
   class Guard {
@@ -144,8 +154,9 @@ class WatermarkReclaimer {
   std::uint64_t watermark();
 
  private:
-  // Frees every bundle with death_version <= the given watermark.
-  void collect(std::uint64_t min_pinned);
+  // Frees every bundle with death_version <= the given watermark. `sink`
+  // (nullable) must belong to the calling thread.
+  void collect(std::uint64_t min_pinned, const RetireSink* sink);
   std::uint64_t min_pinned_version();
 
   std::mutex registry_mu_;

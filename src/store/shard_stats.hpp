@@ -89,17 +89,19 @@ class ShardStatsBoard {
   /// this shard because its version moved mid-validation). "batched%" is
   /// the share of installs that went through the sorted-sweep path — the
   /// quantity shard-count sweeps move.
-  /// The three trailing columns are the rebalancing subsystem's:
   /// "epo-wait" counts ops/cuts that parked on a migrating topology,
   /// "mig-in"/"mig-out" the keys a Rebalancer moved into/out of the
-  /// shard (zero on maps that never rebalance).
+  /// shard (zero on maps that never rebalance). "recycled" is the
+  /// failed-install recycling loop: create() calls the shard's workers
+  /// served from a builder bin instead of the allocator (zero when the
+  /// shard never saw CAS contention or recycling is off).
   void print(std::FILE* out) const {
     std::fprintf(out,
                  "%6s  %10s  %10s  %12s  %9s  %11s  %8s  %9s  %9s  %8s  "
-                 "%8s  %8s\n",
+                 "%8s  %8s  %8s\n",
                  "shard", "installs", "noops", "cas-fail/op", "batched%",
                  "mean batch", "q-depth", "task-us", "cut-retry", "epo-wait",
-                 "mig-in", "mig-out");
+                 "mig-in", "mig-out", "recycled");
     core::OpStats t;
     for (std::size_t i = 0; i < per_shard_.size(); ++i) {
       const core::OpStats s = shard(i);
@@ -108,7 +110,7 @@ class ShardStatsBoard {
     }
     std::fprintf(out,
                  "%6s  %10llu  %10llu  %12.3f  %8.1f%%  %11.2f  %8.2f  "
-                 "%9.1f  %9llu  %8llu  %8llu  %8llu\n",
+                 "%9.1f  %9llu  %8llu  %8llu  %8llu  %8llu\n",
                  "total", static_cast<unsigned long long>(t.updates),
                  static_cast<unsigned long long>(t.noop_updates),
                  t.failure_ratio(), batched_pct(t), t.mean_batch_size(),
@@ -116,7 +118,8 @@ class ShardStatsBoard {
                  static_cast<unsigned long long>(t.cut_retries),
                  static_cast<unsigned long long>(t.epoch_retries),
                  static_cast<unsigned long long>(t.mig_keys_in),
-                 static_cast<unsigned long long>(t.mig_keys_out));
+                 static_cast<unsigned long long>(t.mig_keys_out),
+                 static_cast<unsigned long long>(t.recycled_nodes));
     RebalanceSummary reb;
     bool have = false;
     {
@@ -157,7 +160,7 @@ class ShardStatsBoard {
                         const core::OpStats& s) {
     std::fprintf(out,
                  "%6zu  %10llu  %10llu  %12.3f  %8.1f%%  %11.2f  %8.2f  "
-                 "%9.1f  %9llu  %8llu  %8llu  %8llu\n",
+                 "%9.1f  %9llu  %8llu  %8llu  %8llu  %8llu\n",
                  i, static_cast<unsigned long long>(s.updates),
                  static_cast<unsigned long long>(s.noop_updates),
                  s.failure_ratio(), batched_pct(s), s.mean_batch_size(),
@@ -165,7 +168,8 @@ class ShardStatsBoard {
                  static_cast<unsigned long long>(s.cut_retries),
                  static_cast<unsigned long long>(s.epoch_retries),
                  static_cast<unsigned long long>(s.mig_keys_in),
-                 static_cast<unsigned long long>(s.mig_keys_out));
+                 static_cast<unsigned long long>(s.mig_keys_out),
+                 static_cast<unsigned long long>(s.recycled_nodes));
   }
 
   mutable std::mutex mu_;

@@ -9,6 +9,7 @@
 #include "alloc/malloc_alloc.hpp"
 #include "alloc/pool_alloc.hpp"
 #include "alloc/thread_cache_alloc.hpp"
+#include "reclaim/retired.hpp"
 
 namespace pathcopy {
 namespace {
@@ -251,6 +252,177 @@ TEST(ThreadCache, ConcurrentCaches) {
     });
   }
   for (auto& w : workers) w.join();
+}
+
+TEST(Pool, FreeBatchIsOneLockedTrip) {
+  alloc::PoolBackend pool;
+  void* items[16];
+  ASSERT_EQ(pool.pop_batch(alloc::PoolBackend::class_of(48), items, 16), 16u);
+  const auto locks_before = pool.lock_acquisitions();
+  pool.free_batch(items, 16, 48, 8);
+  EXPECT_EQ(pool.lock_acquisitions(), locks_before + 1);  // one trip for 16
+  // The blocks are reusable: pop them back out.
+  void* again[16];
+  EXPECT_EQ(pool.pop_batch(alloc::PoolBackend::class_of(48), again, 16), 16u);
+}
+
+TEST(Pool, FreeBatchOversizeFallsBackPerBlock) {
+  alloc::PoolBackend pool;
+  alloc::PoolView view(pool);
+  void* items[3];
+  for (void*& p : items) p = view.allocate(4096, 8);
+  pool.free_batch(items, 3, 4096, 8);
+  EXPECT_EQ(pool.stats().live_blocks(), 0u);
+}
+
+TEST(ThreadCache, AcceptRetiredFillsMagazineWithoutBackendTrips) {
+  alloc::PoolBackend pool;
+  alloc::ThreadCache cache(pool);
+  // Prime the size class so the magazine exists and the refill trip is
+  // already paid for.
+  void* warm = cache.allocate(48, 8);
+  cache.deallocate(warm, 48, 8);
+  // Stage "retired" blocks straight from the backend (as a bundle free
+  // would after running destructors).
+  void* retired[8];
+  ASSERT_EQ(pool.pop_batch(alloc::PoolBackend::class_of(48), retired, 8), 8u);
+  const auto locks_before = pool.lock_acquisitions();
+  EXPECT_TRUE(cache.accept_retired(&pool, retired, 8, 48, 8));
+  EXPECT_EQ(pool.lock_acquisitions(), locks_before);  // zero backend trips
+  EXPECT_EQ(cache.stats().recycled.load(), 8u);
+  // Retire-then-alloc reuse: the next allocations come from the absorbed
+  // blocks (LIFO magazine order), still without touching the backend.
+  std::unordered_set<void*> absorbed(retired, retired + 8);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_TRUE(absorbed.count(cache.allocate(48, 8)) == 1);
+  }
+  EXPECT_EQ(pool.lock_acquisitions(), locks_before);
+}
+
+TEST(ThreadCache, AcceptRetiredRefusesForeignBackendAndOversize) {
+  alloc::PoolBackend pool;
+  alloc::PoolBackend other;
+  alloc::ThreadCache cache(pool);
+  void* blocks[2];
+  ASSERT_EQ(pool.pop_batch(alloc::PoolBackend::class_of(48), blocks, 2), 2u);
+  // Wrong backend: the blocks belong to `pool`, the sink must refuse so
+  // they flow through `other`'s own free path... and vice versa here.
+  EXPECT_FALSE(cache.accept_retired(&other, blocks, 2, 48, 8));
+  // Oversize class: magazines only hold pooled classes.
+  EXPECT_FALSE(cache.accept_retired(&pool, blocks, 2, 4096, 8));
+  EXPECT_EQ(cache.stats().recycled.load(), 0u);
+  pool.free_batch(blocks, 2, 48, 8);
+}
+
+TEST(ThreadCache, AcceptRetiredPastHighWaterFlushesBatched) {
+  alloc::PoolBackend pool;
+  alloc::ThreadCache cache(pool);
+  // Absorb 2*kHighWater retired blocks: the magazine must flush older
+  // halves in kBatch-sized push_batch trips, never overflow.
+  constexpr std::size_t kN = 2 * alloc::ThreadCache::kHighWater;
+  std::vector<void*> retired(kN);
+  ASSERT_EQ(pool.pop_batch(alloc::PoolBackend::class_of(64), retired.data(), kN),
+            kN);
+  const auto locks_before = pool.lock_acquisitions();
+  EXPECT_TRUE(cache.accept_retired(&pool, retired.data(), kN, 64, 8));
+  const auto flush_trips = pool.lock_acquisitions() - locks_before;
+  // Absorbing kN into a kHighWater magazine flushes the older half
+  // (kBatch blocks) each time the magazine refills: (kN - kHighWater) /
+  // kBatch trips — batched, never per-block.
+  EXPECT_EQ(flush_trips,
+            (kN - alloc::ThreadCache::kHighWater) / alloc::ThreadCache::kBatch);
+  cache.flush();
+}
+
+namespace {
+struct RetireProbe {
+  static int destroyed;
+  std::uint64_t payload = 0;
+  ~RetireProbe() { ++destroyed; }
+};
+int RetireProbe::destroyed = 0;
+}  // namespace
+
+TEST(RetireSink, FreeAllRoutesBundleIntoSinkMagazines) {
+  alloc::PoolBackend pool;
+  alloc::ThreadCache cache(pool);
+  RetireProbe::destroyed = 0;
+  // Build a bundle of same-class retired nodes, as a winning writer's
+  // commit() would.
+  std::vector<reclaim::Retired> bundle;
+  for (int i = 0; i < 12; ++i) {
+    void* raw = pool.allocate(sizeof(RetireProbe), alignof(RetireProbe));
+    bundle.push_back(reclaim::make_retired(new (raw) RetireProbe, &pool));
+  }
+  const reclaim::RetireSink sink = cache.retire_sink();
+  const auto locks_before = pool.lock_acquisitions();
+  reclaim::free_all(bundle, &sink);
+  EXPECT_TRUE(bundle.empty());
+  EXPECT_EQ(RetireProbe::destroyed, 12);        // destructors all ran
+  EXPECT_EQ(pool.lock_acquisitions(), locks_before);  // absorbed, no trips
+  EXPECT_EQ(cache.stats().recycled.load(), 12u);
+  // The recycled bytes are immediately allocatable from this thread.
+  void* p = cache.allocate(sizeof(RetireProbe), alignof(RetireProbe));
+  EXPECT_NE(p, nullptr);
+  cache.deallocate(p, sizeof(RetireProbe), alignof(RetireProbe));
+}
+
+TEST(RetireSink, FreeAllWithoutSinkUsesOneBackendTripPerClass) {
+  alloc::PoolBackend pool;
+  RetireProbe::destroyed = 0;
+  std::vector<reclaim::Retired> bundle;
+  for (int i = 0; i < 10; ++i) {
+    void* raw = pool.allocate(sizeof(RetireProbe), alignof(RetireProbe));
+    bundle.push_back(reclaim::make_retired(new (raw) RetireProbe, &pool));
+  }
+  const auto locks_before = pool.lock_acquisitions();
+  reclaim::free_all(bundle, nullptr);
+  EXPECT_EQ(RetireProbe::destroyed, 10);
+  // One size class -> exactly one push_batch trip for the whole bundle.
+  EXPECT_EQ(pool.lock_acquisitions(), locks_before + 1);
+  EXPECT_EQ(pool.stats().live_blocks(), 0u);
+}
+
+TEST(RetireSink, UnbatchedFallbackStillFreesPerNode) {
+  alloc::PoolBackend pool;
+  RetireProbe::destroyed = 0;
+  std::vector<reclaim::Retired> bundle;
+  for (int i = 0; i < 4; ++i) {
+    void* raw = pool.allocate(sizeof(RetireProbe), alignof(RetireProbe));
+    bundle.push_back(reclaim::make_retired(new (raw) RetireProbe, &pool));
+  }
+  reclaim::set_batched_free(false);  // the pre-batching A/B baseline
+  const auto locks_before = pool.lock_acquisitions();
+  reclaim::free_all(bundle, nullptr);
+  reclaim::set_batched_free(true);
+  EXPECT_EQ(RetireProbe::destroyed, 4);
+  EXPECT_EQ(pool.lock_acquisitions(), locks_before + 4);  // per-node locks
+  EXPECT_EQ(pool.stats().live_blocks(), 0u);
+}
+
+TEST(RetireSink, CrossThreadRetireThenAllocReuse) {
+  // Thread A's nodes retire while thread B's cache is the sink (the
+  // shard-executor shape: whoever's scan ripens the bundle absorbs it);
+  // B's subsequent allocations reuse the bytes without backend trips.
+  alloc::PoolBackend pool;
+  std::vector<reclaim::Retired> bundle;
+  std::thread producer([&] {
+    for (int i = 0; i < 6; ++i) {
+      void* raw = pool.allocate(sizeof(RetireProbe), alignof(RetireProbe));
+      bundle.push_back(reclaim::make_retired(new (raw) RetireProbe, &pool));
+    }
+  });
+  producer.join();
+  std::thread consumer([&] {
+    alloc::ThreadCache cache(pool);
+    const reclaim::RetireSink sink = cache.retire_sink();
+    reclaim::free_all(bundle, &sink);
+    EXPECT_EQ(cache.stats().recycled.load(), 6u);
+    void* p = cache.allocate(sizeof(RetireProbe), alignof(RetireProbe));
+    EXPECT_NE(p, nullptr);
+    cache.deallocate(p, sizeof(RetireProbe), alignof(RetireProbe));
+  });
+  consumer.join();
 }
 
 }  // namespace

@@ -201,6 +201,61 @@ TEST(AtomConcurrentAlloc, ThreadCachedPoolUnderContention) {
   }
 }
 
+TEST(AtomConcurrentRecycle, ContendedOracleStaysExactWithRecyclingHot) {
+  // kThreads * kIncrements atomic increments of one key, run with the
+  // full memory loop hot: per-thread ThreadCaches, failed-install
+  // recycling (builder bin reuse on every lost CAS) and bundle->magazine
+  // retire sinks — all defaults, this test pins down that they ARE the
+  // defaults. Any use-after-recycle (a losing attempt's node reachable by
+  // a reader, a retired block reused before its grace period) manifests
+  // as a lost or phantom increment; the ASan/TSan CI jobs run this suite
+  // to chase the same window at the byte level.
+  alloc::PoolBackend pool;
+  constexpr int kThreads = 4;
+  constexpr std::int64_t kIncrements = 2000;
+  using Atom = core::Atom<T, reclaim::EpochReclaimer, alloc::ThreadCache>;
+  std::atomic<std::uint64_t> failures{0}, recycled{0}, failed_nodes{0};
+  {
+    reclaim::EpochReclaimer smr;
+    Atom atom(smr, pool);
+    {
+      alloc::ThreadCache cache(pool);
+      Atom::Ctx ctx(smr, cache);
+      atom.update(ctx, [](T t, auto& b) { return t.insert(b, 0, 0); });
+    }
+    std::vector<std::thread> workers;
+    for (int w = 0; w < kThreads; ++w) {
+      workers.emplace_back([&] {
+        alloc::ThreadCache cache(pool);  // destroyed after ctx: sink-safe
+        Atom::Ctx ctx(smr, cache);
+        for (std::int64_t i = 0; i < kIncrements; ++i) {
+          atom.update(ctx, [](T t, auto& b) {
+            const std::int64_t cur = *t.find(0);
+            return t.insert_or_assign(b, 0, cur + 1);
+          });
+        }
+        failures += ctx.stats.cas_failures;
+        recycled += ctx.stats.recycled_nodes;
+        failed_nodes += ctx.stats.failed_attempt_nodes;
+      });
+    }
+    for (auto& w : workers) w.join();
+    alloc::ThreadCache cache(pool);
+    Atom::Ctx ctx(smr, cache);
+    // The oracle: exactly kThreads * kIncrements increments landed.
+    EXPECT_EQ(atom.read(ctx, [](T t) { return *t.find(0); }),
+              kThreads * kIncrements);
+    EXPECT_TRUE(atom.read(ctx, [](T t) { return t.check_invariants(); }));
+  }
+  // Every lost CAS parks its path in the bin and the retry's first
+  // create() takes from it, so reuse keeps pace with failures whenever
+  // contention actually happened (it may not on a single-core host).
+  if (failures.load() > 0) {
+    EXPECT_GT(failed_nodes.load(), 0u);
+    EXPECT_GE(recycled.load(), failures.load());
+  }
+}
+
 TEST(AtomConcurrentStats, ContentionIsObservable) {
   // Not asserting a minimum (scheduling dependent), just that the counter
   // wiring adds up: attempts == updates + noops + cas_failures.

@@ -39,15 +39,19 @@ TEST(Builder, SealPublishesSurvivors) {
 
 TEST(Builder, SupersedeFreshMarksDeadAndCommitRecycles) {
   alloc::MallocAlloc a;
-  core::Builder<alloc::MallocAlloc> b(a);
-  const TestNode* n = b.create<TestNode>(1);
-  b.supersede(n);
-  EXPECT_EQ(n->pc_state_, core::NodeState::kFreshDead);
-  b.seal();
-  auto retired = b.commit();
-  EXPECT_TRUE(retired.empty());          // fresh-dead nodes are not retired
-  EXPECT_EQ(a.stats().live_blocks(), 0u);  // they are recycled immediately
-  EXPECT_EQ(b.stats().recycled, 1u);
+  {
+    core::Builder<alloc::MallocAlloc> b(a);
+    const TestNode* n = b.create<TestNode>(1);
+    b.supersede(n);
+    EXPECT_EQ(n->pc_state_, core::NodeState::kFreshDead);
+    b.seal();
+    auto retired = b.commit();
+    EXPECT_TRUE(retired.empty());  // fresh-dead nodes are not retired
+    EXPECT_EQ(b.stats().recycled, 1u);
+    EXPECT_EQ(b.bin_count(), 1u);  // parked for reuse, not freed
+  }
+  // The bin drains to the allocator when the builder dies.
+  EXPECT_EQ(a.stats().live_blocks(), 0u);
 }
 
 TEST(Builder, SupersedePublishedGoesToRetireSet) {
@@ -72,14 +76,70 @@ TEST(Builder, SupersedePublishedGoesToRetireSet) {
 
 TEST(Builder, RollbackRecyclesEverything) {
   alloc::MallocAlloc a;
-  core::Builder<alloc::MallocAlloc> b(a);
-  b.create<TestNode>(1);
-  b.create<TestNode>(2);
-  const TestNode* dead = b.create<TestNode>(3);
-  b.supersede(dead);
-  b.rollback();
+  {
+    core::Builder<alloc::MallocAlloc> b(a);
+    b.create<TestNode>(1);
+    b.create<TestNode>(2);
+    const TestNode* dead = b.create<TestNode>(3);
+    b.supersede(dead);
+    b.rollback();
+    EXPECT_EQ(b.stats().recycled, 3u);
+    EXPECT_EQ(b.bin_count(), 3u);  // all three parked for the next attempt
+  }
   EXPECT_EQ(a.stats().live_blocks(), 0u);
-  EXPECT_EQ(b.stats().recycled, 3u);
+}
+
+TEST(Builder, FailedAttemptNodesAreReusedByTheRetry) {
+  alloc::MallocAlloc a;
+  core::Builder<alloc::MallocAlloc> b(a);
+  // Attempt 1 loses its CAS: the path's nodes go to the bin.
+  const TestNode* n1 = b.create<TestNode>(1);
+  const TestNode* n2 = b.create<TestNode>(2);
+  b.rollback();
+  const std::uint64_t allocs_before =
+      a.stats().allocs.load(std::memory_order_relaxed);
+  // Attempt 2 (the retry): create() must serve both nodes from the bin —
+  // same blocks, zero new allocations.
+  b.reset();
+  const TestNode* m1 = b.create<TestNode>(3);
+  const TestNode* m2 = b.create<TestNode>(4);
+  EXPECT_EQ(a.stats().allocs.load(std::memory_order_relaxed), allocs_before);
+  EXPECT_EQ(b.stats().reused, 2u);
+  // LIFO bin: last recycled block comes out first.
+  EXPECT_EQ(static_cast<const void*>(m1), static_cast<const void*>(n2));
+  EXPECT_EQ(static_cast<const void*>(m2), static_cast<const void*>(n1));
+  b.rollback();
+}
+
+TEST(Builder, WonAttemptNodesAreNotRecycled) {
+  alloc::MallocAlloc a;
+  const TestNode* winner = nullptr;
+  {
+    core::Builder<alloc::MallocAlloc> b(a);
+    winner = b.create<TestNode>(9);
+    b.seal();
+    auto retired = b.commit();
+    EXPECT_TRUE(retired.empty());
+    EXPECT_EQ(b.stats().recycled, 0u);
+    EXPECT_EQ(b.bin_count(), 0u);  // a published node never enters the bin
+  }
+  // The winner outlives the builder (it is published structure state).
+  EXPECT_EQ(winner->pc_state_, core::NodeState::kPublished);
+  EXPECT_EQ(a.stats().live_blocks(), 1u);
+  winner->~TestNode();
+  a.deallocate(const_cast<TestNode*>(winner), sizeof(TestNode),
+               alignof(TestNode));
+}
+
+TEST(Builder, RecyclingOffRestoresImmediateDeallocate) {
+  alloc::MallocAlloc a;
+  core::Builder<alloc::MallocAlloc> b(a);
+  b.set_recycling(false);
+  b.create<TestNode>(1);
+  b.rollback();
+  EXPECT_EQ(a.stats().live_blocks(), 0u);  // freed immediately, no bin
+  EXPECT_EQ(b.bin_count(), 0u);
+  EXPECT_EQ(b.stats().recycled, 1u);
 }
 
 TEST(Builder, DestructorRollsBackUnresolvedAttempt) {
@@ -95,10 +155,12 @@ TEST(Builder, DestructorRollsBackUnresolvedAttempt) {
 TEST(Builder, ResetReArmsForRetry) {
   alloc::MallocAlloc a;
   core::Builder<alloc::MallocAlloc> b(a);
-  b.create<TestNode>(1);
+  const TestNode* first = b.create<TestNode>(1);
   b.rollback();  // failed attempt
   b.reset();
   const TestNode* n = b.create<TestNode>(2);
+  // The retry reuses the failed attempt's block.
+  EXPECT_EQ(static_cast<const void*>(n), static_cast<const void*>(first));
   b.seal();
   auto retired = b.commit();
   EXPECT_TRUE(retired.empty());
@@ -112,7 +174,7 @@ TEST(Builder, ResetRollsBackImplicitly) {
   core::Builder<alloc::MallocAlloc> b(a);
   b.create<TestNode>(1);
   b.reset();  // unresolved attempt gets rolled back by reset
-  EXPECT_EQ(a.stats().live_blocks(), 0u);
+  EXPECT_EQ(b.bin_count(), 1u);  // recycled into the bin, not leaked
   EXPECT_EQ(b.fresh_count(), 0u);
 }
 
@@ -125,18 +187,22 @@ TEST(Builder, StatsTrackEachCategory) {
     b.seal();
     (void)b.commit();
   }
-  core::Builder<alloc::MallocAlloc> b(a);
-  const TestNode* live = b.create<TestNode>(1);
-  const TestNode* dead = b.create<TestNode>(2);
-  b.supersede(dead);
-  b.supersede(published);
-  EXPECT_EQ(b.stats().created, 2u);
-  EXPECT_EQ(b.stats().superseded_fresh, 1u);
-  EXPECT_EQ(b.stats().superseded_published, 1u);
-  b.seal();
-  auto retired = b.commit();
-  EXPECT_EQ(retired.size(), 1u);
-  reclaim::run_all(retired);
+  const TestNode* live = nullptr;
+  {
+    core::Builder<alloc::MallocAlloc> b(a);
+    live = b.create<TestNode>(1);
+    const TestNode* dead = b.create<TestNode>(2);
+    b.supersede(dead);
+    b.supersede(published);
+    EXPECT_EQ(b.stats().created, 2u);
+    EXPECT_EQ(b.stats().superseded_fresh, 1u);
+    EXPECT_EQ(b.stats().superseded_published, 1u);
+    b.seal();
+    auto retired = b.commit();
+    EXPECT_EQ(retired.size(), 1u);
+    reclaim::run_all(retired);
+    // The dead fresh node sits in b's bin until b dies here.
+  }
   // One live node remains (value 1); clean it up.
   EXPECT_EQ(a.stats().live_blocks(), 1u);
   live->~TestNode();
@@ -147,11 +213,15 @@ TEST(Builder, StatsTrackEachCategory) {
 
 TEST(Builder, WorksWithArena) {
   alloc::Arena arena;
-  core::Builder<alloc::Arena> b(arena);
-  const TestNode* n = b.create<TestNode>(5);
-  b.supersede(n);
-  b.rollback();
-  // Rollback recycled into the arena's free list: next create reuses it.
+  const TestNode* n = nullptr;
+  {
+    core::Builder<alloc::Arena> b(arena);
+    n = b.create<TestNode>(5);
+    b.supersede(n);
+    b.rollback();
+    // The block sits in b's bin until b dies, then drains to the arena's
+    // free list.
+  }
   core::Builder<alloc::Arena> b2(arena);
   const TestNode* m = b2.create<TestNode>(6);
   EXPECT_EQ(static_cast<const void*>(m), static_cast<const void*>(n));

@@ -101,18 +101,22 @@ void sweep_failure_points(const char* what, Op&& op) {
     ASSERT_EQ(base.stats().live_blocks(), live_before);
 
     for (std::uint64_t fail_at = 1; fail_at <= full_cost; ++fail_at) {
-      core::Builder<FailingAlloc> b(alloc);
-      alloc.arm(fail_at);
-      bool threw = false;
-      try {
-        (void)op(t, b);
-      } catch (const std::bad_alloc&) {
-        threw = true;
+      {
+        core::Builder<FailingAlloc> b(alloc);
+        alloc.arm(fail_at);
+        bool threw = false;
+        try {
+          (void)op(t, b);
+        } catch (const std::bad_alloc&) {
+          threw = true;
+        }
+        alloc.disarm();
+        ASSERT_TRUE(threw) << what << ": failure point " << fail_at << " of "
+                           << full_cost;
+        b.rollback();  // what the Atom's unwinding does
+        // The rolled-back blocks sit in b's recycle bin (they would feed a
+        // retry); only the builder's death returns them to the allocator.
       }
-      alloc.disarm();
-      ASSERT_TRUE(threw) << what << ": failure point " << fail_at << " of "
-                         << full_cost;
-      b.rollback();  // what the Atom's unwinding does
       ASSERT_EQ(base.stats().live_blocks(), live_before)
           << what << ": leak at failure point " << fail_at;
       ASSERT_EQ(t.root_ptr(), root_before);
