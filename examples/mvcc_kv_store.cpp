@@ -80,7 +80,10 @@ int main() {
     std::uint64_t audits = 0;
     while (!stop.load()) {
       auto snap = store.snapshot();  // pins one version, writers continue
-      const Accounts frozen = Accounts::from_root(snap.root());
+      // snap.root() is a TOKEN (empty versions are tagged sentinels);
+      // structural_root() maps it to what from_root expects.
+      const Accounts frozen =
+          Accounts::from_root(Store::structural_root(snap.root()));
       std::int64_t total = 0;
       std::int64_t richest = 0;
       frozen.for_each([&](const std::int64_t&, const std::int64_t& v) {

@@ -63,4 +63,21 @@ smoke bench_ablation_structure --quick
 SMOKE_TAG=recycle smoke bench_ablation_alloc --quick \
   --json "$build_dir/BENCH_alloc_recycle.json" --assert-recycle
 
+# Smoke: the deterministic-scheduler model checker. A separate build tree
+# because PATHCOPY_MODELCHECK=ON compiles the PC_YIELD decision points
+# into the protocols (the tier-1 binaries above stay the unmodified
+# measurement build). Time-boxed to the seeded random-walk suite plus the
+# replayed regression corpus — the exhaustive sweeps run in CI's
+# dedicated modelcheck job. The gtest exit status decides the gate
+# (pipefail past tee, as for the bench smokes); any failing walk prints
+# its seed, and PATHCOPY_MC_SEED=<seed> re-runs that exact schedule:
+#   PATHCOPY_MC_SEED=<seed> build-mc/test_model_check \
+#     --gtest_filter='ModelCheckSmoke.*'
+mc_dir="$build_dir-mc"
+cmake -B "$mc_dir" -S "$repo_root" -DPATHCOPY_MODELCHECK=ON
+cmake --build "$mc_dir" -j "$(nproc)" --target test_model_check
+"$mc_dir/test_model_check" \
+  --gtest_filter='ModelCheckSmoke.*:ModelCheckAtom.CorpusTraceReproducesTheLegacyAba:ModelCheckCut.*' \
+  | tee "$mc_dir/test_model_check.smoke.log"
+
 echo "check.sh: all gates passed"

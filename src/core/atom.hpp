@@ -13,6 +13,30 @@
 // retrying thread's cache, and because path copying shares everything off
 // the copied path, the retry misses only on the ~2 nodes the winning
 // update replaced (§3).
+//
+// Empty-version tokens: the register never holds nullptr. An empty
+// version is represented by a tag-bit pointer (bit 0 set; every node
+// allocation is 8-aligned) to an EmptyRootSentinel — the Atom's own
+// member sentinel for the construction version, and a FRESH
+// builder-allocated sentinel for every later erase-to-empty install.
+// Structurally the version is still the empty structure
+// (structural_root() strips the tag and yields nullptr); the point is
+// the token: each transition to empty publishes a distinct address that
+// is superseded and retired like any node when replaced, so
+// `root_token() == pinned token` means "this exact version, pinned
+// continuously" for empty versions by the same pinned-address-cannot-
+// recycle argument as for non-empty ones. That makes consistent-cut
+// validation (store/version_vector.hpp) exact on the token alone; the
+// nullptr-empty representation it replaces was the one recyclable token,
+// whose version-counter cross-check left a documented ABA residual
+// (reproduced as a model-check regression in tests/test_model_check.cpp).
+// The cost on the paper-baseline hot path is one test-and-mask per
+// read/update (bench_table1/2/xeon5220 A/B'd within noise).
+//
+// LegacyNullEmptyRoot re-enables the old nullptr representation. It
+// exists solely so the model-check regression can run the pre-fix
+// protocol against the schedule that breaks it; nothing else should set
+// it.
 #pragma once
 
 #include <atomic>
@@ -25,6 +49,7 @@
 #include "core/universal.hpp"
 #include "util/align.hpp"
 #include "util/assert.hpp"
+#include "util/modelcheck.hpp"
 
 namespace pathcopy::core {
 
@@ -34,7 +59,12 @@ enum class UpdateResult : std::uint8_t {
   kNoChange,   // the operation was a semantic no-op on the current version
 };
 
-template <class DS, class Smr, class Alloc>
+/// The pointee of a tagged empty-version token. Carries no data — its
+/// address is the token — but derives PNode so the builder can allocate,
+/// supersede, and retire it through the normal bundle machinery.
+struct alignas(8) EmptyRootSentinel : PNode {};
+
+template <class DS, class Smr, class Alloc, bool LegacyNullEmptyRoot = false>
 class Atom {
  public:
   using Node = typename DS::Node;
@@ -51,9 +81,27 @@ class Atom {
   using OpKind = core::OpKind;
   using BatchRequest = core::BatchRequest<Key, Value>;
 
+  static constexpr bool kNeverNullRoot = !LegacyNullEmptyRoot;
+
+  /// True for the tagged form an empty version's token takes. Tokens are
+  /// opaque to reclaimers and cut validation; only code that turns a
+  /// token back into a structure needs this.
+  static bool is_empty_token(const void* token) noexcept {
+    return (reinterpret_cast<std::uintptr_t>(token) & 1u) != 0;
+  }
+
+  /// Maps a token (e.g. a pinned snapshot's root()) to the structural
+  /// root it denotes: nullptr for empty-version tokens, the node pointer
+  /// otherwise. DS::from_root takes this, never a raw token.
+  static const void* structural_root(const void* token) noexcept {
+    return is_empty_token(token) ? nullptr : token;
+  }
+
   /// The retire backend is kept for teardown: the destructor frees the
   /// final version through it. It must outlive the Atom.
-  Atom(Smr& smr, RetireBackend& backend) : smr_(&smr), backend_(&backend) {}
+  Atom(Smr& smr, RetireBackend& backend) : smr_(&smr), backend_(&backend) {
+    initial_empty_.pc_state_ = NodeState::kPublished;
+  }
 
   /// Uniform-construction form (UniversalConstruction concept): grabs the
   /// retire backend from the allocator view, like CombiningAtom does. The
@@ -69,8 +117,18 @@ class Atom {
   Atom& operator=(const Atom&) = delete;
 
   ~Atom() {
-    const auto* root = static_cast<const Node*>(root_.load(std::memory_order_acquire));
-    DS::destroy(root, *backend_);
+    const void* t = root_.load(std::memory_order_acquire);
+    if (is_empty_token(t)) {
+      const auto* s = untag_empty(t);
+      if (s != &initial_empty_) {
+        s->~EmptyRootSentinel();
+        backend_->free_bytes(
+            const_cast<EmptyRootSentinel*>(s),  // NOLINT: owner teardown
+            sizeof(EmptyRootSentinel), alignof(EmptyRootSentinel));
+      }
+      return;
+    }
+    DS::destroy(static_cast<const Node*>(t), *backend_);
   }
 
   /// Runs f on an immutable snapshot of the current version. f must not
@@ -80,7 +138,7 @@ class Atom {
   decltype(auto) read(Ctx& ctx, F&& f) const {
     ++ctx.stats.reads;
     auto guard = smr_->pin(ctx.smr_handle, root_, version_);
-    return std::forward<F>(f)(DS::from_root(guard.root()));
+    return std::forward<F>(f)(DS::from_root(structural_root(guard.root())));
   }
 
   /// Applies f : (DS current, Builder&) -> DS candidate, retrying until a
@@ -97,24 +155,44 @@ class Atom {
       ++ctx.stats.attempts;
       auto guard = smr_->pin(ctx.smr_handle, root_, version_);
       const void* cur = guard.root();
-      DS next = f(DS::from_root(cur), builder);
+      const void* cur_structural = structural_root(cur);
+      DS next = f(DS::from_root(cur_structural), builder);
       const void* next_root = next.root_ptr();
-      if (next_root == cur) {
+      if (next_root == cur_structural) {
         builder.rollback();
         ++ctx.stats.noop_updates;
         return UpdateResult::kNoChange;
       }
+      const void* install = next_root;
+      if constexpr (kNeverNullRoot) {
+        if (next_root == nullptr) {
+          // Erase-to-empty: mint a fresh token. Reusing any fixed
+          // address (the member sentinel, say) would recreate the exact
+          // token recycling this representation exists to kill.
+          install = tag_empty(builder.template create<EmptyRootSentinel>());
+        }
+        if (is_empty_token(cur)) {
+          const EmptyRootSentinel* old = untag_empty(cur);
+          // The construction sentinel is a member, not a heap node; it
+          // simply becomes unreachable (and dies with the Atom).
+          if (old != &initial_empty_) builder.supersede(old);
+        }
+      }
       builder.seal();
+      PC_YIELD("atom.install");
       const void* expected = cur;
-      if (root_.compare_exchange_strong(expected, next_root,
+      if (root_.compare_exchange_strong(expected, install,
                                         std::memory_order_seq_cst,
                                         std::memory_order_relaxed)) {
         // Version is bumped after the root swings, so the counter always
         // trails the root — the invariant the watermark reclaimer's
-        // pin-then-load protocol relies on.
+        // pin-then-load protocol relies on. The window between the CAS
+        // and the bump is a model-check decision point: the pre-fix cut
+        // ABA lived exactly here.
+        PC_YIELD("atom.bump");
         const std::uint64_t death =
             version_.fetch_add(1, std::memory_order_seq_cst) + 1;
-        smr_->retire_bundle(ctx.smr_handle, death, cur, next_root,
+        smr_->retire_bundle(ctx.smr_handle, death, cur, install,
                             builder.commit());
         ++ctx.stats.updates;
         return UpdateResult::kInstalled;
@@ -134,10 +212,12 @@ class Atom {
     return version_.load(std::memory_order_acquire);
   }
 
-  /// Opaque identity of the current root. Changes on every install; while
-  /// a VersionedView pins a root, that root's address cannot be recycled,
-  /// so comparing its token against this probe is an ABA-free "did the
-  /// shard move?" check (see the concept note in core/universal.hpp).
+  /// Opaque identity of the current root. Changes on every install —
+  /// including installs of empty versions, whose tokens are distinct
+  /// tagged sentinel addresses; while a VersionedView pins a root, that
+  /// root's address cannot be recycled, so comparing its token against
+  /// this probe is an ABA-free "did the shard move?" check for every
+  /// version (see the concept note in core/universal.hpp).
   const void* root_token() const noexcept {
     return root_.load(std::memory_order_acquire);
   }
@@ -164,7 +244,8 @@ class Atom {
     const std::uint64_t v = version_.load(std::memory_order_seq_cst);
     auto guard = smr_->pin(ctx.smr_handle, root_, version_);
     const void* r = guard.root();
-    return VersionedView{std::move(guard), DS::from_root(r), v, r};
+    return VersionedView{std::move(guard), DS::from_root(structural_root(r)),
+                         v, r};
   }
 
   /// Runs f on a pinned snapshot and returns (result, version label),
@@ -189,6 +270,8 @@ class Atom {
   }
 
   /// For reclaimers supporting long-lived snapshots (WatermarkReclaimer).
+  /// The returned snapshot's root() is a TOKEN — pass it through
+  /// structural_root() before DS::from_root.
   template <class S = Smr>
   auto snapshot() const -> decltype(std::declval<S&>().pin_snapshot(
       std::declval<const std::atomic<const void*>&>(),
@@ -254,7 +337,20 @@ class Atom {
   }
 
  private:
-  alignas(util::kCacheLine) std::atomic<const void*> root_{nullptr};
+  static const void* tag_empty(const EmptyRootSentinel* s) noexcept {
+    return reinterpret_cast<const void*>(reinterpret_cast<std::uintptr_t>(s) |
+                                         1u);
+  }
+  static const EmptyRootSentinel* untag_empty(const void* token) noexcept {
+    PC_DASSERT(is_empty_token(token), "untag of a structural root");
+    return reinterpret_cast<const EmptyRootSentinel*>(
+        reinterpret_cast<std::uintptr_t>(token) & ~std::uintptr_t{1});
+  }
+
+  // Declared before root_: its address seeds root_'s initializer.
+  EmptyRootSentinel initial_empty_;
+  alignas(util::kCacheLine) std::atomic<const void*> root_{
+      kNeverNullRoot ? tag_empty(&initial_empty_) : nullptr};
   alignas(util::kCacheLine) std::atomic<std::uint64_t> version_{1};
   Smr* smr_;
   RetireBackend* backend_;

@@ -60,6 +60,7 @@
 #include "core/universal.hpp"
 #include "util/align.hpp"
 #include "util/assert.hpp"
+#include "util/modelcheck.hpp"
 #include "util/racy_cell.hpp"
 
 namespace pathcopy::core {
@@ -317,6 +318,7 @@ class CombiningAtom {
             vr->last_result);
         builder.supersede(vr);
         builder.seal();
+        PC_YIELD("atom.install");
         const void* expected = vr;
         if (!root_.compare_exchange_strong(expected, nvr,
                                            std::memory_order_seq_cst,
@@ -327,6 +329,7 @@ class CombiningAtom {
           chunk /= 2;
           continue;
         }
+        PC_YIELD("atom.bump");
         const std::uint64_t death =
             version_.fetch_add(1, std::memory_order_seq_cst) + 1;
         smr_->retire_bundle(ctx.smr_handle, death, vr, nvr, builder.commit());
@@ -378,10 +381,12 @@ class CombiningAtom {
           next.root_ptr(), vr->version + 1, vr->applied_seq, vr->last_result);
       builder.supersede(vr);
       builder.seal();
+      PC_YIELD("atom.install");
       const void* expected = vr;
       if (root_.compare_exchange_strong(expected, nvr,
                                         std::memory_order_seq_cst,
                                         std::memory_order_relaxed)) {
+        PC_YIELD("atom.bump");
         const std::uint64_t death =
             version_.fetch_add(1, std::memory_order_seq_cst) + 1;
         smr_->retire_bundle(ctx.smr_handle, death, vr, nvr, builder.commit());
@@ -616,6 +621,7 @@ class CombiningAtom {
         ds.root_ptr(), vr->version + 1, applied, results);
     builder.supersede(vr);
     builder.seal();
+    PC_YIELD("atom.install");
     const void* expected = vr;
     if (!root_.compare_exchange_strong(expected, nvr,
                                        std::memory_order_seq_cst,
@@ -625,6 +631,7 @@ class CombiningAtom {
       ++ctx.stats.cas_failures;
       return nullptr;
     }
+    PC_YIELD("atom.bump");
     const std::uint64_t death =
         version_.fetch_add(1, std::memory_order_seq_cst) + 1;
     smr_->retire_bundle(ctx.smr_handle, death, vr, nvr, builder.commit());

@@ -123,10 +123,14 @@ struct SnapshotSizeProbe {
 /// pinned root record. Two guarantees every backend must provide:
 ///
 ///   * token identity *is* version identity: the token changes on every
-///     installed version, and while a view holds its pin the token cannot
-///     be recycled (the pinned record cannot be freed, so its address
-///     cannot be reused) — comparing a held view's token against
-///     `root_token()` is an ABA-free "did this shard move?" probe;
+///     installed version — including installs of EMPTY versions, which
+///     must carry distinct never-republished tokens (the plain Atom tags
+///     a fresh sentinel per erase-to-empty; the CombiningAtom's
+///     VersionRec is never null) — and while a view holds its pin the
+///     token cannot be recycled (the pinned record cannot be freed, so
+///     its address cannot be reused) — comparing a held view's token
+///     against `root_token()` is an ABA-free "did this shard move?"
+///     probe, with no side-channel cross-checks needed;
 ///   * the version label is exact whenever the backend can bind it to the
 ///     root atomically (CombiningAtom rides it in the VersionRec), and
 ///     otherwise a lower bound that catches up once in-flight installs

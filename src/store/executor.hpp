@@ -60,6 +60,7 @@
 #include "core/stats.hpp"
 #include "core/universal.hpp"
 #include "util/assert.hpp"
+#include "util/modelcheck.hpp"
 
 namespace pathcopy::store {
 
@@ -191,6 +192,11 @@ class ShardExecutor {
   /// call while batches are in flight.
   [[nodiscard]] bool submit(std::size_t shard, Task task) {
     PC_ASSERT(shard < lanes_.size(), "submit to an unknown shard");
+    // Before the lane lock (never inside it — a paused logical thread
+    // must not hold a lock the stop() thread needs): the stop/submit
+    // race the model checker drives lives between here and the
+    // `lane.stopping` check below.
+    PC_YIELD("exec.submit");
     task.enqueued = std::chrono::steady_clock::now();
     Lane& lane = *lanes_[shard];
     const std::lock_guard<std::mutex> lock(lane.mu);
@@ -208,6 +214,7 @@ class ShardExecutor {
     if (stopped_) return;
     stopped_ = true;
     if (detach_) detach_();
+    PC_YIELD("exec.stop");
     for (auto& lane : lanes_) {
       const std::lock_guard<std::mutex> lock(lane->mu);
       lane->stopping = true;

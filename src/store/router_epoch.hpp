@@ -75,6 +75,7 @@
 
 #include "util/align.hpp"
 #include "util/assert.hpp"
+#include "util/modelcheck.hpp"
 
 namespace pathcopy::store {
 
@@ -121,6 +122,7 @@ struct RouterEpoch {
   }
 
   void set_ready(std::size_t shard) noexcept {
+    PC_YIELD("epoch.ready");
     ready[shard].done.store(true, std::memory_order_release);
   }
 
@@ -204,7 +206,16 @@ class EpochMarkRegistry {
   /// about to route by. The caller must re-read the epoch pointer after
   /// this (seq_cst on both sides) and re-announce if it moved.
   static void announce(Slot* s, std::uint64_t seq) {
+    // Between the caller's epoch-pointer read and the mark store: a
+    // publisher that runs entirely inside this gap sees an idle slot,
+    // drains past it, and the mark lands too late — the hole the
+    // caller's re-read exists to close, made explorable here.
+    PC_YIELD("epoch.mark");
     s->mark.store(seq, std::memory_order_seq_cst);
+    // Between the mark store and the caller's epoch-pointer re-read: the
+    // publisher's symmetric store/load may interleave here (the Dekker
+    // window the model checker explores).
+    PC_YIELD("epoch.announce");
   }
 
   static void clear(Slot* s) {
@@ -223,6 +234,7 @@ class EpochMarkRegistry {
     }
     for (Slot* s : scratch_) {
       for (;;) {
+        PC_YIELD("epoch.drain");
         const std::uint64_t m = s->mark.load(std::memory_order_seq_cst);
         if (m == 0 || m >= seq) break;
         std::this_thread::yield();

@@ -28,7 +28,9 @@ namespace pathcopy::store {
 /// the keys they carried, and surface how often the migration throttle
 /// held a planned move back (budget exhausted vs client backpressure).
 /// peak_interval_keys is the most keys moved inside one throttle
-/// interval — the quantity the budget bounds, and what CI asserts.
+/// interval; peak_interval_est is the admitted-estimate window the
+/// budget actually bounds (and what CI asserts — actuals may drift
+/// past the estimate while writers run between plan and extraction).
 struct RebalanceSummary {
   std::vector<std::size_t> tablets_per_shard;
   std::uint64_t migrations = 0;
@@ -38,6 +40,8 @@ struct RebalanceSummary {
   std::uint64_t budget_deferrals = 0;
   std::uint64_t pressure_deferrals = 0;
   std::uint64_t peak_interval_keys = 0;
+  std::uint64_t peak_interval_est = 0;
+  std::uint64_t oversize_escapes = 0;
   std::uint64_t budget_keys = 0;  // the configured per-interval cap
 };
 
@@ -131,7 +135,7 @@ class ShardStatsBoard {
     std::fprintf(out,
                  "rebalance: %llu flips (%llu splits, %llu moves), "
                  "%llu keys moved, deferrals budget=%llu pressure=%llu, "
-                 "peak interval keys=%llu/%llu\n",
+                 "peak interval keys=%llu (est %llu, escapes %llu)/%llu\n",
                  static_cast<unsigned long long>(reb.migrations),
                  static_cast<unsigned long long>(reb.splits),
                  static_cast<unsigned long long>(reb.assignment_moves),
@@ -139,6 +143,8 @@ class ShardStatsBoard {
                  static_cast<unsigned long long>(reb.budget_deferrals),
                  static_cast<unsigned long long>(reb.pressure_deferrals),
                  static_cast<unsigned long long>(reb.peak_interval_keys),
+                 static_cast<unsigned long long>(reb.peak_interval_est),
+                 static_cast<unsigned long long>(reb.oversize_escapes),
                  static_cast<unsigned long long>(reb.budget_keys));
     if (!reb.tablets_per_shard.empty()) {
       std::fprintf(out, "tablets/shard:");

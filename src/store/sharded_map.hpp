@@ -77,6 +77,7 @@
 #include "store/router_epoch.hpp"
 #include "store/version_vector.hpp"
 #include "util/assert.hpp"
+#include "util/modelcheck.hpp"
 
 namespace pathcopy::store {
 
@@ -156,6 +157,9 @@ class ShardedMap {
     Epoch* e =
         new Epoch(cur->seq + 1, std::move(next), cur, false, shards_.size());
     epoch_.store(e, std::memory_order_seq_cst);
+    // The publisher half of the Dekker handshake: sessions may announce
+    // (and re-read) between our publish and our drain.
+    PC_YIELD("epoch.publish");
     marks_.drain_below(e->seq);
     return e;
   }
@@ -163,6 +167,7 @@ class ShardedMap {
   /// Rebalancer side, step 4: the migration's installs are done; gated
   /// ops may proceed against the new owners.
   void settle_epoch(Epoch* e) {
+    PC_YIELD("epoch.settle");
     e->settled.store(true, std::memory_order_release);
   }
 
@@ -583,6 +588,9 @@ class ShardedMap<Uc, RouterT>::Session {
   /// ops must not starve the very migration they are waiting on (on a
   /// core-constrained host a spin loop would).
   static void gate_backoff(unsigned& spins) {
+    // Parked-op release point: under the model checker this is where a
+    // gated op waits for the migration's ready/settle stores.
+    PC_YIELD("gate.park");
     if (spins++ < 8) {
       std::this_thread::yield();
     } else {

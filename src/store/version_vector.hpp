@@ -26,15 +26,18 @@
 // form of "did the version move" (see the concept note in
 // core/universal.hpp); the version labels are the reported clock.
 //
-// One token is recyclable: nullptr, the plain Atom's empty-structure
-// root (the CombiningAtom's token is its VersionRec, never null). A
-// shard that goes empty -> non-empty -> empty between pin and probe
-// would pass a token-only check, so a null-token pin is additionally
-// validated against the version counter, which any completed install
-// advances. Residual (documented, plain Atom only): installs whose
-// counter bump is still in flight at probe time are invisible to that
-// check — the same publication lag its version labels already carry;
-// backends with a never-null root record are exact on the token alone.
+// No token is recyclable. The CombiningAtom's token is its VersionRec;
+// the plain Atom's empty versions carry tagged sentinel tokens (a fresh
+// sentinel per erase-to-empty install — core/atom.hpp), so every install
+// on every backend publishes a never-before-current address and the
+// token comparison alone is exact. The protocol's earlier shape — a
+// nullptr empty token cross-checked against the version counter — had a
+// real ABA: two installs whose counter bumps were both still in flight
+// at probe time (each parked between its root CAS and its fetch_add)
+// left both token and counter looking untouched, certifying a cut that
+// matched no instant. tests/test_model_check.cpp reproduces that as a
+// deterministic schedule against the legacy Atom and shows the sentinel
+// representation closes it.
 //
 // Progress: each failed validation implies some shard installed a new
 // version — retries are bounded by system-wide write progress, the same
@@ -53,6 +56,7 @@
 
 #include "core/universal.hpp"
 #include "util/assert.hpp"
+#include "util/modelcheck.hpp"
 
 namespace pathcopy::store {
 
@@ -143,6 +147,7 @@ class ConsistentCut {
     pins_.resize(shards);
     retries_ = 0;
     for (;;) {
+      PC_YIELD("cut.epoch");
       const void* e0 = epoch_probe();
       if (e0 == nullptr) {
         // Topology flip in flight: both-copies states exist right now.
@@ -154,20 +159,18 @@ class ConsistentCut {
       for (;;) {
         for (std::size_t s = 0; s < shards; ++s) {
           if (!pins_[s].has_value()) {
+            PC_YIELD("cut.pin");
             pins_[s].emplace(shard_at(s).pin_versioned(ctx_at(s)));
           }
         }
         // All pins held: one probe pass. Every probe runs after every pin,
         // which is what puts one instant inside all stability windows.
-        // Non-null tokens are ABA-free outright; a null token (pinned
-        // empty plain-Atom shard) can recur after installs, so it is
-        // cross-checked against the version counter (header comment).
+        // Tokens are never republished (header comment), so token
+        // inequality is exactly "the shard moved since the pin".
         bool stable = true;
         for (std::size_t s = 0; s < shards; ++s) {
-          const bool moved =
-              shard_at(s).root_token() != pins_[s]->token ||
-              (pins_[s]->token == nullptr &&
-               shard_at(s).version() != pins_[s]->version);
+          PC_YIELD("cut.probe");
+          const bool moved = shard_at(s).root_token() != pins_[s]->token;
           if (moved) {
             pins_[s].reset();
             ++retries_;

@@ -1,0 +1,35 @@
+// PC_YIELD: model-checking instrumentation points.
+//
+// A PC_YIELD(tag) marks one scheduling decision point inside a small
+// critical section — "an adversarial scheduler may preempt this thread
+// right here". Under -DPATHCOPY_MODELCHECK the macro calls into the
+// deterministic VirtualScheduler (src/verify/sched/), which parks the
+// calling logical thread and hands control to whichever thread the
+// active exploration strategy picks next. In normal builds the macro
+// expands to a void cast: no call, no branch, zero cost.
+//
+// Tags are string literals naming the window ("atom.bump",
+// "cut.probe", ...). They serve two purposes: traces print them, and a
+// test can restrict the set of tags that count as decision points so an
+// exhaustive search explores only the window under study (every other
+// yield is a no-op pass-through). Placement guidance lives in
+// src/store/README.md ("Verification").
+#pragma once
+
+#if defined(PATHCOPY_MODELCHECK)
+
+namespace pathcopy::util {
+/// Defined in src/verify/sched/virtual_scheduler.cpp. No-op when the
+/// calling OS thread is not a logical thread of an active scheduler, so
+/// instrumented code keeps working in ordinary tests of a MODELCHECK
+/// build.
+void modelcheck_yield(const char* tag) noexcept;
+}  // namespace pathcopy::util
+
+#define PC_YIELD(tag) ::pathcopy::util::modelcheck_yield(tag)
+
+#else
+
+#define PC_YIELD(tag) ((void)0)
+
+#endif

@@ -76,7 +76,12 @@ class HistoryRecorder {
 
   /// Merges all thread logs. Call after every worker has joined; events
   /// with response_ts == 0 (never responded) are dropped, matching the
-  /// usual complete-history restriction.
+  /// usual complete-history restriction. Sound only when every invoked
+  /// operation actually responded — harvesting mid-flight (a model
+  /// checker pausing threads inside their operations, a parked op that
+  /// never released) must use harvest_with_pending() instead: a pending
+  /// invoke may already have linearized, and silently dropping it can
+  /// certify a history whose completed part alone looks legal.
   std::vector<Event> harvest() const {
     std::vector<Event> all;
     for (const auto& log : logs_) {
@@ -85,6 +90,26 @@ class HistoryRecorder {
       }
     }
     return all;
+  }
+
+  /// A harvest that keeps never-responded invokes. The caller may read
+  /// this while other recorder threads are BETWEEN their own log
+  /// appends but not during one — the model checker's serialized
+  /// logical threads satisfy that by construction; free-running stress
+  /// tests must still join first.
+  struct PartialHistory {
+    std::vector<Event> completed;
+    std::vector<Event> pending;  // invoked, response still outstanding
+  };
+
+  PartialHistory harvest_with_pending() const {
+    PartialHistory h;
+    for (const auto& log : logs_) {
+      for (const Event& e : log.events) {
+        (e.response_ts != 0 ? h.completed : h.pending).push_back(e);
+      }
+    }
+    return h;
   }
 
   std::size_t total_events() const {

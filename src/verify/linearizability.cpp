@@ -10,6 +10,8 @@
 namespace pathcopy::verify {
 namespace {
 
+constexpr std::uint64_t kNever = ~std::uint64_t{0};  // pending response
+
 /// Sequential set spec on one key. Returns whether (op, result) is legal
 /// from `present`, and updates `present` to the post state.
 bool spec_step(OpType op, bool result, bool& present) {
@@ -28,9 +30,32 @@ bool spec_step(OpType op, bool result, bool& present) {
   return false;
 }
 
-/// Presence after applying exactly the ops in `mask` (order independent:
-/// valid sequences interleave successful inserts and erases strictly).
-/// Debug-only cross-check of the memoization soundness argument below.
+/// Spec transition for a pending op, whose result nothing constrains:
+/// insert forces the key present, erase forces it absent, contains
+/// leaves the state alone. Always legal.
+bool pending_step(OpType op, bool present) {
+  switch (op) {
+    case OpType::kInsert: return true;
+    case OpType::kErase: return false;
+    case OpType::kContains: return present;
+  }
+  return present;
+}
+
+struct SearchState {
+  const std::vector<Event>* ev;
+  std::uint64_t completed_mask;        // bits of events with a response
+  bool initial;
+  // Failed (mask, presence) states. Presence is part of the key: once
+  // pending ops join the linearized subset, the reached presence is no
+  // longer a function of the subset alone (two pending ops of opposite
+  // kinds commute to different states).
+  std::unordered_set<std::uint64_t> dead[2];
+};
+
+/// Presence after a completed-only subset (order independent: valid
+/// sequences interleave successful inserts and erases strictly).
+/// Debug-only cross-check of the memo soundness for pending-free masks.
 [[maybe_unused]] bool presence_after(const std::vector<Event>& ev,
                                      std::uint64_t mask, bool initial) {
   int net = initial ? 1 : 0;
@@ -42,80 +67,190 @@ bool spec_step(OpType op, bool result, bool& present) {
   return net == 1;
 }
 
-bool dfs(const std::vector<Event>& ev, std::uint64_t mask, bool present,
-         bool initial, std::unordered_set<std::uint64_t>& dead) {
-  PC_DASSERT(present == presence_after(ev, mask, initial),
-             "presence must be a function of the linearized subset");
-  const std::uint64_t full = ev.size() == 64
-                                 ? ~std::uint64_t{0}
-                                 : (std::uint64_t{1} << ev.size()) - 1;
-  if (mask == full) return true;
-  if (dead.contains(mask)) return false;
-  // An operation may linearize next only if nothing unlinearized finished
-  // before it started.
-  std::uint64_t min_resp = ~std::uint64_t{0};
+bool dfs(SearchState& st, std::uint64_t mask, bool present) {
+  const std::vector<Event>& ev = *st.ev;
+  PC_DASSERT((mask & ~st.completed_mask) != 0 ||
+                 present == presence_after(ev, mask, st.initial),
+             "presence must be a function of a pending-free subset");
+  // Done once every completed op is linearized; unlinearized pending
+  // invokes may simply not have taken effect yet.
+  if ((mask & st.completed_mask) == st.completed_mask) return true;
+  if (st.dead[present].contains(mask)) return false;
+  // An operation may linearize next only if nothing unlinearized
+  // finished before it started (pending ops never finish, so they never
+  // force precedence).
+  std::uint64_t min_resp = kNever;
   for (std::size_t i = 0; i < ev.size(); ++i) {
-    if (!(mask >> i & 1)) min_resp = std::min(min_resp, ev[i].response_ts);
+    if (!(mask >> i & 1)) {
+      const std::uint64_t r =
+          ev[i].response_ts == 0 ? kNever : ev[i].response_ts;
+      min_resp = std::min(min_resp, r);
+    }
   }
   for (std::size_t i = 0; i < ev.size(); ++i) {
     if (mask >> i & 1) continue;
     if (ev[i].invoke_ts > min_resp) continue;  // someone must go first
     bool next = present;
-    if (!spec_step(ev[i].op, ev[i].result, next)) continue;
-    if (dfs(ev, mask | (std::uint64_t{1} << i), next, initial, dead)) {
-      return true;
+    if (ev[i].response_ts == 0) {
+      next = pending_step(ev[i].op, present);
+    } else if (!spec_step(ev[i].op, ev[i].result, next)) {
+      continue;
     }
+    if (dfs(st, mask | (std::uint64_t{1} << i), next)) return true;
   }
-  dead.insert(mask);
+  st.dead[present].insert(mask);
   return false;
 }
 
-}  // namespace
-
-bool check_single_key_history(std::vector<Event> events,
-                              bool initially_present) {
+/// Direct Wing & Gong search over <= 64 events (pending allowed).
+bool check_events(std::vector<Event>& events, bool initially_present) {
   PC_ASSERT(events.size() <= kMaxEventsPerKey,
             "single-key history exceeds the checker's subset bitmask");
   std::sort(events.begin(), events.end(),
             [](const Event& a, const Event& b) {
               return a.invoke_ts < b.invoke_ts;
             });
-  std::unordered_set<std::uint64_t> dead;
-  return dfs(events, 0, initially_present, initially_present, dead);
+  SearchState st;
+  st.ev = &events;
+  st.initial = initially_present;
+  st.completed_mask = 0;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (events[i].response_ts != 0) {
+      st.completed_mask |= std::uint64_t{1} << i;
+    }
+  }
+  return dfs(st, 0, initially_present);
+}
+
+enum class KeyOutcome { kLinearizable, kViolation, kUnchecked };
+
+/// Checks one key's full projection, splitting oversize projections at
+/// quiescent points. Events must be invoke-sorted on entry.
+///
+/// A quiescent point before index i is an instant where every earlier
+/// op responded before every later op was invoked (pending ops have no
+/// response, so nothing after a pending invoke qualifies). The earlier
+/// segment is then a complete history that fully precedes the rest in
+/// real time — any linearization orders it first — and if it is
+/// linearizable its net effect forces the presence bit the next segment
+/// starts from (successful inserts minus erases, order independent).
+KeyOutcome check_key_projection(std::vector<Event>& events,
+                                std::string& why) {
+  if (events.size() <= kMaxEventsPerKey) {
+    if (check_events(events, false)) return KeyOutcome::kLinearizable;
+    why = "no legal linearization of " + std::to_string(events.size()) +
+          " events";
+    return KeyOutcome::kViolation;
+  }
+  const std::size_t n = events.size();
+  // quiescent[i]: every event before i responded before invoke of i.
+  std::vector<bool> quiescent(n + 1, false);
+  quiescent[n] = true;  // the end is always a legal cut
+  std::uint64_t max_resp = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i > 0) quiescent[i] = max_resp < events[i].invoke_ts;
+    const std::uint64_t r =
+        events[i].response_ts == 0 ? kNever : events[i].response_ts;
+    max_resp = std::max(max_resp, r);
+  }
+  bool present = false;
+  std::size_t cur = 0;
+  std::vector<Event> segment;
+  while (cur < n) {
+    std::size_t cut = 0;
+    const std::size_t limit = std::min(n, cur + kMaxEventsPerKey);
+    for (std::size_t b = limit; b > cur; --b) {
+      if (quiescent[b]) {
+        cut = b;
+        break;
+      }
+    }
+    if (cut == 0) {
+      why = "projection of " + std::to_string(n) +
+            " events has a concurrent run longer than " +
+            std::to_string(kMaxEventsPerKey) +
+            " with no quiescent split point";
+      return KeyOutcome::kUnchecked;
+    }
+    segment.assign(events.begin() + static_cast<std::ptrdiff_t>(cur),
+                   events.begin() + static_cast<std::ptrdiff_t>(cut));
+    if (!check_events(segment, present)) {
+      why = "no legal linearization of segment [" + std::to_string(cur) +
+            ", " + std::to_string(cut) + ") of " + std::to_string(n) +
+            " events";
+      return KeyOutcome::kViolation;
+    }
+    // The segment is complete (a quiescent cut admits no pending op
+    // before it), so its net effect on the presence bit is forced.
+    int net = present ? 1 : 0;
+    for (std::size_t i = cur; i < cut; ++i) {
+      if (events[i].op == OpType::kInsert && events[i].result) ++net;
+      if (events[i].op == OpType::kErase && events[i].result) --net;
+    }
+    PC_DASSERT(net == 0 || net == 1, "segment net effect out of range");
+    present = net == 1;
+    cur = cut;
+  }
+  return KeyOutcome::kLinearizable;
+}
+
+}  // namespace
+
+bool check_single_key_history(std::vector<Event> events,
+                              bool initially_present) {
+  return check_events(events, initially_present);
+}
+
+Verdict check_set_linearizability(const std::vector<Event>& history,
+                                  const std::vector<Event>& pending) {
+  std::map<std::int64_t, std::vector<Event>> by_key;
+  for (const Event& e : history) by_key[e.key].push_back(e);
+  for (const Event& e : pending) {
+    PC_DASSERT(e.response_ts == 0, "pending event with a response stamp");
+    by_key[e.key].push_back(e);
+  }
+  Verdict v;
+  for (auto& [key, events] : by_key) {
+    std::sort(events.begin(), events.end(),
+              [](const Event& a, const Event& b) {
+                return a.invoke_ts < b.invoke_ts;
+              });
+    std::string why;
+    switch (check_key_projection(events, why)) {
+      case KeyOutcome::kLinearizable:
+        break;
+      case KeyOutcome::kViolation:
+        v.ok = false;
+        v.bad_key = key;
+        v.reason = why + " on key " + std::to_string(key);
+        return v;
+      case KeyOutcome::kUnchecked:
+        // Not a violation: record the first such key, keep checking the
+        // rest (another key may still hold a real violation).
+        if (v.checked) {
+          v.checked = false;
+          v.bad_key = key;
+          v.reason = "unchecked: " + why + " on key " + std::to_string(key);
+        }
+        break;
+    }
+  }
+  return v;
 }
 
 Verdict check_set_linearizability(const std::vector<Event>& history) {
-  std::map<std::int64_t, std::vector<Event>> by_key;
-  for (const Event& e : history) by_key[e.key].push_back(e);
-  for (auto& [key, events] : by_key) {
-    if (events.size() > kMaxEventsPerKey) {
-      Verdict v;
-      v.ok = false;
-      v.bad_key = key;
-      v.reason = "projection too large for the checker (" +
-                 std::to_string(events.size()) + " events, cap " +
-                 std::to_string(kMaxEventsPerKey) + ")";
-      return v;
-    }
-    if (!check_single_key_history(events)) {
-      Verdict v;
-      v.ok = false;
-      v.bad_key = key;
-      v.reason = "no legal linearization of " +
-                 std::to_string(events.size()) + " events on key " +
-                 std::to_string(key);
-      return v;
-    }
-  }
-  return Verdict{};
+  return check_set_linearizability(history, {});
 }
 
 }  // namespace pathcopy::verify
 
-// A note on the memo soundness: dfs() memoizes failed subsets by mask
-// alone. That is sound because (a) the spec state reached by any valid
-// ordering of a fixed subset is unique (presence is the signed count of
-// successful inserts/erases — presence_after asserts this in debug
-// builds), and (b) the set of operations allowed to linearize next
-// depends only on which operations remain, not on the order already
-// chosen. Hence "mask leads nowhere" is a property of the mask.
+// A note on the memo soundness: dfs() memoizes failed (mask, presence)
+// states. For pending-free masks presence is a function of the mask (the
+// signed count of successful inserts/erases — presence_after asserts
+// this in debug builds) and the pair degenerates to the classic
+// mask-only memo. With pending ops linearized the presence genuinely
+// varies with order, but the pair still captures the full search state:
+// the set of operations allowed to linearize next depends only on which
+// operations remain, and the spec's future depends only on the current
+// presence. Hence "(mask, presence) leads nowhere" is a property of the
+// pair.

@@ -11,12 +11,28 @@
 // Each single-key search is the classic Wing & Gong DFS: repeatedly pick
 // a "minimal" pending operation (one invoked before every unlinearized
 // response — nothing is forced to precede it), test it against the
-// sequential spec, and recurse. Memoizing on the subset of linearized
-// operations (the presence bit is a function of the subset, because the
-// signed count of successful inserts minus successful erases is order
-// independent) makes the search O(2^k) states worst case instead of O(k!)
-// — and k here is per-key history length, capped at 64 so the subset fits
-// a machine word.
+// sequential spec, and recurse. The search memoizes failed (subset,
+// presence) states; k is per-key history length, capped at 64 so the
+// subset fits a machine word.
+//
+// Pending operations: an event with response_ts == 0 was invoked but
+// never responded (a parked op, or a model-checker schedule that paused
+// the thread mid-operation). Such an op MAY have linearized — the
+// search tries both including and excluding it, with its response
+// unconstrained. Note presence is then no longer a function of the
+// subset alone (two pending ops of opposite kinds reach different
+// states in different orders), which is why the memo keys on presence
+// too.
+//
+// Oversize projections: a key touched by more than kMaxEventsPerKey
+// events no longer fails (or asserts) outright. The checker splits the
+// projection at quiescent points — instants where every earlier op has
+// responded before every later op was invoked, so the presence bit is
+// forced by the earlier segment's net effect — and checks each segment
+// independently. A projection that cannot be split into small-enough
+// segments yields verdict.checked == false ("unchecked", not a
+// violation), so long model-checking runs degrade to partial coverage
+// instead of aborting the suite.
 //
 // Verdicts carry the offending key and a human-readable reason so a
 // failing stress test prints something actionable.
@@ -32,23 +48,32 @@ namespace pathcopy::verify {
 
 struct Verdict {
   bool ok = true;
-  std::int64_t bad_key = 0;      // meaningful when !ok
-  std::string reason;            // empty when ok
+  bool checked = true;           // false: some projection was too long to
+                                 // verify (ok stays true; reason says why)
+  std::int64_t bad_key = 0;      // meaningful when !ok or !checked
+  std::string reason;            // empty when ok && checked
 
   explicit operator bool() const noexcept { return ok; }
 };
 
-/// Per-key event budget: a single key's projection must fit the subset
-/// bitmask. Histories produced by the stress tests stay far below this.
+/// Per-key event budget: a single key's projection (or segment after
+/// quiescent splitting) must fit the subset bitmask.
 inline constexpr std::size_t kMaxEventsPerKey = 64;
 
-/// Checks a complete set history (insert/erase/contains with boolean
-/// results) for linearizability against the sequential set spec, assuming
-/// every key starts absent.
+/// Checks a set history (insert/erase/contains with boolean results)
+/// for linearizability against the sequential set spec, assuming every
+/// key starts absent. Events with response_ts == 0 are treated as
+/// pending (see header comment).
 Verdict check_set_linearizability(const std::vector<Event>& history);
 
+/// Same, with never-responded invokes supplied separately (the shape
+/// HistoryRecorder::harvest_with_pending produces).
+Verdict check_set_linearizability(const std::vector<Event>& history,
+                                  const std::vector<Event>& pending);
+
 /// Single-key core, exposed for direct testing: all events must concern
-/// one key. `initially_present` seeds the spec state.
+/// one key; events with response_ts == 0 are pending.
+/// `initially_present` seeds the spec state.
 bool check_single_key_history(std::vector<Event> events,
                               bool initially_present = false);
 

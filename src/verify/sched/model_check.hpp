@@ -1,0 +1,115 @@
+// Exploration drivers over the VirtualScheduler: run one scenario body
+// under many schedules and report the first failing one in replayable
+// form (its decision trace, plus the seed for random walks).
+//
+// The scenario body contract is the same for every driver:
+//
+//   std::optional<std::string> body(VirtualScheduler& vs);
+//
+// Called once per schedule, the body constructs a FRESH system under
+// test, spawns its logical threads (vs.spawn), calls vs.run(), checks
+// whatever invariant the scenario asserts, and returns std::nullopt on
+// success or a failure description. Determinism is the body's
+// obligation: given the same decision trace it must behave identically
+// (no wall-clock branching, no unseeded randomness) — the exhaustive
+// strategy asserts this by re-checking the branching factor along
+// replayed prefixes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "verify/sched/virtual_scheduler.hpp"
+
+namespace pathcopy::verify::sched {
+
+struct ExploreResult {
+  bool ok = true;
+  std::uint64_t schedules = 0;       // schedules executed
+  std::vector<unsigned> failing_trace;  // decision trace of the failure
+  std::uint64_t failing_seed = 0;    // random walks only
+  std::string reason;                // body's failure description
+
+  explicit operator bool() const noexcept { return ok; }
+};
+
+/// Runs every schedule whose first `budget` decisions the strategy
+/// controls (deeper decisions drain round-robin). Complete for the
+/// window the tags select: two interleavings that differ anywhere in
+/// their first `budget` decisions are both visited.
+template <class Body>
+ExploreResult explore_exhaustive(unsigned budget, Body&& body,
+                                 std::vector<std::string> tags = {}) {
+  ExploreResult res;
+  ExhaustiveStrategy strat(budget);
+  do {
+    VirtualScheduler vs(strat);
+    vs.set_decision_tags(tags);
+    std::optional<std::string> fail = body(vs);
+    ++res.schedules;
+    if (fail.has_value()) {
+      res.ok = false;
+      res.reason = std::move(*fail);
+      res.failing_trace = vs.last_trace();
+      return res;
+    }
+  } while (strat.next_schedule());
+  return res;
+}
+
+/// `walks` seeded random walks derived from `seed0` (walk w uses
+/// mix64(seed0 ^ w), so any failing walk is reproducible from its seed
+/// alone via replay_seed). Returns on the first failure with the seed
+/// and the executed trace.
+template <class Body>
+ExploreResult explore_random(std::uint64_t seed0, std::uint64_t walks,
+                             unsigned budget, Body&& body,
+                             std::vector<std::string> tags = {}) {
+  ExploreResult res;
+  RandomStrategy strat(0, budget);
+  for (std::uint64_t w = 0; w < walks; ++w) {
+    const std::uint64_t seed = util::mix64(seed0 ^ w);
+    strat.reseed(seed);
+    VirtualScheduler vs(strat);
+    vs.set_decision_tags(tags);
+    std::optional<std::string> fail = body(vs);
+    ++res.schedules;
+    if (fail.has_value()) {
+      res.ok = false;
+      res.failing_seed = seed;
+      res.reason = std::move(*fail);
+      res.failing_trace = vs.last_trace();
+      return res;
+    }
+  }
+  return res;
+}
+
+/// Replays one seeded walk (the reproduce-from-a-CI-log entry point).
+template <class Body>
+std::optional<std::string> replay_seed(std::uint64_t seed, unsigned budget,
+                                       Body&& body,
+                                       std::vector<std::string> tags = {}) {
+  RandomStrategy strat(seed, budget);
+  VirtualScheduler vs(strat);
+  vs.set_decision_tags(tags);
+  return body(vs);
+}
+
+/// Replays one literal decision trace (regression corpora and
+/// hand-authored schedules).
+template <class Body>
+std::optional<std::string> replay_trace(std::vector<unsigned> trace,
+                                        Body&& body,
+                                        std::vector<std::string> tags = {}) {
+  ReplayStrategy strat(std::move(trace));
+  VirtualScheduler vs(strat);
+  vs.set_decision_tags(tags);
+  return body(vs);
+}
+
+}  // namespace pathcopy::verify::sched

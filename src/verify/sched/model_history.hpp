@@ -1,0 +1,51 @@
+// ModelHistory: history recording + sound checking for model-checked
+// schedules.
+//
+// A HistoryRecorder wrapped for the VirtualScheduler world, where a
+// schedule can end (budget exhausted) or be probed (an observer logical
+// thread) while other logical threads are paused INSIDE an operation.
+// Those operations have invoked and not responded, yet they may already
+// have linearized — e.g. an Atom update parked between its root CAS and
+// its version bump has absolutely taken effect. harvest()-then-check
+// would silently drop them and could certify a broken history, so
+// check() goes through harvest_with_pending() and the pending-aware
+// checker, which tries every pending invoke both linearized (with an
+// unconstrained response) and not.
+//
+// Safe to call from an observer logical thread mid-schedule: logical
+// threads run one at a time, and an operation's recorder appends happen
+// at its own yield boundaries, so the logs are never mid-append when
+// another logical thread runs.
+#pragma once
+
+#include <cstdint>
+
+#include "verify/history.hpp"
+#include "verify/linearizability.hpp"
+
+namespace pathcopy::verify::sched {
+
+class ModelHistory {
+ public:
+  explicit ModelHistory(unsigned threads) : rec_(threads) {}
+
+  HistoryRecorder& recorder() noexcept { return rec_; }
+
+  /// Records one operation by running it (stamps around fn).
+  template <class Fn>
+  bool run(unsigned tid, OpType op, std::int64_t key, Fn&& fn) {
+    return rec_.run(tid, op, key, static_cast<Fn&&>(fn));
+  }
+
+  /// Pending-aware linearizability verdict over everything recorded so
+  /// far. Usable mid-schedule (see header comment) and after run().
+  Verdict check() const {
+    const HistoryRecorder::PartialHistory h = rec_.harvest_with_pending();
+    return check_set_linearizability(h.completed, h.pending);
+  }
+
+ private:
+  HistoryRecorder rec_;
+};
+
+}  // namespace pathcopy::verify::sched

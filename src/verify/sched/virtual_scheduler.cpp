@@ -1,0 +1,20 @@
+// The PC_YIELD -> VirtualScheduler bridge. Only a PATHCOPY_MODELCHECK
+// build emits calls to modelcheck_yield, but the TU is always compiled
+// into the library (the guard below keeps it empty otherwise), so the
+// CMake source list does not change per flavor.
+#if defined(PATHCOPY_MODELCHECK)
+
+#include "util/modelcheck.hpp"
+#include "verify/sched/virtual_scheduler.hpp"
+
+namespace pathcopy::util {
+
+void modelcheck_yield(const char* tag) noexcept {
+  verify::sched::VirtualScheduler* sched =
+      verify::sched::VirtualScheduler::current();
+  if (sched != nullptr) sched->yield(tag);
+}
+
+}  // namespace pathcopy::util
+
+#endif  // PATHCOPY_MODELCHECK

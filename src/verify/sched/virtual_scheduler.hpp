@@ -1,0 +1,378 @@
+// VirtualScheduler: a deterministic cooperative scheduler for model
+// checking the store's small critical sections (lincheck-style).
+//
+// N logical threads run real code on real OS threads, but a mutex/cv
+// token ensures AT MOST ONE of them executes at any moment. Control
+// changes hands only at PC_YIELD instrumentation points
+// (util/modelcheck.hpp) and at thread start/exit, so an execution is
+// fully described by its decision trace: the sequence of logical-thread
+// ids the controller granted. Because the SUT code between two yields
+// runs single-threaded, replaying the same trace replays the exact same
+// interleaving — every found bug is a permanent regression test, and an
+// exhaustive walk of bounded traces is an exhaustive walk of the
+// interleavings the instrumentation can distinguish.
+//
+// Pieces:
+//   * VirtualScheduler — owns the logical threads and the token; run()
+//     executes one schedule under a ScheduleStrategy and returns the
+//     decision trace.
+//   * ScheduleStrategy — picks the next thread at each decision point.
+//     RoundRobin (baseline), Exhaustive (DFS over all bounded traces,
+//     next_schedule() advances), Random (seeded walk, same seed = same
+//     walk), Replay (a literal trace: hand-written schedules and
+//     regression corpora).
+//   * set_decision_tags() — restricts which PC_YIELD tags count as
+//     decision points, so a search explores only the window under study
+//     (other yields pass straight through).
+//
+// Rules for instrumented code: a PC_YIELD must never be placed where
+// the yielding thread holds a lock another logical thread might need —
+// the scheduler runs threads one at a time, so the granted thread would
+// block on the real lock and never hand the token back. All current
+// yield points sit outside locks; keep it that way.
+//
+// Beyond the strategy's decision budget every strategy degrades to
+// round-robin so runs drain to completion; a hard step cap turns a
+// genuine livelock into a loud failure instead of a hang.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <cstring>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace pathcopy::verify::sched {
+
+inline constexpr unsigned kNoThread = ~0u;
+
+/// Picks which logical thread runs next. `enabled` lists the runnable
+/// thread ids in ascending order (never empty); `last` is the
+/// previously granted id, kNoThread at the first decision. Must return
+/// a member of `enabled`.
+class ScheduleStrategy {
+ public:
+  virtual ~ScheduleStrategy() = default;
+  virtual unsigned choose(std::span<const unsigned> enabled,
+                          unsigned last) = 0;
+  /// Called by run() before the first decision of each schedule.
+  virtual void begin_run() {}
+};
+
+/// Baseline: cycle through the enabled threads.
+class RoundRobinStrategy : public ScheduleStrategy {
+ public:
+  unsigned choose(std::span<const unsigned> enabled, unsigned last) override {
+    for (const unsigned t : enabled) {
+      if (last == kNoThread || t > last) return t;
+    }
+    return enabled.front();
+  }
+};
+
+/// One executed schedule: the decision trace (granted tid per decision)
+/// is the schedule's identity and its replay recipe.
+struct RunResult {
+  std::vector<unsigned> trace;
+};
+
+class VirtualScheduler {
+ public:
+  explicit VirtualScheduler(ScheduleStrategy& strategy)
+      : strategy_(&strategy) {}
+  VirtualScheduler(const VirtualScheduler&) = delete;
+  VirtualScheduler& operator=(const VirtualScheduler&) = delete;
+
+  /// Restricts decision points to yields carrying one of these tags
+  /// (empty = every yield is a decision point). Call before run().
+  void set_decision_tags(std::vector<std::string> tags) {
+    tags_ = std::move(tags);
+  }
+
+  /// Registers a logical thread. Call before run(); returns its tid.
+  unsigned spawn(std::function<void()> body) {
+    threads_.push_back(LThread{std::move(body), {}, State::kNew});
+    return static_cast<unsigned>(threads_.size() - 1);
+  }
+
+  /// Executes one schedule to completion and returns its trace. The
+  /// logical threads' bodies run exactly once; an exception escaping a
+  /// body is rethrown here after every thread finished.
+  RunResult run() {
+    PC_ASSERT(!threads_.empty(), "run() with no logical threads");
+    strategy_->begin_run();
+    trace_.clear();
+    failure_ = nullptr;
+    active_ = kController;
+    for (unsigned i = 0; i < threads_.size(); ++i) {
+      threads_[i].os = std::thread([this, i] { thread_main(i); });
+    }
+    control_loop();
+    for (LThread& t : threads_) t.os.join();
+    last_trace_ = trace_;  // kept for drivers reporting a failure
+    RunResult result{std::move(trace_)};
+    trace_.clear();
+    threads_.clear();
+    if (failure_ != nullptr) std::rethrow_exception(failure_);
+    return result;
+  }
+
+  /// The decision trace of the most recent run() — how an exploration
+  /// driver reports a failing schedule without re-running it.
+  const std::vector<unsigned>& last_trace() const noexcept {
+    return last_trace_;
+  }
+
+  /// The yield hook (PC_YIELD lands here via util::modelcheck_yield).
+  /// No-op for OS threads that are not logical threads of an active
+  /// scheduler and for tags outside the decision set.
+  void yield(const char* tag) {
+    if (!tags_.empty()) {
+      bool match = false;
+      for (const std::string& t : tags_) {
+        if (std::strcmp(tag, t.c_str()) == 0) {
+          match = true;
+          break;
+        }
+      }
+      if (!match) return;
+    }
+    const unsigned me = tl_tid;
+    std::unique_lock<std::mutex> lock(mu_);
+    threads_[me].state = State::kParked;
+    threads_[me].tag = tag;
+    active_ = kController;
+    cv_.notify_all();
+    cv_.wait(lock, [&] { return active_ == me; });
+    threads_[me].state = State::kRunning;
+    threads_[me].tag = nullptr;
+  }
+
+  /// The tag thread `tid` is currently parked at, nullptr when it is not
+  /// parked at a yield (new, running, or done). Because logical threads
+  /// are serialized, the RUNNING thread can use this to introspect its
+  /// peers' positions — e.g. "is that writer parked between its root CAS
+  /// and its version bump" — which is what lets an in-schedule observer
+  /// compute exact ground truth about effects that are not yet
+  /// externally published.
+  const char* parked_tag(unsigned tid) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return threads_[tid].state == State::kParked ? threads_[tid].tag : nullptr;
+  }
+
+  /// The scheduler whose logical thread is executing on this OS thread
+  /// (nullptr elsewhere) — the bridge modelcheck_yield() dispatches on.
+  static VirtualScheduler*& current() noexcept {
+    thread_local VirtualScheduler* sched = nullptr;
+    return sched;
+  }
+
+ private:
+  static constexpr unsigned kController = ~0u - 1;
+  /// Hard cap on decisions per run: a schedule that long means the SUT
+  /// livelocked (e.g. a gate spinning on a migration nobody advances).
+  static constexpr std::uint64_t kStepCap = 1u << 20;
+
+  enum class State : std::uint8_t { kNew, kRunning, kParked, kDone };
+
+  struct LThread {
+    std::function<void()> body;
+    std::thread os;
+    State state = State::kNew;
+    const char* tag = nullptr;  // yield tag while parked
+  };
+
+  static thread_local unsigned tl_tid;
+
+  void thread_main(unsigned tid) {
+    current() = this;
+    tl_tid = tid;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] { return active_ == tid; });
+      threads_[tid].state = State::kRunning;
+    }
+    try {
+      threads_[tid].body();
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(mu_);
+      if (failure_ == nullptr) failure_ = std::current_exception();
+    }
+    const std::lock_guard<std::mutex> lock(mu_);
+    threads_[tid].state = State::kDone;
+    active_ = kController;
+    cv_.notify_all();
+    current() = nullptr;
+  }
+
+  void control_loop() {
+    std::vector<unsigned> enabled;
+    unsigned last = kNoThread;
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+      cv_.wait(lock, [&] { return active_ == kController; });
+      enabled.clear();
+      for (unsigned i = 0; i < threads_.size(); ++i) {
+        if (threads_[i].state == State::kNew ||
+            threads_[i].state == State::kParked) {
+          enabled.push_back(i);
+        }
+      }
+      if (enabled.empty()) return;  // every logical thread finished
+      PC_ASSERT(trace_.size() < kStepCap,
+                "model-check step cap hit: the schedule livelocked");
+      const unsigned tid = strategy_->choose(enabled, last);
+      trace_.push_back(tid);
+      last = tid;
+      active_ = tid;
+      cv_.notify_all();
+    }
+  }
+
+  ScheduleStrategy* strategy_;
+  std::vector<std::string> tags_;
+  std::vector<LThread> threads_;
+  std::vector<unsigned> trace_;
+  std::vector<unsigned> last_trace_;
+  std::exception_ptr failure_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  unsigned active_ = kController;
+};
+
+inline thread_local unsigned VirtualScheduler::tl_tid = kNoThread;
+
+/// DFS over every decision trace of depth <= budget (deeper decisions
+/// free-run round-robin so schedules drain). Usage:
+///
+///   ExhaustiveStrategy strat(budget);
+///   do { <fresh SUT; VirtualScheduler(strat); run; check> }
+///   while (strat.next_schedule());
+///
+/// Each next_schedule() bumps the deepest unexhausted choice; the SUT
+/// must be deterministic given the trace, which the strategy asserts by
+/// checking the branching factor it recorded for the replayed prefix.
+class ExhaustiveStrategy : public ScheduleStrategy {
+ public:
+  explicit ExhaustiveStrategy(unsigned budget) : budget_(budget) {}
+
+  void begin_run() override { depth_ = 0; }
+
+  unsigned choose(std::span<const unsigned> enabled, unsigned last) override {
+    if (depth_ < path_.size()) {
+      Node& nd = path_[depth_++];
+      PC_ASSERT(nd.options == enabled.size(),
+                "exhaustive replay diverged: the SUT is not deterministic "
+                "under the decision trace");
+      return enabled[nd.choice];
+    }
+    if (depth_ < budget_) {
+      path_.push_back(Node{0, static_cast<unsigned>(enabled.size())});
+      ++depth_;
+      return enabled.front();
+    }
+    ++depth_;
+    return rr_.choose(enabled, last);  // budget spent: drain
+  }
+
+  /// Advances to the next unexplored schedule; false when the bounded
+  /// space is exhausted.
+  bool next_schedule() {
+    ++explored_;
+    while (!path_.empty()) {
+      Node& nd = path_.back();
+      if (nd.choice + 1 < nd.options) {
+        ++nd.choice;
+        return true;
+      }
+      path_.pop_back();
+    }
+    return false;
+  }
+
+  std::uint64_t explored() const noexcept { return explored_; }
+
+ private:
+  struct Node {
+    unsigned choice;
+    unsigned options;
+  };
+
+  unsigned budget_;
+  unsigned depth_ = 0;
+  std::vector<Node> path_;
+  std::uint64_t explored_ = 0;
+  RoundRobinStrategy rr_;
+};
+
+/// Seeded random walk: uniformly random choices for the first `budget`
+/// decisions, round-robin drain after. begin_run() re-arms the
+/// generator from the seed, so one strategy object replays the same
+/// walk run after run — and a failing seed alone reproduces the
+/// schedule.
+class RandomStrategy : public ScheduleStrategy {
+ public:
+  RandomStrategy(std::uint64_t seed, unsigned budget)
+      : seed_(seed), budget_(budget) {}
+
+  void reseed(std::uint64_t seed) noexcept { seed_ = seed; }
+  std::uint64_t seed() const noexcept { return seed_; }
+
+  void begin_run() override {
+    rng_ = util::Xoshiro256(seed_);
+    depth_ = 0;
+  }
+
+  unsigned choose(std::span<const unsigned> enabled, unsigned last) override {
+    if (depth_++ < budget_) {
+      return enabled[rng_.below(enabled.size())];
+    }
+    return rr_.choose(enabled, last);
+  }
+
+ private:
+  std::uint64_t seed_;
+  unsigned budget_;
+  unsigned depth_ = 0;
+  util::Xoshiro256 rng_{0};
+  RoundRobinStrategy rr_;
+};
+
+/// Replays a literal decision trace (a failing run's RunResult::trace,
+/// or a hand-authored schedule), round-robin once it is consumed. The
+/// named tid must be runnable at its decision — anything else means the
+/// trace does not belong to this scenario.
+class ReplayStrategy : public ScheduleStrategy {
+ public:
+  explicit ReplayStrategy(std::vector<unsigned> trace)
+      : trace_(std::move(trace)) {}
+
+  void begin_run() override { pos_ = 0; }
+
+  unsigned choose(std::span<const unsigned> enabled, unsigned last) override {
+    if (pos_ < trace_.size()) {
+      const unsigned want = trace_[pos_++];
+      for (const unsigned t : enabled) {
+        if (t == want) return t;
+      }
+      PC_ASSERT(false, "replay trace diverged: scheduled tid not runnable");
+    }
+    return rr_.choose(enabled, last);
+  }
+
+ private:
+  std::vector<unsigned> trace_;
+  std::size_t pos_ = 0;
+  RoundRobinStrategy rr_;
+};
+
+}  // namespace pathcopy::verify::sched

@@ -110,8 +110,13 @@ TYPED_TEST(AtomTyped, SteadyStateMemoryIsBounded) {
     smr.drain_all();
     // Tree is empty; at most transiently-pending garbage was drained.
     EXPECT_EQ(atom.read(ctx, [](T t) { return t.size(); }), 0u);
-    EXPECT_EQ(a.stats().live_blocks(), 0u);
+    // Exactly one block may outlive the drain: the current empty-root
+    // sentinel minted by the last erase-to-empty. The 1999 superseded
+    // sentinels went through the reclaimers like any other root, so
+    // churn did not accumulate them — that is the boundedness claim.
+    EXPECT_LE(a.stats().live_blocks(), 1u);
   }
+  EXPECT_EQ(a.stats().live_blocks(), 0u);  // ~Atom frees the live sentinel
 }
 
 TYPED_TEST(AtomTyped, BulkLoadInOneUpdate) {
@@ -159,7 +164,9 @@ TEST(AtomWatermark, SnapshotReadsOldVersionWhileWritersAdvance) {
       atom.update(ctx, [i](T t, auto& b) { return t.insert(b, i, i); });
     }
     auto snap = atom.snapshot();
-    const T frozen = T::from_root(snap.root());
+    const T frozen = T::from_root(
+        core::Atom<T, reclaim::WatermarkReclaimer,
+                   alloc::MallocAlloc>::structural_root(snap.root()));
     EXPECT_EQ(frozen.size(), 100u);
 
     // Writers keep going; the snapshot must stay intact and readable.

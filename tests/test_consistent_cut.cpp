@@ -264,12 +264,13 @@ TEST(CutRetry, MovedShardIsRepinnedAndCounted) {
   EXPECT_EQ(a.stats().live_blocks(), 0u);
 }
 
-// Null-token ABA regression: the plain Atom's empty-structure root is
-// nullptr, the one token an install sequence can republish. A shard that
-// goes empty -> non-empty -> empty between pin and probe must still be
-// caught — by the version cross-check, since the token alone cannot see
-// it.
-TEST(CutRetry, EmptyShardNullTokenAbaIsCaughtByVersionCheck) {
+// Empty-token regression: the plain Atom used to publish nullptr for
+// empty versions — the one recyclable token, patched over with a version
+// cross-check that itself had an ABA (tests/test_model_check.cpp holds
+// the schedule). Empty versions now carry fresh tagged sentinel tokens,
+// so a shard that goes empty -> non-empty -> empty between pin and probe
+// is caught by the token comparison alone, like every other transition.
+TEST(CutRetry, EmptyShardAbaIsCaughtByTokenAlone) {
   using Map = store::ShardedMap<PlainUc, RangeR>;
   MA a;
   {

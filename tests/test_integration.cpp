@@ -206,7 +206,9 @@ TEST(Integration, MvccAnalyticsOverSnapshots) {
     std::thread analyst([&] {
       while (!stop.load()) {
         auto snap = atom.snapshot();
-        const T frozen = T::from_root(snap.root());
+        const T frozen = T::from_root(
+            core::Atom<T, reclaim::WatermarkReclaimer,
+                       alloc::MallocAlloc>::structural_root(snap.root()));
         std::int64_t sum = 0;
         frozen.for_each([&](const std::int64_t&, const std::int64_t& v) { sum += v; });
         ASSERT_EQ(sum, static_cast<std::int64_t>(frozen.size()) * 10);

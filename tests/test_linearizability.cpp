@@ -153,6 +153,114 @@ TEST(LinCheck, InitiallyPresentSeedsTheSpec) {
   EXPECT_FALSE(verify::check_single_key_history(h, false));
 }
 
+// ----- pending operations (response_ts == 0: invoked, never responded) --
+
+TEST(LinCheckPending, PendingInsertMayExplainAReadOfTrue) {
+  // contains(4)=true with no COMPLETED insert is only legal if the
+  // overlapping pending insert is allowed to linearize first.
+  std::vector<Event> completed{ev(2, 3, OpType::kContains, 4, true)};
+  std::vector<Event> pending{ev(1, 0, OpType::kInsert, 4, false)};
+  EXPECT_TRUE(verify::check_set_linearizability(completed, pending));
+  // Without the pending op the same history must be rejected.
+  EXPECT_FALSE(verify::check_set_linearizability(completed, {}));
+}
+
+TEST(LinCheckPending, PendingOpNeedNotLinearize) {
+  // A pending erase overlapping a read of true: ordering the read first
+  // works, so the history is fine whether or not the erase took effect.
+  std::vector<Event> completed{
+      ev(1, 2, OpType::kInsert, 4, true),
+      ev(4, 5, OpType::kContains, 4, true),
+  };
+  std::vector<Event> pending{ev(3, 0, OpType::kErase, 4, false)};
+  EXPECT_TRUE(verify::check_set_linearizability(completed, pending));
+}
+
+TEST(LinCheckPending, PendingOpCannotRepairRealTimeViolations) {
+  // Two non-overlapping successful inserts stay illegal: the pending
+  // erase was invoked after both completed, so it cannot sit between
+  // them.
+  std::vector<Event> completed{
+      ev(1, 2, OpType::kInsert, 6, true),
+      ev(3, 4, OpType::kInsert, 6, true),
+  };
+  std::vector<Event> pending{ev(5, 0, OpType::kErase, 6, false)};
+  EXPECT_FALSE(verify::check_set_linearizability(completed, pending));
+}
+
+TEST(LinCheckPending, PendingOpsNeverForcePrecedence) {
+  // A pending contains invoked first blocks nothing: completed ops that
+  // started later may still linearize before it.
+  std::vector<Event> completed{
+      ev(2, 3, OpType::kInsert, 1, true),
+      ev(4, 5, OpType::kErase, 1, true),
+  };
+  std::vector<Event> pending{ev(1, 0, OpType::kContains, 1, false)};
+  EXPECT_TRUE(verify::check_set_linearizability(completed, pending));
+}
+
+// ----- oversize projections: quiescent splitting and the unchecked
+// verdict -----
+
+TEST(LinCheckOversize, SequentialLongHistorySplitsAndPasses) {
+  // 200 strictly sequential ops on one key — over the 64-event direct
+  // cap, but every boundary is quiescent, so splitting covers it all.
+  std::vector<Event> h;
+  std::uint64_t t = 1;
+  bool present = false;
+  for (int i = 0; i < 200; ++i) {
+    const bool ins = i % 2 == 0;
+    h.push_back(ev(t, t + 1, ins ? OpType::kInsert : OpType::kErase, 9,
+                   ins ? !present : present));
+    present = ins;
+    t += 2;
+  }
+  const auto v = verify::check_set_linearizability(h);
+  EXPECT_TRUE(v);
+  EXPECT_TRUE(v.checked);
+}
+
+TEST(LinCheckOversize, SplitSegmentsCarryThePresenceBit) {
+  // Same shape but the violation sits deep in a late segment: erase=false
+  // at a point where the carried presence says the key is there.
+  std::vector<Event> h;
+  std::uint64_t t = 1;
+  for (int i = 0; i < 150; ++i) {
+    h.push_back(ev(t, t + 1, i % 2 == 0 ? OpType::kInsert : OpType::kErase,
+                   9, true));
+    t += 2;
+  }
+  h.push_back(ev(t, t + 1, OpType::kErase, 9, true));  // key is absent here
+  EXPECT_FALSE(verify::check_set_linearizability(h));
+}
+
+TEST(LinCheckOversize, UnsplittableRunYieldsUncheckedNotViolation) {
+  // 65 mutually overlapping contains ops: no quiescent boundary exists,
+  // so the projection cannot be split — verdict must be "unchecked", and
+  // ok must stay true (degrade, don't abort or reject).
+  std::vector<Event> h;
+  for (std::uint64_t i = 0; i < 65; ++i) {
+    h.push_back(ev(1 + i, 100 + i, OpType::kContains, 3, false));
+  }
+  const auto v = verify::check_set_linearizability(h);
+  EXPECT_TRUE(v.ok);
+  EXPECT_FALSE(v.checked);
+  EXPECT_EQ(v.bad_key, 3);
+  EXPECT_NE(v.reason.find("unchecked"), std::string::npos);
+}
+
+TEST(LinCheckOversize, UncheckedKeyDoesNotMaskARealViolationElsewhere) {
+  std::vector<Event> h;
+  for (std::uint64_t i = 0; i < 65; ++i) {
+    h.push_back(ev(1 + i, 100 + i, OpType::kContains, 3, false));
+  }
+  // Key 8 holds a hard violation.
+  h.push_back(ev(200, 201, OpType::kErase, 8, true));
+  const auto v = verify::check_set_linearizability(h);
+  EXPECT_FALSE(v.ok);
+  EXPECT_EQ(v.bad_key, 8);
+}
+
 // ----- randomized cross-validation against a brute-force reference -----
 
 bool naive_reference(std::vector<Event> ev_list) {
