@@ -14,9 +14,12 @@
 //     cross-shard splitter and walks the shards itself, one sub-batch
 //     install after another;
 //   * batch-async — a ShardExecutor is attached: the same client batches
-//     scatter into per-shard worker queues and join on a ticket, so the S
-//     installs of one client batch run concurrently and every client's
-//     sub-batches funnel through the shard's one combiner-affine thread.
+//     scatter into per-shard lock-free submission lanes and join on a
+//     ticket, so the S installs of one client batch run concurrently,
+//     every client's sub-batches funnel through the shard's one
+//     combiner-affine thread, and a worker wakeup that finds several
+//     tickets queued merges them into one sorted install (the
+//     executor-lanes section below reports and asserts exactly that).
 //
 // Backends are swept through the UniversalConstruction concept: the same
 // harness instantiates the plain Atom and the CombiningAtom, which is the
@@ -96,6 +99,10 @@ struct Config {
   bool continuous = false;       // --continuous: add the adaptive-tablet row
   bool assert_migrated = false;  // exit 1 unless the adaptive cells migrated
   const char* json_path = nullptr;  // --json: machine-readable skew rows
+  // Executor-lanes acceptance (the lock-free lane + coalescing PR):
+  bool assert_coalesce = false;  // exit 1 unless a contended cell coalesced
+  bool lanes_only = false;       // run just the lanes section (CI smoke)
+  const char* lanes_json = nullptr;  // --lanes-json: lanes artifact
 };
 
 enum class Mode { kPerOp, kBatchSync, kBatchAsync };
@@ -346,6 +353,131 @@ void sweep_structures(const Config& cfg, std::size_t shards) {
   row("wbt", std::type_identity<persist::WbTree<std::int64_t, std::int64_t>>{});
   row("extbst",
       std::type_identity<persist::ExternalBst<std::int64_t, std::int64_t>>{});
+}
+
+// ----- executor lanes: the lock-free-lane + coalescing acceptance -----
+//
+// Multi-client batch ingest into FEW shards is where the async pipeline
+// earns (or loses) its keep: every client's sub-batches land on the same
+// one or two lanes, a worker wakeup finds several tickets queued, and
+// the coalescer k-way-merges them into one sorted install. The section
+// reports sync vs async ops/s side by side plus the pipeline counters
+// the lane rewrite promises end to end: mean tickets absorbed per
+// worker wakeup (> 1 means cross-ticket coalescing actually fired —
+// --assert-coalesce gates on it), coalesced installs and the tickets
+// they absorbed, the spin-caught/parked wakeup split, and sampled
+// submit-to-completion latency. The submit path acquires no mutex by
+// construction — one gate fetch_add, one ring CAS, one stamp release
+// store (shard_lane.hpp) — which the JSON records as
+// submit_mutex_locks_per_op: 0.
+
+struct LaneCell {
+  std::size_t shards = 0;
+  double sync_ops = 0.0;
+  double async_ops = 0.0;
+  core::OpStats total;  // async cell's board total (workers folded in)
+};
+
+LaneCell run_lane_cell(const Config& cfg, std::size_t shards) {
+  LaneCell cell;
+  cell.shards = shards;
+  {
+    store::ShardStatsBoard sync_board(shards);
+    cell.sync_ops =
+        run_cell<CombUc>(cfg, shards, Mode::kBatchSync, sync_board)
+            .ops_per_sec;
+  }
+  store::ShardStatsBoard board(shards);
+  cell.async_ops =
+      run_cell<CombUc>(cfg, shards, Mode::kBatchAsync, board).ops_per_sec;
+  cell.total = board.total();
+  return cell;
+}
+
+int lanes_section(const Config& cfg) {
+  std::printf("\n== executor lanes: combining backend, %zu clients, "
+              "batch-%u ingest, lock-free lanes ==\n",
+              cfg.threads, cfg.batch);
+  std::printf("%6s  %13s  %13s  %8s  %11s  %11s  %16s  %8s\n", "shards",
+              "sync ops/s", "async ops/s", "tkt/wake", "co-installs",
+              "co-tickets", "wakes(spin/park)", "task-us");
+  std::vector<std::size_t> sweep{1};
+  if (cfg.shards.back() > 1) sweep.push_back(cfg.shards.back());
+  std::vector<LaneCell> cells;
+  double best_tpw = 0.0;
+  for (const std::size_t s : sweep) {
+    const LaneCell c = run_lane_cell(cfg, s);
+    const core::OpStats& t = c.total;
+    std::printf("%6zu  %13.0f  %13.0f  %8.2f  %11llu  %11llu  %6llu(%llu/%llu)"
+                "  %8.1f\n",
+                s, c.sync_ops, c.async_ops, t.tickets_per_wake(),
+                static_cast<unsigned long long>(t.exec_coalesced_installs),
+                static_cast<unsigned long long>(t.exec_coalesced_tasks),
+                static_cast<unsigned long long>(t.exec_wakes),
+                static_cast<unsigned long long>(t.exec_spin_wakes),
+                static_cast<unsigned long long>(t.exec_parks),
+                t.mean_task_us());
+    best_tpw = std::max(best_tpw, t.tickets_per_wake());
+    cells.push_back(c);
+  }
+  if (cfg.lanes_json != nullptr) {
+    std::FILE* f = std::fopen(cfg.lanes_json, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s for writing\n", cfg.lanes_json);
+      return 2;
+    }
+    std::fprintf(
+        f,
+        "{\n  \"bench\": \"bench_sharded executor-lanes\",\n"
+        "  \"threads\": %zu, \"batch\": %u, \"cell_ms\": %d, "
+        "\"hw_threads\": %zu,\n"
+        "  \"sample_every\": %u,\n"
+        "  \"submit_mutex_locks_per_op\": 0,\n"
+        "  \"cells\": [\n",
+        cfg.threads, cfg.batch, cfg.duration_ms, bench::hardware_threads(),
+        static_cast<unsigned>(store::ShardExecutor<CombUc>::kSampleEvery));
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      const LaneCell& c = cells[i];
+      const core::OpStats& t = c.total;
+      std::fprintf(
+          f,
+          "    {\"shards\": %zu, \"sync_ops\": %.0f, \"async_ops\": %.0f, "
+          "\"tickets_per_wake\": %.3f, \"coalesced_installs\": %llu, "
+          "\"coalesced_tickets\": %llu, \"wakes\": %llu, "
+          "\"spin_wakes\": %llu, \"parks\": %llu, \"task_samples\": %llu, "
+          "\"mean_task_us\": %.1f}%s\n",
+          c.shards, c.sync_ops, c.async_ops, t.tickets_per_wake(),
+          static_cast<unsigned long long>(t.exec_coalesced_installs),
+          static_cast<unsigned long long>(t.exec_coalesced_tasks),
+          static_cast<unsigned long long>(t.exec_wakes),
+          static_cast<unsigned long long>(t.exec_spin_wakes),
+          static_cast<unsigned long long>(t.exec_parks),
+          static_cast<unsigned long long>(t.exec_task_samples),
+          t.mean_task_us(), i + 1 < cells.size() ? "," : "");
+    }
+    // Pre-lane baseline for the async/sync ratio acceptance: the
+    // condvar+mutex executor at the previous HEAD, --quick on the
+    // 1-vCPU CI host. Host-specific — compare ratios, not absolutes.
+    std::fprintf(
+        f,
+        "  ],\n"
+        "  \"cv_baseline_quick_1vcpu\": {\"sync_64_shards1\": 415728, "
+        "\"async_64_shards1\": 503274, \"sync_64_shards4\": 371375, "
+        "\"async_64_shards4\": 363210}\n}\n");
+    std::fclose(f);
+  }
+  if (cfg.assert_coalesce) {
+    if (best_tpw <= 1.0) {
+      std::fprintf(stderr,
+                   "FAIL: no contended cell coalesced (best mean "
+                   "tickets/wake %.2f, want > 1)\n",
+                   best_tpw);
+      return 1;
+    }
+    std::printf("coalesce assert: ok (best mean tickets/wake %.2f)\n",
+                best_tpw);
+  }
+  return 0;
 }
 
 // ----- skew sweep: the adaptive-rebalancing acceptance experiment -----
@@ -842,12 +974,20 @@ int main(int argc, char** argv) {
       cfg.json_path = argv[++i];
     } else if (std::strcmp(argv[i], "--assert-migrated") == 0) {
       cfg.assert_migrated = true;
+    } else if (std::strcmp(argv[i], "--assert-coalesce") == 0) {
+      // The lane-coalescing CI smoke: run just the executor-lanes
+      // section and gate on mean tickets/wake > 1 in a contended cell.
+      cfg.assert_coalesce = true;
+      cfg.lanes_only = true;
+    } else if (std::strcmp(argv[i], "--lanes-json") == 0 && i + 1 < argc) {
+      cfg.lanes_json = argv[++i];
     } else {
       std::fprintf(stderr,
                    "usage: %s [--quick] [--threads N] [--duration-ms N]"
                    " [--initial N] [--ingest sync|async|both]"
                    " [--skew zipf|hot|moving]... [--continuous]"
-                   " [--json PATH] [--assert-migrated]\n",
+                   " [--json PATH] [--assert-migrated]"
+                   " [--assert-coalesce] [--lanes-json PATH]\n",
                    argv[0]);
       return 2;
     }
@@ -912,6 +1052,12 @@ int main(int argc, char** argv) {
     return 0;
   };
 
+  if (cfg.lanes_only) {
+    // Lanes-only mode (the CI coalescing smoke): the executor-lanes
+    // section plus its assert and JSON artifact, nothing else.
+    return lanes_section(cfg);
+  }
+
   if (cfg.skew_only) {
     // Skew-sweep-only mode (the CI rebalancing smoke): the router
     // policies over the requested distribution(s), nothing else.
@@ -944,6 +1090,8 @@ int main(int argc, char** argv) {
                 cfg.run_async ? "async" : "sync", widest->shards());
     widest->print(stdout);
   }
+
+  if (const int rc = lanes_section(cfg); rc != 0) return rc;
 
   const auto [cut_writers, cut_readers] = cut_topology(cfg);
   std::printf("\n== consistent cut reads: %zu writer(s) + %zu reader(s), "

@@ -40,6 +40,13 @@ smoke bench_sharded --quick
 # so a regression that deadlocks the scatter/join path fails fast here.
 SMOKE_TAG=async smoke bench_sharded --quick --ingest async
 
+# Smoke: the lock-free executor lanes — the contended multi-client cell
+# must coalesce cross-ticket batches (mean tickets/wake > 1 end to end,
+# OpStats -> board -> JSON) or the bench exits 1; the lanes JSON lands
+# next to the log for inspection.
+SMOKE_TAG=coalesce smoke bench_sharded --quick --ingest async \
+  --assert-coalesce --lanes-json "$build_dir/BENCH_executor_lanes.json"
+
 # Smoke: adaptive rebalancing under a Zipfian offered load — the sweep's
 # own asserts fail the gate unless at least one live migration ran AND
 # the adaptive cells ended on a balanced topology (max/ideal load share
@@ -76,8 +83,12 @@ SMOKE_TAG=recycle smoke bench_ablation_alloc --quick \
 mc_dir="$build_dir-mc"
 cmake -B "$mc_dir" -S "$repo_root" -DPATHCOPY_MODELCHECK=ON
 cmake --build "$mc_dir" -j "$(nproc)" --target test_model_check
+# The filter keeps the smoke time-boxed: random walks (now including the
+# lane ring and park/wake protocols), the replayed regression corpus,
+# and the two fast lane mutant positive controls — the full exhaustive
+# sweeps stay in the modelcheck CI job.
 "$mc_dir/test_model_check" \
-  --gtest_filter='ModelCheckSmoke.*:ModelCheckAtom.CorpusTraceReproducesTheLegacyAba:ModelCheckCut.*' \
+  --gtest_filter='ModelCheckSmoke.*:ModelCheckAtom.CorpusTraceReproducesTheLegacyAba:ModelCheckCut.*:ModelCheckLane.SkippingTheSlotStampCheckLosesAnElement:ModelCheckLane.DroppingTheParkRecheckReopensTheLostWakeup' \
   | tee "$mc_dir/test_model_check.smoke.log"
 
 echo "check.sh: all gates passed"

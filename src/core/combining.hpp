@@ -347,6 +347,151 @@ class CombiningAtom {
     }
   }
 
+  /// Coalesced ingest — the async pipeline's cross-ticket merge entry.
+  /// `reqs` must be stably key-sorted with duplicates ALLOWED: same-key
+  /// requests appear in application order (the ShardExecutor's k-way
+  /// merge of many clients' key-sorted sub-batches is exactly that).
+  /// The whole run — plus any pending per-thread announcements, so
+  /// helping is preserved — is chain-collapsed to one effective op per
+  /// distinct key and applied through ONE install attempt per retry:
+  /// a backed-up lane pays one root CAS for N tickets. Results land in
+  /// `results_out` aligned with `reqs`, exactly as if the requests ran
+  /// one by one in span order. Falls back to execute_batch for runs
+  /// small enough for the fixed-size gather path, when batching is off,
+  /// or when the fanout gate prices the merged batch as unclustered.
+  void execute_sorted(Ctx& ctx, std::span<const BatchRequest> reqs,
+                      std::span<bool> results_out) {
+    PC_ASSERT(results_out.size() >= reqs.size(),
+              "execute_sorted result span too small");
+    if constexpr (!kHasBatchApply) {
+      execute_batch(ctx, reqs, results_out);
+    } else {
+      if (reqs.size() <= MaxThreads ||
+          !batch_apply_.load(std::memory_order_relaxed)) {
+        // execute_batch applies chunks in span order, so semantics are
+        // identical; below one chunk there is nothing to coalesce.
+        execute_batch(ctx, reqs, results_out);
+        return;
+      }
+      using BatchOp = typename DS::BatchOp;
+      using BatchOutcome = typename DS::BatchOutcome;
+#ifndef NDEBUG
+      {
+        typename DS::KeyCompare cmp;
+        for (std::size_t i = 1; i < reqs.size(); ++i) {
+          PC_DASSERT(!cmp(reqs[i].key, reqs[i - 1].key),
+                     "execute_sorted requires key-sorted requests");
+        }
+      }
+#endif
+      const std::size_t n = reqs.size();
+      // Entry layout mirrors the gather path's convention — pending
+      // announcements first (ascending slot), then requests in span
+      // order — so the stable key-sort keeps every same-key chain in
+      // the order the fixed path would apply it.
+      std::vector<Gathered> entries;
+      std::vector<unsigned> order;
+      std::vector<BatchOp> ops;
+      std::vector<BatchOutcome> outs;
+      std::vector<unsigned> chain_begin, chain_end;
+      typename DS::KeyCompare cmp;
+      BuilderT builder(*ctx.alloc);
+      builder.set_recycling(ctx.recycle_fresh);
+      RecycleScope<Alloc> recycle_scope(ctx.stats, builder);
+      for (;;) {
+        builder.reset();
+        ++ctx.stats.attempts;
+        auto guard = smr_->pin(ctx.smr_handle, root_, version_);
+        const auto* vr = static_cast<const VersionRec*>(guard.root());
+        std::array<Gathered, kMaxGather> gathered;
+        const unsigned ga = gather_pending(vr, gathered);
+        entries.clear();
+        entries.reserve(ga + n);
+        for (unsigned i = 0; i < ga; ++i) entries.push_back(gathered[i]);
+        for (std::size_t i = 0; i < n; ++i) {
+          const BatchRequest& r = reqs[i];
+          PC_DASSERT(r.kind == OpKind::kErase || r.value.has_value(),
+                     "insert request without a value");
+          Gathered& e = entries.emplace_back();
+          e.slot = kRequestSlot;
+          e.seq = i;
+          e.kind = r.kind;
+          e.key = r.key;
+          e.value = r.value;
+        }
+        const std::size_t total = entries.size();
+        order.resize(total);
+        for (std::size_t i = 0; i < total; ++i) {
+          order[i] = static_cast<unsigned>(i);
+        }
+        std::stable_sort(order.begin(), order.end(),
+                         [&](unsigned a, unsigned b) {
+                           return cmp(entries[a].key, entries[b].key);
+                         });
+        ops.resize(total);
+        outs.assign(total, BatchOutcome::kNoop);
+        chain_begin.resize(total);
+        chain_end.resize(total);
+        const unsigned nb = collapse_chains(entries.data(), order.data(),
+                                            total, ops.data(),
+                                            chain_begin.data(),
+                                            chain_end.data());
+        DS ds = DS::from_root(vr->ds_root);
+        if (batch_gate_declines(ds,
+                                std::span<const BatchOp>(ops.data(), nb))) {
+          // Unclustered on a wide structure: the chunked gather path's
+          // per-op fallback prices each chunk on its own.
+          ++ctx.stats.batch_declines;
+          builder.rollback();
+          execute_batch(ctx, reqs, results_out);
+          return;
+        }
+        std::array<std::uint64_t, MaxThreads> applied = vr->applied_seq;
+        std::array<bool, MaxThreads> results = vr->last_result;
+        const std::uint64_t created_before = builder.created_count();
+        const std::uint64_t size_before = ds.size();
+        std::uint64_t landed = 0;
+        DS next = ds.apply_sorted_batch(
+            builder, std::span<const BatchOp>(ops.data(), nb),
+            std::span<BatchOutcome>(outs.data(), nb));
+        replay_chains(entries.data(), order.data(), ops.data(), outs.data(),
+                      nb, chain_begin.data(), chain_end.data(), applied,
+                      results, results_out, landed);
+        const std::uint64_t created_by_ops =
+            builder.created_count() - created_before;
+        const VersionRec* nvr = builder.template create<VersionRec>(
+            next.root_ptr(), vr->version + 1, applied, results);
+        builder.supersede(vr);
+        builder.seal();
+        PC_YIELD("atom.install");
+        const void* expected = vr;
+        if (!root_.compare_exchange_strong(expected, nvr,
+                                           std::memory_order_seq_cst,
+                                           std::memory_order_relaxed)) {
+          ctx.stats.failed_attempt_nodes += builder.fresh_count();
+          builder.rollback();
+          ++ctx.stats.cas_failures;
+          continue;
+        }
+        PC_YIELD("atom.bump");
+        const std::uint64_t death =
+            version_.fetch_add(1, std::memory_order_seq_cst) + 1;
+        smr_->retire_bundle(ctx.smr_handle, death, vr, nvr, builder.commit());
+        ++ctx.stats.updates;
+        ctx.stats.combined_ops += total;
+        ctx.stats.batched_installs += 1;
+        ctx.stats.batched_ops += total;
+        ctx.stats.batch_hist[OpStats::batch_bucket(total)] += 1;
+        const std::uint64_t height_est = std::bit_width(size_before + 1);
+        const std::uint64_t per_op_est = landed * (height_est + 1);
+        if (per_op_est > created_by_ops) {
+          ctx.stats.spine_copies_saved += per_op_est - created_by_ops;
+        }
+        return;
+      }
+    }
+  }
+
   /// Disables/enables the sorted-batch fast path (per-op fallback). For
   /// A/B measurement; flip only between phases, not mid-contention.
   void set_batch_apply(bool on) noexcept {
@@ -561,6 +706,10 @@ class CombiningAtom {
       e.kind = slots_[i].kind.load();
       e.key = slots_[i].key.load();
       e.value = slots_[i].value.load();
+      // The multi-word payload copy above can interleave with the owner
+      // re-announcing; the seq re-read below is what rejects the torn
+      // copy. This is the window the model checker explores.
+      PC_YIELD("comb.gather");
       if (slots_[i].seq.load(std::memory_order_acquire) != si) {
         continue;  // re-announced mid-read; skip the torn payload
       }
@@ -684,7 +833,6 @@ class CombiningAtom {
       std::uint64_t& landed) {
     using BatchOp = typename DS::BatchOp;
     using BatchOutcome = typename DS::BatchOutcome;
-    using BatchOpKind = typename DS::BatchOpKind;
     typename DS::KeyCompare cmp;
 
     // Key-sort; the gather scan emitted ascending slots (then requests in
@@ -701,9 +849,40 @@ class CombiningAtom {
     std::array<BatchOp, kMaxGather> ops;
     std::array<BatchOutcome, kMaxGather> outs;
     std::array<unsigned, kMaxGather> chain_begin, chain_end;
+    const unsigned nb = collapse_chains(gathered.data(), order.data(), g,
+                                        ops.data(), chain_begin.data(),
+                                        chain_end.data());
+
+    if (batch_gate_declines(ds, std::span<const BatchOp>(ops.data(), nb))) {
+      return std::nullopt;
+    }
+
+    DS next = ds.apply_sorted_batch(
+        builder, std::span<const BatchOp>(ops.data(), nb),
+        std::span<BatchOutcome>(outs.data(), nb));
+
+    replay_chains(gathered.data(), order.data(), ops.data(), outs.data(), nb,
+                  chain_begin.data(), chain_end.data(), applied, results,
+                  results_out, landed);
+    return next;
+  }
+
+  /// Chain collapse, shared by the fixed-size gather path and the
+  /// unbounded coalesced path (execute_sorted): given gathered entries
+  /// and a key-sorted *stable* order[0, g), emits one effective BatchOp
+  /// per distinct key plus the chain's [begin, end) range in `order`.
+  /// A member template so it only instantiates when kHasBatchApply.
+  template <class DS2 = DS>
+  static unsigned collapse_chains(const Gathered* gathered,
+                                  const unsigned* order, std::size_t g,
+                                  typename DS2::BatchOp* ops,
+                                  unsigned* chain_begin,
+                                  unsigned* chain_end) {
+    using BatchOpKind = typename DS2::BatchOpKind;
+    typename DS2::KeyCompare cmp;
     unsigned nb = 0;
-    for (unsigned i = 0; i < g;) {
-      unsigned j = i + 1;
+    for (std::size_t i = 0; i < g;) {
+      std::size_t j = i + 1;
       while (j < g && !cmp(gathered[order[i]].key, gathered[order[j]].key)) {
         ++j;
       }
@@ -712,18 +891,18 @@ class CombiningAtom {
       //   * insert after the    → the key ends present with that insert's
       //     last erase            value whatever came before: kAssign;
       //   * erase last          → the key ends absent: kErase.
-      unsigned last_erase = j;  // "none"
-      for (unsigned t = i; t < j; ++t) {
+      std::size_t last_erase = j;  // "none"
+      for (std::size_t t = i; t < j; ++t) {
         if (gathered[order[t]].kind == OpKind::kErase) last_erase = t;
       }
-      BatchOp& op = ops[nb];
+      typename DS2::BatchOp& op = ops[nb];
       op.key = gathered[order[i]].key;
       if (last_erase == j) {
         op.kind = BatchOpKind::kInsert;
         op.value = gathered[order[i]].value;
       } else {
-        unsigned reinsert = j;
-        for (unsigned t = last_erase + 1; t < j; ++t) {
+        std::size_t reinsert = j;
+        for (std::size_t t = last_erase + 1; t < j; ++t) {
           if (gathered[order[t]].kind == OpKind::kInsert) {
             reinsert = t;
             break;
@@ -737,46 +916,60 @@ class CombiningAtom {
           op.value = gathered[order[reinsert]].value;
         }
       }
-      chain_begin[nb] = i;
-      chain_end[nb] = j;
+      chain_begin[nb] = static_cast<unsigned>(i);
+      chain_end[nb] = static_cast<unsigned>(j);
       ++nb;
       i = j;
     }
+    return nb;
+  }
 
-    if constexpr (ReportsBatchFanout<DS>) {
-      if constexpr (DS::kBatchFanout >= kWideFanout) {
-        // Price the collapsed batch before applying it: if fewer than
-        // the structure's ops-per-leaf demand share each touched leaf on
-        // average, the shared spine cannot pay for the per-leaf batch
-        // machinery (whole-leaf rewrites on a B-tree, join/recoloring
-        // cascades on a virtual-leaf structure) and the per-op loop is
-        // cheaper. The probe samples the first kClusterProbes leaves and
-        // extrapolates from the ops they absorbed — read-only and a few
-        // descents, far below either path it chooses between.
+  /// Fanout gate (ReportsBatchFanout structures only): prices the
+  /// collapsed batch before applying it — if fewer than the structure's
+  /// ops-per-leaf demand share each touched leaf on average, the shared
+  /// spine cannot pay for the per-leaf batch machinery (whole-leaf
+  /// rewrites on a B-tree, join/recoloring cascades on a virtual-leaf
+  /// structure) and the per-op loop is cheaper. The probe samples at
+  /// most kClusterProbes leaf descents and extrapolates — read-only and
+  /// far below either path it chooses between.
+  template <class DS2 = DS>
+  static bool batch_gate_declines(
+      const DS2& ds, std::span<const typename DS2::BatchOp> ops) {
+    if constexpr (ReportsBatchFanout<DS2>) {
+      if constexpr (DS2::kBatchFanout >= kWideFanout) {
         constexpr unsigned kMinOps = [] {
-          if constexpr (ReportsBatchThreshold<DS>) {
-            return DS::kBatchMinOpsPerLeaf;
+          if constexpr (ReportsBatchThreshold<DS2>) {
+            return DS2::kBatchMinOpsPerLeaf;
           } else {
             return kMinOpsPerLeaf;
           }
         }();
         std::size_t covered = 0;
-        const unsigned runs =
-            ds.count_leaf_runs(std::span<const BatchOp>(ops.data(), nb),
-                               kClusterProbes, &covered);
-        if (runs > 0 && covered < kMinOps * runs) {
-          return std::nullopt;
-        }
+        const unsigned runs = ds.count_leaf_runs(ops, kClusterProbes,
+                                                 &covered);
+        if (runs > 0 && covered < kMinOps * runs) return true;
       }
     }
+    return false;
+  }
 
-    DS next = ds.apply_sorted_batch(
-        builder, std::span<const BatchOp>(ops.data(), nb),
-        std::span<BatchOutcome>(outs.data(), nb));
-
+  /// Back-fills every chained op's response by replaying its chain
+  /// against the key's pre-batch presence (recovered from the outcome of
+  /// the one op that structurally ran). Shared by apply_gathered_batch
+  /// and execute_sorted.
+  template <class DS2 = DS>
+  static void replay_chains(const Gathered* gathered, const unsigned* order,
+                            const typename DS2::BatchOp* ops,
+                            const typename DS2::BatchOutcome* outs,
+                            unsigned nb, const unsigned* chain_begin,
+                            const unsigned* chain_end,
+                            std::array<std::uint64_t, MaxThreads>& applied,
+                            std::array<bool, MaxThreads>& results,
+                            std::span<bool> results_out,
+                            std::uint64_t& landed) {
+    using BatchOpKind = typename DS2::BatchOpKind;
+    using BatchOutcome = typename DS2::BatchOutcome;
     for (unsigned k = 0; k < nb; ++k) {
-      // Pre-batch presence of this key, recovered from the outcome of the
-      // one op that structurally ran.
       bool present;
       switch (ops[k].kind) {
         case BatchOpKind::kInsert:
@@ -803,7 +996,6 @@ class CombiningAtom {
         emit_result(e, res, applied, results, results_out);
       }
     }
-    return next;
   }
 
   alignas(util::kCacheLine) std::atomic<const void*> root_{nullptr};

@@ -31,9 +31,14 @@ struct OpStats {
   std::array<std::uint64_t, kBatchHistBuckets> batch_hist{};
   // Shard-executor extras (counted by a shard's worker thread; zero when
   // the store runs executor-less):
-  std::uint64_t exec_tasks = 0;            // sub-batches executed
-  std::uint64_t exec_queue_depth_sum = 0;  // queue depth sampled at dequeue
-  std::uint64_t exec_task_ns = 0;          // submit -> completion latency
+  std::uint64_t exec_tasks = 0;         // sub-batches executed
+  std::uint64_t exec_wakes = 0;         // non-empty lane drains
+  std::uint64_t exec_spin_wakes = 0;    // work arrived during the spin phase
+  std::uint64_t exec_parks = 0;         // futex parks (idle lane slept)
+  std::uint64_t exec_coalesced_installs = 0;  // merged multi-ticket executes
+  std::uint64_t exec_coalesced_tasks = 0;     // tasks absorbed by those
+  std::uint64_t exec_task_samples = 0;  // tasks with a sampled latency stamp
+  std::uint64_t exec_task_ns = 0;       // submit -> completion, sampled only
   // Consistent-cut extras (counted by the reading session per shard):
   std::uint64_t cut_reads = 0;    // stable cut participations of this shard
   std::uint64_t cut_retries = 0;  // re-pins because this shard's version moved
@@ -63,7 +68,12 @@ struct OpStats {
       batch_hist[i] += o.batch_hist[i];
     }
     exec_tasks += o.exec_tasks;
-    exec_queue_depth_sum += o.exec_queue_depth_sum;
+    exec_wakes += o.exec_wakes;
+    exec_spin_wakes += o.exec_spin_wakes;
+    exec_parks += o.exec_parks;
+    exec_coalesced_installs += o.exec_coalesced_installs;
+    exec_coalesced_tasks += o.exec_coalesced_tasks;
+    exec_task_samples += o.exec_task_samples;
     exec_task_ns += o.exec_task_ns;
     cut_reads += o.cut_reads;
     cut_retries += o.cut_retries;
@@ -75,18 +85,23 @@ struct OpStats {
     return *this;
   }
 
-  /// Mean submission-queue depth seen by the shard worker at dequeue.
-  double mean_queue_depth() const noexcept {
-    return exec_tasks == 0 ? 0.0
-                           : static_cast<double>(exec_queue_depth_sum) /
-                                 static_cast<double>(exec_tasks);
+  /// Mean tasks absorbed per worker wakeup — the coalescing quantity: a
+  /// value above 1 means backed-up lanes are merging tickets into shared
+  /// installs. 0 when the store ran executor-less.
+  double tickets_per_wake() const noexcept {
+    return exec_wakes == 0 ? 0.0
+                           : static_cast<double>(exec_tasks) /
+                                 static_cast<double>(exec_wakes);
   }
 
-  /// Mean submit-to-completion latency of one executor task, microseconds.
+  /// Mean submit-to-completion latency of one executor task,
+  /// microseconds, over the SAMPLED tasks only (submit stamps every Nth
+  /// task — see ShardExecutor — so this is an estimate, not a census).
   double mean_task_us() const noexcept {
-    return exec_tasks == 0 ? 0.0
-                           : static_cast<double>(exec_task_ns) / 1000.0 /
-                                 static_cast<double>(exec_tasks);
+    return exec_task_samples == 0
+               ? 0.0
+               : static_cast<double>(exec_task_ns) / 1000.0 /
+                     static_cast<double>(exec_task_samples);
   }
 
   /// Bucket index for a batch of b ops (b >= 1).

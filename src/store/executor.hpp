@@ -3,17 +3,34 @@
 // Before this, a ShardedMap client drove its S shards *sequentially* —
 // split the batch, then visit shard 0, shard 1, ... from the client
 // thread, each install finishing before the next begins. The executor
-// turns that into a pipeline: one worker thread per shard, each owning an
-// MPSC submission queue, its own reclaimer registration, and its own
-// allocator view. Clients scatter per-shard sub-batches into the queues
-// and receive a join ticket; workers run the shards' install paths
-// concurrently and scatter per-op results straight back into the
-// client's result span before completing the ticket. S shards now mean S
-// genuinely concurrent install streams even for a single client — and a
-// shard's worker is also a natural combining funnel: every sub-batch
-// from every client lands on the one thread that shard's CombiningAtom
-// sees, so batches stack up in its queue instead of contending on the
-// root CAS.
+// turns that into a pipeline: one worker thread per shard, each owning a
+// bounded lock-free MPSC ring (src/store/shard_lane.hpp), its own
+// reclaimer registration, and its own allocator view. Clients scatter
+// per-shard sub-batches into the lanes and receive a join ticket;
+// workers run the shards' install paths concurrently and scatter per-op
+// results straight back into the client's result span before completing
+// the ticket.
+//
+// The pipeline is lock-free end to end:
+//
+//   * submit is one fetch_add on the lane gate, one CAS + one release
+//     store into the ring, and one fetch_add on the publish counter — no
+//     mutex, no syscall unless the worker advertised itself parked;
+//   * workers spin briefly (adaptive budget) then park on a C++20
+//     atomic wait, so a hot lane never syscalls and an idle one sleeps;
+//   * the join ticket is a plain atomic countdown (see BatchTicket).
+//
+// And it coalesces: on each wakeup the worker drains the ENTIRE lane
+// into a local run and k-way-merges every drained ticket's key-sorted
+// sub-batch into one mega-batch, which the backend's execute_sorted
+// entry collapses (cross-ticket same-key chains included) and installs
+// with ONE root CAS — a backed-up lane does one sorted install for N
+// tickets instead of N. Per-op outcomes are back-filled exactly per
+// ticket: the merge is stable by (key, drain order, in-task order), so
+// every key sees its ops in submission order and cross-key ops commute —
+// results are identical to executing the drained tasks one by one.
+// Seed tasks and the Rebalancer's sorted_unique migration tasks are
+// never coalesced; they execute in place as barriers in the drain order.
 //
 // Threading/ownership contract:
 //   * construct over a ShardedMap (any map exposing shard_count() /
@@ -28,30 +45,33 @@
 //   * submitted spans must stay valid until the task's ticket completes
 //     (Session keeps them in per-session scratch and joins before
 //     returning);
-//   * stop() detaches from the map, lets every worker drain its queue,
-//     and joins the threads; the destructor stops implicitly. Declare the
-//     executor after the map so it stops first. An explicit stop() may
-//     race in-flight client batches: a submit that loses the race returns
-//     false and the client runs that sub-batch synchronously (Session
-//     settles the ticket slot itself), so nothing is dropped and nothing
-//     aborts. *Destruction* is different: like any object, the executor
-//     must not be destroyed while another thread may still call into it —
-//     the race-tolerant shutdown is stop()-then-quiesce-then-destroy (or
-//     quiesce clients first and let RAII do both).
+//   * a full lane blocks submit (backpressure) rather than running the
+//     sub-batch synchronously — an earlier task may still sit in the
+//     ring, and per-shard FIFO versus queued migration barriers must
+//     hold. The ring cannot stay full: workers only park empty lanes;
+//   * stop() detaches from the map, then runs the lane's
+//     drain-then-park-poison protocol: set the stop gate, wait out
+//     in-flight submitters, push a poison task through the ring (FIFO
+//     puts it after every accepted task; the gate lets nothing follow),
+//     and join. A submit that loses the race returns false and the
+//     client runs that sub-batch synchronously (Session settles the
+//     ticket slot itself), so nothing is dropped and nothing aborts.
+//     *Destruction* is different: like any object, the executor must not
+//     be destroyed while another thread may still call into it — the
+//     race-tolerant shutdown is stop()-then-quiesce-then-destroy.
 //
 // Completion of a task happens-before the submitting client's join()
-// return (mutex + condition variable in the ticket), so result writes by
-// workers need no further synchronization.
+// return (acquire/release on the ticket's atomic countdown), so result
+// writes by workers need no further synchronization.
 #pragma once
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <thread>
 #include <utility>
@@ -59,6 +79,7 @@
 
 #include "core/stats.hpp"
 #include "core/universal.hpp"
+#include "store/shard_lane.hpp"
 #include "util/assert.hpp"
 #include "util/modelcheck.hpp"
 
@@ -68,6 +89,13 @@ namespace pathcopy::store {
 /// of sub-batches about to be submitted, then join() blocks until every
 /// worker completed its share. Reusable sequentially; not shareable
 /// between concurrent client calls.
+///
+/// Wait-free on the worker side: complete_one is one fetch_sub plus (on
+/// the last completion) one notify_all. Destroy-after-join carries the
+/// same contract as std::latch: the final completer may still be inside
+/// notify_all when join() returns, but notify_all touches only the
+/// atomic's address (a futex wake, no dereference), which is exactly the
+/// guarantee latch implementations rely on.
 class BatchTicket {
  public:
   BatchTicket() = default;
@@ -76,39 +104,51 @@ class BatchTicket {
 
   /// Must be called before the first submit referencing this ticket —
   /// workers only ever count down, so arming up front cannot race a
-  /// completion into negative territory.
+  /// completion past zero.
   void arm(unsigned subbatches) {
-    const std::lock_guard<std::mutex> lock(mu_);
-    PC_ASSERT(pending_ == 0, "ticket re-armed while a join is outstanding");
-    pending_ = subbatches;
+    PC_ASSERT(pending_.load(std::memory_order_relaxed) == 0,
+              "ticket re-armed while a join is outstanding");
+    pending_.store(subbatches, std::memory_order_relaxed);
   }
 
-  /// Worker side: one sub-batch done (its result writes precede this).
-  /// The notify happens under the lock on purpose: the joiner's wait can
-  /// only return after re-acquiring the mutex, i.e. after this worker has
-  /// fully left the condition variable — which is what makes destroying
-  /// the ticket right after join() safe.
+  /// Worker side: one sub-batch done. The acq_rel countdown makes the
+  /// worker's result writes visible to the joiner's acquire load.
   void complete_one() {
-    const std::lock_guard<std::mutex> lock(mu_);
-    PC_ASSERT(pending_ > 0, "ticket completed more often than armed");
-    if (--pending_ == 0) cv_.notify_all();
+    const std::uint32_t left =
+        pending_.fetch_sub(1, std::memory_order_acq_rel);
+    PC_ASSERT(left > 0, "ticket completed more often than armed");
+    if (left == 1) pending_.notify_all();
   }
 
-  /// Client side: blocks until every armed sub-batch completed.
+  /// Client side: blocks until every armed sub-batch completed. Spins
+  /// briefly (sub-batches usually finish within a scheduling quantum)
+  /// before falling back to the futex wait.
   void join() {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [&] { return pending_ == 0; });
+    for (unsigned k = 0; k < kJoinSpins; ++k) {
+      if (pending_.load(std::memory_order_acquire) == 0) return;
+      std::this_thread::yield();
+    }
+    for (;;) {
+      const std::uint32_t p = pending_.load(std::memory_order_acquire);
+      if (p == 0) return;
+#if defined(PATHCOPY_MODELCHECK)
+      // A futex wait would block the OS thread outside the virtual
+      // scheduler's control; keep yielding instead.
+      PC_YIELD("ticket.join");
+      std::this_thread::yield();
+#else
+      pending_.wait(p, std::memory_order_acquire);
+#endif
+    }
   }
 
   bool done() const {
-    const std::lock_guard<std::mutex> lock(mu_);
-    return pending_ == 0;
+    return pending_.load(std::memory_order_acquire) == 0;
   }
 
  private:
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  unsigned pending_ = 0;
+  static constexpr unsigned kJoinSpins = 64;
+  std::atomic<std::uint32_t> pending_{0};
 };
 
 template <core::UniversalConstruction Uc>
@@ -121,15 +161,20 @@ class ShardExecutor {
   using SeedItems = std::vector<std::pair<Key, Value>>;
 
   /// One unit of shard work. Exactly one of {reqs, seed} is meaningful:
-  /// a batch task runs uc.execute_batch over `reqs` and writes op i's
-  /// result to results[scatter[i]] (or results[i] when scatter is null);
-  /// a seed task bulk-loads `*seed` through uc.seed_sorted. All referenced
+  /// a batch task runs the backend over `reqs` and writes op i's result
+  /// to results[scatter[i]] (or results[i] when scatter is null); a seed
+  /// task bulk-loads `*seed` through uc.seed_sorted. All referenced
   /// storage is client-owned and must outlive the ticket.
   ///
   /// sorted_unique marks a control-plane batch (migration install/erase)
   /// whose reqs are key-sorted and key-unique: the worker routes it
-  /// through the backend's bulk ingest_sorted path when it has one —
-  /// giant sorted sweeps, a few CASes — and execute_batch otherwise.
+  /// through the backend's bulk ingest_sorted path when it has one and
+  /// never coalesces it — it is a barrier in the lane's FIFO.
+  ///
+  /// presorted marks a client sub-batch whose reqs are stably key-sorted
+  /// (same-key requests in submission order) — Session's split_batch
+  /// emits exactly that. Only presorted tasks are eligible for
+  /// cross-ticket coalescing; an unsorted task executes alone.
   struct Task {
     std::span<const BatchRequest> reqs;
     const std::size_t* scatter = nullptr;
@@ -137,19 +182,36 @@ class ShardExecutor {
     const SeedItems* seed = nullptr;
     BatchTicket* ticket = nullptr;
     bool sorted_unique = false;
-    std::chrono::steady_clock::time_point enqueued;
+    bool presorted = false;
+    bool poison = false;  // internal: stop() sentinel, never submitted
+    std::chrono::steady_clock::time_point enqueued;  // sampled; see submit
   };
+
+  struct Options {
+    /// Per-lane ring capacity (power of two). Deep enough that
+    /// backpressure only engages on a genuinely backed-up shard.
+    std::size_t lane_capacity = 256;
+    /// Spawn workers parked until resume() — tests use this to force a
+    /// backlog deterministically and watch one wakeup coalesce it.
+    bool start_paused = false;
+  };
+
+  /// Every kSampleEvery-th submit per lane stamps a latency sample
+  /// (power of two). Public so reports can state the sampling rate next
+  /// to the sampled task-us figures.
+  static constexpr std::uint32_t kSampleEvery = 64;
 
   /// Spawns one worker per shard and attaches to the map. `Map` is any
   /// ShardedMap instantiation over this Uc; `AllocFactory` is invoked
   /// once on each worker thread (see the header contract).
   template <class Map, class AllocFactory>
-  ShardExecutor(Map& map, AllocFactory factory) {
+  ShardExecutor(Map& map, AllocFactory factory, Options opts = {})
+      : paused_(opts.start_paused) {
     const std::size_t n = map.shard_count();
     PC_ASSERT(n >= 1, "executor over an empty map");
     lanes_.reserve(n);
     for (std::size_t s = 0; s < n; ++s) {
-      lanes_.push_back(std::make_unique<Lane>());
+      lanes_.push_back(std::make_unique<LaneBox>(opts.lane_capacity));
     }
     workers_.reserve(n);
     try {
@@ -161,15 +223,10 @@ class ShardExecutor {
       }
     } catch (...) {
       // A failed spawn (e.g. std::system_error at the thread limit) must
-      // not unwind past joinable threads — that is std::terminate. Wake
+      // not unwind past joinable threads — that is std::terminate. Poison
       // and join whatever already started, then surface the exception.
       stopped_ = true;
-      for (auto& lane : lanes_) {
-        const std::lock_guard<std::mutex> lock(lane->mu);
-        lane->stopping = true;
-        lane->cv.notify_all();
-      }
-      for (std::thread& w : workers_) w.join();
+      poison_and_join();
       throw;
     }
     map.attach_executor(*this);
@@ -183,59 +240,65 @@ class ShardExecutor {
 
   std::size_t shard_count() const noexcept { return lanes_.size(); }
 
-  /// Enqueues one task on a shard's lane. FIFO per shard: two tasks
-  /// submitted to the same shard (by any threads, in a determinable
-  /// order) are applied to that shard's UC in submission order. Returns
-  /// false — nothing enqueued — when the lane is already stopping: a
-  /// client that raced stop() past the map's detach must run the
-  /// sub-batch itself (Session does exactly that), so stop() is safe to
-  /// call while batches are in flight.
-  [[nodiscard]] bool submit(std::size_t shard, Task task) {
-    PC_ASSERT(shard < lanes_.size(), "submit to an unknown shard");
-    // Before the lane lock (never inside it — a paused logical thread
-    // must not hold a lock the stop() thread needs): the stop/submit
-    // race the model checker drives lives between here and the
-    // `lane.stopping` check below.
-    PC_YIELD("exec.submit");
-    task.enqueued = std::chrono::steady_clock::now();
-    Lane& lane = *lanes_[shard];
-    const std::lock_guard<std::mutex> lock(lane.mu);
-    if (lane.stopping) return false;
-    lane.q.push_back(task);
-    lane.cv.notify_one();  // under the lock: see BatchTicket::complete_one
-    return true;
+  /// Releases workers spawned with Options::start_paused.
+  void resume() {
+    if (paused_.exchange(false, std::memory_order_seq_cst)) {
+      paused_.notify_all();
+    }
   }
 
-  /// Detaches from the map, drains every queue, joins the workers.
-  /// Idempotent; called by the destructor. Tasks already submitted are
-  /// still fully executed and their tickets completed — shutdown drains,
-  /// it does not drop.
+  /// Enqueues one task on a shard's lane. FIFO per shard: two tasks
+  /// submitted to the same shard (by any threads, in a determinable
+  /// order) are applied to that shard's UC in submission order. Blocks
+  /// through full-ring backpressure. Returns false — nothing enqueued —
+  /// when the lane is already stopping: a client that raced stop() past
+  /// the map's detach must run the sub-batch itself (Session does
+  /// exactly that), so stop() is safe to call while batches are in
+  /// flight.
+  ///
+  /// Latency is sampled, not measured per task: every kSampleEvery-th
+  /// submit to a lane stamps `enqueued` and the worker folds only those
+  /// into exec_task_ns/exec_task_samples. A steady_clock read per submit
+  /// would be the most expensive instruction on this path.
+  [[nodiscard]] bool submit(std::size_t shard, Task task) {
+    PC_ASSERT(shard < lanes_.size(), "submit to an unknown shard");
+    PC_ASSERT(!task.poison, "poison is internal to stop()");
+    // The stop/submit race the model checker drives lives between here
+    // and the lane's stop gate.
+    PC_YIELD("exec.submit");
+    LaneBox& box = *lanes_[shard];
+    if ((box.sample_tick.fetch_add(1, std::memory_order_relaxed) &
+         (kSampleEvery - 1)) == 0) {
+      task.enqueued = std::chrono::steady_clock::now();
+    }
+    return box.lane.push_wait(task);
+  }
+
+  /// Detaches from the map, poisons every lane (drain-then-park-poison:
+  /// stop gate, quiesce in-flight submitters, poison through the ring),
+  /// joins the workers. Idempotent; called by the destructor. Tasks
+  /// already submitted are still fully executed and their tickets
+  /// completed — shutdown drains, it does not drop.
   void stop() {
     if (stopped_) return;
     stopped_ = true;
     if (detach_) detach_();
     PC_YIELD("exec.stop");
-    for (auto& lane : lanes_) {
-      const std::lock_guard<std::mutex> lock(lane->mu);
-      lane->stopping = true;
-      lane->cv.notify_all();
-    }
-    for (std::thread& w : workers_) w.join();
+    poison_and_join();
   }
 
-  /// Instantaneous submission-queue depth of one shard's lane — a
-  /// control-plane pressure probe (the continuous rebalancer backs off
-  /// when client sub-batches are stacking up). Takes the lane lock; not
-  /// for hot paths.
+  /// Instantaneous submission-lane depth of one shard — a control-plane
+  /// pressure probe (the continuous rebalancer backs off when client
+  /// sub-batches are stacking up). Two relaxed loads on the ring
+  /// indices; safe from any thread, cheap enough for hot probing.
   std::size_t queue_depth(std::size_t s) const {
     PC_ASSERT(s < lanes_.size(), "queue_depth of an unknown shard");
-    Lane& lane = *lanes_[s];
-    const std::lock_guard<std::mutex> lock(lane.mu);
-    return lane.q.size();
+    return lanes_[s]->lane.approx_size();
   }
 
-  /// A shard worker's counters (install stats + queue depth / latency).
-  /// Meaningful once stop() returned; workers publish on exit.
+  /// A shard worker's counters (install stats + wake/park/coalescing
+  /// accounting). Meaningful once stop() returned; workers publish on
+  /// exit and join() makes the writes visible.
   const core::OpStats& shard_stats(std::size_t s) const {
     PC_ASSERT(stopped_, "shard_stats before stop()");
     return lanes_[s]->final_stats;
@@ -251,15 +314,180 @@ class ShardExecutor {
   }
 
  private:
-  /// Per-shard submission lane. Heap-allocated once: mutexes and cvs are
-  /// neither movable nor copyable, and workers hold stable pointers.
-  struct Lane {
-    std::mutex mu;
-    std::condition_variable cv;
-    std::deque<Task> q;
-    bool stopping = false;
-    core::OpStats final_stats;  // written by the worker on exit, under mu
+  static constexpr unsigned kSpinMin = 16;
+  static constexpr unsigned kSpinMax = 512;
+
+  /// Per-shard lane plus executor-side bookkeeping. Heap-allocated once:
+  /// atomics are neither movable nor copyable, and workers hold stable
+  /// pointers.
+  struct LaneBox {
+    explicit LaneBox(std::size_t cap) : lane(cap) {}
+    ShardLane<Task> lane;
+    std::atomic<std::uint32_t> sample_tick{0};
+    core::OpStats final_stats;  // worker writes before exit; read post-join
   };
+
+  static constexpr bool kHasExecuteSorted = requires(
+      Uc& uc, Ctx& ctx, std::span<const BatchRequest> reqs,
+      std::span<bool> out) { uc.execute_sorted(ctx, reqs, out); };
+
+  static bool key_less(const Key& a, const Key& b) {
+    if constexpr (requires { typename Uc::Structure::KeyCompare; }) {
+      return typename Uc::Structure::KeyCompare{}(a, b);
+    } else {
+      return a < b;
+    }
+  }
+
+  void poison_and_join() {
+    resume();  // parked-paused workers must run to drain
+    Task poison;
+    poison.poison = true;
+    for (auto& box : lanes_) box->lane.request_stop(poison);
+    for (std::thread& w : workers_) w.join();
+  }
+
+  /// A task the coalescer may merge: a presorted client sub-batch.
+  /// Seeds and sorted_unique migrations are barriers; unsorted tasks
+  /// (direct executor users) execute alone.
+  static bool coalescible(const Task& t) {
+    return t.seed == nullptr && !t.sorted_unique && !t.poison && t.presorted;
+  }
+
+  void wait_unpaused() {
+    while (paused_.load(std::memory_order_seq_cst)) {
+#if defined(PATHCOPY_MODELCHECK)
+      PC_YIELD("exec.pause");
+      std::this_thread::yield();
+#else
+      paused_.wait(true, std::memory_order_seq_cst);
+#endif
+    }
+  }
+
+  /// Adaptive spin-then-park. The epoch read precedes the emptiness
+  /// check on purpose: reading the publish counter makes every counted
+  /// publish visible, and commit_park's re-read catches every later one
+  /// — between them no publish can slip past a parking worker (the
+  /// Dekker argument in shard_lane.hpp).
+  void idle_wait(ShardLane<Task>& lane, core::OpStats& st,
+                 unsigned& spin_budget) {
+    for (unsigned k = 0; k < spin_budget; ++k) {
+      if (!lane.consumer_empty()) {
+        st.exec_spin_wakes += 1;
+        spin_budget = std::min(spin_budget * 2, kSpinMax);
+        return;
+      }
+      std::this_thread::yield();  // single-core hosts: let producers run
+    }
+    const std::uint32_t w = lane.park_epoch();
+    if (!lane.consumer_empty()) {
+      st.exec_spin_wakes += 1;
+      return;
+    }
+    if (!lane.commit_park(w)) {
+      st.exec_spin_wakes += 1;
+      return;
+    }
+    st.exec_parks += 1;
+    lane.park_wait(w);
+    // A park means the spin budget was wasted watching an idle lane.
+    spin_budget = std::max(spin_budget / 2, kSpinMin);
+  }
+
+  /// Runs one non-coalesced task (seed / migration / unsorted batch).
+  void exec_single(Uc& uc, Ctx& ctx, const Task& task,
+                   std::unique_ptr<bool[]>& scratch,
+                   std::size_t& scratch_cap) {
+    if (task.seed != nullptr) {
+      uc.seed_sorted(ctx, task.seed->begin(), task.seed->end());
+    } else if (task.scatter == nullptr) {
+      const std::span<bool> out(task.results, task.reqs.size());
+      if constexpr (requires { uc.ingest_sorted(ctx, task.reqs, out); }) {
+        if (task.sorted_unique) {
+          uc.ingest_sorted(ctx, task.reqs, out);
+        } else {
+          uc.execute_batch(ctx, task.reqs, out);
+        }
+      } else {
+        uc.execute_batch(ctx, task.reqs, out);
+      }
+    } else {
+      const std::size_t n = task.reqs.size();
+      if (scratch_cap < n) {
+        scratch = std::make_unique<bool[]>(n);
+        scratch_cap = n;
+      }
+      uc.execute_batch(ctx, task.reqs, std::span<bool>(scratch.get(), n));
+      for (std::size_t i = 0; i < n; ++i) {
+        task.results[task.scatter[i]] = scratch[i];
+      }
+    }
+  }
+
+  /// Folds one finished task into the stats and completes its ticket.
+  /// `finished` is taken once per drain group, not per task.
+  static void finish_task(core::OpStats& st, const Task& task,
+                          std::chrono::steady_clock::time_point finished) {
+    st.exec_tasks += 1;
+    if (task.enqueued != std::chrono::steady_clock::time_point{}) {
+      st.exec_task_samples += 1;
+      st.exec_task_ns += static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(finished -
+                                                               task.enqueued)
+              .count());
+    }
+    if (task.ticket != nullptr) task.ticket->complete_one();
+  }
+
+  /// Coalesces run[first, last): k-way-merges the tasks' key-sorted
+  /// request spans into one mega-batch (stable by key, then drain order,
+  /// then in-task order — i.e. exactly submission order per key), hands
+  /// it to the backend's execute_sorted in one go, and scatters each
+  /// op's outcome back through its own task's scatter map. Cross-key ops
+  /// commute, so the outcomes equal running the tasks one by one.
+  void exec_coalesced(Uc& uc, Ctx& ctx, std::span<Task> tasks,
+                      std::vector<std::pair<std::uint32_t, std::uint32_t>>&
+                          morder,
+                      std::vector<BatchRequest>& merged,
+                      std::unique_ptr<bool[]>& mout,
+                      std::size_t& mout_cap) {
+    morder.clear();
+    std::size_t total = 0;
+    for (std::uint32_t t = 0; t < tasks.size(); ++t) {
+      total += tasks[t].reqs.size();
+    }
+    morder.reserve(total);
+    for (std::uint32_t t = 0; t < tasks.size(); ++t) {
+      for (std::uint32_t i = 0;
+           i < static_cast<std::uint32_t>(tasks[t].reqs.size()); ++i) {
+        morder.emplace_back(t, i);
+      }
+    }
+    // Each task's span is already key-sorted, so a stable sort of the
+    // concatenation by key IS the k-way merge.
+    std::stable_sort(morder.begin(), morder.end(),
+                     [&](const auto& a, const auto& b) {
+                       return key_less(tasks[a.first].reqs[a.second].key,
+                                       tasks[b.first].reqs[b.second].key);
+                     });
+    merged.clear();
+    merged.reserve(total);
+    for (const auto& [t, i] : morder) merged.push_back(tasks[t].reqs[i]);
+    if (mout_cap < total) {
+      mout = std::make_unique<bool[]>(total);
+      mout_cap = total;
+    }
+    const std::span<bool> out(mout.get(), total);
+    uc.execute_sorted(ctx, std::span<const BatchRequest>(merged), out);
+    for (std::size_t m = 0; m < total; ++m) {
+      const auto [t, i] = morder[m];
+      const Task& task = tasks[t];
+      task.results[task.scatter != nullptr ? task.scatter[i] : i] = out[m];
+    }
+    ctx.stats.exec_coalesced_installs += 1;
+    ctx.stats.exec_coalesced_tasks += tasks.size();
+  }
 
   template <class AllocFactory>
   void run_worker(std::size_t s, Uc& uc, AllocFactory& factory) {
@@ -270,57 +498,67 @@ class ShardExecutor {
     Ctx ctx(uc.reclaimer(), alloc);
     std::unique_ptr<bool[]> scratch;
     std::size_t scratch_cap = 0;
-    Lane& lane = *lanes_[s];
-    for (;;) {
-      Task task;
-      std::size_t depth;
-      {
-        std::unique_lock<std::mutex> lock(lane.mu);
-        lane.cv.wait(lock, [&] { return !lane.q.empty() || lane.stopping; });
-        if (lane.q.empty()) break;  // stopping and fully drained
-        task = lane.q.front();
-        lane.q.pop_front();
-        depth = lane.q.size();
+    std::unique_ptr<bool[]> mout;
+    std::size_t mout_cap = 0;
+    std::vector<Task> run;
+    std::vector<BatchRequest> merged;
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> morder;
+    LaneBox& box = *lanes_[s];
+    ShardLane<Task>& lane = box.lane;
+    unsigned spin_budget = kSpinMin;
+    wait_unpaused();
+    bool poisoned = false;
+    while (!poisoned) {
+      run.clear();
+      lane.drain(run);
+      if (run.empty()) {
+        idle_wait(lane, ctx.stats, spin_budget);
+        continue;
       }
-      if (task.seed != nullptr) {
-        uc.seed_sorted(ctx, task.seed->begin(), task.seed->end());
-      } else if (task.scatter == nullptr) {
-        const std::span<bool> out(task.results, task.reqs.size());
-        if constexpr (requires { uc.ingest_sorted(ctx, task.reqs, out); }) {
-          if (task.sorted_unique) {
-            uc.ingest_sorted(ctx, task.reqs, out);
-          } else {
-            uc.execute_batch(ctx, task.reqs, out);
+      ctx.stats.exec_wakes += 1;
+      std::size_t i = 0;
+      while (i < run.size()) {
+        if (run[i].poison) {
+          // The stop gate admits nothing after the poison.
+          PC_DASSERT(i + 1 == run.size(), "task drained after poison");
+          poisoned = true;
+          break;
+        }
+        std::size_t j = i + 1;
+        if constexpr (kHasExecuteSorted) {
+          if (coalescible(run[i])) {
+            while (j < run.size() && coalescible(run[j])) ++j;
+          }
+        }
+        if (j - i > 1) {
+          if constexpr (kHasExecuteSorted) {  // always true when j-i > 1
+            exec_coalesced(uc, ctx, std::span<Task>(&run[i], j - i), morder,
+                           merged, mout, mout_cap);
           }
         } else {
-          uc.execute_batch(ctx, task.reqs, out);
+          exec_single(uc, ctx, run[i], scratch, scratch_cap);
         }
-      } else {
-        const std::size_t n = task.reqs.size();
-        if (scratch_cap < n) {
-          scratch = std::make_unique<bool[]>(n);
-          scratch_cap = n;
+        bool any_sampled = false;
+        for (std::size_t t = i; t < j && !any_sampled; ++t) {
+          any_sampled =
+              run[t].enqueued != std::chrono::steady_clock::time_point{};
         }
-        uc.execute_batch(ctx, task.reqs, std::span<bool>(scratch.get(), n));
-        for (std::size_t i = 0; i < n; ++i) {
-          task.results[task.scatter[i]] = scratch[i];
+        const auto finished = any_sampled
+                                  ? std::chrono::steady_clock::now()
+                                  : std::chrono::steady_clock::time_point{};
+        for (std::size_t t = i; t < j; ++t) {
+          finish_task(ctx.stats, run[t], finished);
         }
+        i = j;
       }
-      ctx.stats.exec_tasks += 1;
-      ctx.stats.exec_queue_depth_sum += depth;
-      ctx.stats.exec_task_ns += static_cast<std::uint64_t>(
-          std::chrono::duration_cast<std::chrono::nanoseconds>(
-              std::chrono::steady_clock::now() - task.enqueued)
-              .count());
-      if (task.ticket != nullptr) task.ticket->complete_one();
     }
-    const std::lock_guard<std::mutex> lock(lane.mu);
-    lane.final_stats = ctx.stats;
+    box.final_stats = ctx.stats;
   }
 
-  std::vector<std::unique_ptr<Lane>> lanes_;
+  std::vector<std::unique_ptr<LaneBox>> lanes_;
   std::vector<std::thread> workers_;
   std::function<void()> detach_;
+  std::atomic<bool> paused_{false};
   bool stopped_ = false;  // main-thread lifecycle flag, not shared
 };
 

@@ -445,7 +445,9 @@ class Rebalancer {
   }
 
   /// Client backpressure probe: ops parked on a gate since the last
-  /// look, or any executor lane deeper than the configured cap.
+  /// look, or any executor lane deeper than the configured cap. The
+  /// lane probe is two relaxed loads on the ring indices — no lock, so
+  /// probing every tick never serializes against submitting clients.
   bool under_pressure() {
     const std::uint64_t parked = map_->parked_waits();
     const bool rising = parked != last_parked_;

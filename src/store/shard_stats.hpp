@@ -87,8 +87,10 @@ class ShardStatsBoard {
   }
 
   /// Per-shard table: installs, retry pressure, batch formation, the
-  /// executor pipeline (mean submission-queue depth at dequeue and mean
-  /// submit-to-completion task latency — zero on executor-less runs) and
+  /// executor pipeline ("tkt/wake": mean tickets a worker wakeup
+  /// absorbed — above 1 means backed-up lanes coalesce tickets into
+  /// shared installs; "task-us": mean submit-to-completion latency over
+  /// the *sampled* tasks — zero on executor-less runs) and
   /// consistent-cut pressure ("cut-retry": how often a cut had to re-pin
   /// this shard because its version moved mid-validation). "batched%" is
   /// the share of installs that went through the sorted-sweep path — the
@@ -104,7 +106,7 @@ class ShardStatsBoard {
                  "%6s  %10s  %10s  %12s  %9s  %11s  %8s  %9s  %9s  %8s  "
                  "%8s  %8s  %8s\n",
                  "shard", "installs", "noops", "cas-fail/op", "batched%",
-                 "mean batch", "q-depth", "task-us", "cut-retry", "epo-wait",
+                 "mean batch", "tkt/wake", "task-us", "cut-retry", "epo-wait",
                  "mig-in", "mig-out", "recycled");
     core::OpStats t;
     for (std::size_t i = 0; i < per_shard_.size(); ++i) {
@@ -118,12 +120,25 @@ class ShardStatsBoard {
                  "total", static_cast<unsigned long long>(t.updates),
                  static_cast<unsigned long long>(t.noop_updates),
                  t.failure_ratio(), batched_pct(t), t.mean_batch_size(),
-                 t.mean_queue_depth(), t.mean_task_us(),
+                 t.tickets_per_wake(), t.mean_task_us(),
                  static_cast<unsigned long long>(t.cut_retries),
                  static_cast<unsigned long long>(t.epoch_retries),
                  static_cast<unsigned long long>(t.mig_keys_in),
                  static_cast<unsigned long long>(t.mig_keys_out),
                  static_cast<unsigned long long>(t.recycled_nodes));
+    if (t.exec_wakes > 0) {
+      std::fprintf(
+          out,
+          "executor: %llu wakes (%llu spin-caught, %llu parked), "
+          "%llu coalesced installs absorbed %llu tickets; "
+          "task-us over %llu sampled tasks\n",
+          static_cast<unsigned long long>(t.exec_wakes),
+          static_cast<unsigned long long>(t.exec_spin_wakes),
+          static_cast<unsigned long long>(t.exec_parks),
+          static_cast<unsigned long long>(t.exec_coalesced_installs),
+          static_cast<unsigned long long>(t.exec_coalesced_tasks),
+          static_cast<unsigned long long>(t.exec_task_samples));
+    }
     RebalanceSummary reb;
     bool have = false;
     {
@@ -170,7 +185,7 @@ class ShardStatsBoard {
                  i, static_cast<unsigned long long>(s.updates),
                  static_cast<unsigned long long>(s.noop_updates),
                  s.failure_ratio(), batched_pct(s), s.mean_batch_size(),
-                 s.mean_queue_depth(), s.mean_task_us(),
+                 s.tickets_per_wake(), s.mean_task_us(),
                  static_cast<unsigned long long>(s.cut_retries),
                  static_cast<unsigned long long>(s.epoch_retries),
                  static_cast<unsigned long long>(s.mig_keys_in),

@@ -759,21 +759,9 @@ class ShardedMap<Uc, RouterT>::Session {
                            std::span<const BatchRequest> reqs,
                            std::span<bool> results_out) {
     using Task = typename ShardExecutor<Uc>::Task;
-    if (map_->shard_count() == 1) {
-      // No split needed: the whole client batch is shard 0's sub-batch.
-      scatter_and_join(
-          exec, [](std::size_t) { return true; },
-          [&](std::size_t) {
-            Task task;
-            task.reqs = reqs;
-            task.results = results_out.data();
-            return task;
-          },
-          [&](std::size_t) {
-            map_->shards_[0]->uc.execute_batch(ctxs_[0], reqs, results_out);
-          });
-      return;
-    }
+    // Even a 1-shard map goes through split_batch: the sub-batches come
+    // out stably key-sorted, which is what makes them `presorted` —
+    // eligible for the executor's cross-ticket coalescing merge.
     split_batch(e, reqs);
     scatter_and_join(
         exec, [&](std::size_t s) { return !split_[s].empty(); },
@@ -782,6 +770,7 @@ class ShardedMap<Uc, RouterT>::Session {
           task.reqs = std::span<const BatchRequest>(sub_reqs_by_shard_[s]);
           task.scatter = split_[s].data();
           task.results = results_out.data();
+          task.presorted = true;
           return task;
         },
         [&](std::size_t s) { run_sub_batch_sync(s, results_out); });

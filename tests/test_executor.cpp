@@ -13,9 +13,12 @@
 //     clients (the TSan target).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <array>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <optional>
 #include <span>
@@ -164,7 +167,7 @@ TEST(Executor, StopDrainsQueuedTasksBeforeExit) {
   EXPECT_EQ(a.stats().live_blocks(), 0u);
 }
 
-TEST(Executor, WorkerStatsSurfaceQueueDepthAndLatency) {
+TEST(Executor, WorkerStatsSurfaceWakesAndSampledLatency) {
   MA a;
   {
     auto map = make_map<CombUc>(2, a);
@@ -184,12 +187,190 @@ TEST(Executor, WorkerStatsSurfaceQueueDepthAndLatency) {
       exec.fold_into(board);
     }
     const core::OpStats total = board.total();
-    // One client batch split over two shards: each worker ran one task.
+    // One client batch split over two shards: each worker ran one task,
+    // on its own wakeup. Latency is SAMPLED (every Nth submit per lane),
+    // but the first submit to a lane is always sample 0 — so both tasks
+    // here carry a stamp and the sampled mean is honest, not zero.
     EXPECT_EQ(total.exec_tasks, 2u);
+    EXPECT_GE(total.exec_wakes, 2u);
+    EXPECT_EQ(total.exec_task_samples, 2u);
     EXPECT_GT(total.exec_task_ns, 0u);
+    EXPECT_GT(total.mean_task_us(), 0.0);
     EXPECT_GT(total.updates, 0u);
   }
   EXPECT_EQ(a.stats().live_blocks(), 0u);
+}
+
+TEST(Executor, RingWraparoundAndFullRingBackpressure) {
+  MA a;
+  // A 4-slot lane forces hundreds of wraparounds and constant full-ring
+  // backpressure from three producers; nothing may be lost, reordered
+  // per-producer, or run twice.
+  constexpr int kProducers = 3;
+  constexpr std::int64_t kPerProducer = 300;
+  {
+    auto map = make_map<CombUc>(1, a);
+    typename store::ShardExecutor<CombUc>::Options opts;
+    opts.lane_capacity = 4;
+    store::ShardExecutor<CombUc> exec(map, shared_alloc_factory<CombUc>(a),
+                                      opts);
+    using Req = typename CombUc::BatchRequest;
+    using K = typename CombUc::OpKind;
+    std::vector<std::thread> producers;
+    for (int w = 0; w < kProducers; ++w) {
+      producers.emplace_back([&, w] {
+        // Fresh disjoint keys per producer: every insert must return true.
+        std::vector<Req> reqs;
+        reqs.reserve(kPerProducer);
+        for (std::int64_t i = 0; i < kPerProducer; ++i) {
+          reqs.push_back(Req{K::kInsert, w * 100000 + i, i});
+        }
+        const auto res = std::make_unique<bool[]>(kPerProducer);
+        store::BatchTicket ticket;
+        ticket.arm(kPerProducer);
+        for (std::int64_t i = 0; i < kPerProducer; ++i) {
+          typename store::ShardExecutor<CombUc>::Task task;
+          task.reqs = std::span<const Req>(&reqs[i], 1);
+          task.results = &res[i];
+          task.ticket = &ticket;
+          ASSERT_TRUE(exec.submit(0, task));
+        }
+        ticket.join();
+        for (std::int64_t i = 0; i < kPerProducer; ++i) {
+          ASSERT_TRUE(res[i]) << "producer " << w << " op " << i
+                              << " lost or duplicated";
+        }
+      });
+    }
+    for (auto& p : producers) p.join();
+    typename Map<CombUc>::Session session(map, a);
+    EXPECT_EQ(session.size(),
+              static_cast<std::size_t>(kProducers * kPerProducer));
+  }
+  EXPECT_EQ(a.stats().live_blocks(), 0u);
+}
+
+TEST(Executor, StopRacingSubmittersDrainsEverythingAccepted) {
+  MA a;
+  // Clients keep batching fresh-key inserts while the main thread stops
+  // the executor mid-stream. Accepted tasks must drain through the lane,
+  // refused ones run synchronously inside Session — either way every op
+  // lands exactly once and reports true.
+  constexpr int kClients = 3;
+  constexpr int kRounds = 60;
+  constexpr int kBatch = 16;
+  {
+    auto map = make_map<CombUc>(2, a);
+    store::ShardExecutor<CombUc> exec(map, shared_alloc_factory<CombUc>(a));
+    using Req = typename Map<CombUc>::BatchRequest;
+    using K = typename Map<CombUc>::OpKind;
+    std::vector<std::thread> clients;
+    for (int w = 0; w < kClients; ++w) {
+      clients.emplace_back([&, w] {
+        typename Map<CombUc>::Session session(map, a);
+        std::vector<Req> reqs;
+        bool res[kBatch];
+        for (int round = 0; round < kRounds; ++round) {
+          reqs.clear();
+          for (int i = 0; i < kBatch; ++i) {
+            const std::int64_t k = w * 100000 + round * kBatch + i;
+            reqs.push_back(Req{K::kInsert, k, k});
+          }
+          session.execute_batch(reqs, std::span<bool>(res, reqs.size()));
+          for (int i = 0; i < kBatch; ++i) {
+            ASSERT_TRUE(res[i]) << "client " << w << " round " << round;
+          }
+        }
+      });
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    exec.stop();  // races the clients; they fall back to the sync path
+    for (auto& c : clients) c.join();
+    typename Map<CombUc>::Session session(map, a);
+    EXPECT_EQ(session.size(),
+              static_cast<std::size_t>(kClients * kRounds * kBatch));
+  }
+  EXPECT_EQ(a.stats().live_blocks(), 0u);
+}
+
+TEST(Executor, ForcedHotCoalescingMatchesSequentialOracleExactly) {
+  MA a1, a2;
+  // Coalescing forced hot: the worker starts parked while many small
+  // tickets (heavy same-key traffic, so chains cross ticket boundaries)
+  // pile into one lane; a single wakeup then drains and merges them all.
+  // Exact per-op outcomes must equal replaying the tickets sequentially.
+  constexpr int kTickets = 120;
+  {
+    auto map = make_map<CombUc>(1, a1);
+    typename store::ShardExecutor<CombUc>::Options opts;
+    opts.start_paused = true;
+    store::ShardExecutor<CombUc> exec(map, shared_alloc_factory<CombUc>(a1),
+                                      opts);
+    using Req = typename CombUc::BatchRequest;
+    using K = typename CombUc::OpKind;
+    util::Xoshiro256 rng(41);
+    std::vector<std::vector<Req>> tickets_reqs(kTickets);
+    for (auto& reqs : tickets_reqs) {
+      const int n = 1 + static_cast<int>(rng.range(0, 3));
+      for (int i = 0; i < n; ++i) {
+        const std::int64_t k = rng.range(0, 15);  // 16 keys: dense chains
+        if (rng.chance(1, 2)) {
+          reqs.push_back(Req{K::kInsert, k, k * 3 + n});
+        } else {
+          reqs.push_back(Req{K::kErase, k, std::nullopt});
+        }
+      }
+      // The executor's merge contract: a coalescible task is key-sorted
+      // with same-key ops in application order (what split_batch emits).
+      std::stable_sort(reqs.begin(), reqs.end(),
+                       [](const Req& x, const Req& y) { return x.key < y.key; });
+    }
+    std::vector<std::unique_ptr<bool[]>> results;
+    std::deque<store::BatchTicket> tickets;
+    for (int t = 0; t < kTickets; ++t) {
+      results.push_back(std::make_unique<bool[]>(tickets_reqs[t].size()));
+      store::BatchTicket& ticket = tickets.emplace_back();
+      ticket.arm(1);
+      typename store::ShardExecutor<CombUc>::Task task;
+      task.reqs = std::span<const Req>(tickets_reqs[t]);
+      task.results = results[t].get();
+      task.ticket = &ticket;
+      task.presorted = true;
+      ASSERT_TRUE(exec.submit(0, task));
+    }
+    exec.resume();
+    for (auto& t : tickets) t.join();
+
+    // Sequential oracle: the lane is FIFO, so outcomes must equal
+    // applying the tickets one at a time in submission order.
+    auto oracle_map = make_map<CombUc>(1, a2);
+    typename Map<CombUc>::Session oracle(oracle_map, a2);
+    for (int t = 0; t < kTickets; ++t) {
+      const auto& reqs = tickets_reqs[t];
+      bool buf[8];
+      oracle.execute_batch(reqs, std::span<bool>(buf, reqs.size()));
+      for (std::size_t i = 0; i < reqs.size(); ++i) {
+        ASSERT_EQ(results[t][i], buf[i])
+            << "ticket " << t << " op " << i
+            << " diverged across a coalesced install";
+      }
+    }
+    typename Map<CombUc>::Session session(map, a1);
+    ASSERT_EQ(session.items(), oracle.items());
+
+    store::ShardStatsBoard board(1);
+    exec.stop();
+    exec.fold_into(board);
+    const core::OpStats total = board.total();
+    // The parked backlog must have coalesced: far fewer wakes than
+    // tickets, and merged installs absorbing multiple tickets each.
+    EXPECT_EQ(total.exec_tasks, static_cast<std::uint64_t>(kTickets));
+    EXPECT_GT(total.tickets_per_wake(), 1.0);
+    EXPECT_GE(total.exec_coalesced_installs, 1u);
+    EXPECT_GE(total.exec_coalesced_tasks, 2u);
+  }
+  EXPECT_EQ(a1.stats().live_blocks(), 0u);
+  EXPECT_EQ(a2.stats().live_blocks(), 0u);
 }
 
 TEST(Executor, SubmitAfterStopIsRefusedNotFatal) {

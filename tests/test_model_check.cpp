@@ -18,9 +18,14 @@
 //      catches the moved shard on token identity alone.
 //   3. Window sweeps: exhaustive bounded exploration of the install/bump
 //      window (both UC backends, pending-aware linearizability via
-//      ModelHistory), the Dekker announce/drain handshake (plus a
-//      broken-protocol positive control), the parked-op migration gate,
-//      and the executor stop/submit race.
+//      ModelHistory), the combining funnel's multi-slot gather window,
+//      the Dekker announce/drain handshake (plus a broken-protocol
+//      positive control), the parked-op migration gate, the executor
+//      stop/submit race (including the lock-free lane's windows), and
+//      the shard lane itself: the ring's claim/publish window and the
+//      park/wake handshake, each with a mutant positive control
+//      (dropped slot-stamp check, dropped park re-read) the checker
+//      must catch.
 //   4. A seeded random-walk smoke (PATHCOPY_MC_SEED overrides the seed)
 //      that scripts/check.sh runs time-boxed; any failure prints the
 //      seed, and replay_seed reproduces the schedule from it alone.
@@ -41,6 +46,7 @@
 #include "reclaim/epoch.hpp"
 #include "store/executor.hpp"
 #include "store/router.hpp"
+#include "store/shard_lane.hpp"
 #include "store/router_epoch.hpp"
 #include "store/sharded_map.hpp"
 #include "store/version_vector.hpp"
@@ -415,6 +421,21 @@ TEST(ModelCheckWindow, CombiningInstallWindowIsLinearizable) {
   EXPECT_GT(res.schedules, 100u);
 }
 
+// The multi-slot gather: the combiner copies a rival's announced payload
+// and then re-reads the slot's sequence to validate the copy. The
+// "comb.gather" yield sits exactly between copy and re-read, so this
+// sweep parks the combiner mid-gather while the announcer's operation
+// is still in flight — every schedule must still linearize.
+const std::vector<std::string> kFunnelTags = {"comb.gather", "atom.install",
+                                              "atom.bump", "obs"};
+
+TEST(ModelCheckWindow, CombiningGatherWindowIsLinearizable) {
+  const ExploreResult res = verify::sched::explore_exhaustive(
+      10, atom_window_body<CombUc>, kFunnelTags);
+  EXPECT_TRUE(res.ok) << res.reason;
+  EXPECT_GT(res.schedules, 100u);
+}
+
 // ---------------------------------------------------------------------
 // 3b. The Dekker announce/drain handshake. A session reads the epoch,
 //     publishes its mark, and re-reads; the publisher stores the new
@@ -620,6 +641,189 @@ TEST(ModelCheckExec, StopSubmitRaceLosesNoTask) {
   EXPECT_GE(res.schedules, 2u);  // both race winners visited
 }
 
+// Same race, explored through the lock-free lane's own windows: the
+// submit gate, the ring claim/publish pair, the wake, and the stop
+// quiesce spin all become decision points. The worker is a real OS
+// thread (its yields are no-ops), so this sweeps the logical client and
+// stopper against each other across every lane-protocol boundary.
+const std::vector<std::string> kExecLaneTags = {
+    "exec.submit", "exec.stop", "lane.gate",
+    "lane.push",   "lane.wake", "lane.stop"};
+
+TEST(ModelCheckExec, StopSubmitRaceHoldsAcrossTheLaneWindows) {
+  const ExploreResult res =
+      verify::sched::explore_exhaustive(8, exec_body, kExecLaneTags);
+  EXPECT_TRUE(res.ok) << res.reason;
+  EXPECT_GT(res.schedules, 10u);
+}
+
+// ---------------------------------------------------------------------
+// 3e. The shard lane itself (the executor's lock-free submission path).
+//     Two protocols, each with a mutant positive control:
+//
+//     Ring claim/publish — producers race a sequence-stamped slot claim
+//     through wraparound on a capacity-2 ring; every element a push
+//     accepted must come out exactly once, in per-producer FIFO order.
+//     The kSkipSlotSeqCheck mutant claims slots without the stamp check
+//     (the classic Vyukov bug): a full ring gets overwritten, the
+//     consumer's expected stamp never appears, and the element is gone
+//     — the search must find a schedule that loses one.
+//
+//     Park/wake (Dekker) — the worker reads the publish epoch, checks
+//     emptiness, advertises parked_, and re-reads the epoch before
+//     sleeping. The invariant: a STANDING park over a non-empty lane
+//     always has a wake delivered; otherwise the only thing between the
+//     consumer and sleeping forever is the futex word's value compare —
+//     a 32-bit epoch that aliases after wrap (the lost-wakeup ABA). The
+//     kSkipParkRecheck mutant drops the re-read and the checker must
+//     find the naked park.
+// ---------------------------------------------------------------------
+
+using store::LaneMutant;
+
+const std::vector<std::string> kLaneRingTags = {"lane.push", "lane.publish",
+                                                "lane.spin"};
+
+template <LaneMutant Mutant>
+std::optional<std::string> lane_ring_body(VirtualScheduler& vs) {
+  struct Shared {
+    store::MpscRing<int, Mutant> ring{2};
+    int producers_done = 0;                 // logical threads serialize:
+    std::vector<int> pushed[2];             // plain fields are race-free
+    std::vector<int> popped;
+  };
+  auto sh = std::make_shared<Shared>();
+
+  const int counts[2] = {2, 1};  // 3 pushes through cap 2 = wraparound
+  for (int p = 0; p < 2; ++p) {
+    vs.spawn([sh, p, n = counts[p]] {
+      for (int i = 0; i < n; ++i) {
+        const int v = p * 10 + i;
+        for (int attempt = 0; attempt < 8; ++attempt) {
+          if (sh->ring.try_push(v)) {
+            sh->pushed[p].push_back(v);
+            break;
+          }
+          PC_YIELD("lane.spin");  // full: the consumer must drain first
+        }
+      }
+      ++sh->producers_done;
+    });
+  }
+  vs.spawn([sh] {  // the single consumer
+    int idle = 0;
+    while (idle < 2) {
+      int v = 0;
+      if (sh->ring.try_pop(v)) {
+        sh->popped.push_back(v);
+        idle = 0;
+        continue;
+      }
+      if (sh->producers_done == 2) ++idle;
+      PC_YIELD("lane.spin");
+    }
+  });
+  vs.run();
+
+  // Every accepted element out exactly once, per-producer order intact.
+  for (int p = 0; p < 2; ++p) {
+    std::vector<int> got;
+    for (const int v : sh->popped) {
+      if (v / 10 == p) got.push_back(v);
+    }
+    if (got != sh->pushed[p]) {
+      return "producer " + std::to_string(p) + " accepted " +
+             std::to_string(sh->pushed[p].size()) + " element(s) but " +
+             std::to_string(got.size()) + " came out (or out of order)";
+    }
+  }
+  return std::nullopt;
+}
+
+TEST(ModelCheckLane, RingKeepsEveryAcceptedElementInFifoOrder) {
+  const ExploreResult res = verify::sched::explore_exhaustive(
+      10, lane_ring_body<LaneMutant::kNone>, kLaneRingTags);
+  EXPECT_TRUE(res.ok) << "schedule " << res.schedules << ": " << res.reason;
+  EXPECT_GT(res.schedules, 100u);
+}
+
+TEST(ModelCheckLane, SkippingTheSlotStampCheckLosesAnElement) {
+  const ExploreResult res = verify::sched::explore_exhaustive(
+      10, lane_ring_body<LaneMutant::kSkipSlotSeqCheck>, kLaneRingTags);
+  ASSERT_FALSE(res.ok) << "the stamp-free claim should lose an element ("
+                       << res.schedules << " schedules explored)";
+  EXPECT_NE(res.reason.find("came out"), std::string::npos);
+  // The found schedule is itself a replayable regression.
+  const std::optional<std::string> again = verify::sched::replay_trace(
+      res.failing_trace, lane_ring_body<LaneMutant::kSkipSlotSeqCheck>,
+      kLaneRingTags);
+  EXPECT_TRUE(again.has_value()) << "failing trace did not replay";
+}
+
+const std::vector<std::string> kLaneParkTags = {"lane.window", "lane.wake",
+                                                "lane.park"};
+
+template <LaneMutant Mutant>
+std::optional<std::string> lane_park_body(VirtualScheduler& vs) {
+  struct Shared {
+    store::ShardLane<int, Mutant> lane{4};
+    bool producer_done = false;
+    bool got = false;
+    std::optional<std::string> fail;
+  };
+  auto sh = std::make_shared<Shared>();
+
+  vs.spawn([sh] {  // producer: one element, then done
+    using Lane = store::ShardLane<int, Mutant>;
+    if (sh->lane.try_push(7) != Lane::Push::kOk) {
+      sh->fail = "push refused on an idle lane";
+    }
+    sh->producer_done = true;
+  });
+  vs.spawn([sh] {  // consumer: the worker's idle protocol
+    int v = 0;
+    while (!sh->got) {
+      const std::uint32_t w = sh->lane.park_epoch();
+      if (sh->lane.try_pop(v)) {  // emptiness check AFTER the epoch read
+        sh->got = true;
+        break;
+      }
+      PC_YIELD("lane.window");  // the epoch-to-park window under test
+      if (!sh->lane.commit_park(w)) continue;  // a publish slipped in
+      if (sh->producer_done && sh->lane.approx_size() > 0 &&
+          sh->lane.wakes_sent() == 0 && !sh->fail.has_value()) {
+        sh->fail = "standing park over a non-empty lane with no wake "
+                   "delivered — a futex-epoch wrap away from sleeping "
+                   "forever";
+      }
+      sh->lane.park_wait(w);
+    }
+  });
+  vs.run();
+  if (sh->fail.has_value()) return sh->fail;
+  if (!sh->got) return "the element was never drained";
+  return std::nullopt;
+}
+
+TEST(ModelCheckLane, ParkProtocolNeverSleepsOverAPublishedTask) {
+  const ExploreResult res = verify::sched::explore_exhaustive(
+      10, lane_park_body<LaneMutant::kNone>, kLaneParkTags);
+  EXPECT_TRUE(res.ok) << "schedule " << res.schedules << ": " << res.reason;
+  EXPECT_GT(res.schedules, 20u);
+}
+
+TEST(ModelCheckLane, DroppingTheParkRecheckReopensTheLostWakeup) {
+  const ExploreResult res = verify::sched::explore_exhaustive(
+      10, lane_park_body<LaneMutant::kSkipParkRecheck>, kLaneParkTags);
+  ASSERT_FALSE(res.ok) << "the re-read-free park should be caught ("
+                       << res.schedules << " schedules explored)";
+  EXPECT_NE(res.reason.find("no wake"), std::string::npos);
+  const std::optional<std::string> again = verify::sched::replay_trace(
+      res.failing_trace, lane_park_body<LaneMutant::kSkipParkRecheck>,
+      kLaneParkTags);
+  EXPECT_TRUE(again.has_value()) << "failing trace did not replay";
+}
+
 // ---------------------------------------------------------------------
 // 4. Seeded random-walk smoke over the fixed protocols — the entry
 //    point scripts/check.sh time-boxes. PATHCOPY_MC_SEED=<n> overrides
@@ -645,6 +849,16 @@ TEST(ModelCheckSmoke, RandomWalksOverTheFixedProtocols) {
       seed0 ^ 0x6A7E, 24, 10, gate_body, kGateTags);
   EXPECT_TRUE(gate.ok) << "gate walk failed; failing seed="
                        << gate.failing_seed << ": " << gate.reason;
+  const ExploreResult ring = verify::sched::explore_random(
+      seed0 ^ 0x1A4E, 64, 10, lane_ring_body<LaneMutant::kNone>,
+      kLaneRingTags);
+  EXPECT_TRUE(ring.ok) << "lane-ring walk failed; failing seed="
+                       << ring.failing_seed << ": " << ring.reason;
+  const ExploreResult park = verify::sched::explore_random(
+      seed0 ^ 0x9A2C, 64, 10, lane_park_body<LaneMutant::kNone>,
+      kLaneParkTags);
+  EXPECT_TRUE(park.ok) << "lane-park walk failed; failing seed="
+                       << park.failing_seed << ": " << park.reason;
 }
 
 }  // namespace
