@@ -47,6 +47,13 @@ SMOKE_TAG=async smoke bench_sharded --quick --ingest async
 SMOKE_TAG=coalesce smoke bench_sharded --quick --ingest async \
   --assert-coalesce --lanes-json "$build_dir/BENCH_executor_lanes.json"
 
+# Smoke: the batched read path — probe sweeps vs per-key reads plus the
+# read-coalescing cell. --assert-read-coalesce fails the gate unless a
+# worker wakeup absorbs > 1 read ticket into one merged sweep AND the
+# hot-256 B=64 sweep beats per-key reads; the JSON lands next to the log.
+SMOKE_TAG=multiget smoke bench_readmix --quick --multiget \
+  --assert-read-coalesce --json "$build_dir/BENCH_readmix_multiget.json"
+
 # Smoke: adaptive rebalancing under a Zipfian offered load — the sweep's
 # own asserts fail the gate unless at least one live migration ran AND
 # the adaptive cells ended on a balanced topology (max/ideal load share

@@ -71,4 +71,37 @@ inline void print_recycle_stats(std::FILE* out, const core::OpStats& s) {
                100.0 * s.recycle_ratio());
 }
 
+/// Batched-read (multi_get) summary: probe sweeps run, keys they
+/// resolved, the shared-vs-per-key node accounting, and the probe-size
+/// histogram. Prints nothing when the run never issued a multi_get.
+inline void print_read_stats(std::FILE* out, const core::OpStats& s) {
+  if (s.read_batches == 0) return;
+  std::fprintf(out,
+               "multi-get: %llu probe sweeps resolved %llu keys "
+               "(mean batch %.1f, %.1f%% of all reads); "
+               "nodes visited %llu, saved %llu vs per-key descents\n",
+               static_cast<unsigned long long>(s.read_batches),
+               static_cast<unsigned long long>(s.batched_reads),
+               s.mean_read_batch(), 100.0 * s.read_batched_share(),
+               static_cast<unsigned long long>(s.probe_nodes_visited),
+               static_cast<unsigned long long>(s.probe_nodes_saved));
+  std::fprintf(out, "probe-size histogram (of %llu sweeps):",
+               static_cast<unsigned long long>(s.read_batches));
+  for (unsigned i = 0; i < core::OpStats::kBatchHistBuckets; ++i) {
+    if (s.read_batch_hist[i] == 0) continue;
+    std::fprintf(out, "  %s:%.1f%%", core::OpStats::batch_bucket_label(i),
+                 100.0 * static_cast<double>(s.read_batch_hist[i]) /
+                     static_cast<double>(s.read_batches));
+  }
+  std::fprintf(out, "\n");
+  if (s.exec_read_sweeps > 0) {
+    std::fprintf(out,
+                 "read coalescing: %llu merged sweeps absorbed %llu read "
+                 "tickets (%.2f tickets/wake)\n",
+                 static_cast<unsigned long long>(s.exec_read_sweeps),
+                 static_cast<unsigned long long>(s.exec_read_tasks),
+                 s.read_tickets_per_wake());
+  }
+}
+
 }  // namespace pathcopy::bench

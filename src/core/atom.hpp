@@ -80,6 +80,7 @@ class Atom {
   using Value = typename detail::ValueOf<DS>::type;
   using OpKind = core::OpKind;
   using BatchRequest = core::BatchRequest<Key, Value>;
+  using ReadOutcome = persist::ReadOutcome<Value>;
 
   static constexpr bool kNeverNullRoot = !LegacyNullEmptyRoot;
 
@@ -260,6 +261,32 @@ class Atom {
         return std::pair(std::move(result), view.version);
       }
     }
+  }
+
+  /// Resolves a key-sorted, key-unique probe batch against ONE pinned
+  /// snapshot: pin once, run the structure's descent-sharing sweep (or the
+  /// per-key fallback — see core/universal.hpp), drop the guard. out[i]
+  /// answers keys[i]. No combiner, no version bump, no CAS, and no
+  /// allocation — the read-side mirror of execute_batch, except reads need
+  /// none of the install machinery. The yield between pin and sweep is
+  /// the model checker's window for racing an install against the probe:
+  /// the sweep must keep answering from the root pinned above.
+  persist::ReadProbeStats multi_get(Ctx& ctx, std::span<const Key> keys,
+                                    std::span<ReadOutcome> out) const {
+    PC_ASSERT(out.size() >= keys.size(), "multi_get outcome span too small");
+    if (keys.empty()) return {};
+    VersionedView view = pin_versioned(ctx);  // bumps reads by 1...
+    ctx.stats.reads += keys.size() - 1;       // ...count every probe key
+    PC_YIELD("atom.mget.sweep");
+    const persist::ReadProbeStats st =
+        core::detail::resolve_sorted_probe<DS, Key, Value>(view.snapshot,
+                                                           keys, out);
+    ctx.stats.read_batches += 1;
+    ctx.stats.batched_reads += keys.size();
+    ctx.stats.read_batch_hist[OpStats::batch_bucket(keys.size())] += 1;
+    ctx.stats.probe_nodes_visited += st.nodes_visited;
+    ctx.stats.probe_nodes_saved += st.nodes_saved();
+    return st;
   }
 
   /// Unguarded size probe — safe because size is read from the root node

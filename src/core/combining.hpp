@@ -197,6 +197,9 @@ class CombiningAtom {
   /// One client-side batched operation (see execute_batch).
   using BatchRequest = core::BatchRequest<Key, Value>;
 
+  /// Per-key answer shape for multi_get (see core/universal.hpp).
+  using ReadOutcome = persist::ReadOutcome<Value>;
+
   /// Applies a client-supplied op sequence through the combiner's install
   /// path: each install absorbs up to MaxThreads requests (plus any
   /// pending per-thread announcements — helping is preserved) in one CAS,
@@ -587,6 +590,28 @@ class CombiningAtom {
   auto read_versioned(Ctx& ctx, F&& f) const {
     VersionedView view = pin_versioned(ctx);
     return std::pair(std::forward<F>(f)(view.snapshot), view.version);
+  }
+
+  /// Batched lookup against one pinned snapshot — same contract as
+  /// Atom::multi_get: no combiner participation, no announcement, no
+  /// version bump, no allocation; reads bypass the install machinery
+  /// entirely and cost one pin for the whole batch.
+  persist::ReadProbeStats multi_get(Ctx& ctx, std::span<const Key> keys,
+                                    std::span<ReadOutcome> out) const {
+    PC_ASSERT(out.size() >= keys.size(), "multi_get outcome span too small");
+    if (keys.empty()) return {};
+    VersionedView view = pin_versioned(ctx);  // bumps reads by 1...
+    ctx.stats.reads += keys.size() - 1;       // ...count every probe key
+    PC_YIELD("combining.mget.sweep");
+    const persist::ReadProbeStats st =
+        core::detail::resolve_sorted_probe<DS, Key, Value>(view.snapshot,
+                                                           keys, out);
+    ctx.stats.read_batches += 1;
+    ctx.stats.batched_reads += keys.size();
+    ctx.stats.read_batch_hist[OpStats::batch_bucket(keys.size())] += 1;
+    ctx.stats.probe_nodes_visited += st.nodes_visited;
+    ctx.stats.probe_nodes_saved += st.nodes_saved();
+    return st;
   }
 
   Smr& reclaimer() noexcept { return *smr_; }

@@ -29,6 +29,14 @@ struct OpStats {
   std::uint64_t spine_copies_saved = 0;  // est. per-op node copies avoided
   std::uint64_t batch_declines = 0;      // batches the fanout gate sent per-op
   std::array<std::uint64_t, kBatchHistBuckets> batch_hist{};
+  // Batched-read (multi_get) extras (zero when every read is per-key).
+  // `reads` above counts every probe key too, so batched_reads / reads is
+  // the share of reads that rode a batched probe:
+  std::uint64_t read_batches = 0;         // multi_get probe sweeps run
+  std::uint64_t batched_reads = 0;        // probe keys resolved by those
+  std::uint64_t probe_nodes_visited = 0;  // nodes the shared sweeps touched
+  std::uint64_t probe_nodes_saved = 0;    // per-key-descent nodes avoided
+  std::array<std::uint64_t, kBatchHistBuckets> read_batch_hist{};
   // Shard-executor extras (counted by a shard's worker thread; zero when
   // the store runs executor-less):
   std::uint64_t exec_tasks = 0;         // sub-batches executed
@@ -37,6 +45,8 @@ struct OpStats {
   std::uint64_t exec_parks = 0;         // futex parks (idle lane slept)
   std::uint64_t exec_coalesced_installs = 0;  // merged multi-ticket executes
   std::uint64_t exec_coalesced_tasks = 0;     // tasks absorbed by those
+  std::uint64_t exec_read_sweeps = 0;  // merged read mega-probes (one/wake)
+  std::uint64_t exec_read_tasks = 0;   // read tickets absorbed by those
   std::uint64_t exec_task_samples = 0;  // tasks with a sampled latency stamp
   std::uint64_t exec_task_ns = 0;       // submit -> completion, sampled only
   // Consistent-cut extras (counted by the reading session per shard):
@@ -67,12 +77,21 @@ struct OpStats {
     for (unsigned i = 0; i < kBatchHistBuckets; ++i) {
       batch_hist[i] += o.batch_hist[i];
     }
+    read_batches += o.read_batches;
+    batched_reads += o.batched_reads;
+    probe_nodes_visited += o.probe_nodes_visited;
+    probe_nodes_saved += o.probe_nodes_saved;
+    for (unsigned i = 0; i < kBatchHistBuckets; ++i) {
+      read_batch_hist[i] += o.read_batch_hist[i];
+    }
     exec_tasks += o.exec_tasks;
     exec_wakes += o.exec_wakes;
     exec_spin_wakes += o.exec_spin_wakes;
     exec_parks += o.exec_parks;
     exec_coalesced_installs += o.exec_coalesced_installs;
     exec_coalesced_tasks += o.exec_coalesced_tasks;
+    exec_read_sweeps += o.exec_read_sweeps;
+    exec_read_tasks += o.exec_read_tasks;
     exec_task_samples += o.exec_task_samples;
     exec_task_ns += o.exec_task_ns;
     cut_reads += o.cut_reads;
@@ -120,6 +139,30 @@ struct OpStats {
     static constexpr const char* kLabels[kBatchHistBuckets] = {
         "1", "2", "3-4", "5-8", "9-16", "17-32", "33+"};
     return i < kBatchHistBuckets ? kLabels[i] : "?";
+  }
+
+  /// Mean probe keys per multi_get sweep; 0 when none ran.
+  double mean_read_batch() const noexcept {
+    return read_batches == 0 ? 0.0
+                             : static_cast<double>(batched_reads) /
+                                   static_cast<double>(read_batches);
+  }
+
+  /// Share of reads that rode a batched probe; 0 when no reads ran.
+  double read_batched_share() const noexcept {
+    return reads == 0 ? 0.0
+                      : static_cast<double>(batched_reads) /
+                            static_cast<double>(reads);
+  }
+
+  /// Mean read tickets absorbed per merged read sweep — the read-side
+  /// coalescing quantity (the --assert-read-coalesce gate): above 1 means
+  /// backed-up lanes are merging read tickets into shared probes. 0 when
+  /// no read task ever rode the executor.
+  double read_tickets_per_wake() const noexcept {
+    return exec_read_sweeps == 0 ? 0.0
+                                 : static_cast<double>(exec_read_tasks) /
+                                       static_cast<double>(exec_read_sweeps);
   }
 
   /// Mean announced ops per batched install; 0 when none happened.

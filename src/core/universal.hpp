@@ -43,6 +43,8 @@
 #include <utility>
 #include <vector>
 
+#include "persist/batch.hpp"
+
 namespace pathcopy::core {
 
 /// The reified operations every UC backend understands.
@@ -104,6 +106,46 @@ struct VersionedView {
   const void* token;
 };
 
+/// Structures whose snapshots can resolve a key-sorted, key-unique probe
+/// batch in one descent-sharing sweep (the read-side mirror of
+/// SupportsSortedBatch in core/combining.hpp). Detected structurally so a
+/// new structure opts in just by providing the member — the UC's
+/// multi_get falls back to per-key find() everywhere else.
+template <class DS>
+concept SupportsSortedReadBatch =
+    requires(const DS ds, std::span<const typename DS::KeyType> keys,
+             std::span<typename DS::ReadOutcome> out) {
+      typename DS::ReadOutcome;
+      {
+        ds.get_sorted_batch(keys, out)
+      } -> std::same_as<persist::ReadProbeStats>;
+    };
+
+namespace detail {
+
+/// One probe batch against one pinned snapshot: the shared body of
+/// Atom::multi_get and CombiningAtom::multi_get. Batch-capable structures
+/// get the descent-sharing sweep; everything else degrades to per-key
+/// find() (stats stay zero — there is no sharing to account for). Pure
+/// reads either way: no builder, no allocation.
+template <class DS, class K, class V>
+persist::ReadProbeStats resolve_sorted_probe(
+    const DS& snapshot, std::span<const K> keys,
+    std::span<persist::ReadOutcome<V>> out) {
+  if constexpr (SupportsSortedReadBatch<DS>) {
+    return snapshot.get_sorted_batch(keys, out);
+  } else {
+    persist::check_sorted_keys<typename DS::KeyCompare, K>(keys);
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      const V* v = snapshot.find(keys[i]);
+      if (v != nullptr) out[i].value = *v;
+    }
+    return {};
+  }
+}
+
+}  // namespace detail
+
 /// Reads a snapshot's size — a named functor because a concept cannot
 /// portably spell "read() accepts any generic lambda"; one concrete,
 /// representative reader is enough to pin the read() shape down.
@@ -151,6 +193,7 @@ concept UniversalConstruction =
       typename UC::BatchRequest;
       typename UC::OpKind;
       typename UC::VersionedView;
+      typename UC::ReadOutcome;
     } &&
     std::same_as<typename UC::Key, typename UC::Structure::KeyType> &&
     std::same_as<typename UC::Value, typename UC::Structure::ValueType> &&
@@ -160,6 +203,8 @@ concept UniversalConstruction =
              const typename UC::Key& key, const typename UC::Value& value,
              std::span<const typename UC::BatchRequest> reqs,
              std::span<bool> results,
+             std::span<const typename UC::Key> probe_keys,
+             std::span<typename UC::ReadOutcome> probe_out,
              typename std::vector<std::pair<typename UC::Key,
                                             typename UC::Value>>::const_iterator
                  it) {
@@ -172,6 +217,9 @@ concept UniversalConstruction =
       { cuc.root_token() } -> std::convertible_to<const void*>;
       { cuc.pin_versioned(ctx) } -> std::same_as<typename UC::VersionedView>;
       { cuc.read_versioned(ctx, SnapshotSizeProbe{}) };
+      {
+        cuc.multi_get(ctx, probe_keys, probe_out)
+      } -> std::same_as<persist::ReadProbeStats>;
       { uc.execute_batch(ctx, reqs, results) };
       { uc.seed_sorted(ctx, it, it) };
       { uc.reclaimer() } -> std::same_as<typename UC::SmrType&>;

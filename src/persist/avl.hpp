@@ -43,6 +43,7 @@ class AvlTree {
   using BatchOp = persist::BatchOp<K, V>;
   using BatchOpKind = persist::BatchOpKind;
   using BatchOutcome = persist::BatchOutcome;
+  using ReadOutcome = persist::ReadOutcome<V>;
   struct Node : core::PNode {
     K key;
     V value;
@@ -149,6 +150,26 @@ class AvlTree {
   template <class F>
   void for_each_range(const K& lo, const K& hi, F&& f) const {
     for_each_range_rec(root_, lo, hi, f);
+  }
+
+  /// Descent-sharing batched lookup; see Treap::get_sorted_batch.
+  ReadProbeStats get_sorted_batch(std::span<const K> keys,
+                                  std::span<ReadOutcome> out) const {
+    PC_ASSERT(out.size() >= keys.size(),
+              "get_sorted_batch outcome span too small");
+    check_sorted_keys<Cmp, K>(keys);
+    ReadProbeStats stats;
+    detail::read_batch_rec<Cmp, Node, K, V>(root_, keys, out, 0, keys.size(),
+                                            stats);
+    return stats;
+  }
+
+  /// Bounded range scan; see Treap::scan.
+  std::size_t scan(const K& lo, const K& hi, std::size_t limit,
+                   std::vector<std::pair<K, V>>& out) const {
+    std::size_t remaining = limit;
+    detail::scan_range_rec<Cmp, Node, K, V>(root_, lo, hi, remaining, out);
+    return limit - remaining;
   }
 
   std::vector<std::pair<K, V>> items() const {

@@ -50,6 +50,35 @@ struct BatchOp {
   std::optional<V> value;  // engaged for kInsert/kAssign, ignored for kErase
 };
 
+/// Per-key report from get_sorted_batch, aligned with the probe span.
+/// optional (not a value + flag pair) so V need not be default-constructible
+/// for absent keys, mirroring BatchOp.
+template <class V>
+struct ReadOutcome {
+  std::optional<V> value;  // engaged iff the key was present
+  bool present() const noexcept { return value.has_value(); }
+};
+
+/// Descent-sharing accounting for a batched probe. per_key_nodes is the
+/// exact node count B independent descents would have touched: a node lies
+/// on key k's individual search path precisely when k falls inside that
+/// node's partition range, so adding (hi - lo) at every visited node
+/// reconstructs the per-key counterfactual without running it (absent keys
+/// included — both walks stop at the same null frontier).
+struct ReadProbeStats {
+  std::size_t nodes_visited = 0;  // nodes the shared sweep touched
+  std::size_t per_key_nodes = 0;  // nodes B per-key descents would touch
+
+  std::size_t nodes_saved() const noexcept {
+    return per_key_nodes - nodes_visited;
+  }
+  ReadProbeStats& operator+=(const ReadProbeStats& o) noexcept {
+    nodes_visited += o.nodes_visited;
+    per_key_nodes += o.per_key_nodes;
+    return *this;
+  }
+};
+
 // Shared precondition checks. Every structure's from_sorted and
 // apply_sorted_batch take strictly increasing (hence unique) keys; the
 // contract is enforced here, once, so changing it (message, assert
@@ -70,6 +99,15 @@ inline void check_sorted_batch(std::span<const BatchOp<K, V>> ops) {
   for (std::size_t i = 1; i < ops.size(); ++i) {
     PC_ASSERT(cmp(ops[i - 1].key, ops[i].key),
               "apply_sorted_batch requires strictly increasing keys");
+  }
+}
+
+template <class Cmp, class K>
+inline void check_sorted_keys(std::span<const K> keys) {
+  Cmp cmp;
+  for (std::size_t i = 1; i < keys.size(); ++i) {
+    PC_ASSERT(cmp(keys[i - 1], keys[i]),
+              "get_sorted_batch requires strictly increasing keys");
   }
 }
 
@@ -130,6 +168,136 @@ const typename Policy::Node* apply_batch_rec(B& b,
   if (l == n->left && r == n->right) return n;  // children untouched
   b.supersede(n);
   return Policy::join(b, n->key, n->value, l, r);
+}
+
+/// Single-key tails of a probe sweep, descended in interleaved waves.
+/// Once partitioning narrows a subrange to one key there is nothing left
+/// to share — but the tails are independent descents, so instead of
+/// walking them one at a time (serializing ~log n cache misses each) the
+/// sweep parks them here and flush() advances up to kCap of them
+/// round-robin, one level per turn, prefetching each next node before
+/// moving on. By the time a descent comes around again its line is in
+/// flight; a handful of misses overlap instead of queueing. Accounting is
+/// unchanged: every tail node is one visit and one per-key-counterfactual
+/// node, so nodes_saved still reflects only genuinely shared prefixes.
+template <class Cmp, class Node, class K, class V>
+struct ProbeTails {
+  static constexpr std::size_t kCap = 16;  // in-flight descents per wave
+  const Node* node[kCap];
+  std::size_t key_at[kCap];
+  std::size_t count = 0;
+
+  void push(const Node* n, std::size_t i, std::span<const K> keys,
+            std::span<ReadOutcome<V>> out, ReadProbeStats& stats) {
+    if (count == kCap) flush(keys, out, stats);
+    node[count] = n;
+    key_at[count] = i;
+    ++count;
+  }
+
+  void flush(std::span<const K> keys, std::span<ReadOutcome<V>> out,
+             ReadProbeStats& stats) {
+    Cmp cmp;
+    std::size_t active = count;
+    std::size_t visits = 0;
+    while (active > 0) {
+      for (std::size_t i = 0; i < active;) {
+        const Node* n = node[i];
+        ++visits;
+        const K& key = keys[key_at[i]];
+        const Node* next;
+        if (cmp(key, n->key)) {
+          next = n->left;
+        } else if (cmp(n->key, key)) {
+          next = n->right;
+        } else {
+          out[key_at[i]].value = n->value;
+          next = nullptr;
+        }
+        if (next == nullptr) {  // resolved (or ran off a leaf): retire
+          --active;
+          node[i] = node[active];
+          key_at[i] = key_at[active];
+        } else {
+          __builtin_prefetch(next);
+          node[i] = next;
+          ++i;  // move on; next's cache line fills while others advance
+        }
+      }
+    }
+    stats.nodes_visited += visits;
+    stats.per_key_nodes += visits;
+    count = 0;
+  }
+};
+
+template <class Cmp, class Node, class K, class V>
+void read_batch_partition(const Node* n, std::span<const K> keys,
+                          std::span<ReadOutcome<V>> out, std::size_t lo,
+                          std::size_t hi, ReadProbeStats& stats,
+                          ProbeTails<Cmp, Node, K, V>& tails) {
+  if (lo == hi || n == nullptr) return;
+  if (hi - lo == 1) {  // nothing left to share: park for interleaved descent
+    tails.push(n, lo, keys, out, stats);
+    return;
+  }
+  stats.nodes_visited += 1;
+  stats.per_key_nodes += hi - lo;  // every probe key's own descent is here
+  Cmp cmp;
+  std::size_t a = lo, z = hi;
+  while (a < z) {
+    const std::size_t mid = a + (z - a) / 2;
+    if (cmp(keys[mid], n->key)) {
+      a = mid + 1;
+    } else {
+      z = mid;
+    }
+  }
+  const bool has_eq = a < hi && !cmp(n->key, keys[a]);
+  if (has_eq) out[a].value = n->value;
+  read_batch_partition<Cmp>(n->left, keys, out, lo, a, stats, tails);
+  read_batch_partition<Cmp>(n->right, keys, out, has_eq ? a + 1 : a, hi, stats,
+                            tails);
+}
+
+/// Read-side twin of apply_batch_rec for the internal binary trees (treap,
+/// AVL, weight-balanced, red-black — any node with key/value/left/right):
+/// keys[lo, hi) are partitioned around each node's key with the same binary
+/// search the write sweep uses, so a key-sorted probe batch shares its
+/// descent prefix and resolves in O(B + log n) visited nodes instead of
+/// O(B log n). Subranges that narrow to a single key leave the partition
+/// and finish as interleaved prefetched descents (see ProbeTails). Pure
+/// reads: no builder, no copies, no allocation (tail buffer is stack).
+template <class Cmp, class Node, class K, class V>
+void read_batch_rec(const Node* n, std::span<const K> keys,
+                    std::span<ReadOutcome<V>> out, std::size_t lo,
+                    std::size_t hi, ReadProbeStats& stats) {
+  ProbeTails<Cmp, Node, K, V> tails;
+  read_batch_partition<Cmp>(n, keys, out, lo, hi, stats, tails);
+  tails.flush(keys, out, stats);
+}
+
+/// Bounded pruned in-order emit over [lo, hi) for the internal binary
+/// trees: the shared body behind each structure's scan(lo, hi, limit, out).
+/// Stops as soon as `remaining` hits zero, so a limit-k scan over a huge
+/// range touches O(k + log n) nodes.
+template <class Cmp, class Node, class K, class V>
+void scan_range_rec(const Node* n, const K& lo, const K& hi,
+                    std::size_t& remaining,
+                    std::vector<std::pair<K, V>>& out) {
+  if (n == nullptr || remaining == 0) return;
+  Cmp cmp;
+  if (!cmp(n->key, lo)) {  // n->key >= lo: left subtree can intersect
+    scan_range_rec<Cmp>(n->left, lo, hi, remaining, out);
+    if (remaining == 0) return;
+    if (cmp(n->key, hi)) {  // n->key in [lo, hi)
+      out.emplace_back(n->key, n->value);
+      if (--remaining == 0) return;
+    }
+  }
+  if (cmp(n->key, hi)) {  // n->key < hi: right subtree can intersect
+    scan_range_rec<Cmp>(n->right, lo, hi, remaining, out);
+  }
 }
 
 }  // namespace detail

@@ -56,6 +56,7 @@ class BTree {
   using KeyCompare = Cmp;
   using BatchOp = persist::BatchOp<K, V>;
   using BatchOpKind = persist::BatchOpKind;
+  using ReadOutcome = persist::ReadOutcome<V>;
   using BatchOutcome = persist::BatchOutcome;
   static constexpr unsigned kMaxChildren = Fanout;
   static constexpr unsigned kMaxKeys = Fanout - 1;       // internal nodes
@@ -270,6 +271,27 @@ class BTree {
     out.reserve(size());
     for_each([&](const K& k, const V& v) { out.emplace_back(k, v); });
     return out;
+  }
+
+  /// Descent-sharing batched lookup (see Treap::get_sorted_batch): the
+  /// probe range is partitioned across children at each internal node and
+  /// resolved by a linear merge against the sorted entries at each leaf.
+  ReadProbeStats get_sorted_batch(std::span<const K> keys,
+                                  std::span<ReadOutcome> out) const {
+    PC_ASSERT(out.size() >= keys.size(),
+              "get_sorted_batch outcome span too small");
+    check_sorted_keys<Cmp, K>(keys);
+    ReadProbeStats stats;
+    read_batch_rec(root_, keys, out, 0, keys.size(), stats);
+    return stats;
+  }
+
+  /// Bounded range scan; see Treap::scan.
+  std::size_t scan(const K& lo, const K& hi, std::size_t limit,
+                   std::vector<std::pair<K, V>>& out) const {
+    std::size_t remaining = limit;
+    scan_range_rec(root_, lo, hi, remaining, out);
+    return limit - remaining;
   }
 
   // ----- updates -----
@@ -1199,6 +1221,78 @@ class BTree {
     }
     const auto* in = static_cast<const InternalNode*>(n);
     for (unsigned i = 0; i <= in->count; ++i) for_each_rec(in->child[i], f);
+  }
+
+  // Read-side twin of apply_sorted_batch's partition walk: probe keys
+  // strictly below separator keys[c] belong to child c (equal-to-separator
+  // descends rightward, matching child_index), found by binary search so
+  // the fan-out split costs O(fanout · log B) per internal node. Leaves
+  // resolve their slice with one linear merge of two sorted runs. The
+  // per_key_nodes counter follows the same exactness argument as the
+  // binary-tree sweep: key k's own descent visits node n iff k lies in
+  // n's partition range.
+  static void read_batch_rec(const Node* n, std::span<const K> keys,
+                             std::span<ReadOutcome> out, std::size_t lo,
+                             std::size_t hi, ReadProbeStats& stats) {
+    if (lo == hi || n == nullptr) return;
+    stats.nodes_visited += 1;
+    stats.per_key_nodes += hi - lo;
+    Cmp cmp;
+    if (n->is_leaf) {
+      const auto* leaf = static_cast<const LeafNode*>(n);
+      unsigned i = 0;
+      for (std::size_t k = lo; k < hi; ++k) {
+        while (i < leaf->count && cmp(leaf->keys[i], keys[k])) ++i;
+        if (i < leaf->count && !cmp(keys[k], leaf->keys[i])) {
+          out[k].value = leaf->values[i];
+        }
+      }
+      return;
+    }
+    const auto* in = static_cast<const InternalNode*>(n);
+    std::size_t k = lo;
+    for (unsigned c = 0; c <= in->count && k < hi; ++c) {
+      std::size_t e = hi;
+      if (c < in->count) {
+        std::size_t a = k, z = hi;
+        while (a < z) {
+          const std::size_t mid = a + (z - a) / 2;
+          if (cmp(keys[mid], in->keys[c])) {
+            a = mid + 1;
+          } else {
+            z = mid;
+          }
+        }
+        e = a;
+      }
+      read_batch_rec(in->child[c], keys, out, k, e, stats);
+      k = e;
+    }
+  }
+
+  // Bounded variant of for_each_range_rec: same separator pruning, but
+  // stops dead once `remaining` hits zero.
+  static void scan_range_rec(const Node* n, const K& lo, const K& hi,
+                             std::size_t& remaining,
+                             std::vector<std::pair<K, V>>& out) {
+    if (n == nullptr || remaining == 0) return;
+    Cmp cmp;
+    if (n->is_leaf) {
+      const auto* leaf = static_cast<const LeafNode*>(n);
+      for (unsigned i = 0; i < leaf->count && remaining > 0; ++i) {
+        if (cmp(leaf->keys[i], lo)) continue;
+        if (!cmp(leaf->keys[i], hi)) return;
+        out.emplace_back(leaf->keys[i], leaf->values[i]);
+        --remaining;
+      }
+      return;
+    }
+    const auto* in = static_cast<const InternalNode*>(n);
+    for (unsigned i = 0; i <= in->count && remaining > 0; ++i) {
+      if (i > 0 && !cmp(in->keys[i - 1], hi)) return;       // child >= hi
+      if (i < in->count && !cmp(lo, in->keys[i])) continue;  // child <= lo
+      scan_range_rec(in->child[i], lo, hi, remaining, out);
+    }
   }
 
   // Child i serves [keys[i-1], keys[i]) (descent sends a key equal to a

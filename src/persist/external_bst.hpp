@@ -138,6 +138,23 @@ class ExternalBst {
     return out;
   }
 
+  /// In-order visit restricted to [lo, hi), leaf-aware: an internal
+  /// router splits the key space at n->key (left < router <= right), so a
+  /// side is pruned exactly when the interval cannot cross it; elements
+  /// live only at leaves, tested directly there. O(hits + log n).
+  template <class F>
+  void for_each_range(const K& lo, const K& hi, F&& f) const {
+    for_each_range_rec(root_, lo, hi, f);
+  }
+
+  /// Bounded range scan; see Treap::scan.
+  std::size_t scan(const K& lo, const K& hi, std::size_t limit,
+                   std::vector<std::pair<K, V>>& out) const {
+    std::size_t remaining = limit;
+    scan_range_rec(root_, lo, hi, remaining, out);
+    return limit - remaining;
+  }
+
   /// The root-to-leaf search path for key (model instrumentation).
   std::vector<const Node*> path_to(const K& key) const {
     std::vector<const Node*> path;
@@ -473,6 +490,36 @@ class ExternalBst {
     }
     for_each_rec(n->left, f);
     for_each_rec(n->right, f);
+  }
+
+  template <class F>
+  static void for_each_range_rec(const Node* n, const K& lo, const K& hi,
+                                 F& f) {
+    if (n == nullptr) return;
+    Cmp cmp;
+    if (n->is_leaf()) {
+      if (!cmp(n->key, lo) && cmp(n->key, hi)) f(n->key, n->value);
+      return;
+    }
+    // Invariant: max(left) < router <= min(right).
+    if (cmp(lo, n->key)) for_each_range_rec(n->left, lo, hi, f);
+    if (cmp(n->key, hi)) for_each_range_rec(n->right, lo, hi, f);
+  }
+
+  static void scan_range_rec(const Node* n, const K& lo, const K& hi,
+                             std::size_t& remaining,
+                             std::vector<std::pair<K, V>>& out) {
+    if (n == nullptr || remaining == 0) return;
+    Cmp cmp;
+    if (n->is_leaf()) {
+      if (!cmp(n->key, lo) && cmp(n->key, hi)) {
+        out.emplace_back(n->key, n->value);
+        --remaining;
+      }
+      return;
+    }
+    if (cmp(lo, n->key)) scan_range_rec(n->left, lo, hi, remaining, out);
+    if (cmp(n->key, hi)) scan_range_rec(n->right, lo, hi, remaining, out);
   }
 
   struct CheckResult {

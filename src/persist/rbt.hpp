@@ -51,6 +51,7 @@ class RbTree {
   using BatchOp = persist::BatchOp<K, V>;
   using BatchOpKind = persist::BatchOpKind;
   using BatchOutcome = persist::BatchOutcome;
+  using ReadOutcome = persist::ReadOutcome<V>;
   enum class Color : std::uint8_t { kRed = 0, kBlack = 1 };
 
   struct Node : core::PNode {
@@ -244,6 +245,33 @@ class RbTree {
   template <class F>
   void for_each(F&& f) const {
     for_each_rec(root_, f);
+  }
+
+  /// In-order visit restricted to [lo, hi): subtrees wholly outside the
+  /// interval are pruned at their root, so the visit costs O(hits + log n).
+  template <class F>
+  void for_each_range(const K& lo, const K& hi, F&& f) const {
+    for_each_range_rec(root_, lo, hi, f);
+  }
+
+  /// Descent-sharing batched lookup; see Treap::get_sorted_batch.
+  ReadProbeStats get_sorted_batch(std::span<const K> keys,
+                                  std::span<ReadOutcome> out) const {
+    PC_ASSERT(out.size() >= keys.size(),
+              "get_sorted_batch outcome span too small");
+    check_sorted_keys<Cmp, K>(keys);
+    ReadProbeStats stats;
+    detail::read_batch_rec<Cmp, Node, K, V>(root_, keys, out, 0, keys.size(),
+                                            stats);
+    return stats;
+  }
+
+  /// Bounded range scan; see Treap::scan.
+  std::size_t scan(const K& lo, const K& hi, std::size_t limit,
+                   std::vector<std::pair<K, V>>& out) const {
+    std::size_t remaining = limit;
+    detail::scan_range_rec<Cmp, Node, K, V>(root_, lo, hi, remaining, out);
+    return limit - remaining;
   }
 
   std::vector<std::pair<K, V>> items() const {
@@ -797,6 +825,24 @@ class RbTree {
     for_each_rec(n->left, f);
     f(n->key, n->value);
     for_each_rec(n->right, f);
+  }
+
+  template <class F>
+  static void for_each_range_rec(const Node* n, const K& lo, const K& hi,
+                                 F& f) {
+    if (n == nullptr) return;
+    Cmp cmp;
+    if (cmp(n->key, lo)) {  // entire left subtree < lo as well
+      for_each_range_rec(n->right, lo, hi, f);
+      return;
+    }
+    if (!cmp(n->key, hi)) {  // n->key >= hi
+      for_each_range_rec(n->left, lo, hi, f);
+      return;
+    }
+    for_each_range_rec(n->left, lo, hi, f);
+    f(n->key, n->value);
+    for_each_range_rec(n->right, lo, hi, f);
   }
 
   static std::size_t height_rec(const Node* n) {

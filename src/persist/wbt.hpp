@@ -47,6 +47,7 @@ class WbTree {
   using BatchOp = persist::BatchOp<K, V>;
   using BatchOpKind = persist::BatchOpKind;
   using BatchOutcome = persist::BatchOutcome;
+  using ReadOutcome = persist::ReadOutcome<V>;
   static constexpr std::uint64_t kDelta = 3;  // sibling weight ratio bound
   static constexpr std::uint64_t kGamma = 2;  // single-vs-double rotation
 
@@ -143,6 +144,33 @@ class WbTree {
   template <class F>
   void for_each(F&& f) const {
     for_each_rec(root_, f);
+  }
+
+  /// In-order visit restricted to [lo, hi): subtrees wholly outside the
+  /// interval are pruned at their root, so the visit costs O(hits + log n).
+  template <class F>
+  void for_each_range(const K& lo, const K& hi, F&& f) const {
+    for_each_range_rec(root_, lo, hi, f);
+  }
+
+  /// Descent-sharing batched lookup; see Treap::get_sorted_batch.
+  ReadProbeStats get_sorted_batch(std::span<const K> keys,
+                                  std::span<ReadOutcome> out) const {
+    PC_ASSERT(out.size() >= keys.size(),
+              "get_sorted_batch outcome span too small");
+    check_sorted_keys<Cmp, K>(keys);
+    ReadProbeStats stats;
+    detail::read_batch_rec<Cmp, Node, K, V>(root_, keys, out, 0, keys.size(),
+                                            stats);
+    return stats;
+  }
+
+  /// Bounded range scan; see Treap::scan.
+  std::size_t scan(const K& lo, const K& hi, std::size_t limit,
+                   std::vector<std::pair<K, V>>& out) const {
+    std::size_t remaining = limit;
+    detail::scan_range_rec<Cmp, Node, K, V>(root_, lo, hi, remaining, out);
+    return limit - remaining;
   }
 
   std::vector<std::pair<K, V>> items() const {
@@ -442,6 +470,24 @@ class WbTree {
     for_each_rec(n->left, f);
     f(n->key, n->value);
     for_each_rec(n->right, f);
+  }
+
+  template <class F>
+  static void for_each_range_rec(const Node* n, const K& lo, const K& hi,
+                                 F& f) {
+    if (n == nullptr) return;
+    Cmp cmp;
+    if (cmp(n->key, lo)) {  // entire left subtree < lo as well
+      for_each_range_rec(n->right, lo, hi, f);
+      return;
+    }
+    if (!cmp(n->key, hi)) {  // n->key >= hi
+      for_each_range_rec(n->left, lo, hi, f);
+      return;
+    }
+    for_each_range_rec(n->left, lo, hi, f);
+    f(n->key, n->value);
+    for_each_range_rec(n->right, lo, hi, f);
   }
 
   struct CheckResult {

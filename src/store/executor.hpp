@@ -157,13 +157,17 @@ class ShardExecutor {
   using Key = typename Uc::Key;
   using Value = typename Uc::Value;
   using BatchRequest = typename Uc::BatchRequest;
+  using ReadOutcome = typename Uc::ReadOutcome;
   using Ctx = typename Uc::Ctx;
   using SeedItems = std::vector<std::pair<Key, Value>>;
 
-  /// One unit of shard work. Exactly one of {reqs, seed} is meaningful:
-  /// a batch task runs the backend over `reqs` and writes op i's result
-  /// to results[scatter[i]] (or results[i] when scatter is null); a seed
-  /// task bulk-loads `*seed` through uc.seed_sorted. All referenced
+  /// One unit of shard work. Exactly one of {reqs, seed, read_results} is
+  /// meaningful: a batch task runs the backend over `reqs` and writes op
+  /// i's result to results[scatter[i]] (or results[i] when scatter is
+  /// null); a seed task bulk-loads `*seed` through uc.seed_sorted; a READ
+  /// task (read_results != nullptr) resolves the key-sorted probe span
+  /// `keys` against one pinned root, writing keys[i]'s answer to
+  /// read_results[read_scatter[i]] (or read_results[i]). All referenced
   /// storage is client-owned and must outlive the ticket.
   ///
   /// sorted_unique marks a control-plane batch (migration install/erase)
@@ -175,15 +179,26 @@ class ShardExecutor {
   /// (same-key requests in submission order) — Session's split_batch
   /// emits exactly that. Only presorted tasks are eligible for
   /// cross-ticket coalescing; an unsorted task executes alone.
+  ///
+  /// Read tasks coalesce unconditionally (the worker re-sorts the merged
+  /// probe, so per-task ordering is presentation only): every read task
+  /// drained by one wakeup is folded into a single mega-probe resolved
+  /// against ONE pinned root — see exec_read_merged for why hoisting
+  /// later read tickets over drained-but-unexecuted writes stays
+  /// linearizable.
   struct Task {
     std::span<const BatchRequest> reqs;
     const std::size_t* scatter = nullptr;
     bool* results = nullptr;
     const SeedItems* seed = nullptr;
+    std::span<const Key> keys;  // read task: probe keys
+    const std::size_t* read_scatter = nullptr;
+    ReadOutcome* read_results = nullptr;  // non-null marks a read task
     BatchTicket* ticket = nullptr;
     bool sorted_unique = false;
     bool presorted = false;
     bool poison = false;  // internal: stop() sentinel, never submitted
+    bool read_done = false;  // internal: absorbed by an earlier merged sweep
     std::chrono::steady_clock::time_point enqueued;  // sampled; see submit
   };
 
@@ -351,8 +366,11 @@ class ShardExecutor {
   /// Seeds and sorted_unique migrations are barriers; unsorted tasks
   /// (direct executor users) execute alone.
   static bool coalescible(const Task& t) {
-    return t.seed == nullptr && !t.sorted_unique && !t.poison && t.presorted;
+    return t.seed == nullptr && !t.sorted_unique && !t.poison &&
+           t.read_results == nullptr && t.presorted;
   }
+
+  static bool is_read(const Task& t) { return t.read_results != nullptr; }
 
   void wait_unpaused() {
     while (paused_.load(std::memory_order_seq_cst)) {
@@ -489,6 +507,82 @@ class ShardExecutor {
     ctx.stats.exec_coalesced_tasks += tasks.size();
   }
 
+  /// Cross-ticket READ coalescing: gathers every not-yet-handled read
+  /// task in run[first, end), k-way-merges their key-sorted probe spans
+  /// into one deduplicated mega-probe, resolves it with ONE uc.multi_get
+  /// (one pin, one descent-sharing sweep), scatters each key's answer
+  /// back through its own task's scatter map, and completes all absorbed
+  /// tickets. The write-side analogue is exec_coalesced — pin-once
+  /// instead of install-once.
+  ///
+  /// Hoisting reads over drained writes is linearizable: every task in
+  /// this drain is still incomplete, so no read's submitter can have
+  /// observed any drained write's completion — the sweep's pin (taken at
+  /// the FIRST read's dequeue position, after every write ahead of it in
+  /// FIFO has executed) is a valid linearization point for all absorbed
+  /// reads, and reads have no effect for later drained writes to miss.
+  void exec_read_merged(Uc& uc, Ctx& ctx, std::vector<Task>& run,
+                        std::size_t first,
+                        std::vector<std::pair<std::uint32_t, std::uint32_t>>&
+                            morder,
+                        std::vector<Key>& mkeys, std::vector<std::size_t>& midx,
+                        std::vector<ReadOutcome>& mouts) {
+    morder.clear();
+    std::size_t ntasks = 0;
+    bool any_sampled = false;
+    for (std::uint32_t t = static_cast<std::uint32_t>(first);
+         t < run.size(); ++t) {
+      if (!is_read(run[t]) || run[t].read_done) continue;
+      ++ntasks;
+      any_sampled = any_sampled ||
+                    run[t].enqueued != std::chrono::steady_clock::time_point{};
+      for (std::uint32_t i = 0;
+           i < static_cast<std::uint32_t>(run[t].keys.size()); ++i) {
+        morder.emplace_back(t, i);
+      }
+    }
+    // Each task's probe span is already key-sorted, so a stable sort of
+    // the concatenation IS the k-way merge; cross-ticket duplicates land
+    // adjacent and collapse onto one mega-probe slot.
+    std::stable_sort(morder.begin(), morder.end(),
+                     [&](const auto& a, const auto& b) {
+                       return key_less(run[a.first].keys[a.second],
+                                       run[b.first].keys[b.second]);
+                     });
+    mkeys.clear();
+    midx.clear();
+    midx.reserve(morder.size());
+    for (const auto& [t, i] : morder) {
+      const Key& k = run[t].keys[i];
+      if (mkeys.empty() || key_less(mkeys.back(), k)) mkeys.push_back(k);
+      midx.push_back(mkeys.size() - 1);
+    }
+    mouts.clear();
+    mouts.resize(mkeys.size());
+    // The model checker's read-drain window: pin -> merged sweep ->
+    // scatter. An install may land on either side of the pin; the sweep
+    // must answer every key from the one root it pinned.
+    PC_YIELD("exec.read.sweep");
+    uc.multi_get(ctx, std::span<const Key>(mkeys),
+                 std::span<ReadOutcome>(mouts));
+    PC_YIELD("exec.read.scatter");
+    for (std::size_t m = 0; m < morder.size(); ++m) {
+      const auto [t, i] = morder[m];
+      const Task& task = run[t];
+      task.read_results[task.read_scatter != nullptr ? task.read_scatter[i]
+                                                     : i] = mouts[midx[m]];
+    }
+    ctx.stats.exec_read_sweeps += 1;
+    ctx.stats.exec_read_tasks += ntasks;
+    const auto finished = any_sampled ? std::chrono::steady_clock::now()
+                                      : std::chrono::steady_clock::time_point{};
+    for (std::size_t t = first; t < run.size(); ++t) {
+      if (!is_read(run[t]) || run[t].read_done) continue;
+      run[t].read_done = true;
+      finish_task(ctx.stats, run[t], finished);
+    }
+  }
+
   template <class AllocFactory>
   void run_worker(std::size_t s, Uc& uc, AllocFactory& factory) {
     // decltype(auto): the factory may hand back a per-worker allocator by
@@ -503,6 +597,9 @@ class ShardExecutor {
     std::vector<Task> run;
     std::vector<BatchRequest> merged;
     std::vector<std::pair<std::uint32_t, std::uint32_t>> morder;
+    std::vector<Key> mkeys;
+    std::vector<std::size_t> midx;
+    std::vector<ReadOutcome> mouts;
     LaneBox& box = *lanes_[s];
     ShardLane<Task>& lane = box.lane;
     unsigned spin_budget = kSpinMin;
@@ -523,6 +620,18 @@ class ShardExecutor {
           PC_DASSERT(i + 1 == run.size(), "task drained after poison");
           poisoned = true;
           break;
+        }
+        if (run[i].read_done) {  // absorbed by an earlier merged sweep
+          ++i;
+          continue;
+        }
+        if (is_read(run[i])) {
+          // First unhandled read of this drain: merge EVERY read ticket
+          // in the run (including those queued behind writes) into one
+          // sweep against the root current right here.
+          exec_read_merged(uc, ctx, run, i, morder, mkeys, midx, mouts);
+          ++i;
+          continue;
         }
         std::size_t j = i + 1;
         if constexpr (kHasExecuteSorted) {

@@ -86,28 +86,40 @@ class ShardStatsBoard {
     have_rebalance_ = true;
   }
 
-  /// Per-shard table: installs, retry pressure, batch formation, the
+  /// Wall-clock length of the measured run; lets print() turn the read
+  /// counter into reads/s. Optional — unset, the rate column shows 0.
+  void set_elapsed_seconds(double s) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    elapsed_s_ = s;
+  }
+
+  /// Two per-shard tables, each kept under 120 columns.
+  ///
+  /// WRITE section: installs, retry pressure, batch formation, the
   /// executor pipeline ("tkt/wake": mean tickets a worker wakeup
   /// absorbed — above 1 means backed-up lanes coalesce tickets into
   /// shared installs; "task-us": mean submit-to-completion latency over
-  /// the *sampled* tasks — zero on executor-less runs) and
-  /// consistent-cut pressure ("cut-retry": how often a cut had to re-pin
-  /// this shard because its version moved mid-validation). "batched%" is
-  /// the share of installs that went through the sorted-sweep path — the
-  /// quantity shard-count sweeps move.
-  /// "epo-wait" counts ops/cuts that parked on a migrating topology,
-  /// "mig-in"/"mig-out" the keys a Rebalancer moved into/out of the
-  /// shard (zero on maps that never rebalance). "recycled" is the
-  /// failed-install recycling loop: create() calls the shard's workers
-  /// served from a builder bin instead of the allocator (zero when the
-  /// shard never saw CAS contention or recycling is off).
+  /// the *sampled* tasks — zero on executor-less runs). "batched%" is
+  /// the share of installs that went through the sorted-sweep path.
+  /// "mig-in"/"mig-out" are the keys a Rebalancer moved into/out of the
+  /// shard; "recycled" is the failed-install recycling loop.
+  ///
+  /// READ section (printed only when the run read at all): "reads" counts
+  /// every probe key and per-key read; "reads/s" needs
+  /// set_elapsed_seconds. "rd-batch%" is the share of reads resolved by a
+  /// batched multi_get probe, "mean-probe" the mean keys per probe sweep,
+  /// "rd-tkt/wake" the mean read TICKETS absorbed per merged executor
+  /// read sweep (above 1 = cross-ticket read coalescing), "saved-nodes"
+  /// the per-key-descent node visits the shared sweeps avoided.
+  /// "cut-retry" is consistent-cut pressure (re-pins because the shard's
+  /// version moved mid-validation); "epo-wait" counts ops/cuts that
+  /// parked on a migrating topology.
   void print(std::FILE* out) const {
     std::fprintf(out,
-                 "%6s  %10s  %10s  %12s  %9s  %11s  %8s  %9s  %9s  %8s  "
-                 "%8s  %8s  %8s\n",
+                 "%6s  %10s  %9s  %11s  %9s  %10s  %8s  %8s  %7s  %7s  %8s\n",
                  "shard", "installs", "noops", "cas-fail/op", "batched%",
-                 "mean batch", "tkt/wake", "task-us", "cut-retry", "epo-wait",
-                 "mig-in", "mig-out", "recycled");
+                 "mean batch", "tkt/wake", "task-us", "mig-in", "mig-out",
+                 "recycled");
     core::OpStats t;
     for (std::size_t i = 0; i < per_shard_.size(); ++i) {
       const core::OpStats s = shard(i);
@@ -115,28 +127,44 @@ class ShardStatsBoard {
       print_row(out, i, s);
     }
     std::fprintf(out,
-                 "%6s  %10llu  %10llu  %12.3f  %8.1f%%  %11.2f  %8.2f  "
-                 "%9.1f  %9llu  %8llu  %8llu  %8llu  %8llu\n",
+                 "%6s  %10llu  %9llu  %11.3f  %8.1f%%  %10.2f  %8.2f  "
+                 "%8.1f  %7llu  %7llu  %8llu\n",
                  "total", static_cast<unsigned long long>(t.updates),
                  static_cast<unsigned long long>(t.noop_updates),
                  t.failure_ratio(), batched_pct(t), t.mean_batch_size(),
                  t.tickets_per_wake(), t.mean_task_us(),
-                 static_cast<unsigned long long>(t.cut_retries),
-                 static_cast<unsigned long long>(t.epoch_retries),
                  static_cast<unsigned long long>(t.mig_keys_in),
                  static_cast<unsigned long long>(t.mig_keys_out),
                  static_cast<unsigned long long>(t.recycled_nodes));
+    if (t.reads > 0) {
+      double elapsed = 0.0;
+      {
+        const std::lock_guard<std::mutex> lock(mu_);
+        elapsed = elapsed_s_;
+      }
+      std::fprintf(out,
+                   "%6s  %11s  %10s  %9s  %10s  %11s  %11s  %9s  %8s\n",
+                   "shard", "reads", "reads/s", "rd-batch%", "mean-probe",
+                   "rd-tkt/wake", "saved-nodes", "cut-retry", "epo-wait");
+      for (std::size_t i = 0; i < per_shard_.size(); ++i) {
+        print_read_row(out, i, shard(i), elapsed);
+      }
+      print_read_total(out, t, elapsed);
+    }
     if (t.exec_wakes > 0) {
       std::fprintf(
           out,
           "executor: %llu wakes (%llu spin-caught, %llu parked), "
           "%llu coalesced installs absorbed %llu tickets; "
+          "%llu read sweeps absorbed %llu read tickets; "
           "task-us over %llu sampled tasks\n",
           static_cast<unsigned long long>(t.exec_wakes),
           static_cast<unsigned long long>(t.exec_spin_wakes),
           static_cast<unsigned long long>(t.exec_parks),
           static_cast<unsigned long long>(t.exec_coalesced_installs),
           static_cast<unsigned long long>(t.exec_coalesced_tasks),
+          static_cast<unsigned long long>(t.exec_read_sweeps),
+          static_cast<unsigned long long>(t.exec_read_tasks),
           static_cast<unsigned long long>(t.exec_task_samples));
     }
     RebalanceSummary reb;
@@ -180,23 +208,50 @@ class ShardStatsBoard {
   static void print_row(std::FILE* out, std::size_t i,
                         const core::OpStats& s) {
     std::fprintf(out,
-                 "%6zu  %10llu  %10llu  %12.3f  %8.1f%%  %11.2f  %8.2f  "
-                 "%9.1f  %9llu  %8llu  %8llu  %8llu  %8llu\n",
+                 "%6zu  %10llu  %9llu  %11.3f  %8.1f%%  %10.2f  %8.2f  "
+                 "%8.1f  %7llu  %7llu  %8llu\n",
                  i, static_cast<unsigned long long>(s.updates),
                  static_cast<unsigned long long>(s.noop_updates),
                  s.failure_ratio(), batched_pct(s), s.mean_batch_size(),
                  s.tickets_per_wake(), s.mean_task_us(),
-                 static_cast<unsigned long long>(s.cut_retries),
-                 static_cast<unsigned long long>(s.epoch_retries),
                  static_cast<unsigned long long>(s.mig_keys_in),
                  static_cast<unsigned long long>(s.mig_keys_out),
                  static_cast<unsigned long long>(s.recycled_nodes));
+  }
+
+  static void print_read_row(std::FILE* out, std::size_t i,
+                             const core::OpStats& s, double elapsed) {
+    std::fprintf(out,
+                 "%6zu  %11llu  %10.0f  %8.1f%%  %10.2f  %11.2f  %11llu  "
+                 "%9llu  %8llu\n",
+                 i, static_cast<unsigned long long>(s.reads),
+                 elapsed > 0.0 ? static_cast<double>(s.reads) / elapsed : 0.0,
+                 100.0 * s.read_batched_share(), s.mean_read_batch(),
+                 s.read_tickets_per_wake(),
+                 static_cast<unsigned long long>(s.probe_nodes_saved),
+                 static_cast<unsigned long long>(s.cut_retries),
+                 static_cast<unsigned long long>(s.epoch_retries));
+  }
+
+  static void print_read_total(std::FILE* out, const core::OpStats& t,
+                               double elapsed) {
+    std::fprintf(out,
+                 "%6s  %11llu  %10.0f  %8.1f%%  %10.2f  %11.2f  %11llu  "
+                 "%9llu  %8llu\n",
+                 "total", static_cast<unsigned long long>(t.reads),
+                 elapsed > 0.0 ? static_cast<double>(t.reads) / elapsed : 0.0,
+                 100.0 * t.read_batched_share(), t.mean_read_batch(),
+                 t.read_tickets_per_wake(),
+                 static_cast<unsigned long long>(t.probe_nodes_saved),
+                 static_cast<unsigned long long>(t.cut_retries),
+                 static_cast<unsigned long long>(t.epoch_retries));
   }
 
   mutable std::mutex mu_;
   std::vector<core::OpStats> per_shard_;
   RebalanceSummary rebalance_;
   bool have_rebalance_ = false;
+  double elapsed_s_ = 0.0;
 };
 
 }  // namespace pathcopy::store

@@ -94,6 +94,7 @@ class ShardedMap {
   using Ctx = typename Uc::Ctx;
   using OpKind = typename Uc::OpKind;
   using BatchRequest = typename Uc::BatchRequest;
+  using ReadOutcome = typename Uc::ReadOutcome;
   using Router = RouterT;
   using Backend = Uc;
   using Epoch = RouterEpoch<RouterT, Key>;
@@ -326,6 +327,66 @@ class ShardedMap<Uc, RouterT>::Session {
         });
   }
 
+  /// Batched point lookup: out[i] answers keys[i] (an empty optional
+  /// means absent). Client keys may arrive unsorted and with duplicates;
+  /// the session splits them into per-shard key-sorted, key-unique probe
+  /// lists, resolves each shard's list against ONE pinned snapshot of
+  /// that shard (the descent-sharing sweep — no combiner, no version
+  /// bump, no allocation on the shard), and scatters the answers back.
+  /// With an executor attached, probes ride the shard lanes as read
+  /// tasks and coalesce with other sessions' probes (see
+  /// ShardExecutor::exec_read_merged); otherwise shards are probed
+  /// synchronously from this thread.
+  ///
+  /// Snapshot semantics: each SHARD's answers come from one snapshot;
+  /// keys on different shards may observe different instants (like a
+  /// sequence of find() calls, and unlike read_cut). Not re-entrant —
+  /// the probe scratch is session state, shared with execute_batch.
+  void multi_get(std::span<const Key> keys, std::span<ReadOutcome> out) {
+    PC_ASSERT(out.size() >= keys.size(), "multi_get outcome span too small");
+    PC_DASSERT(!in_batch_,
+               "Session::multi_get re-entered or nested in execute_batch; "
+               "sessions are single-owner and their scratch is not "
+               "re-entrant");
+    in_batch_ = true;
+    struct BatchScope {
+      bool* flag;
+      ~BatchScope() { *flag = false; }
+    } scope{&in_batch_};
+    if (map_->sketch_enabled()) {
+      for (const Key& k : keys) record_key(k);
+    }
+    // One coherent epoch for the whole probe: every key waits until its
+    // route is stable, so no probe reads a mid-migration shard that does
+    // not yet hold its data.
+    const Epoch* e = epoch_enter_for_range(
+        keys.begin(), keys.end(), [](const Key& k) -> const Key& { return k; });
+    const EpochExit escope{this};
+    const std::size_t n_shards = map_->shard_count();
+    split_probe(e, keys);
+    if (ShardExecutor<Uc>* exec = map_->executor(); exec != nullptr) {
+      scatter_and_join(
+          *exec, [&](std::size_t s) { return !rsplit_[s].empty(); },
+          [&](std::size_t s) {
+            typename ShardExecutor<Uc>::Task task;
+            task.keys = std::span<const Key>(probe_keys_by_shard_[s]);
+            task.read_scatter = rsplit_[s].data();
+            task.read_results = out.data();
+            return task;
+          },
+          [&](std::size_t s) { run_probe_sync(s, out); });
+    } else {
+      for (std::size_t s = 0; s < n_shards; ++s) {
+        if (rsplit_[s].empty()) continue;
+        run_probe_sync(s, out);
+      }
+    }
+    // Duplicate client keys were dropped from the probe lists (they must
+    // be strictly increasing); every duplicate copies its first
+    // occurrence's answer — same snapshot, same value.
+    for (const auto& [dst, src] : dup_fixups_) out[dst] = out[src];
+  }
+
   /// Runs f on an immutable snapshot of the shard owning `key` — the
   /// single-shard window where reads stay fully linearizable.
   template <class F>
@@ -439,6 +500,54 @@ class ShardedMap<Uc, RouterT>::Session {
       out.emplace_back(k, v);
     });
     return out;
+  }
+
+  /// Bounded ordered range read: appends up to `limit` (key, value)
+  /// pairs from [lo, hi) in global key order onto `out`; returns the
+  /// number emitted. All shards are read at ONE consistent cut (the
+  /// vector-clock pins of read_cut), so the result is a true prefix of
+  /// the range as it simultaneously existed — under any router,
+  /// including mid-rebalance tablet topologies (a cut never observes a
+  /// flipping epoch). With an order-preserving router shards are
+  /// consumed in shard order with the limit threaded through; otherwise
+  /// every owning shard scans up to `limit` (which of its hits survive
+  /// the global cutoff is unknowable shard-locally) and a bounded k-way
+  /// merge keeps the first `limit` overall.
+  std::size_t scan(const Key& lo, const Key& hi, std::size_t limit,
+                   std::vector<std::pair<Key, Value>>& out) {
+    if (limit == 0) return 0;
+    return read_cut([&](const ConsistentCut<Uc>& cut) -> std::size_t {
+      if constexpr (RouterT::kOrderPreserving) {
+        std::size_t emitted = 0;
+        for (std::size_t s = 0; s < cut.shards() && emitted < limit; ++s) {
+          emitted += cut.snapshot(s).scan(lo, hi, limit - emitted, out);
+        }
+        return emitted;
+      } else {
+        std::vector<std::vector<std::pair<Key, Value>>> parts(cut.shards());
+        for (std::size_t s = 0; s < cut.shards(); ++s) {
+          cut.snapshot(s).scan(lo, hi, limit, parts[s]);
+        }
+        std::vector<std::size_t> head(parts.size(), 0);
+        std::size_t emitted = 0;
+        while (emitted < limit) {
+          std::size_t best = parts.size();
+          for (std::size_t s = 0; s < parts.size(); ++s) {
+            if (head[s] == parts[s].size()) continue;
+            if (best == parts.size() ||
+                key_less(parts[s][head[s]].first,
+                         parts[best][head[best]].first)) {
+              best = s;
+            }
+          }
+          if (best == parts.size()) break;
+          out.push_back(parts[best][head[best]]);
+          ++head[best];
+          ++emitted;
+        }
+        return emitted;
+      }
+    });
   }
 
   // ----- batch ingest (split across shards) -----
@@ -705,6 +814,57 @@ class ShardedMap<Uc, RouterT>::Session {
     }
   }
 
+  /// Routes probe keys into rsplit_ (client indices per shard, key-sorted
+  /// and DEDUPLICATED — probe lists must be strictly increasing) and
+  /// materializes the per-shard key lists. rsplit_[s] doubles as the
+  /// scatter map; dropped duplicates are recorded in dup_fixups_ as
+  /// (duplicate index, kept index) pairs to settle after the probes.
+  void split_probe(const Epoch* e, std::span<const Key> keys) {
+    rsplit_.resize(map_->shard_count());
+    probe_keys_by_shard_.resize(map_->shard_count());
+    for (auto& idx : rsplit_) idx.clear();
+    dup_fixups_.clear();
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      rsplit_[e->router(keys[i], map_->shard_count())].push_back(i);
+    }
+    for (std::size_t s = 0; s < rsplit_.size(); ++s) {
+      std::vector<std::size_t>& idx = rsplit_[s];
+      std::vector<Key>& probe = probe_keys_by_shard_[s];
+      probe.clear();
+      if (idx.empty()) continue;
+      std::stable_sort(idx.begin(), idx.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         return key_less(keys[a], keys[b]);
+                       });
+      std::size_t w = 0;
+      for (std::size_t j = 0; j < idx.size(); ++j) {
+        if (w > 0 && !key_less(keys[idx[w - 1]], keys[idx[j]])) {
+          dup_fixups_.emplace_back(idx[j], idx[w - 1]);
+        } else {
+          idx[w++] = idx[j];
+        }
+      }
+      idx.resize(w);
+      probe.reserve(w);
+      for (const std::size_t i : idx) probe.push_back(keys[i]);
+    }
+  }
+
+  /// Probes shard s's already-split key list synchronously on this
+  /// thread and scatters the answers — the executor-less path, and the
+  /// fallback for a submit that raced a stop().
+  void run_probe_sync(std::size_t s, std::span<ReadOutcome> out) {
+    std::vector<std::size_t>& idx = rsplit_[s];
+    probe_results_.clear();
+    probe_results_.resize(idx.size());
+    map_->shards_[s]->uc.multi_get(
+        ctxs_[s], std::span<const Key>(probe_keys_by_shard_[s]),
+        std::span<ReadOutcome>(probe_results_));
+    for (std::size_t j = 0; j < idx.size(); ++j) {
+      out[idx[j]] = std::move(probe_results_[j]);
+    }
+  }
+
   /// Runs shard s's already-split sub-batch synchronously on this thread
   /// and scatters its results — the executor-less path, and the fallback
   /// for a submit that raced a stop().
@@ -816,6 +976,12 @@ class ShardedMap<Uc, RouterT>::Session {
   std::vector<std::vector<BatchRequest>> sub_reqs_by_shard_;
   std::unique_ptr<bool[]> sub_results_;
   std::size_t sub_results_cap_ = 0;
+  // Probe-split scratch (multi_get), same lifetime contract as the batch
+  // scratch above: referenced by in-flight read tasks until the join.
+  std::vector<std::vector<std::size_t>> rsplit_;
+  std::vector<std::vector<Key>> probe_keys_by_shard_;
+  std::vector<ReadOutcome> probe_results_;
+  std::vector<std::pair<std::size_t, std::size_t>> dup_fixups_;
   bool in_batch_ = false;
   bool in_cut_ = false;
   // Consistent-cut scratch (pins dropped before read_cut returns; only

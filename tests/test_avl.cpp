@@ -314,5 +314,17 @@ TEST(AvlBatch, RandomBatchesMatchSequentialApplication) {
   test::batch_oracle_random<A>(4322, 20, test::BatchKeyPattern::kClustered);
 }
 
+// Bounded scan rides for_each_range; the shared oracle also re-checks the
+// range walk and count_range against a std::set reference.
+TEST(Avl, ScanMatchesOracle) { test::range_oracle_random<A>(2101); }
+
+// Sorted read batch: one descent-sharing sweep must answer exactly like
+// per-key find(), with consistent savings accounting.
+TEST(Avl, SortedReadBatchMatchesPerKeyFind) {
+  test::read_batch_oracle_random<A>(2111, 30, test::BatchKeyPattern::kUniform);
+  test::read_batch_oracle_random<A>(2112, 20,
+                                    test::BatchKeyPattern::kClustered);
+}
+
 }  // namespace
 }  // namespace pathcopy

@@ -354,6 +354,21 @@ TEST(BtreeBatch, RandomBatchesMatchSequentialApplication) {
   test::batch_oracle_random<T>(9192, 20, test::BatchKeyPattern::kClustered);
 }
 
+// Bounded scan rides the range walk; the shared oracle also re-checks
+// for_each_range and count_range against a std::set reference.
+TEST(Btree, ScanMatchesOracle) { test::range_oracle_random<T>(6101); }
+
+// Sorted read batch over the multiway layout: separator-directed probe
+// partitioning plus the leaf linear merge must answer exactly like
+// per-key find(). Fanout 3 stresses the tightest nodes.
+TEST(Btree, SortedReadBatchMatchesPerKeyFind) {
+  test::read_batch_oracle_random<T>(6111, 30, test::BatchKeyPattern::kUniform);
+  test::read_batch_oracle_random<T>(6112, 20,
+                                    test::BatchKeyPattern::kClustered);
+  test::read_batch_oracle_random<persist::BTree<std::int64_t, std::int64_t, 3>>(
+      6113, 20, test::BatchKeyPattern::kClustered);
+}
+
 // The piece machinery is fanout-sensitive (underflow repair margins
 // shrink with F); run the oracle at the tightest and a fat fanout too.
 TEST(BtreeBatch, RandomBatchesAcrossFanouts) {

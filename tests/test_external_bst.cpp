@@ -278,5 +278,13 @@ TEST(ExternalBstBatch, EraseRunSplicesSiblings) {
   EXPECT_TRUE(none.empty());
 }
 
+// PR 10 range port for the leaf-oriented tree: router keys prune, only
+// leaves emit; validated against a std::set oracle plus bounded-scan
+// prefix semantics. (No count_range here — the external BST is the
+// per-key-fallback structure on the read-batch path too.)
+TEST(ExternalBst, ForEachRangeAndScanMatchOracle) {
+  test::range_oracle_random<E>(5101);
+}
+
 }  // namespace
 }  // namespace pathcopy

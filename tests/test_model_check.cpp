@@ -21,11 +21,13 @@
 //      ModelHistory), the combining funnel's multi-slot gather window,
 //      the Dekker announce/drain handshake (plus a broken-protocol
 //      positive control), the parked-op migration gate, the executor
-//      stop/submit race (including the lock-free lane's windows), and
-//      the shard lane itself: the ring's claim/publish window and the
+//      stop/submit race (including the lock-free lane's windows), the
+//      shard lane itself: the ring's claim/publish window and the
 //      park/wake handshake, each with a mutant positive control
 //      (dropped slot-stamp check, dropped park re-read) the checker
-//      must catch.
+//      must catch — and the batched read path: multi_get's single-pin
+//      sweep racing atomic pair-flip installs (with a pin-per-key
+//      mutant the search must tear), plus the read-ticket/stop race.
 //   4. A seeded random-walk smoke (PATHCOPY_MC_SEED overrides the seed)
 //      that scripts/check.sh runs time-boxed; any failure prints the
 //      seed, and replay_seed reproduces the schedule from it alone.
@@ -825,6 +827,166 @@ TEST(ModelCheckLane, DroppingTheParkRecheckReopensTheLostWakeup) {
 }
 
 // ---------------------------------------------------------------------
+// 3f. The batched read path (PR 10). multi_get's contract is that one
+//     pinned root answers the whole probe batch: a sweep racing
+//     installs must observe exactly one version. The kernel seeds
+//     {1:10, 2:90} and lets a writer flip the pair atomically (chained
+//     two-op updates = single CAS installs) while a reader multi_gets
+//     both keys through the "atom.mget.sweep" window; both-or-neither
+//     presence with the sum invariant holds on every schedule iff the
+//     sweep never changes roots mid-batch. The mutant positive control
+//     re-pins between the two probes — exactly the bug the single-pin
+//     design rules out — and the exhaustive search must catch it.
+// ---------------------------------------------------------------------
+
+const std::vector<std::string> kReadTags = {"atom.install", "atom.bump",
+                                            "atom.mget.sweep"};
+
+// One atomic pair-flip writer against a two-key reader; `torn_reader`
+// swaps the single-pin sweep for a pin-per-key mutant.
+std::optional<std::string> read_kernel_body(VirtualScheduler& vs,
+                                            bool torn_reader) {
+  struct Shared {
+    MA a;
+    Epoch smr;
+    FixedAtom atom;
+    std::optional<std::string> fail;
+    Shared() : atom(smr, a) {}
+  };
+  auto sh = std::make_shared<Shared>();
+  {
+    typename FixedAtom::Ctx seed(sh->smr, sh->a);
+    sh->atom.update(seed, [](T t, auto& b) {
+      return t.insert(b, 1, 10).insert(b, 2, 90);
+    });
+  }
+
+  vs.spawn([sh, torn_reader] {  // tid 0: the batched reader
+    typename FixedAtom::Ctx ctx(sh->smr, sh->a);
+    const std::int64_t keys[] = {1, 2};
+    typename FixedAtom::ReadOutcome out[2];
+    if (torn_reader) {
+      // MUTANT: re-pin mid-sweep — each key answered by its own root.
+      {
+        const auto view = sh->atom.pin_versioned(ctx);
+        if (const std::int64_t* v = view.snapshot.find(1)) out[0].value = *v;
+      }
+      PC_YIELD("atom.mget.sweep");
+      {
+        const auto view = sh->atom.pin_versioned(ctx);
+        if (const std::int64_t* v = view.snapshot.find(2)) out[1].value = *v;
+      }
+    } else {
+      sh->atom.multi_get(ctx, std::span<const std::int64_t>(keys, 2),
+                         std::span<typename FixedAtom::ReadOutcome>(out, 2));
+    }
+    if (out[0].present() != out[1].present()) {
+      sh->fail = "multi_get saw a half-present pair: two roots in one sweep";
+    } else if (out[0].present() && *out[0].value + *out[1].value != 100) {
+      sh->fail = "multi_get blended values from two versions";
+    }
+  });
+  vs.spawn([sh] {  // tid 1: atomic pair flips (one install each)
+    typename FixedAtom::Ctx ctx(sh->smr, sh->a);
+    sh->atom.update(ctx,
+                    [](T t, auto& b) { return t.erase(b, 1).erase(b, 2); });
+    sh->atom.update(ctx, [](T t, auto& b) {
+      return t.insert(b, 1, 33).insert(b, 2, 67);
+    });
+  });
+  vs.run();
+  return sh->fail;
+}
+
+TEST(ModelCheckRead, MultiGetObservesExactlyOneRootAcrossInstalls) {
+  const ExploreResult res = verify::sched::explore_exhaustive(
+      10, [](VirtualScheduler& vs) { return read_kernel_body(vs, false); },
+      kReadTags);
+  EXPECT_TRUE(res.ok) << "schedule " << res.schedules << ": " << res.reason;
+  EXPECT_GT(res.schedules, 20u);
+}
+
+TEST(ModelCheckRead, RePinningMidSweepIsCaught) {
+  const ExploreResult res = verify::sched::explore_exhaustive(
+      10, [](VirtualScheduler& vs) { return read_kernel_body(vs, true); },
+      kReadTags);
+  ASSERT_FALSE(res.ok) << "the pin-per-key mutant should tear (" //
+                       << res.schedules << " schedules explored)";
+  EXPECT_NE(res.reason.find("two"), std::string::npos);
+  // The found schedule is itself a replayable regression.
+  const std::optional<std::string> again = verify::sched::replay_trace(
+      res.failing_trace,
+      [](VirtualScheduler& vs) { return read_kernel_body(vs, true); },
+      kReadTags);
+  EXPECT_TRUE(again.has_value()) << "failing trace did not replay";
+}
+
+// The read-task drain window end to end: a client's probe ticket racing
+// executor shutdown either rides the lane (the worker's merged
+// pin → sweep → scatter path, exec_read_merged) or is refused and falls
+// back to the session's synchronous sweep — the answer arrives exactly
+// once either way. The worker is a real OS thread, so its
+// "exec.read.sweep"/"exec.read.scatter" yields are pass-throughs here;
+// the race is explored from the client and stopper sides.
+const std::vector<std::string> kExecReadTags = {"exec.submit", "exec.stop",
+                                                "ticket.join"};
+
+std::optional<std::string> exec_read_body(VirtualScheduler& vs) {
+  using Map = store::ShardedMap<CombUc, RangeR>;
+  struct Shared {
+    MA a;
+    Map map;
+    store::ShardExecutor<CombUc> exec;
+    typename CombUc::ReadOutcome out;
+    bool ran = false;
+    Shared()
+        : map(1, a, RangeR{}),
+          exec(map, [this]() -> MA& { return a; }) {}
+  };
+  auto sh = std::make_shared<Shared>();
+  {
+    typename Map::Session seed(sh->map, sh->a);
+    if (!seed.insert(9, 90)) return "pre-seed failed";
+  }
+
+  vs.spawn([sh] {  // tid 0: client probing key 9
+    static constexpr std::int64_t kKey = 9;
+    store::BatchTicket ticket;
+    ticket.arm(1);
+    typename store::ShardExecutor<CombUc>::Task task;
+    task.keys = std::span<const std::int64_t>(&kKey, 1);
+    task.read_results = &sh->out;
+    task.ticket = &ticket;
+    if (sh->exec.submit(0, task)) {
+      ticket.join();  // stop() drains queued tasks, so this completes
+    } else {
+      // Lost the race to stop(): the session's sync fallback.
+      typename Map::Session sess(sh->map, sh->a);
+      typename Map::ReadOutcome o[1];
+      sess.multi_get(std::span<const std::int64_t>(&kKey, 1),
+                     std::span<typename Map::ReadOutcome>(o, 1));
+      sh->out = o[0];
+    }
+    sh->ran = true;
+  });
+  vs.spawn([sh] {  // tid 1: concurrent shutdown
+    sh->exec.stop();
+  });
+  vs.run();
+  if (!sh->ran) return "client never completed";
+  if (!sh->out.present()) return "the probe's answer was lost";
+  if (*sh->out.value != 90) return "the probe answered a wrong value";
+  return std::nullopt;
+}
+
+TEST(ModelCheckRead, StopSubmitRaceLosesNoProbe) {
+  const ExploreResult res =
+      verify::sched::explore_exhaustive(6, exec_read_body, kExecReadTags);
+  EXPECT_TRUE(res.ok) << res.reason;
+  EXPECT_GE(res.schedules, 2u);  // both race winners visited
+}
+
+// ---------------------------------------------------------------------
 // 4. Seeded random-walk smoke over the fixed protocols — the entry
 //    point scripts/check.sh time-boxes. PATHCOPY_MC_SEED=<n> overrides
 //    the base seed; a failure prints the walk's seed, and
@@ -859,6 +1021,12 @@ TEST(ModelCheckSmoke, RandomWalksOverTheFixedProtocols) {
       kLaneParkTags);
   EXPECT_TRUE(park.ok) << "lane-park walk failed; failing seed="
                        << park.failing_seed << ": " << park.reason;
+  const ExploreResult read = verify::sched::explore_random(
+      seed0 ^ 0x4EAD, 64, 10,
+      [](VirtualScheduler& vs) { return read_kernel_body(vs, false); },
+      kReadTags);
+  EXPECT_TRUE(read.ok) << "read-kernel walk failed; failing seed="
+                       << read.failing_seed << ": " << read.reason;
 }
 
 }  // namespace

@@ -1,0 +1,346 @@
+// The batched read path at the UC and store layers.
+//
+// What must hold:
+//   * oracle equivalence — multi_get answers every probe key (present and
+//     absent) exactly like per-key reads against the same contents, on
+//     both UC backends (Atom, CombiningAtom) and across structures,
+//     including the external BST's per-key fallback;
+//   * read-only discipline — a multi_get batch performs ZERO allocations,
+//     ZERO installs, and ZERO version bumps (white-box via AllocStats and
+//     the UC's version counter): a pinned root is a free snapshot;
+//   * Session::multi_get — unsorted, duplicate-laden client key sets are
+//     split per shard, probed against one snapshot per shard, and
+//     scattered back aligned with the input;
+//   * single-snapshot reads under churn — a reader's per-shard probe must
+//     never blend two versions: with a writer atomically flip-flopping an
+//     invariant-carrying key pair, every multi_get observes a consistent
+//     pair (the TSan target, executor attached so probes ride read tasks).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "alloc/malloc_alloc.hpp"
+#include "core/atom.hpp"
+#include "core/combining.hpp"
+#include "persist/avl.hpp"
+#include "persist/btree.hpp"
+#include "persist/external_bst.hpp"
+#include "persist/treap.hpp"
+#include "reclaim/epoch.hpp"
+#include "store/executor.hpp"
+#include "store/router.hpp"
+#include "store/sharded_map.hpp"
+#include "test_support.hpp"
+#include "util/rng.hpp"
+
+namespace pathcopy {
+namespace {
+
+using MA = alloc::MallocAlloc;
+using Smr = reclaim::EpochReclaimer;
+using Treap = persist::Treap<std::int64_t, std::int64_t>;
+using Avl = persist::AvlTree<std::int64_t, std::int64_t>;
+using Btree = persist::BTree<std::int64_t, std::int64_t, 8>;
+using Ebst = persist::ExternalBst<std::int64_t, std::int64_t>;
+
+// The two UC backends write differently (update lambda vs announced
+// slot op); hide that behind one insert helper so the oracle body is
+// backend-agnostic.
+template <class Uc>
+unsigned maybe_slot(Uc& uc) {
+  if constexpr (requires { uc.register_slot(); }) {
+    return uc.register_slot();
+  } else {
+    return 0;
+  }
+}
+
+template <class Uc>
+void uc_insert(Uc& uc, typename Uc::Ctx& ctx, unsigned slot, std::int64_t k,
+               std::int64_t v) {
+  if constexpr (requires { uc.insert(ctx, slot, k, v); }) {
+    uc.insert(ctx, slot, k, v);
+  } else {
+    uc.update(ctx, [k, v](auto t, auto& b) { return t.insert(b, k, v); });
+  }
+}
+
+/// The UC-level oracle: populate, then batch-probe mixed present/absent
+/// key sets and hold every answer to the per-key read while asserting
+/// the read-only discipline (no allocation, no install, no version bump).
+template <class Uc>
+void multiget_uc_oracle(Uc& uc, typename Uc::Ctx& ctx, MA& a,
+                        std::uint64_t seed, test::BatchKeyPattern pattern) {
+  util::Xoshiro256 rng(seed);
+  const unsigned slot = maybe_slot(uc);
+  std::map<std::int64_t, std::int64_t> oracle;
+  for (int i = 0; i < 400; ++i) {
+    const std::int64_t k = rng.range(0, 1200);
+    uc_insert(uc, ctx, slot, k, k * 9);
+    oracle.emplace(k, k * 9);  // insert does not overwrite
+  }
+
+  const std::int64_t hot = rng.range(0, 1100);
+  const auto gen_key = [&]() -> std::int64_t {
+    if (pattern == test::BatchKeyPattern::kClustered) {
+      return hot + rng.range(0, 80);
+    }
+    return rng.range(-50, 1400);  // absent keys on both flanks
+  };
+
+  const std::uint64_t reads_before = ctx.stats.reads;
+  std::uint64_t probed = 0;
+  constexpr int kRounds = 25;
+  for (int round = 0; round < kRounds; ++round) {
+    std::set<std::int64_t> used;
+    const int batch = 1 + static_cast<int>(rng.range(0, 64));
+    for (int i = 0; i < batch; ++i) used.insert(gen_key());
+    const std::vector<std::int64_t> keys(used.begin(), used.end());
+    std::vector<typename Uc::ReadOutcome> out(keys.size());
+
+    const auto version_before = uc.version();
+    const std::uint64_t allocs_before = a.stats().allocs.load();
+    const std::uint64_t updates_before = ctx.stats.updates;
+    const persist::ReadProbeStats st = uc.multi_get(
+        ctx, std::span<const std::int64_t>(keys),
+        std::span<typename Uc::ReadOutcome>(out));
+    // Read-only: the pinned root is the whole story.
+    ASSERT_EQ(uc.version(), version_before) << "round " << round;
+    ASSERT_EQ(a.stats().allocs.load(), allocs_before)
+        << "multi_get allocated, round " << round;
+    ASSERT_EQ(ctx.stats.updates, updates_before)
+        << "multi_get installed, round " << round;
+    ASSERT_GE(st.per_key_nodes, st.nodes_visited);
+
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      const auto it = oracle.find(keys[i]);
+      ASSERT_EQ(out[i].present(), it != oracle.end())
+          << "round " << round << " key " << keys[i];
+      if (it != oracle.end()) {
+        ASSERT_EQ(*out[i].value, it->second)
+            << "round " << round << " key " << keys[i];
+      }
+    }
+    probed += keys.size();
+  }
+  // Counter contract: every probe key counted as a read, every sweep as
+  // one read batch.
+  EXPECT_EQ(ctx.stats.reads - reads_before, probed);
+  EXPECT_EQ(ctx.stats.read_batches, static_cast<std::uint64_t>(kRounds));
+  EXPECT_EQ(ctx.stats.batched_reads, probed);
+}
+
+template <class DS>
+void run_atom_oracle(std::uint64_t seed, test::BatchKeyPattern pattern) {
+  MA a;
+  {
+    Smr smr;
+    core::Atom<DS, Smr, MA> uc(smr, *a.retire_backend());
+    typename core::Atom<DS, Smr, MA>::Ctx ctx(smr, a);
+    multiget_uc_oracle(uc, ctx, a, seed, pattern);
+  }
+  EXPECT_EQ(a.stats().live_blocks(), 0u);
+}
+
+template <class DS>
+void run_combining_oracle(std::uint64_t seed, test::BatchKeyPattern pattern) {
+  MA a;
+  {
+    Smr smr;
+    core::CombiningAtom<DS, Smr, MA> uc(smr, a);
+    typename core::CombiningAtom<DS, Smr, MA>::Ctx ctx(smr, a);
+    multiget_uc_oracle(uc, ctx, a, seed, pattern);
+  }
+  EXPECT_EQ(a.stats().live_blocks(), 0u);
+}
+
+TEST(MultiGetAtom, TreapOracle) {
+  run_atom_oracle<Treap>(901, test::BatchKeyPattern::kUniform);
+  run_atom_oracle<Treap>(902, test::BatchKeyPattern::kClustered);
+}
+TEST(MultiGetAtom, AvlOracle) {
+  run_atom_oracle<Avl>(903, test::BatchKeyPattern::kUniform);
+  run_atom_oracle<Avl>(904, test::BatchKeyPattern::kClustered);
+}
+TEST(MultiGetAtom, BtreeOracle) {
+  run_atom_oracle<Btree>(905, test::BatchKeyPattern::kUniform);
+  run_atom_oracle<Btree>(906, test::BatchKeyPattern::kClustered);
+}
+// External BST has no get_sorted_batch: the concept-gated per-key
+// fallback must hold the same contract (still one pin, still no writes).
+TEST(MultiGetAtom, ExternalBstFallbackOracle) {
+  run_atom_oracle<Ebst>(907, test::BatchKeyPattern::kUniform);
+}
+
+TEST(MultiGetCombining, TreapOracle) {
+  run_combining_oracle<Treap>(911, test::BatchKeyPattern::kUniform);
+  run_combining_oracle<Treap>(912, test::BatchKeyPattern::kClustered);
+}
+TEST(MultiGetCombining, AvlOracle) {
+  run_combining_oracle<Avl>(913, test::BatchKeyPattern::kUniform);
+}
+TEST(MultiGetCombining, BtreeOracle) {
+  run_combining_oracle<Btree>(914, test::BatchKeyPattern::kClustered);
+}
+TEST(MultiGetCombining, ExternalBstFallbackOracle) {
+  run_combining_oracle<Ebst>(915, test::BatchKeyPattern::kUniform);
+}
+
+// ----- store layer -----
+
+using RangeR = store::RangeRouter<std::int64_t>;
+template <class Uc>
+using Map = store::ShardedMap<Uc, RangeR>;
+using PlainUc = core::Atom<Treap, Smr, MA>;
+using CombUc = core::CombiningAtom<Treap, Smr, MA>;
+
+template <class Uc>
+auto shared_alloc_factory(MA& a) {
+  return [&a]() -> MA& { return a; };
+}
+
+/// Session::multi_get vs per-key find: unsorted client keys WITH
+/// duplicates and absent keys, split across 4 shards, sync path.
+template <class Uc>
+void session_multiget_oracle(std::uint64_t seed) {
+  MA a;
+  {
+    Map<Uc> map(4, a, RangeR::uniform(0, 1024, 4));
+    typename Map<Uc>::Session s(map, a);
+    util::Xoshiro256 rng(seed);
+    std::map<std::int64_t, std::int64_t> oracle;
+    for (int i = 0; i < 500; ++i) {
+      const std::int64_t k = rng.range(0, 1024);
+      if (s.insert(k, k * 5)) oracle.emplace(k, k * 5);
+    }
+    for (int round = 0; round < 20; ++round) {
+      std::vector<std::int64_t> keys;
+      const int batch = 1 + static_cast<int>(rng.range(0, 48));
+      for (int i = 0; i < batch; ++i) keys.push_back(rng.range(0, 1100));
+      // Force duplicates: repeat a prefix, unsorted order preserved.
+      for (int i = 0; i < batch / 3; ++i) keys.push_back(keys[i]);
+      std::vector<typename Map<Uc>::ReadOutcome> out(keys.size());
+      s.multi_get(std::span<const std::int64_t>(keys),
+                  std::span<typename Map<Uc>::ReadOutcome>(out));
+      for (std::size_t i = 0; i < keys.size(); ++i) {
+        const auto it = oracle.find(keys[i]);
+        ASSERT_EQ(out[i].present(), it != oracle.end())
+            << "round " << round << " slot " << i << " key " << keys[i];
+        if (it != oracle.end()) {
+          ASSERT_EQ(*out[i].value, it->second);
+        }
+      }
+    }
+    // Bounded global scan: a true prefix of the ordered range.
+    std::vector<std::pair<std::int64_t, std::int64_t>> want(oracle.begin(),
+                                                            oracle.end());
+    std::vector<std::pair<std::int64_t, std::int64_t>> got;
+    const std::size_t n = s.scan(0, 2048, 17, got);
+    ASSERT_EQ(n, std::min<std::size_t>(17, want.size()));
+    for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(got[i], want[i]);
+    got.clear();
+    ASSERT_EQ(s.scan(0, 2048, want.size() + 10, got), want.size());
+    ASSERT_EQ(got, want);
+  }
+  EXPECT_EQ(a.stats().live_blocks(), 0u);
+}
+
+TEST(MultiGetSession, SplitsScattersAndScans) {
+  session_multiget_oracle<PlainUc>(921);
+  session_multiget_oracle<CombUc>(922);
+}
+
+/// The single-snapshot property under churn, executor attached so
+/// probes ride the shard lanes as read tasks (the TSan target).
+///
+/// A writer flip-flops two invariant-carrying key pairs on one shard:
+/// each batch atomically erases the live pair and installs the other
+/// with values summing to kSum (key-unique batch → one install). Any
+/// multi_get that blended two versions would see a half-present pair or
+/// a sum from two rounds.
+template <class Uc>
+void single_snapshot_under_churn() {
+  constexpr std::int64_t kA1 = 10, kA2 = 20, kB1 = 30, kB2 = 40;
+  constexpr std::int64_t kSum = 100000;
+  MA a;
+  {
+    Map<Uc> map(4, a, RangeR::uniform(0, 1024, 4));
+    store::ShardExecutor<Uc> exec(map, shared_alloc_factory<Uc>(a));
+    using Req = typename Uc::BatchRequest;
+    using K = typename Uc::OpKind;
+    {
+      typename Map<Uc>::Session s(map, a);
+      const Req seed[] = {Req{K::kInsert, kA1, 0},
+                          Req{K::kInsert, kA2, kSum}};
+      bool r[2];
+      s.execute_batch(std::span<const Req>(seed, 2), r);
+    }
+    std::atomic<bool> stop{false};
+    std::thread writer([&] {
+      typename Map<Uc>::Session s(map, a);
+      bool a_live = true;
+      std::int64_t x = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        x = (x + 7919) % kSum;
+        const std::int64_t dead1 = a_live ? kA1 : kB1;
+        const std::int64_t dead2 = a_live ? kA2 : kB2;
+        const std::int64_t live1 = a_live ? kB1 : kA1;
+        const std::int64_t live2 = a_live ? kB2 : kA2;
+        const Req flip[] = {Req{K::kErase, dead1, std::nullopt},
+                            Req{K::kErase, dead2, std::nullopt},
+                            Req{K::kInsert, live1, x},
+                            Req{K::kInsert, live2, kSum - x}};
+        bool r[4];
+        s.execute_batch(std::span<const Req>(flip, 4), r);
+        a_live = !a_live;
+      }
+    });
+    std::vector<std::thread> readers;
+    std::atomic<int> violations{0};
+    for (int t = 0; t < 2; ++t) {
+      readers.emplace_back([&] {
+        typename Map<Uc>::Session s(map, a);
+        const std::int64_t keys[] = {kA1, kA2, kB1, kB2};
+        for (int i = 0; i < 1500; ++i) {
+          typename Map<Uc>::ReadOutcome out[4];
+          s.multi_get(std::span<const std::int64_t>(keys, 4),
+                      std::span<typename Map<Uc>::ReadOutcome>(out, 4));
+          const bool a_pair = out[0].present();
+          const bool b_pair = out[2].present();
+          // Pairs flip atomically: never half-present, never both or
+          // neither live, and the live pair's values are one round's.
+          if (out[1].present() != a_pair || out[3].present() != b_pair ||
+              a_pair == b_pair) {
+            violations.fetch_add(1);
+            continue;
+          }
+          const std::int64_t sum = a_pair ? *out[0].value + *out[1].value
+                                          : *out[2].value + *out[3].value;
+          if (sum != kSum) violations.fetch_add(1);
+        }
+      });
+    }
+    for (auto& r : readers) r.join();
+    stop.store(true);
+    writer.join();
+    EXPECT_EQ(violations.load(), 0) << "a multi_get blended two versions";
+    exec.stop();
+  }
+  EXPECT_EQ(a.stats().live_blocks(), 0u);
+}
+
+TEST(MultiGetConcurrent, SingleSnapshotUnderChurnAtom) {
+  single_snapshot_under_churn<PlainUc>();
+}
+TEST(MultiGetConcurrent, SingleSnapshotUnderChurnCombining) {
+  single_snapshot_under_churn<CombUc>();
+}
+
+}  // namespace
+}  // namespace pathcopy

@@ -345,5 +345,19 @@ TEST(RbtBatch, BigBatchKeepsRedBlackContract) {
             2 * static_cast<std::size_t>(std::log2(t2.size() + 1)) + 2);
 }
 
+// PR 10 range port: subtree-pruned in-order walk vs a std::set oracle,
+// with count_range cross-checks and bounded-scan prefix semantics.
+TEST(Rbt, ForEachRangeAndScanMatchOracle) {
+  test::range_oracle_random<R>(3101);
+}
+
+// Sorted read batch: one descent-sharing sweep must answer exactly like
+// per-key find(), with consistent savings accounting.
+TEST(Rbt, SortedReadBatchMatchesPerKeyFind) {
+  test::read_batch_oracle_random<R>(3111, 30, test::BatchKeyPattern::kUniform);
+  test::read_batch_oracle_random<R>(3112, 20,
+                                    test::BatchKeyPattern::kClustered);
+}
+
 }  // namespace
 }  // namespace pathcopy

@@ -6,12 +6,14 @@
 #include <algorithm>
 #include <cstdint>
 #include <set>
+#include <span>
 #include <utility>
 #include <vector>
 
 #include "alloc/arena_alloc.hpp"
 #include "alloc/malloc_alloc.hpp"
 #include "core/builder.hpp"
+#include "persist/batch.hpp"
 #include "reclaim/retired.hpp"
 #include "util/rng.hpp"
 
@@ -260,6 +262,126 @@ template <class DS>
 void batch_oracle_random(std::uint64_t seed, int rounds,
                          BatchKeyPattern pattern) {
   batch_oracle_random<DS>(seed, rounds, pattern, [](const DS&, const DS&) {});
+}
+
+// ----- shared read-path oracle harnesses (PR 10) -----
+
+/// get_sorted_batch must answer exactly like per-key find() — present and
+/// absent keys alike — and its ReadProbeStats must be internally
+/// consistent: the per-key counterfactual can never be cheaper than the
+/// shared sweep, and a batch of B > 1 clustered keys must actually share
+/// descent (strictly positive savings on a non-trivial tree).
+template <class DS>
+void read_batch_oracle_random(std::uint64_t seed, int rounds,
+                              BatchKeyPattern pattern) {
+  util::Xoshiro256 rng(seed);
+  for (int round = 0; round < rounds; ++round) {
+    alloc::Arena a;
+    const std::int64_t key_range =
+        64 + static_cast<std::int64_t>(rng.range(0, 400));
+    std::vector<std::int64_t> cluster_bases;
+    for (int c = 0; c < 4; ++c) {
+      cluster_bases.push_back(rng.range(0, key_range));
+    }
+    const auto gen_key = [&]() -> std::int64_t {
+      if (pattern == BatchKeyPattern::kUniform) {
+        return rng.range(0, key_range);
+      }
+      const auto base = cluster_bases[rng.below(cluster_bases.size())];
+      return base + rng.range(0, 12);
+    };
+
+    DS t;
+    for (int i = 0; i < 150; ++i) {
+      const std::int64_t k = rng.range(0, key_range);
+      t = apply(a, [&](auto& b) { return t.insert(b, k, k * 7); });
+    }
+
+    std::set<std::int64_t> used;
+    const int batch_size = 1 + static_cast<int>(rng.range(0, 48));
+    for (int i = 0; i < batch_size; ++i) used.insert(gen_key());
+    const std::vector<std::int64_t> keys(used.begin(), used.end());
+
+    std::vector<typename DS::ReadOutcome> out(keys.size());
+    const persist::ReadProbeStats st = t.get_sorted_batch(
+        std::span<const std::int64_t>(keys),
+        std::span<typename DS::ReadOutcome>(out));
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      const std::int64_t* v = t.find(keys[i]);
+      ASSERT_EQ(out[i].present(), v != nullptr)
+          << "round " << round << " key " << keys[i];
+      if (v != nullptr) {
+        ASSERT_EQ(*out[i].value, *v) << "round " << round << " key "
+                                     << keys[i];
+      }
+    }
+    ASSERT_GE(st.per_key_nodes, st.nodes_visited) << "round " << round;
+    if (keys.size() > 1 && t.size() > 8 &&
+        pattern == BatchKeyPattern::kClustered) {
+      EXPECT_GT(st.nodes_saved(), 0u) << "round " << round;
+    }
+  }
+}
+
+/// for_each_range / count_range / bounded scan oracle, shared by the
+/// PR 6 (AVL, B-tree) and PR 10 (red-black, weight-balanced, external
+/// BST) range ports: random windows against a std::set reference, plus
+/// the boundary windows (empty [k,k), singleton [k,k+1)) and the
+/// scan-limit prefix property.
+template <class DS>
+void range_oracle_random(std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  alloc::Arena a;
+  DS t;
+  std::set<std::int64_t> oracle;
+  for (int i = 0; i < 600; ++i) {
+    const std::int64_t k = rng.range(0, 1000);
+    oracle.insert(k);
+    t = apply(a, [&](auto& b) { return t.insert(b, k, k * 3); });
+  }
+  ASSERT_EQ(t.size(), oracle.size());
+
+  const auto window_oracle = [&](std::int64_t lo, std::int64_t hi) {
+    std::vector<std::pair<std::int64_t, std::int64_t>> want;
+    for (auto it = oracle.lower_bound(lo); it != oracle.end() && *it < hi;
+         ++it) {
+      want.emplace_back(*it, *it * 3);
+    }
+    return want;
+  };
+  const auto check_window = [&](std::int64_t lo, std::int64_t hi) {
+    const auto want = window_oracle(lo, hi);
+    std::vector<std::pair<std::int64_t, std::int64_t>> got;
+    t.for_each_range(lo, hi, [&](const std::int64_t& k,
+                                 const std::int64_t& v) {
+      got.emplace_back(k, v);
+    });
+    ASSERT_EQ(got, want) << "window [" << lo << ", " << hi << ")";
+    if constexpr (requires { t.count_range(lo, hi); }) {
+      ASSERT_EQ(t.count_range(lo, hi), want.size())
+          << "window [" << lo << ", " << hi << ")";
+    }
+    // scan with a limit must emit exactly the first `limit` hits.
+    const std::size_t limit = rng.below(want.size() + 3);
+    std::vector<std::pair<std::int64_t, std::int64_t>> scanned;
+    const std::size_t emitted = t.scan(lo, hi, limit, scanned);
+    const std::size_t expect = std::min(limit, want.size());
+    ASSERT_EQ(emitted, expect);
+    ASSERT_EQ(scanned.size(), expect);
+    for (std::size_t i = 0; i < expect; ++i) {
+      ASSERT_EQ(scanned[i], want[i]) << "scan hit " << i;
+    }
+  };
+
+  for (int w = 0; w < 200; ++w) {
+    std::int64_t lo = rng.range(-20, 1020);
+    std::int64_t hi = rng.range(-20, 1020);
+    if (hi < lo) std::swap(lo, hi);
+    check_window(lo, hi);
+  }
+  const std::int64_t k = *oracle.begin();
+  check_window(k, k);      // empty half-open window
+  check_window(k, k + 1);  // singleton window
 }
 
 /// from_sorted round-trip: bulk build of a strictly increasing run must

@@ -423,5 +423,17 @@ TEST(TreapBatch, RandomBatchesMatchSequentialApplication) {
                                shapes_equal);
 }
 
+// Bounded scan rides for_each_range; the shared oracle also re-checks the
+// range walk and count_range against a std::set reference.
+TEST(Treap, ScanMatchesOracle) { test::range_oracle_random<T>(1101); }
+
+// Sorted read batch: one descent-sharing sweep must answer exactly like
+// per-key find(), with consistent savings accounting.
+TEST(Treap, SortedReadBatchMatchesPerKeyFind) {
+  test::read_batch_oracle_random<T>(1111, 30, test::BatchKeyPattern::kUniform);
+  test::read_batch_oracle_random<T>(1112, 20,
+                                    test::BatchKeyPattern::kClustered);
+}
+
 }  // namespace
 }  // namespace pathcopy

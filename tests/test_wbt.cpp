@@ -228,5 +228,19 @@ TEST(WbtBatch, BigBatchKeepsWeightBalance) {
   EXPECT_TRUE(t.check_invariants());  // old version untouched
 }
 
+// PR 10 range port: subtree-pruned in-order walk vs a std::set oracle,
+// with count_range cross-checks and bounded-scan prefix semantics.
+TEST(Wbt, ForEachRangeAndScanMatchOracle) {
+  test::range_oracle_random<W>(4101);
+}
+
+// Sorted read batch: one descent-sharing sweep must answer exactly like
+// per-key find(), with consistent savings accounting.
+TEST(Wbt, SortedReadBatchMatchesPerKeyFind) {
+  test::read_batch_oracle_random<W>(4111, 30, test::BatchKeyPattern::kUniform);
+  test::read_batch_oracle_random<W>(4112, 20,
+                                    test::BatchKeyPattern::kClustered);
+}
+
 }  // namespace
 }  // namespace pathcopy
